@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark/experiment suite.
+
+Every experiment prints a table (the reproduction's stand-in for the
+paper's tables/figures — the paper is pure theory, so each theorem/lemma
+bound becomes a measured table) and appends it to
+``benchmarks/results/<experiment>.txt`` so results survive pytest's output
+capture.  See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+recorded outcomes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.experiments.report import render_table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(
+    experiment: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str,
+    notes: str = "",
+) -> str:
+    """Render, print, and persist one experiment table."""
+    text = render_table(headers, rows, title=title)
+    if notes:
+        text += "\n" + notes
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def geometric_ratio_trend(values: List[float]) -> float:
+    """Last/first ratio of a sweep — a crude but robust trend statistic."""
+    return values[-1] / values[0]

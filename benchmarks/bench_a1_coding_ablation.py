@@ -1,0 +1,69 @@
+"""A1 — ablation: where the coding gain comes from.
+
+Runs the dissemination stage coded vs uncoded at the *same* epoch budget,
+sweeping the budget.  Uncoded FORWARD needs coupon-collector-many
+receptions per group; coded needs only ~group_size + O(1) innovative ones
+(Lemma 3), so at tight budgets the coded variant delivers far more
+(node, group) pairs.
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro.coding.packets import make_packets
+from repro.core.config import AlgorithmParameters
+from repro.core.dissemination import run_dissemination_stage
+from repro.topology import balanced_tree
+
+
+def delivery_fraction(net, params, k, trials):
+    dist = net.bfs_distances(0).tolist()
+    packets = make_packets([0] * k, size_bits=16, seed=1)
+    total, possible = 0, 0
+    for seed in range(trials):
+        r = run_dissemination_stage(
+            net, dist, 0, packets, params, np.random.default_rng(seed)
+        )
+        total += int(r.has_group.sum())
+        possible += r.has_group.size
+    return total / possible
+
+
+def run_sweep():
+    net = balanced_tree(2, 4)  # 31 nodes, depth 4
+    k = 15
+    trials = 6
+    rows = []
+    for factor in [0.8, 1.5, 2.5, 4.0]:
+        budget = dict(forward_surplus=0.0, forward_epochs_factor=factor)
+        coded = delivery_fraction(
+            net, AlgorithmParameters(**budget), k, trials
+        )
+        uncoded = delivery_fraction(
+            net, AlgorithmParameters(coding_enabled=False, **budget), k, trials
+        )
+        rows.append([
+            factor, f"{coded:.3f}", f"{uncoded:.3f}",
+            f"{coded - uncoded:+.3f}",
+        ])
+    return rows
+
+
+def test_a1_coding_ablation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "a1_coding_ablation",
+        ["epoch factor", "coded delivery", "uncoded delivery", "gap"],
+        rows,
+        title="A1: coded vs uncoded FORWARD at identical budgets "
+              "(binary tree depth 4, k=15)",
+        notes="Coding dominates at every budget; the gap is the "
+              "coupon-collector cost that Lemma 3 removes.",
+    )
+    gaps = [float(row[-1]) for row in rows]
+    assert all(g >= -0.02 for g in gaps)  # coding never loses (MC slack)
+    assert max(gaps) > 0.1  # a substantial gap somewhere in the sweep
+    # with a generous budget the coded variant is essentially perfect
+    # while the uncoded one still pays the coupon-collector tail
+    assert float(rows[-1][1]) > 0.97
+    assert float(rows[-1][2]) < float(rows[-1][1])

@@ -1,0 +1,89 @@
+"""A7 — ablation: the OSPG launch-window factor (the collection constant).
+
+E16 showed the collection stage carries the algorithm's largest
+implementation constant: each OSPG(y) occupies ``4·(f·y + D) + D`` rounds
+with the paper's window factor ``f = 6`` (chosen so the unique-launch
+probability ``(1 - 1/(6y))^(y-1)`` stays ≥ 3/4).  Smaller factors shrink
+every procedure proportionally but raise the collision rate
+(unique-launch ≥ ``e^{-1/f}``), potentially costing extra doubling
+phases.  This ablation sweeps the factor and measures total collection
+rounds and reliability.
+"""
+
+import math
+
+import numpy as np
+
+from _common import emit_table
+from repro.coding.packets import make_packets
+from repro.core.collection import run_collection_stage
+from repro.core.config import AlgorithmParameters
+from repro.topology import grid, random_geometric
+
+
+def run_case(net, k, factor, trials):
+    parent = net.bfs_tree(0)
+    dist = net.bfs_distances(0).tolist()
+    params = AlgorithmParameters(ospg_window_factor=factor)
+    ok = 0
+    rounds = []
+    for seed in range(trials):
+        rng = np.random.default_rng(seed)
+        origins = rng.integers(0, net.n, size=k).tolist()
+        packets = make_packets(origins, size_bits=16, seed=seed)
+        r = run_collection_stage(net, parent, dist, 0, packets, params, rng)
+        ok += r.all_collected and r.synchronized
+        rounds.append(r.rounds)
+    return float(np.mean(rounds)), ok
+
+
+def run_sweep():
+    trials = 5
+    rows = []
+    stats = {}
+    for net in [grid(6, 6), random_geometric(50, seed=5)]:
+        k = 4 * net.n
+        for factor in [2, 4, 6, 10]:
+            mean_rounds, ok = run_case(net, k, factor, trials)
+            unique_floor = math.exp(-1.0 / factor)
+            rows.append([
+                net.name, k, factor, f"{unique_floor:.3f}",
+                f"{mean_rounds:.0f}", f"{mean_rounds / k:.1f}",
+                f"{ok}/{trials}",
+            ])
+            stats[(net.name, factor)] = (mean_rounds, ok)
+    return rows, stats, trials
+
+
+def test_a7_window_factor(benchmark):
+    rows, stats, trials = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "a7_window_factor",
+        ["network", "k", "window factor", "unique-launch floor",
+         "collection rounds", "rounds/pkt", "ok"],
+        rows,
+        title="A7: OSPG launch-window factor — collection rounds vs "
+              "reliability (paper: factor 6)",
+        notes="The factor trades window length against collision-induced "
+              "retries: there is an interior optimum (≈4 here) — factor 2 "
+              "saves window rounds but loses them again to collisions and "
+              "extra cleanup, factor 10 pays for reliability it does not "
+              "need.  All factors ≥ 2 keep the halving invariant "
+              "(unique-launch ≥ e^{-1/f} > 1/2), so the paper's 6 is a "
+              "proof-convenient point on a flat-bottomed curve.",
+    )
+    # every factor still collects everything w.h.p.
+    for row in rows:
+        ok = int(row[-1].split("/")[0])
+        assert ok >= trials - 1
+    for net_name in {row[0] for row in rows}:
+        r2 = stats[(net_name, 2)][0]
+        r4 = stats[(net_name, 4)][0]
+        r6 = stats[(net_name, 6)][0]
+        r10 = stats[(net_name, 10)][0]
+        # oversized windows cost proportionally
+        assert r10 > 1.3 * r6
+        # the optimum is at-or-below the paper's 6…
+        assert r4 <= r6 * 1.05
+        # …but shrinking further stops paying (collisions bite)
+        assert r2 > 0.8 * r4

@@ -1,0 +1,79 @@
+"""A8 — dynamic dispatch policies: latency vs amortization.
+
+Extends A4: under the *same* moderate Poisson load, the batching policy
+decides the trade-off between waiting (bigger batches amortize the
+per-batch fixed costs of leader election / BFS / estimation) and latency.
+Immediate dispatch minimizes waiting but pays the fixed cost per tiny
+batch; a size threshold (with a deadline) buys throughput with bounded
+extra latency; a slow timer overshoots.
+"""
+
+from _common import emit_table
+from repro import MultipleMessageBroadcast
+from repro.dynamic import (
+    BatchedDynamicBroadcast,
+    ImmediatePolicy,
+    SizeThresholdPolicy,
+    TimerPolicy,
+    poisson_arrivals,
+)
+from repro.experiments.workloads import uniform_random_placement
+from repro.topology import grid
+
+
+def run_sweep():
+    net = grid(5, 5)
+    # measure capacity for a sensible load point
+    probe = uniform_random_placement(net, k=400, seed=3)
+    static = MultipleMessageBroadcast(net, seed=5).run(probe)
+    assert static.success
+    rate = 0.5 / static.amortized_rounds_per_packet  # ρ = 0.5
+    arrivals = poisson_arrivals(net, rate=rate, horizon=400_000, seed=11)
+
+    policies = [
+        ("immediate", ImmediatePolicy()),
+        ("threshold 32 / 20k", SizeThresholdPolicy(min_batch=32,
+                                                   max_wait=20_000)),
+        ("timer 40k", TimerPolicy(period=40_000)),
+    ]
+    rows = []
+    stats = {}
+    for name, policy in policies:
+        result = BatchedDynamicBroadcast(
+            net, seed=13, policy=policy
+        ).run(arrivals)
+        assert result.failed == 0
+        rows.append([
+            name, result.num_batches, f"{result.mean_batch_size:.1f}",
+            f"{result.mean_latency:.0f}", result.max_latency,
+            result.total_rounds,
+        ])
+        stats[name] = result
+    return rows, stats, len(arrivals)
+
+
+def test_a8_batch_policies(benchmark):
+    rows, stats, num_arrivals = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    emit_table(
+        "a8_batch_policies",
+        ["policy", "batches", "mean batch", "mean latency", "max latency",
+         "busy until (rounds)"],
+        rows,
+        title=f"A8: dispatch policies at load ρ=0.5 "
+              f"({num_arrivals} Poisson arrivals, grid 5x5)",
+        notes="Thresholding trades bounded extra latency for fewer, "
+              "larger batches (amortizing per-batch fixed costs); the "
+              "slow timer overshoots on latency without further gains.",
+    )
+    immediate = stats["immediate"]
+    threshold = stats["threshold 32 / 20k"]
+    timer = stats["timer 40k"]
+    # all deliver everything
+    assert immediate.delivered == threshold.delivered == timer.delivered
+    # thresholding coalesces into fewer, larger batches
+    assert threshold.num_batches < immediate.num_batches
+    assert threshold.mean_batch_size > immediate.mean_batch_size
+    # and spends fewer total busy rounds (amortization)
+    assert threshold.total_rounds <= immediate.total_rounds * 1.02

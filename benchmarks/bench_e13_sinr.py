@@ -1,0 +1,88 @@
+"""E13 — the paper's open question: does the approach survive SINR physics?
+
+The conclusions ask "whether a similar approach could improve design and
+analysis of efficient protocols in other models of wireless networks,
+such that geometric graphs ... or SINR".  We run the *unchanged* algorithm
+on the same random deployment under (a) the paper's graph collision model
+and (b) the physical SINR model, with three configurations:
+
+  1. default (pipelined, graph-model budgets),
+  2. conservative budgets (the `paper()` preset), still pipelined,
+  3. conservative budgets + serialized groups (spacing = D).
+
+Finding: graph-model guarantees do NOT transfer directly — the spacing-3
+pipelining argument relies on interference being local to the BFS layers,
+which SINR breaks (far transmitters raise the floor at the root's
+neighbors during the plain slots).  Serializing the groups (and paying the
+budget constants) restores full success: the *approach* ports, the
+*pipelining constant* does not.
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro import AlgorithmParameters, MultipleMessageBroadcast
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.sinr import SinrRadioNetwork
+from repro.topology import random_geometric
+
+
+def score(net, packets, params, trials):
+    wins, informed = 0, 0.0
+    for seed in range(trials):
+        r = MultipleMessageBroadcast(net, params=params, seed=seed).run(packets)
+        wins += r.success
+        informed += r.informed_fraction
+    return wins, informed / trials
+
+
+def run_sweep():
+    trials = 5
+    sinr_net = SinrRadioNetwork.random_deployment(40, seed=3)
+    graph_net = random_geometric(40, radius=sinr_net.solo_range, seed=3)
+
+    configs = [
+        ("default pipelined", AlgorithmParameters()),
+        ("paper budgets, pipelined", AlgorithmParameters.paper()),
+        ("paper budgets, serialized",
+         AlgorithmParameters.paper().with_overrides(
+             group_spacing=sinr_net.diameter)),
+    ]
+    rows = []
+    outcomes = {}
+    for model_name, net in [("graph", graph_net), ("SINR", sinr_net)]:
+        packets = uniform_random_placement(net, k=10, seed=1)
+        for config_name, params in configs:
+            wins, mean_informed = score(net, packets, params, trials)
+            rows.append([
+                model_name, config_name, f"{wins}/{trials}",
+                f"{mean_informed:.3f}",
+            ])
+            outcomes[(model_name, config_name)] = (wins, mean_informed)
+    return rows, outcomes, trials
+
+
+def test_e13_sinr(benchmark):
+    rows, outcomes, trials = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e13_sinr",
+        ["physics", "configuration", "success", "mean informed"],
+        rows,
+        title="E13: the unchanged algorithm under graph vs SINR physics "
+              "(same deployment, n=40, k=10)",
+        notes="Graph model: all configurations succeed.  SINR: the "
+              "pipelined configurations lose deliveries (global "
+              "interference breaks the spacing-3 argument); serialized "
+              "groups + conservative budgets restore full success.",
+    )
+    # graph physics: everything succeeds
+    for config in ["default pipelined", "paper budgets, pipelined",
+                   "paper budgets, serialized"]:
+        wins, _ = outcomes[("graph", config)]
+        assert wins >= trials - 1
+    # SINR: pipelined default degrades, serialized+paper recovers
+    default_wins, default_informed = outcomes[("SINR", "default pipelined")]
+    serialized_wins, _ = outcomes[("SINR", "paper budgets, serialized")]
+    assert default_informed > 0.5        # degradation, not collapse
+    assert serialized_wins >= trials - 1  # the mitigation works
+    assert serialized_wins >= default_wins

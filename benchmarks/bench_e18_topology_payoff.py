@@ -1,0 +1,90 @@
+"""E18 — the payoff of the paper's own motivating application.
+
+The introduction motivates multi-broadcast with "learning topology of the
+underlying network (in order to benefit from efficiency of centralized
+solutions)".  This experiment runs that pipeline end to end:
+
+1. **learn**: one k = n run of the paper's algorithm in which every node
+   announces its neighborhood (the ad-hoc phase — nodes know nothing);
+2. **exploit**: all subsequent traffic uses the deterministic,
+   collision-free TDMA schedule every node can now compute from the
+   shared topology (distance-2 coloring) — amortized Θ(χ) per packet,
+   beating even the ad-hoc algorithm's O(logΔ) constants.
+
+The table reports the one-time learning cost and the per-packet cost of
+ad-hoc vs known-topology operation, plus the break-even traffic volume.
+"""
+
+from _common import emit_table
+from repro import MultipleMessageBroadcast, grid
+from repro.baselines.tdma import distance2_coloring, tdma_flood_broadcast
+from repro.coding.packets import Packet
+from repro.experiments.workloads import uniform_random_placement
+
+
+def neighborhood_packets(net):
+    return [
+        Packet(
+            pid=v,
+            origin=v,
+            payload=sum(1 << int(u) for u in net.neighbors(v)),
+            size_bits=net.n,
+        )
+        for v in range(net.n)
+    ]
+
+
+def run_sweep():
+    rows = []
+    stats = {}
+    for side in [5, 7]:
+        net = grid(side, side)
+        # 1. learn the topology with the paper's algorithm (k = n)
+        learn = MultipleMessageBroadcast(net, seed=1).run(
+            neighborhood_packets(net)
+        )
+        assert learn.success
+
+        # 2. subsequent traffic, both ways
+        k = 6 * net.n
+        traffic = uniform_random_placement(net, k=k, seed=3)
+        adhoc = MultipleMessageBroadcast(net, seed=2).run(traffic)
+        colors = distance2_coloring(net)
+        tdma = tdma_flood_broadcast(net, traffic, colors=colors)
+        assert adhoc.success and tdma.complete
+
+        adhoc_per_pkt = adhoc.total_rounds / k
+        tdma_per_pkt = tdma.rounds / k
+        breakeven = learn.total_rounds / max(
+            adhoc_per_pkt - tdma_per_pkt, 1e-9
+        )
+        rows.append([
+            f"{side}x{side}", net.n, max(colors) + 1,
+            learn.total_rounds,
+            f"{adhoc_per_pkt:.1f}", f"{tdma_per_pkt:.1f}",
+            f"{adhoc_per_pkt / tdma_per_pkt:.1f}x",
+            f"{breakeven:.0f}",
+        ])
+        stats[side] = (adhoc_per_pkt, tdma_per_pkt)
+    return rows, stats
+
+
+def test_e18_topology_payoff(benchmark):
+    rows, stats = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e18_topology_payoff",
+        ["grid", "n", "χ (colors)", "learning cost (rounds)",
+         "ad-hoc rounds/pkt", "TDMA rounds/pkt", "speedup",
+         "break-even (pkts)"],
+        rows,
+        title="E18: topology learning with the paper's algorithm, then "
+              "centralized TDMA — the motivating application, closed",
+        notes="One multi-broadcast of the neighborhoods pays for itself "
+              "after a modest amount of subsequent traffic: known-topology "
+              "TDMA is ~an order of magnitude cheaper per packet.",
+    )
+    for side, (adhoc, tdma) in stats.items():
+        assert tdma < adhoc / 3  # the centralized payoff is large
+    # break-even is reachable (finite, and not absurd)
+    for row in rows:
+        assert float(row[-1]) < 10_000

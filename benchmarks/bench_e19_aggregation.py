@@ -1,0 +1,80 @@
+"""E19 — aggregation: convergecast vs full multi-broadcast.
+
+The paper lists "aggregating functions in sensor networks" among the
+applications of k-broadcast.  When only the *function value* is needed
+(min/max/sum of readings), a BFS convergecast computes it at the root in
+``O(D·Δ·log n·logΔ)`` rounds — no collection of all readings everywhere.
+This experiment measures both on the same fields:
+
+  - convergecast (root learns the aggregate), plus one BGI broadcast to
+    disseminate the single result to everyone;
+  - the full pipeline (everyone learns every reading via the paper's
+    algorithm, then computes the aggregate locally).
+
+Full broadcast is the right tool when nodes need the *data*;
+convergecast wins by a wide margin when they only need the *answer* —
+with the gap growing in ``n`` at fixed degree (``D·Δ·log n ≪ n``).
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro import MultipleMessageBroadcast, grid
+from repro.apps import aggregate_convergecast
+from repro.experiments.workloads import all_nodes_one_packet
+from repro.primitives.bgi_broadcast import bgi_broadcast, default_broadcast_epochs
+from repro.primitives.decay import decay_slots
+
+
+def run_case(net, seed):
+    parent = net.bfs_tree(0)
+    dist = net.bfs_distances(0).tolist()
+    rng = np.random.default_rng(seed)
+    values = [int(v) for v in rng.integers(0, 10_000, size=net.n)]
+
+    agg = aggregate_convergecast(
+        net, parent, dist, 0, values, min, np.random.default_rng(seed + 1)
+    )
+    # disseminate the single answer with one fixed-window BGI broadcast
+    answer_rounds = default_broadcast_epochs(net) * decay_slots(net.max_degree)
+    convergecast_total = agg.rounds + answer_rounds
+
+    full = MultipleMessageBroadcast(net, seed=seed + 2).run(
+        all_nodes_one_packet(net, seed=seed + 3)
+    )
+    return agg, convergecast_total, full
+
+
+def run_sweep():
+    rows = []
+    speedups = []
+    for side in [5, 7, 9]:
+        net = grid(side, side)
+        agg, convergecast_total, full = run_case(net, seed=11)
+        assert agg.complete and full.success
+        speedup = full.total_rounds / convergecast_total
+        speedups.append(speedup)
+        rows.append([
+            f"{side}x{side}", net.n, net.diameter,
+            convergecast_total, full.total_rounds,
+            f"{speedup:.1f}x",
+        ])
+    return rows, speedups
+
+
+def test_e19_aggregation(benchmark):
+    rows, speedups = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e19_aggregation",
+        ["grid", "n", "D", "convergecast+answer (rounds)",
+         "full k=n broadcast (rounds)", "speedup"],
+        rows,
+        title="E19: computing min of all readings everywhere — "
+              "convergecast + 1 broadcast vs full multi-broadcast",
+        notes="When only the aggregate is needed, convergecast is ~7x "
+              "cheaper at these scales (asymptotically D·Δ·log n·logΔ vs "
+              "Ω(n·logΔ) — the gap widens further once n outgrows the "
+              "broadcast's additive terms).",
+    )
+    # the aggregate-only tool wins decisively at every scale tested
+    assert all(s > 4.0 for s in speedups)

@@ -1,0 +1,58 @@
+"""E1 — Theorem 2 (headline): total time O(k·logΔ + (D+log n)·log n·logΔ).
+
+Sweeps k on a random geometric graph and a grid, measures total rounds of
+the full four-stage algorithm, and compares against the Theorem 2
+predictor evaluated at the same (n, D, Δ, k).  The shape holds if the
+measured/predicted ratio flattens as k grows (fixed-cost stages amortize
+out) and the fit's R² is high.
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro import MultipleMessageBroadcast, grid, random_geometric
+from repro.analysis.complexity import theorem2_total_bound
+from repro.analysis.fitting import fit_linear_predictor
+from repro.experiments.workloads import uniform_random_placement
+
+
+def run_sweep():
+    rows = []
+    measured, predicted = [], []
+    nets = [random_geometric(64, seed=9), grid(7, 7)]
+    for net in nets:
+        for k in [32, 128, 512]:
+            packets = uniform_random_placement(net, k=k, seed=13)
+            result = MultipleMessageBroadcast(net, seed=27).run(packets)
+            bound = theorem2_total_bound(
+                net.n, net.diameter, net.max_degree, k
+            )
+            rows.append([
+                net.name, net.n, net.diameter, net.max_degree, k,
+                result.total_rounds, bound, result.total_rounds / bound,
+                result.amortized_rounds_per_packet,
+                "yes" if result.success else "NO",
+            ])
+            measured.append(result.total_rounds)
+            predicted.append(bound)
+    return rows, measured, predicted
+
+
+def test_e1_theorem2_total_time(benchmark):
+    rows, measured, predicted = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    fit = fit_linear_predictor(measured, predicted)
+    emit_table(
+        "e1_theorem2_total_time",
+        ["network", "n", "D", "Δ", "k", "rounds", "T2 bound", "ratio",
+         "amortized", "ok"],
+        rows,
+        title="E1: total rounds vs Theorem 2 predictor "
+              "k·logΔ + (D+log n)·log n·logΔ",
+        notes=f"fit: measured ≈ {fit.coefficient:.1f} × predictor, "
+              f"R² = {fit.r_squared:.3f}, ratio spread = {fit.ratio_spread:.2f}",
+    )
+    assert all(row[-1] == "yes" for row in rows)
+    assert fit.r_squared > 0.9           # the bound explains the scaling
+    assert fit.ratio_spread < 6.0        # constants stay in one ballpark

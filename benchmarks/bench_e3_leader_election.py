@@ -1,0 +1,67 @@
+"""E3 — Fact 1: leader election, correctness w.h.p. and round cost.
+
+Sweeps network families; measures (a) election success rate over repeated
+seeds, (b) rounds vs the Fact 1 predictor (D + log n)·log n·logΔ.
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro.analysis.complexity import fact1_leader_election_bound
+from repro.analysis.fitting import fit_linear_predictor
+from repro.primitives.leader_election import elect_leader
+from repro.topology import grid, line, random_geometric, star
+
+
+def run_sweep():
+    rows = []
+    measured, predicted = [], []
+    cases = [
+        (line(16), [2, 7, 13]),
+        (line(48), [5, 30, 44]),
+        (grid(6, 6), list(range(0, 36, 5))),
+        (star(32), [1, 16, 31]),
+        (random_geometric(64, seed=4), [3, 21, 60]),
+    ]
+    trials = 12
+    for net, candidates in cases:
+        wins = 0
+        rounds = 0
+        for seed in range(trials):
+            r = elect_leader(net, candidates, np.random.default_rng(seed))
+            wins += r.elected_correctly
+            rounds = r.rounds  # fixed-length schedule: identical each seed
+        bound = fact1_leader_election_bound(net.n, net.diameter, net.max_degree)
+        rows.append([
+            net.name, net.n, net.diameter, net.max_degree,
+            len(candidates), rounds, bound, rounds / bound,
+            f"{wins}/{trials}",
+        ])
+        measured.append(rounds)
+        predicted.append(bound)
+    return rows, measured, predicted, trials
+
+
+def test_e3_leader_election(benchmark):
+    rows, measured, predicted, trials = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    fit = fit_linear_predictor(measured, predicted)
+    emit_table(
+        "e3_leader_election",
+        ["network", "n", "D", "Δ", "#cand", "rounds", "F1 bound", "ratio",
+         "correct"],
+        rows,
+        title="E3: leader election (Fact 1) — rounds vs "
+              "(D+log n)·log n·logΔ, success rate",
+        notes=f"fit: c = {fit.coefficient:.2f}, R² = {fit.r_squared:.3f}, "
+              f"ratio spread = {fit.ratio_spread:.2f}",
+    )
+    # w.h.p. correctness: at most one failure across each case's trials
+    for row in rows:
+        wins = int(row[-1].split("/")[0])
+        assert wins >= trials - 1
+    # shape check: the measured/predicted ratio stays in one ballpark
+    # across a 30x span of (D, n, Δ) — the primary flatness criterion.
+    assert fit.ratio_spread < 3.0
+    assert fit.r_squared > 0.7

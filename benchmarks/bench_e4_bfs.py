@@ -1,0 +1,68 @@
+"""E4 — Theorem 1: distributed BFS in O(D·log n·logΔ), correct w.h.p.
+
+Sweeps diameter (lines) and families (grid, tree, RGG); validates the
+constructed tree against ground truth and fits rounds to the predictor.
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro.analysis.complexity import theorem1_bfs_bound
+from repro.analysis.fitting import fit_linear_predictor
+from repro.primitives.bfs import build_distributed_bfs
+from repro.topology import (
+    balanced_tree,
+    grid,
+    line,
+    random_geometric,
+    validate_bfs_tree,
+)
+
+
+def run_sweep():
+    rows = []
+    measured, predicted = [], []
+    nets = [
+        line(10), line(30), line(60),
+        grid(6, 6), balanced_tree(3, 3), random_geometric(60, seed=2),
+    ]
+    trials = 10
+    for net in nets:
+        valid = 0
+        rounds = 0
+        for seed in range(trials):
+            r = build_distributed_bfs(net, 0, np.random.default_rng(seed))
+            rounds = r.rounds  # fixed schedule
+            if r.complete and validate_bfs_tree(
+                net, 0, r.parent, r.distance
+            ) == []:
+                valid += 1
+        bound = theorem1_bfs_bound(net.n, net.diameter, net.max_degree)
+        rows.append([
+            net.name, net.n, net.diameter, net.max_degree,
+            rounds, bound, rounds / bound, f"{valid}/{trials}",
+        ])
+        measured.append(rounds)
+        predicted.append(bound)
+    return rows, measured, predicted, trials
+
+
+def test_e4_bfs(benchmark):
+    rows, measured, predicted, trials = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    fit = fit_linear_predictor(measured, predicted)
+    emit_table(
+        "e4_bfs",
+        ["network", "n", "D", "Δ", "rounds", "T1 bound", "ratio", "valid"],
+        rows,
+        title="E4: distributed BFS (Theorem 1) — rounds vs D·log n·logΔ, "
+              "tree validity",
+        notes=f"fit: c = {fit.coefficient:.2f}, R² = {fit.r_squared:.3f}, "
+              f"ratio spread = {fit.ratio_spread:.2f}",
+    )
+    for row in rows:
+        valid = int(row[-1].split("/")[0])
+        assert valid >= trials - 1
+    assert fit.r_squared > 0.9
+    assert fit.ratio_spread < 5.0

@@ -1,0 +1,75 @@
+"""E5 — Lemma 4: GRAB(x) with x ≥ k collects everything w.h.p., in
+O(x + D·log x + log²n) rounds.
+
+Sweeps x (with k = x packets) on a tree, a caterpillar, and an RGG;
+checks full collection and fits the (deterministic) GRAB length to the
+Lemma 4 predictor.
+"""
+
+import numpy as np
+
+from _common import emit_table
+from repro.analysis.complexity import lemma4_grab_bound
+from repro.analysis.fitting import fit_linear_predictor
+from repro.coding.packets import make_packets
+from repro.core.collection import run_grab
+from repro.core.config import AlgorithmParameters
+from repro.topology import balanced_tree, caterpillar, random_geometric
+
+
+def run_case(net, k, seed):
+    parent = net.bfs_tree(0)
+    rng = np.random.default_rng(seed)
+    origins = rng.integers(1, net.n, size=k).tolist()
+    packets = make_packets(origins, size_bits=16, seed=seed)
+    unacked = {p.pid: p.origin for p in packets}
+    collected = set()
+    result = run_grab(
+        net, parent, 0, unacked, x=k,
+        params=AlgorithmParameters(), rng=rng,
+        depth_bound=net.diameter, already_collected=collected,
+    )
+    return result.rounds, len(collected) == k and not unacked
+
+
+def run_sweep():
+    rows = []
+    measured, predicted = [], []
+    trials = 6
+    for net in [balanced_tree(2, 4), caterpillar(12, 3),
+                random_geometric(50, seed=5)]:
+        for k in [16, 64, 256]:
+            ok = 0
+            rounds = 0
+            for seed in range(trials):
+                rounds, complete = run_case(net, k, seed)
+                ok += complete
+            bound = lemma4_grab_bound(net.n, net.diameter, k)
+            rows.append([
+                net.name, net.n, net.diameter, k,
+                rounds, bound, rounds / bound, f"{ok}/{trials}",
+            ])
+            measured.append(rounds)
+            predicted.append(bound)
+    return rows, measured, predicted, trials
+
+
+def test_e5_grab(benchmark):
+    rows, measured, predicted, trials = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    fit = fit_linear_predictor(measured, predicted)
+    emit_table(
+        "e5_grab",
+        ["network", "n", "D", "x=k", "rounds", "L4 bound", "ratio",
+         "all collected"],
+        rows,
+        title="E5: GRAB(x), x = k (Lemma 4) — full collection w.h.p., "
+              "rounds vs x + D·log x + log²n",
+        notes=f"fit: c = {fit.coefficient:.2f}, R² = {fit.r_squared:.3f}, "
+              f"ratio spread = {fit.ratio_spread:.2f}",
+    )
+    for row in rows:
+        ok = int(row[-1].split("/")[0])
+        assert ok >= trials - 1
+    assert fit.r_squared > 0.9

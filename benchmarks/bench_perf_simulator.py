@@ -1,0 +1,93 @@
+"""Simulator performance microbenchmarks (wall time, not rounds).
+
+Unlike the E/A experiments — which measure *rounds*, the model's cost
+unit — these time the simulator itself, so performance regressions in the
+hot paths (the collision resolver, Decay epochs, the RLNC decoder, a full
+small multi-broadcast) are caught by the benchmark history.
+"""
+
+import numpy as np
+
+from repro import MultipleMessageBroadcast
+from repro.coding.packets import make_packets
+from repro.coding.rlnc import GroupDecoder, SubsetXorEncoder
+from repro.experiments.workloads import uniform_random_placement
+from repro.primitives.bgi_broadcast import bgi_broadcast
+from repro.primitives.decay import run_decay_epoch
+from repro.topology import grid, random_geometric
+
+
+def test_perf_resolve_round_single_transmitter(benchmark):
+    net = grid(12, 12)
+
+    def run():
+        total = 0
+        for v in range(net.n):
+            total += len(net.resolve_round({v: "m"}))
+        return total
+
+    assert benchmark(run) == 2 * net.num_edges
+
+
+def test_perf_resolve_round_heavy_contention(benchmark):
+    net = random_geometric(150, seed=1)
+    rng = np.random.default_rng(0)
+    tx_sets = [
+        {int(v): "m" for v in rng.choice(net.n, size=40, replace=False)}
+        for _ in range(50)
+    ]
+
+    def run():
+        return sum(len(net.resolve_round(tx)) for tx in tx_sets)
+
+    benchmark(run)
+
+
+def test_perf_decay_epoch(benchmark):
+    net = random_geometric(100, seed=2)
+    participants = list(range(0, net.n, 2))
+    rng = np.random.default_rng(3)
+
+    def run():
+        return run_decay_epoch(net, participants, lambda v, s: v, rng)
+
+    benchmark(run)
+
+
+def test_perf_bgi_broadcast(benchmark):
+    net = grid(8, 8)
+
+    def run():
+        return bgi_broadcast(
+            net, [0], np.random.default_rng(4), epochs=40, stop_early=True
+        )
+
+    result = benchmark(run)
+    assert result.complete
+
+
+def test_perf_rlnc_decoder(benchmark):
+    packets = make_packets([0] * 10, size_bits=64, seed=5)
+    enc = SubsetXorEncoder(0, packets)
+    rng = np.random.default_rng(6)
+    stream = [enc.encode(rng) for _ in range(400)]
+
+    def run():
+        dec = GroupDecoder(0, 10)
+        for msg in stream:
+            dec.absorb(msg)
+        return dec
+
+    dec = benchmark(run)
+    assert dec.is_complete
+
+
+def test_perf_full_multibroadcast_small(benchmark):
+    net = grid(4, 4)
+    packets = uniform_random_placement(net, k=8, seed=7)
+
+    def run():
+        return MultipleMessageBroadcast(net, seed=8).run(packets)
+
+    result = benchmark(run)
+    assert result.success

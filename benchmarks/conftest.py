@@ -1,0 +1,13 @@
+"""Benchmark-suite configuration.
+
+The benchmarks measure *rounds* (the model's cost unit), not wall time;
+pytest-benchmark provides the runner/reporting machinery and wall time is
+reported as a by-product.  Every benchmark uses ``benchmark.pedantic`` with
+a single round so the (expensive) simulations run exactly once.
+"""
+
+import sys
+import os
+
+# allow `import _common` from files in this directory
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The headline comparison: coded pipeline vs uncoded gossip baselines.
+
+Reproduces the paper's claim at example scale: the algorithm's amortized
+cost per packet is O(log Δ), versus the BII-style uncoded gossip's
+O(log n · log Δ) — so the advantage grows with network size.  We fix a
+constant-degree family (2-D grids), grow n, load k >> fixed costs, and
+print the amortized rounds per packet for:
+
+  - the paper's algorithm (coded FORWARD),
+  - BII-style Decay gossip (uncoded random push),
+  - sequential per-packet BGI broadcast (the naive baseline).
+
+Run:  python examples/coding_vs_gossip.py       (~1 minute)
+"""
+
+import math
+
+from repro import (
+    MultipleMessageBroadcast,
+    decay_gossip_broadcast,
+    grid,
+    make_rng,
+    sequential_bgi_broadcast,
+    uniform_random_placement,
+)
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    rows = []
+    for side in [4, 6, 8]:
+        network = grid(side, side)
+        k = 12 * network.n  # deep in the amortized regime
+        packets = uniform_random_placement(network, k=k, seed=3)
+
+        ours = MultipleMessageBroadcast(network, seed=1).run(packets)
+        gossip = decay_gossip_broadcast(network, packets, make_rng(1))
+        # sequential BGI is so slow that a prefix of packets suffices to
+        # measure its (exactly linear) amortized cost
+        prefix = packets[: min(20, k)]
+        seq = sequential_bgi_broadcast(network, prefix, make_rng(1))
+
+        rows.append([
+            f"{side}x{side}",
+            network.n,
+            math.log2(network.n),
+            k,
+            ours.amortized_rounds_per_packet,
+            gossip.amortized_rounds_per_packet,
+            seq.amortized_rounds_per_packet,
+            gossip.amortized_rounds_per_packet
+            / ours.amortized_rounds_per_packet,
+            "yes" if (ours.success and gossip.complete) else "NO",
+        ])
+
+    print(render_table(
+        ["grid", "n", "log2 n", "k", "ours/pkt", "gossip/pkt",
+         "seq-BGI/pkt", "gossip/ours", "all ok"],
+        rows,
+        title="Amortized rounds per packet (Δ = 4 fixed; k = 12n)",
+    ))
+    print(
+        "\nReading: 'ours/pkt' stays roughly flat as n grows (O(log Δ), Δ "
+        "fixed),\nwhile 'gossip/pkt' grows with log n — so the ratio "
+        "'gossip/ours' widens,\nwhich is precisely the paper's improvement "
+        "over Bar-Yehuda-Israeli-Itai."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Dynamic packet streams: the paper's open problem, via batching.
+
+The paper's conclusions pose the dynamic setting ("packets appear at
+nodes dynamically") as an open direction.  This example runs the natural
+batched adaptation — queue arrivals, broadcast each queue with the static
+algorithm — under three Poisson loads relative to the measured capacity,
+and shows the stability picture: bounded latency below capacity, growing
+queues above it.
+
+Run:  python examples/dynamic_stream.py          (~1 minute)
+"""
+
+from repro import MultipleMessageBroadcast, grid, uniform_random_placement
+from repro.dynamic import BatchedDynamicBroadcast, poisson_arrivals
+from repro.experiments.report import render_table
+
+
+def main() -> None:
+    network = grid(5, 5)
+    print(f"Network: {network.name} — n={network.n}, D={network.diameter}, "
+          f"Δ={network.max_degree}")
+
+    # Measure the static algorithm's asymptotic per-packet cost = capacity.
+    probe = uniform_random_placement(network, k=400, seed=3)
+    static = MultipleMessageBroadcast(network, seed=5).run(probe)
+    assert static.success
+    per_packet = static.amortized_rounds_per_packet
+    capacity = 1.0 / per_packet
+    print(f"Measured capacity: one packet per {per_packet:.0f} rounds "
+          f"(amortized, large batches)\n")
+
+    rows = []
+    for load in [0.4, 0.8, 1.4]:
+        rate = load * capacity
+        arrivals = poisson_arrivals(network, rate=rate, horizon=400_000, seed=11)
+        result = BatchedDynamicBroadcast(network, seed=13).run(arrivals)
+        rows.append([
+            f"{load:.1f}", len(arrivals), result.num_batches,
+            f"{result.mean_batch_size:.1f}",
+            f"{result.mean_latency:.0f}", result.max_latency,
+            result.delivered,
+        ])
+
+    print(render_table(
+        ["load ρ", "arrivals", "batches", "mean batch",
+         "mean latency", "max latency", "delivered"],
+        rows,
+        title="Batched dynamic broadcast under Poisson arrivals",
+    ))
+    print(
+        "\nReading: below capacity (ρ < 1) batches and latency stay "
+        "bounded;\nabove capacity the queue — and with it the latency — "
+        "grows with the horizon."
+    )
+
+
+if __name__ == "__main__":
+    main()

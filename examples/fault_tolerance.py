@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Fault tolerance: what happens when the channel also erases messages.
+
+The paper's model loses messages only to collisions; real radios also
+drop receptions (fading, checksum failures).  This example injects iid
+reception erasures and shows:
+
+1. stages 1-3 (acknowledged retries + redundancy budgets) and the coded
+   FORWARD absorb mild losses;
+2. the single unprotected piece of the design is the root's one-shot
+   plain transmission of each group;
+3. repeating those transmissions in the otherwise-idle slots of the same
+   fixed-length phase — zero additional rounds — fully hardens it.
+
+Run:  python examples/fault_tolerance.py        (~30 s)
+"""
+
+from repro import AlgorithmParameters, MultipleMessageBroadcast, grid
+from repro.experiments.report import render_table
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.faults import FaultyRadioNetwork
+
+
+def score(base, packets, params, erasure, trials=4):
+    wins, informed = 0, 0.0
+    for seed in range(trials):
+        network = FaultyRadioNetwork(base, erasure_prob=erasure, seed=seed)
+        result = MultipleMessageBroadcast(
+            network, params=params, seed=seed
+        ).run(packets)
+        wins += result.success
+        informed += result.informed_fraction
+    return f"{wins}/{trials}", f"{informed / trials:.3f}"
+
+
+def main() -> None:
+    base = grid(4, 4)
+    packets = uniform_random_placement(base, k=8, seed=1)
+    print(f"Network: {base.name}, k={len(packets)}; paper budgets\n")
+
+    faithful = AlgorithmParameters.paper()
+    hardened = faithful.with_overrides(root_plain_repetitions=8)
+
+    rows = []
+    for erasure in [0.0, 0.05, 0.10]:
+        for label, params in [("paper-faithful", faithful),
+                              ("hardened root link", hardened)]:
+            wins, informed = score(base, packets, params, erasure)
+            rows.append([f"{erasure:.0%}", label, wins, informed])
+
+    print(render_table(
+        ["erasure rate", "configuration", "success", "mean informed"],
+        rows,
+        title="End-to-end success under reception erasures",
+    ))
+    print(
+        "\nReading: with the paper-faithful configuration, a few percent "
+        "of erasures\nbreak dissemination — each plain packet crosses the "
+        "root link exactly once,\nso one erased reception dooms a whole "
+        "subtree for that group.  Repeating\nthe root's transmissions in "
+        "idle slots (root_plain_repetitions=8) costs\nzero extra rounds "
+        "and restores full success; every other stage already\ncarries "
+        "enough redundancy (retries, acknowledgments, rateless coding)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""SINR portability: the paper's open question, answered at example scale.
+
+The conclusions ask whether the randomization + coding approach carries
+over to other wireless models "such that geometric graphs ... or SINR".
+This example runs the *unchanged* algorithm on one random deployment under
+both physics:
+
+  - the paper's graph collision model (interference = neighbors only),
+  - the physical SINR model (interference is global).
+
+and shows what breaks and what fixes it: the spacing-3 pipelining relies
+on interference being local to BFS layers, which SINR violates —
+serializing the groups (spacing = D) plus conservative budgets restores
+full success.
+
+Run:  python examples/sinr_portability.py
+"""
+
+from repro import AlgorithmParameters, MultipleMessageBroadcast
+from repro.experiments.report import render_table
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.sinr import SinrRadioNetwork
+from repro.topology import random_geometric
+
+
+def score(network, packets, params, trials=4):
+    wins, informed = 0, 0.0
+    for seed in range(trials):
+        result = MultipleMessageBroadcast(
+            network, params=params, seed=seed
+        ).run(packets)
+        wins += result.success
+        informed += result.informed_fraction
+    return f"{wins}/{trials}", f"{informed / trials:.3f}"
+
+
+def main() -> None:
+    sinr_net = SinrRadioNetwork.random_deployment(40, seed=3)
+    graph_net = random_geometric(40, radius=sinr_net.solo_range, seed=3)
+    print(f"Deployment: n={sinr_net.n}, solo range {sinr_net.solo_range:.3f}, "
+          f"D={sinr_net.diameter}, Δ={sinr_net.max_degree} "
+          f"(α={sinr_net.alpha}, β={sinr_net.beta})")
+
+    packets = uniform_random_placement(sinr_net, k=10, seed=1)
+    configs = [
+        ("pipelined (paper default)", AlgorithmParameters()),
+        ("serialized + paper budgets",
+         AlgorithmParameters.paper().with_overrides(
+             group_spacing=sinr_net.diameter)),
+    ]
+
+    rows = []
+    for model_name, network in [("graph", graph_net), ("SINR", sinr_net)]:
+        for config_name, params in configs:
+            wins, informed = score(network, packets, params)
+            rows.append([model_name, config_name, wins, informed])
+
+    print(render_table(
+        ["physics", "configuration", "success", "mean informed"],
+        rows,
+        title="\nThe unchanged algorithm under graph vs SINR physics",
+    ))
+    print(
+        "\nReading: under the graph model both configurations succeed.  "
+        "Under SINR,\nthe pipelined configuration loses packets — far "
+        "transmitters interfere with\nthe root's plain slots, which the "
+        "graph model's locality argument excludes —\nwhile serialized "
+        "groups with conservative budgets fully recover.  The\napproach "
+        "ports; the pipelining constant does not."
+    )
+
+
+if __name__ == "__main__":
+    main()

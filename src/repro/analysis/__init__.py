@@ -1,0 +1,103 @@
+"""Analytical companions to the paper's proofs.
+
+- :mod:`repro.analysis.chernoff` — Lemmas 1 and 2 (Chernoff-type tail
+  bounds) as executable calculators plus Monte-Carlo estimators used to
+  validate them empirically (experiment E10).
+- :mod:`repro.analysis.rank_bounds` — Lemma 3 (full rank of a random
+  binary matrix): the sufficient row count, the *exact* full-rank
+  probability formula, and Monte-Carlo estimation (experiment E9).
+- :mod:`repro.analysis.complexity` — the paper's round-count predictors
+  (Theorems 1-2, Fact 1, Lemmas 4-7) used to check measured *shapes*.
+- :mod:`repro.analysis.fitting` — least-squares fits of measurements to
+  predictors, with R², for the EXPERIMENTS.md tables.
+"""
+
+from repro.analysis.chernoff import (
+    lemma1_round_budget,
+    lemma1_tail_bound,
+    lemma2_threshold,
+    monte_carlo_bernoulli_tail,
+    monte_carlo_geometric_tail,
+)
+from repro.analysis.contention import (
+    epoch_success_curve,
+    epoch_success_probability,
+    epochs_for_target,
+    slot_success_probability,
+    worst_case_epoch_success,
+)
+from repro.analysis.complexity import (
+    bii_total_bound,
+    fact1_leader_election_bound,
+    lemma4_grab_bound,
+    lemma5_collection_bound,
+    lemma6_forward_receptions,
+    lemma7_dissemination_bound,
+    theorem1_bfs_bound,
+    theorem2_total_bound,
+)
+from repro.analysis.fitting import FitResult, fit_linear_predictor, fit_ratio
+from repro.analysis.lower_bounds import (
+    deterministic_k_broadcast_lower_bound,
+    oblivious_schedule_lower_bound,
+    optimality_gap,
+    randomized_k_broadcast_lower_bound,
+    randomized_single_broadcast_lower_bound,
+)
+from repro.analysis.planner import (
+    bgi_epoch_budget,
+    epochs_to_receive_whp,
+    plan_parameters,
+)
+from repro.analysis.overhead import (
+    AirtimeReport,
+    airtime_report,
+    coded_message_bits,
+    coding_overhead_ratio,
+    plain_message_bits,
+)
+from repro.analysis.rank_bounds import (
+    exact_full_rank_probability,
+    lemma3_required_rows,
+    monte_carlo_full_rank_probability,
+)
+
+__all__ = [
+    "AirtimeReport",
+    "FitResult",
+    "airtime_report",
+    "bgi_epoch_budget",
+    "bii_total_bound",
+    "coded_message_bits",
+    "coding_overhead_ratio",
+    "deterministic_k_broadcast_lower_bound",
+    "epoch_success_curve",
+    "epoch_success_probability",
+    "epochs_for_target",
+    "epochs_to_receive_whp",
+    "exact_full_rank_probability",
+    "fact1_leader_election_bound",
+    "fit_linear_predictor",
+    "fit_ratio",
+    "lemma1_round_budget",
+    "lemma1_tail_bound",
+    "lemma2_threshold",
+    "lemma3_required_rows",
+    "lemma4_grab_bound",
+    "lemma5_collection_bound",
+    "lemma6_forward_receptions",
+    "lemma7_dissemination_bound",
+    "monte_carlo_bernoulli_tail",
+    "monte_carlo_full_rank_probability",
+    "monte_carlo_geometric_tail",
+    "oblivious_schedule_lower_bound",
+    "optimality_gap",
+    "plain_message_bits",
+    "plan_parameters",
+    "randomized_k_broadcast_lower_bound",
+    "randomized_single_broadcast_lower_bound",
+    "slot_success_probability",
+    "theorem1_bfs_bound",
+    "theorem2_total_bound",
+    "worst_case_epoch_success",
+]

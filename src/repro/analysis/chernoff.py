@@ -1,0 +1,96 @@
+"""Lemmas 1 and 2: Chernoff-type tail bounds, executable.
+
+Lemma 1 (Bernoulli sums): with ``r = ⌊(3d + 2τ)/p⌋`` independent trials of
+success probability ``p``, the probability of fewer than ``d`` successes is
+at most ``e^{-τ}``.
+
+Lemma 2 (geometric sums): for independent geometrics ``X_i`` with
+parameters ``p_i``, ``Pr(ΣX_i ≥ 2μ + 4·ln(1/ε)/p_min) ≤ ε`` where
+``μ = Σ 1/p_i``.
+
+Both are exposed as calculators (budget/threshold for a target failure
+probability) and validated by Monte-Carlo estimators in experiment E10.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.rng import SeedLike, make_rng
+
+
+def lemma1_round_budget(p: float, d: float, tau: float) -> int:
+    """Lemma 1's trial count ``r = ⌊(3d + 2τ)/p⌋``.
+
+    With this many independent Bernoulli(p) trials, fewer than ``d``
+    successes occur with probability at most ``e^{-tau}``.
+    """
+    if not 0 < p <= 1:
+        raise ValueError("p must be in (0, 1]")
+    if d < 1:
+        raise ValueError("Lemma 1 requires d >= 1")
+    if tau < 0:
+        raise ValueError("tau must be non-negative")
+    return int((3 * d + 2 * tau) / p)
+
+
+def lemma1_tail_bound(tau: float) -> float:
+    """The failure probability Lemma 1 guarantees: ``e^{-tau}``."""
+    return math.exp(-tau)
+
+
+def lemma2_threshold(parameters: Sequence[float], eps: float) -> float:
+    """Lemma 2's deviation threshold ``2μ + 4·ln(1/ε)/p_min``.
+
+    ``Pr(Σ X_i ≥ threshold) ≤ eps`` for independent geometric ``X_i``.
+    """
+    if not parameters:
+        raise ValueError("need at least one geometric parameter")
+    if any(not 0 < p <= 1 for p in parameters):
+        raise ValueError("geometric parameters must be in (0, 1]")
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    mu = sum(1.0 / p for p in parameters)
+    p_min = min(parameters)
+    return 2 * mu + 4 * math.log(1 / eps) / p_min
+
+
+def monte_carlo_bernoulli_tail(
+    p: float,
+    d: float,
+    tau: float,
+    trials: int = 10000,
+    seed: SeedLike = None,
+) -> Tuple[float, float]:
+    """Estimate ``Pr(Binomial(r, p) < d)`` for Lemma 1's ``r``.
+
+    Returns ``(empirical_probability, lemma_bound)``; validity means
+    empirical ≤ bound (up to MC noise).
+    """
+    rng = make_rng(seed)
+    r = lemma1_round_budget(p, d, tau)
+    successes = rng.binomial(r, p, size=trials)
+    empirical = float(np.mean(successes < d))
+    return empirical, lemma1_tail_bound(tau)
+
+
+def monte_carlo_geometric_tail(
+    parameters: Sequence[float],
+    eps: float,
+    trials: int = 10000,
+    seed: SeedLike = None,
+) -> Tuple[float, float]:
+    """Estimate ``Pr(Σ X_i ≥ threshold)`` for Lemma 2's threshold.
+
+    Returns ``(empirical_probability, eps)``.
+    """
+    rng = make_rng(seed)
+    threshold = lemma2_threshold(parameters, eps)
+    total = np.zeros(trials)
+    for p in parameters:
+        total += rng.geometric(p, size=trials)
+    empirical = float(np.mean(total >= threshold))
+    return empirical, eps

@@ -1,0 +1,77 @@
+"""The paper's round-count predictors, as explicit functions of (n, D, Δ, k).
+
+These are the asymptotic expressions with all constants set to 1; the
+experiments divide measured round counts by these predictors and check the
+ratio is roughly flat across a sweep (the bound *shape* holds).  ``log``
+means ``log2`` clamped at 1 throughout, matching
+:func:`repro.core.config.log2n`.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import log2n
+
+
+def _log_delta(delta: int) -> float:
+    return max(1.0, log2n(max(delta, 2)))
+
+
+def fact1_leader_election_bound(n: int, diameter: int, delta: int) -> float:
+    """Fact 1: leader election in ``O((D + log n)·log n·logΔ)``."""
+    ln = log2n(n)
+    return (diameter + ln) * ln * _log_delta(delta)
+
+
+def theorem1_bfs_bound(n: int, diameter: int, delta: int) -> float:
+    """Theorem 1: distributed BFS in ``O(D·log n·logΔ)``."""
+    return diameter * log2n(n) * _log_delta(delta)
+
+
+def lemma4_grab_bound(n: int, diameter: int, x: int) -> float:
+    """Lemma 4: GRAB(x) runs in ``O(x + D·log x + log²n)``."""
+    ln = log2n(n)
+    return x + diameter * max(1.0, log2n(max(x, 2))) + ln * ln
+
+
+def lemma5_collection_bound(n: int, diameter: int, k: int) -> float:
+    """Lemma 5: Stage 3 in ``O(k + (D + log n)·log n)``."""
+    ln = log2n(n)
+    return k + (diameter + ln) * ln
+
+
+def lemma6_forward_receptions(n: int, group_size: int) -> float:
+    """Lemma 6 regime: ``O(log n)`` receptions suffice to decode a group
+    of ``≤ ⌈log n⌉`` packets (via Lemma 3)."""
+    return max(group_size + 2.0, log2n(n))
+
+
+def lemma7_dissemination_bound(n: int, diameter: int, delta: int, k: int) -> float:
+    """Lemma 7: Stage 4 in ``O(D·log n·logΔ + k·logΔ)``."""
+    ln = log2n(n)
+    ld = _log_delta(delta)
+    return diameter * ln * ld + k * ld
+
+
+def theorem2_total_bound(n: int, diameter: int, delta: int, k: int) -> float:
+    """Theorem 2: total ``O(k·logΔ + (D + log n)·log n·logΔ)``."""
+    ln = log2n(n)
+    ld = _log_delta(delta)
+    return k * ld + (diameter + ln) * ln * ld
+
+
+def theorem2_amortized_bound(delta: int) -> float:
+    """The headline amortized cost per packet: ``O(logΔ)``."""
+    return _log_delta(delta)
+
+
+def bii_total_bound(n: int, diameter: int, delta: int, k: int) -> float:
+    """The BII 1993 bound the paper improves on:
+    ``O(k·log n·logΔ + (D + n/log n)·log n·logΔ)``."""
+    ln = log2n(n)
+    ld = _log_delta(delta)
+    return k * ln * ld + (diameter + n / ln) * ln * ld
+
+
+def bii_amortized_bound(n: int, delta: int) -> float:
+    """BII's amortized cost per packet: ``O(log n·logΔ)``."""
+    return log2n(n) * _log_delta(delta)

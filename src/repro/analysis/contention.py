@@ -1,0 +1,80 @@
+"""Exact contention analysis of the Decay schedule.
+
+For the paper's ("independent") Decay variant, per-slot transmission
+events are independent across nodes and slots, so the probability that a
+receiver with ``t`` contending neighbors hears a message admits closed
+forms:
+
+- slot ``s`` (probability ``p_s = 2^-(s+1)``) succeeds with probability
+  ``t · p_s · (1 - p_s)^(t-1)``;
+- an epoch of ``S`` slots succeeds with probability
+  ``1 - Π_s (1 - t·p_s·(1-p_s)^(t-1))``.
+
+These exact curves complement the analytic ``1/(2e)`` lower bound and
+the Monte-Carlo measurements of experiment E12, and let budget planners
+(`AlgorithmParameters`) be audited against exact reception rates instead
+of bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.primitives.decay import decay_slots, transmission_probabilities
+
+
+def slot_success_probability(contenders: int, p: float) -> float:
+    """Probability exactly one of ``contenders`` iid Bernoulli(p)
+    transmitters fires: ``t·p·(1-p)^(t-1)``."""
+    if contenders < 0:
+        raise ValueError("contenders must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    if contenders == 0:
+        return 0.0
+    return contenders * p * (1.0 - p) ** (contenders - 1)
+
+
+def epoch_success_probability(
+    contenders: int, num_slots: int
+) -> float:
+    """Exact probability that an independent-variant Decay epoch of
+    ``num_slots`` slots delivers to a receiver with ``contenders``
+    transmitting neighbors."""
+    if num_slots < 1:
+        raise ValueError("num_slots must be >= 1")
+    failure = 1.0
+    for p in transmission_probabilities(num_slots):
+        failure *= 1.0 - slot_success_probability(contenders, p)
+    return 1.0 - failure
+
+
+def epoch_success_curve(max_degree: int) -> List[float]:
+    """Per-epoch success probability for every contender count
+    ``1..max_degree`` at the standard slot count for that Δ."""
+    slots = decay_slots(max_degree)
+    return [
+        epoch_success_probability(t, slots) for t in range(1, max_degree + 1)
+    ]
+
+
+def worst_case_epoch_success(max_degree: int) -> float:
+    """The minimum per-epoch success probability over 1..Δ contenders —
+    the constant that actually enters every budget in the library."""
+    return min(epoch_success_curve(max_degree))
+
+
+def epochs_for_target(
+    contenders: int, num_slots: int, target: float
+) -> int:
+    """Epochs needed so the reception probability reaches ``target``
+    under the exact per-epoch success rate: ``⌈log(1-target)/log(1-q)⌉``."""
+    if not 0.0 < target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    q = epoch_success_probability(contenders, num_slots)
+    if q >= 1.0:
+        return 1
+    if q <= 0.0:
+        raise ValueError("zero per-epoch success; no budget suffices")
+    return math.ceil(math.log(1.0 - target) / math.log(1.0 - q))

@@ -1,0 +1,71 @@
+"""Least-squares fits of measured round counts against the paper's predictors.
+
+The reproduction cannot match the authors' absolute constants (there are
+none — the bounds are asymptotic), so experiments check *shape*: measured
+≈ c · predictor for a stable constant ``c``.  :func:`fit_linear_predictor`
+estimates ``c`` and R²; :func:`fit_ratio` reports the per-point ratios and
+their spread (a flat ratio ⇒ the shape holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Outcome of a one-parameter linear fit ``measured ≈ c · predictor``.
+
+    Attributes
+    ----------
+    coefficient:
+        The fitted constant ``c``.
+    r_squared:
+        Goodness of fit of ``c · predictor`` to the measurements
+        (1 = perfect shape match).
+    ratios:
+        Per-point ``measured / predictor`` values.
+    ratio_spread:
+        ``max(ratios) / min(ratios)`` — the flatness criterion; a perfect
+        shape match across the sweep gives 1.
+    """
+
+    coefficient: float
+    r_squared: float
+    ratios: List[float]
+    ratio_spread: float
+
+
+def fit_linear_predictor(
+    measured: Sequence[float], predicted: Sequence[float]
+) -> FitResult:
+    """Fit ``measured ≈ c · predicted`` through the origin."""
+    y = np.asarray(measured, dtype=float)
+    x = np.asarray(predicted, dtype=float)
+    if y.shape != x.shape or y.ndim != 1 or len(y) == 0:
+        raise ValueError("measured and predicted must be equal-length 1-D")
+    if (x <= 0).any():
+        raise ValueError("predictor values must be positive")
+
+    c = float(np.dot(x, y) / np.dot(x, x))
+    residuals = y - c * x
+    ss_res = float(np.dot(residuals, residuals))
+    ss_tot = float(np.dot(y - y.mean(), y - y.mean()))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+
+    ratios = (y / x).tolist()
+    spread = max(ratios) / min(ratios) if min(ratios) > 0 else float("inf")
+    return FitResult(
+        coefficient=c,
+        r_squared=r_squared,
+        ratios=ratios,
+        ratio_spread=spread,
+    )
+
+
+def fit_ratio(measured: Sequence[float], predicted: Sequence[float]) -> List[float]:
+    """Just the per-point ``measured / predicted`` ratios."""
+    return [m / p for m, p in zip(measured, predicted)]

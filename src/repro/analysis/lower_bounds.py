@@ -1,0 +1,60 @@
+"""Lower bounds cited by the paper, as executable formulas.
+
+The paper situates its upper bound against the known lower bounds for
+multiple-message broadcast:
+
+- randomized: ``Ω(k + log(n/D))`` in expectation [Chlebus-Kowalski-Radzik
+  2009; Kushilevitz-Mansour 1998],
+- single-message randomized: ``Ω(D·log(n/D))`` [Kushilevitz-Mansour],
+- deterministic: ``Ω(k + n·log n)``,
+- schedule length for k = n without looking into packets:
+  ``Ω(n·log n)`` [Gasieniec-Potapov 2002].
+
+These make the "gap to optimality" computable: experiments can report how
+far the measured round counts sit above the strongest applicable lower
+bound (the gap the paper leaves open is a ``logΔ`` factor on the ``k``
+term plus polylog additive terms).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import log2n
+
+
+def randomized_k_broadcast_lower_bound(n: int, diameter: int, k: int) -> float:
+    """``Ω(k + log(n/D))`` — every packet costs a round at some receiver,
+    plus the single-broadcast randomized lower bound's additive term."""
+    ratio = max(2.0, n / max(diameter, 1))
+    return k + math.log2(ratio)
+
+
+def randomized_single_broadcast_lower_bound(n: int, diameter: int) -> float:
+    """Kushilevitz-Mansour: ``Ω(D·log(n/D))`` for broadcasting one message."""
+    ratio = max(2.0, n / max(diameter, 1))
+    return diameter * math.log2(ratio)
+
+
+def deterministic_k_broadcast_lower_bound(n: int, k: int) -> float:
+    """``Ω(k + n·log n)`` for deterministic algorithms."""
+    return k + n * log2n(n)
+
+
+def oblivious_schedule_lower_bound(n: int) -> float:
+    """Gasieniec-Potapov: ``Ω(n·log n)`` schedule length for k = n when
+    nodes cannot inspect packet contents."""
+    return n * log2n(n)
+
+
+def optimality_gap(
+    measured_rounds: float, n: int, diameter: int, k: int
+) -> float:
+    """Measured rounds divided by the randomized lower bound — the
+    constant-and-polylog factor the algorithm leaves on the table.
+
+    For the paper's algorithm at large ``k`` this should be ``Θ(logΔ)``
+    times an implementation constant.
+    """
+    bound = randomized_k_broadcast_lower_bound(n, diameter, k)
+    return measured_rounds / bound

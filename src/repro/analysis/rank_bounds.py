@@ -1,0 +1,70 @@
+"""Lemma 3: rank of a random binary matrix.
+
+Lemma 3 states that an ``l × w`` matrix of iid fair bits has full (column)
+rank with probability at least ``1 - ε`` whenever
+``l ≥ 2(w + 2) + 8·ln(1/ε)``.
+
+Besides the sufficient row count, this module provides the *exact*
+full-column-rank probability (a classical product formula), so experiment
+E9 can compare three curves: Lemma 3's requirement, the exact probability,
+and a Monte-Carlo estimate from the library's own GF(2) rank routine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.coding.gf2 import gf2_rank_dense, random_binary_matrix
+from repro.radio.rng import SeedLike, make_rng
+
+
+def lemma3_required_rows(w: int, eps: float) -> int:
+    """The sufficient row count ``⌈2(w+2) + 8·ln(1/ε)⌉`` from Lemma 3."""
+    if w < 1:
+        raise ValueError("w must be positive")
+    if not 0 < eps < 1:
+        raise ValueError("eps must be in (0, 1)")
+    return math.ceil(2 * (w + 2) + 8 * math.log(1 / eps))
+
+
+def exact_full_rank_probability(rows: int, cols: int) -> float:
+    """Exact probability that an ``l × w`` iid fair-bit matrix has full
+    column rank (``rank = w``), for ``l ≥ w``; 0 when ``l < w``.
+
+    Classical formula: ``Π_{i=0}^{w-1} (1 - 2^{i-l})``.
+    """
+    if cols < 1 or rows < 0:
+        raise ValueError("rows/cols out of range")
+    if rows < cols:
+        return 0.0
+    prob = 1.0
+    for i in range(cols):
+        prob *= 1.0 - 2.0 ** (i - rows)
+    return prob
+
+
+def monte_carlo_full_rank_probability(
+    rows: int,
+    cols: int,
+    trials: int = 2000,
+    seed: SeedLike = None,
+) -> float:
+    """Monte-Carlo estimate of the full-column-rank probability, computed
+    with the library's own GF(2) elimination (so it also exercises
+    :func:`repro.coding.gf2.gf2_rank_dense`)."""
+    rng = make_rng(seed)
+    full = 0
+    for _ in range(trials):
+        m = random_binary_matrix(rows, cols, seed=rng)
+        if gf2_rank_dense(m) == cols:
+            full += 1
+    return full / trials
+
+
+def expected_rows_until_full_rank(cols: int) -> float:
+    """Expected number of iid random rows needed to reach full rank:
+    ``Σ_{i=0}^{w-1} 1/(1 - 2^{i-w})`` — at most ``w + 2`` (used in the
+    paper's proof of Lemma 3)."""
+    return sum(1.0 / (1.0 - 2.0 ** (i - cols)) for i in range(cols))

@@ -1,0 +1,35 @@
+"""Applications built on the library's primitives.
+
+The paper motivates multi-broadcast with routing-table updates, topology
+learning, and "aggregating functions in sensor networks".  The examples
+directory demonstrates the first two end to end; this package implements
+the third as a reusable primitive:
+
+- :mod:`repro.apps.aggregation` — convergecast: computing an associative
+  aggregate (min / max / sum / …) *at the root* in
+  ``O(D·Δ·log n·logΔ)`` rounds, instead of broadcasting all ``n``
+  values everywhere (experiment E19);
+- :mod:`repro.apps.topology_learning` — every node learns the full graph
+  via one k = n multi-broadcast and can then run centralized algorithms
+  such as the TDMA schedule (experiment E18).
+"""
+
+from repro.apps.aggregation import (
+    AggregationResult,
+    aggregate_convergecast,
+)
+from repro.apps.topology_learning import (
+    TopologyLearningResult,
+    decode_topology,
+    encode_neighborhood,
+    learn_topology,
+)
+
+__all__ = [
+    "AggregationResult",
+    "TopologyLearningResult",
+    "aggregate_convergecast",
+    "decode_topology",
+    "encode_neighborhood",
+    "learn_topology",
+]

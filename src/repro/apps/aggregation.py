@@ -1,0 +1,166 @@
+"""Convergecast aggregation up a BFS tree.
+
+Computes ``combine(values)`` at the root for an associative, commutative
+``combine``, using the BFS labeling from Stage 2: phases run from the
+deepest layer up to layer 1; in layer ``d``'s phase, every layer-``d``
+node repeatedly transmits its **partial aggregate** (its own value
+combined with all heard children), tagged with its id, via Decay; its
+parent records each child's partial once (exactly-once per child, so
+non-idempotent aggregates like ``sum`` are safe).
+
+Cost: ``D`` phases of ``O(Δ·log n)`` Decay epochs —
+``O(D·Δ·log n·logΔ)`` rounds.  The ``Δ·log n`` factor is the
+specific-sender price (a parent must hear *each* child, not just
+someone); it is the same serialization the abstract MAC layer pays for
+its ack windows.  Compare with learning the full value set by k = n
+multi-broadcast at ``O(n·logΔ + …)`` rounds: aggregation wins whenever
+only the function's value is needed and ``D·Δ·log n ≪ n``
+(experiment E19).
+
+Failures are honest: a child never heard is *excluded* and reported, not
+silently guessed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.primitives.decay import decay_slots, run_decay_epoch
+from repro.radio.errors import ProtocolError
+from repro.radio.network import RadioNetwork
+from repro.radio.trace import RoundTrace
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of one convergecast.
+
+    ``value`` is the aggregate over ``included`` nodes' values; a
+    complete run has ``included == n`` and ``missing == []``.
+    """
+
+    rounds: int
+    value: object
+    included: int
+    missing: List[int]
+    phases: int
+    epochs_per_phase: int
+
+    @property
+    def complete(self) -> bool:
+        return not self.missing
+
+
+def default_convergecast_epochs(network: RadioNetwork, factor: float = 2.0) -> int:
+    """Epochs per layer phase: ``factor · Δ · log2 n``.
+
+    A parent must hear each *specific* child; a given child among ``t``
+    contenders succeeds per epoch with probability only ``Θ(1/t)`` (the
+    same serialization price as the abstract MAC layer's ack window), so
+    ``Θ(Δ·log n)`` epochs make all ≤ Δ children heard w.h.p."""
+    n = max(network.n, 2)
+    return max(1, math.ceil(factor * network.max_degree * math.log2(n)))
+
+
+def aggregate_convergecast(
+    network: RadioNetwork,
+    parent: Sequence[int],
+    distance: Sequence[int],
+    root: int,
+    values: Sequence[object],
+    combine: Callable[[object, object], object],
+    rng: np.random.Generator,
+    epochs_per_phase: Optional[int] = None,
+    trace: Optional[RoundTrace] = None,
+) -> AggregationResult:
+    """Aggregate ``values`` at ``root`` along the BFS tree.
+
+    Parameters
+    ----------
+    parent / distance:
+        The Stage-2 BFS labeling (``parent[root] == -1``; all distances
+        set).
+    values:
+        One value per node (``values[v]`` is node ``v``'s input).
+    combine:
+        Associative + commutative binary operator (min, max, +, …).
+        Each node's value enters the aggregate exactly once.
+    epochs_per_phase:
+        Decay epochs per layer phase; defaults to
+        :func:`default_convergecast_epochs`.
+    """
+    n = network.n
+    if len(values) != n:
+        raise ProtocolError("need exactly one value per node")
+    if distance[root] != 0 or parent[root] != -1:
+        raise ProtocolError("root must have distance 0 and parent -1")
+    if any(d < 0 for d in distance):
+        raise ProtocolError("all nodes need BFS labels before aggregating")
+    if epochs_per_phase is None:
+        epochs_per_phase = default_convergecast_epochs(network)
+
+    ecc = max(int(d) for d in distance)
+    num_slots = decay_slots(network.max_degree)
+    layers: List[List[int]] = [[] for _ in range(ecc + 1)]
+    for v in range(n):
+        layers[int(distance[v])].append(v)
+
+    # partial[v]: v's value combined with every child partial heard so far
+    partial: Dict[int, object] = {v: values[v] for v in range(n)}
+    # contributors[v]: set of nodes folded into partial[v] (for honesty)
+    contributors: Dict[int, Set[int]] = {v: {v} for v in range(n)}
+    heard_children: Set[Tuple[int, int]] = set()
+
+    rounds = 0
+    phases = 0
+    for d in range(ecc, 0, -1):
+        phases += 1
+        senders = layers[d]
+        if not senders:
+            rounds += epochs_per_phase * num_slots
+            continue
+
+        def message_fn(node: int, slot: int):
+            return (node, parent[node], partial[node])
+
+        for _ in range(epochs_per_phase):
+            receptions = run_decay_epoch(
+                network,
+                senders,
+                message_fn,
+                rng,
+                num_slots=num_slots,
+                trace=trace,
+                round_offset=rounds,
+            )
+            rounds += num_slots
+            for slot_received in receptions:
+                for receiver, (child, dest, child_partial) in (
+                    slot_received.items()
+                ):
+                    if receiver != dest:
+                        continue  # overheard someone else's unicast
+                    if (receiver, child) in heard_children:
+                        continue  # exactly-once per child
+                    heard_children.add((receiver, child))
+                    partial[receiver] = combine(
+                        partial[receiver], child_partial
+                    )
+                    # contributor tracking is observer-side bookkeeping
+                    # (for the honesty report), not protocol payload
+                    contributors[receiver] |= contributors[child]
+
+    included = contributors[root]
+    missing = sorted(set(range(n)) - included)
+    return AggregationResult(
+        rounds=rounds,
+        value=partial[root],
+        included=len(included),
+        missing=missing,
+        phases=phases,
+        epochs_per_phase=epochs_per_phase,
+    )

@@ -1,0 +1,101 @@
+"""Topology learning: every node learns the full graph, then exploits it.
+
+The paper's introduction motivates k-broadcast with "learning topology of
+the underlying network (in order to benefit from efficiency of
+centralized solutions)".  This module packages that pipeline:
+
+1. every node announces its adjacency row as one packet (``k = n``);
+2. one run of the paper's multi-broadcast delivers all announcements to
+   all nodes;
+3. every node reconstructs the identical edge list and can run
+   centralized algorithms — e.g. the distance-2-colored TDMA schedule of
+   :mod:`repro.baselines.tdma` — deterministically and consistently.
+
+Experiment E18 measures the end-to-end payoff; the
+``examples/routing_table_update.py`` script narrates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.coding.packets import Packet
+from repro.core.config import AlgorithmParameters
+from repro.core.multibroadcast import MultiBroadcastResult, MultipleMessageBroadcast
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import SeedLike
+
+
+def encode_neighborhood(network: RadioNetwork, v: int) -> int:
+    """Pack node ``v``'s adjacency row into a bitmap payload
+    (bit ``u`` set iff ``(u, v)`` is an edge)."""
+    payload = 0
+    for u in network.neighbors(v):
+        payload |= 1 << int(u)
+    return payload
+
+
+def decode_topology(payloads: List[int], n: int) -> List[Tuple[int, int]]:
+    """Rebuild the sorted edge list from all announced adjacency bitmaps.
+
+    Only edges confirmed by *both* endpoints' announcements are accepted
+    (defense against a corrupted announcement).
+    """
+    edges = set()
+    for v, bits in enumerate(payloads):
+        for u in range(n):
+            if (bits >> u) & 1 and (payloads[u] >> v) & 1:
+                edges.add((min(u, v), max(u, v)))
+    return sorted(edges)
+
+
+@dataclass
+class TopologyLearningResult:
+    """Outcome of a topology-learning run."""
+
+    rounds: int
+    success: bool
+    learned_edges: List[Tuple[int, int]]
+    correct: bool
+    broadcast: MultiBroadcastResult
+
+
+def learn_topology(
+    network: RadioNetwork,
+    params: Optional[AlgorithmParameters] = None,
+    seed: SeedLike = None,
+) -> TopologyLearningResult:
+    """Run the full learn-the-topology pipeline on ``network``.
+
+    Every node announces its neighborhood (payload = adjacency bitmap,
+    ``b = n ≥ log2 n`` bits); the paper's algorithm broadcasts all ``n``
+    announcements; the result reports the reconstructed edge list and
+    whether it matches the ground truth exactly.
+    """
+    n = network.n
+    packets = [
+        Packet(
+            pid=v,
+            origin=v,
+            payload=encode_neighborhood(network, v),
+            size_bits=n,
+        )
+        for v in range(n)
+    ]
+    result = MultipleMessageBroadcast(
+        network, params=params, seed=seed
+    ).run(packets)
+
+    if result.success:
+        payloads = [p.payload for p in packets]
+        learned = decode_topology(payloads, n)
+    else:
+        learned = []
+    return TopologyLearningResult(
+        rounds=result.total_rounds,
+        success=result.success,
+        learned_edges=learned,
+        correct=result.success and learned == network.edge_list(),
+        broadcast=result,
+    )

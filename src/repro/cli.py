@@ -1,0 +1,306 @@
+"""Command-line interface.
+
+Three subcommands:
+
+``run``
+    Run the paper's algorithm on a generated topology and print the
+    per-stage summary.
+``compare``
+    Run the algorithm and the baselines on the same instance and print
+    the comparison table.
+``info``
+    Print the generated topology's parameters (n, D, Δ, degrees).
+
+Examples
+--------
+::
+
+    python -m repro run --topology grid --rows 5 --cols 5 --k 20 --seed 1
+    python -m repro run --topology rgg --n 60 --k 100 --preset paper
+    python -m repro compare --topology grid --rows 6 --cols 6 --k 200
+    python -m repro info --topology tree --branching 3 --depth 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.baselines import decay_gossip_broadcast, sequential_bgi_broadcast
+from repro.core import AlgorithmParameters, MultipleMessageBroadcast
+from repro.experiments.report import render_table
+from repro.experiments.workloads import (
+    all_nodes_one_packet,
+    hotspot_placement,
+    single_source_burst,
+    uniform_random_placement,
+)
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import make_rng
+from repro.topology import (
+    balanced_tree,
+    clique,
+    graph_summary,
+    grid,
+    line,
+    random_connected_gnp,
+    random_geometric,
+    ring,
+    star,
+)
+
+PRESETS = {
+    "default": AlgorithmParameters,
+    "fast": AlgorithmParameters.fast,
+    "paper": AlgorithmParameters.paper,
+}
+
+
+def build_topology(args: argparse.Namespace) -> RadioNetwork:
+    """Construct the requested topology from parsed arguments."""
+    kind = args.topology
+    if kind == "line":
+        return line(args.n)
+    if kind == "ring":
+        return ring(args.n)
+    if kind == "star":
+        return star(args.n)
+    if kind == "clique":
+        return clique(args.n)
+    if kind == "grid":
+        return grid(args.rows, args.cols)
+    if kind == "tree":
+        return balanced_tree(args.branching, args.depth)
+    if kind == "rgg":
+        return random_geometric(args.n, seed=args.topology_seed)
+    if kind == "gnp":
+        return random_connected_gnp(args.n, seed=args.topology_seed)
+    raise ValueError(f"unknown topology {kind!r}")
+
+
+def build_workload(network: RadioNetwork, args: argparse.Namespace):
+    """Construct the packet placement from parsed arguments."""
+    if args.workload == "uniform":
+        return uniform_random_placement(network, args.k, seed=args.seed)
+    if args.workload == "single":
+        return single_source_burst(network, args.k, source=0, seed=args.seed)
+    if args.workload == "hotspot":
+        return hotspot_placement(network, args.k, seed=args.seed)
+    if args.workload == "all":
+        return all_nodes_one_packet(network, seed=args.seed)
+    raise ValueError(f"unknown workload {args.workload!r}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        required=True,
+        choices=["line", "ring", "star", "clique", "grid", "tree", "rgg", "gnp"],
+    )
+    parser.add_argument("--n", type=int, default=36,
+                        help="node count (line/ring/star/clique/rgg/gnp)")
+    parser.add_argument("--rows", type=int, default=6, help="grid rows")
+    parser.add_argument("--cols", type=int, default=6, help="grid cols")
+    parser.add_argument("--branching", type=int, default=2, help="tree arity")
+    parser.add_argument("--depth", type=int, default=4, help="tree depth")
+    parser.add_argument("--topology-seed", type=int, default=0,
+                        help="seed for random topologies")
+
+
+def _add_run_args(parser: argparse.ArgumentParser) -> None:
+    _add_common(parser)
+    parser.add_argument("--k", type=int, default=10, help="number of packets")
+    parser.add_argument(
+        "--workload", default="uniform",
+        choices=["uniform", "single", "hotspot", "all"],
+    )
+    parser.add_argument("--seed", type=int, default=0, help="algorithm seed")
+    parser.add_argument("--preset", default="default", choices=sorted(PRESETS))
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="record the full transcript; write per-node stats and the "
+             "first rounds to FILE",
+    )
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    network = build_topology(args)
+    summary = graph_summary(network)
+    print(render_table(
+        ["parameter", "value"],
+        [[key, value] for key, value in summary.items()],
+        title=f"Topology: {network.name}",
+    ))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    network = build_topology(args)
+    packets = build_workload(network, args)
+    params = PRESETS[args.preset]()
+
+    recorder = None
+    run_network = network
+    if args.trace:
+        from repro.radio.transcript import RecordingNetwork
+
+        recorder = RecordingNetwork(network)
+        run_network = recorder
+
+    result = MultipleMessageBroadcast(
+        run_network, params=params, seed=args.seed
+    ).run(packets)
+
+    if recorder is not None:
+        _write_trace_report(args.trace, network, recorder)
+
+    rows = [
+        ["n / D / Δ", f"{result.n} / {result.diameter} / {result.max_degree}"],
+        ["k", result.k],
+        ["stage 1: leader election", result.timing.leader_election],
+        ["stage 2: distributed BFS", result.timing.bfs],
+        ["stage 3: collection", result.timing.collection],
+        ["stage 4: dissemination", result.timing.dissemination],
+        ["total rounds", result.total_rounds],
+        ["amortized rounds/packet",
+         f"{result.amortized_rounds_per_packet:.1f}"],
+        ["leader", result.leader],
+        ["success", "yes" if result.success else "NO"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"Multi-broadcast on {network.name} (preset={args.preset})",
+    ))
+    return 0 if result.success else 1
+
+
+def _write_trace_report(path: str, network, recorder) -> None:
+    """Write per-node transmission/reception stats and the first rounds
+    of a recorded execution to ``path``."""
+    from repro.radio.transcript import (
+        per_node_receptions,
+        per_node_transmissions,
+        transcript_to_text,
+        verify_transcript,
+    )
+
+    tx = per_node_transmissions(recorder.transcript, network.n)
+    rx = per_node_receptions(recorder.transcript, network.n)
+    violations = verify_transcript(network, recorder.transcript)
+    with open(path, "w") as fh:
+        fh.write(f"# transcript of {network.name}: "
+                 f"{len(recorder.transcript)} busy rounds\n")
+        fh.write(f"# model audit: "
+                 f"{'OK' if not violations else violations[:3]}\n\n")
+        fh.write(render_table(
+            ["node", "transmissions", "receptions"],
+            [[v, tx[v], rx[v]] for v in range(network.n)],
+            title="per-node activity",
+        ))
+        fh.write("\n\nfirst rounds:\n")
+        fh.write(transcript_to_text(recorder.transcript, max_rounds=100))
+        fh.write("\n")
+    print(f"transcript report written to {path}")
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    network = build_topology(args)
+    packets = build_workload(network, args)
+    params = PRESETS[args.preset]()
+
+    ours = MultipleMessageBroadcast(
+        network, params=params, seed=args.seed
+    ).run(packets)
+    gossip = decay_gossip_broadcast(network, packets, make_rng(args.seed))
+    seq_prefix = packets[: min(10, len(packets))]
+    seq = sequential_bgi_broadcast(network, seq_prefix, make_rng(args.seed))
+
+    rows = [
+        ["this paper", ours.total_rounds,
+         f"{ours.amortized_rounds_per_packet:.1f}",
+         "yes" if ours.success else "NO"],
+        ["gossip (BII-style)", gossip.rounds,
+         f"{gossip.amortized_rounds_per_packet:.1f}",
+         "yes" if gossip.complete else "NO"],
+        [f"sequential BGI (first {len(seq_prefix)})", seq.rounds,
+         f"{seq.amortized_rounds_per_packet:.1f}",
+         "yes" if seq.complete else "NO"],
+    ]
+    print(render_table(
+        ["algorithm", "rounds", "rounds/packet", "complete"], rows,
+        title=f"Comparison on {network.name}, k={len(packets)}",
+    ))
+    return 0 if ours.success else 1
+
+
+def cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.dynamic import BatchedDynamicBroadcast, poisson_arrivals
+
+    network = build_topology(args)
+    params = PRESETS[args.preset]()
+    arrivals = poisson_arrivals(
+        network, rate=args.rate, horizon=args.horizon, seed=args.seed
+    )
+    result = BatchedDynamicBroadcast(
+        network, params=params, seed=args.seed
+    ).run(arrivals)
+
+    rows = [
+        ["arrivals", len(arrivals)],
+        ["batches", result.num_batches],
+        ["mean batch size", f"{result.mean_batch_size:.1f}"],
+        ["max batch size", result.max_batch_size],
+        ["mean latency (rounds)", f"{result.mean_latency:.0f}"],
+        ["max latency (rounds)", result.max_latency],
+        ["delivered", result.delivered],
+        ["failed", result.failed],
+        ["throughput (pkt/round)", f"{result.throughput:.5f}"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"Batched dynamic broadcast on {network.name} "
+              f"(rate={args.rate}, horizon={args.horizon})",
+    ))
+    return 0 if result.failed == 0 else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multiple-message broadcast in radio networks "
+                    "(Khabbazian & Kowalski, PODC 2011) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print topology parameters")
+    _add_common(info)
+    info.set_defaults(func=cmd_info)
+
+    run = sub.add_parser("run", help="run the paper's algorithm")
+    _add_run_args(run)
+    run.set_defaults(func=cmd_run)
+
+    compare = sub.add_parser("compare", help="compare against baselines")
+    _add_run_args(compare)
+    compare.set_defaults(func=cmd_compare)
+
+    dynamic = sub.add_parser(
+        "dynamic", help="batched dynamic broadcast under Poisson arrivals"
+    )
+    _add_common(dynamic)
+    dynamic.add_argument("--rate", type=float, default=0.001,
+                         help="Poisson arrival rate (packets/round)")
+    dynamic.add_argument("--horizon", type=int, default=100_000,
+                         help="arrival horizon in rounds")
+    dynamic.add_argument("--seed", type=int, default=0)
+    dynamic.add_argument("--preset", default="default",
+                         choices=sorted(PRESETS))
+    dynamic.set_defaults(func=cmd_dynamic)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

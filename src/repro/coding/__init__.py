@@ -1,0 +1,53 @@
+"""Coding substrate: GF(2) linear algebra and random linear network coding.
+
+The paper's dissemination stage (Stage 4) codes each group of
+``⌈log n⌉`` packets by XORing a uniformly random subset and attaching the
+subset bitmap as a header; receivers decode by solving a binary linear
+system (Lemma 3 guarantees full rank after ``O(log n)`` receptions).
+
+This package provides exactly that machinery, built from scratch:
+
+- :mod:`repro.coding.gf2` — Gaussian elimination, rank, and solving over
+  GF(2) with bit-packed rows;
+- :mod:`repro.coding.field` — arithmetic in GF(2^b) (the field of size
+  ``2^b`` the paper works in; its addition is XOR of ``b``-bit payloads);
+- :mod:`repro.coding.packets` — packet and coded-message types;
+- :mod:`repro.coding.rlnc` — the subset-XOR encoder and an incremental
+  decoder.
+"""
+
+from repro.coding.field import GF2m, STANDARD_POLYNOMIALS
+from repro.coding.gf2 import (
+    gf2_rank,
+    gf2_rank_dense,
+    gf2_rref,
+    gf2_solve,
+    random_binary_matrix,
+)
+from repro.coding.packets import CodedMessage, Packet, make_packets
+from repro.coding.rlnc import GroupDecoder, SubsetXorEncoder
+from repro.coding.rlnc_q import (
+    FieldCodedMessage,
+    FieldRlncDecoder,
+    FieldRlncEncoder,
+    expected_receptions_to_decode,
+)
+
+__all__ = [
+    "CodedMessage",
+    "FieldCodedMessage",
+    "FieldRlncDecoder",
+    "FieldRlncEncoder",
+    "GF2m",
+    "GroupDecoder",
+    "Packet",
+    "STANDARD_POLYNOMIALS",
+    "expected_receptions_to_decode",
+    "SubsetXorEncoder",
+    "gf2_rank",
+    "gf2_rank_dense",
+    "gf2_rref",
+    "gf2_solve",
+    "make_packets",
+    "random_binary_matrix",
+]

@@ -1,0 +1,145 @@
+"""Arithmetic in GF(2^b) — the finite field of size ``2^b`` from the paper.
+
+The paper regards every ``b``-bit packet as an element of a field
+``F`` with ``|F| = 2^b``; the coding scheme only *adds* field elements
+(addition in GF(2^b) is bitwise XOR), but a complete field implementation —
+multiplication, inversion, exponentiation — is provided so the library also
+supports coding with non-binary coefficients (a natural extension the
+conclusions hint at).
+
+Elements are Python ints in ``[0, 2^b)``; polynomials are bit masks with
+bit ``i`` the coefficient of ``x^i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.radio.rng import SeedLike, make_rng
+
+#: Low-weight irreducible polynomials over GF(2) for common widths.
+#: Keys are ``b``; values include the leading ``x^b`` term.
+STANDARD_POLYNOMIALS: Dict[int, int] = {
+    1: 0b11,                      # x + 1
+    2: 0b111,                     # x^2 + x + 1
+    3: 0b1011,                    # x^3 + x + 1
+    4: 0b10011,                   # x^4 + x + 1
+    8: 0x11B,                     # x^8 + x^4 + x^3 + x + 1 (AES)
+    16: (1 << 16) | (1 << 12) | 0b1011,  # x^16 + x^12 + x^3 + x + 1
+    32: (1 << 32) | 0b10001101,   # x^32 + x^7 + x^3 + x^2 + 1
+    64: (1 << 64) | 0b11011,      # x^64 + x^4 + x^3 + x + 1
+    128: (1 << 128) | 0b10000111,  # x^128 + x^7 + x^2 + x + 1
+}
+
+
+class GF2m(object):
+    """The field GF(2^b) with a fixed irreducible modulus.
+
+    >>> f = GF2m(8)
+    >>> f.add(0x53, 0xCA)
+    153
+    >>> f.mul(0x53, 0xCA)  # the classic AES example: 0x53 * 0xCA = 0x01
+    1
+    """
+
+    def __init__(self, b: int, modulus: int = None):
+        if b < 1:
+            raise ValueError("field width b must be >= 1")
+        if modulus is None:
+            if b not in STANDARD_POLYNOMIALS:
+                raise ValueError(
+                    f"no standard irreducible polynomial for b={b}; "
+                    f"pass one explicitly (available: {sorted(STANDARD_POLYNOMIALS)})"
+                )
+            modulus = STANDARD_POLYNOMIALS[b]
+        if modulus.bit_length() != b + 1:
+            raise ValueError(
+                f"modulus degree {modulus.bit_length() - 1} does not match b={b}"
+            )
+        self.b = b
+        self.modulus = modulus
+        self.order = 1 << b
+
+    # -- element validation -------------------------------------------
+
+    def _check(self, x: int) -> int:
+        if not 0 <= x < self.order:
+            raise ValueError(f"{x} is not an element of GF(2^{self.b})")
+        return x
+
+    def random_element(self, seed: SeedLike = None) -> int:
+        rng = make_rng(seed)
+        # draw b random bits (possibly more than 64, so assemble in chunks)
+        value = 0
+        remaining = self.b
+        while remaining > 0:
+            take = min(remaining, 63)
+            value = (value << take) | int(rng.integers(0, 1 << take))
+            remaining -= take
+        return value
+
+    # -- field operations ----------------------------------------------
+
+    def add(self, x: int, y: int) -> int:
+        """Addition = subtraction = XOR (characteristic 2)."""
+        return self._check(x) ^ self._check(y)
+
+    def mul(self, x: int, y: int) -> int:
+        """Carry-less multiplication followed by reduction mod the modulus."""
+        self._check(x)
+        self._check(y)
+        # carry-less multiply
+        product = 0
+        while y:
+            if y & 1:
+                product ^= x
+            x <<= 1
+            y >>= 1
+        return self._reduce(product)
+
+    def _reduce(self, poly: int) -> int:
+        """Reduce a polynomial modulo the field modulus."""
+        mod_degree = self.b
+        while poly.bit_length() > mod_degree:
+            shift = poly.bit_length() - (mod_degree + 1)
+            poly ^= self.modulus << shift
+        return poly
+
+    def pow(self, x: int, e: int) -> int:
+        """``x**e`` by square-and-multiply; ``e`` may be any integer >= 0."""
+        self._check(x)
+        if e < 0:
+            return self.pow(self.inv(x), -e)
+        result = 1
+        base = x
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inv(self, x: int) -> int:
+        """Multiplicative inverse via x^(2^b - 2) (Fermat's little theorem)."""
+        self._check(x)
+        if x == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(2^b)")
+        return self.pow(x, self.order - 2)
+
+    def dot(self, coefficients: Iterable[int], elements: Iterable[int]) -> int:
+        """Inner product sum_i c_i * e_i in the field."""
+        acc = 0
+        for c, e in zip(coefficients, elements):
+            acc ^= self.mul(c, e)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"GF2m(b={self.b}, modulus={bin(self.modulus)})"
+
+
+def xor_payloads(payloads: List[int]) -> int:
+    """XOR-sum of payload ints — addition in GF(2^b), per the paper."""
+    acc = 0
+    for p in payloads:
+        acc ^= p
+    return acc

@@ -1,0 +1,165 @@
+"""Linear algebra over GF(2) with bit-packed rows.
+
+Rows are Python integers used as bit masks (bit ``j`` = column ``j``), which
+makes XOR-row-reduction both simple and fast for the matrix widths this
+library needs (up to a few thousand columns).  A dense ``numpy`` interface
+is provided for interoperability and for the Monte-Carlo experiments on
+Lemma 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.rng import SeedLike, make_rng
+
+
+def _lowest_set_bit(x: int) -> int:
+    """Index of the least-significant set bit of a positive integer."""
+    return (x & -x).bit_length() - 1
+
+
+def gf2_rank(rows: Sequence[int]) -> int:
+    """Rank over GF(2) of a matrix given as bit-packed integer rows."""
+    basis: List[int] = []  # reduced rows, each with a unique pivot bit
+    rank = 0
+    for row in rows:
+        row = _reduce_against(row, basis)
+        if row:
+            basis.append(row)
+            rank += 1
+    return rank
+
+
+def _reduce_against(row: int, basis: Sequence[int]) -> int:
+    """XOR away any basis pivots present in ``row``."""
+    for b in basis:
+        pivot = b & -b
+        if row & pivot:
+            row ^= b
+    return row
+
+
+def gf2_rref(rows: Sequence[int], width: int) -> Tuple[List[int], List[int]]:
+    """Reduced row echelon form.
+
+    Returns ``(reduced_rows, pivot_columns)`` where ``reduced_rows[i]`` has
+    its unique pivot at column ``pivot_columns[i]`` (ascending).  Zero rows
+    are dropped.
+    """
+    basis: List[int] = []
+    for row in rows:
+        row = _reduce_against(row, basis)
+        if not row:
+            continue
+        pivot = row & -row
+        # back-substitute into existing rows so each pivot is unique
+        basis = [b ^ row if b & pivot else b for b in basis]
+        basis.append(row)
+    basis.sort(key=lambda r: r & -r)
+    pivots = [_lowest_set_bit(r) for r in basis]
+    if pivots and pivots[-1] >= width:
+        raise ValueError(f"row has bit {pivots[-1]} >= declared width {width}")
+    return basis, pivots
+
+
+def gf2_solve(
+    rows: Sequence[int],
+    payloads: Sequence[int],
+    width: int,
+) -> Optional[List[int]]:
+    """Solve ``A x = payloads`` over GF(2) for bit-packed coefficient rows.
+
+    Each equation says: XOR of the unknown payloads selected by ``rows[i]``
+    equals ``payloads[i]`` (payloads are opaque bit strings stored as ints,
+    XORed together).  Returns the ``width`` unknown payloads in column
+    order, or None when the system does not determine all unknowns
+    (coefficient rank < width).
+
+    Inconsistent systems raise ``ValueError`` — in this library that means
+    corrupted input, since coded messages are generated from true payloads.
+    """
+    if len(rows) != len(payloads):
+        raise ValueError("rows and payloads must have equal length")
+
+    # Gauss-Jordan on (coefficients, payload) pairs.
+    basis: List[Tuple[int, int]] = []  # (coeff_row, payload), unique pivots
+    for row, payload in zip(rows, payloads):
+        for b_row, b_payload in basis:
+            pivot = b_row & -b_row
+            if row & pivot:
+                row ^= b_row
+                payload ^= b_payload
+        if row == 0:
+            if payload != 0:
+                raise ValueError("inconsistent GF(2) system")
+            continue
+        pivot = row & -row
+        basis = [
+            (b_row ^ row, b_payload ^ payload) if b_row & pivot else (b_row, b_payload)
+            for b_row, b_payload in basis
+        ]
+        basis.append((row, payload))
+
+    if len(basis) < width:
+        return None
+
+    solution = [0] * width
+    for b_row, b_payload in basis:
+        col = _lowest_set_bit(b_row)
+        if col >= width:
+            raise ValueError(f"row has bit {col} >= declared width {width}")
+        solution[col] = b_payload
+    return solution
+
+
+# ----------------------------------------------------------------------
+# Dense numpy interface (used for Monte-Carlo rank experiments, Lemma 3)
+# ----------------------------------------------------------------------
+
+
+def random_binary_matrix(
+    rows: int, cols: int, seed: SeedLike = None
+) -> np.ndarray:
+    """An ``l x w`` matrix of iid fair binary entries, as in Lemma 3."""
+    rng = make_rng(seed)
+    return rng.integers(0, 2, size=(rows, cols), dtype=np.uint8)
+
+
+def pack_rows(matrix: np.ndarray) -> List[int]:
+    """Convert a dense 0/1 matrix to bit-packed integer rows (bit j = col j)."""
+    out: List[int] = []
+    for row in np.asarray(matrix, dtype=np.uint8):
+        value = 0
+        for j, bit in enumerate(row):
+            if bit:
+                value |= 1 << j
+        out.append(value)
+    return out
+
+
+def gf2_rank_dense(matrix: np.ndarray) -> int:
+    """Rank over GF(2) of a dense 0/1 numpy matrix.
+
+    Vectorized elimination: for each pivot, XOR the pivot row into all rows
+    holding a 1 in the pivot column at once.
+    """
+    m = np.array(matrix, dtype=np.uint8) & 1
+    n_rows, n_cols = m.shape
+    rank = 0
+    for col in range(n_cols):
+        if rank >= n_rows:
+            break
+        pivot_candidates = np.nonzero(m[rank:, col])[0]
+        if len(pivot_candidates) == 0:
+            continue
+        pivot = rank + int(pivot_candidates[0])
+        if pivot != rank:
+            m[[rank, pivot]] = m[[pivot, rank]]
+        below = np.nonzero(m[rank + 1 :, col])[0] + rank + 1
+        if len(below):
+            m[below] ^= m[rank]
+        rank += 1
+    return rank

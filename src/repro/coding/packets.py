@@ -1,0 +1,103 @@
+"""Packet and message types used across the protocol stack.
+
+A :class:`Packet` models one of the ``k`` items to be broadcast: ``b``-bit
+payload (stored as an int), a globally unique id, and its originating node.
+A :class:`CodedMessage` is what Stage 4's ``FORWARD`` puts on the air: the
+XOR of a subset of a group's payloads plus the subset bitmap header
+(``⌈log n⌉`` bits, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.radio.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One broadcast payload.
+
+    Attributes
+    ----------
+    pid:
+        Globally unique packet id (assigned at creation).
+    origin:
+        Node id where the packet initially resides.
+    payload:
+        The packet body, a ``size_bits``-bit integer.
+    size_bits:
+        The paper's ``b`` (must satisfy ``b >= log2 n``; enforced by
+        :func:`make_packets`).
+    """
+
+    pid: int
+    origin: int
+    payload: int
+    size_bits: int
+
+    def __post_init__(self):
+        if self.payload < 0 or self.payload >= (1 << self.size_bits):
+            raise ValueError(
+                f"payload does not fit in {self.size_bits} bits"
+            )
+
+
+@dataclass(frozen=True)
+class CodedMessage:
+    """A random linear combination of one group's packets (Stage 4).
+
+    ``subset_mask`` bit ``j`` says whether the group's ``j``-th packet is
+    included in the XOR; ``payload`` is the XOR of the included payloads.
+    The over-the-air size is ``b + ⌈log n⌉`` bits: payload plus header —
+    at most twice any packet, as the paper notes.
+    """
+
+    group_id: int
+    subset_mask: int
+    payload: int
+    group_size: int
+
+    def header_bits(self) -> int:
+        """Size of the subset header in bits."""
+        return self.group_size
+
+
+def make_packets(
+    origins: Sequence[int],
+    size_bits: int,
+    seed: SeedLike = None,
+    first_pid: int = 0,
+) -> List[Packet]:
+    """Create packets with random payloads at the given origin nodes.
+
+    One packet is created per entry of ``origins`` (repeat a node id to give
+    it several packets).  Payload ids are ``first_pid, first_pid+1, ...`` in
+    input order.
+    """
+    if size_bits < 1:
+        raise ValueError("size_bits must be positive")
+    rng = make_rng(seed)
+    packets: List[Packet] = []
+    for offset, origin in enumerate(origins):
+        value = 0
+        remaining = size_bits
+        while remaining > 0:
+            take = min(remaining, 63)
+            value = (value << take) | int(rng.integers(0, 1 << take))
+            remaining -= take
+        packets.append(
+            Packet(
+                pid=first_pid + offset,
+                origin=int(origin),
+                payload=value,
+                size_bits=size_bits,
+            )
+        )
+    return packets
+
+
+def required_packet_bits(n: int) -> int:
+    """Smallest ``b`` satisfying the paper's assumption ``b >= log2 n``."""
+    return max(1, (max(n, 2) - 1).bit_length())

@@ -1,0 +1,143 @@
+"""Random linear network coding over GF(2) coefficients (the paper's scheme).
+
+``FORWARD`` transmitters call :class:`SubsetXorEncoder` to draw a uniformly
+random subset of the group's packets and XOR their payloads; receivers feed
+every successfully received :class:`CodedMessage` into a
+:class:`GroupDecoder`, which performs *incremental* Gaussian elimination and
+reports completion as soon as the coefficient matrix reaches full rank
+(Lemma 3 says this needs only ``O(group_size + log(1/eps))`` random rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.packets import CodedMessage, Packet
+
+
+class SubsetXorEncoder:
+    """Encodes a fixed group of packets as random subset-XORs.
+
+    Parameters
+    ----------
+    group_id:
+        Identifier carried in every emitted message.
+    packets:
+        The group's packets, in group order (position = coefficient bit).
+    """
+
+    def __init__(self, group_id: int, packets: Sequence[Packet]):
+        if not packets:
+            raise ValueError("cannot encode an empty group")
+        self.group_id = group_id
+        self.packets = list(packets)
+        self.group_size = len(packets)
+        self._payloads = [p.payload for p in self.packets]
+
+    def encode(self, rng: np.random.Generator) -> CodedMessage:
+        """Draw each packet independently with probability 1/2 and XOR.
+
+        The all-zeros subset is allowed (as in the paper); it conveys no
+        information but costs one transmission — the analysis absorbs it.
+        """
+        mask = 0
+        payload = 0
+        bits = rng.integers(0, 2, size=self.group_size)
+        for j in range(self.group_size):
+            if bits[j]:
+                mask |= 1 << j
+                payload ^= self._payloads[j]
+        return CodedMessage(
+            group_id=self.group_id,
+            subset_mask=mask,
+            payload=payload,
+            group_size=self.group_size,
+        )
+
+    def encode_mask(self, mask: int) -> CodedMessage:
+        """Encode a specific subset (used by tests and deterministic modes)."""
+        if not 0 <= mask < (1 << self.group_size):
+            raise ValueError("mask out of range for group size")
+        payload = 0
+        for j in range(self.group_size):
+            if mask >> j & 1:
+                payload ^= self._payloads[j]
+        return CodedMessage(
+            group_id=self.group_id,
+            subset_mask=mask,
+            payload=payload,
+            group_size=self.group_size,
+        )
+
+
+class GroupDecoder:
+    """Incremental GF(2) decoder for one group of coded messages.
+
+    Maintains a row basis in reduced form keyed by pivot bit; each absorbed
+    message costs ``O(rank)`` XOR operations.  ``decode()`` returns the
+    group's payloads once rank equals ``group_size``.
+    """
+
+    def __init__(self, group_id: int, group_size: int):
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        self.group_id = group_id
+        self.group_size = group_size
+        # pivot bit index -> (coefficient row, payload)
+        self._basis: Dict[int, List[int]] = {}
+        self.messages_absorbed = 0
+        self.innovative_messages = 0
+
+    @property
+    def rank(self) -> int:
+        return len(self._basis)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.rank == self.group_size
+
+    def absorb(self, message: CodedMessage) -> bool:
+        """Add one coded message; returns True if it was innovative
+        (increased the rank)."""
+        if message.group_id != self.group_id:
+            raise ValueError(
+                f"message for group {message.group_id} fed to decoder for "
+                f"group {self.group_id}"
+            )
+        if message.group_size != self.group_size:
+            raise ValueError("group size mismatch")
+        self.messages_absorbed += 1
+
+        row = message.subset_mask
+        payload = message.payload
+        while row:
+            pivot = (row & -row).bit_length() - 1
+            entry = self._basis.get(pivot)
+            if entry is None:
+                self._basis[pivot] = [row, payload]
+                self.innovative_messages += 1
+                return True
+            row ^= entry[0]
+            payload ^= entry[1]
+        if payload != 0:
+            raise ValueError("inconsistent coded message (corrupted payload)")
+        return False
+
+    def decode(self) -> Optional[List[int]]:
+        """Return the group's payloads in group order, or None if rank is
+        not yet full."""
+        if not self.is_complete:
+            return None
+        # Back-substitute to a diagonal basis, highest pivot first.
+        solved: Dict[int, int] = {}
+        for pivot in sorted(self._basis, reverse=True):
+            row, payload = self._basis[pivot]
+            rest = row & ~(1 << pivot)
+            while rest:
+                j = (rest & -rest).bit_length() - 1
+                payload ^= solved[j]
+                rest &= rest - 1
+            solved[pivot] = payload
+        return [solved[j] for j in range(self.group_size)]

@@ -1,0 +1,179 @@
+"""Random linear network coding with non-binary coefficients (GF(2^m)).
+
+The paper deliberately uses the *simplest* coding — binary coefficients
+(subset-XOR) — because it makes transmitters trivial and keeps the header
+at ``⌈log n⌉`` bits.  The classical alternative draws coefficients from a
+larger field GF(q): each received combination is then innovative with
+probability ``≥ 1 - 1/q`` (versus the binary scheme's rank-dependent
+probability), so decoding needs ``w + O(1)`` receptions with a far
+smaller additive constant — at the price of an ``m``-bits-per-coefficient
+header and field multiplications at every hop.
+
+This module implements that alternative over the library's
+:class:`repro.coding.field.GF2m`, so the trade-off is measurable
+(experiment A5): receptions-to-decode vs header size, GF(2) vs GF(256).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.field import GF2m
+from repro.coding.packets import Packet
+
+
+@dataclass(frozen=True)
+class FieldCodedMessage:
+    """A coded message with per-packet coefficients from GF(2^m).
+
+    The header carries one ``m``-bit coefficient per group packet
+    (``group_size * field.b`` bits), versus the binary scheme's
+    ``group_size`` bits.
+    """
+
+    group_id: int
+    coefficients: Tuple[int, ...]
+    payload: int
+    group_size: int
+
+    def header_bits(self, coefficient_bits: int) -> int:
+        return self.group_size * coefficient_bits
+
+
+class FieldRlncEncoder:
+    """Encoder drawing iid uniform coefficients from GF(2^m).
+
+    The packet payloads are interpreted as elements of the same field, so
+    ``field.b`` must be at least the packet size in bits.
+    """
+
+    def __init__(self, group_id: int, packets: Sequence[Packet], field: GF2m):
+        if not packets:
+            raise ValueError("cannot encode an empty group")
+        for p in packets:
+            if p.size_bits > field.b:
+                raise ValueError(
+                    f"packet of {p.size_bits} bits does not fit in "
+                    f"GF(2^{field.b})"
+                )
+        self.group_id = group_id
+        self.field = field
+        self.packets = list(packets)
+        self.group_size = len(packets)
+        self._payloads = [p.payload for p in packets]
+
+    def encode(self, rng: np.random.Generator) -> FieldCodedMessage:
+        """Draw a uniform coefficient vector and emit the combination."""
+        coefficients = tuple(
+            self.field.random_element(seed=rng) for _ in range(self.group_size)
+        )
+        return self.encode_coefficients(coefficients)
+
+    def encode_coefficients(
+        self, coefficients: Sequence[int]
+    ) -> FieldCodedMessage:
+        """Emit the combination for specific coefficients (tests, probes)."""
+        if len(coefficients) != self.group_size:
+            raise ValueError("coefficient count must equal group size")
+        payload = self.field.dot(coefficients, self._payloads)
+        return FieldCodedMessage(
+            group_id=self.group_id,
+            coefficients=tuple(coefficients),
+            payload=payload,
+            group_size=self.group_size,
+        )
+
+
+class FieldRlncDecoder:
+    """Incremental Gaussian elimination over GF(2^m).
+
+    Maintains a reduced basis keyed by pivot column; each absorbed message
+    costs ``O(rank · group_size)`` field operations.
+    """
+
+    def __init__(self, group_id: int, group_size: int, field: GF2m):
+        if group_size < 1:
+            raise ValueError("group_size must be positive")
+        self.group_id = group_id
+        self.group_size = group_size
+        self.field = field
+        # pivot column -> (coefficient row (list), payload)
+        self._basis: Dict[int, Tuple[List[int], int]] = {}
+        self.messages_absorbed = 0
+        self.innovative_messages = 0
+
+    @property
+    def rank(self) -> int:
+        return len(self._basis)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.rank == self.group_size
+
+    def absorb(self, message: FieldCodedMessage) -> bool:
+        """Add one coded message; True iff it increased the rank."""
+        if message.group_id != self.group_id:
+            raise ValueError("message group mismatch")
+        if message.group_size != self.group_size:
+            raise ValueError("group size mismatch")
+        self.messages_absorbed += 1
+
+        f = self.field
+        row = list(message.coefficients)
+        payload = message.payload
+
+        for col in range(self.group_size):
+            if row[col] == 0:
+                continue
+            entry = self._basis.get(col)
+            if entry is None:
+                # normalize so the pivot coefficient is 1
+                inv = f.inv(row[col])
+                row = [f.mul(inv, c) for c in row]
+                payload = f.mul(inv, payload)
+                self._basis[col] = (row, payload)
+                self.innovative_messages += 1
+                return True
+            # eliminate this column using the basis row
+            factor = row[col]
+            basis_row, basis_payload = entry
+            row = [
+                f.add(c, f.mul(factor, bc)) for c, bc in zip(row, basis_row)
+            ]
+            payload = f.add(payload, f.mul(factor, basis_payload))
+
+        if payload != 0:
+            raise ValueError("inconsistent coded message (corrupted payload)")
+        return False
+
+    def decode(self) -> Optional[List[int]]:
+        """The group payloads in order once rank is full, else None."""
+        if not self.is_complete:
+            return None
+        f = self.field
+        solved: Dict[int, int] = {}
+        for col in sorted(self._basis, reverse=True):
+            row, payload = self._basis[col]
+            acc = payload
+            for j in range(col + 1, self.group_size):
+                if row[j]:
+                    acc = f.add(acc, f.mul(row[j], solved[j]))
+            solved[col] = acc
+        return [solved[j] for j in range(self.group_size)]
+
+
+def expected_receptions_to_decode(group_size: int, q: int) -> float:
+    """Expected uniform-random combinations needed for full rank over
+    GF(q): ``Σ_{i=0}^{w-1} 1/(1 - q^{i-w})``.
+
+    For q = 2 this is ≤ w + 2 (the paper's Lemma 3 regime); for q = 256
+    it is w + O(1/255) — the advantage larger fields buy.
+    """
+    if group_size < 1 or q < 2:
+        raise ValueError("group_size >= 1 and q >= 2 required")
+    return sum(
+        1.0 / (1.0 - float(q) ** (i - group_size)) for i in range(group_size)
+    )

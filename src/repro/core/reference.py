@@ -1,0 +1,301 @@
+"""Per-node reference implementations of the Stage-3 gather procedure and
+the Stage-4 dissemination pipeline.
+
+The Stage-3 engine (:func:`repro.core.collection.run_gather_procedure`) is
+centrally orchestrated; this module implements the *same* protocol as
+genuine per-node state machines on the generic
+:class:`repro.radio.Simulator`.  Because the gather procedure contains no
+randomness beyond the launch plan, the two implementations must produce
+**identical** collected/acknowledged sets for identical launches — the
+strongest possible cross-validation, asserted over random graphs in
+``tests/test_gather_crossvalidation.py``.
+
+Tie-breaking rules mirrored from the engine:
+
+- one transmission per node per round; a relayed in-flight copy wins over
+  a scheduled launch; among launches, the earlier entry in the node's
+  launch plan wins;
+- forwarding stops after the window's first part (round ``window + D``);
+- the root acknowledges packets in arrival order, 3 rounds apart, along
+  the first-recorded reverse path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.collection import GatherEpochResult
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import Node, Simulator
+
+
+class _GatherNode(Node):
+    """One node of the per-node gather protocol.
+
+    All state is node-local: the launch plan for its own packets, the
+    relay duty received last round, the reverse-path memory, and (at the
+    root) the arrival log driving the ACK schedule.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        parent: int,
+        is_root: bool,
+        t1: int,
+        total: int,
+    ):
+        super().__init__(node_id)
+        self.parent = parent
+        self.is_root = is_root
+        self.t1 = t1
+        self.total = total
+        self.awake = True
+
+        self.launch_plan: Dict[int, List[int]] = {}  # round -> [pid, ...]
+        self.relay_duty: Optional[int] = None        # pid to forward now
+        self.ack_duty: Optional[Tuple[int, int]] = None  # (pid, child)
+        self.came_from: Dict[int, int] = {}
+        self.my_pids: Set[int] = set()
+        self.acked: Set[int] = set()
+        # root only:
+        self.collected: List[int] = []
+        self.collected_set: Set[int] = set()
+
+    def act(self, round_index: int):
+        t = round_index + 1  # protocol rounds are 1-based
+        if t <= self.t1:
+            # forwarding part: relay duty wins over launches
+            if self.relay_duty is not None:
+                pid = self.relay_duty
+                self.relay_duty = None
+                return ("pkt", pid, self.parent, self.node_id)
+            launches = self.launch_plan.pop(t, None)
+            if launches:
+                return ("pkt", launches[0], self.parent, self.node_id)
+            return None
+
+        # acknowledgment part
+        self.relay_duty = None  # window closed; drop any stray duty
+        if self.is_root:
+            offset = t - self.t1 - 1
+            if offset % 3 == 0:
+                index = offset // 3
+                if index < len(self.collected):
+                    pid = self.collected[index]
+                    return ("ack", pid, self.came_from[pid], self.node_id)
+            return None
+        if self.ack_duty is not None:
+            pid, child = self.ack_duty
+            self.ack_duty = None
+            return ("ack", pid, child, self.node_id)
+        return None
+
+    def on_receive(self, round_index: int, message):
+        kind, pid, dest, sender = message
+        if dest != self.node_id:
+            return  # overheard
+        t = round_index + 1
+        if kind == "pkt":
+            if pid not in self.came_from:
+                self.came_from[pid] = sender
+            if self.is_root:
+                if (
+                    pid not in self.collected_set
+                ):
+                    self.collected_set.add(pid)
+                    self.collected.append(pid)
+            elif t + 1 <= self.t1:
+                self.relay_duty = pid
+            return
+        # ack
+        if pid in self.my_pids:
+            self.acked.add(pid)
+        elif pid in self.came_from and t + 1 <= self.total:
+            self.ack_duty = (pid, self.came_from[pid])
+
+
+def reference_gather_procedure(
+    network: RadioNetwork,
+    parent: Sequence[int],
+    root: int,
+    launches: Sequence[Tuple[int, int, int]],
+    window: int,
+    depth_bound: int,
+    already_collected: Optional[Set[int]] = None,
+) -> GatherEpochResult:
+    """Run the per-node gather protocol; same contract as
+    :func:`repro.core.collection.run_gather_procedure`."""
+    t1 = window + depth_bound
+    total = t1 + 3 * t1 + depth_bound
+
+    nodes = [
+        _GatherNode(v, parent[v], v == root, t1, total)
+        for v in range(network.n)
+    ]
+
+    for pid, origin, launch_round in launches:
+        if origin == root:
+            raise ValueError("root packets are collected, not launched")
+        if not 1 <= launch_round <= window:
+            raise ValueError("launch round outside the window")
+        nodes[origin].launch_plan.setdefault(launch_round, []).append(pid)
+        nodes[origin].my_pids.add(pid)
+
+    sim = Simulator(network, nodes)
+    for _ in range(total):
+        sim.step()
+
+    root_node = nodes[root]
+    acked: Set[int] = set()
+    for node in nodes:
+        acked |= node.acked
+    # Diagnostic counters (launches / lost_to_collisions) are an engine
+    # concern; the cross-validated protocol outcomes are collected/acked.
+    return GatherEpochResult(
+        rounds=total,
+        collected=list(root_node.collected),
+        acked=acked,
+        launches=0,
+        lost_to_collisions=0,
+    )
+
+
+class _ForwardNode(Node):
+    """One node of the per-node coded dissemination (single group).
+
+    Holds the group (encoder set) or collects coded messages into an
+    incremental decoder during its layer's receiving phase; promoted to
+    transmitter once decoded.  Phase membership is derived from the
+    global round counter, exactly as in the paper.
+    """
+
+    def __init__(self, node_id, layer, group_size, rng, num_slots,
+                 phase_rounds, ecc):
+        from repro.coding.rlnc import GroupDecoder
+
+        super().__init__(node_id)
+        self.layer = layer
+        self.rng = rng
+        self.num_slots = num_slots
+        self.phase_rounds = phase_rounds
+        self.ecc = ecc
+        self.awake = True
+        self.encoder = None
+        self.decoder = GroupDecoder(0, group_size)
+        self.plain_seen = {}
+
+    @property
+    def has_group(self):
+        return self.encoder is not None
+
+    def _phase(self, round_index):
+        """1-based phase of the single-group pipeline."""
+        return round_index // self.phase_rounds + 1
+
+    def act(self, round_index):
+        phase = self._phase(round_index)
+        slot_in_phase = round_index % self.phase_rounds
+        if self.layer == 0:
+            # root: plain one-by-one during phase 1
+            if phase == 1 and self.encoder is not None:
+                packets = self.encoder.packets
+                if slot_in_phase < len(packets):
+                    pkt = packets[slot_in_phase]
+                    return ("plain", slot_in_phase, pkt.payload, len(packets))
+            return None
+        # FORWARD: transmit while my layer is the sender layer (phase =
+        # layer + 1) and I hold the group
+        if self.encoder is None or phase != self.layer + 1:
+            return None
+        slot = slot_in_phase % self.num_slots
+        if self.rng.random() < 2.0 ** -(slot + 1):
+            return ("coded", self.encoder.encode(self.rng))
+        return None
+
+    def on_receive(self, round_index, message):
+        if self.encoder is not None or self.layer == 0:
+            return
+        phase = self._phase(round_index)
+        if phase != self.layer:
+            return  # strict mode: only my scheduled receiving phase
+        if message[0] == "plain":
+            _, idx, payload, gs = message
+            self.plain_seen[idx] = payload
+            if len(self.plain_seen) == gs:
+                self._promote_plain(gs)
+        else:
+            self.decoder.absorb(message[1])
+
+    def _promote_plain(self, gs):
+        from repro.coding.packets import Packet
+        from repro.coding.rlnc import SubsetXorEncoder
+
+        packets = [
+            Packet(pid=i, origin=0, payload=self.plain_seen[i],
+                   size_bits=max(p.bit_length(), 1) if (p := self.plain_seen[i]) else 1)
+            for i in range(gs)
+        ]
+        self.encoder = SubsetXorEncoder(0, packets)
+
+    def finish_phase(self):
+        """Phase-end decode attempt (mirrors the engine's try_complete)."""
+        from repro.coding.packets import Packet
+        from repro.coding.rlnc import SubsetXorEncoder
+
+        if self.encoder is None and self.decoder.is_complete:
+            payloads = self.decoder.decode()
+            packets = [
+                Packet(pid=i, origin=0, payload=p,
+                       size_bits=max(p.bit_length(), 1))
+                for i, p in enumerate(payloads)
+            ]
+            self.encoder = SubsetXorEncoder(0, packets)
+
+
+def reference_forward_pipeline(
+    network: RadioNetwork,
+    distance: Sequence[int],
+    root: int,
+    packets,
+    forward_epochs: int,
+    seed: int,
+):
+    """Per-node reference of the single-group dissemination pipeline.
+
+    Runs one group (all ``packets``) down the BFS layers in strict mode:
+    phase 1 = root plain, phase d = FORWARD from layer d-1 to layer d.
+    Returns a boolean list: which nodes hold the group at the end.
+
+    Cross-validated statistically against
+    :func:`repro.core.dissemination.run_dissemination_stage` in
+    ``tests/test_forward_crossvalidation.py``.
+    """
+    from repro.coding.rlnc import SubsetXorEncoder
+    from repro.primitives.decay import decay_slots
+    from repro.radio.rng import spawn_rngs
+
+    n = network.n
+    ecc = max(int(d) for d in distance)
+    num_slots = decay_slots(network.max_degree)
+    phase_rounds = max(len(packets), forward_epochs * num_slots)
+
+    rngs = spawn_rngs(__import__("numpy").random.default_rng(seed), n)
+    nodes = []
+    for v in range(n):
+        node = _ForwardNode(
+            v, int(distance[v]), len(packets), rngs[v], num_slots,
+            phase_rounds, ecc,
+        )
+        if v == root:
+            node.encoder = SubsetXorEncoder(0, list(packets))
+        nodes.append(node)
+
+    sim = Simulator(network, nodes)
+    for phase in range(1, ecc + 1):
+        for _ in range(phase_rounds):
+            sim.step()
+        for node in nodes:
+            if node.layer == phase:
+                node.finish_phase()
+    return [node.has_group for node in nodes]

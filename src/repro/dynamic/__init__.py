@@ -1,0 +1,49 @@
+"""Dynamic packet arrivals — the paper's second open problem.
+
+The conclusions note: "In more practical scenario, packets appear at
+nodes dynamically; a challenging direction would be to adapt 'static'
+solutions ... to such more dynamic setting."  This package provides the
+natural first adaptation: *batching*.  Arriving packets queue at their
+origins; whenever the previous broadcast finishes, all queued packets are
+broadcast together with the static algorithm.  Because the static
+algorithm's amortized cost per packet is ``O(logΔ)`` for large batches,
+the batched system is stable whenever packets arrive slower than one per
+``c·logΔ`` rounds — and the experiments measure exactly that threshold.
+
+- :mod:`repro.dynamic.arrivals` — arrival-process generators (Poisson,
+  periodic, bursty).
+- :mod:`repro.dynamic.batch` — the batched dynamic broadcaster and its
+  latency/throughput accounting.
+"""
+
+from repro.dynamic.arrivals import (
+    PacketArrival,
+    burst_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+)
+from repro.dynamic.batch import (
+    BatchRecord,
+    BatchedDynamicBroadcast,
+    DynamicBroadcastResult,
+)
+from repro.dynamic.policies import (
+    BatchPolicy,
+    ImmediatePolicy,
+    SizeThresholdPolicy,
+    TimerPolicy,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "BatchRecord",
+    "BatchedDynamicBroadcast",
+    "DynamicBroadcastResult",
+    "ImmediatePolicy",
+    "PacketArrival",
+    "SizeThresholdPolicy",
+    "TimerPolicy",
+    "burst_arrivals",
+    "periodic_arrivals",
+    "poisson_arrivals",
+]

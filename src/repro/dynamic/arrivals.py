@@ -1,0 +1,102 @@
+"""Arrival-process generators for the dynamic setting.
+
+Each generator returns a time-sorted list of :class:`PacketArrival`
+(arrival round + packet).  Packet payloads and pids are assigned exactly
+as in the static workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.packets import Packet, make_packets, required_packet_bits
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class PacketArrival:
+    """One packet appearing at its origin at the given round."""
+
+    time: int
+    packet: Packet
+
+
+def _materialize(
+    network: RadioNetwork,
+    times: Sequence[int],
+    origins: Sequence[int],
+    rng: np.random.Generator,
+    size_bits: Optional[int],
+) -> List[PacketArrival]:
+    bits = size_bits or required_packet_bits(network.n)
+    packets = make_packets(list(origins), bits, seed=rng)
+    arrivals = [
+        PacketArrival(time=int(t), packet=p) for t, p in zip(times, packets)
+    ]
+    arrivals.sort(key=lambda a: (a.time, a.packet.pid))
+    return arrivals
+
+
+def poisson_arrivals(
+    network: RadioNetwork,
+    rate: float,
+    horizon: int,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[PacketArrival]:
+    """Poisson arrivals at ``rate`` packets/round over ``horizon`` rounds,
+    each at a uniformly random origin."""
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if horizon < 1:
+        raise ValueError("horizon must be positive")
+    rng = make_rng(seed)
+    times: List[int] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t >= horizon:
+            break
+        times.append(int(t))
+    origins = rng.integers(0, network.n, size=len(times))
+    return _materialize(network, times, origins.tolist(), rng, size_bits)
+
+
+def periodic_arrivals(
+    network: RadioNetwork,
+    period: int,
+    count: int,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[PacketArrival]:
+    """One packet every ``period`` rounds, ``count`` packets total."""
+    if period < 1 or count < 0:
+        raise ValueError("period must be >= 1 and count >= 0")
+    rng = make_rng(seed)
+    times = [i * period for i in range(count)]
+    origins = rng.integers(0, network.n, size=count)
+    return _materialize(network, times, origins.tolist(), rng, size_bits)
+
+
+def burst_arrivals(
+    network: RadioNetwork,
+    burst_size: int,
+    num_bursts: int,
+    spacing: int,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[PacketArrival]:
+    """``num_bursts`` bursts of ``burst_size`` simultaneous packets,
+    ``spacing`` rounds apart — the adversarial batching workload."""
+    if burst_size < 1 or num_bursts < 0 or spacing < 1:
+        raise ValueError("invalid burst parameters")
+    rng = make_rng(seed)
+    times: List[int] = []
+    for b in range(num_bursts):
+        times.extend([b * spacing] * burst_size)
+    origins = rng.integers(0, network.n, size=len(times))
+    return _materialize(network, times, origins.tolist(), rng, size_bits)

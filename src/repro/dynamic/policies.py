@@ -1,0 +1,100 @@
+"""Batch dispatch policies for the dynamic broadcaster.
+
+The batching discipline decides *when* the queued packets are handed to
+the static algorithm.  Dispatching immediately minimizes latency at low
+load but wastes the per-batch fixed cost (leader election, BFS, the
+initial collection estimate) on tiny batches; accumulating larger batches
+amortizes the fixed cost at the price of queueing delay.  The policies
+here span that trade-off (measured in the A4 family of experiments):
+
+- :class:`ImmediatePolicy` — dispatch whenever the queue is non-empty
+  (the default; minimal latency).
+- :class:`SizeThresholdPolicy` — wait for ``min_batch`` packets, but
+  never hold the oldest packet longer than ``max_wait`` rounds.
+- :class:`TimerPolicy` — dispatch on a fixed cadence (TDM-style).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class BatchPolicy(abc.ABC):
+    """Decides the earliest dispatch round for the current queue."""
+
+    @abc.abstractmethod
+    def dispatch_time(
+        self, queue_first_time: int, queue_size: int, now: int
+    ) -> int:
+        """Earliest round ``>= now`` at which the current queue may be
+        dispatched.  Arrivals landing before that round join the batch.
+
+        Parameters
+        ----------
+        queue_first_time:
+            Arrival round of the oldest queued packet.
+        queue_size:
+            Current queue length (``>= 1``).
+        now:
+            Current round.
+        """
+
+
+class ImmediatePolicy(BatchPolicy):
+    """Dispatch as soon as anything is queued."""
+
+    def dispatch_time(
+        self, queue_first_time: int, queue_size: int, now: int
+    ) -> int:
+        return now
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ImmediatePolicy()"
+
+
+class SizeThresholdPolicy(BatchPolicy):
+    """Wait for ``min_batch`` packets, capped by a ``max_wait`` deadline.
+
+    The oldest queued packet is never held more than ``max_wait`` rounds:
+    if the threshold has not been reached by then, the partial batch
+    dispatches anyway (bounded worst-case latency).
+    """
+
+    def __init__(self, min_batch: int, max_wait: int):
+        if min_batch < 1:
+            raise ValueError("min_batch must be >= 1")
+        if max_wait < 0:
+            raise ValueError("max_wait must be >= 0")
+        self.min_batch = min_batch
+        self.max_wait = max_wait
+
+    def dispatch_time(
+        self, queue_first_time: int, queue_size: int, now: int
+    ) -> int:
+        if queue_size >= self.min_batch:
+            return now
+        return max(now, queue_first_time + self.max_wait)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SizeThresholdPolicy(min_batch={self.min_batch}, "
+            f"max_wait={self.max_wait})"
+        )
+
+
+class TimerPolicy(BatchPolicy):
+    """Dispatch only at multiples of a fixed ``period`` (TDM cadence)."""
+
+    def __init__(self, period: int):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        self.period = period
+
+    def dispatch_time(
+        self, queue_first_time: int, queue_size: int, now: int
+    ) -> int:
+        remainder = now % self.period
+        return now if remainder == 0 else now + (self.period - remainder)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimerPolicy(period={self.period})"

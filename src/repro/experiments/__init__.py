@@ -1,0 +1,54 @@
+"""Experiment harness shared by ``benchmarks/`` and ``examples/``.
+
+- :mod:`repro.experiments.workloads` — packet-placement generators (who
+  initially holds the ``k`` packets).
+- :mod:`repro.experiments.harness` — seeded multi-trial runners and
+  aggregation.
+- :mod:`repro.experiments.report` — plain-text table rendering for the
+  per-experiment outputs recorded in EXPERIMENTS.md.
+"""
+
+from repro.experiments.harness import (
+    TrialStats,
+    aggregate,
+    run_trials,
+)
+from repro.experiments.export import read_csv, read_json, write_csv, write_json
+from repro.experiments.parallel import run_trials_parallel
+from repro.experiments.plotting import ascii_chart, sparkline
+from repro.experiments.report import format_float, render_table
+from repro.experiments.scenarios import Scenario, get_scenario, scenario_names
+from repro.experiments.stats import (
+    min_trials_for_failure_detection,
+    wilson_interval,
+)
+from repro.experiments.workloads import (
+    all_nodes_one_packet,
+    hotspot_placement,
+    single_source_burst,
+    uniform_random_placement,
+)
+
+__all__ = [
+    "Scenario",
+    "TrialStats",
+    "aggregate",
+    "ascii_chart",
+    "all_nodes_one_packet",
+    "format_float",
+    "get_scenario",
+    "hotspot_placement",
+    "min_trials_for_failure_detection",
+    "read_csv",
+    "read_json",
+    "render_table",
+    "run_trials",
+    "scenario_names",
+    "run_trials_parallel",
+    "single_source_burst",
+    "sparkline",
+    "uniform_random_placement",
+    "wilson_interval",
+    "write_csv",
+    "write_json",
+]

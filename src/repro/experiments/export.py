@@ -1,0 +1,77 @@
+"""Persisting experiment results: CSV and JSON round-trips.
+
+The benchmark harness prints tables; downstream analysis (notebooks,
+plotting scripts) wants machine-readable rows.  These helpers write and
+read the ``(headers, rows)`` shape used throughout ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple, Union
+
+PathLike = Union[str, Path]
+
+
+def write_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    """Write one experiment table as CSV (header row first)."""
+    _validate(headers, rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def read_csv(path: PathLike) -> Tuple[List[str], List[List[str]]]:
+    """Read a table written by :func:`write_csv` (all cells as strings)."""
+    with Path(path).open(newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path}: empty CSV")
+    return rows[0], rows[1:]
+
+
+def write_json(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    metadata: Dict[str, Any] = None,
+) -> None:
+    """Write one experiment table as JSON records plus optional metadata
+    (e.g. seeds, parameter preset, git revision)."""
+    _validate(headers, rows)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [dict(zip(headers, row)) for row in rows]
+    payload = {"metadata": metadata or {}, "records": records}
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+
+
+def read_json(path: PathLike) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+    """Read ``(metadata, records)`` written by :func:`write_json`."""
+    with Path(path).open() as fh:
+        payload = json.load(fh)
+    if "records" not in payload:
+        raise ValueError(f"{path}: not an experiment JSON file")
+    return payload.get("metadata", {}), payload["records"]
+
+
+def _validate(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> None:
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )

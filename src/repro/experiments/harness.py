@@ -1,0 +1,70 @@
+"""Seeded multi-trial experiment runner and aggregation."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Summary statistics of one metric across trials."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "TrialStats":
+        if not values:
+            raise ValueError("no values to aggregate")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            mean=float(arr.mean()),
+            std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+            minimum=float(arr.min()),
+            maximum=float(arr.max()),
+            count=len(arr),
+        )
+
+
+def run_trials(
+    trial_fn: Callable[[int], Dict[str, float]],
+    num_trials: int,
+    base_seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Run ``trial_fn(seed)`` for seeds ``base_seed .. base_seed+trials-1``.
+
+    Each trial returns a flat metric dict; the list of dicts feeds
+    :func:`aggregate`.
+    """
+    if num_trials < 1:
+        raise ValueError("num_trials must be positive")
+    return [trial_fn(base_seed + i) for i in range(num_trials)]
+
+
+def aggregate(results: Sequence[Dict[str, float]]) -> Dict[str, TrialStats]:
+    """Per-metric :class:`TrialStats` across trial dicts (shared keys only)."""
+    if not results:
+        return {}
+    keys = set(results[0])
+    for r in results[1:]:
+        keys &= set(r)
+    return {
+        key: TrialStats.from_values([float(r[key]) for r in results])
+        for key in sorted(keys)
+    }
+
+
+def success_rate(results: Sequence[Dict[str, float]], key: str = "success") -> float:
+    """Fraction of trials whose ``key`` metric is truthy."""
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.get(key)) / len(results)

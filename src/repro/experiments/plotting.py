@@ -1,0 +1,105 @@
+"""Dependency-free ASCII charts for experiment reports.
+
+The benchmark tables carry the numbers; these helpers render the *shape*
+(the thing the reproduction actually checks) directly into the terminal
+and the ``benchmarks/results`` files: multi-series scatter charts and
+one-line sparklines.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_MARKERS = "ox+*#@%&"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line block-character rendering of a series."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more series against a shared x axis.
+
+    Each series gets a marker character; the legend maps markers to
+    series names.  ``log_y`` plots ``log10`` of the values (all values
+    must then be positive).
+    """
+    if not xs:
+        raise ValueError("xs must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(f"series {name!r} length != len(xs)")
+    if len(series) > len(_MARKERS):
+        raise ValueError(f"at most {len(_MARKERS)} series supported")
+
+    def transform(v: float) -> float:
+        if log_y:
+            if v <= 0:
+                raise ValueError("log_y requires positive values")
+            return math.log10(v)
+        return float(v)
+
+    all_y = [transform(v) for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(xs), max(xs)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    canvas: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+    for marker, (name, ys) in zip(_MARKERS, series.items()):
+        for x, y in zip(xs, ys):
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int(
+                (transform(y) - y_lo) / (y_hi - y_lo) * (height - 1)
+            )
+            canvas[height - 1 - row][col] = marker
+
+    def y_label(value: float) -> str:
+        shown = 10**value if log_y else value
+        return f"{shown:>10.3g}"
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = y_label(y_hi)
+        elif i == height - 1:
+            label = y_label(y_lo)
+        else:
+            label = " " * 10
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * 10 + "-" * (width + 2))
+    lines.append(
+        " " * 10 + f" {x_lo:<{width // 2}.4g}{x_hi:>{width // 2}.4g}"
+    )
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment outputs.
+
+The benchmark harness prints one table per experiment — the reproduction's
+stand-in for the paper's (nonexistent) tables: rows are sweep points,
+columns are measured rounds, the theoretical predictor, their ratio, and
+success rates.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Compact numeric formatting for table cells."""
+    if value != value:  # NaN
+        return "nan"
+    if isinstance(value, bool):
+        return str(value)
+    if abs(value) >= 10000 or (0 < abs(value) < 0.01):
+        return f"{value:.{digits}e}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        str_rows.append(
+            [
+                cell if isinstance(cell, str) else format_float(float(cell))
+                for cell in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Statistical helpers for experiment reporting.
+
+The w.h.p. claims are verified by repeated trials; reporting a bare
+"15/15 succeeded" hides the uncertainty.  :func:`wilson_interval` gives
+the standard binomial confidence interval (well-behaved at 0 and n
+successes, unlike the normal approximation), and
+:func:`min_trials_for_failure_detection` answers "how many trials do I
+need to distinguish failure probability p from 0".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def wilson_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds on the success probability.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+
+    z = _normal_quantile(0.5 + confidence / 2.0)
+    p_hat = successes / trials
+    denom = 1.0 + z * z / trials
+    center = (p_hat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(p_hat * (1 - p_hat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def min_trials_for_failure_detection(
+    failure_prob: float, detection_prob: float = 0.95
+) -> int:
+    """Trials needed so that a per-trial failure probability of
+    ``failure_prob`` produces at least one failure with probability
+    ``detection_prob``: ``⌈ln(1-d)/ln(1-p)⌉``."""
+    if not 0 < failure_prob < 1:
+        raise ValueError("failure_prob must be in (0, 1)")
+    if not 0 < detection_prob < 1:
+        raise ValueError("detection_prob must be in (0, 1)")
+    return math.ceil(math.log(1 - detection_prob) / math.log(1 - failure_prob))
+
+
+def _normal_quantile(p: float) -> float:
+    """Inverse standard-normal CDF (Acklam's rational approximation;
+    |relative error| < 1.15e-9 — ample for confidence intervals)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients from Peter Acklam's algorithm.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02,
+         -2.759285104469687e+02, 1.383577518672690e+02,
+         -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02,
+         -1.556989798598866e+02, 6.680131188771972e+01,
+         -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01,
+         -2.400758277161838e+00, -2.549732539343734e+00,
+         4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01,
+         2.445134137142996e+00, 3.754408661907416e+00]
+
+    p_low, p_high = 0.02425, 1 - 0.02425
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    if p > p_high:
+        q = math.sqrt(-2 * math.log(1 - p))
+        return -(
+            ((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]
+        ) / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1)
+    q = p - 0.5
+    r = q * q
+    return (
+        ((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]
+    ) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )

@@ -1,0 +1,79 @@
+"""Packet placement workloads.
+
+Each generator returns a list of :class:`repro.coding.packets.Packet`
+whose origins follow a scenario from the paper's motivation: routing-table
+updates (every node announces), sensor aggregation (many sensors report),
+bursty single sources, and hotspot mixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.coding.packets import Packet, make_packets, required_packet_bits
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import SeedLike, make_rng
+
+
+def _bits(network: RadioNetwork, size_bits: Optional[int]) -> int:
+    return size_bits if size_bits is not None else required_packet_bits(network.n)
+
+
+def uniform_random_placement(
+    network: RadioNetwork,
+    k: int,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[Packet]:
+    """``k`` packets at origins drawn uniformly at random (with repetition)."""
+    rng = make_rng(seed)
+    origins = rng.integers(0, network.n, size=k)
+    return make_packets(origins.tolist(), _bits(network, size_bits), seed=rng)
+
+
+def all_nodes_one_packet(
+    network: RadioNetwork,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[Packet]:
+    """One packet per node (``k = n``) — the gossip / routing-table-update
+    workload; the regime of the Gasieniec-Potapov lower bound discussion."""
+    rng = make_rng(seed)
+    return make_packets(list(network.nodes()), _bits(network, size_bits), seed=rng)
+
+
+def single_source_burst(
+    network: RadioNetwork,
+    k: int,
+    source: int = 0,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[Packet]:
+    """All ``k`` packets at one node — a bulk-transfer burst."""
+    rng = make_rng(seed)
+    return make_packets([source] * k, _bits(network, size_bits), seed=rng)
+
+
+def hotspot_placement(
+    network: RadioNetwork,
+    k: int,
+    num_hotspots: int = 3,
+    hotspot_fraction: float = 0.8,
+    seed: SeedLike = None,
+    size_bits: Optional[int] = None,
+) -> List[Packet]:
+    """A ``hotspot_fraction`` of packets concentrated at ``num_hotspots``
+    random nodes, the rest uniform — the sensor-aggregation skew."""
+    if not 0 <= hotspot_fraction <= 1:
+        raise ValueError("hotspot_fraction must be in [0, 1]")
+    rng = make_rng(seed)
+    hotspots = rng.choice(network.n, size=min(num_hotspots, network.n), replace=False)
+    origins: List[int] = []
+    for _ in range(k):
+        if rng.random() < hotspot_fraction:
+            origins.append(int(hotspots[rng.integers(0, len(hotspots))]))
+        else:
+            origins.append(int(rng.integers(0, network.n)))
+    return make_packets(origins, _bits(network, size_bits), seed=rng)

@@ -1,0 +1,34 @@
+"""Abstract MAC layer and MAC-layer flooding (the paper's reference [16]).
+
+The paper's related work cites Khabbazian, Kuhn, Kowalski and Lynch
+(DIALM-POMC 2010): a *modular* approach where broadcast algorithms are
+written against an **abstract MAC layer** — a service that accepts
+``bcast(message)`` requests and guarantees (probabilistically, when
+implemented over the collision-prone radio model) that
+
+- every neighbor *receives* the message within an acknowledgment window
+  ``f_ack`` (after which the sender gets an ``ack`` event), and
+- a node with at least one active neighboring sender receives *some*
+  message within a progress window ``f_prog``.
+
+Their multiple-message broadcast is then simple flooding over this layer
+and runs in ``O((kΔ log n + D)·logΔ)`` rounds — the ``Δ`` factor being
+the price of the layer's per-neighborhood serialization, which this
+paper's coded pipeline avoids.  Both are implemented here:
+
+- :class:`repro.mac.layer.AbstractMacLayer` — the layer over the radio
+  model (Decay-scheduled, explicit ack windows);
+- :func:`repro.mac.flooding.mac_flood_broadcast` — flooding over the
+  layer, used as the literature's third comparison point (experiment
+  E16).
+"""
+
+from repro.mac.flooding import MacFloodResult, mac_flood_broadcast
+from repro.mac.layer import AbstractMacLayer, MacEvent
+
+__all__ = [
+    "AbstractMacLayer",
+    "MacEvent",
+    "MacFloodResult",
+    "mac_flood_broadcast",
+]

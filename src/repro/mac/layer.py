@@ -1,0 +1,153 @@
+"""A probabilistic abstract MAC layer over the radio model.
+
+The service per node: ``bcast(node, message)`` enqueues a message.  Each
+node transmits at most one *active* message at a time; while active, the
+node participates in the shared Decay schedule (slot ``s`` of each epoch:
+transmit with probability ``2^-(s+1)``) for a fixed **ack window** of
+``ack_epochs`` epochs, after which the layer issues an ``ack`` event to
+the sender and activates its next queued message.
+
+Guarantees (probabilistic versions of the abstract MAC layer contract):
+
+- *receive*: during the ack window each neighbor hears the message with
+  probability ``1 - (1-q)^ack_epochs`` where ``q`` is the per-epoch Decay
+  success rate (≥ 1/(2e) for ≤ Δ contenders); the default window of
+  ``Θ(log n)`` epochs makes delivery to all neighbors w.h.p.
+- *progress*: a node with ≥ 1 active neighbor receives *some* message
+  within ``O(logΔ)`` rounds with constant probability (Decay's property).
+
+The ack is *time-triggered*, as in the radio model it must be — there is
+no channel feedback; the window is sized so the w.h.p. contract holds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.primitives.decay import decay_slots
+from repro.radio.network import RadioNetwork
+from repro.radio.trace import RoundTrace
+
+
+@dataclass(frozen=True)
+class MacEvent:
+    """An event delivered by the layer at the end of a round.
+
+    ``kind`` is ``"receive"`` (at ``node``, carrying ``message`` from a
+    neighbor) or ``"ack"`` (at ``node``, its own ``message``'s ack window
+    elapsed).
+    """
+
+    kind: str
+    node: int
+    message: object
+
+
+class AbstractMacLayer:
+    """The layer: per-node bcast queues + the shared Decay schedule.
+
+    Parameters
+    ----------
+    ack_epochs:
+        Decay epochs per ack window; defaults to ``⌈2·Δ·log2 n⌉``.  The
+        ``Δ`` factor is intrinsic: a *specific* contender among ``t``
+        succeeds in an epoch with probability only ``Θ(1/t)`` (someone
+        succeeds with constant probability, but fairness splits it), so
+        delivering a specific message w.h.p. costs ``Θ(Δ·log n)`` epochs —
+        the very serialization that puts the ``kΔ`` term in the flooding
+        bound and that the paper's coded pipeline avoids.
+    """
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        rng: np.random.Generator,
+        ack_epochs: Optional[int] = None,
+        trace: Optional[RoundTrace] = None,
+    ):
+        self.network = network
+        self.rng = rng
+        self.num_slots = decay_slots(network.max_degree)
+        if ack_epochs is None:
+            ack_epochs = max(
+                1,
+                math.ceil(
+                    2 * network.max_degree * math.log2(max(network.n, 2))
+                ),
+            )
+        self.ack_epochs = ack_epochs
+        self.ack_window_rounds = ack_epochs * self.num_slots
+        self.trace = trace
+
+        self._queues: List[Deque[object]] = [deque() for _ in range(network.n)]
+        # node -> (active message, rounds remaining in its ack window)
+        self._active: Dict[int, Tuple[object, int]] = {}
+        self.round_index = 0
+
+    # ------------------------------------------------------------------
+
+    def bcast(self, node: int, message: object) -> None:
+        """Enqueue a message for broadcast by ``node`` to its neighbors."""
+        if not 0 <= node < self.network.n:
+            raise ValueError(f"node {node} out of range")
+        if node in self._active:
+            self._queues[node].append(message)
+        else:
+            self._active[node] = (message, self.ack_window_rounds)
+
+    def pending(self, node: int) -> int:
+        """Messages queued or active at ``node``."""
+        return len(self._queues[node]) + (1 if node in self._active else 0)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._active)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> List[MacEvent]:
+        """Advance one round; returns this round's receive/ack events."""
+        slot = self.round_index % self.num_slots
+        p_tx = 2.0 ** -(slot + 1)
+
+        transmissions: Dict[int, object] = {}
+        if self._active:
+            senders = list(self._active.keys())
+            coins = self.rng.random(len(senders)) < p_tx
+            for sender, hot in zip(senders, coins):
+                if hot:
+                    transmissions[sender] = self._active[sender][0]
+
+        received = self.network.resolve_round(transmissions)
+        if self.trace is not None:
+            self.trace.observe(self.round_index, transmissions, received)
+
+        events: List[MacEvent] = [
+            MacEvent(kind="receive", node=receiver, message=message)
+            for receiver, message in received.items()
+        ]
+
+        # Tick down every active ack window (windows are wall-clock).
+        expired: List[int] = []
+        for sender, (message, remaining) in self._active.items():
+            remaining -= 1
+            if remaining <= 0:
+                expired.append(sender)
+                events.append(MacEvent(kind="ack", node=sender, message=message))
+            else:
+                self._active[sender] = (message, remaining)
+        for sender in expired:
+            message = self._active.pop(sender)[0]
+            if self._queues[sender]:
+                self._active[sender] = (
+                    self._queues[sender].popleft(),
+                    self.ack_window_rounds,
+                )
+
+        self.round_index += 1
+        return events

@@ -1,0 +1,57 @@
+"""Classic randomized radio-network primitives the paper builds on.
+
+- :mod:`repro.primitives.decay` — the Decay procedure of Bar-Yehuda,
+  Goldreich and Itai (1992): a ``⌈log Δ⌉``-slot schedule with geometrically
+  decreasing transmission probabilities that delivers to any node with
+  between 1 and Δ transmitting neighbors with constant probability.
+- :mod:`repro.primitives.bgi_broadcast` — the BGI randomized broadcast
+  protocol (single message, possibly many sources), used for the alarm
+  epoch and, as a wave, for the collision-detection-channel emulation.
+- :mod:`repro.primitives.leader_election` — max-ID election by binary
+  search over the ID space on the emulated channel (Fact 1 in the paper).
+- :mod:`repro.primitives.bfs` — the distributed layer-by-layer BFS tree
+  construction (Theorem 1 in the paper).
+"""
+
+from repro.primitives.bfs import DistributedBfsResult, build_distributed_bfs
+from repro.primitives.bgi_broadcast import BroadcastResult, bgi_broadcast
+from repro.primitives.cd_channel import (
+    BUSY,
+    SILENT,
+    CdRoundResult,
+    EmulatedCdChannel,
+    max_id_binary_search,
+)
+from repro.primitives.decay import (
+    decay_slots,
+    run_decay_epoch,
+    transmission_probabilities,
+)
+from repro.primitives.leader_election import LeaderElectionResult, elect_leader
+from repro.primitives.reference import (
+    BfsNode,
+    DecayFloodNode,
+    reference_bfs,
+    reference_broadcast,
+)
+
+__all__ = [
+    "BUSY",
+    "BfsNode",
+    "BroadcastResult",
+    "CdRoundResult",
+    "DecayFloodNode",
+    "DistributedBfsResult",
+    "EmulatedCdChannel",
+    "LeaderElectionResult",
+    "SILENT",
+    "bgi_broadcast",
+    "build_distributed_bfs",
+    "decay_slots",
+    "elect_leader",
+    "max_id_binary_search",
+    "reference_bfs",
+    "reference_broadcast",
+    "run_decay_epoch",
+    "transmission_probabilities",
+]

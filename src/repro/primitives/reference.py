@@ -1,0 +1,158 @@
+"""Reference per-node (message-passing) protocol implementations.
+
+The library's production engines (``bgi_broadcast``, ``build_distributed_bfs``,
+the stage engines) are centrally orchestrated for speed.  This module
+implements the same protocols as genuine per-node state machines on the
+generic :class:`repro.radio.Simulator`, for two purposes:
+
+1. **cross-validation** — the test suite compares engine and reference
+   behaviour on the same physics (they must be statistically
+   indistinguishable);
+2. **extensibility** — downstream users writing new protocols get
+   idiomatic examples of the :class:`repro.radio.Node` API.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.primitives.decay import decay_slots
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import Node, ProtocolOutcome, Simulator
+from repro.radio.rng import spawn_rngs
+
+
+class DecayFloodNode(Node):
+    """BGI broadcast as a per-node protocol.
+
+    Informed nodes run Decay epochs forever (slot ``s`` of each epoch:
+    transmit with probability ``2^-(s+1)``); a reception informs the node.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        num_slots: int,
+        rng: np.random.Generator,
+        informed: bool = False,
+        message: object = 1,
+    ):
+        super().__init__(node_id)
+        self.num_slots = num_slots
+        self.rng = rng
+        self.informed = informed
+        self.message = message
+        self.informed_at_round = 0 if informed else -1
+        self.awake = True  # listening costs nothing in this model
+
+    def act(self, round_index: int) -> Optional[object]:
+        if not self.informed:
+            return None
+        slot = round_index % self.num_slots
+        if self.rng.random() < 2.0 ** -(slot + 1):
+            return self.message
+        return None
+
+    def on_receive(self, round_index: int, message: object) -> None:
+        if not self.informed:
+            self.informed = True
+            self.informed_at_round = round_index
+            self.message = message
+
+    def is_done(self, round_index: int) -> bool:
+        return self.informed
+
+
+class BfsNode(Node):
+    """Distributed BFS construction as a per-node protocol.
+
+    Phases of ``epochs_per_phase`` Decay epochs; in phase ``d`` exactly
+    the nodes with ``distance == d`` transmit ``(id, d)``; first reception
+    assigns parent and distance.  Nodes derive the current phase from the
+    global round counter, as in the paper.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        num_slots: int,
+        epochs_per_phase: int,
+        rng: np.random.Generator,
+        is_root: bool = False,
+    ):
+        super().__init__(node_id)
+        self.num_slots = num_slots
+        self.rounds_per_phase = num_slots * epochs_per_phase
+        self.rng = rng
+        self.parent = -1
+        self.distance = 0 if is_root else -1
+        self.awake = True
+
+    def act(self, round_index: int) -> Optional[object]:
+        if self.distance < 0:
+            return None
+        phase = round_index // self.rounds_per_phase
+        if phase != self.distance:
+            return None
+        slot = round_index % self.num_slots
+        if self.rng.random() < 2.0 ** -(slot + 1):
+            return (self.node_id, self.distance)
+        return None
+
+    def on_receive(self, round_index: int, message: object) -> None:
+        sender, sender_distance = message
+        if self.distance < 0:
+            self.parent = sender
+            self.distance = sender_distance + 1
+
+    def is_done(self, round_index: int) -> bool:
+        return self.distance >= 0
+
+
+def reference_broadcast(
+    network: RadioNetwork,
+    sources: List[int],
+    seed: int,
+    max_rounds: int = 100_000,
+) -> ProtocolOutcome:
+    """Run the reference (Node-based) BGI broadcast until everyone knows."""
+    num_slots = decay_slots(network.max_degree)
+    rngs = spawn_rngs(np.random.default_rng(seed), network.n)
+    nodes = [
+        DecayFloodNode(v, num_slots, rngs[v], informed=v in set(sources))
+        for v in range(network.n)
+    ]
+    return Simulator(network, nodes).run(max_rounds=max_rounds)
+
+
+def reference_bfs(
+    network: RadioNetwork,
+    root: int,
+    seed: int,
+    epochs_per_phase: Optional[int] = None,
+    depth_bound: Optional[int] = None,
+) -> Tuple[List[int], List[int], int]:
+    """Run the reference (Node-based) BFS; returns (parent, distance, rounds)."""
+    from repro.primitives.bfs import default_bfs_epochs
+
+    if epochs_per_phase is None:
+        epochs_per_phase = default_bfs_epochs(network)
+    if depth_bound is None:
+        depth_bound = network.diameter
+
+    num_slots = decay_slots(network.max_degree)
+    rngs = spawn_rngs(np.random.default_rng(seed), network.n)
+    nodes = [
+        BfsNode(v, num_slots, epochs_per_phase, rngs[v], is_root=(v == root))
+        for v in range(network.n)
+    ]
+    total_rounds = depth_bound * epochs_per_phase * num_slots
+    sim = Simulator(network, nodes)
+    sim.run(max_rounds=total_rounds, stop_when=lambda: False)
+    return (
+        [node.parent for node in nodes],
+        [node.distance for node in nodes],
+        total_rounds,
+    )

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the radio-network substrate."""
+
+
+class RadioModelError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TopologyError(RadioModelError):
+    """Raised for malformed graphs: self-loops, directed edges, disconnected
+    graphs where connectivity is required, or out-of-range node ids."""
+
+
+class ProtocolError(RadioModelError):
+    """Raised when a protocol engine detects an internal inconsistency, e.g.
+    a node transmitting while asleep or a malformed message."""
+
+
+class SimulationLimitExceeded(RadioModelError):
+    """Raised when a simulation exceeds its configured round budget.
+
+    The randomized protocols in this library terminate within their stated
+    bounds only with high probability; callers set an explicit budget and
+    this error reports a (rare, or bug-indicating) overrun instead of
+    looping forever.
+    """
+
+    def __init__(self, message: str, rounds_used: int):
+        super().__init__(message)
+        self.rounds_used = rounds_used

@@ -1,0 +1,271 @@
+"""The radio network: an undirected graph plus the collision-reception rule.
+
+A :class:`RadioNetwork` is immutable once constructed.  Its central method is
+:meth:`RadioNetwork.resolve_round`, the *only* implementation of the model's
+reception semantics in the whole library:
+
+    a node receives a message in a round iff exactly one of its neighbors
+    transmits in that round, and the node itself is not transmitting.
+
+Everything else (diameter, BFS layers, degree statistics) is supporting
+machinery used by protocols and by the experiment harness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.radio.errors import TopologyError
+
+
+class RadioNetwork:
+    """An undirected multi-hop radio network on nodes ``0 .. n-1``.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs.  Each edge is undirected; duplicates
+        are tolerated and collapsed.  Self-loops are rejected.
+    n:
+        Number of nodes.  If omitted, inferred as ``max node id + 1``.
+    require_connected:
+        When true (the default) the constructor raises
+        :class:`TopologyError` for a disconnected graph.  The paper's model
+        assumes connectivity (otherwise broadcast is impossible).
+    name:
+        Optional human-readable label used in reports.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Tuple[int, int]],
+        n: Optional[int] = None,
+        require_connected: bool = True,
+        name: str = "",
+    ):
+        adjacency: Dict[int, set] = {}
+        max_id = -1
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise TopologyError(f"self-loop at node {u}")
+            if u < 0 or v < 0:
+                raise TopologyError(f"negative node id in edge ({u}, {v})")
+            adjacency.setdefault(u, set()).add(v)
+            adjacency.setdefault(v, set()).add(u)
+            max_id = max(max_id, u, v)
+
+        if n is None:
+            n = max_id + 1
+        if n <= 0:
+            raise TopologyError("network must have at least one node")
+        if max_id >= n:
+            raise TopologyError(f"edge references node {max_id} but n={n}")
+
+        self._n = n
+        self._name = name or f"network(n={n})"
+        self._neighbors: List[np.ndarray] = [
+            np.array(sorted(adjacency.get(v, ())), dtype=np.int64) for v in range(n)
+        ]
+        self._degrees = np.array([len(a) for a in self._neighbors], dtype=np.int64)
+        self._num_edges = int(self._degrees.sum()) // 2
+        self._diameter: Optional[int] = None
+
+        if require_connected and n > 1 and not self.is_connected():
+            raise TopologyError(f"{self._name} is disconnected")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    @property
+    def max_degree(self) -> int:
+        """The paper's Δ. By convention at least 1 (so log Δ terms are sane)."""
+        return max(1, int(self._degrees.max()))
+
+    def degree(self, v: int) -> int:
+        return int(self._degrees[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted array of neighbors of ``v`` (do not mutate)."""
+        return self._neighbors[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        arr = self._neighbors[u]
+        i = int(np.searchsorted(arr, v))
+        return i < len(arr) and arr[i] == v
+
+    def edge_list(self) -> List[Tuple[int, int]]:
+        """All edges as sorted ``(u, v)`` pairs with ``u < v``."""
+        return [
+            (u, int(v))
+            for u in range(self._n)
+            for v in self._neighbors[u]
+            if u < v
+        ]
+
+    def nodes(self) -> range:
+        return range(self._n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RadioNetwork({self._name!r}, n={self._n}, m={self._num_edges}, "
+            f"Δ={self.max_degree})"
+        )
+
+    # ------------------------------------------------------------------
+    # Graph structure queries
+    # ------------------------------------------------------------------
+
+    def bfs_distances(self, source: int) -> np.ndarray:
+        """Hop distances from ``source``; unreachable nodes get -1."""
+        dist = np.full(self._n, -1, dtype=np.int64)
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            for v in self._neighbors[u]:
+                if dist[v] < 0:
+                    dist[v] = du + 1
+                    queue.append(int(v))
+        return dist
+
+    def bfs_layers(self, source: int) -> List[List[int]]:
+        """Nodes grouped by hop distance from ``source`` (layer 0 = source)."""
+        dist = self.bfs_distances(source)
+        depth = int(dist.max())
+        layers: List[List[int]] = [[] for _ in range(depth + 1)]
+        for v in range(self._n):
+            if dist[v] >= 0:
+                layers[int(dist[v])].append(v)
+        return layers
+
+    def bfs_tree(self, source: int) -> List[int]:
+        """A canonical BFS tree: ``parent[v]`` for each node, -1 at the root.
+
+        Used as ground truth when validating the *distributed* BFS protocol;
+        the distributed tree need not equal this one, but distances must.
+        """
+        parent = np.full(self._n, -1, dtype=np.int64)
+        seen = np.zeros(self._n, dtype=bool)
+        seen[source] = True
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for v in self._neighbors[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    parent[v] = u
+                    queue.append(int(v))
+        return [int(p) for p in parent]
+
+    def is_connected(self) -> bool:
+        if self._n == 1:
+            return True
+        return bool((self.bfs_distances(0) >= 0).all())
+
+    def eccentricity(self, v: int) -> int:
+        return int(self.bfs_distances(v).max())
+
+    @property
+    def diameter(self) -> int:
+        """Exact diameter (max eccentricity); computed once and cached.
+
+        By the paper's convention D ≥ 1 even for a single node, so that
+        phase counts and logarithms stay well defined.
+        """
+        if self._diameter is None:
+            ecc = 0
+            for v in range(self._n):
+                ecc = max(ecc, self.eccentricity(v))
+            self._diameter = max(1, ecc)
+        return self._diameter
+
+    # ------------------------------------------------------------------
+    # The reception rule
+    # ------------------------------------------------------------------
+
+    def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
+        """Apply one synchronous round of the radio model.
+
+        Parameters
+        ----------
+        transmissions:
+            Mapping ``transmitter -> message`` for every node transmitting
+            this round.  Messages are opaque to the model.
+
+        Returns
+        -------
+        dict
+            ``receiver -> message`` for every node that successfully
+            receives: exactly one of its neighbors transmitted, and it did
+            not itself transmit (radios are half-duplex).
+
+        Notes
+        -----
+        This is the single authoritative implementation of the model's
+        interference semantics; all protocol engines route through it.
+        """
+        if not transmissions:
+            return {}
+
+        if len(transmissions) == 1:
+            # Fast path for the overwhelmingly common case (Decay rounds
+            # mostly have 0-2 transmitters): a lone transmitter reaches
+            # exactly its neighborhood.
+            ((tx, message),) = transmissions.items()
+            return {int(v): message for v in self._neighbors[tx]}
+
+        # reach_count[v] = number of transmitting neighbors of v
+        reach_count = np.zeros(self._n, dtype=np.int64)
+        sender_of = np.full(self._n, -1, dtype=np.int64)
+        for tx in transmissions:
+            nbrs = self._neighbors[tx]
+            reach_count[nbrs] += 1
+            sender_of[nbrs] = tx
+
+        received: Dict[int, object] = {}
+        hearers = np.nonzero(reach_count == 1)[0]
+        for v in hearers:
+            v = int(v)
+            if v in transmissions:
+                continue  # half-duplex: a transmitter cannot receive
+            received[v] = transmissions[int(sender_of[v])]
+        return received
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_adjacency(
+        cls,
+        adjacency: Sequence[Sequence[int]],
+        require_connected: bool = True,
+        name: str = "",
+    ) -> "RadioNetwork":
+        """Build from an adjacency-list representation."""
+        edges = [
+            (u, v)
+            for u, nbrs in enumerate(adjacency)
+            for v in nbrs
+            if u < v
+        ]
+        return cls(edges, n=len(adjacency), require_connected=require_connected, name=name)

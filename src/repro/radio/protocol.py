@@ -1,0 +1,141 @@
+"""Generic per-node protocol interface and round-driven simulator.
+
+This is the reference execution engine: protocols are written as per-node
+state machines (:class:`Node`), and :class:`Simulator` drives them round by
+round through :meth:`RadioNetwork.resolve_round`.
+
+The heavy built-in protocols (collection, dissemination, Decay phases) also
+have specialized engines that skip provably idle nodes for speed; those
+engines are validated against this reference simulator in the test suite.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.radio.errors import SimulationLimitExceeded
+from repro.radio.network import RadioNetwork
+from repro.radio.trace import RoundTrace
+
+
+class Node(abc.ABC):
+    """A per-node protocol state machine.
+
+    Subclasses keep only node-local state.  The simulator calls
+    :meth:`act` once per round for awake nodes and delivers successful
+    receptions via :meth:`on_receive` before the next round.
+    """
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.awake = False
+
+    def wake(self, round_index: int) -> None:
+        """Called when the node wakes (time 0 for initiators, or on first
+        reception for the others)."""
+        self.awake = True
+
+    @abc.abstractmethod
+    def act(self, round_index: int) -> Optional[object]:
+        """Return a message to transmit this round, or None to listen."""
+
+    @abc.abstractmethod
+    def on_receive(self, round_index: int, message: object) -> None:
+        """Handle a successful reception at the end of ``round_index``."""
+
+    def is_done(self, round_index: int) -> bool:
+        """Protocol-local termination predicate (default: never)."""
+        return False
+
+
+@dataclass
+class ProtocolOutcome:
+    """Result of running a protocol to completion (or to the round budget)."""
+
+    rounds: int
+    completed: bool
+    trace: RoundTrace
+    nodes: Sequence[Node] = field(repr=False, default=())
+
+
+class Simulator:
+    """Reference round-by-round executor for :class:`Node` protocols."""
+
+    def __init__(
+        self,
+        network: RadioNetwork,
+        nodes: Sequence[Node],
+        keep_records: bool = False,
+    ):
+        if len(nodes) != network.n:
+            raise ValueError(
+                f"got {len(nodes)} nodes for a network of size {network.n}"
+            )
+        self.network = network
+        self.nodes = list(nodes)
+        self.trace = RoundTrace(keep_records=keep_records)
+        self.round_index = 0
+
+    def step(self) -> Dict[int, object]:
+        """Execute one round; returns the reception map."""
+        transmissions: Dict[int, object] = {}
+        for node in self.nodes:
+            if not node.awake:
+                continue
+            message = node.act(self.round_index)
+            if message is not None:
+                transmissions[node.node_id] = message
+
+        received = self.network.resolve_round(transmissions)
+        self.trace.observe(self.round_index, transmissions, received)
+
+        for receiver, message in received.items():
+            node = self.nodes[receiver]
+            if not node.awake:
+                node.wake(self.round_index)
+            node.on_receive(self.round_index, message)
+
+        self.round_index += 1
+        return received
+
+    def run(
+        self,
+        max_rounds: int,
+        stop_when: Optional[Callable[[], bool]] = None,
+        raise_on_budget: bool = False,
+    ) -> ProtocolOutcome:
+        """Run until every node reports done (or ``stop_when``), up to
+        ``max_rounds`` rounds.
+
+        With ``raise_on_budget`` the budget overrun raises
+        :class:`SimulationLimitExceeded`; otherwise it is reported through
+        ``ProtocolOutcome.completed``.
+        """
+        completed = False
+        while self.round_index < max_rounds:
+            self.step()
+            if stop_when is not None:
+                if stop_when():
+                    completed = True
+                    break
+            elif all(
+                node.is_done(self.round_index)
+                for node in self.nodes
+                if node.awake
+            ):
+                completed = True
+                break
+
+        if not completed and raise_on_budget:
+            raise SimulationLimitExceeded(
+                f"protocol did not finish within {max_rounds} rounds",
+                rounds_used=self.round_index,
+            )
+        return ProtocolOutcome(
+            rounds=self.round_index,
+            completed=completed,
+            trace=self.trace,
+            nodes=self.nodes,
+        )

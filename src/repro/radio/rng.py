@@ -1,0 +1,42 @@
+"""Randomness discipline.
+
+Every stochastic component in the library accepts a
+:class:`numpy.random.Generator`.  These helpers normalize user-facing seeds
+and derive independent child generators so that (a) one seed reproduces an
+entire experiment, and (b) parallel protocol components do not share streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a Generator from a seed, SeedSequence, Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(rng: np.random.Generator, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh 63-bit seed from ``rng`` (for labeling / re-derivation)."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def ensure_seed(seed: Optional[int], rng: Optional[np.random.Generator]) -> np.random.Generator:
+    """Resolve the common ``(seed=None, rng=None)`` argument pair."""
+    if rng is not None:
+        return rng
+    return make_rng(seed)

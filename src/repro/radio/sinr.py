@@ -1,0 +1,198 @@
+"""SINR (physical) interference model — the extension the paper's
+conclusions single out ("geometric graphs ... or SINR").
+
+In the Signal-to-Interference-and-Noise-Ratio model, nodes live in the
+plane; a transmission from ``u`` is received by ``v`` iff
+
+    SINR(u→v) = P·d(u,v)^-α / (N + Σ_{w≠u} P·d(w,v)^-α) ≥ β
+
+with path-loss exponent ``α``, ambient noise ``N``, uniform transmit
+power ``P``, and threshold ``β ≥ 1`` (so at most one transmitter can be
+decoded per receiver per round).
+
+:class:`SinrRadioNetwork` *is a* :class:`RadioNetwork` whose connectivity
+graph contains an edge ``(u, v)`` iff a solo transmission crosses the
+threshold (``d ≤ r_max = (P/(Nβ))^(1/α)``) — so all graph-based protocol
+bookkeeping (BFS layers, parents, Δ) stays meaningful — but whose
+:meth:`resolve_round` applies the *physical* rule: interference is
+global, and a reception can fail even when only one neighbor transmits,
+if far-away transmitters raise the interference floor.  Every protocol in
+the library runs unchanged on it; the E13 experiment measures how much
+the graph-model guarantees degrade under physical interference.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.radio.errors import TopologyError
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import SeedLike, make_rng
+
+
+class SinrRadioNetwork(RadioNetwork):
+    """A radio network with plane geometry and SINR reception physics.
+
+    Parameters
+    ----------
+    positions:
+        ``(n, 2)`` array of node coordinates.
+    alpha:
+        Path-loss exponent (free space ≈ 2, urban 3-5).  Must be > 2 for
+        interference sums to behave in the plane.
+    beta:
+        SINR decoding threshold, ``β ≥ 1``.
+    noise:
+        Ambient noise power ``N > 0``.
+    power:
+        Uniform transmit power ``P > 0``.
+    require_connected:
+        Reject deployments whose solo-reception graph is disconnected.
+    """
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        alpha: float = 3.0,
+        beta: float = 1.5,
+        noise: float = 1.0,
+        power: Optional[float] = None,
+        require_connected: bool = True,
+        name: str = "",
+    ):
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise TopologyError("positions must be an (n, 2) array")
+        if alpha <= 2:
+            raise TopologyError("path-loss exponent alpha must exceed 2")
+        if beta < 1:
+            raise TopologyError("SINR threshold beta must be >= 1 "
+                                "(unique decoding)")
+        if noise <= 0:
+            raise TopologyError("noise must be positive")
+
+        n = len(positions)
+        deltas = positions[:, None, :] - positions[None, :, :]
+        dist = np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+        if n > 1:
+            off_diag = dist[~np.eye(n, dtype=bool)]
+            if (off_diag == 0).any():
+                raise TopologyError("two nodes share a position")
+
+        if power is None:
+            # Normalize power so the solo-reception range equals the RGG
+            # connectivity radius of the deployment area (slightly above
+            # the sqrt(ln n / (pi n)) threshold), scaled by the spread of
+            # the positions — mirroring topology.random_geometric.
+            if n > 1:
+                span = float(max(positions.max(axis=0) - positions.min(axis=0)))
+                span = span if span > 0 else 1.0
+                target_range = 1.4 * span * math.sqrt(
+                    math.log(max(n, 2)) / (math.pi * n)
+                )
+                power = noise * beta * target_range**alpha
+            else:
+                power = 1.0
+
+        self.positions = positions
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.noise = float(noise)
+        self.power = float(power)
+        #: Maximum distance at which a solo transmission is decodable.
+        self.solo_range = (self.power / (self.noise * self.beta)) ** (1.0 / alpha)
+
+        # received power matrix: gain[u, v] = P * d(u,v)^-alpha
+        with np.errstate(divide="ignore"):
+            gain = self.power * np.where(dist > 0, dist, np.inf) ** -self.alpha
+        np.fill_diagonal(gain, 0.0)
+        self._gain = gain
+
+        edges = [
+            (u, v)
+            for u in range(n)
+            for v in range(u + 1, n)
+            if dist[u, v] <= self.solo_range
+        ]
+        super().__init__(
+            edges,
+            n=n,
+            require_connected=require_connected,
+            name=name or f"sinr(n={n},α={alpha},β={beta})",
+        )
+
+    # ------------------------------------------------------------------
+
+    def sinr(self, sender: int, receiver: int, transmitters) -> float:
+        """SINR of ``sender``'s signal at ``receiver`` given the full set
+        of concurrent ``transmitters`` (which must include ``sender``)."""
+        signal = self._gain[sender, receiver]
+        interference = sum(
+            self._gain[w, receiver] for w in transmitters if w != sender
+        )
+        return signal / (self.noise + interference)
+
+    def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
+        """Physical-model reception: a non-transmitting node receives the
+        message of the (unique, since β ≥ 1) transmitter whose SINR at it
+        crosses the threshold.
+
+        Overrides the graph-model rule of :class:`RadioNetwork`; all
+        protocol engines call this polymorphically, so they run under
+        SINR physics unchanged.
+        """
+        if not transmissions:
+            return {}
+        senders = list(transmissions.keys())
+        gains = self._gain[senders, :]            # (T, n) received powers
+        total = gains.sum(axis=0) + self.noise    # (n,) interference+noise+signal
+        received: Dict[int, object] = {}
+        # SINR_t(v) = gains[t, v] / (total[v] - gains[t, v])
+        best = gains.max(axis=0)
+        best_idx = gains.argmax(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sinr = best / (total - best)
+        for v in range(self._n):
+            if v in transmissions:
+                continue  # half-duplex
+            if sinr[v] >= self.beta:
+                received[v] = transmissions[senders[int(best_idx[v])]]
+        return received
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def random_deployment(
+        cls,
+        n: int,
+        seed: SeedLike = None,
+        alpha: float = 3.0,
+        beta: float = 1.5,
+        noise: float = 1.0,
+        power: Optional[float] = None,
+        area_side: float = 1.0,
+        max_attempts: int = 50,
+    ) -> "SinrRadioNetwork":
+        """Uniform random deployment in a square, retried until the
+        solo-reception graph is connected."""
+        rng = make_rng(seed)
+        last_error: Optional[TopologyError] = None
+        for _ in range(max_attempts):
+            positions = rng.random((n, 2)) * area_side
+            try:
+                return cls(
+                    positions,
+                    alpha=alpha,
+                    beta=beta,
+                    noise=noise,
+                    power=power,
+                )
+            except TopologyError as exc:
+                last_error = exc
+        raise TopologyError(
+            f"no connected SINR deployment in {max_attempts} attempts "
+            f"(last error: {last_error})"
+        )

@@ -1,0 +1,117 @@
+"""Round traces: lightweight transcripts of simulated executions.
+
+Traces serve two purposes: tests assert fine-grained protocol behaviour
+against them, and the experiment harness derives its summary statistics
+(busy rounds, collision counts, delivered messages) from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """What happened in one simulated round.
+
+    Attributes
+    ----------
+    round_index:
+        Global round number (0-based).
+    num_transmitters:
+        How many nodes transmitted.
+    num_receivers:
+        How many nodes successfully received (exactly-one-neighbor rule).
+    num_collision_victims:
+        Nodes reached by ≥ 2 transmitters (heard nothing, learned nothing).
+    """
+
+    round_index: int
+    num_transmitters: int
+    num_receivers: int
+    num_collision_victims: int
+
+
+class RoundTrace:
+    """Accumulates :class:`RoundRecord` entries and summary statistics.
+
+    Recording full per-round detail for million-round executions would be
+    wasteful, so the trace always keeps aggregate counters and only keeps
+    per-round records when ``keep_records`` is true.
+    """
+
+    def __init__(self, keep_records: bool = False):
+        self.keep_records = keep_records
+        self.records: List[RoundRecord] = []
+        self.total_rounds = 0
+        self.busy_rounds = 0
+        self.total_transmissions = 0
+        self.total_receptions = 0
+        self.total_collision_victims = 0
+
+    def observe(
+        self,
+        round_index: int,
+        transmissions: Mapping[int, object],
+        received: Mapping[int, object],
+        reach_counts: Mapping[int, int] = None,
+    ) -> None:
+        """Record one resolved round.
+
+        ``reach_counts`` (node -> number of transmitting neighbors) is
+        optional; when absent, collision victims are not counted.
+        """
+        num_tx = len(transmissions)
+        num_rx = len(received)
+        victims = 0
+        if reach_counts is not None:
+            victims = sum(1 for c in reach_counts.values() if c >= 2)
+
+        self.total_rounds = max(self.total_rounds, round_index + 1)
+        if num_tx:
+            self.busy_rounds += 1
+        self.total_transmissions += num_tx
+        self.total_receptions += num_rx
+        self.total_collision_victims += victims
+
+        if self.keep_records:
+            self.records.append(
+                RoundRecord(
+                    round_index=round_index,
+                    num_transmitters=num_tx,
+                    num_receivers=num_rx,
+                    num_collision_victims=victims,
+                )
+            )
+
+    def advance_to(self, round_index: int) -> None:
+        """Note that time has advanced (possibly through silent rounds)."""
+        self.total_rounds = max(self.total_rounds, round_index)
+
+    def summary(self) -> Dict[str, float]:
+        """Aggregate statistics for reporting."""
+        return {
+            "total_rounds": self.total_rounds,
+            "busy_rounds": self.busy_rounds,
+            "total_transmissions": self.total_transmissions,
+            "total_receptions": self.total_receptions,
+            "total_collision_victims": self.total_collision_victims,
+            "delivery_ratio": (
+                self.total_receptions / self.total_transmissions
+                if self.total_transmissions
+                else 0.0
+            ),
+        }
+
+
+def merge_summaries(summaries: List[Dict[str, float]]) -> Dict[str, Tuple[float, float]]:
+    """Mean and max per key across several trace summaries."""
+    if not summaries:
+        return {}
+    keys = summaries[0].keys()
+    out: Dict[str, Tuple[float, float]] = {}
+    for key in keys:
+        values = [s[key] for s in summaries]
+        out[key] = (sum(values) / len(values), max(values))
+    return out

@@ -1,0 +1,47 @@
+"""Topology generators and graph metrics for radio-network experiments.
+
+All generators return :class:`repro.radio.RadioNetwork` instances and are
+deterministic given a seed.  The families cover the regimes the paper's
+bounds distinguish: long thin graphs (large ``D``), dense graphs (large
+``Δ``), and the random geometric graphs typical of ad-hoc deployments.
+"""
+
+from repro.topology.generators import (
+    balanced_tree,
+    barbell,
+    caterpillar,
+    clique,
+    grid,
+    hypercube,
+    line,
+    random_connected_gnp,
+    random_geometric,
+    ring,
+    star,
+    torus,
+)
+from repro.topology.metrics import (
+    degree_histogram,
+    graph_summary,
+    layers_are_bfs_consistent,
+    validate_bfs_tree,
+)
+
+__all__ = [
+    "balanced_tree",
+    "barbell",
+    "caterpillar",
+    "clique",
+    "degree_histogram",
+    "graph_summary",
+    "grid",
+    "hypercube",
+    "layers_are_bfs_consistent",
+    "line",
+    "random_connected_gnp",
+    "random_geometric",
+    "ring",
+    "star",
+    "torus",
+    "validate_bfs_tree",
+]

@@ -1,0 +1,86 @@
+"""Graph metrics and validators used by protocols, tests, and reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.radio.network import RadioNetwork
+
+
+def graph_summary(network: RadioNetwork) -> Dict[str, float]:
+    """The parameters the paper's bounds are stated in: n, D, Δ (+ extras)."""
+    degrees = [network.degree(v) for v in network.nodes()]
+    return {
+        "n": network.n,
+        "m": network.num_edges,
+        "diameter": network.diameter,
+        "max_degree": network.max_degree,
+        "min_degree": min(degrees) if degrees else 0,
+        "avg_degree": (sum(degrees) / len(degrees)) if degrees else 0.0,
+    }
+
+
+def degree_histogram(network: RadioNetwork) -> Dict[int, int]:
+    """Mapping degree -> number of nodes with that degree."""
+    hist: Dict[int, int] = {}
+    for v in network.nodes():
+        d = network.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def validate_bfs_tree(
+    network: RadioNetwork,
+    root: int,
+    parent: Sequence[int],
+    distance: Sequence[int],
+) -> List[str]:
+    """Check a claimed distributed BFS result against ground truth.
+
+    Returns a list of human-readable violations (empty = valid):
+
+    - the root has parent -1 and distance 0;
+    - every other node's parent is an actual neighbor;
+    - every node's distance equals the true hop distance from the root;
+    - ``distance[v] == distance[parent[v]] + 1``.
+    """
+    errors: List[str] = []
+    truth = network.bfs_distances(root)
+
+    if parent[root] != -1:
+        errors.append(f"root {root} has parent {parent[root]} (expected -1)")
+    if distance[root] != 0:
+        errors.append(f"root {root} has distance {distance[root]} (expected 0)")
+
+    for v in network.nodes():
+        if v == root:
+            continue
+        p = parent[v]
+        if p < 0:
+            errors.append(f"node {v} never joined the tree")
+            continue
+        if not network.has_edge(v, p):
+            errors.append(f"node {v} claims non-neighbor parent {p}")
+        if distance[v] != int(truth[v]):
+            errors.append(
+                f"node {v} claims distance {distance[v]}, true distance {int(truth[v])}"
+            )
+        if distance[v] != distance[p] + 1:
+            errors.append(
+                f"node {v} distance {distance[v]} != parent distance {distance[p]} + 1"
+            )
+    return errors
+
+
+def layers_are_bfs_consistent(network: RadioNetwork, root: int) -> bool:
+    """Check the BFS-layering property the dissemination pipeline relies on:
+    adjacent nodes differ by at most one in hop distance from the root.
+
+    True for every connected graph; exposed as an executable sanity check
+    because the spacing-3 pipelining argument depends on it.
+    """
+    dist = network.bfs_distances(root)
+    for u, v in network.edge_list():
+        if abs(int(dist[u]) - int(dist[v])) > 1:
+            return False
+    return True

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import AlgorithmParameters
+from repro.radio.network import RadioNetwork
+from repro.topology import grid, line, star
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path4():
+    """0 - 1 - 2 - 3"""
+    return line(4)
+
+
+@pytest.fixture
+def small_grid():
+    return grid(4, 4)
+
+
+@pytest.fixture
+def small_star():
+    return star(6)
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    """Triangle 0-1-2 with a tail 2-3-4: mixes cycles and a path."""
+    return RadioNetwork([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)], name="tri+tail")
+
+
+@pytest.fixture
+def fast_params():
+    return AlgorithmParameters.fast()

@@ -1,0 +1,199 @@
+"""Tests for convergecast aggregation (the sensor-network application)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import aggregate_convergecast
+from repro.apps.aggregation import default_convergecast_epochs
+from repro.radio.errors import ProtocolError
+from repro.topology import balanced_tree, grid, line, random_geometric, star
+
+
+def _bfs(net, root=0):
+    return net.bfs_tree(root), net.bfs_distances(root).tolist()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "net",
+        [line(8), grid(3, 4), star(9), balanced_tree(2, 3),
+         random_geometric(30, seed=4)],
+        ids=lambda net: net.name.split("(")[0],
+    )
+    @pytest.mark.parametrize(
+        "combine,reduce_fn",
+        [(min, min), (max, max), (lambda a, b: a + b, sum)],
+        ids=["min", "max", "sum"],
+    )
+    def test_aggregates_match_truth(self, net, combine, reduce_fn):
+        parent, dist = _bfs(net)
+        rng_vals = np.random.default_rng(1)
+        values = [int(v) for v in rng_vals.integers(0, 1000, size=net.n)]
+        result = aggregate_convergecast(
+            net, parent, dist, 0, values, combine, np.random.default_rng(2)
+        )
+        assert result.complete, result.missing
+        if reduce_fn is sum:
+            assert result.value == sum(values)
+        else:
+            assert result.value == reduce_fn(values)
+        assert result.included == net.n
+
+    def test_sum_exactly_once(self):
+        """The non-idempotent case: every value counted exactly once even
+        though each node transmits many times."""
+        net = star(12)
+        parent, dist = _bfs(net)
+        values = [1] * net.n
+        for seed in range(5):
+            result = aggregate_convergecast(
+                net, parent, dist, 0, values, lambda a, b: a + b,
+                np.random.default_rng(seed),
+            )
+            assert result.complete
+            assert result.value == net.n
+
+    def test_single_node(self):
+        from repro.radio.network import RadioNetwork
+
+        net = RadioNetwork([], n=1)
+        result = aggregate_convergecast(
+            net, [-1], [0], 0, [42], min, np.random.default_rng(0)
+        )
+        assert result.complete
+        assert result.value == 42
+        assert result.rounds == 0
+
+    def test_nonroot_center(self):
+        net = line(7)
+        root = 3
+        parent, dist = _bfs(net, root)
+        values = list(range(7))
+        result = aggregate_convergecast(
+            net, parent, dist, root, values, max, np.random.default_rng(3)
+        )
+        assert result.complete
+        assert result.value == 6
+
+
+class TestSchedule:
+    def test_round_accounting(self):
+        from repro.primitives.decay import decay_slots
+
+        net = line(5)
+        parent, dist = _bfs(net)
+        result = aggregate_convergecast(
+            net, parent, dist, 0, [0] * 5, min, np.random.default_rng(0),
+            epochs_per_phase=3,
+        )
+        assert result.phases == 4  # ecc phases (deepest -> layer 1)
+        assert result.rounds == 4 * 3 * decay_slots(net.max_degree)
+
+    def test_default_epochs_scale_with_degree(self):
+        assert default_convergecast_epochs(star(30)) > \
+            default_convergecast_epochs(line(30))
+
+    def test_cheaper_than_full_broadcast_for_aggregates(self):
+        """The E19 claim at test scale: aggregation at the root costs far
+        fewer rounds than broadcasting all n values everywhere."""
+        from repro import MultipleMessageBroadcast
+        from repro.experiments.workloads import all_nodes_one_packet
+
+        net = grid(5, 5)
+        parent, dist = _bfs(net)
+        agg = aggregate_convergecast(
+            net, parent, dist, 0, list(range(net.n)), min,
+            np.random.default_rng(1),
+        )
+        assert agg.complete
+        full = MultipleMessageBroadcast(net, seed=2).run(
+            all_nodes_one_packet(net, seed=3)
+        )
+        assert full.success
+        assert agg.rounds < full.total_rounds / 4
+
+
+class TestFailureHonesty:
+    def test_starved_budget_reports_missing(self):
+        net = star(20)  # 19 children contend at the hub
+        parent, dist = _bfs(net)
+        missing_any = False
+        for seed in range(6):
+            result = aggregate_convergecast(
+                net, parent, dist, 0, [1] * net.n, lambda a, b: a + b,
+                np.random.default_rng(seed), epochs_per_phase=2,
+            )
+            if not result.complete:
+                missing_any = True
+                # the reported value is the aggregate over included only
+                assert result.value == result.included
+                assert result.included + len(result.missing) == net.n
+        assert missing_any
+
+    def test_validation(self):
+        net = line(3)
+        parent, dist = _bfs(net)
+        with pytest.raises(ProtocolError, match="one value"):
+            aggregate_convergecast(
+                net, parent, dist, 0, [1, 2], min, np.random.default_rng(0)
+            )
+        with pytest.raises(ProtocolError, match="root"):
+            aggregate_convergecast(
+                net, parent, [1, 1, 2], 0, [1, 2, 3], min,
+                np.random.default_rng(0),
+            )
+        with pytest.raises(ProtocolError, match="labels"):
+            aggregate_convergecast(
+                net, parent, [0, 1, -1], 0, [1, 2, 3], min,
+                np.random.default_rng(0),
+            )
+
+
+class TestTopologyLearning:
+    def test_learns_exactly(self):
+        from repro.apps import learn_topology
+        from repro.topology import random_geometric
+
+        net = random_geometric(30, seed=6)
+        result = learn_topology(net, seed=4)
+        assert result.success
+        assert result.correct
+        assert result.learned_edges == net.edge_list()
+        assert result.rounds == result.broadcast.total_rounds
+
+    def test_learned_topology_drives_tdma(self):
+        """The full pipeline: learn, color, flood deterministically."""
+        from repro.apps import learn_topology
+        from repro.baselines.tdma import (
+            distance2_coloring,
+            tdma_flood_broadcast,
+            verify_distance2_coloring,
+        )
+        from repro.coding.packets import make_packets
+        from repro.radio.network import RadioNetwork
+        from repro.topology import grid
+
+        truth = grid(4, 4)
+        learned = learn_topology(truth, seed=1)
+        assert learned.correct
+        # rebuild the network from what was *learned*, not the original
+        net = RadioNetwork(learned.learned_edges, n=truth.n)
+        colors = distance2_coloring(net)
+        assert verify_distance2_coloring(net, colors) == []
+        flood = tdma_flood_broadcast(
+            net, make_packets([0, 15], size_bits=8, seed=2), colors=colors
+        )
+        assert flood.complete
+
+    def test_corrupted_announcement_rejected_by_mutual_confirmation(self):
+        from repro.apps.topology_learning import decode_topology
+
+        # node 0 claims an edge to 2; node 2 does not confirm
+        payloads = [0b0100, 0b0000, 0b0000]
+        assert decode_topology(payloads, 3) == []
+
+    def test_mutual_confirmation_accepts(self):
+        from repro.apps.topology_learning import decode_topology
+
+        payloads = [0b010, 0b101, 0b010]  # path 0-1-2
+        assert decode_topology(payloads, 3) == [(0, 1), (1, 2)]

@@ -1,0 +1,73 @@
+"""Unit + Monte-Carlo tests for the Lemma 1/2 bound calculators."""
+
+import math
+
+import pytest
+
+from repro.analysis.chernoff import (
+    lemma1_round_budget,
+    lemma1_tail_bound,
+    lemma2_threshold,
+    monte_carlo_bernoulli_tail,
+    monte_carlo_geometric_tail,
+)
+
+
+class TestLemma1:
+    def test_budget_formula(self):
+        assert lemma1_round_budget(0.5, 1, 0) == 6
+        assert lemma1_round_budget(0.25, 2, 3) == 48
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            lemma1_round_budget(0, 1, 1)
+        with pytest.raises(ValueError):
+            lemma1_round_budget(0.5, 0.5, 1)
+        with pytest.raises(ValueError):
+            lemma1_round_budget(0.5, 1, -1)
+
+    def test_tail_bound(self):
+        assert lemma1_tail_bound(0) == 1.0
+        assert abs(lemma1_tail_bound(2) - math.exp(-2)) < 1e-12
+
+    @pytest.mark.parametrize(
+        "p,d,tau", [(0.5, 3, 2), (0.1, 1, 3), (0.25, 5, 1), (0.9, 2, 4)]
+    )
+    def test_bound_holds_empirically(self, p, d, tau):
+        emp, bound = monte_carlo_bernoulli_tail(p, d, tau, trials=20000, seed=1)
+        assert emp <= bound + 0.01  # MC slack
+
+
+class TestLemma2:
+    def test_threshold_formula(self):
+        # two fair geometrics: mu = 4, p_min = 0.5
+        t = lemma2_threshold([0.5, 0.5], eps=math.exp(-1))
+        assert abs(t - (8 + 4 / 0.5)) < 1e-12
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            lemma2_threshold([], 0.1)
+        with pytest.raises(ValueError):
+            lemma2_threshold([1.5], 0.1)
+        with pytest.raises(ValueError):
+            lemma2_threshold([0.5], 1.5)
+
+    @pytest.mark.parametrize(
+        "params,eps",
+        [
+            ([0.5] * 10, 0.05),
+            ([0.9, 0.5, 0.1], 0.1),
+            ([0.3] * 4, 0.01),
+        ],
+    )
+    def test_bound_holds_empirically(self, params, eps):
+        emp, bound = monte_carlo_geometric_tail(params, eps, trials=20000, seed=2)
+        assert emp <= bound + 0.01
+
+    def test_bound_not_vacuous(self):
+        """For fair geometrics the threshold is within a small constant of
+        the mean, so the bound actually bites."""
+        params = [0.5] * 20
+        t = lemma2_threshold(params, eps=0.01)
+        mu = sum(1 / p for p in params)
+        assert t < 4 * mu

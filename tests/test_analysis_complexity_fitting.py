@@ -1,0 +1,156 @@
+"""Unit tests for complexity predictors and the shape-fitting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.complexity import (
+    bii_amortized_bound,
+    bii_total_bound,
+    fact1_leader_election_bound,
+    lemma4_grab_bound,
+    lemma5_collection_bound,
+    lemma6_forward_receptions,
+    lemma7_dissemination_bound,
+    theorem1_bfs_bound,
+    theorem2_amortized_bound,
+    theorem2_total_bound,
+)
+from repro.analysis.fitting import fit_linear_predictor, fit_ratio
+
+
+class TestPredictors:
+    def test_theorem2_dominates_k_term(self):
+        base = theorem2_total_bound(100, 10, 8, 100)
+        double_k = theorem2_total_bound(100, 10, 8, 10000)
+        # for large k the bound is ~ k log delta
+        assert double_k > 50 * base / 2
+
+    def test_theorem2_amortized_is_log_delta(self):
+        assert theorem2_amortized_bound(8) == 3.0
+        assert theorem2_amortized_bound(1) == 1.0  # clamped
+
+    def test_bii_amortized_has_log_n_factor(self):
+        ratio = bii_amortized_bound(1024, 8) / theorem2_amortized_bound(8)
+        assert ratio == 10.0  # log2(1024)
+
+    def test_bii_total_exceeds_ours_for_large_k(self):
+        args = (256, 10, 8, 10_000)
+        assert bii_total_bound(*args) > theorem2_total_bound(*args)
+
+    def test_monotonicity_in_each_parameter(self):
+        base = theorem2_total_bound(64, 8, 8, 50)
+        assert theorem2_total_bound(128, 8, 8, 50) > base
+        assert theorem2_total_bound(64, 16, 8, 50) > base
+        assert theorem2_total_bound(64, 8, 16, 50) > base
+        assert theorem2_total_bound(64, 8, 8, 100) > base
+
+    def test_fact1_and_theorem1(self):
+        assert fact1_leader_election_bound(64, 10, 4) == (10 + 6) * 6 * 2
+        assert theorem1_bfs_bound(64, 10, 4) == 10 * 6 * 2
+
+    def test_lemma4(self):
+        # x + D log x + log^2 n
+        assert lemma4_grab_bound(16, 5, 8) == 8 + 5 * 3 + 16
+
+    def test_lemma5(self):
+        assert lemma5_collection_bound(16, 5, 100) == 100 + (5 + 4) * 4
+
+    def test_lemma6(self):
+        assert lemma6_forward_receptions(1024, 10) == 12.0
+        assert lemma6_forward_receptions(2**20, 3) == 20.0
+
+    def test_lemma7(self):
+        assert lemma7_dissemination_bound(16, 5, 4, 40) == 5 * 4 * 2 + 40 * 2
+
+    def test_degenerate_inputs_clamped(self):
+        # log terms never go below 1
+        assert theorem2_total_bound(1, 1, 1, 1) >= 1
+
+
+class TestFitting:
+    def test_perfect_fit(self):
+        pred = [1.0, 2.0, 4.0, 8.0]
+        meas = [3.0, 6.0, 12.0, 24.0]
+        fit = fit_linear_predictor(meas, pred)
+        assert abs(fit.coefficient - 3.0) < 1e-12
+        assert fit.r_squared > 0.999999
+        assert abs(fit.ratio_spread - 1.0) < 1e-12
+
+    def test_noisy_fit(self):
+        rng = np.random.default_rng(0)
+        pred = np.linspace(10, 100, 20)
+        meas = 5 * pred * (1 + 0.05 * rng.standard_normal(20))
+        fit = fit_linear_predictor(meas, pred)
+        assert 4.5 < fit.coefficient < 5.5
+        assert fit.r_squared > 0.9
+        assert fit.ratio_spread < 1.5
+
+    def test_wrong_shape_detected(self):
+        # measured grows quadratically while predictor is linear
+        pred = np.arange(1.0, 11.0)
+        meas = pred**2
+        fit = fit_linear_predictor(meas, pred)
+        assert fit.ratio_spread >= 9.9  # ratios span 1..10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_linear_predictor([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_linear_predictor([], [])
+        with pytest.raises(ValueError):
+            fit_linear_predictor([1.0], [0.0])
+
+    def test_fit_ratio(self):
+        assert fit_ratio([4.0, 9.0], [2.0, 3.0]) == [2.0, 3.0]
+
+
+class TestLowerBounds:
+    def test_randomized_k_broadcast(self):
+        from repro.analysis.lower_bounds import randomized_k_broadcast_lower_bound
+
+        # k dominates for large k
+        assert randomized_k_broadcast_lower_bound(64, 8, 1000) >= 1000
+        # additive log(n/D) term present for small k
+        assert randomized_k_broadcast_lower_bound(1024, 2, 1) > 1 + 8
+
+    def test_single_broadcast(self):
+        from repro.analysis.lower_bounds import (
+            randomized_single_broadcast_lower_bound,
+        )
+
+        assert randomized_single_broadcast_lower_bound(64, 4) == 16.0
+
+    def test_deterministic_dominates_randomized(self):
+        from repro.analysis.lower_bounds import (
+            deterministic_k_broadcast_lower_bound,
+            randomized_k_broadcast_lower_bound,
+        )
+
+        n, d, k = 256, 10, 100
+        assert (
+            deterministic_k_broadcast_lower_bound(n, k)
+            > randomized_k_broadcast_lower_bound(n, d, k)
+        )
+
+    def test_oblivious_schedule(self):
+        from repro.analysis.lower_bounds import oblivious_schedule_lower_bound
+
+        assert oblivious_schedule_lower_bound(16) == 64.0
+
+    def test_optimality_gap_matches_measurement(self):
+        """End-to-end: the gap at large k is a modest multiple of logΔ."""
+        import math
+
+        from repro import MultipleMessageBroadcast, grid
+        from repro.analysis.lower_bounds import optimality_gap
+        from repro.experiments.workloads import uniform_random_placement
+
+        net = grid(4, 4)
+        k = 300
+        packets = uniform_random_placement(net, k=k, seed=1)
+        result = MultipleMessageBroadcast(net, seed=2).run(packets)
+        assert result.success
+        gap = optimality_gap(result.total_rounds, net.n, net.diameter, k)
+        # gap = (constant) * logΔ; with logΔ = 2 expect a two-digit gap,
+        # far below the deterministic lower bound's n log n regime.
+        assert 10 < gap < 500

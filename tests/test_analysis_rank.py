@@ -1,0 +1,72 @@
+"""Unit + Monte-Carlo tests for Lemma 3 (random binary matrix rank)."""
+
+import math
+
+import pytest
+
+from repro.analysis.rank_bounds import (
+    exact_full_rank_probability,
+    expected_rows_until_full_rank,
+    lemma3_required_rows,
+    monte_carlo_full_rank_probability,
+)
+
+
+class TestRequiredRows:
+    def test_formula(self):
+        # 2(w+2) + 8 ln(1/eps)
+        assert lemma3_required_rows(8, math.exp(-1)) == math.ceil(20 + 8)
+
+    def test_monotone_in_w(self):
+        assert lemma3_required_rows(20, 0.01) > lemma3_required_rows(5, 0.01)
+
+    def test_monotone_in_eps(self):
+        assert lemma3_required_rows(5, 0.001) > lemma3_required_rows(5, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lemma3_required_rows(0, 0.1)
+        with pytest.raises(ValueError):
+            lemma3_required_rows(3, 0.0)
+
+
+class TestExactProbability:
+    def test_below_square_is_zero(self):
+        assert exact_full_rank_probability(3, 5) == 0.0
+
+    def test_square_matrix_known_value(self):
+        # Pr(full rank of w x w) = prod_{i=1..w} (1 - 2^-i); for w=2: 3/8
+        assert abs(exact_full_rank_probability(2, 2) - 0.375) < 1e-12
+
+    def test_one_column(self):
+        # all-zero column prob 2^-l
+        assert abs(exact_full_rank_probability(4, 1) - (1 - 2**-4)) < 1e-12
+
+    def test_approaches_one_with_many_rows(self):
+        assert exact_full_rank_probability(60, 10) > 0.999
+
+    def test_monotone_in_rows(self):
+        probs = [exact_full_rank_probability(l, 6) for l in range(6, 20)]
+        assert all(a <= b + 1e-15 for a, b in zip(probs, probs[1:]))
+
+
+class TestLemma3Validity:
+    @pytest.mark.parametrize("w,eps", [(4, 0.1), (8, 0.05), (12, 0.1)])
+    def test_required_rows_achieve_eps_exactly(self, w, eps):
+        """The lemma's sufficient l gives exact failure prob <= eps (the
+        lemma is a conservative bound, so this must hold with margin)."""
+        l = lemma3_required_rows(w, eps)
+        assert 1.0 - exact_full_rank_probability(l, w) <= eps
+
+    def test_monte_carlo_matches_exact(self):
+        for rows, cols in [(6, 4), (10, 8), (8, 8)]:
+            exact = exact_full_rank_probability(rows, cols)
+            mc = monte_carlo_full_rank_probability(rows, cols, trials=3000, seed=3)
+            assert abs(mc - exact) < 0.04
+
+
+class TestExpectedRows:
+    def test_bounded_by_w_plus_2(self):
+        """The paper's proof uses E[rows to full rank] <= w + 2."""
+        for w in [1, 2, 5, 10, 30]:
+            assert w <= expected_rows_until_full_rank(w) <= w + 2

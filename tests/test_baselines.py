@@ -1,0 +1,180 @@
+"""Unit tests for the baseline broadcast algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    decay_gossip_broadcast,
+    sequential_bgi_broadcast,
+    uncoded_pipeline_broadcast,
+)
+from repro.coding.packets import make_packets
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.errors import SimulationLimitExceeded
+from repro.topology import grid, line, random_geometric, star
+
+
+class TestGossip:
+    @pytest.mark.parametrize(
+        "net", [line(8), grid(3, 3), star(10)], ids=["line", "grid", "star"]
+    )
+    def test_completes(self, net):
+        packets = uniform_random_placement(net, k=6, seed=1)
+        result = decay_gossip_broadcast(net, packets, np.random.default_rng(2))
+        assert result.complete
+        assert result.k == 6
+
+    def test_no_packets(self):
+        result = decay_gossip_broadcast(line(3), [], np.random.default_rng(0))
+        assert result.complete
+        assert result.rounds == 0
+
+    def test_everyone_already_knows(self):
+        """k packets at every node would need n*k placements; instead: one
+        packet per node on a 2-clique — both know each other's after one
+        exchange round or more."""
+        net = line(2)
+        packets = make_packets([0, 1], size_bits=8, seed=0)
+        result = decay_gossip_broadcast(net, packets, np.random.default_rng(1))
+        assert result.complete
+
+    def test_budget_truncation(self):
+        net = line(20)
+        packets = uniform_random_placement(net, k=10, seed=0)
+        result = decay_gossip_broadcast(
+            net, packets, np.random.default_rng(0), max_epochs=2
+        )
+        assert not result.complete
+
+    def test_budget_raise(self):
+        net = line(20)
+        packets = uniform_random_placement(net, k=10, seed=0)
+        with pytest.raises(SimulationLimitExceeded):
+            decay_gossip_broadcast(
+                net, packets, np.random.default_rng(0), max_epochs=2,
+                raise_on_budget=True,
+            )
+
+    def test_duplicates_counted(self):
+        net = star(6)
+        packets = make_packets([0] * 3, size_bits=8, seed=0)
+        result = decay_gossip_broadcast(net, packets, np.random.default_rng(3))
+        assert result.complete
+        assert result.duplicate_receptions > 0  # k=3 over a star: inevitable
+
+    def test_amortized_metric(self):
+        net = line(5)
+        packets = uniform_random_placement(net, k=4, seed=2)
+        result = decay_gossip_broadcast(net, packets, np.random.default_rng(1))
+        assert result.amortized_rounds_per_packet == result.rounds / 4
+
+    def test_deterministic_given_seed(self):
+        net = random_geometric(20, seed=5)
+        packets = uniform_random_placement(net, k=5, seed=1)
+        r1 = decay_gossip_broadcast(net, packets, np.random.default_rng(7))
+        r2 = decay_gossip_broadcast(net, packets, np.random.default_rng(7))
+        assert r1.rounds == r2.rounds
+        assert r1.transmissions == r2.transmissions
+
+
+class TestSequentialBgi:
+    def test_completes(self):
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=4, seed=1)
+        result = sequential_bgi_broadcast(net, packets, np.random.default_rng(2))
+        assert result.complete
+        assert result.per_packet_complete == [True] * 4
+
+    def test_rounds_linear_in_k(self):
+        net = line(6)
+        p2 = uniform_random_placement(net, k=2, seed=0)
+        p6 = uniform_random_placement(net, k=6, seed=0)
+        r2 = sequential_bgi_broadcast(net, p2, np.random.default_rng(1))
+        r6 = sequential_bgi_broadcast(net, p6, np.random.default_rng(1))
+        assert r6.rounds == 3 * r2.rounds  # fixed window per packet
+
+    def test_no_packets(self):
+        result = sequential_bgi_broadcast(line(3), [], np.random.default_rng(0))
+        assert result.complete
+        assert result.rounds == 0
+
+    def test_tiny_window_incomplete(self):
+        net = line(25)
+        packets = uniform_random_placement(net, k=3, seed=0)
+        result = sequential_bgi_broadcast(
+            net, packets, np.random.default_rng(0), epochs_per_packet=2
+        )
+        assert not result.complete
+
+
+class TestUncodedPipeline:
+    def test_runs_and_reports(self):
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=6, seed=3)
+        result = uncoded_pipeline_broadcast(net, packets, seed=5)
+        assert result.k == 6
+        assert result.dissemination is not None
+        assert result.dissemination.coded_transmissions == 0
+
+    def test_overrides_preserved(self):
+        from repro.core import AlgorithmParameters
+
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=4, seed=1)
+        params = AlgorithmParameters(group_spacing=3, forward_epochs_factor=4.0)
+        result = uncoded_pipeline_broadcast(net, packets, params=params, seed=2)
+        assert result.dissemination.plain_transmissions > 0
+
+
+class TestGossipSelectionPolicies:
+    @pytest.mark.parametrize(
+        "selection", ["uniform", "round_robin", "newest_first"]
+    )
+    def test_all_policies_complete(self, selection):
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=6, seed=1)
+        result = decay_gossip_broadcast(
+            net, packets, np.random.default_rng(2), selection=selection
+        )
+        assert result.complete, selection
+
+    def test_unknown_policy_rejected(self):
+        net = line(3)
+        packets = uniform_random_placement(net, k=2, seed=0)
+        with pytest.raises(ValueError, match="selection"):
+            decay_gossip_broadcast(
+                net, packets, np.random.default_rng(0), selection="psychic"
+            )
+
+    def test_round_robin_cycles_through_packets(self):
+        """A round-robin node with several packets never repeats one until
+        it has sent each once (observed through the trace)."""
+        from repro.radio.trace import RoundTrace
+
+        net = star(2)  # nodes 0, 1
+        packets = make_packets([0, 0, 0], size_bits=8, seed=0)
+        # run a couple of epochs manually by calling with tiny budget;
+        # capture what node 0 transmitted via a recording wrapper
+        from repro.radio.transcript import RecordingNetwork
+
+        rec = RecordingNetwork(net)
+        decay_gossip_broadcast(
+            rec, packets, np.random.default_rng(1),
+            selection="round_robin", max_epochs=30,
+        )
+        sent_by_0 = [
+            e.transmissions[0] for e in rec.transcript if 0 in e.transmissions
+        ]
+        for i in range(0, len(sent_by_0) - 2, 3):
+            assert sorted(sent_by_0[i:i + 3]) == [0, 1, 2]
+
+    def test_policies_give_different_executions(self):
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=8, seed=3)
+        rounds = {
+            sel: decay_gossip_broadcast(
+                net, packets, np.random.default_rng(7), selection=sel
+            ).rounds
+            for sel in ["uniform", "round_robin", "newest_first"]
+        }
+        assert len(set(rounds.values())) > 1

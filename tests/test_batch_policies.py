@@ -1,0 +1,98 @@
+"""Unit tests for batch dispatch policies and their effect on batching."""
+
+import pytest
+
+from repro.dynamic import (
+    BatchedDynamicBroadcast,
+    ImmediatePolicy,
+    SizeThresholdPolicy,
+    TimerPolicy,
+    periodic_arrivals,
+)
+from repro.topology import grid, line
+
+
+class TestPolicyArithmetic:
+    def test_immediate(self):
+        p = ImmediatePolicy()
+        assert p.dispatch_time(0, 1, 50) == 50
+
+    def test_size_threshold_reached(self):
+        p = SizeThresholdPolicy(min_batch=4, max_wait=100)
+        assert p.dispatch_time(10, 4, 20) == 20
+        assert p.dispatch_time(10, 9, 20) == 20
+
+    def test_size_threshold_deadline(self):
+        p = SizeThresholdPolicy(min_batch=4, max_wait=100)
+        # below threshold: hold until oldest packet waited max_wait
+        assert p.dispatch_time(10, 2, 20) == 110
+
+    def test_size_threshold_deadline_already_passed(self):
+        p = SizeThresholdPolicy(min_batch=4, max_wait=5)
+        assert p.dispatch_time(10, 1, 200) == 200
+
+    def test_size_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SizeThresholdPolicy(min_batch=0, max_wait=10)
+        with pytest.raises(ValueError):
+            SizeThresholdPolicy(min_batch=1, max_wait=-1)
+
+    def test_timer(self):
+        p = TimerPolicy(period=100)
+        assert p.dispatch_time(0, 1, 0) == 0
+        assert p.dispatch_time(0, 1, 1) == 100
+        assert p.dispatch_time(0, 1, 100) == 100
+        assert p.dispatch_time(0, 1, 101) == 200
+
+    def test_timer_validation(self):
+        with pytest.raises(ValueError):
+            TimerPolicy(period=0)
+
+
+class TestPoliciesEndToEnd:
+    def test_size_threshold_coalesces_more_than_immediate(self):
+        net = grid(3, 3)
+        arrivals = periodic_arrivals(net, period=300, count=12, seed=2)
+        immediate = BatchedDynamicBroadcast(net, seed=1).run(arrivals)
+        thresholded = BatchedDynamicBroadcast(
+            net, seed=1, policy=SizeThresholdPolicy(min_batch=4, max_wait=10**9)
+        ).run(arrivals)
+        assert thresholded.delivered == immediate.delivered == 12
+        assert thresholded.num_batches < immediate.num_batches
+        assert thresholded.mean_batch_size > immediate.mean_batch_size
+        # larger batches amortize: fewer total rounds spent broadcasting
+        assert thresholded.total_rounds <= immediate.total_rounds
+
+    def test_size_threshold_deadline_bounds_latency(self):
+        """A single packet must not wait past max_wait for company."""
+        net = line(5)
+        arrivals = periodic_arrivals(net, period=10**9, count=1, seed=0)
+        result = BatchedDynamicBroadcast(
+            net, seed=1, policy=SizeThresholdPolicy(min_batch=10, max_wait=500)
+        ).run(arrivals)
+        assert result.delivered == 1
+        batch = result.batches[0]
+        assert batch.start_round == arrivals[0].time + 500
+
+    def test_timer_policy_dispatches_on_ticks(self):
+        net = line(5)
+        arrivals = periodic_arrivals(net, period=70, count=4, seed=3)
+        result = BatchedDynamicBroadcast(
+            net, seed=2, policy=TimerPolicy(period=1000)
+        ).run(arrivals)
+        assert result.delivered == 4
+        for batch in result.batches:
+            assert batch.start_round % 1000 == 0
+
+    def test_all_policies_deliver_everything(self):
+        net = grid(3, 3)
+        arrivals = periodic_arrivals(net, period=150, count=9, seed=4)
+        for policy in [
+            ImmediatePolicy(),
+            SizeThresholdPolicy(min_batch=3, max_wait=2000),
+            TimerPolicy(period=2500),
+        ]:
+            result = BatchedDynamicBroadcast(
+                net, seed=5, policy=policy
+            ).run(arrivals)
+            assert result.delivered == 9, repr(policy)

@@ -1,0 +1,103 @@
+"""Unit tests for the distributed BFS construction (Theorem 1)."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.bfs import build_distributed_bfs, default_bfs_epochs
+from repro.primitives.decay import decay_slots
+from repro.topology import (
+    balanced_tree,
+    grid,
+    line,
+    random_geometric,
+    star,
+    validate_bfs_tree,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "net,root",
+        [
+            (line(12), 0),
+            (line(12), 6),
+            (grid(4, 5), 0),
+            (grid(4, 5), 19),
+            (star(10), 0),
+            (star(10), 3),
+            (balanced_tree(2, 4), 0),
+        ],
+        ids=["line-end", "line-mid", "grid-corner", "grid-far", "star-hub",
+             "star-leaf", "tree-root"],
+    )
+    def test_valid_bfs_tree(self, net, root):
+        rng = np.random.default_rng(17)
+        result = build_distributed_bfs(net, root, rng)
+        assert result.complete
+        assert validate_bfs_tree(net, root, result.parent, result.distance) == []
+
+    def test_random_geometric(self):
+        net = random_geometric(50, seed=8)
+        result = build_distributed_bfs(net, 0, np.random.default_rng(9))
+        assert result.complete
+        assert validate_bfs_tree(net, 0, result.parent, result.distance) == []
+
+    def test_repeated_trials_high_success(self):
+        net = grid(5, 5)
+        ok = 0
+        for seed in range(20):
+            r = build_distributed_bfs(net, 0, np.random.default_rng(seed))
+            ok += (
+                r.complete
+                and validate_bfs_tree(net, 0, r.parent, r.distance) == []
+            )
+        assert ok >= 19
+
+
+class TestSchedule:
+    def test_round_accounting(self):
+        net = grid(3, 3)
+        result = build_distributed_bfs(
+            net, 0, np.random.default_rng(0), depth_bound=6, epochs_per_phase=4
+        )
+        assert result.phases == 6
+        assert result.rounds == 6 * 4 * decay_slots(net.max_degree)
+
+    def test_insufficient_depth_bound_incomplete(self):
+        net = line(10)
+        result = build_distributed_bfs(
+            net, 0, np.random.default_rng(0), depth_bound=3
+        )
+        assert not result.complete
+        assert result.distance[9] == -1
+
+    def test_depth_bound_larger_than_diameter_ok(self):
+        net = line(5)
+        result = build_distributed_bfs(
+            net, 0, np.random.default_rng(0), depth_bound=20
+        )
+        assert result.complete
+        assert validate_bfs_tree(net, 0, result.parent, result.distance) == []
+
+    def test_single_node(self):
+        from repro.radio.network import RadioNetwork
+
+        net = RadioNetwork([], n=1)
+        result = build_distributed_bfs(net, 0, np.random.default_rng(0))
+        assert result.complete
+        assert result.distance == [0]
+        assert result.parent == [-1]
+
+    def test_invalid_root(self):
+        with pytest.raises(ValueError):
+            build_distributed_bfs(line(3), 5, np.random.default_rng(0))
+
+    def test_default_epochs_scale_with_n(self):
+        assert default_bfs_epochs(line(100)) > default_bfs_epochs(line(4))
+
+    def test_deterministic_given_seed(self):
+        net = grid(4, 4)
+        r1 = build_distributed_bfs(net, 0, np.random.default_rng(5))
+        r2 = build_distributed_bfs(net, 0, np.random.default_rng(5))
+        assert r1.parent == r2.parent
+        assert r1.distance == r2.distance

@@ -1,0 +1,117 @@
+"""Unit tests for the BGI randomized broadcast."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.bgi_broadcast import bgi_broadcast, default_broadcast_epochs
+from repro.primitives.decay import decay_slots
+from repro.topology import balanced_tree, grid, line, random_geometric, star
+
+
+class TestCompletion:
+    @pytest.mark.parametrize(
+        "net",
+        [line(12), grid(4, 4), star(15), balanced_tree(2, 3)],
+        ids=["line", "grid", "star", "tree"],
+    )
+    def test_single_source_completes(self, net):
+        rng = np.random.default_rng(1)
+        result = bgi_broadcast(net, [0], rng, stop_early=True)
+        assert result.complete
+        assert result.informed.all()
+
+    def test_multi_source_completes(self):
+        net = line(20)
+        rng = np.random.default_rng(2)
+        result = bgi_broadcast(net, [0, 10, 19], rng, stop_early=True)
+        assert result.complete
+
+    def test_multi_source_no_slower_than_single(self):
+        """More sources can only help (statistically): compare mean epochs."""
+        net = line(15)
+
+        def mean_epochs(sources, seed0):
+            vals = []
+            for s in range(30):
+                rng = np.random.default_rng(seed0 + s)
+                r = bgi_broadcast(net, sources, rng, stop_early=True, epochs=500)
+                assert r.complete
+                vals.append(r.epochs_to_complete)
+            return float(np.mean(vals))
+
+        assert mean_epochs([0, 7, 14], 100) <= mean_epochs([0], 100) + 1
+
+
+class TestSchedule:
+    def test_fixed_epochs_run_exactly(self):
+        net = grid(3, 3)
+        rng = np.random.default_rng(0)
+        result = bgi_broadcast(net, [0], rng, epochs=5, stop_early=False)
+        assert result.epochs == 5
+        assert result.rounds == 5 * decay_slots(net.max_degree)
+
+    def test_stop_early_reduces_rounds(self):
+        net = star(10)
+        rng = np.random.default_rng(0)
+        result = bgi_broadcast(net, [0], rng, epochs=100, stop_early=True)
+        assert result.complete
+        assert result.epochs < 100
+
+    def test_no_sources(self):
+        net = line(4)
+        rng = np.random.default_rng(0)
+        result = bgi_broadcast(net, [], rng)
+        assert not result.complete
+        assert result.rounds == 0
+
+    def test_all_sources_trivially_complete(self):
+        net = line(4)
+        rng = np.random.default_rng(0)
+        result = bgi_broadcast(net, [0, 1, 2, 3], rng, epochs=1, stop_early=True)
+        assert result.complete
+        assert result.epochs_to_complete == 1
+
+    def test_default_epochs_scale(self):
+        small = default_broadcast_epochs(line(4))
+        big = default_broadcast_epochs(line(40))
+        assert big > small
+
+    def test_informed_monotone_star_hub_source(self):
+        net = star(6)
+        rng = np.random.default_rng(0)
+        result = bgi_broadcast(net, [0], rng, epochs=50, stop_early=True)
+        assert result.complete
+
+    def test_incomplete_with_tiny_budget(self):
+        net = line(30)
+        rng = np.random.default_rng(0)
+        result = bgi_broadcast(net, [0], rng, epochs=2, stop_early=False)
+        assert not result.complete  # 2 epochs cannot cross 29 hops
+        assert result.informed[0]
+
+    def test_deterministic_given_seed(self):
+        net = random_geometric(30, seed=5)
+        r1 = bgi_broadcast(net, [0], np.random.default_rng(7), epochs=20)
+        r2 = bgi_broadcast(net, [0], np.random.default_rng(7), epochs=20)
+        assert (r1.informed == r2.informed).all()
+        assert r1.epochs_to_complete == r2.epochs_to_complete
+
+
+class TestBoundShape:
+    def test_epochs_to_complete_tracks_diameter(self):
+        """Mean completion epochs should grow roughly linearly in D on
+        lines (the O(D + log n) regime)."""
+
+        def mean_epochs(n):
+            net = line(n)
+            vals = []
+            for s in range(20):
+                r = bgi_broadcast(
+                    net, [0], np.random.default_rng(s), epochs=3000, stop_early=True
+                )
+                assert r.complete
+                vals.append(r.epochs_to_complete)
+            return float(np.mean(vals))
+
+        short, long = mean_epochs(10), mean_epochs(40)
+        assert long > 2.0 * short  # ~4x diameter => at least ~2x epochs

@@ -1,0 +1,87 @@
+"""Unit tests for the emulated collision-detection channel (BGI 1991)."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.cd_channel import (
+    BUSY,
+    SILENT,
+    EmulatedCdChannel,
+    max_id_binary_search,
+)
+from repro.topology import grid, line, star
+
+
+class TestVirtualRound:
+    def test_silent_round(self):
+        net = line(5)
+        ch = EmulatedCdChannel(net, np.random.default_rng(0))
+        result = ch.virtual_round([])
+        assert not result.any_transmitter
+        assert (result.observation == SILENT).all()
+        assert result.consistent
+        assert result.rounds == ch.rounds_per_virtual_round
+
+    def test_single_transmitter_reaches_everyone(self):
+        net = grid(3, 3)
+        ch = EmulatedCdChannel(net, np.random.default_rng(1))
+        result = ch.virtual_round([4])
+        assert result.consistent
+        assert (result.observation == BUSY).all()
+
+    def test_multiple_transmitters_still_busy(self):
+        """On a CD channel, >= 2 transmitters reads as 'busy' (noise);
+        the emulation floods one shared bit, so same observation."""
+        net = grid(3, 3)
+        ch = EmulatedCdChannel(net, np.random.default_rng(2))
+        result = ch.virtual_round([0, 4, 8])
+        assert result.consistent
+        assert (result.observation == BUSY).all()
+
+    def test_fixed_cost_regardless_of_transmitters(self):
+        net = line(8)
+        ch = EmulatedCdChannel(net, np.random.default_rng(3))
+        r0 = ch.virtual_round([])
+        r1 = ch.virtual_round([3])
+        r2 = ch.virtual_round([0, 1, 2, 3])
+        assert r0.rounds == r1.rounds == r2.rounds
+
+    def test_round_accounting_accumulates(self):
+        net = line(6)
+        ch = EmulatedCdChannel(net, np.random.default_rng(4))
+        ch.virtual_round([1])
+        ch.virtual_round([])
+        ch.virtual_round([5])
+        assert ch.virtual_rounds == 3
+        assert ch.rounds_used == 3 * ch.rounds_per_virtual_round
+
+    def test_inconsistency_reported_with_tiny_budget(self):
+        """A 1-epoch wave cannot cross a long line: the virtual round is
+        honestly reported as inconsistent."""
+        net = line(30)
+        ch = EmulatedCdChannel(net, np.random.default_rng(5), epochs_per_round=1)
+        result = ch.virtual_round([0])
+        assert not result.consistent
+        assert result.observation[0] == BUSY
+        assert result.observation[29] == SILENT
+
+
+class TestMaxIdBinarySearch:
+    @pytest.mark.parametrize("candidates", [[0], [7], [2, 5], [0, 3, 7]])
+    def test_finds_max_on_line(self, candidates):
+        net = line(8)
+        ch = EmulatedCdChannel(net, np.random.default_rng(9))
+        beliefs = max_id_binary_search(ch, candidates, id_bound=8)
+        assert beliefs == [max(candidates)] * net.n
+
+    def test_on_star(self):
+        net = star(16)
+        ch = EmulatedCdChannel(net, np.random.default_rng(10))
+        beliefs = max_id_binary_search(ch, [3, 9, 14], id_bound=16)
+        assert set(beliefs) == {14}
+
+    def test_virtual_round_count_is_log_id_bound(self):
+        net = line(4)
+        ch = EmulatedCdChannel(net, np.random.default_rng(11))
+        max_id_binary_search(ch, [2], id_bound=256)
+        assert ch.virtual_rounds == 8

@@ -1,0 +1,112 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_grid(self, capsys):
+        assert main(["info", "--topology", "grid", "--rows", "3",
+                     "--cols", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "grid(3x4)" in out
+        assert "diameter" in out
+
+    def test_line(self, capsys):
+        assert main(["info", "--topology", "line", "--n", "7"]) == 0
+        assert "line(n=7)" in capsys.readouterr().out
+
+    def test_random_topology_seeded(self, capsys):
+        assert main(["info", "--topology", "rgg", "--n", "30",
+                     "--topology-seed", "5"]) == 0
+        out1 = capsys.readouterr().out
+        main(["info", "--topology", "rgg", "--n", "30",
+              "--topology-seed", "5"])
+        assert capsys.readouterr().out == out1
+
+
+class TestRun:
+    def test_success_exit_code(self, capsys):
+        rc = main(["run", "--topology", "grid", "--rows", "3", "--cols", "3",
+                   "--k", "4", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "success" in out and "yes" in out
+        assert "total rounds" in out
+
+    @pytest.mark.parametrize("workload", ["uniform", "single", "hotspot", "all"])
+    def test_workloads(self, capsys, workload):
+        rc = main(["run", "--topology", "star", "--n", "8",
+                   "--k", "5", "--workload", workload, "--seed", "2"])
+        assert rc == 0
+
+    def test_presets(self, capsys):
+        for preset in ["fast", "default", "paper"]:
+            rc = main(["run", "--topology", "line", "--n", "6",
+                       "--k", "3", "--preset", preset, "--seed", "3"])
+            assert rc == 0
+
+    def test_tree_topology(self, capsys):
+        rc = main(["run", "--topology", "tree", "--branching", "2",
+                   "--depth", "3", "--k", "4", "--seed", "0"])
+        assert rc == 0
+
+
+class TestCompare:
+    def test_table_lists_all_algorithms(self, capsys):
+        rc = main(["compare", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--k", "12", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "this paper" in out
+        assert "gossip" in out
+        assert "sequential BGI" in out
+
+
+class TestArgValidation:
+    def test_unknown_topology_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["info", "--topology", "moebius"])
+
+    def test_missing_command_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDynamic:
+    def test_dynamic_run(self, capsys):
+        rc = main(["dynamic", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--rate", "0.0005",
+                   "--horizon", "20000", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "delivered" in out
+        assert "mean latency" in out
+
+    def test_dynamic_no_failures_reported(self, capsys):
+        rc = main(["dynamic", "--topology", "star", "--n", "8",
+                   "--rate", "0.0003", "--horizon", "30000", "--seed", "2"])
+        assert rc == 0
+
+
+class TestTraceOption:
+    def test_trace_report_written(self, capsys, tmp_path):
+        path = tmp_path / "trace.txt"
+        rc = main(["run", "--topology", "grid", "--rows", "3", "--cols", "3",
+                   "--k", "3", "--seed", "1", "--trace", str(path)])
+        assert rc == 0
+        text = path.read_text()
+        assert "model audit: OK" in text
+        assert "per-node activity" in text
+        assert "first rounds:" in text
+
+    def test_trace_stats_consistent(self, capsys, tmp_path):
+        path = tmp_path / "trace.txt"
+        main(["run", "--topology", "line", "--n", "5",
+              "--k", "2", "--seed", "2", "--trace", str(path)])
+        lines = [
+            line for line in path.read_text().splitlines()
+            if line and line[0].isdigit() is False and "|" in line
+        ]
+        assert lines  # the table rendered

@@ -1,0 +1,329 @@
+"""Unit tests for Stage 3: OSPG/MSPG/GRAB/ALARM packet collection."""
+
+import numpy as np
+import pytest
+
+from repro.coding.packets import make_packets
+from repro.core.collection import (
+    grab_schedule,
+    run_collection_stage,
+    run_gather_procedure,
+    run_grab,
+)
+from repro.core.config import AlgorithmParameters
+from repro.radio.errors import ProtocolError
+from repro.topology import balanced_tree, grid, line, random_geometric, star
+
+
+def _bfs(net, root=0):
+    parent = net.bfs_tree(root)
+    dist = net.bfs_distances(root).tolist()
+    return parent, dist
+
+
+class TestGatherProcedure:
+    def test_single_packet_on_line_reaches_root_and_acked(self):
+        net = line(5)
+        parent, _ = _bfs(net, root=0)
+        result = run_gather_procedure(
+            net, parent, 0, [(7, 4, 1)], window=6, depth_bound=4
+        )
+        assert result.collected == [7]
+        assert result.acked == {7}
+        assert result.lost_to_collisions == 0
+
+    def test_procedure_length_formula(self):
+        net = line(5)
+        parent, _ = _bfs(net)
+        result = run_gather_procedure(
+            net, parent, 0, [], window=12, depth_bound=4
+        )
+        # (w + D) + 3*(w + D) + D = 4*(12+4) + 4
+        assert result.rounds == 4 * 16 + 4
+
+    def test_two_packets_distinct_rounds_both_collected(self):
+        net = line(4)
+        parent, _ = _bfs(net)
+        launches = [(1, 3, 1), (2, 3, 5)]
+        result = run_gather_procedure(
+            net, parent, 0, launches, window=8, depth_bound=3
+        )
+        assert sorted(result.collected) == [1, 2]
+        assert result.acked == {1, 2}
+
+    def test_same_node_same_round_one_copy_dropped(self):
+        net = line(3)
+        parent, _ = _bfs(net)
+        launches = [(1, 2, 2), (2, 2, 2)]
+        result = run_gather_procedure(
+            net, parent, 0, launches, window=6, depth_bound=2
+        )
+        assert len(result.collected) == 1
+        assert result.launches == 1  # only one copy actually transmitted
+
+    def test_chasing_packets_collide(self):
+        """Two packets one hop apart on a path: the front packet's relay and
+        the rear packet's relay are neighbors of the middle node — collisions
+        occur and at most one survives.
+
+        Path 0-1-2-3-4 (root 0): launch from 4 at round 1 and from 3 at
+        round 2.  At round 2, node 3 relays packet A (to 2) while node 3...
+        actually node 3 must both relay A and launch B at round 2 — the
+        relay wins, B is dropped (one-transmission rule).
+        """
+        net = line(5)
+        parent, _ = _bfs(net)
+        launches = [(1, 4, 1), (2, 3, 2)]
+        result = run_gather_procedure(
+            net, parent, 0, launches, window=6, depth_bound=4
+        )
+        assert result.collected == [1]
+        assert result.acked == {1}
+
+    def test_root_origin_launch_rejected(self):
+        net = line(3)
+        parent, _ = _bfs(net)
+        with pytest.raises(ProtocolError, match="root"):
+            run_gather_procedure(net, parent, 0, [(1, 0, 1)], window=6, depth_bound=2)
+
+    def test_launch_round_out_of_window_rejected(self):
+        net = line(3)
+        parent, _ = _bfs(net)
+        with pytest.raises(ProtocolError, match="launch round"):
+            run_gather_procedure(net, parent, 0, [(1, 2, 9)], window=6, depth_bound=2)
+
+    def test_star_leaves_unique_rounds_all_collected(self):
+        net = star(6)
+        parent, _ = _bfs(net, root=0)
+        launches = [(i, i, i) for i in range(1, 6)]  # distinct rounds
+        result = run_gather_procedure(
+            net, parent, 0, launches, window=6, depth_bound=2
+        )
+        assert sorted(result.collected) == [1, 2, 3, 4, 5]
+        assert result.acked == {1, 2, 3, 4, 5}
+
+    def test_star_leaves_same_round_all_collide(self):
+        net = star(4)
+        parent, _ = _bfs(net, root=0)
+        launches = [(i, i, 3) for i in range(1, 4)]
+        result = run_gather_procedure(
+            net, parent, 0, launches, window=6, depth_bound=2
+        )
+        assert result.collected == []
+        assert result.lost_to_collisions == 3
+
+    def test_mspg_style_duplicate_copies_acked_once(self):
+        net = line(4)
+        parent, _ = _bfs(net)
+        launches = [(5, 3, 1), (5, 3, 7), (5, 3, 13)]
+        result = run_gather_procedure(
+            net, parent, 0, launches, window=18, depth_bound=3
+        )
+        assert result.collected == [5]
+        assert result.acked == {5}
+
+    def test_previously_collected_packet_reacked(self):
+        """A packet the root already holds but whose origin missed the ACK
+        gets acknowledged again on re-arrival."""
+        net = line(3)
+        parent, _ = _bfs(net)
+        result = run_gather_procedure(
+            net,
+            parent,
+            0,
+            [(9, 2, 4)],
+            window=6,
+            depth_bound=2,
+            already_collected={9},
+        )
+        assert result.acked == {9}
+
+
+class TestGrabSchedule:
+    def test_halving_down_to_clogn(self):
+        assert grab_schedule(64, 8) == [64, 32, 16, 8]
+
+    def test_rounding_up_on_odd(self):
+        assert grab_schedule(21, 5) == [21, 11, 6, 5]
+
+    def test_x_below_clogn(self):
+        assert grab_schedule(3, 8) == [8]
+
+    def test_x_equal_clogn(self):
+        assert grab_schedule(8, 8) == [8]
+
+
+class TestRunGrab:
+    def test_collects_all_when_x_ge_k(self):
+        """Lemma 4: GRAB(x) with x >= k collects everything w.h.p."""
+        net = balanced_tree(2, 3)
+        parent, _ = _bfs(net, root=0)
+        k = 10
+        packets = make_packets(
+            [1 + (i % (net.n - 1)) for i in range(k)], size_bits=8, seed=0
+        )
+        unacked = {p.pid: p.origin for p in packets}
+        collected = set()
+        result = run_grab(
+            net,
+            parent,
+            0,
+            unacked,
+            x=k,
+            params=AlgorithmParameters(),
+            rng=np.random.default_rng(4),
+            depth_bound=net.diameter,
+            already_collected=collected,
+        )
+        assert not unacked
+        assert len(collected) == k
+
+    def test_mspg_disabled_skips_final_epoch(self):
+        net = line(4)
+        parent, _ = _bfs(net)
+        params_on = AlgorithmParameters()
+        params_off = params_on.with_overrides(mspg_enabled=False)
+        kwargs = dict(
+            x=4,
+            rng=np.random.default_rng(0),
+            depth_bound=net.diameter,
+        )
+        r_on = run_grab(
+            net, parent, 0, {}, params=params_on, already_collected=set(), **kwargs
+        )
+        r_off = run_grab(
+            net, parent, 0, {}, params=params_off, already_collected=set(), **kwargs
+        )
+        assert len(r_on.epoch_results) == len(r_off.epoch_results) + 1
+        assert r_on.rounds > r_off.rounds
+
+
+class TestCollectionStage:
+    @pytest.mark.parametrize(
+        "net,k",
+        [(line(8), 5), (grid(3, 4), 8), (star(10), 12), (balanced_tree(2, 3), 6)],
+        ids=["line", "grid", "star", "tree"],
+    )
+    def test_collects_everything(self, net, k):
+        parent, dist = _bfs(net, root=0)
+        rng = np.random.default_rng(21)
+        origins = rng.integers(0, net.n, size=k).tolist()
+        packets = make_packets(origins, size_bits=8, seed=1)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(), rng
+        )
+        assert result.all_collected
+        assert result.synchronized
+        assert sorted(result.collected_order) == sorted(p.pid for p in packets)
+
+    def test_root_only_packets_single_silent_phase(self):
+        net = line(5)
+        parent, dist = _bfs(net)
+        packets = make_packets([0, 0, 0], size_bits=8, seed=0)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(),
+            np.random.default_rng(0),
+        )
+        assert result.all_collected
+        assert result.phases == 1
+        assert result.collected_order == [0, 1, 2]
+
+    def test_no_packets(self):
+        net = line(3)
+        parent, dist = _bfs(net)
+        result = run_collection_stage(
+            net, parent, dist, 0, [], AlgorithmParameters(),
+            np.random.default_rng(0),
+        )
+        assert result.all_collected
+        assert result.collected_order == []
+
+    def test_estimates_double(self):
+        net = line(6)
+        parent, dist = _bfs(net)
+        # force multiple phases with a tiny initial estimate
+        params = AlgorithmParameters(collection_estimate_factor=0.01)
+        packets = make_packets([5] * 40, size_bits=8, seed=2)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, params, np.random.default_rng(3)
+        )
+        assert result.all_collected
+        for a, b in zip(result.estimates, result.estimates[1:]):
+            assert b == 2 * a
+
+    def test_missing_parent_rejected(self):
+        net = line(4)
+        packets = make_packets([3], size_bits=8, seed=0)
+        with pytest.raises(ProtocolError, match="BFS parent"):
+            run_collection_stage(
+                net, [-1, 0, 1, -1], [0, 1, 2, -1], 0, packets,
+                AlgorithmParameters(), np.random.default_rng(0),
+            )
+
+    def test_grab_and_alarm_rounds_sum(self):
+        net = grid(3, 3)
+        parent, dist = _bfs(net)
+        packets = make_packets([8, 4], size_bits=8, seed=0)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(),
+            np.random.default_rng(0),
+        )
+        assert result.rounds == result.grab_rounds + result.alarm_rounds
+
+    def test_collection_order_starts_with_root_packets(self):
+        net = line(4)
+        parent, dist = _bfs(net)
+        packets = make_packets([0, 3, 0], size_bits=8, seed=0)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(),
+            np.random.default_rng(1),
+        )
+        assert result.collected_order[:2] == [0, 2]  # pids of root packets
+
+    def test_deterministic_given_seed(self):
+        net = random_geometric(30, seed=6)
+        parent, dist = _bfs(net)
+        packets = make_packets([5, 9, 20, 20], size_bits=8, seed=1)
+        r1 = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(),
+            np.random.default_rng(9),
+        )
+        r2 = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(),
+            np.random.default_rng(9),
+        )
+        assert r1.collected_order == r2.collected_order
+        assert r1.rounds == r2.rounds
+
+
+class TestWindowFactor:
+    def test_smaller_factor_shortens_procedures(self):
+        net = line(6)
+        parent, dist = _bfs(net)
+        packets = make_packets([5] * 10, size_bits=8, seed=1)
+        r6 = run_collection_stage(
+            net, parent, dist, 0, packets,
+            AlgorithmParameters(ospg_window_factor=6),
+            np.random.default_rng(2),
+        )
+        packets = make_packets([5] * 10, size_bits=8, seed=1)
+        r3 = run_collection_stage(
+            net, parent, dist, 0, packets,
+            AlgorithmParameters(ospg_window_factor=3),
+            np.random.default_rng(2),
+        )
+        assert r6.all_collected and r3.all_collected
+        # same phase count => strictly shorter grab epochs
+        if r6.phases == r3.phases:
+            assert r3.grab_rounds < r6.grab_rounds
+
+    def test_factor_one_still_works_on_easy_instances(self):
+        net = line(5)
+        parent, dist = _bfs(net)
+        packets = make_packets([4, 3], size_bits=8, seed=0)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets,
+            AlgorithmParameters(ospg_window_factor=1),
+            np.random.default_rng(1),
+        )
+        assert result.all_collected

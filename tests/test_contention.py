@@ -1,0 +1,101 @@
+"""Tests for the exact Decay contention analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.contention import (
+    epoch_success_curve,
+    epoch_success_probability,
+    epochs_for_target,
+    slot_success_probability,
+    worst_case_epoch_success,
+)
+from repro.primitives.decay import (
+    decay_slots,
+    epoch_success_probability_lower_bound,
+    run_decay_epoch,
+)
+from repro.topology import star
+
+
+class TestSlotSuccess:
+    def test_single_contender(self):
+        assert slot_success_probability(1, 0.5) == 0.5
+
+    def test_two_contenders_half(self):
+        assert slot_success_probability(2, 0.5) == 0.5
+
+    def test_zero_contenders(self):
+        assert slot_success_probability(0, 0.5) == 0.0
+
+    def test_peak_near_inverse_t(self):
+        """Success is maximized when p ≈ 1/t — the reason Decay sweeps
+        geometric probabilities."""
+        t = 16
+        at_inverse = slot_success_probability(t, 1 / t)
+        for p in [0.5, 0.25, 0.01]:
+            assert slot_success_probability(t, p) <= at_inverse + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            slot_success_probability(-1, 0.5)
+        with pytest.raises(ValueError):
+            slot_success_probability(1, 1.5)
+
+
+class TestEpochSuccess:
+    def test_exceeds_analytic_bound_everywhere(self):
+        """The exact success rate dominates the 1/(2e) bound for every
+        1 <= t <= Δ at the standard slot count."""
+        for delta in [2, 8, 32, 128]:
+            curve = epoch_success_curve(delta)
+            assert min(curve) >= epoch_success_probability_lower_bound()
+
+    def test_matches_monte_carlo(self):
+        """Exact formula vs simulation on a star."""
+        delta = 16
+        net = star(delta + 1)
+        slots = decay_slots(delta)
+        rng = np.random.default_rng(3)
+        for t in [1, 4, 16]:
+            exact = epoch_success_probability(t, slots)
+            hits = 0
+            trials = 2000
+            participants = list(range(1, 1 + t))
+            for _ in range(trials):
+                rec = run_decay_epoch(
+                    net, participants, lambda v, s: v, rng, num_slots=slots
+                )
+                if any(0 in slot for slot in rec):
+                    hits += 1
+            assert abs(hits / trials - exact) < 0.04
+
+    def test_single_contender_value(self):
+        # 1 - (1-1/2)(1-1/4) = 5/8 for 2 slots
+        assert abs(epoch_success_probability(1, 2) - 0.625) < 1e-12
+
+    def test_worst_case_is_min_of_curve(self):
+        delta = 32
+        assert worst_case_epoch_success(delta) == min(epoch_success_curve(delta))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epoch_success_probability(1, 0)
+
+
+class TestEpochsForTarget:
+    def test_geometric_formula(self):
+        q = epoch_success_probability(4, 4)
+        e = epochs_for_target(4, 4, target=0.99)
+        assert (1 - q) ** e <= 0.01 < (1 - q) ** (e - 1)
+
+    def test_higher_target_needs_more_epochs(self):
+        assert epochs_for_target(8, 4, 0.999) > epochs_for_target(8, 4, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epochs_for_target(1, 2, target=1.0)
+        with pytest.raises(ValueError):
+            epochs_for_target(0, 2, target=0.9)

@@ -1,0 +1,133 @@
+"""Unit tests for the Decay procedure."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.decay import (
+    decay_slots,
+    epoch_success_probability_lower_bound,
+    run_decay_epoch,
+    transmission_probabilities,
+)
+from repro.radio.network import RadioNetwork
+from repro.radio.trace import RoundTrace
+from repro.topology import star
+
+
+class TestSlotArithmetic:
+    def test_decay_slots(self):
+        assert decay_slots(1) == 2
+        assert decay_slots(2) == 2
+        assert decay_slots(3) == 3
+        assert decay_slots(4) == 3
+        assert decay_slots(8) == 4
+        assert decay_slots(100) == 8
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            decay_slots(0)
+
+    def test_transmission_probabilities(self):
+        assert transmission_probabilities(3) == [0.5, 0.25, 0.125]
+
+
+class TestEpochBehaviour:
+    def test_single_participant_delivers_with_high_rate(self):
+        """One transmitter, one neighbor: per-epoch success is >= 1/2
+        (it transmits alone in slot 1 w.p. 1/2)."""
+        net = RadioNetwork([(0, 1)])
+        rng = np.random.default_rng(0)
+        hits = 0
+        trials = 600
+        for _ in range(trials):
+            rec = run_decay_epoch(net, [0], lambda v, s: "m", rng)
+            if any(1 in slot for slot in rec):
+                hits += 1
+        assert hits / trials > 0.45
+
+    def test_empty_participants(self):
+        net = RadioNetwork([(0, 1)])
+        rng = np.random.default_rng(0)
+        rec = run_decay_epoch(net, [], lambda v, s: "m", rng)
+        assert all(slot == {} for slot in rec)
+
+    def test_num_slots_respected(self):
+        net = star(9)
+        rng = np.random.default_rng(0)
+        rec = run_decay_epoch(net, [1], lambda v, s: "m", rng, num_slots=5)
+        assert len(rec) == 5
+
+    def test_message_fn_called_with_node_and_slot(self):
+        net = RadioNetwork([(0, 1)])
+        rng = np.random.default_rng(3)
+        calls = []
+
+        def fn(node, slot):
+            calls.append((node, slot))
+            return "x"
+
+        run_decay_epoch(net, [0], fn, rng, num_slots=4)
+        assert all(node == 0 and 0 <= slot < 4 for node, slot in calls)
+        assert calls  # transmits at least once with seed 3, 4 slots
+
+    def test_unknown_variant_rejected(self):
+        net = RadioNetwork([(0, 1)])
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="variant"):
+            run_decay_epoch(net, [0], lambda v, s: "m", rng, variant="bogus")
+
+    def test_classic_variant_runs(self):
+        net = star(8)
+        rng = np.random.default_rng(1)
+        rec = run_decay_epoch(
+            net, list(range(1, 8)), lambda v, s: v, rng, variant="classic"
+        )
+        assert len(rec) == decay_slots(7)
+
+    def test_classic_variant_prefix_property(self):
+        """In the classic variant a node's transmissions form a prefix of
+        slots: if it is silent in slot s it stays silent afterwards."""
+        net = RadioNetwork([(0, 1)], require_connected=False, n=3)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            slots_transmitted = []
+
+            def fn(node, slot):
+                slots_transmitted.append(slot)
+                return "m"
+
+            run_decay_epoch(net, [0], fn, rng, num_slots=6, variant="classic")
+            assert slots_transmitted == sorted(slots_transmitted)
+            if slots_transmitted:
+                assert slots_transmitted == list(range(len(slots_transmitted)))
+            slots_transmitted.clear()
+
+    def test_trace_records_rounds(self):
+        net = star(5)
+        rng = np.random.default_rng(0)
+        trace = RoundTrace()
+        run_decay_epoch(
+            net, [1, 2], lambda v, s: "m", rng, trace=trace, round_offset=10
+        )
+        assert trace.total_rounds == 10 + decay_slots(4)
+
+
+class TestSuccessProbability:
+    """The BGI guarantee: constant per-epoch success for 1..Δ contenders."""
+
+    @pytest.mark.parametrize("contenders", [1, 2, 4, 7])
+    def test_star_receiver_success_rate(self, contenders):
+        net = star(9)  # hub 0, Δ = 8
+        rng = np.random.default_rng(42)
+        participants = list(range(1, 1 + contenders))
+        trials = 400
+        hits = 0
+        for _ in range(trials):
+            rec = run_decay_epoch(net, participants, lambda v, s: v, rng)
+            if any(0 in slot for slot in rec):
+                hits += 1
+        bound = epoch_success_probability_lower_bound()
+        assert hits / trials >= bound * 0.9  # MC slack
+
+    def test_bound_value(self):
+        assert 0.18 < epoch_success_probability_lower_bound() < 0.19

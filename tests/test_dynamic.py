@@ -1,0 +1,130 @@
+"""Unit tests for the dynamic-arrivals extension."""
+
+import pytest
+
+from repro.dynamic import (
+    BatchedDynamicBroadcast,
+    burst_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+)
+from repro.topology import grid, line, star
+
+
+class TestArrivalGenerators:
+    def test_periodic_times(self):
+        net = line(5)
+        arrivals = periodic_arrivals(net, period=100, count=4, seed=0)
+        assert [a.time for a in arrivals] == [0, 100, 200, 300]
+        assert len({a.packet.pid for a in arrivals}) == 4
+
+    def test_periodic_zero_count(self):
+        assert periodic_arrivals(line(3), period=10, count=0, seed=0) == []
+
+    def test_poisson_rate_roughly_respected(self):
+        net = grid(3, 3)
+        arrivals = poisson_arrivals(net, rate=0.01, horizon=100_000, seed=1)
+        # ~1000 expected; allow wide MC band
+        assert 700 < len(arrivals) < 1300
+        assert all(0 <= a.time < 100_000 for a in arrivals)
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(line(3), rate=0, horizon=100)
+        with pytest.raises(ValueError):
+            poisson_arrivals(line(3), rate=1.0, horizon=0)
+
+    def test_burst_structure(self):
+        net = star(6)
+        arrivals = burst_arrivals(net, burst_size=3, num_bursts=2,
+                                  spacing=500, seed=2)
+        assert [a.time for a in arrivals] == [0, 0, 0, 500, 500, 500]
+
+    def test_burst_validation(self):
+        with pytest.raises(ValueError):
+            burst_arrivals(line(3), burst_size=0, num_bursts=1, spacing=1)
+
+    def test_origins_in_range_and_reproducible(self):
+        net = grid(3, 3)
+        a1 = poisson_arrivals(net, rate=0.005, horizon=50_000, seed=9)
+        a2 = poisson_arrivals(net, rate=0.005, horizon=50_000, seed=9)
+        assert all(0 <= a.packet.origin < 9 for a in a1)
+        assert [(a.time, a.packet.payload) for a in a1] == [
+            (a.time, a.packet.payload) for a in a2
+        ]
+
+
+class TestBatchedBroadcast:
+    def test_all_delivered_periodic(self):
+        net = grid(3, 3)
+        arrivals = periodic_arrivals(net, period=4000, count=5, seed=1)
+        result = BatchedDynamicBroadcast(net, seed=3).run(arrivals)
+        assert result.delivered == 5
+        assert result.failed == 0
+        assert len(result.latencies) == 5
+        assert all(lat > 0 for lat in result.latencies)
+
+    def test_single_burst_is_one_batch(self):
+        net = grid(3, 3)
+        arrivals = burst_arrivals(net, burst_size=6, num_bursts=1,
+                                  spacing=1, seed=2)
+        result = BatchedDynamicBroadcast(net, seed=4).run(arrivals)
+        assert result.num_batches == 1
+        assert result.batches[0].size == 6
+
+    def test_widely_spaced_arrivals_one_batch_each(self):
+        net = line(6)
+        arrivals = periodic_arrivals(net, period=100_000, count=3, seed=0)
+        result = BatchedDynamicBroadcast(net, seed=1).run(arrivals)
+        assert result.num_batches == 3
+        assert all(b.size == 1 for b in result.batches)
+
+    def test_fast_arrivals_coalesce(self):
+        """Arrivals faster than service time accumulate into batches."""
+        net = grid(3, 3)
+        arrivals = periodic_arrivals(net, period=10, count=30, seed=5)
+        result = BatchedDynamicBroadcast(net, seed=6).run(arrivals)
+        assert result.delivered == 30
+        assert result.num_batches < 30
+        assert result.max_batch_size > 1
+
+    def test_amortization_lowers_per_packet_cost(self):
+        """Large batches amortize: per-packet service in a burst of 40 is
+        cheaper than broadcasting 1 packet alone."""
+        net = grid(3, 3)
+        burst = burst_arrivals(net, burst_size=40, num_bursts=1, spacing=1,
+                               seed=1)
+        single = burst_arrivals(net, burst_size=1, num_bursts=1, spacing=1,
+                                seed=1)
+        big = BatchedDynamicBroadcast(net, seed=2).run(burst)
+        small = BatchedDynamicBroadcast(net, seed=2).run(single)
+        per_packet_big = big.total_rounds / 40
+        per_packet_small = small.total_rounds / 1
+        assert per_packet_big < per_packet_small / 3
+
+    def test_empty_arrivals(self):
+        result = BatchedDynamicBroadcast(line(4), seed=0).run([])
+        assert result.delivered == 0
+        assert result.total_rounds == 0
+        assert result.mean_latency == 0.0
+
+    def test_metrics_consistency(self):
+        net = star(8)
+        arrivals = periodic_arrivals(net, period=50, count=12, seed=3)
+        result = BatchedDynamicBroadcast(net, seed=7).run(arrivals)
+        assert result.delivered + result.failed == 12
+        assert sum(b.size for b in result.batches) == 12
+        assert result.total_rounds == result.batches[-1].end_round
+        if result.latencies:
+            assert result.max_latency >= result.mean_latency
+
+    def test_origin_validation(self):
+        from repro.coding.packets import Packet
+        from repro.dynamic.arrivals import PacketArrival
+
+        net = line(3)
+        bad = [PacketArrival(0, Packet(pid=0, origin=9, payload=0, size_bits=4))]
+        with pytest.raises(ValueError, match="origin"):
+            BatchedDynamicBroadcast(net, seed=0).run(bad)

@@ -1,0 +1,58 @@
+"""Smoke tests: the fast example scripts run end to end and print what
+their docstrings promise.  (The two slow comparison examples are exercised
+by the equivalent benchmarks E2 and A4 instead.)"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "leader election" in out
+        assert "dissemination" in out
+        assert "Success: True" in out
+
+    def test_sensor_aggregation(self):
+        out = run_example("sensor_aggregation.py")
+        assert "Aggregates" in out
+        assert "mean" in out
+
+    def test_routing_table_update(self):
+        out = run_example("routing_table_update.py")
+        assert "matches ground truth" in out
+
+    def test_sinr_portability(self):
+        out = run_example("sinr_portability.py")
+        assert "SINR" in out
+        assert "serialized" in out
+
+    def test_slow_examples_exist_and_compile(self):
+        """The two long-running examples are at least syntactically valid
+        and importable (their logic is covered by benchmarks E2/A4)."""
+        import py_compile
+
+        for name in ["coding_vs_gossip.py", "dynamic_stream.py"]:
+            py_compile.compile(str(EXAMPLES / name), doraise=True)
+
+
+def test_fault_tolerance_example():
+    out = run_example("fault_tolerance.py")
+    assert "hardened root link" in out
+    assert "erasure" in out.lower()

@@ -1,0 +1,134 @@
+"""Failure-path tests: when budgets are too small or channels too hostile,
+every stage must fail *honestly* — flags and partial results, never silent
+recovery or hangs."""
+
+import numpy as np
+import pytest
+
+from repro import AlgorithmParameters, MultipleMessageBroadcast
+from repro.coding.packets import make_packets
+from repro.core.collection import run_collection_stage
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.faults import FaultyRadioNetwork
+from repro.topology import grid, line
+
+
+class TestElectionFailurePath:
+    def test_failed_election_reported_and_stops_pipeline(self):
+        """1-epoch probes cannot cross a 40-hop line: the election ends
+        without a unique claimant and the run stops at stage 1."""
+        net = line(40)
+        packets = make_packets([0, 39], size_bits=8, seed=0)
+        algo = MultipleMessageBroadcast(net, seed=1)
+        algo.params = algo.params.with_overrides(bgi_epochs_factor=0.01)
+        result = algo.run(packets)
+        if result.success:
+            pytest.skip("election got lucky with this seed")
+        assert result.bfs is None
+        assert result.collection is None
+        assert result.dissemination is None
+        assert result.timing.leader_election > 0
+        assert result.timing.bfs == 0
+        assert result.informed_fraction == 0.0
+
+
+class TestBfsFailurePath:
+    def test_insufficient_depth_bound_fails_at_stage_2(self):
+        net = line(20)
+        packets = make_packets([0, 19], size_bits=8, seed=0)
+        algo = MultipleMessageBroadcast(net, seed=2, depth_bound=3)
+        result = algo.run(packets)
+        assert not result.success
+        assert result.bfs is not None
+        assert not result.bfs.complete
+        assert result.collection is None
+
+
+class TestCollectionFailurePaths:
+    def test_jammed_root_gives_up_at_k_bound(self):
+        """With the root fully jammed no packet can ever be collected;
+        Stage 3 must stop at the polynomial estimate cap, not hang."""
+        base = grid(3, 3)
+        net = FaultyRadioNetwork(base, jammed_nodes=[0], jam_prob=1.0, seed=1)
+        parent = base.bfs_tree(0)
+        dist = base.bfs_distances(0).tolist()
+        packets = make_packets([8, 4], size_bits=8, seed=0)
+        params = AlgorithmParameters(k_bound_exponent=2.0)
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, params, np.random.default_rng(3)
+        )
+        assert not result.all_collected
+        assert result.estimates[-1] <= params.max_k_estimate(net.n)
+        assert result.phases < params.max_collection_phases
+
+    def test_desynchronization_detected(self):
+        """A starved alarm budget leaves some nodes unaware the estimate
+        doubled; the stage records synchronized=False."""
+        base = line(30)
+        # jam the root so collection can never finish -> alarms persist,
+        # and a ~1-epoch alarm wave cannot cross 29 hops
+        net = FaultyRadioNetwork(base, jammed_nodes=[0], jam_prob=1.0, seed=2)
+        parent = base.bfs_tree(0)
+        dist = base.bfs_distances(0).tolist()
+        packets = make_packets([29, 15], size_bits=8, seed=1)
+        params = AlgorithmParameters(
+            bgi_epochs_factor=0.01,
+            k_bound_exponent=1.2,
+        )
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, params, np.random.default_rng(5)
+        )
+        assert not result.all_collected
+        assert not result.synchronized
+
+    def test_alarm_consumes_rounds_even_when_silent(self):
+        net = line(4)
+        parent = net.bfs_tree(0)
+        dist = net.bfs_distances(0).tolist()
+        packets = make_packets([0], size_bits=8, seed=0)  # root-only
+        result = run_collection_stage(
+            net, parent, dist, 0, packets, AlgorithmParameters(),
+            np.random.default_rng(0),
+        )
+        assert result.alarm_rounds > 0  # the silent epoch still elapsed
+
+
+class TestDisseminationFailurePath:
+    def test_failed_layer_does_not_transmit_downstream(self):
+        """Strict mode: a node that misses its group neither claims it nor
+        forwards it; downstream failures are attributed, not hidden."""
+        from repro.core.dissemination import run_dissemination_stage
+
+        net = line(8)
+        dist = net.bfs_distances(0).tolist()
+        packets = make_packets([0] * 4, size_bits=8, seed=0)
+        params = AlgorithmParameters(
+            forward_surplus=0.0, forward_epochs_factor=0.1
+        )
+        failures = []
+        for seed in range(12):
+            r = run_dissemination_stage(
+                net, dist, 0, packets, params, np.random.default_rng(seed)
+            )
+            failures.append(r.failed_receivers)
+        assert any(failures)  # tiny budget must fail somewhere
+        for failed in failures:
+            if not failed:
+                continue
+            # on a line, a failure at layer d implies failure at d+1, ...:
+            # the pipeline cannot skip a dead layer
+            layers = sorted(v for v, _ in failed)
+            assert layers[-1] == net.n - 1
+
+    def test_end_to_end_failure_reports_partial_delivery(self):
+        net = grid(4, 4)
+        packets = uniform_random_placement(net, k=12, seed=1)
+        algo = MultipleMessageBroadcast(net, seed=3)
+        algo.params = algo.params.with_overrides(
+            forward_surplus=0.0, forward_epochs_factor=0.1
+        )
+        result = algo.run(packets)
+        if result.success:
+            pytest.skip("tiny budget got lucky with this seed")
+        assert result.dissemination is not None
+        assert 0.0 < result.informed_fraction < 1.0

@@ -1,0 +1,182 @@
+"""Unit + integration tests for fault injection (erasures, jamming)."""
+
+import numpy as np
+import pytest
+
+from repro import AlgorithmParameters, MultipleMessageBroadcast
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.faults import FaultyRadioNetwork
+from repro.topology import grid, line, star
+
+
+class TestConstruction:
+    def test_topology_inherited(self):
+        base = grid(3, 4)
+        faulty = FaultyRadioNetwork(base, erasure_prob=0.1, seed=0)
+        assert faulty.n == base.n
+        assert faulty.diameter == base.diameter
+        assert faulty.max_degree == base.max_degree
+        assert faulty.edge_list() == base.edge_list()
+
+    def test_validation(self):
+        base = line(3)
+        with pytest.raises(ValueError):
+            FaultyRadioNetwork(base, erasure_prob=1.0)
+        with pytest.raises(ValueError):
+            FaultyRadioNetwork(base, erasure_prob=-0.1)
+        with pytest.raises(ValueError):
+            FaultyRadioNetwork(base, jammed_nodes=[9])
+        with pytest.raises(ValueError):
+            FaultyRadioNetwork(base, jam_prob=2.0)
+
+
+class TestErasures:
+    def test_zero_erasure_is_transparent(self):
+        base = star(6)
+        faulty = FaultyRadioNetwork(base, erasure_prob=0.0, seed=1)
+        assert faulty.resolve_round({1: "m"}) == base.resolve_round({1: "m"})
+
+    def test_erasure_rate_statistical(self):
+        base = line(2)
+        faulty = FaultyRadioNetwork(base, erasure_prob=0.3, seed=2)
+        delivered = sum(
+            1 for _ in range(4000) if faulty.resolve_round({0: "m"})
+        )
+        assert 0.65 < delivered / 4000 < 0.75
+        assert faulty.receptions_erased > 0
+
+    def test_erasures_after_collision_rule(self):
+        """Collisions still collide; erasures only touch survivors."""
+        base = star(4)
+        faulty = FaultyRadioNetwork(base, erasure_prob=0.5, seed=3)
+        for _ in range(50):
+            received = faulty.resolve_round({1: "a", 2: "b"})
+            assert 0 not in received  # collision regardless of faults
+
+    def test_reproducible(self):
+        base = line(2)
+        a = FaultyRadioNetwork(base, erasure_prob=0.4, seed=7)
+        b = FaultyRadioNetwork(base, erasure_prob=0.4, seed=7)
+        pattern_a = [bool(a.resolve_round({0: "m"})) for _ in range(100)]
+        pattern_b = [bool(b.resolve_round({0: "m"})) for _ in range(100)]
+        assert pattern_a == pattern_b
+
+
+class TestJamming:
+    def test_fully_jammed_node_never_receives(self):
+        base = star(5)
+        faulty = FaultyRadioNetwork(base, jammed_nodes=[0], jam_prob=1.0, seed=1)
+        for _ in range(30):
+            assert 0 not in faulty.resolve_round({2: "m"})
+        assert faulty.receptions_jammed == 30
+
+    def test_other_nodes_unaffected(self):
+        base = star(5)
+        faulty = FaultyRadioNetwork(base, jammed_nodes=[1], jam_prob=1.0, seed=1)
+        received = faulty.resolve_round({0: "m"})
+        assert set(received) == {2, 3, 4}
+
+    def test_partial_jamming(self):
+        base = line(2)
+        faulty = FaultyRadioNetwork(
+            base, jammed_nodes=[1], jam_prob=0.5, seed=4
+        )
+        delivered = sum(
+            1 for _ in range(2000) if faulty.resolve_round({0: "m"})
+        )
+        assert 0.4 < delivered / 2000 < 0.6
+
+
+class TestProtocolsUnderFaults:
+    def test_full_algorithm_tolerates_mild_erasures(self):
+        """The retry/redundancy/coding machinery absorbs a 5% loss rate
+        with conservative budgets — once the root's plain transmissions
+        (the only unprotected link in the paper's design) are repeated."""
+        base = grid(4, 4)
+        packets = uniform_random_placement(base, k=8, seed=1)
+        params = AlgorithmParameters.paper().with_overrides(
+            root_plain_repetitions=8
+        )
+        wins = 0
+        for seed in range(6):
+            faulty = FaultyRadioNetwork(base, erasure_prob=0.05, seed=seed)
+            r = MultipleMessageBroadcast(
+                faulty, params=params, seed=seed
+            ).run(packets)
+            wins += r.success
+        assert wins >= 5
+
+    def test_root_link_is_the_erasure_weak_spot(self):
+        """Without root repetitions, mild erasures break dissemination at
+        the plain root link while stages 1-3 survive — the honest finding
+        behind the root_plain_repetitions knob."""
+        base = grid(4, 4)
+        packets = uniform_random_placement(base, k=8, seed=1)
+        params = AlgorithmParameters.paper()  # repetitions = 1
+        diss_failures = 0
+        early_failures = 0
+        for seed in range(6):
+            faulty = FaultyRadioNetwork(base, erasure_prob=0.05, seed=seed)
+            r = MultipleMessageBroadcast(
+                faulty, params=params, seed=seed
+            ).run(packets)
+            if not r.success:
+                if r.dissemination is not None:
+                    diss_failures += 1
+                else:
+                    early_failures += 1
+        assert diss_failures >= 2
+        assert early_failures == 0
+
+    def test_heavy_erasures_fail_honestly(self):
+        base = grid(4, 4)
+        packets = uniform_random_placement(base, k=8, seed=1)
+        params = AlgorithmParameters.fast()
+        results = []
+        for seed in range(4):
+            faulty = FaultyRadioNetwork(base, erasure_prob=0.7, seed=seed)
+            r = MultipleMessageBroadcast(faulty, params=params, seed=seed).run(
+                packets
+            )
+            results.append(r)
+        # at 70% loss with fast budgets, most runs must fail — and they
+        # must fail *honestly* (success flag false, not an exception)
+        assert sum(r.success for r in results) <= 1
+
+
+class TestComposition:
+    def test_recording_over_faulty_network(self):
+        """Wrappers compose: RecordingNetwork(FaultyRadioNetwork(base))
+        records post-fault receptions, and the structural audit still
+        passes (erasures only remove receptions, never invent them)."""
+        from repro.radio.transcript import RecordingNetwork, verify_transcript
+
+        base = grid(3, 3)
+        faulty = FaultyRadioNetwork(base, erasure_prob=0.2, seed=3)
+        net = RecordingNetwork(faulty)
+        packets = uniform_random_placement(base, k=4, seed=1)
+        MultipleMessageBroadcast(
+            net, params=AlgorithmParameters.paper().with_overrides(
+                root_plain_repetitions=8
+            ), seed=2,
+        ).run(packets)
+        assert net.transcript
+        # structural checks hold; the exact-match re-resolution is skipped
+        # automatically because the channel is stochastic (FaultyRadioNetwork)
+        assert verify_transcript(faulty, net.transcript) == []
+
+    def test_erasures_subset_of_faultfree(self):
+        """Every reception on the faulty channel would also occur on the
+        fault-free one (erasures are a strict filter)."""
+        import numpy as np
+
+        base = grid(3, 3)
+        faulty = FaultyRadioNetwork(base, erasure_prob=0.4, seed=5)
+        rng = np.random.default_rng(6)
+        for _ in range(100):
+            tx = {int(v): v for v in range(base.n) if rng.random() < 0.3}
+            lossy = faulty.resolve_round(tx)
+            clean = base.resolve_round(tx)
+            assert set(lossy) <= set(clean)
+            for receiver, msg in lossy.items():
+                assert clean[receiver] == msg

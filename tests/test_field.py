@@ -1,0 +1,143 @@
+"""Unit + property tests for GF(2^b) arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.field import GF2m, STANDARD_POLYNOMIALS, xor_payloads
+
+
+@pytest.fixture(scope="module")
+def gf8():
+    return GF2m(8)
+
+
+class TestConstruction:
+    def test_standard_widths(self):
+        for b in STANDARD_POLYNOMIALS:
+            f = GF2m(b)
+            assert f.order == 1 << b
+
+    def test_unknown_width_requires_modulus(self):
+        with pytest.raises(ValueError, match="irreducible"):
+            GF2m(5)
+
+    def test_explicit_modulus(self):
+        f = GF2m(5, modulus=0b100101)  # x^5 + x^2 + 1
+        assert f.mul(2, 16) == 0b00101  # x * x^4 = x^5 = x^2 + 1
+
+    def test_wrong_degree_modulus_rejected(self):
+        with pytest.raises(ValueError, match="degree"):
+            GF2m(4, modulus=0b111)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            GF2m(0)
+
+
+class TestAddition:
+    def test_add_is_xor(self, gf8):
+        assert gf8.add(0x53, 0xCA) == 0x53 ^ 0xCA
+
+    def test_self_inverse(self, gf8):
+        assert gf8.add(0x7F, 0x7F) == 0
+
+    def test_out_of_range_rejected(self, gf8):
+        with pytest.raises(ValueError):
+            gf8.add(256, 0)
+
+
+class TestMultiplication:
+    def test_aes_inverse_pair(self, gf8):
+        # classic AES field fact: 0x53 * 0xCA == 0x01
+        assert gf8.mul(0x53, 0xCA) == 0x01
+
+    def test_identity(self, gf8):
+        for x in [0, 1, 0x42, 0xFF]:
+            assert gf8.mul(x, 1) == x
+
+    def test_zero_annihilates(self, gf8):
+        assert gf8.mul(0xAB, 0) == 0
+
+    def test_x_times_x(self):
+        f = GF2m(2)  # GF(4), modulus x^2+x+1
+        assert f.mul(2, 2) == 3  # x*x = x^2 = x+1
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_commutative(self, x, y):
+        f = GF2m(8)
+        assert f.mul(x, y) == f.mul(y, x)
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_distributive(self, x, y, z):
+        f = GF2m(8)
+        assert f.mul(x, f.add(y, z)) == f.add(f.mul(x, y), f.mul(x, z))
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_associative(self, x, y, z):
+        f = GF2m(8)
+        assert f.mul(x, f.mul(y, z)) == f.mul(f.mul(x, y), z)
+
+
+class TestInverseAndPow:
+    @given(st.integers(1, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_inverse_roundtrip(self, x):
+        f = GF2m(8)
+        assert f.mul(x, f.inv(x)) == 1
+
+    def test_zero_has_no_inverse(self, gf8):
+        with pytest.raises(ZeroDivisionError):
+            gf8.inv(0)
+
+    def test_pow_zero_exponent(self, gf8):
+        assert gf8.pow(0x55, 0) == 1
+
+    def test_pow_matches_repeated_mul(self, gf8):
+        x = 0x1D
+        acc = 1
+        for e in range(8):
+            assert gf8.pow(x, e) == acc
+            acc = gf8.mul(acc, x)
+
+    def test_negative_exponent(self, gf8):
+        x = 0x37
+        assert gf8.mul(gf8.pow(x, -1), x) == 1
+
+    def test_fermat(self, gf8):
+        # x^(2^8 - 1) == 1 for x != 0
+        for x in [1, 2, 0x80, 0xFF]:
+            assert gf8.pow(x, 255) == 1
+
+
+class TestWideFields:
+    def test_gf_2_64(self):
+        f = GF2m(64)
+        x = (1 << 63) | 0x12345
+        assert f.mul(x, f.inv(x)) == 1
+
+    def test_gf_2_128(self):
+        f = GF2m(128)
+        x = (1 << 127) | 0xDEADBEEF
+        assert f.mul(x, 1) == x
+        assert f.add(x, x) == 0
+
+    def test_random_element_in_range(self):
+        f = GF2m(128)
+        for seed in range(5):
+            x = f.random_element(seed=seed)
+            assert 0 <= x < f.order
+
+
+class TestDotAndXor:
+    def test_dot_binary_coefficients_is_subset_xor(self, gf8):
+        elements = [3, 5, 9, 17]
+        coeffs = [1, 0, 1, 1]
+        assert gf8.dot(coeffs, elements) == 3 ^ 9 ^ 17
+
+    def test_xor_payloads(self):
+        assert xor_payloads([0b1100, 0b1010, 0b0001]) == 0b0111
+        assert xor_payloads([]) == 0

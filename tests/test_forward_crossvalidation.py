@@ -1,0 +1,208 @@
+"""Cross-validation of the dissemination engine's FORWARD against an
+independent per-node (Node/Simulator) implementation.
+
+Both implementations run the same protocol — Decay-scheduled subset-XOR
+coding from a transmitter layer to a receiver layer — on the same physics;
+their decode-success statistics must agree.  This guards the engine (the
+most intricate code in the library) against orchestration bugs that unit
+tests on small examples could miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding.packets import make_packets
+from repro.coding.rlnc import GroupDecoder, SubsetXorEncoder
+from repro.core.config import AlgorithmParameters
+from repro.core.dissemination import run_dissemination_stage
+from repro.primitives.decay import decay_slots
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import Node, Simulator
+from repro.radio.rng import spawn_rngs
+
+
+def layered_line_of_layers(width_per_layer, depth):
+    """Layer 0 = {0} (root), then `depth` layers of `width_per_layer`
+    nodes; consecutive layers completely bipartite."""
+    edges = []
+    prev = [0]
+    next_id = 1
+    for _ in range(depth):
+        layer = list(range(next_id, next_id + width_per_layer))
+        next_id += width_per_layer
+        for u in prev:
+            for v in layer:
+                edges.append((u, v))
+        prev = layer
+    return RadioNetwork(edges, n=next_id), next_id
+
+
+class ForwardNode(Node):
+    """Per-node FORWARD: transmit coded combos while holding the group;
+    absorb coded messages until full rank."""
+
+    def __init__(self, node_id, layer, group_size, rng, num_slots,
+                 packets=None):
+        super().__init__(node_id)
+        self.layer = layer
+        self.rng = rng
+        self.num_slots = num_slots
+        self.awake = True
+        self.encoder = (
+            SubsetXorEncoder(0, packets) if packets is not None else None
+        )
+        self.decoder = GroupDecoder(0, group_size)
+        self.group_packets = packets
+
+    @property
+    def has_group(self):
+        return self.encoder is not None
+
+    def act(self, round_index):
+        # a node transmits only during its layer's phase
+        if self.encoder is None:
+            return None
+        slot = round_index % self.num_slots
+        if self.rng.random() < 2.0 ** -(slot + 1):
+            return (self.layer, self.encoder.encode(self.rng))
+        return None
+
+    def on_receive(self, round_index, message):
+        sender_layer, coded = message
+        if sender_layer != self.layer - 1 or self.encoder is not None:
+            return
+        self.decoder.absorb(coded)
+
+    def finish_phase(self, packets_by_payload):
+        if self.encoder is None and self.decoder.is_complete:
+            payloads = self.decoder.decode()
+            self.encoder = SubsetXorEncoder(
+                0, [packets_by_payload[p] for p in payloads]
+            )
+
+
+@pytest.mark.parametrize("epochs_factor", [1.0, 2.5])
+def test_engine_matches_node_based_forward(epochs_factor):
+    """Per-(node,group) delivery fractions of the engine and the
+    Node-based implementation agree within Monte-Carlo noise."""
+    width_per_layer, depth = 3, 3
+    net, n = layered_line_of_layers(width_per_layer, depth)
+    group_size = 4
+    packets = make_packets([0] * group_size, size_bits=16, seed=5)
+    by_payload = {p.payload: p for p in packets}
+    params = AlgorithmParameters(
+        forward_surplus=0.0, forward_epochs_factor=epochs_factor,
+        group_spacing=3,
+    )
+    epochs = params.forward_epochs(group_size)
+    num_slots = decay_slots(net.max_degree)
+    phase_rounds = max(group_size, epochs * num_slots)
+    dist = net.bfs_distances(0).tolist()
+    trials = 25
+
+    # --- engine runs -----------------------------------------------------
+    engine_delivered = 0
+    for seed in range(trials):
+        r = run_dissemination_stage(
+            net, dist, 0, packets, params, np.random.default_rng(seed)
+        )
+        engine_delivered += int(r.has_group[1:, 0].sum())
+
+    # --- node-based runs --------------------------------------------------
+    node_delivered = 0
+    for seed in range(trials):
+        rngs = spawn_rngs(np.random.default_rng(10_000 + seed), n)
+        nodes = []
+        for v in range(n):
+            nodes.append(ForwardNode(
+                v, dist[v], group_size, rngs[v], num_slots,
+                packets=packets if v == 0 else None,
+            ))
+
+        sim = Simulator(net, nodes)
+        # phase 1: root plain transmission — emulate with direct coded
+        # singletons so both implementations start the pipeline the same
+        # way: layer 1 gets the full group (guaranteed in both, since the
+        # root is the only transmitter and spacing keeps others silent).
+        for v in range(1, 1 + width_per_layer):
+            nodes[v].encoder = SubsetXorEncoder(0, packets)
+        # phases 2..depth: layer d-1 transmits for one phase each
+        for d in range(2, depth + 1):
+            active = [
+                node for node in nodes
+                if node.layer == d - 1 and node.has_group
+            ]
+            inactive = [
+                node for node in nodes
+                if not (node.layer == d - 1 and node.has_group)
+            ]
+            # freeze non-participants by clearing their encoders temporarily
+            saved = [(node, node.encoder) for node in inactive]
+            for node, _ in saved:
+                node.encoder = None
+            for _ in range(phase_rounds):
+                sim.step()
+            for node, enc in saved:
+                node.encoder = enc
+            for node in nodes:
+                if node.layer == d:
+                    node.finish_phase(by_payload)
+        node_delivered += sum(1 for node in nodes[1:] if node.has_group)
+
+    possible = trials * (n - 1)
+    engine_frac = engine_delivered / possible
+    node_frac = node_delivered / possible
+    assert abs(engine_frac - node_frac) < 0.12, (engine_frac, node_frac)
+    if epochs_factor >= 2.5:
+        assert engine_frac > 0.95
+        assert node_frac > 0.95
+
+
+class TestLibraryReferencePipeline:
+    """The library's reference_forward_pipeline agrees with the engine."""
+
+    def test_delivery_fractions_match_engine(self):
+        from repro.core.reference import reference_forward_pipeline
+
+        net, n = layered_line_of_layers(3, 3)
+        group_size = 4
+        packets = make_packets([0] * group_size, size_bits=16, seed=5)
+        params = AlgorithmParameters(
+            forward_surplus=0.0, forward_epochs_factor=2.0, group_spacing=3
+        )
+        epochs = params.forward_epochs(group_size)
+        dist = net.bfs_distances(0).tolist()
+        trials = 20
+
+        engine_delivered = 0
+        for seed in range(trials):
+            r = run_dissemination_stage(
+                net, dist, 0, packets, params, np.random.default_rng(seed)
+            )
+            engine_delivered += int(r.has_group[1:, 0].sum())
+
+        ref_delivered = 0
+        for seed in range(trials):
+            holds = reference_forward_pipeline(
+                net, dist, 0, packets, forward_epochs=epochs,
+                seed=20_000 + seed,
+            )
+            ref_delivered += sum(holds[1:])
+
+        possible = trials * (n - 1)
+        assert abs(engine_delivered - ref_delivered) / possible < 0.12
+
+    def test_generous_budget_delivers_everywhere(self):
+        from repro.core.reference import reference_forward_pipeline
+        from repro.topology import line as line_topo
+
+        net = line_topo(6)
+        packets = make_packets([0] * 3, size_bits=16, seed=1)
+        dist = net.bfs_distances(0).tolist()
+        complete = 0
+        for seed in range(8):
+            holds = reference_forward_pipeline(
+                net, dist, 0, packets, forward_epochs=40, seed=seed
+            )
+            complete += all(holds)
+        assert complete >= 7

@@ -1,0 +1,148 @@
+"""Unit + property tests for GF(2) linear algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf2 import (
+    gf2_rank,
+    gf2_rank_dense,
+    gf2_rref,
+    gf2_solve,
+    pack_rows,
+    random_binary_matrix,
+)
+
+
+class TestRank:
+    def test_empty(self):
+        assert gf2_rank([]) == 0
+
+    def test_zero_rows(self):
+        assert gf2_rank([0, 0, 0]) == 0
+
+    def test_identity(self):
+        assert gf2_rank([0b001, 0b010, 0b100]) == 3
+
+    def test_dependent_rows(self):
+        # third row = xor of first two
+        assert gf2_rank([0b011, 0b101, 0b110]) == 2
+
+    def test_duplicates(self):
+        assert gf2_rank([0b101, 0b101, 0b101]) == 1
+
+    def test_full_rank_triangular(self):
+        rows = [0b1, 0b11, 0b111, 0b1111]
+        assert gf2_rank(rows) == 4
+
+    def test_rank_bounded_by_dims(self):
+        rows = [0b1, 0b10, 0b11, 0b01]
+        assert gf2_rank(rows) == 2  # only 2 columns
+
+
+class TestDenseRank:
+    def test_matches_bitpacked_on_random(self):
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            rows = int(rng.integers(1, 12))
+            cols = int(rng.integers(1, 12))
+            m = random_binary_matrix(rows, cols, seed=rng)
+            assert gf2_rank_dense(m) == gf2_rank(pack_rows(m))
+
+    def test_identity_matrix(self):
+        assert gf2_rank_dense(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_zero_matrix(self):
+        assert gf2_rank_dense(np.zeros((4, 4), dtype=np.uint8)) == 0
+
+    def test_does_not_mutate_input(self):
+        m = random_binary_matrix(6, 6, seed=0)
+        copy = m.copy()
+        gf2_rank_dense(m)
+        assert (m == copy).all()
+
+
+class TestRref:
+    def test_pivots_unique_and_sorted(self):
+        rows = [0b110, 0b011, 0b101]
+        reduced, pivots = gf2_rref(rows, width=3)
+        assert pivots == sorted(pivots)
+        assert len(set(pivots)) == len(pivots)
+        # each pivot column appears in exactly one row
+        for r, p in zip(reduced, pivots):
+            for other in reduced:
+                if other is not r:
+                    assert not (other >> p) & 1
+
+    def test_width_violation_raises(self):
+        with pytest.raises(ValueError):
+            gf2_rref([0b1000], width=3)
+
+    def test_rank_preserved(self):
+        rows = [0b1011, 0b0110, 0b1101, 0b0001]
+        reduced, _ = gf2_rref(rows, width=4)
+        assert len(reduced) == gf2_rank(rows)
+
+
+class TestSolve:
+    def test_identity_system(self):
+        sol = gf2_solve([0b01, 0b10], [111, 222], width=2)
+        assert sol == [111, 222]
+
+    def test_xor_system(self):
+        # x0 ^ x1 = a^b, x1 = b  ->  x0 = a
+        a, b = 0b1100, 0b1010
+        sol = gf2_solve([0b11, 0b10], [a ^ b, b], width=2)
+        assert sol == [a, b]
+
+    def test_underdetermined_returns_none(self):
+        assert gf2_solve([0b11], [5], width=2) is None
+
+    def test_redundant_consistent_rows_ok(self):
+        a, b = 7, 9
+        sol = gf2_solve(
+            [0b01, 0b10, 0b11], [a, b, a ^ b], width=2
+        )
+        assert sol == [a, b]
+
+    def test_inconsistent_raises(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            gf2_solve([0b11, 0b11], [1, 2], width=2)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf2_solve([0b1], [1, 2], width=1)
+
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_random_full_rank_systems(self, width, seed):
+        """Property: encode random payloads with random full-rank masks,
+        solving recovers them exactly."""
+        rng = np.random.default_rng(seed)
+        payloads = [int(rng.integers(0, 2**32)) for _ in range(width)]
+        rows, data = [], []
+        # keep drawing random masks until full rank (always terminates fast)
+        while gf2_rank(rows) < width:
+            mask = int(rng.integers(0, 1 << width))
+            xor = 0
+            for j in range(width):
+                if (mask >> j) & 1:
+                    xor ^= payloads[j]
+            rows.append(mask)
+            data.append(xor)
+            if len(rows) > 20 * width + 50:  # safety: astronomically unlikely
+                pytest.fail("could not reach full rank")
+        assert gf2_solve(rows, data, width) == payloads
+
+
+class TestRandomBinaryMatrix:
+    def test_shape_and_values(self):
+        m = random_binary_matrix(5, 7, seed=1)
+        assert m.shape == (5, 7)
+        assert set(np.unique(m)) <= {0, 1}
+
+    def test_reproducible(self):
+        a = random_binary_matrix(6, 6, seed=9)
+        b = random_binary_matrix(6, 6, seed=9)
+        assert (a == b).all()

@@ -1,0 +1,147 @@
+"""Unit tests for the experiment harness, reporting, workloads, and rng."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import TrialStats, aggregate, run_trials, success_rate
+from repro.experiments.report import format_float, render_table
+from repro.experiments.workloads import (
+    all_nodes_one_packet,
+    hotspot_placement,
+    single_source_burst,
+    uniform_random_placement,
+)
+from repro.radio.rng import derive_seed, ensure_seed, make_rng, spawn_rngs
+from repro.topology import grid, line
+
+
+class TestTrialStats:
+    def test_from_values(self):
+        s = TrialStats.from_values([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+        assert abs(s.std - 1.0) < 1e-12
+
+    def test_single_value(self):
+        s = TrialStats.from_values([5.0])
+        assert s.std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TrialStats.from_values([])
+
+
+class TestRunTrials:
+    def test_seeds_passed_in_order(self):
+        results = run_trials(lambda seed: {"seed": seed}, 3, base_seed=10)
+        assert [r["seed"] for r in results] == [10, 11, 12]
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials(lambda s: {}, 0)
+
+    def test_aggregate_shared_keys(self):
+        agg = aggregate([{"a": 1, "b": 2}, {"a": 3}])
+        assert set(agg) == {"a"}
+        assert agg["a"].mean == 2.0
+
+    def test_aggregate_empty(self):
+        assert aggregate([]) == {}
+
+    def test_success_rate(self):
+        assert success_rate([{"success": 1}, {"success": 0}]) == 0.5
+        assert success_rate([]) == 0.0
+
+
+class TestReport:
+    def test_format_float(self):
+        assert format_float(3.0) == "3"
+        assert format_float(3.14159) == "3.14"
+        assert format_float(123456.0) == "1.23e+05"
+        assert format_float(0.001) == "1.00e-03"
+        assert format_float(float("nan")) == "nan"
+
+    def test_render_table(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 20]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in lines[3]
+        # aligned: all rows same display width
+        assert len(lines[1]) == len(lines[3]) == len(lines[4])
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["x", "y"]])
+
+
+class TestWorkloads:
+    def test_uniform_random(self):
+        net = grid(3, 3)
+        pkts = uniform_random_placement(net, k=20, seed=1)
+        assert len(pkts) == 20
+        assert all(0 <= p.origin < 9 for p in pkts)
+        assert len({p.pid for p in pkts}) == 20
+
+    def test_all_nodes(self):
+        net = line(5)
+        pkts = all_nodes_one_packet(net, seed=0)
+        assert [p.origin for p in pkts] == [0, 1, 2, 3, 4]
+
+    def test_single_source(self):
+        net = line(5)
+        pkts = single_source_burst(net, k=7, source=3, seed=0)
+        assert all(p.origin == 3 for p in pkts)
+
+    def test_hotspot_concentration(self):
+        net = grid(5, 5)
+        pkts = hotspot_placement(net, k=200, num_hotspots=2,
+                                 hotspot_fraction=0.9, seed=4)
+        from collections import Counter
+
+        counts = Counter(p.origin for p in pkts)
+        top2 = sum(c for _, c in counts.most_common(2))
+        assert top2 > 120  # ~90% of 200 in 2 spots, with slack
+
+    def test_hotspot_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_placement(line(4), k=5, hotspot_fraction=1.5)
+
+    def test_reproducible(self):
+        net = grid(3, 3)
+        a = uniform_random_placement(net, k=5, seed=9)
+        b = uniform_random_placement(net, k=5, seed=9)
+        assert [(p.origin, p.payload) for p in a] == [
+            (p.origin, p.payload) for p in b
+        ]
+
+
+class TestRngHelpers:
+    def test_make_rng_idempotent_on_generator(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
+
+    def test_spawn_rngs_independent(self):
+        rng = make_rng(1)
+        children = spawn_rngs(rng, 3)
+        draws = [c.integers(0, 2**32) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(make_rng(0), -1)
+
+    def test_derive_seed_range(self):
+        s = derive_seed(make_rng(2))
+        assert 0 <= s < 2**63
+
+    def test_ensure_seed_prefers_rng(self):
+        g = np.random.default_rng(5)
+        assert ensure_seed(123, g) is g
+        assert isinstance(ensure_seed(123, None), np.random.Generator)

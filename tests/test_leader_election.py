@@ -1,0 +1,155 @@
+"""Unit tests for binary-search leader election (Fact 1)."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.leader_election import elect_leader
+from repro.topology import grid, line, random_geometric, star
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "candidates",
+        [[0], [3], [0, 1], [2, 5, 7], [0, 9], list(range(10))],
+    )
+    def test_elects_max_on_line(self, candidates):
+        net = line(10)
+        rng = np.random.default_rng(11)
+        result = elect_leader(net, candidates, rng)
+        assert result.elected_correctly
+        assert result.claimants == [max(candidates)]
+
+    def test_leader_zero_elected(self):
+        """Degenerate case: the max candidate never signals (always in the
+        lower half) yet must still claim leadership."""
+        net = line(6)
+        result = elect_leader(net, [0], np.random.default_rng(0))
+        assert result.elected_correctly
+        assert result.claimants == [0]
+
+    def test_all_nodes_candidates_on_grid(self):
+        net = grid(4, 4)
+        result = elect_leader(net, list(net.nodes()), np.random.default_rng(3))
+        assert result.elected_correctly
+        assert result.true_leader == net.n - 1
+
+    def test_on_random_geometric(self):
+        net = random_geometric(40, seed=2)
+        result = elect_leader(net, [5, 17, 33], np.random.default_rng(4))
+        assert result.elected_correctly
+
+    def test_repeated_trials_high_success(self):
+        net = star(12)
+        wins = 0
+        for seed in range(25):
+            r = elect_leader(net, [1, 4, 8], np.random.default_rng(seed))
+            wins += r.elected_correctly
+        assert wins >= 24  # w.h.p.
+
+
+class TestBeliefs:
+    def test_all_awake_nodes_agree(self):
+        net = grid(3, 3)
+        result = elect_leader(net, [2, 6], np.random.default_rng(5))
+        beliefs = {b for b in result.belief_by_node if b >= 0}
+        assert beliefs == {6}
+
+    def test_probe_count(self):
+        net = line(8)
+        result = elect_leader(net, [3], np.random.default_rng(0))
+        assert result.probes == 3  # ceil(log2 8)
+
+    def test_id_bound_respected(self):
+        net = line(5)
+        result = elect_leader(
+            net, [2], np.random.default_rng(0), id_bound=64
+        )
+        assert result.probes == 6
+        assert result.elected_correctly
+
+
+class TestValidation:
+    def test_empty_candidates_rejected(self):
+        net = line(4)
+        with pytest.raises(ValueError, match="candidate"):
+            elect_leader(net, [], np.random.default_rng(0))
+
+    def test_candidate_index_out_of_range_rejected(self):
+        net = line(4)
+        with pytest.raises(ValueError, match="out of range"):
+            elect_leader(net, [5], np.random.default_rng(0), id_bound=4)
+
+    def test_candidate_id_beyond_bound_rejected(self):
+        net = line(4)
+        with pytest.raises(ValueError, match="id_bound"):
+            elect_leader(
+                net, [2], np.random.default_rng(0),
+                id_bound=4, node_ids=[0, 1, 9, 3],
+            )
+
+
+class TestRoundAccounting:
+    def test_rounds_are_probes_times_wave_length(self):
+        net = line(9)
+        rng = np.random.default_rng(1)
+        result = elect_leader(net, [4], rng, epochs_per_probe=7)
+        from repro.primitives.decay import decay_slots
+
+        assert result.rounds == result.probes * 7 * decay_slots(net.max_degree)
+
+    def test_fixed_length_regardless_of_candidates(self):
+        net = line(9)
+        r1 = elect_leader(net, [0], np.random.default_rng(0))
+        r2 = elect_leader(net, list(range(9)), np.random.default_rng(0))
+        assert r1.rounds == r2.rounds
+
+
+class TestArbitraryIds:
+    def test_sparse_ids_elect_max_id_holder(self):
+        """The paper's nodes carry arbitrary distinct IDs from a polynomial
+        range; the node whose ID is largest among candidates wins."""
+        net = line(5)
+        node_ids = [700, 13, 402, 999, 55]
+        result = elect_leader(
+            net, [0, 2, 4], np.random.default_rng(3),
+            node_ids=node_ids, id_bound=1024,
+        )
+        # candidates' IDs: 700, 402, 55 -> node 0 wins
+        assert result.elected_correctly
+        assert result.claimants == [0]
+        beliefs = {b for b in result.belief_by_node if b >= 0}
+        assert beliefs == {700}
+
+    def test_probe_count_follows_id_space(self):
+        net = line(4)
+        result = elect_leader(
+            net, [1], np.random.default_rng(0),
+            node_ids=[10, 900, 20, 30], id_bound=1024,
+        )
+        assert result.probes == 10  # log2(1024)
+        assert result.elected_correctly
+
+    def test_duplicate_ids_rejected(self):
+        net = line(3)
+        with pytest.raises(ValueError, match="distinct"):
+            elect_leader(net, [0], np.random.default_rng(0),
+                         node_ids=[5, 5, 7])
+
+    def test_wrong_length_rejected(self):
+        net = line(3)
+        with pytest.raises(ValueError, match="one entry"):
+            elect_leader(net, [0], np.random.default_rng(0), node_ids=[1, 2])
+
+    def test_negative_ids_rejected(self):
+        net = line(3)
+        with pytest.raises(ValueError, match="non-negative"):
+            elect_leader(net, [0], np.random.default_rng(0),
+                         node_ids=[-1, 2, 3])
+
+    def test_identity_default_unchanged(self):
+        net = line(6)
+        r1 = elect_leader(net, [2, 4], np.random.default_rng(9))
+        r2 = elect_leader(net, [2, 4], np.random.default_rng(9),
+                          node_ids=list(range(6)))
+        assert r1.claimants == r2.claimants == [4]
+        assert r1.rounds == r2.rounds

@@ -1,0 +1,209 @@
+"""Unit tests for RadioNetwork: construction, metrics, reception semantics."""
+
+import numpy as np
+import pytest
+
+from repro.radio.errors import TopologyError
+from repro.radio.network import RadioNetwork
+
+
+class TestConstruction:
+    def test_basic_edge_list(self):
+        net = RadioNetwork([(0, 1), (1, 2)])
+        assert net.n == 3
+        assert net.num_edges == 2
+
+    def test_duplicate_edges_collapse(self):
+        net = RadioNetwork([(0, 1), (1, 0), (0, 1)])
+        assert net.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError, match="self-loop"):
+            RadioNetwork([(0, 0)])
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(TopologyError, match="negative"):
+            RadioNetwork([(-1, 2)])
+
+    def test_edge_beyond_n_rejected(self):
+        with pytest.raises(TopologyError, match="n=2"):
+            RadioNetwork([(0, 3)], n=2)
+
+    def test_disconnected_rejected_by_default(self):
+        with pytest.raises(TopologyError, match="disconnected"):
+            RadioNetwork([(0, 1), (2, 3)])
+
+    def test_disconnected_allowed_when_requested(self):
+        net = RadioNetwork([(0, 1), (2, 3)], require_connected=False)
+        assert net.n == 4
+        assert not net.is_connected()
+
+    def test_isolated_node_via_explicit_n(self):
+        net = RadioNetwork([(0, 1)], n=3, require_connected=False)
+        assert net.degree(2) == 0
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(TopologyError):
+            RadioNetwork([], n=0)
+
+    def test_single_node(self):
+        net = RadioNetwork([], n=1)
+        assert net.n == 1
+        assert net.diameter == 1  # clamped floor by convention
+        assert net.max_degree == 1  # clamped so log terms stay sane
+
+    def test_from_adjacency(self):
+        net = RadioNetwork.from_adjacency([[1], [0, 2], [1]])
+        assert net.n == 3
+        assert net.has_edge(0, 1) and net.has_edge(1, 2)
+        assert not net.has_edge(0, 2)
+
+
+class TestMetrics:
+    def test_degrees(self):
+        net = RadioNetwork([(0, 1), (0, 2), (0, 3)])
+        assert net.degree(0) == 3
+        assert net.degree(1) == 1
+        assert net.max_degree == 3
+
+    def test_neighbors_sorted(self):
+        net = RadioNetwork([(2, 0), (2, 3), (2, 1)])
+        assert net.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_bfs_distances_path(self):
+        net = RadioNetwork([(0, 1), (1, 2), (2, 3)])
+        assert net.bfs_distances(0).tolist() == [0, 1, 2, 3]
+        assert net.bfs_distances(3).tolist() == [3, 2, 1, 0]
+
+    def test_bfs_layers(self):
+        net = RadioNetwork([(0, 1), (0, 2), (1, 3), (2, 3)])
+        layers = net.bfs_layers(0)
+        assert layers[0] == [0]
+        assert sorted(layers[1]) == [1, 2]
+        assert layers[2] == [3]
+
+    def test_bfs_tree_is_valid(self):
+        net = RadioNetwork([(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+        parent = net.bfs_tree(0)
+        assert parent[0] == -1
+        dist = net.bfs_distances(0)
+        for v in range(1, net.n):
+            assert net.has_edge(v, parent[v])
+            assert dist[v] == dist[parent[v]] + 1
+
+    def test_diameter_path(self):
+        net = RadioNetwork([(i, i + 1) for i in range(9)])
+        assert net.diameter == 9
+
+    def test_diameter_cached(self):
+        net = RadioNetwork([(0, 1), (1, 2)])
+        assert net.diameter == 2
+        assert net._diameter == 2  # cached
+
+    def test_eccentricity(self):
+        net = RadioNetwork([(0, 1), (1, 2), (2, 3)])
+        assert net.eccentricity(0) == 3
+        assert net.eccentricity(1) == 2
+
+    def test_edge_list_sorted_pairs(self):
+        net = RadioNetwork([(3, 1), (0, 2), (1, 0)])
+        edges = net.edge_list()
+        assert all(u < v for u, v in edges)
+        assert set(edges) == {(1, 3), (0, 2), (0, 1)}
+
+
+class TestReceptionRule:
+    """The heart of the model: exactly-one-transmitting-neighbor."""
+
+    def test_single_transmitter_delivers_to_all_neighbors(self):
+        net = RadioNetwork([(0, 1), (0, 2), (0, 3)])
+        received = net.resolve_round({0: "msg"})
+        assert received == {1: "msg", 2: "msg", 3: "msg"}
+
+    def test_two_transmitters_collide_at_common_neighbor(self):
+        # 1 and 2 both transmit; 0 hears both -> hears nothing.
+        net = RadioNetwork([(0, 1), (0, 2)])
+        received = net.resolve_round({1: "a", 2: "b"})
+        assert 0 not in received
+
+    def test_collision_is_per_receiver_not_global(self):
+        # 0-1, 0-3, 2-3: 1 and 3 transmit. 0 hears both -> collision.
+        # 2 hears only 3 -> receives.
+        net = RadioNetwork([(0, 1), (0, 3), (2, 3)])
+        received = net.resolve_round({1: "a", 3: "b"})
+        assert 0 not in received
+        assert received[2] == "b"
+
+    def test_transmitter_does_not_hear_itself(self):
+        net = RadioNetwork([(0, 1)])
+        received = net.resolve_round({0: "x"})
+        assert 0 not in received
+        assert received == {1: "x"}
+
+    def test_half_duplex_transmitter_cannot_receive(self):
+        # 0 and 1 are neighbors and both transmit: neither receives.
+        net = RadioNetwork([(0, 1)])
+        received = net.resolve_round({0: "a", 1: "b"})
+        assert received == {}
+
+    def test_transmitter_with_one_transmitting_neighbor_blocked(self):
+        # chain 0-1-2: 0 and 1 transmit. 2 hears only 1 -> receives "b".
+        # 1 transmits so cannot receive 0's message. 0 hears only 1 but
+        # is itself transmitting.
+        net = RadioNetwork([(0, 1), (1, 2)])
+        received = net.resolve_round({0: "a", 1: "b"})
+        assert received == {2: "b"}
+
+    def test_no_transmissions(self):
+        net = RadioNetwork([(0, 1)])
+        assert net.resolve_round({}) == {}
+
+    def test_messages_are_opaque(self):
+        net = RadioNetwork([(0, 1)])
+        payload = {"nested": [1, 2, 3]}
+        received = net.resolve_round({0: payload})
+        assert received[1] is payload
+
+    def test_non_neighbor_does_not_receive(self):
+        net = RadioNetwork([(0, 1), (2, 3), (1, 2)])
+        received = net.resolve_round({0: "m"})
+        assert set(received) == {1}
+
+    def test_three_transmitters_still_collision(self):
+        net = RadioNetwork([(0, 1), (0, 2), (0, 3)])
+        received = net.resolve_round({1: "a", 2: "b", 3: "c"})
+        assert 0 not in received
+
+    def test_exactly_one_among_many_neighbors(self):
+        # star: hub 0 with leaves 1..4; only leaf 2 transmits.
+        net = RadioNetwork([(0, i) for i in range(1, 5)])
+        received = net.resolve_round({2: "only"})
+        assert received == {0: "only"}
+
+    def test_random_rounds_match_bruteforce(self):
+        """Property: resolve_round agrees with a brute-force reference."""
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            n = int(rng.integers(2, 12))
+            edges = [
+                (i, j)
+                for i in range(n)
+                for j in range(i + 1, n)
+                if rng.random() < 0.4
+            ]
+            net = RadioNetwork(edges, n=n, require_connected=False)
+            tx = {
+                int(v): f"m{v}"
+                for v in range(n)
+                if rng.random() < 0.3
+            }
+            got = net.resolve_round(tx)
+            # brute force
+            expected = {}
+            for v in range(n):
+                if v in tx:
+                    continue
+                senders = [u for u in tx if net.has_edge(u, v)]
+                if len(senders) == 1:
+                    expected[v] = tx[senders[0]]
+            assert got == expected

@@ -1,0 +1,85 @@
+"""Unit tests for message-size and air-time accounting."""
+
+import pytest
+
+from repro import MultipleMessageBroadcast
+from repro.analysis.overhead import (
+    AirtimeReport,
+    airtime_report,
+    coded_message_bits,
+    coding_overhead_ratio,
+    plain_message_bits,
+)
+from repro.experiments.workloads import uniform_random_placement
+from repro.topology import grid
+
+
+class TestMessageSizes:
+    def test_plain(self):
+        assert plain_message_bits(16) == 16
+        with pytest.raises(ValueError):
+            plain_message_bits(0)
+
+    def test_coded(self):
+        assert coded_message_bits(16, 5) == 21
+        with pytest.raises(ValueError):
+            coded_message_bits(16, 0)
+
+    def test_overhead_ratio_never_exceeds_two(self):
+        """The paper's claim: coded message ≤ 2x any packet (b ≥ log n)."""
+        for n in [2, 10, 100, 10_000, 10**6]:
+            assert coding_overhead_ratio(n) <= 2.0 + 1e-12
+
+    def test_overhead_two_exactly_at_minimum_payload(self):
+        assert coding_overhead_ratio(256) == 2.0  # b = w = 8
+
+    def test_overhead_shrinks_with_large_payloads(self):
+        assert coding_overhead_ratio(256, payload_bits=800) == 1.01
+
+    def test_payload_below_log_n_rejected(self):
+        with pytest.raises(ValueError, match="b >= log2 n"):
+            coding_overhead_ratio(1024, payload_bits=5)
+
+
+class TestAirtimeReport:
+    def test_traced_run_counts_everything(self):
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=5, seed=1)
+        algo = MultipleMessageBroadcast(net, seed=2, keep_trace=True)
+        result = algo.run(packets)
+        assert result.success
+        report = airtime_report(result, payload_bits=16)
+        assert report.total_transmissions > 0
+        assert report.dissemination_coded > 0
+        assert report.dissemination_bits > 0
+        assert report.transmissions_per_packet(5) == (
+            report.total_transmissions / 5
+        )
+
+    def test_untraced_run_reports_minus_one(self):
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=4, seed=1)
+        result = MultipleMessageBroadcast(net, seed=2).run(packets)
+        report = airtime_report(result, payload_bits=16)
+        assert report.total_transmissions == -1
+        assert report.dissemination_bits > 0
+
+    def test_bits_formula(self):
+        report = AirtimeReport(
+            total_transmissions=100,
+            dissemination_coded=10,
+            dissemination_plain=4,
+            payload_bits=8,
+            group_width=4,
+        )
+        assert report.dissemination_bits == 10 * 12 + 4 * 8
+
+    def test_failed_early_rejected(self):
+        from repro.core.multibroadcast import MultiBroadcastResult, StageTiming
+
+        bogus = MultiBroadcastResult(
+            n=3, diameter=1, max_degree=2, k=1,
+            timing=StageTiming(), success=False, leader=-1,
+        )
+        with pytest.raises(ValueError):
+            airtime_report(bogus, payload_bits=8)

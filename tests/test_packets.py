@@ -1,0 +1,75 @@
+"""Unit tests for packet types and creation."""
+
+import pytest
+
+from repro.coding.packets import (
+    CodedMessage,
+    Packet,
+    make_packets,
+    required_packet_bits,
+)
+
+
+class TestPacket:
+    def test_valid(self):
+        p = Packet(pid=0, origin=3, payload=0b101, size_bits=4)
+        assert p.payload == 5
+
+    def test_payload_too_large(self):
+        with pytest.raises(ValueError, match="fit"):
+            Packet(pid=0, origin=0, payload=16, size_bits=4)
+
+    def test_negative_payload(self):
+        with pytest.raises(ValueError):
+            Packet(pid=0, origin=0, payload=-1, size_bits=4)
+
+    def test_frozen(self):
+        p = Packet(pid=0, origin=0, payload=1, size_bits=4)
+        with pytest.raises(Exception):
+            p.payload = 2
+
+
+class TestMakePackets:
+    def test_count_and_origins(self):
+        pkts = make_packets([5, 5, 2], size_bits=16, seed=0)
+        assert [p.origin for p in pkts] == [5, 5, 2]
+        assert [p.pid for p in pkts] == [0, 1, 2]
+
+    def test_first_pid_offset(self):
+        pkts = make_packets([0], size_bits=8, seed=0, first_pid=10)
+        assert pkts[0].pid == 10
+
+    def test_payloads_fit(self):
+        pkts = make_packets([0] * 50, size_bits=9, seed=1)
+        assert all(0 <= p.payload < 512 for p in pkts)
+
+    def test_reproducible(self):
+        a = make_packets([1, 2, 3], size_bits=128, seed=7)
+        b = make_packets([1, 2, 3], size_bits=128, seed=7)
+        assert [p.payload for p in a] == [p.payload for p in b]
+
+    def test_wide_payloads(self):
+        pkts = make_packets([0] * 20, size_bits=200, seed=2)
+        assert any(p.payload > (1 << 128) for p in pkts)
+        assert all(p.payload < (1 << 200) for p in pkts)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            make_packets([0], size_bits=0)
+
+
+class TestRequiredPacketBits:
+    def test_values(self):
+        assert required_packet_bits(2) == 1
+        assert required_packet_bits(3) == 2
+        assert required_packet_bits(256) == 8
+        assert required_packet_bits(257) == 9
+
+    def test_minimum_one(self):
+        assert required_packet_bits(1) == 1
+
+
+class TestCodedMessage:
+    def test_header_bits(self):
+        m = CodedMessage(group_id=0, subset_mask=0b101, payload=9, group_size=3)
+        assert m.header_bits() == 3

@@ -1,0 +1,79 @@
+"""Tests for the exact-analysis budget planner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.planner import (
+    bgi_epoch_budget,
+    epochs_to_receive_whp,
+    plan_parameters,
+)
+from repro.core.config import AlgorithmParameters
+from repro.primitives.bgi_broadcast import bgi_broadcast
+from repro.topology import grid, line, random_geometric, star
+
+
+class TestEpochArithmetic:
+    def test_amplification_formula(self):
+        e = epochs_to_receive_whp(8, failure_prob=0.01)
+        from repro.analysis.contention import worst_case_epoch_success
+
+        q = worst_case_epoch_success(8)
+        assert (1 - q) ** e <= 0.01 < (1 - q) ** (e - 1)
+
+    def test_smaller_failure_needs_more_epochs(self):
+        assert epochs_to_receive_whp(8, 1e-6) > epochs_to_receive_whp(8, 1e-2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            epochs_to_receive_whp(8, 0.0)
+        with pytest.raises(ValueError):
+            epochs_to_receive_whp(8, 1.0)
+
+    def test_budget_grows_with_diameter(self):
+        assert bgi_epoch_budget(line(40), 0.01) > bgi_epoch_budget(line(10), 0.01)
+
+
+class TestPlanParameters:
+    def test_factors_at_least_base(self):
+        net = star(30)
+        planned = plan_parameters(net, failure_prob=0.001)
+        base = AlgorithmParameters()
+        assert planned.bgi_epochs_factor >= base.bgi_epochs_factor
+        assert planned.bfs_epochs_factor >= base.bfs_epochs_factor
+        # other knobs inherited unchanged
+        assert planned.group_spacing == base.group_spacing
+        assert planned.coding_enabled == base.coding_enabled
+
+    def test_stricter_target_not_cheaper(self):
+        net = grid(5, 5)
+        loose = plan_parameters(net, failure_prob=0.1)
+        strict = plan_parameters(net, failure_prob=1e-5)
+        assert strict.bgi_epochs_factor >= loose.bgi_epochs_factor
+
+    def test_planned_budget_achieves_broadcast_reliability(self):
+        """The planner's BGI budget empirically reaches its target on
+        networks across the regimes (its bounds are conservative, so the
+        empirical rate should clear the target with room)."""
+        for net in [line(20), grid(5, 5), star(25),
+                    random_geometric(40, seed=2)]:
+            budget = bgi_epoch_budget(net, failure_prob=0.05)
+            wins = 0
+            trials = 20
+            for seed in range(trials):
+                r = bgi_broadcast(
+                    net, [0], np.random.default_rng(seed),
+                    epochs=budget, stop_early=True,
+                )
+                wins += r.complete
+            assert wins == trials, net.name  # conservative: no failures
+
+    def test_planned_parameters_run_end_to_end(self):
+        from repro import MultipleMessageBroadcast
+        from repro.experiments.workloads import uniform_random_placement
+
+        net = random_geometric(30, seed=5)
+        params = plan_parameters(net, failure_prob=0.01)
+        packets = uniform_random_placement(net, k=6, seed=1)
+        result = MultipleMessageBroadcast(net, params=params, seed=2).run(packets)
+        assert result.success

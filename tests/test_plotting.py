@@ -1,0 +1,66 @@
+"""Tests for the ASCII chart helpers."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert sorted(line) == list(line)  # non-decreasing levels
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            [1, 2, 3, 4],
+            {"ours": [10, 20, 30, 40], "baseline": [40, 30, 20, 10]},
+            width=30,
+            height=8,
+            title="T",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert "o=ours" in chart
+        assert "x=baseline" in chart
+        assert chart.count("o") >= 4
+        # corners: ours is max at the right, baseline max at the left
+        assert len(lines) == 1 + 8 + 2 + 1
+
+    def test_log_scale(self):
+        chart = ascii_chart(
+            [1, 2, 3], {"s": [1, 100, 10000]}, log_y=True, height=6
+        )
+        assert "1e+04" in chart or "10000" in chart or "1e+4" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [0, 1]}, log_y=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"s": [1]})
+
+    def test_empty_xs(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+
+    def test_single_point(self):
+        chart = ascii_chart([5], {"s": [7]}, width=10, height=4)
+        assert "o" in chart
+
+    def test_too_many_series(self):
+        xs = [1]
+        series = {f"s{i}": [1] for i in range(10)}
+        with pytest.raises(ValueError):
+            ascii_chart(xs, series)

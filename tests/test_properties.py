@@ -1,0 +1,303 @@
+"""Hypothesis property tests on cross-module invariants.
+
+These go beyond per-module unit tests: they assert model-level invariants
+(reception rule consequences, coding correctness, schedule arithmetic) on
+randomly generated instances.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf2 import gf2_rank, gf2_solve
+from repro.coding.packets import make_packets
+from repro.coding.rlnc import GroupDecoder, SubsetXorEncoder
+from repro.core.collection import grab_schedule
+from repro.core.config import AlgorithmParameters
+from repro.radio.network import RadioNetwork
+from repro.topology import line
+
+
+@st.composite
+def connected_graphs(draw, max_n=10):
+    """Random connected graphs: a random spanning tree plus random extras."""
+    n = draw(st.integers(2, max_n))
+    edges = set()
+    for v in range(1, n):
+        u = draw(st.integers(0, v - 1))
+        edges.add((u, v))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=10,
+    ))
+    for u, v in extra:
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return RadioNetwork(sorted(edges), n=n)
+
+
+class TestReceptionInvariants:
+    @given(connected_graphs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_receivers_disjoint_from_transmitters(self, net, seed):
+        rng = np.random.default_rng(seed)
+        tx = {int(v): v for v in range(net.n) if rng.random() < 0.4}
+        received = net.resolve_round(tx)
+        assert not set(received) & set(tx)
+
+    @given(connected_graphs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_received_message_comes_from_a_neighbor(self, net, seed):
+        rng = np.random.default_rng(seed)
+        tx = {int(v): v for v in range(net.n) if rng.random() < 0.4}
+        for receiver, sender in net.resolve_round(tx).items():
+            assert net.has_edge(receiver, sender)
+            assert sender in tx
+
+    @given(connected_graphs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_single_transmitter_reaches_exactly_its_neighborhood(self, net, seed):
+        rng = np.random.default_rng(seed)
+        v = int(rng.integers(0, net.n))
+        received = net.resolve_round({v: "m"})
+        assert set(received) == set(int(u) for u in net.neighbors(v))
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_all_transmit_nobody_receives_on_dense_round(self, net):
+        tx = {v: v for v in range(net.n)}
+        assert net.resolve_round(tx) == {}
+
+
+class TestBfsLayerInvariant:
+    @given(connected_graphs(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_adjacent_layers_differ_by_at_most_one(self, net, seed):
+        rng = np.random.default_rng(seed)
+        root = int(rng.integers(0, net.n))
+        dist = net.bfs_distances(root)
+        for u, v in net.edge_list():
+            assert abs(int(dist[u]) - int(dist[v])) <= 1
+
+    @given(connected_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_bfs_tree_parent_one_layer_up(self, net):
+        parent = net.bfs_tree(0)
+        dist = net.bfs_distances(0)
+        for v in range(1, net.n):
+            assert dist[v] == dist[parent[v]] + 1
+
+
+class TestCodingInvariants:
+    @given(st.integers(1, 9), st.integers(0, 2**31 - 1), st.integers(1, 64))
+    @settings(max_examples=50, deadline=None)
+    def test_any_full_rank_message_set_decodes_correctly(self, width, seed, bits):
+        packets = make_packets([0] * width, size_bits=bits, seed=seed)
+        enc = SubsetXorEncoder(group_id=0, packets=packets)
+        dec = GroupDecoder(group_id=0, group_size=width)
+        rng = np.random.default_rng(seed)
+        absorbed_masks = []
+        for _ in range(30 * width + 100):
+            msg = enc.encode(rng)
+            dec.absorb(msg)
+            absorbed_masks.append(msg.subset_mask)
+            if dec.is_complete:
+                break
+        assert dec.is_complete
+        assert gf2_rank(absorbed_masks) == width
+        assert dec.decode() == [p.payload for p in packets]
+
+    @given(st.integers(1, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_decoder_rank_equals_gf2_rank_of_masks(self, width, seed):
+        packets = make_packets([0] * width, size_bits=16, seed=seed)
+        enc = SubsetXorEncoder(group_id=0, packets=packets)
+        dec = GroupDecoder(group_id=0, group_size=width)
+        rng = np.random.default_rng(seed + 1)
+        masks = []
+        for _ in range(width + 3):
+            msg = enc.encode(rng)
+            dec.absorb(msg)
+            masks.append(msg.subset_mask)
+        assert dec.rank == gf2_rank(masks)
+
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_gf2_solve_agrees_with_decoder(self, width, seed):
+        """Two independent decoders (batch gf2_solve vs incremental
+        GroupDecoder) agree on every solvable instance."""
+        packets = make_packets([0] * width, size_bits=24, seed=seed)
+        payloads = [p.payload for p in packets]
+        enc = SubsetXorEncoder(group_id=0, packets=packets)
+        rng = np.random.default_rng(seed)
+        masks, data = [], []
+        dec = GroupDecoder(group_id=0, group_size=width)
+        for _ in range(2 * width + 8):
+            msg = enc.encode(rng)
+            masks.append(msg.subset_mask)
+            data.append(msg.payload)
+            dec.absorb(msg)
+        batch = gf2_solve(masks, data, width)
+        if dec.is_complete:
+            assert batch == payloads
+            assert dec.decode() == payloads
+        else:
+            assert batch is None
+
+
+class TestScheduleArithmetic:
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    @settings(max_examples=100, deadline=None)
+    def test_grab_schedule_invariants(self, x, clogn):
+        ys = grab_schedule(x, clogn)
+        assert ys[-1] == clogn            # cascade ends at c log n
+        assert all(y >= clogn for y in ys)
+        # halving: each next y is ceil(prev/2) until the floor
+        for a, b in zip(ys, ys[1:]):
+            assert b == max((a + 1) // 2, clogn) or (a == clogn and b == clogn)
+        assert ys[0] == max(x, clogn)
+
+    @given(st.integers(2, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_group_width_positive_and_logarithmic(self, n):
+        w = AlgorithmParameters().group_width(n)
+        assert 1 <= w <= int(np.ceil(np.log2(n))) + 1
+
+    @given(st.integers(1, 500), st.integers(2, 4096))
+    @settings(max_examples=60, deadline=None)
+    def test_forward_epochs_monotone(self, gs, n):
+        p = AlgorithmParameters()
+        assert p.forward_epochs(gs + 1) >= p.forward_epochs(gs)
+
+
+class TestGatherInvariants:
+    @given(connected_graphs(max_n=9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_gather_procedure_invariants(self, net, seed):
+        """On any connected graph with any random launch plan:
+        collected and acked pids come only from the launched set,
+        acked ⊆ collected, and the round count matches the fixed formula.
+        """
+        from repro.core.collection import run_gather_procedure
+
+        rng = np.random.default_rng(seed)
+        root = 0
+        parent = net.bfs_tree(root)
+        k = int(rng.integers(0, 6))
+        window = 12
+        launches = []
+        for pid in range(k):
+            origin = int(rng.integers(1, net.n)) if net.n > 1 else None
+            if origin is None:
+                continue
+            launches.append((pid, origin, int(rng.integers(1, window + 1))))
+
+        result = run_gather_procedure(
+            net, parent, root, launches, window=window,
+            depth_bound=net.diameter,
+        )
+        launched_pids = {pid for pid, _, _ in launches}
+        assert set(result.collected) <= launched_pids
+        assert result.acked <= set(result.collected)
+        d = net.diameter
+        assert result.rounds == (window + d) + 3 * (window + d) + d
+        assert result.launches <= len(launches)
+        assert result.lost_to_collisions >= 0
+
+    @given(st.integers(2, 12), st.integers(1, 30), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_single_packet_on_line_always_delivered(self, n, launch, seed):
+        """One packet alone on a path has no one to collide with: it is
+        always collected and acknowledged, whatever the launch round."""
+        from repro.core.collection import run_gather_procedure
+        from repro.topology import line
+
+        net = line(n)
+        parent = net.bfs_tree(0)
+        window = max(launch, 30)
+        result = run_gather_procedure(
+            net, parent, 0, [(0, n - 1, launch)], window=window,
+            depth_bound=net.diameter,
+        )
+        assert result.collected == [0]
+        assert result.acked == {0}
+
+
+class TestDisseminationInvariants:
+    @given(connected_graphs(max_n=8), st.integers(1, 10),
+           st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_dissemination_bookkeeping(self, net, k, seed):
+        from repro.coding.packets import make_packets
+        from repro.core.config import AlgorithmParameters
+        from repro.core.dissemination import run_dissemination_stage
+
+        packets = make_packets([0] * k, size_bits=16, seed=seed)
+        params = AlgorithmParameters.fast()
+        result = run_dissemination_stage(
+            net, net.bfs_distances(0).tolist(), 0, packets, params,
+            np.random.default_rng(seed),
+        )
+        # the root always has everything
+        assert result.has_group[0].all()
+        # failed_receivers is exactly the complement of has_group
+        failed = set(result.failed_receivers)
+        for v in range(net.n):
+            for j in range(result.num_groups):
+                assert ((v, j) in failed) == (not result.has_group[v, j])
+        assert result.complete == (not failed)
+        # group accounting
+        expected_groups = -(-k // result.group_width)
+        assert result.num_groups == expected_groups
+
+
+class TestTdmaColoringProperty:
+    @given(connected_graphs(max_n=12))
+    @settings(max_examples=50, deadline=None)
+    def test_distance2_coloring_valid_on_arbitrary_graphs(self, net):
+        from repro.baselines.tdma import (
+            distance2_coloring,
+            verify_distance2_coloring,
+        )
+
+        colors = distance2_coloring(net)
+        assert verify_distance2_coloring(net, colors) == []
+        assert max(colors) + 1 <= net.max_degree**2 + 1
+
+    @given(connected_graphs(max_n=8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_tdma_flood_always_completes_deterministically(self, net, seed):
+        from repro.baselines.tdma import tdma_flood_broadcast
+
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 5))
+        origins = rng.integers(0, net.n, size=k).tolist()
+        packets = make_packets(origins, size_bits=8, seed=seed)
+        result = tdma_flood_broadcast(net, packets)
+        assert result.complete
+        assert result.transmissions <= net.n * k
+
+
+class TestPublicApiDocumented:
+    def test_all_public_items_have_docstrings(self):
+        """Meta-test: every name exported through a package __all__ has a
+        docstring (deliverable: doc comments on every public item)."""
+        import importlib
+        import inspect
+
+        packages = [
+            "repro", "repro.radio", "repro.topology", "repro.coding",
+            "repro.primitives", "repro.core", "repro.baselines",
+            "repro.analysis", "repro.dynamic", "repro.experiments",
+            "repro.mac", "repro.apps",
+        ]
+        undocumented = []
+        for package_name in packages:
+            module = importlib.import_module(package_name)
+            assert module.__doc__, f"{package_name} lacks a module docstring"
+            for name in getattr(module, "__all__", []):
+                obj = getattr(module, name)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    if not inspect.getdoc(obj):
+                        undocumented.append(f"{package_name}.{name}")
+        assert not undocumented, undocumented

@@ -1,0 +1,180 @@
+"""Additional coverage: wake semantics, error types, dynamic result
+properties, report formatting corners."""
+
+import pytest
+
+from repro.dynamic.batch import BatchRecord, DynamicBroadcastResult
+from repro.radio.errors import (
+    ProtocolError,
+    RadioModelError,
+    SimulationLimitExceeded,
+    TopologyError,
+)
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import Node, Simulator
+from repro.topology import line
+
+
+class Sleeper(Node):
+    """Stays asleep until woken by a reception; then echoes once."""
+
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.woke_at = None
+        self.echoed = False
+
+    def wake(self, round_index):
+        super().wake(round_index)
+        self.woke_at = round_index
+
+    def act(self, round_index):
+        if self.awake and not self.echoed:
+            self.echoed = True
+            return "echo"
+        return None
+
+    def on_receive(self, round_index, message):
+        pass
+
+
+class Talker(Node):
+    def __init__(self, node_id):
+        super().__init__(node_id)
+        self.awake = True
+        self.sent = False
+
+    def act(self, round_index):
+        if not self.sent:
+            self.sent = True
+            return "wake up"
+        return None
+
+    def on_receive(self, round_index, message):
+        pass
+
+
+class TestWakeSemantics:
+    def test_sleeping_node_does_not_act_until_woken(self):
+        net = line(3)
+        nodes = [Talker(0), Sleeper(1), Sleeper(2)]
+        sim = Simulator(net, nodes)
+        sim.step()  # talker transmits; node 1 receives and wakes
+        assert nodes[1].awake
+        assert nodes[1].woke_at == 0
+        assert not nodes[2].awake  # two hops away, still asleep
+        sim.step()  # node 1 echoes; node 2 wakes
+        assert nodes[2].awake
+        assert nodes[2].woke_at == 1
+
+    def test_wake_chain_propagates(self):
+        n = 6
+        net = line(n)
+        nodes = [Talker(0)] + [Sleeper(v) for v in range(1, n)]
+        sim = Simulator(net, nodes)
+        for _ in range(n):
+            sim.step()
+        assert all(node.awake for node in nodes)
+        # wake times strictly increase along the chain
+        wakes = [nodes[v].woke_at for v in range(1, n)]
+        assert wakes == sorted(wakes)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_radio_model_error(self):
+        for exc in [TopologyError, ProtocolError, SimulationLimitExceeded]:
+            assert issubclass(exc, RadioModelError)
+
+    def test_simulation_limit_carries_rounds(self):
+        err = SimulationLimitExceeded("too long", rounds_used=42)
+        assert err.rounds_used == 42
+        assert "too long" in str(err)
+
+
+class TestDynamicResultProperties:
+    def _result(self):
+        return DynamicBroadcastResult(
+            total_rounds=1000,
+            delivered=10,
+            failed=2,
+            batches=[
+                BatchRecord(0, 300, 4, True),
+                BatchRecord(300, 1000, 8, True),
+            ],
+            latencies=[10, 20, 30],
+        )
+
+    def test_batch_duration(self):
+        r = self._result()
+        assert r.batches[0].duration == 300
+        assert r.batches[1].duration == 700
+
+    def test_aggregates(self):
+        r = self._result()
+        assert r.num_batches == 2
+        assert r.mean_batch_size == 6.0
+        assert r.max_batch_size == 8
+        assert r.mean_latency == 20.0
+        assert r.max_latency == 30
+        assert r.throughput == 10 / 1000
+
+    def test_empty_result(self):
+        r = DynamicBroadcastResult(total_rounds=0, delivered=0, failed=0)
+        assert r.mean_latency == 0.0
+        assert r.max_latency == 0
+        assert r.throughput == 0.0
+        assert r.mean_batch_size == 0.0
+        assert r.max_batch_size == 0
+
+
+class TestNetworkEdgeCases:
+    def test_resolve_round_with_nonneighbor_only(self):
+        net = RadioNetwork([(0, 1), (2, 3)], require_connected=False)
+        # transmitter in the other component: nothing crosses
+        assert net.resolve_round({2: "m"}) == {3: "m"}
+        assert 0 not in net.resolve_round({2: "m"})
+
+    def test_isolated_transmitter_reaches_nobody(self):
+        net = RadioNetwork([(0, 1)], n=3, require_connected=False)
+        assert net.resolve_round({2: "m"}) == {}
+
+    def test_diameter_of_disconnected_uses_reachable(self):
+        net = RadioNetwork([(0, 1)], n=3, require_connected=False)
+        # eccentricities over unreachable nodes are -1-laden; the class
+        # clamps diameter at >= 1 and ignores unreachable (-1) distances
+        assert net.diameter >= 1
+
+
+class TestLatencyPercentiles:
+    def _result(self, latencies):
+        return DynamicBroadcastResult(
+            total_rounds=100, delivered=len(latencies), failed=0,
+            latencies=list(latencies),
+        )
+
+    def test_median_and_extremes(self):
+        r = self._result([10, 20, 30, 40, 50])
+        assert r.latency_percentile(0) == 10
+        assert r.latency_percentile(50) == 30
+        assert r.latency_percentile(100) == 50
+
+    def test_interpolation(self):
+        r = self._result([0, 100])
+        assert r.latency_percentile(25) == 25.0
+
+    def test_single_value(self):
+        assert self._result([7]).latency_percentile(99) == 7.0
+
+    def test_empty(self):
+        assert self._result([]).latency_percentile(50) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self._result([1]).latency_percentile(101)
+
+    def test_monotone_in_p(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        r = self._result(rng.integers(0, 1000, size=50).tolist())
+        values = [r.latency_percentile(p) for p in range(0, 101, 5)]
+        assert values == sorted(values)

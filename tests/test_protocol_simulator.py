@@ -1,0 +1,159 @@
+"""Unit tests for the generic per-node Node/Simulator framework, including a
+cross-validation of the engine-style BGI broadcast against a Node-based
+implementation of the same protocol."""
+
+import numpy as np
+import pytest
+
+from repro.primitives.bgi_broadcast import bgi_broadcast
+from repro.primitives.decay import decay_slots
+from repro.radio.errors import SimulationLimitExceeded
+from repro.radio.network import RadioNetwork
+from repro.radio.protocol import Node, Simulator
+from repro.topology import grid, line, star
+
+
+class Beacon(Node):
+    """Transmits "ping" every round; counts received messages."""
+
+    def __init__(self, node_id, transmit=False):
+        super().__init__(node_id)
+        self.transmit = transmit
+        self.awake = True
+        self.inbox = []
+
+    def act(self, round_index):
+        return "ping" if self.transmit else None
+
+    def on_receive(self, round_index, message):
+        self.inbox.append((round_index, message))
+
+
+class DecayFlood(Node):
+    """Node-based BGI broadcast: informed nodes run Decay epochs forever."""
+
+    def __init__(self, node_id, informed, num_slots, rng):
+        super().__init__(node_id)
+        self.informed = informed
+        self.num_slots = num_slots
+        self.rng = rng
+        self.awake = True
+
+    def act(self, round_index):
+        if not self.informed:
+            return None
+        slot = round_index % self.num_slots
+        if self.rng.random() < 2.0 ** -(slot + 1):
+            return "flood"
+        return None
+
+    def on_receive(self, round_index, message):
+        self.informed = True
+
+    def is_done(self, round_index):
+        return self.informed
+
+
+class TestSimulatorBasics:
+    def test_node_count_validated(self):
+        net = line(3)
+        with pytest.raises(ValueError, match="nodes"):
+            Simulator(net, [Beacon(0)])
+
+    def test_single_beacon_delivers(self):
+        net = line(3)
+        nodes = [Beacon(0, transmit=True), Beacon(1), Beacon(2)]
+        sim = Simulator(net, nodes)
+        sim.step()
+        assert nodes[1].inbox == [(0, "ping")]
+        assert nodes[2].inbox == []  # not a neighbor of 0
+
+    def test_two_beacons_collide(self):
+        net = star(3)  # hub 0, leaves 1, 2
+        nodes = [Beacon(0), Beacon(1, transmit=True), Beacon(2, transmit=True)]
+        sim = Simulator(net, nodes)
+        sim.step()
+        assert nodes[0].inbox == []
+
+    def test_asleep_nodes_do_not_act(self):
+        net = line(2)
+        a, b = Beacon(0, transmit=True), Beacon(1, transmit=True)
+        b.awake = False
+        sim = Simulator(net, [a, b])
+        sim.step()
+        # b was asleep, so only a transmitted; b woke on reception
+        assert b.inbox == [(0, "ping")]
+        assert b.awake
+
+    def test_run_until_done(self):
+        net = line(4)
+        rng = np.random.default_rng(0)
+        num_slots = decay_slots(net.max_degree)
+        nodes = [
+            DecayFlood(v, informed=(v == 0), num_slots=num_slots, rng=rng)
+            for v in range(4)
+        ]
+        outcome = Simulator(net, nodes).run(max_rounds=2000)
+        assert outcome.completed
+        assert all(node.informed for node in nodes)
+
+    def test_budget_exceeded_reported(self):
+        net = line(2)
+        nodes = [Beacon(0), Beacon(1)]  # nobody transmits, never done
+        outcome = Simulator(net, nodes).run(max_rounds=5)
+        assert not outcome.completed
+        assert outcome.rounds == 5
+
+    def test_budget_exceeded_raises_when_asked(self):
+        net = line(2)
+        nodes = [Beacon(0), Beacon(1)]
+        with pytest.raises(SimulationLimitExceeded):
+            Simulator(net, nodes).run(max_rounds=5, raise_on_budget=True)
+
+    def test_stop_when_predicate(self):
+        net = line(3)
+        nodes = [Beacon(0, transmit=True), Beacon(1), Beacon(2)]
+        sim = Simulator(net, nodes)
+        outcome = sim.run(max_rounds=100, stop_when=lambda: len(nodes[1].inbox) >= 3)
+        assert outcome.completed
+        assert outcome.rounds == 3
+
+    def test_trace_collected(self):
+        net = line(3)
+        nodes = [Beacon(0, transmit=True), Beacon(1), Beacon(2)]
+        sim = Simulator(net, nodes, keep_records=True)
+        sim.step()
+        sim.step()
+        assert len(sim.trace.records) == 2
+        assert sim.trace.records[0].num_transmitters == 1
+
+
+class TestCrossValidation:
+    """The engine-style bgi_broadcast and the Node-based DecayFlood implement
+    the same protocol; their completion statistics must be comparable."""
+
+    def test_completion_round_distributions_close(self):
+        net = grid(3, 3)
+        num_slots = decay_slots(net.max_degree)
+
+        def node_based(seed):
+            rng = np.random.default_rng(seed)
+            nodes = [
+                DecayFlood(v, informed=(v == 0), num_slots=num_slots, rng=rng)
+                for v in range(net.n)
+            ]
+            outcome = Simulator(net, nodes).run(max_rounds=5000)
+            assert outcome.completed
+            return outcome.rounds
+
+        def engine_based(seed):
+            r = bgi_broadcast(
+                net, [0], np.random.default_rng(seed), epochs=1000, stop_early=True
+            )
+            assert r.complete
+            return r.epochs_to_complete * num_slots
+
+        node_mean = np.mean([node_based(s) for s in range(25)])
+        engine_mean = np.mean([engine_based(s) for s in range(25)])
+        # same protocol, same physics: means within 2x of each other
+        assert 0.5 < node_mean / engine_mean < 2.0

@@ -1,0 +1,135 @@
+"""Unit + property tests for the subset-XOR encoder and incremental decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.packets import CodedMessage, make_packets
+from repro.coding.rlnc import GroupDecoder, SubsetXorEncoder
+
+
+def _group(width, seed=0):
+    packets = make_packets(list(range(width)), size_bits=32, seed=seed)
+    return packets, SubsetXorEncoder(group_id=1, packets=packets)
+
+
+class TestEncoder:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            SubsetXorEncoder(group_id=0, packets=[])
+
+    def test_encode_mask_specific_subset(self):
+        packets, enc = _group(3)
+        msg = enc.encode_mask(0b101)
+        assert msg.payload == packets[0].payload ^ packets[2].payload
+        assert msg.subset_mask == 0b101
+        assert msg.group_size == 3
+
+    def test_encode_mask_zero(self):
+        _, enc = _group(3)
+        assert enc.encode_mask(0).payload == 0
+
+    def test_encode_mask_out_of_range(self):
+        _, enc = _group(3)
+        with pytest.raises(ValueError):
+            enc.encode_mask(8)
+
+    def test_encode_random_consistent(self):
+        packets, enc = _group(4)
+        rng = np.random.default_rng(5)
+        for _ in range(50):
+            msg = enc.encode(rng)
+            expect = 0
+            for j in range(4):
+                if (msg.subset_mask >> j) & 1:
+                    expect ^= packets[j].payload
+            assert msg.payload == expect
+
+
+class TestDecoder:
+    def test_decode_from_singletons(self):
+        packets, enc = _group(3)
+        dec = GroupDecoder(group_id=1, group_size=3)
+        for mask in [0b001, 0b010, 0b100]:
+            assert dec.absorb(enc.encode_mask(mask)) is True
+        assert dec.is_complete
+        assert dec.decode() == [p.payload for p in packets]
+
+    def test_decode_from_combinations(self):
+        packets, enc = _group(3)
+        dec = GroupDecoder(group_id=1, group_size=3)
+        for mask in [0b011, 0b110, 0b111]:
+            dec.absorb(enc.encode_mask(mask))
+        assert dec.is_complete
+        assert dec.decode() == [p.payload for p in packets]
+
+    def test_redundant_message_not_innovative(self):
+        _, enc = _group(3)
+        dec = GroupDecoder(group_id=1, group_size=3)
+        dec.absorb(enc.encode_mask(0b011))
+        dec.absorb(enc.encode_mask(0b101))
+        # 0b110 = xor of the two already absorbed
+        assert dec.absorb(enc.encode_mask(0b110)) is False
+        assert dec.rank == 2
+        assert dec.decode() is None
+
+    def test_zero_mask_not_innovative(self):
+        _, enc = _group(2)
+        dec = GroupDecoder(group_id=1, group_size=2)
+        assert dec.absorb(enc.encode_mask(0)) is False
+        assert dec.rank == 0
+
+    def test_group_mismatch_rejected(self):
+        dec = GroupDecoder(group_id=2, group_size=3)
+        msg = CodedMessage(group_id=1, subset_mask=1, payload=0, group_size=3)
+        with pytest.raises(ValueError, match="group"):
+            dec.absorb(msg)
+
+    def test_size_mismatch_rejected(self):
+        dec = GroupDecoder(group_id=1, group_size=3)
+        msg = CodedMessage(group_id=1, subset_mask=1, payload=0, group_size=2)
+        with pytest.raises(ValueError, match="size"):
+            dec.absorb(msg)
+
+    def test_corrupted_payload_detected(self):
+        _, enc = _group(2)
+        dec = GroupDecoder(group_id=1, group_size=2)
+        dec.absorb(enc.encode_mask(0b01))
+        dec.absorb(enc.encode_mask(0b10))
+        bad = CodedMessage(group_id=1, subset_mask=0b11, payload=12345, group_size=2)
+        with pytest.raises(ValueError, match="inconsistent"):
+            dec.absorb(bad)
+
+    def test_absorbed_counters(self):
+        _, enc = _group(2)
+        dec = GroupDecoder(group_id=1, group_size=2)
+        dec.absorb(enc.encode_mask(0b01))
+        dec.absorb(enc.encode_mask(0b01))
+        assert dec.messages_absorbed == 2
+        assert dec.innovative_messages == 1
+
+    @given(st.integers(1, 10), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_coded_stream_decodes(self, width, seed):
+        """Property: feeding random coded messages always ends in a correct
+        decode within a few multiples of the group size (Lemma 3 regime)."""
+        packets, enc = _group(width, seed=seed)
+        dec = GroupDecoder(group_id=1, group_size=width)
+        rng = np.random.default_rng(seed)
+        for _ in range(20 * width + 200):
+            dec.absorb(enc.encode(rng))
+            if dec.is_complete:
+                break
+        assert dec.is_complete
+        assert dec.decode() == [p.payload for p in packets]
+
+    def test_rank_monotone_nondecreasing(self):
+        _, enc = _group(5, seed=3)
+        dec = GroupDecoder(group_id=1, group_size=5)
+        rng = np.random.default_rng(0)
+        prev = 0
+        for _ in range(30):
+            dec.absorb(enc.encode(rng))
+            assert dec.rank >= prev
+            prev = dec.rank

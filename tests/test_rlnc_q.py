@@ -1,0 +1,170 @@
+"""Unit + property tests for non-binary (GF(2^m)) RLNC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.field import GF2m
+from repro.coding.packets import make_packets
+from repro.coding.rlnc_q import (
+    FieldCodedMessage,
+    FieldRlncDecoder,
+    FieldRlncEncoder,
+    expected_receptions_to_decode,
+)
+
+
+def _group(width, bits=8, seed=0):
+    field = GF2m(bits)
+    packets = make_packets([0] * width, size_bits=bits, seed=seed)
+    return packets, field, FieldRlncEncoder(1, packets, field)
+
+
+class TestEncoder:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            FieldRlncEncoder(1, [], GF2m(8))
+
+    def test_oversized_payload_rejected(self):
+        packets = make_packets([0], size_bits=16, seed=0)
+        with pytest.raises(ValueError, match="fit"):
+            FieldRlncEncoder(1, packets, GF2m(8))
+
+    def test_unit_coefficient_vectors_reproduce_packets(self):
+        packets, field, enc = _group(3)
+        for j in range(3):
+            coeffs = [0] * 3
+            coeffs[j] = 1
+            msg = enc.encode_coefficients(coeffs)
+            assert msg.payload == packets[j].payload
+
+    def test_wrong_coefficient_count(self):
+        _, _, enc = _group(3)
+        with pytest.raises(ValueError):
+            enc.encode_coefficients([1, 0])
+
+    def test_linearity(self):
+        packets, field, enc = _group(2)
+        a = enc.encode_coefficients([3, 7]).payload
+        b = enc.encode_coefficients([5, 2]).payload
+        combined = enc.encode_coefficients(
+            [field.add(3, 5), field.add(7, 2)]
+        ).payload
+        assert combined == field.add(a, b)
+
+    def test_header_bits(self):
+        msg = FieldCodedMessage(1, (1, 2, 3), payload=0, group_size=3)
+        assert msg.header_bits(coefficient_bits=8) == 24
+
+
+class TestDecoder:
+    def test_roundtrip_unit_vectors(self):
+        packets, field, enc = _group(3)
+        dec = FieldRlncDecoder(1, 3, field)
+        for j in range(3):
+            coeffs = [0] * 3
+            coeffs[j] = 1
+            assert dec.absorb(enc.encode_coefficients(coeffs)) is True
+        assert dec.is_complete
+        assert dec.decode() == [p.payload for p in packets]
+
+    def test_roundtrip_random(self):
+        packets, field, enc = _group(5, bits=16, seed=3)
+        dec = FieldRlncDecoder(1, 5, field)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            dec.absorb(enc.encode(rng))
+            if dec.is_complete:
+                break
+        assert dec.is_complete
+        assert dec.decode() == [p.payload for p in packets]
+
+    def test_dependent_row_not_innovative(self):
+        packets, field, enc = _group(2)
+        dec = FieldRlncDecoder(1, 2, field)
+        dec.absorb(enc.encode_coefficients([1, 1]))
+        # a scalar multiple of the first row: 2*(1,1) = (2,2)
+        assert dec.absorb(enc.encode_coefficients([2, 2])) is False
+        assert dec.rank == 1
+
+    def test_zero_vector_not_innovative(self):
+        _, field, enc = _group(2)
+        dec = FieldRlncDecoder(1, 2, field)
+        assert dec.absorb(enc.encode_coefficients([0, 0])) is False
+
+    def test_corruption_detected(self):
+        packets, field, enc = _group(2)
+        dec = FieldRlncDecoder(1, 2, field)
+        dec.absorb(enc.encode_coefficients([1, 0]))
+        dec.absorb(enc.encode_coefficients([0, 1]))
+        truth = packets[0].payload ^ packets[1].payload
+        bad = FieldCodedMessage(
+            1, (1, 1), payload=truth ^ 0x5A, group_size=2
+        )
+        with pytest.raises(ValueError, match="inconsistent"):
+            dec.absorb(bad)
+
+    def test_group_mismatch(self):
+        field = GF2m(8)
+        dec = FieldRlncDecoder(2, 3, field)
+        msg = FieldCodedMessage(1, (1, 0, 0), payload=0, group_size=3)
+        with pytest.raises(ValueError, match="group"):
+            dec.absorb(msg)
+
+    @given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_random_streams_always_decode_correctly(self, width, seed):
+        packets, field, enc = _group(width, bits=16, seed=seed)
+        dec = FieldRlncDecoder(1, width, field)
+        rng = np.random.default_rng(seed)
+        for _ in range(width + 30):
+            dec.absorb(enc.encode(rng))
+            if dec.is_complete:
+                break
+        assert dec.is_complete
+        assert dec.decode() == [p.payload for p in packets]
+
+
+class TestExpectedReceptions:
+    def test_binary_matches_lemma3_regime(self):
+        # <= w + 2 (the paper's bound for GF(2))
+        for w in [1, 4, 16, 64]:
+            e = expected_receptions_to_decode(w, 2)
+            assert w <= e <= w + 2
+
+    def test_large_field_is_nearly_optimal(self):
+        e = expected_receptions_to_decode(16, 256)
+        assert 16 <= e < 16.01
+
+    def test_monotone_in_q(self):
+        for w in [4, 8]:
+            values = [
+                expected_receptions_to_decode(w, q) for q in [2, 4, 16, 256]
+            ]
+            assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_receptions_to_decode(0, 2)
+        with pytest.raises(ValueError):
+            expected_receptions_to_decode(4, 1)
+
+    def test_empirical_matches_theory_gf2_vs_gf256(self):
+        """Monte-Carlo receptions-to-decode agrees with the formula for
+        both fields (the A5 trade-off, verified at test scale)."""
+        rng = np.random.default_rng(7)
+        width = 6
+        for bits, q in [(8, 256)]:
+            packets, field, enc = _group(width, bits=bits, seed=1)
+            counts = []
+            for _ in range(60):
+                dec = FieldRlncDecoder(1, width, field)
+                count = 0
+                while not dec.is_complete:
+                    dec.absorb(enc.encode(rng))
+                    count += 1
+                counts.append(count)
+            mean = float(np.mean(counts))
+            expect = expected_receptions_to_decode(width, q)
+            assert abs(mean - expect) < 0.35

@@ -1,0 +1,56 @@
+"""Tests for the canned scenario catalog, including end-to-end runs."""
+
+import pytest
+
+from repro import MultipleMessageBroadcast
+from repro.experiments.scenarios import get_scenario, scenario_names
+
+
+class TestCatalog:
+    def test_names_nonempty_and_sorted(self):
+        names = scenario_names()
+        assert len(names) >= 5
+        assert names == sorted(names)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("does-not-exist")
+
+    def test_build_reproducible(self):
+        s = get_scenario("adhoc-uniform")
+        net1, pkts1 = s.build(seed=5)
+        net2, pkts2 = s.build(seed=5)
+        assert net1.edge_list() == net2.edge_list()
+        assert [(p.origin, p.payload) for p in pkts1] == [
+            (p.origin, p.payload) for p in pkts2
+        ]
+
+    def test_different_seeds_differ(self):
+        s = get_scenario("adhoc-uniform")
+        _, pkts1 = s.build(seed=1)
+        _, pkts2 = s.build(seed=2)
+        assert [(p.origin, p.payload) for p in pkts1] != [
+            (p.origin, p.payload) for p in pkts2
+        ]
+
+    def test_every_scenario_is_well_formed(self):
+        for name in scenario_names():
+            s = get_scenario(name)
+            net, packets = s.build(seed=3)
+            assert net.is_connected()
+            assert packets
+            assert all(0 <= p.origin < net.n for p in packets)
+            assert s.description
+
+
+class TestScenariosEndToEnd:
+    @pytest.mark.parametrize(
+        "name", ["sensor-hotspot", "single-hop-hub", "long-thin"]
+    )
+    def test_fast_scenarios_succeed(self, name):
+        s = get_scenario(name)
+        net, packets = s.build(seed=7)
+        result = MultipleMessageBroadcast(
+            net, params=s.params, seed=11
+        ).run(packets)
+        assert result.success, name

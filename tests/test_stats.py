@@ -1,0 +1,90 @@
+"""Unit tests for the statistical helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import (
+    _normal_quantile,
+    min_trials_for_failure_detection,
+    wilson_interval,
+)
+
+
+class TestNormalQuantile:
+    def test_median(self):
+        assert abs(_normal_quantile(0.5)) < 1e-9
+
+    def test_known_values(self):
+        assert abs(_normal_quantile(0.975) - 1.959964) < 1e-5
+        assert abs(_normal_quantile(0.995) - 2.575829) < 1e-5
+
+    def test_symmetry(self):
+        for p in [0.01, 0.1, 0.3]:
+            assert abs(_normal_quantile(p) + _normal_quantile(1 - p)) < 1e-8
+
+    def test_tails(self):
+        assert _normal_quantile(1e-6) < -4
+        assert _normal_quantile(1 - 1e-6) > 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _normal_quantile(0.0)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(8, 10)
+        assert low < 0.8 < high
+
+    def test_all_successes_excludes_zero(self):
+        low, high = wilson_interval(20, 20)
+        assert high == 1.0
+        assert low > 0.8
+
+    def test_zero_successes(self):
+        low, high = wilson_interval(0, 20)
+        assert low == 0.0
+        assert 0 < high < 0.2
+
+    def test_narrower_with_more_trials(self):
+        low1, high1 = wilson_interval(8, 10)
+        low2, high2 = wilson_interval(80, 100)
+        assert high2 - low2 < high1 - low1
+
+    def test_coverage_simulation(self):
+        """The 95% interval covers the true p ~95% of the time."""
+        rng = np.random.default_rng(0)
+        p_true = 0.7
+        trials = 50
+        covered = 0
+        reps = 400
+        for _ in range(reps):
+            successes = int(rng.binomial(trials, p_true))
+            low, high = wilson_interval(successes, trials)
+            covered += low <= p_true <= high
+        assert covered / reps > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 2, confidence=1.0)
+
+
+class TestMinTrials:
+    def test_formula(self):
+        # p = 0.5: one failure within 5 trials w.p. > 0.95 needs >= 5
+        assert min_trials_for_failure_detection(0.5) == 5
+
+    def test_rare_failures_need_many_trials(self):
+        assert min_trials_for_failure_detection(0.01) >= 298
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_trials_for_failure_detection(0.0)
+        with pytest.raises(ValueError):
+            min_trials_for_failure_detection(0.5, detection_prob=1.0)

@@ -1,0 +1,178 @@
+"""Tests for the distance-2 coloring and deterministic TDMA flooding."""
+
+import pytest
+
+from repro.baselines.tdma import (
+    distance2_coloring,
+    tdma_flood_broadcast,
+    verify_distance2_coloring,
+)
+from repro.coding.packets import make_packets
+from repro.radio.errors import SimulationLimitExceeded
+from repro.topology import (
+    balanced_tree,
+    clique,
+    grid,
+    line,
+    random_geometric,
+    ring,
+    star,
+)
+
+
+class TestColoring:
+    @pytest.mark.parametrize(
+        "net",
+        [line(10), ring(9), grid(4, 5), star(8), clique(6),
+         balanced_tree(2, 4), random_geometric(40, seed=3)],
+        ids=lambda net: net.name.split("(")[0],
+    )
+    def test_valid_on_families(self, net):
+        colors = distance2_coloring(net)
+        assert verify_distance2_coloring(net, colors) == []
+        assert max(colors) + 1 <= net.max_degree**2 + 1
+
+    def test_line_uses_three_colors(self):
+        colors = distance2_coloring(line(10))
+        assert max(colors) + 1 == 3
+
+    def test_clique_uses_n_colors(self):
+        colors = distance2_coloring(clique(5))
+        assert sorted(colors) == [0, 1, 2, 3, 4]
+
+    def test_star_needs_n_colors(self):
+        # all leaves share the hub as a common neighbor
+        colors = distance2_coloring(star(6))
+        assert len(set(colors)) == 6
+
+    def test_deterministic(self):
+        net = random_geometric(30, seed=1)
+        assert distance2_coloring(net) == distance2_coloring(net)
+
+    def test_verifier_catches_violations(self):
+        net = line(4)
+        # 0 and 2 share neighbor 1: same color is a violation
+        bad = [0, 1, 0, 1]
+        assert verify_distance2_coloring(net, bad)
+
+
+class TestTdmaFlood:
+    @pytest.mark.parametrize(
+        "net",
+        [line(8), grid(3, 4), star(7), balanced_tree(2, 3)],
+        ids=lambda net: net.name.split("(")[0],
+    )
+    def test_completes_deterministically(self, net):
+        packets = make_packets([0, net.n - 1, net.n // 2], size_bits=8, seed=0)
+        r1 = tdma_flood_broadcast(net, packets)
+        r2 = tdma_flood_broadcast(net, packets)
+        assert r1.complete
+        assert r1.rounds == r2.rounds  # no randomness at all
+
+    def test_no_packets(self):
+        result = tdma_flood_broadcast(line(3), [])
+        assert result.complete
+        assert result.rounds == 0
+
+    def test_transmission_bound(self):
+        """Each node transmits each packet at most once."""
+        net = grid(3, 3)
+        k = 5
+        packets = make_packets([0] * k, size_bits=8, seed=1)
+        result = tdma_flood_broadcast(net, packets)
+        assert result.complete
+        assert result.transmissions <= net.n * k
+
+    def test_amortized_cost_is_frame_length_scale(self):
+        """On a line (3 colors), marginal cost per packet ~ O(χ)."""
+        net = line(12)
+        small = make_packets([0] * 5, size_bits=8, seed=0)
+        large = make_packets([0] * 50, size_bits=8, seed=0)
+        r_small = tdma_flood_broadcast(net, small)
+        r_large = tdma_flood_broadcast(net, large)
+        assert r_small.complete and r_large.complete
+        slope = (r_large.rounds - r_small.rounds) / 45
+        assert slope <= 2 * r_large.num_colors
+
+    def test_budget_raise(self):
+        net = line(10)
+        packets = make_packets([0], size_bits=8, seed=0)
+        with pytest.raises(SimulationLimitExceeded):
+            tdma_flood_broadcast(
+                net, packets, max_rounds=2, raise_on_budget=True
+            )
+
+    def test_custom_coloring_accepted(self):
+        net = line(5)
+        colors = distance2_coloring(net)
+        result = tdma_flood_broadcast(
+            net, make_packets([4], size_bits=8, seed=0), colors=colors
+        )
+        assert result.complete
+        assert result.num_colors == max(colors) + 1
+
+    def test_origin_validation(self):
+        from repro.coding.packets import Packet
+
+        with pytest.raises(ValueError, match="origin"):
+            tdma_flood_broadcast(
+                line(3), [Packet(pid=0, origin=5, payload=0, size_bits=4)]
+            )
+
+
+class TestRoundRobinFlood:
+    """The deterministic ad-hoc (ID-frame) comparator."""
+
+    @pytest.mark.parametrize(
+        "net",
+        [line(7), grid(3, 3), star(6), balanced_tree(2, 3)],
+        ids=lambda net: net.name.split("(")[0],
+    )
+    def test_completes_without_randomness(self, net):
+        from repro.baselines.round_robin import round_robin_flood_broadcast
+
+        packets = make_packets([0, net.n - 1], size_bits=8, seed=0)
+        r1 = round_robin_flood_broadcast(net, packets)
+        r2 = round_robin_flood_broadcast(net, packets)
+        assert r1.complete
+        assert r1.rounds == r2.rounds  # fully deterministic
+
+    def test_no_packets(self):
+        from repro.baselines.round_robin import round_robin_flood_broadcast
+
+        result = round_robin_flood_broadcast(line(4), [])
+        assert result.complete and result.rounds == 0
+
+    def test_amortized_cost_is_theta_n(self):
+        """The determinism price: marginal cost per packet ~ n."""
+        from repro.baselines.round_robin import round_robin_flood_broadcast
+
+        net = grid(4, 4)
+        small = make_packets([0] * 4, size_bits=8, seed=0)
+        large = make_packets([0] * 24, size_bits=8, seed=0)
+        r_small = round_robin_flood_broadcast(net, small)
+        r_large = round_robin_flood_broadcast(net, large)
+        assert r_small.complete and r_large.complete
+        slope = (r_large.rounds - r_small.rounds) / 20
+        assert net.n / 2 <= slope <= 4 * net.n
+
+    def test_budget_raise(self):
+        from repro.baselines.round_robin import round_robin_flood_broadcast
+        from repro.radio.errors import SimulationLimitExceeded
+
+        net = line(8)
+        packets = make_packets([0], size_bits=8, seed=0)
+        with pytest.raises(SimulationLimitExceeded):
+            round_robin_flood_broadcast(
+                net, packets, max_rounds=3, raise_on_budget=True
+            )
+
+    def test_transmissions_bounded(self):
+        from repro.baselines.round_robin import round_robin_flood_broadcast
+
+        net = star(8)
+        k = 4
+        packets = make_packets([1] * k, size_bits=8, seed=1)
+        result = round_robin_flood_broadcast(net, packets)
+        assert result.complete
+        assert result.transmissions <= net.n * k

@@ -1,0 +1,233 @@
+"""Unit tests for the topology generators."""
+
+import math
+
+import pytest
+
+from repro.radio.errors import TopologyError
+from repro.topology import (
+    balanced_tree,
+    barbell,
+    caterpillar,
+    clique,
+    grid,
+    line,
+    random_connected_gnp,
+    random_geometric,
+    ring,
+    star,
+)
+
+
+class TestLine:
+    def test_structure(self):
+        net = line(5)
+        assert net.n == 5
+        assert net.num_edges == 4
+        assert net.diameter == 4
+        assert net.max_degree == 2
+
+    def test_single_node(self):
+        assert line(1).n == 1
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            line(0)
+
+
+class TestRing:
+    def test_structure(self):
+        net = ring(6)
+        assert net.n == 6
+        assert net.num_edges == 6
+        assert net.diameter == 3
+        assert all(net.degree(v) == 2 for v in net.nodes())
+
+    def test_odd_ring_diameter(self):
+        assert ring(7).diameter == 3
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+
+class TestStar:
+    def test_structure(self):
+        net = star(10)
+        assert net.n == 10
+        assert net.degree(0) == 9
+        assert net.max_degree == 9
+        assert net.diameter == 2
+
+    def test_two_nodes(self):
+        assert star(2).diameter == 1
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            star(1)
+
+
+class TestClique:
+    def test_structure(self):
+        net = clique(5)
+        assert net.num_edges == 10
+        assert net.diameter == 1
+        assert net.max_degree == 4
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            clique(1)
+
+
+class TestGrid:
+    def test_structure(self):
+        net = grid(3, 4)
+        assert net.n == 12
+        assert net.diameter == 3 + 4 - 2
+        assert net.max_degree == 4
+
+    def test_degenerate_is_line(self):
+        net = grid(1, 5)
+        assert net.diameter == 4
+        assert net.max_degree == 2
+
+    def test_edge_count(self):
+        # rows*(cols-1) + cols*(rows-1)
+        net = grid(3, 3)
+        assert net.num_edges == 3 * 2 + 3 * 2
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            grid(0, 3)
+
+
+class TestBalancedTree:
+    def test_node_count(self):
+        net = balanced_tree(2, 3)
+        assert net.n == 1 + 2 + 4 + 8
+
+    def test_depth_zero(self):
+        assert balanced_tree(3, 0).n == 1
+
+    def test_diameter(self):
+        assert balanced_tree(2, 3).diameter == 6
+
+    def test_max_degree(self):
+        # root has b children; internal nodes b+1 neighbors
+        assert balanced_tree(3, 2).max_degree == 4
+
+    def test_invalid(self):
+        with pytest.raises(TopologyError):
+            balanced_tree(0, 2)
+
+
+class TestCaterpillar:
+    def test_node_count(self):
+        net = caterpillar(4, 3)
+        assert net.n == 4 + 4 * 3
+
+    def test_max_degree(self):
+        # middle spine node: 2 spine neighbors + legs
+        net = caterpillar(5, 3)
+        assert net.max_degree == 5
+
+    def test_diameter_includes_legs(self):
+        # leaf - spine(0..4) - leaf
+        assert caterpillar(5, 1).diameter == 6
+
+
+class TestBarbell:
+    def test_structure(self):
+        net = barbell(4, 3)
+        assert net.n == 4 + 3 + 4
+        assert net.max_degree >= 4
+        # leftmost clique nodes to rightmost: through the path
+        assert net.diameter == 3 + 1 + 2
+
+    def test_connected(self):
+        assert barbell(3, 0).is_connected()
+
+
+class TestRandomGeometric:
+    def test_connected_and_reproducible(self):
+        a = random_geometric(50, seed=42)
+        b = random_geometric(50, seed=42)
+        assert a.is_connected()
+        assert a.edge_list() == b.edge_list()
+
+    def test_different_seeds_differ(self):
+        a = random_geometric(50, seed=1)
+        b = random_geometric(50, seed=2)
+        assert a.edge_list() != b.edge_list()
+
+    def test_radius_one_is_clique(self):
+        net = random_geometric(10, radius=2.0, seed=0)
+        assert net.num_edges == 45
+
+    def test_impossible_radius_raises(self):
+        with pytest.raises(TopologyError, match="connected"):
+            random_geometric(30, radius=1e-6, seed=0, max_attempts=3)
+
+
+class TestRandomGnp:
+    def test_connected_and_reproducible(self):
+        a = random_connected_gnp(40, seed=9)
+        b = random_connected_gnp(40, seed=9)
+        assert a.is_connected()
+        assert a.edge_list() == b.edge_list()
+
+    def test_p_one_is_clique(self):
+        net = random_connected_gnp(8, p=1.0, seed=0)
+        assert net.num_edges == 28
+
+    def test_impossible_p_raises(self):
+        with pytest.raises(TopologyError):
+            random_connected_gnp(30, p=0.0001, seed=0, max_attempts=3)
+
+
+class TestHypercube:
+    def test_structure(self):
+        from repro.topology import hypercube
+
+        net = hypercube(4)
+        assert net.n == 16
+        assert net.max_degree == 4
+        assert net.diameter == 4
+        assert all(net.degree(v) == 4 for v in net.nodes())
+
+    def test_dimension_one_is_edge(self):
+        from repro.topology import hypercube
+
+        assert hypercube(1).num_edges == 1
+
+    def test_invalid(self):
+        import pytest
+        from repro.topology import hypercube
+        from repro.radio.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            hypercube(0)
+
+
+class TestTorus:
+    def test_structure(self):
+        from repro.topology import torus
+
+        net = torus(4, 6)
+        assert net.n == 24
+        assert net.max_degree == 4
+        assert net.diameter == 2 + 3
+        assert all(net.degree(v) == 4 for v in net.nodes())
+
+    def test_vertex_transitive_degrees(self):
+        from repro.topology import torus, degree_histogram
+
+        assert degree_histogram(torus(3, 3)) == {4: 9}
+
+    def test_invalid(self):
+        import pytest
+        from repro.topology import torus
+        from repro.radio.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            torus(2, 5)

@@ -1,0 +1,86 @@
+"""Unit tests for topology metrics and validators."""
+
+from repro.topology import (
+    balanced_tree,
+    degree_histogram,
+    graph_summary,
+    grid,
+    layers_are_bfs_consistent,
+    line,
+    random_geometric,
+    star,
+    validate_bfs_tree,
+)
+
+
+class TestGraphSummary:
+    def test_line_summary(self):
+        s = graph_summary(line(5))
+        assert s["n"] == 5
+        assert s["m"] == 4
+        assert s["diameter"] == 4
+        assert s["max_degree"] == 2
+        assert s["min_degree"] == 1
+        assert abs(s["avg_degree"] - 8 / 5) < 1e-12
+
+    def test_star_summary(self):
+        s = graph_summary(star(7))
+        assert s["max_degree"] == 6
+        assert s["min_degree"] == 1
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        hist = degree_histogram(star(5))
+        assert hist == {4: 1, 1: 4}
+
+    def test_counts_sum_to_n(self):
+        net = grid(3, 4)
+        assert sum(degree_histogram(net).values()) == net.n
+
+
+class TestValidateBfsTree:
+    def test_valid_tree_accepted(self):
+        net = grid(3, 3)
+        parent = net.bfs_tree(0)
+        dist = net.bfs_distances(0).tolist()
+        assert validate_bfs_tree(net, 0, parent, dist) == []
+
+    def test_wrong_distance_flagged(self):
+        net = line(4)
+        parent = net.bfs_tree(0)
+        dist = net.bfs_distances(0).tolist()
+        dist[3] = 1
+        errors = validate_bfs_tree(net, 0, parent, dist)
+        assert any("distance" in e for e in errors)
+
+    def test_non_neighbor_parent_flagged(self):
+        net = line(4)
+        parent = net.bfs_tree(0)
+        dist = net.bfs_distances(0).tolist()
+        parent[3] = 0  # not adjacent
+        errors = validate_bfs_tree(net, 0, parent, dist)
+        assert any("non-neighbor" in e for e in errors)
+
+    def test_missing_node_flagged(self):
+        net = line(3)
+        errors = validate_bfs_tree(net, 0, [-1, 0, -1], [0, 1, -1])
+        assert any("never joined" in e for e in errors)
+
+    def test_bad_root_labels_flagged(self):
+        net = line(3)
+        errors = validate_bfs_tree(net, 0, [1, 0, 1], [1, 1, 2])
+        assert any("root" in e for e in errors)
+
+
+class TestLayerConsistency:
+    def test_holds_on_generated_families(self):
+        for net in [
+            line(10),
+            grid(4, 5),
+            star(8),
+            balanced_tree(2, 3),
+            random_geometric(40, seed=5),
+        ]:
+            for root in [0, net.n // 2, net.n - 1]:
+                assert layers_are_bfs_consistent(net, root)

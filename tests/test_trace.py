@@ -1,0 +1,64 @@
+"""Unit tests for round traces."""
+
+from repro.radio.trace import RoundRecord, RoundTrace, merge_summaries
+
+
+class TestRoundTrace:
+    def test_aggregates(self):
+        trace = RoundTrace()
+        trace.observe(0, {1: "a"}, {2: "a"})
+        trace.observe(1, {}, {})
+        trace.observe(2, {1: "a", 3: "b"}, {})
+        s = trace.summary()
+        assert s["total_rounds"] == 3
+        assert s["busy_rounds"] == 2
+        assert s["total_transmissions"] == 3
+        assert s["total_receptions"] == 1
+
+    def test_delivery_ratio(self):
+        trace = RoundTrace()
+        trace.observe(0, {0: "m", 1: "m"}, {2: "m"})
+        assert trace.summary()["delivery_ratio"] == 0.5
+
+    def test_delivery_ratio_no_transmissions(self):
+        assert RoundTrace().summary()["delivery_ratio"] == 0.0
+
+    def test_records_only_when_requested(self):
+        t0 = RoundTrace(keep_records=False)
+        t0.observe(0, {1: "a"}, {})
+        assert t0.records == []
+        t1 = RoundTrace(keep_records=True)
+        t1.observe(0, {1: "a"}, {})
+        assert t1.records == [
+            RoundRecord(round_index=0, num_transmitters=1, num_receivers=0,
+                        num_collision_victims=0)
+        ]
+
+    def test_collision_victims_counted(self):
+        trace = RoundTrace()
+        trace.observe(0, {0: "a", 1: "b"}, {}, reach_counts={2: 2, 3: 1})
+        assert trace.summary()["total_collision_victims"] == 1
+
+    def test_advance_to(self):
+        trace = RoundTrace()
+        trace.observe(0, {0: "m"}, {})
+        trace.advance_to(100)
+        assert trace.summary()["total_rounds"] == 100
+
+    def test_round_offset_respected(self):
+        trace = RoundTrace()
+        trace.observe(41, {0: "m"}, {})
+        assert trace.summary()["total_rounds"] == 42
+
+
+class TestMergeSummaries:
+    def test_mean_and_max(self):
+        merged = merge_summaries([
+            {"x": 1.0, "y": 10.0},
+            {"x": 3.0, "y": 0.0},
+        ])
+        assert merged["x"] == (2.0, 3.0)
+        assert merged["y"] == (5.0, 10.0)
+
+    def test_empty(self):
+        assert merge_summaries([]) == {}

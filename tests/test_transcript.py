@@ -1,0 +1,145 @@
+"""Tests for transcript recording, auditing, and per-node accounting."""
+
+import numpy as np
+import pytest
+
+from repro import MultipleMessageBroadcast
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.transcript import (
+    RecordingNetwork,
+    TranscriptEntry,
+    per_node_receptions,
+    per_node_transmissions,
+    verify_transcript,
+)
+from repro.topology import grid, line, star
+
+
+class TestRecording:
+    def test_records_rounds(self):
+        base = star(5)
+        net = RecordingNetwork(base)
+        net.resolve_round({1: "a"})
+        net.resolve_round({2: "b", 3: "c"})
+        assert len(net.transcript) == 2
+        assert net.transcript[0].received == {0: "a"}
+        assert net.transcript[1].received == {}  # collision at the hub
+
+    def test_delegation(self):
+        base = grid(3, 3)
+        net = RecordingNetwork(base)
+        assert net.n == 9
+        assert net.diameter == 4
+        assert net.max_degree == 4
+        assert list(net.neighbors(0)) == list(base.neighbors(0))
+
+    def test_clear(self):
+        net = RecordingNetwork(line(3))
+        net.resolve_round({0: "x"})
+        net.clear()
+        assert net.transcript == []
+
+    def test_full_algorithm_through_recorder(self):
+        base = grid(3, 3)
+        net = RecordingNetwork(base)
+        packets = uniform_random_placement(base, k=4, seed=1)
+        result = MultipleMessageBroadcast(net, seed=2).run(packets)
+        assert result.success
+        assert len(net.transcript) > 100  # plenty of busy rounds
+
+
+class TestVerification:
+    def test_honest_run_passes(self):
+        base = grid(3, 3)
+        net = RecordingNetwork(base)
+        packets = uniform_random_placement(base, k=4, seed=1)
+        result = MultipleMessageBroadcast(net, seed=2).run(packets)
+        assert result.success
+        assert verify_transcript(base, net.transcript) == []
+
+    def test_phantom_reception_detected(self):
+        base = line(4)
+        bogus = [TranscriptEntry(0, {0: "m"}, {3: "m"})]  # 3 not adjacent to 0
+        violations = verify_transcript(base, bogus)
+        assert any("no transmitting neighbor" in v for v in violations)
+
+    def test_transmitter_receiving_detected(self):
+        base = line(3)
+        bogus = [TranscriptEntry(0, {0: "m", 2: "x"}, {0: "x"})]
+        violations = verify_transcript(base, bogus)
+        assert any("also received" in v for v in violations)
+
+    def test_missed_collision_detected(self):
+        base = star(4)
+        # hub "received" despite two transmitting neighbors
+        bogus = [TranscriptEntry(0, {1: "a", 2: "b"}, {0: "a"})]
+        violations = verify_transcript(base, bogus)
+        assert violations
+
+    def test_missed_reception_detected(self):
+        base = line(2)
+        # model says node 1 receives, transcript claims silence
+        bogus = [TranscriptEntry(0, {0: "m"}, {})]
+        violations = verify_transcript(base, bogus)
+        assert any("does not match" in v for v in violations)
+
+
+class TestPerNodeAccounting:
+    def test_transmission_counts(self):
+        net = RecordingNetwork(line(3))
+        net.resolve_round({0: "a"})
+        net.resolve_round({0: "b", 2: "c"})
+        counts = per_node_transmissions(net.transcript, 3)
+        assert counts == [2, 0, 1]
+
+    def test_reception_counts(self):
+        net = RecordingNetwork(line(3))
+        net.resolve_round({0: "a"})   # 1 receives
+        net.resolve_round({1: "b"})   # 0 and 2 receive
+        counts = per_node_receptions(net.transcript, 3)
+        assert counts == [1, 1, 1]
+
+    def test_totals_match_trace_semantics(self):
+        base = grid(3, 3)
+        net = RecordingNetwork(base)
+        packets = uniform_random_placement(base, k=3, seed=4)
+        MultipleMessageBroadcast(net, seed=5).run(packets)
+        tx = per_node_transmissions(net.transcript, base.n)
+        rx = per_node_receptions(net.transcript, base.n)
+        assert sum(tx) == sum(
+            len(e.transmissions) for e in net.transcript
+        )
+        assert sum(rx) == sum(len(e.received) for e in net.transcript)
+        assert all(c >= 0 for c in tx + rx)
+
+
+class TestTranscriptToText:
+    def test_renders_rounds(self):
+        from repro.radio.transcript import transcript_to_text
+
+        net = RecordingNetwork(line(3))
+        net.resolve_round({0: "hello"})
+        net.resolve_round({1: "x", 2: "y"})
+        text = transcript_to_text(net.transcript)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "0->'hello'" in lines[0]
+        assert "rx [1]" in lines[0]
+
+    def test_truncation(self):
+        from repro.radio.transcript import transcript_to_text
+
+        net = RecordingNetwork(line(2))
+        for _ in range(10):
+            net.resolve_round({0: "m"})
+        text = transcript_to_text(net.transcript, max_rounds=3)
+        assert "7 more rounds" in text
+
+    def test_long_messages_summarized(self):
+        from repro.radio.transcript import transcript_to_text
+
+        net = RecordingNetwork(line(2))
+        net.resolve_round({0: "A" * 100})
+        text = transcript_to_text(net.transcript)
+        assert "..." in text
+        assert "A" * 50 not in text
