@@ -1,0 +1,79 @@
+"""R1 — degradation curve under random crash faults (beyond the paper).
+
+The paper's model is fault-free.  This experiment crashes a random
+fraction of non-leader nodes right after the BFS stage (the canonical
+worst moment: the tree is built, then loses interior nodes) and measures
+how the supervised, self-healing broadcast degrades:
+
+  - **informed fraction** over survivors × collectable packets must stay
+    at 1.0 — the supervision layer (tree repair + bounded retries) turns
+    crashes into coverage loss, never into undelivered packets;
+  - **coverage** (collectable packets / k) may drop: a packet whose
+    origin dies before collection is unrecoverable by any protocol;
+  - **rounds** grow with repair/retry work but stay inside the watchdog
+    budget.
+"""
+
+from _common import emit_table
+from repro.experiments.workloads import uniform_random_placement
+from repro.resilience import run_chaos_trial
+from repro.topology import grid
+
+
+def run_sweep():
+    base = grid(4, 4)
+    packets = uniform_random_placement(base, k=6, seed=1)
+    trials = 3
+    fractions = [0.0, 0.05, 0.10, 0.20]
+    rows = []
+    outcomes = {}
+    for fraction in fractions:
+        acc = {"success": 0.0, "informed_fraction": 0.0, "coverage": 0.0,
+               "total_rounds": 0.0, "repairs": 0.0, "retries": 0.0,
+               "crashes": 0.0, "watchdog_tripped": 0.0}
+        for seed in range(trials):
+            m = run_chaos_trial(grid(4, 4), packets, fraction, seed=seed)
+            for key in acc:
+                acc[key] += m[key]
+        mean = {key: value / trials for key, value in acc.items()}
+        rows.append([
+            f"{fraction:.2f}", f"{mean['crashes']:.1f}",
+            f"{int(acc['success'])}/{trials}",
+            f"{mean['informed_fraction']:.3f}",
+            f"{mean['coverage']:.3f}",
+            f"{mean['repairs']:.1f}", f"{mean['retries']:.1f}",
+            f"{mean['total_rounds']:.0f}",
+        ])
+        outcomes[fraction] = mean
+    return rows, outcomes, trials
+
+
+def test_r1_crash_resilience(benchmark):
+    rows, outcomes, trials = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    emit_table(
+        "r1_crash_resilience",
+        ["crash frac", "crashes", "success", "informed", "coverage",
+         "repairs", "retries", "rounds"],
+        rows,
+        title="R1: supervised broadcast under random crashes after BFS "
+              "(grid 4x4, k=6, leader excluded)",
+        notes="Graceful degradation: survivors always learn every "
+              "collectable packet (informed = 1.0); only packets whose "
+              "origin died uncollected are lost, so coverage tracks the "
+              "crash fraction.  No run trips the watchdog budget.",
+    )
+    # fault-free: full success, zero repair work
+    assert outcomes[0.0]["success"] == 1.0
+    assert outcomes[0.0]["coverage"] == 1.0
+    assert outcomes[0.0]["repairs"] == 0.0
+    # every crash level: survivors learn all collectable packets and the
+    # supervisor never hangs
+    for fraction, mean in outcomes.items():
+        assert mean["success"] == 1.0, (fraction, mean)
+        assert mean["informed_fraction"] == 1.0, (fraction, mean)
+        assert mean["watchdog_tripped"] == 0.0, (fraction, mean)
+    # degradation is monotone-ish: heavier crashing never *improves*
+    # coverage beyond the fault-free level
+    assert outcomes[0.20]["coverage"] <= outcomes[0.0]["coverage"]

@@ -20,6 +20,7 @@ Package map
 - :mod:`repro.baselines` — BII-style gossip and other comparators.
 - :mod:`repro.analysis` — the paper's lemma bounds and predictors.
 - :mod:`repro.experiments` — workloads, trial runner, table rendering.
+- :mod:`repro.resilience` — fault schedules and self-healing supervision.
 """
 
 from repro.apps import aggregate_convergecast
@@ -50,6 +51,13 @@ from repro.experiments import (
     uniform_random_placement,
 )
 from repro.radio import RadioNetwork, SinrRadioNetwork, make_rng
+from repro.resilience import (
+    DynamicFaultNetwork,
+    FaultSchedule,
+    SupervisedBroadcast,
+    SupervisionPolicy,
+    random_crash_schedule,
+)
 from repro.topology import (
     balanced_tree,
     barbell,
@@ -71,6 +79,8 @@ __all__ = [
     "AbstractMacLayer",
     "AlgorithmParameters",
     "BatchedDynamicBroadcast",
+    "DynamicFaultNetwork",
+    "FaultSchedule",
     "GroupDecoder",
     "MultiBroadcastResult",
     "MultipleMessageBroadcast",
@@ -78,6 +88,8 @@ __all__ = [
     "RadioNetwork",
     "SinrRadioNetwork",
     "SubsetXorEncoder",
+    "SupervisedBroadcast",
+    "SupervisionPolicy",
     "aggregate_convergecast",
     "all_nodes_one_packet",
     "balanced_tree",
@@ -96,6 +108,7 @@ __all__ = [
     "periodic_arrivals",
     "poisson_arrivals",
     "random_connected_gnp",
+    "random_crash_schedule",
     "random_geometric",
     "required_packet_bits",
     "ring",

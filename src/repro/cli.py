@@ -10,6 +10,9 @@ Three subcommands:
     the comparison table.
 ``info``
     Print the generated topology's parameters (n, D, Δ, degrees).
+``chaos``
+    Run the supervised (self-healing) broadcast under a seeded random
+    crash schedule and print the degradation report.
 
 Examples
 --------
@@ -19,6 +22,8 @@ Examples
     python -m repro run --topology rgg --n 60 --k 100 --preset paper
     python -m repro compare --topology grid --rows 6 --cols 6 --k 200
     python -m repro info --topology tree --branching 3 --depth 4
+    python -m repro chaos --topology grid --rows 5 --cols 5 --k 10 \\
+        --crash-frac 0.1
 """
 
 from __future__ import annotations
@@ -234,6 +239,66 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if ours.success else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience import SupervisedBroadcast, random_crash_schedule
+
+    network = build_topology(args)
+    packets = build_workload(network, args)
+    params = PRESETS[args.preset]()
+
+    exclude = set()
+    if not args.allow_leader_crash and packets:
+        exclude.add(max(p.origin for p in packets))
+    if args.crash_round is not None:
+        schedule = random_crash_schedule(
+            network.n, args.crash_frac, seed=args.seed,
+            at_round=args.crash_round, exclude=exclude,
+        )
+    else:
+        schedule = random_crash_schedule(
+            network.n, args.crash_frac, seed=args.seed,
+            after_stage=args.crash_stage, exclude=exclude,
+        )
+
+    result = SupervisedBroadcast(
+        network, schedule=schedule, params=params, seed=args.seed
+    ).run(packets)
+
+    stats = result.fault_stats
+    rows = [
+        ["n / D / Δ",
+         f"{network.n} / {network.diameter} / {network.max_degree}"],
+        ["k", result.k],
+        ["scheduled crashes", len(schedule.crashed_ever)],
+        ["crashes applied", stats.get("crashes", 0)],
+        ["survivors", len(result.survivors)],
+        ["leader", result.leader],
+        ["re-elections", result.reelections],
+        ["stage retries", result.retries],
+        ["tree repairs", result.repairs_run],
+        ["packets lost (origin died)", len(result.packets_lost)],
+        ["packets undelivered", len(result.packets_undelivered)],
+        ["informed fraction (survivors)",
+         f"{result.informed_fraction:.3f}"],
+        ["coverage (non-lost / k)", f"{result.coverage:.3f}"],
+        ["total rounds", result.total_rounds],
+        ["watchdog budget", result.round_budget],
+        ["watchdog tripped", "YES" if result.watchdog_tripped else "no"],
+        ["tx suppressed", stats.get("tx_suppressed", 0)],
+        ["rx suppressed (dead/link/jam)",
+         f"{stats.get('rx_suppressed_dead', 0)}"
+         f"/{stats.get('rx_suppressed_link', 0)}"
+         f"/{stats.get('rx_suppressed_jam', 0)}"],
+        ["success", "yes" if result.success else "NO"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"Supervised broadcast on {network.name} "
+              f"(crash-frac={args.crash_frac}, preset={args.preset})",
+    ))
+    return 0 if result.success else 1
+
+
 def cmd_dynamic(args: argparse.Namespace) -> int:
     from repro.dynamic import BatchedDynamicBroadcast, poisson_arrivals
 
@@ -284,6 +349,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare = sub.add_parser("compare", help="compare against baselines")
     _add_run_args(compare)
     compare.set_defaults(func=cmd_compare)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="self-healing broadcast under a random crash schedule",
+    )
+    _add_run_args(chaos)
+    chaos.add_argument("--crash-frac", type=float, default=0.1,
+                       help="fraction of eligible nodes to crash")
+    chaos.add_argument("--crash-stage", default="bfs",
+                       choices=["election", "bfs", "collection",
+                                "dissemination"],
+                       help="crash when this stage completes")
+    chaos.add_argument("--crash-round", type=int, default=None,
+                       help="crash at this absolute round instead of a "
+                            "stage boundary")
+    chaos.add_argument("--allow-leader-crash", action="store_true",
+                       help="let the expected leader be crashed too "
+                            "(exercises re-election)")
+    chaos.set_defaults(func=cmd_chaos)
 
     dynamic = sub.add_parser(
         "dynamic", help="batched dynamic broadcast under Poisson arrivals"

@@ -35,9 +35,9 @@ class FaultyRadioNetwork(RadioNetwork):
     ----------
     base:
         The fault-free network whose topology (and hence n, D, Δ) is
-        inherited.  Note: the *collision* rule applied is the graph
-        model's; to inject faults under SINR physics, wrap the
-        transmissions at the protocol level instead.
+        inherited.  Its own ``resolve_round`` supplies the collision
+        semantics — wrapping a SINR or erasure network preserves that
+        model's reception rule, with this layer's faults applied on top.
     erasure_prob:
         Probability each successful reception is independently dropped.
     jammed_nodes:
@@ -66,6 +66,7 @@ class FaultyRadioNetwork(RadioNetwork):
             require_connected=False,
             name=f"faulty({base.name},e={erasure_prob})",
         )
+        self._base = base
         self.erasure_prob = float(erasure_prob)
         self.jammed = frozenset(int(v) for v in jammed_nodes)
         if any(not 0 <= v < base.n for v in self.jammed):
@@ -76,7 +77,7 @@ class FaultyRadioNetwork(RadioNetwork):
         self.receptions_jammed = 0
 
     def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
-        received = super().resolve_round(transmissions)
+        received = self._base.resolve_round(transmissions)
         if not received:
             return received
         surviving: Dict[int, object] = {}

@@ -49,6 +49,8 @@ class RoundTrace:
         self.total_transmissions = 0
         self.total_receptions = 0
         self.total_collision_victims = 0
+        self.total_tx_suppressed = 0
+        self.total_rx_suppressed = 0
 
     def observe(
         self,
@@ -85,6 +87,14 @@ class RoundTrace:
                 )
             )
 
+    def observe_faults(
+        self, tx_suppressed: int = 0, rx_suppressed: int = 0
+    ) -> None:
+        """Record fault-layer suppression (crashed transmitters silenced,
+        receptions dropped at dead/jammed nodes or over downed links)."""
+        self.total_tx_suppressed += tx_suppressed
+        self.total_rx_suppressed += rx_suppressed
+
     def advance_to(self, round_index: int) -> None:
         """Note that time has advanced (possibly through silent rounds)."""
         self.total_rounds = max(self.total_rounds, round_index)
@@ -97,6 +107,8 @@ class RoundTrace:
             "total_transmissions": self.total_transmissions,
             "total_receptions": self.total_receptions,
             "total_collision_victims": self.total_collision_victims,
+            "total_tx_suppressed": self.total_tx_suppressed,
+            "total_rx_suppressed": self.total_rx_suppressed,
             "delivery_ratio": (
                 self.total_receptions / self.total_transmissions
                 if self.total_transmissions

@@ -1,0 +1,61 @@
+"""Crash-fault schedules and self-healing supervision.
+
+This package layers robustness machinery over the four-stage broadcast:
+
+- :mod:`repro.resilience.schedule` — declarative, round-indexed fault
+  timelines (crashes, recoveries, link outages, jam windows);
+- :mod:`repro.resilience.network` — a transparent proxy applying a
+  schedule through any network's own ``resolve_round``;
+- :mod:`repro.resilience.repair` — BFS-tree re-parenting via Decay;
+- :mod:`repro.resilience.supervisor` — watchdog timeouts, bounded
+  retries with backoff, leader re-election, and tree repair wrapped
+  around the four stages;
+- :mod:`repro.resilience.report` — chaos trials for the experiment
+  harness and degradation curves.
+"""
+
+from repro.resilience.network import DynamicFaultNetwork
+from repro.resilience.repair import (
+    TreeRepairResult,
+    attached_set,
+    default_repair_epochs,
+    find_orphans,
+    repair_tree,
+)
+from repro.resilience.report import (
+    degradation_curve,
+    run_chaos_trial,
+    supervised_metrics,
+)
+from repro.resilience.schedule import (
+    FaultEvent,
+    FaultSchedule,
+    JamWindow,
+    random_crash_schedule,
+)
+from repro.resilience.supervisor import (
+    StageAttempt,
+    SupervisedBroadcast,
+    SupervisedResult,
+    SupervisionPolicy,
+)
+
+__all__ = [
+    "DynamicFaultNetwork",
+    "FaultEvent",
+    "FaultSchedule",
+    "JamWindow",
+    "StageAttempt",
+    "SupervisedBroadcast",
+    "SupervisedResult",
+    "SupervisionPolicy",
+    "TreeRepairResult",
+    "attached_set",
+    "default_repair_epochs",
+    "degradation_curve",
+    "find_orphans",
+    "random_crash_schedule",
+    "repair_tree",
+    "run_chaos_trial",
+    "supervised_metrics",
+]

@@ -1,0 +1,272 @@
+"""A schedule-driven fault layer over any radio network.
+
+:class:`DynamicFaultNetwork` is a transparent proxy (like
+:class:`repro.radio.transcript.RecordingNetwork`): it delegates the
+collision rule to the wrapped network's own ``resolve_round`` — so graph,
+SINR, and erasure semantics are all preserved — and applies the
+:class:`repro.resilience.schedule.FaultSchedule` on top:
+
+- a **crashed** node neither transmits nor receives until it recovers;
+- a **down link** never delivers, but the transmission still propagates
+  and contributes interference (the signal is in the air; the link is
+  merely too degraded to decode);
+- receptions at nodes inside an active **jam window** are dropped with
+  the window's probability (seeded).
+
+Time is the clock: every ``resolve_round`` call advances it by one round,
+and engines/supervisors that charge rounds without simulating them
+(silent epochs, backoff waits) advance it explicitly with
+:meth:`advance` / :meth:`advance_to`.  Within a stage whose engine skips
+silent rounds the clock therefore lags the protocol's own accounting by
+the skipped rounds; a supervisor re-aligns it at every stage boundary.
+Event timing is exact at those boundaries and
+deterministic everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.radio.rng import SeedLike, make_rng
+from repro.radio.trace import RoundTrace
+from repro.resilience.schedule import FaultEvent, FaultSchedule
+
+
+class DynamicFaultNetwork:
+    """Apply a round-indexed fault schedule through ``resolve_round``.
+
+    Parameters
+    ----------
+    base:
+        Any object with the :class:`repro.radio.network.RadioNetwork`
+        interface.  Its ``resolve_round`` supplies the collision
+        semantics; faults are layered strictly on top.
+    schedule:
+        The fault timeline.  Validated against ``base.n`` up front.
+    seed:
+        Seed for the probabilistic jamming drops.
+    trace:
+        Optional :class:`RoundTrace`; suppressed transmissions and
+        receptions are reported to it via ``observe_faults``.
+    """
+
+    def __init__(
+        self,
+        base,
+        schedule: Optional[FaultSchedule] = None,
+        seed: SeedLike = None,
+        trace: Optional[RoundTrace] = None,
+    ):
+        self._base = base
+        self.schedule = schedule or FaultSchedule()
+        self.schedule.validate(base.n)
+        self.trace = trace
+        self._jam_rng = make_rng(seed)
+
+        self.clock = 0
+        self.dead: Set[int] = set()
+        self.down_links: Set[FrozenSet[int]] = set()
+        self._pending: List[FaultEvent] = self.schedule.concrete_events()
+        self._symbolic: List[FaultEvent] = self.schedule.symbolic_events()
+
+        # fault-exposure counters
+        self.tx_suppressed = 0
+        self.rx_suppressed_dead = 0
+        self.rx_suppressed_link = 0
+        self.rx_suppressed_jam = 0
+        self.crash_count = 0
+        self.recover_count = 0
+        self.events_applied: List[Tuple[int, str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Clock and event machinery
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        if event.kind == "crash":
+            if event.node not in self.dead:
+                self.dead.add(event.node)
+                self.crash_count += 1
+        elif event.kind == "recover":
+            if event.node in self.dead:
+                self.dead.discard(event.node)
+                self.recover_count += 1
+        elif event.kind == "link_down":
+            self.down_links.add(frozenset(event.edge))
+        elif event.kind == "link_up":
+            self.down_links.discard(frozenset(event.edge))
+        self.events_applied.append(
+            (self.clock, event.kind,
+             event.node if event.edge is None else event.edge)
+        )
+
+    def _catch_up(self, limit: int) -> None:
+        """Apply every pending concrete event with ``round <= limit``."""
+        if not self._pending:
+            return
+        remaining: List[FaultEvent] = []
+        for event in self._pending:
+            if event.round <= limit:
+                self._apply(event)
+            else:
+                remaining.append(event)
+        self._pending = remaining
+
+    def advance(self, rounds: int) -> None:
+        """Let ``rounds`` silent/idle rounds elapse."""
+        if rounds < 0:
+            raise ValueError("cannot advance by a negative round count")
+        self.advance_to(self.clock + rounds)
+
+    def advance_to(self, round_index: int) -> None:
+        """Jump the clock forward to ``round_index`` (no-op if behind)."""
+        if round_index <= self.clock:
+            return
+        self.clock = round_index
+        self._catch_up(round_index - 1)
+
+    def materialize_stage(self, stage: str) -> List[FaultEvent]:
+        """Pin this stage's symbolic events to the current round.
+
+        Called by the supervisor when ``stage`` completes; the events
+        are applied immediately (so liveness queries between stages see
+        them) and are stamped with the current round.  Each symbolic
+        event fires at most once — the *first* completion of its stage
+        (a re-run after re-election does not re-fire it).  Returns the
+        events that were materialized.
+        """
+        from dataclasses import replace
+
+        fired = [
+            replace(e, round=self.clock, after_stage=None)
+            for e in self._symbolic
+            if e.after_stage == stage
+        ]
+        if fired:
+            for event in fired:
+                self._apply(event)
+            self._symbolic = [
+                e for e in self._symbolic if e.after_stage != stage
+            ]
+        return fired
+
+    # ------------------------------------------------------------------
+    # Liveness queries
+    # ------------------------------------------------------------------
+
+    def is_alive(self, node: int) -> bool:
+        return node not in self.dead
+
+    def alive_nodes(self) -> List[int]:
+        return [v for v in range(self._base.n) if v not in self.dead]
+
+    @property
+    def crashed_nodes(self) -> FrozenSet[int]:
+        return frozenset(self.dead)
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Exposure counters for degradation reports."""
+        return {
+            "tx_suppressed": self.tx_suppressed,
+            "rx_suppressed_dead": self.rx_suppressed_dead,
+            "rx_suppressed_link": self.rx_suppressed_link,
+            "rx_suppressed_jam": self.rx_suppressed_jam,
+            "crashes": self.crash_count,
+            "recoveries": self.recover_count,
+            "currently_dead": len(self.dead),
+        }
+
+    # ------------------------------------------------------------------
+    # The faulted reception rule
+    # ------------------------------------------------------------------
+
+    def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
+        self._catch_up(self.clock)
+        round_index = self.clock
+        self.clock += 1
+
+        # Crashed transmitters fall silent.
+        if self.dead:
+            filtered = {
+                tx: msg for tx, msg in transmissions.items()
+                if tx not in self.dead
+            }
+            self.tx_suppressed += len(transmissions) - len(filtered)
+        else:
+            filtered = dict(transmissions)
+
+        received = self._base.resolve_round(filtered)
+        if not received:
+            if self.trace is not None:
+                self.trace.observe_faults(
+                    tx_suppressed=len(transmissions) - len(filtered)
+                )
+            return received
+
+        surviving: Dict[int, object] = {}
+        jams = [
+            w for w in self.schedule.jam_windows if w.active(round_index)
+        ]
+        rx_dead = rx_link = rx_jam = 0
+        for receiver, message in received.items():
+            if receiver in self.dead:
+                rx_dead += 1
+                continue
+            if self.down_links and self._link_blocked(receiver, filtered):
+                rx_link += 1
+                continue
+            jammed = False
+            for window in jams:
+                if receiver in window.nodes:
+                    if (window.prob >= 1.0
+                            or self._jam_rng.random() < window.prob):
+                        jammed = True
+                        break
+            if jammed:
+                rx_jam += 1
+                continue
+            surviving[receiver] = message
+
+        self.rx_suppressed_dead += rx_dead
+        self.rx_suppressed_link += rx_link
+        self.rx_suppressed_jam += rx_jam
+        if self.trace is not None:
+            self.trace.observe_faults(
+                tx_suppressed=len(transmissions) - len(filtered),
+                rx_suppressed=rx_dead + rx_link + rx_jam,
+            )
+        return surviving
+
+    def _link_blocked(self, receiver: int, transmissions: Mapping[int, object]) -> bool:
+        """True when every transmitting neighbor of ``receiver`` sits on
+        a downed link to it (so the decoded message cannot have arrived).
+
+        The wrapped model delivers at most one message per receiver per
+        round; under the graph rule the sender is the unique transmitting
+        neighbor, so "all candidate senders blocked" is exact.  Under
+        SINR it is conservative in the rare multi-neighbor case.
+        """
+        candidates = [
+            tx for tx in transmissions
+            if self._base.has_edge(tx, receiver)
+        ]
+        if not candidates:
+            return False
+        return all(
+            frozenset((tx, receiver)) in self.down_links
+            for tx in candidates
+        )
+
+    # ------------------------------------------------------------------
+
+    def __getattr__(self, name: str):
+        if name == "_base":  # guard against recursion during unpickling
+            raise AttributeError(name)
+        return getattr(self._base, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicFaultNetwork({self._base!r}, events="
+            f"{len(self.schedule.events)}, clock={self.clock}, "
+            f"dead={sorted(self.dead)})"
+        )

@@ -1,0 +1,189 @@
+"""BFS-tree repair after crashes: re-parent orphaned subtrees.
+
+When an interior node of the Stage-2 BFS tree dies, its whole subtree
+loses the path to the root — Stage 3 unicasts along ``parent`` pointers
+would silently dead-end.  The repair protocol is a short sequence of
+Decay epochs (the same primitive the paper builds everything from):
+
+- every *attached* node (alive, labeled, with an all-alive parent chain
+  to the root) participates, announcing ``(id, distance)``;
+- an *orphan* (alive but detached — its chain crosses a dead node, or it
+  was never labeled, e.g. a node that recovered after Stage 2) that
+  receives an announcement adopts the sender as its new parent and sets
+  ``distance = sender's + 1``, joining the attached set for the next
+  epoch.
+
+Repaired distances remain parent-consistent (child = parent + 1) but are
+no longer exact BFS distances — paths may lengthen around the dead
+region.  That is all Stages 3-4 need: unicast routing follows ``parent``
+and the dissemination pipeline only requires a layering in which every
+non-root layer-``d`` node has a layer-``d-1`` neighbor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.primitives.decay import decay_slots, run_decay_epoch
+from repro.radio.trace import RoundTrace
+
+
+@dataclass
+class TreeRepairResult:
+    """Outcome of one repair pass.
+
+    ``complete`` means every alive node ended attached; alive nodes whose
+    entire neighborhood died can never reattach and are reported in
+    ``unreachable``.
+    """
+
+    rounds: int
+    epochs: int
+    parent: List[int]
+    distance: List[int]
+    orphans_before: List[int]
+    reattached: List[int]
+    unreachable: List[int]
+    complete: bool
+
+
+def attached_set(
+    parent: Sequence[int],
+    distance: Sequence[int],
+    root: int,
+    is_alive: Callable[[int], bool],
+) -> Set[int]:
+    """Alive nodes whose parent chain reaches the root through alive,
+    labeled nodes.  Empty when the root itself is dead."""
+    n = len(parent)
+    status = {}  # node -> bool, memoized
+    if is_alive(root):
+        status[root] = True
+
+    for start in range(n):
+        if start in status:
+            continue
+        chain = []
+        v = start
+        verdict = False
+        while True:
+            if v in status:
+                verdict = status[v]
+                break
+            if not is_alive(v) or distance[v] < 0:
+                verdict = False
+                break
+            if v == root:
+                verdict = True
+                break
+            chain.append(v)
+            p = parent[v]
+            if p < 0 or p in chain or p == v:
+                verdict = False
+                break
+            v = p
+        for u in chain:
+            status[u] = verdict
+    return {v for v, ok in status.items() if ok and is_alive(v)}
+
+
+def find_orphans(
+    parent: Sequence[int],
+    distance: Sequence[int],
+    root: int,
+    is_alive: Callable[[int], bool],
+) -> List[int]:
+    """Alive nodes currently detached from the root."""
+    attached = attached_set(parent, distance, root, is_alive)
+    return sorted(
+        v for v in range(len(parent)) if is_alive(v) and v not in attached
+    )
+
+
+def default_repair_epochs(network, factor: float = 2.0) -> int:
+    """Epoch budget for one repair pass: ``O(D + log n)`` Decay epochs —
+    enough to flood announcements across any orphaned region w.h.p."""
+    n = max(network.n, 2)
+    return max(1, math.ceil(factor * (network.diameter + math.log2(n))))
+
+
+def repair_tree(
+    network,
+    parent: Sequence[int],
+    distance: Sequence[int],
+    root: int,
+    rng: np.random.Generator,
+    epochs: Optional[int] = None,
+    trace: Optional[RoundTrace] = None,
+    round_offset: int = 0,
+) -> TreeRepairResult:
+    """Re-parent orphaned subtrees via Decay announcement epochs.
+
+    ``network`` is typically a
+    :class:`repro.resilience.network.DynamicFaultNetwork` (its
+    ``is_alive`` drives orphan detection; a plain network is treated as
+    all-alive).  ``parent``/``distance`` are not mutated; repaired copies
+    are returned in the result.
+    """
+    n = network.n
+    is_alive = getattr(network, "is_alive", lambda v: True)
+    if epochs is None:
+        epochs = default_repair_epochs(network)
+
+    new_parent = [int(p) for p in parent]
+    new_distance = [int(d) for d in distance]
+    orphans_before = find_orphans(new_parent, new_distance, root, is_alive)
+    attached = attached_set(new_parent, new_distance, root, is_alive)
+    orphans: Set[int] = set(orphans_before)
+
+    num_slots = decay_slots(network.max_degree)
+    rounds = 0
+    epochs_run = 0
+    reattached: List[int] = []
+
+    def message_fn(node: int, slot: int) -> Tuple[int, int]:
+        return (node, new_distance[node])
+
+    while orphans and epochs_run < epochs:
+        participants = sorted(attached)
+        if not participants:
+            break  # root dead or nothing attached: repair cannot start
+        receptions = run_decay_epoch(
+            network,
+            participants,
+            message_fn,
+            rng,
+            num_slots=num_slots,
+            trace=trace,
+            round_offset=round_offset + rounds,
+        )
+        rounds += num_slots
+        epochs_run += 1
+        for slot_received in receptions:
+            for receiver, payload in slot_received.items():
+                if receiver not in orphans:
+                    continue
+                sender, sender_dist = payload
+                if sender not in attached or not is_alive(sender):
+                    continue  # stale announcement from a mid-epoch crash
+                new_parent[receiver] = sender
+                new_distance[receiver] = sender_dist + 1
+                orphans.discard(receiver)
+                attached.add(receiver)
+                reattached.append(receiver)
+
+    unreachable = sorted(orphans)
+    return TreeRepairResult(
+        rounds=rounds,
+        epochs=epochs_run,
+        parent=new_parent,
+        distance=new_distance,
+        orphans_before=orphans_before,
+        reattached=sorted(reattached),
+        unreachable=unreachable,
+        complete=not unreachable,
+    )

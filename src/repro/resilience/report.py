@@ -1,0 +1,123 @@
+"""Degradation reporting: chaos trials for the experiment harness.
+
+:func:`run_chaos_trial` packages one supervised run under a random crash
+schedule into the flat metric dict the experiment harness understands
+(:func:`repro.experiments.harness.run_trials` / ``aggregate``), and
+:func:`degradation_curve` sweeps a crash-fraction grid into the rows the
+benchmark suite and the ``repro chaos`` CLI render as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.coding.packets import Packet
+from repro.core.config import AlgorithmParameters
+from repro.radio.network import RadioNetwork
+from repro.resilience.schedule import FaultSchedule, random_crash_schedule
+from repro.resilience.supervisor import (
+    SupervisedBroadcast,
+    SupervisedResult,
+    SupervisionPolicy,
+)
+
+
+def supervised_metrics(result: SupervisedResult) -> Dict[str, float]:
+    """Flatten a :class:`SupervisedResult` for trial aggregation."""
+    stats = result.fault_stats
+    return {
+        "success": float(result.success),
+        "informed_fraction": result.informed_fraction,
+        "coverage": result.coverage,
+        "total_rounds": float(result.total_rounds),
+        "round_budget": float(result.round_budget),
+        "budget_used": (
+            result.total_rounds / result.round_budget
+            if result.round_budget else 0.0
+        ),
+        "retries": float(result.retries),
+        "repairs": float(result.repairs_run),
+        "reelections": float(result.reelections),
+        "watchdog_tripped": float(result.watchdog_tripped),
+        "packets_lost": float(len(result.packets_lost)),
+        "packets_undelivered": float(len(result.packets_undelivered)),
+        "survivors": float(len(result.survivors)),
+        "crashes": float(stats.get("crashes", 0)),
+        "tx_suppressed": float(stats.get("tx_suppressed", 0)),
+        "rx_suppressed": float(
+            stats.get("rx_suppressed_dead", 0)
+            + stats.get("rx_suppressed_link", 0)
+            + stats.get("rx_suppressed_jam", 0)
+        ),
+    }
+
+
+def run_chaos_trial(
+    network: RadioNetwork,
+    packets: Sequence[Packet],
+    crash_fraction: float,
+    seed: int,
+    params: Optional[AlgorithmParameters] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    after_stage: str = "bfs",
+    exclude: Sequence[int] = (),
+    schedule: Optional[FaultSchedule] = None,
+) -> Dict[str, float]:
+    """One supervised run under a seeded random crash schedule.
+
+    The expected leader (the max-ID packet holder) is always excluded
+    from the crash draw in addition to ``exclude`` — crash-the-leader
+    scenarios are a separate, explicitly scheduled experiment (the
+    supervisor's re-election path), not part of the degradation sweep.
+    """
+    if schedule is None:
+        leader_guess = max(p.origin for p in packets) if packets else 0
+        schedule = random_crash_schedule(
+            network.n,
+            crash_fraction,
+            seed=seed,
+            after_stage=after_stage,
+            exclude=set(exclude) | {leader_guess},
+        )
+    result = SupervisedBroadcast(
+        network,
+        schedule=schedule,
+        params=params,
+        policy=policy,
+        seed=seed,
+    ).run(packets)
+    return supervised_metrics(result)
+
+
+def degradation_curve(
+    make_network: Callable[[], RadioNetwork],
+    make_packets: Callable[[RadioNetwork], Sequence[Packet]],
+    crash_fractions: Sequence[float],
+    trials: int = 3,
+    base_seed: int = 0,
+    params: Optional[AlgorithmParameters] = None,
+    policy: Optional[SupervisionPolicy] = None,
+) -> List[Tuple[float, Dict[str, float]]]:
+    """Sweep crash fractions; mean metrics per fraction.
+
+    Returns ``[(fraction, mean_metric_dict), ...]`` — the degradation
+    curve the R1 benchmark renders.
+    """
+    from repro.experiments.harness import aggregate, run_trials
+
+    curve: List[Tuple[float, Dict[str, float]]] = []
+    for fraction in crash_fractions:
+        network = make_network()
+        packets = make_packets(network)
+
+        def trial(seed: int, _f=fraction, _net=network, _pkts=packets):
+            return run_chaos_trial(
+                _net, _pkts, _f, seed, params=params, policy=policy,
+            )
+
+        results = run_trials(trial, trials, base_seed=base_seed)
+        stats = aggregate(results)
+        curve.append(
+            (fraction, {key: s.mean for key, s in stats.items()})
+        )
+    return curve

@@ -1,0 +1,255 @@
+"""Round-indexed fault schedules: crash, recover, link outages, jamming.
+
+A :class:`FaultSchedule` is a declarative description of *when* faults
+happen, decoupled from *how* they are applied (that is
+:class:`repro.resilience.network.DynamicFaultNetwork`'s job).  Events are
+indexed by the global round counter, so the same schedule replays
+identically across runs — fault injection is as seeded and reproducible
+as everything else in the library.
+
+Two kinds of timing are supported:
+
+- **concrete** — the event fires at an absolute round index;
+- **symbolic** — the event fires when a named protocol stage completes
+  (``after_stage="bfs"``).  Symbolic events are resolved to concrete
+  rounds by :class:`repro.resilience.supervisor.SupervisedBroadcast`,
+  which knows where the stage boundaries fall; engines that never call
+  ``materialize_stage`` simply never fire them.
+
+Jamming is modeled as *windows* rather than point events: receptions at
+the jammed nodes are dropped (with a seeded probability) for every round
+in ``[start, stop)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.radio.rng import SeedLike, make_rng
+
+#: Stage names accepted by symbolic (``after_stage``) event timing.
+STAGES = ("election", "bfs", "collection", "dissemination")
+
+#: Event kinds understood by DynamicFaultNetwork.
+KINDS = ("crash", "recover", "link_down", "link_up")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled state change.
+
+    ``round`` is the absolute round at which the event takes effect (the
+    event applies *before* that round is resolved); ``None`` means the
+    timing is symbolic and ``after_stage`` names the boundary.
+    """
+
+    kind: str
+    round: Optional[int] = None
+    node: int = -1
+    edge: Optional[Tuple[int, int]] = None
+    after_stage: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if (self.round is None) == (self.after_stage is None):
+            raise ValueError(
+                "exactly one of round / after_stage must be given"
+            )
+        if self.round is not None and self.round < 0:
+            raise ValueError("event round must be non-negative")
+        if self.after_stage is not None and self.after_stage not in STAGES:
+            raise ValueError(
+                f"after_stage must be one of {STAGES}, got "
+                f"{self.after_stage!r}"
+            )
+        if self.kind in ("crash", "recover"):
+            if self.node < 0:
+                raise ValueError(f"{self.kind} event needs a node id")
+        else:
+            if self.edge is None:
+                raise ValueError(f"{self.kind} event needs an edge")
+            u, v = self.edge
+            if u == v:
+                raise ValueError("link event edge must join distinct nodes")
+
+
+@dataclass(frozen=True)
+class JamWindow:
+    """Receptions at ``nodes`` are dropped with ``prob`` for rounds in
+    ``[start, stop)``."""
+
+    start: int
+    stop: int
+    nodes: FrozenSet[int]
+    prob: float = 1.0
+
+    def __post_init__(self):
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError("jam window needs 0 <= start < stop")
+        if not 0.0 < self.prob <= 1.0:
+            raise ValueError("jam probability must be in (0, 1]")
+        if not self.nodes:
+            raise ValueError("jam window needs at least one node")
+
+    def active(self, round_index: int) -> bool:
+        return self.start <= round_index < self.stop
+
+
+@dataclass
+class FaultSchedule:
+    """An ordered collection of fault events plus jamming windows.
+
+    The builder methods return ``self`` so schedules read declaratively::
+
+        schedule = (FaultSchedule()
+                    .crash(5, at_round=120)
+                    .crash(7, after_stage="bfs")
+                    .link_down((2, 3), at_round=40)
+                    .link_up((2, 3), at_round=90)
+                    .jam([0, 1], start=10, stop=30, prob=0.5))
+    """
+
+    events: List[FaultEvent] = field(default_factory=list)
+    jam_windows: List[JamWindow] = field(default_factory=list)
+
+    # -- builders ------------------------------------------------------
+
+    def crash(self, node: int, at_round: Optional[int] = None,
+              after_stage: Optional[str] = None) -> "FaultSchedule":
+        self.events.append(FaultEvent(
+            "crash", round=at_round, node=int(node), after_stage=after_stage,
+        ))
+        return self
+
+    def recover(self, node: int, at_round: Optional[int] = None,
+                after_stage: Optional[str] = None) -> "FaultSchedule":
+        self.events.append(FaultEvent(
+            "recover", round=at_round, node=int(node),
+            after_stage=after_stage,
+        ))
+        return self
+
+    def link_down(self, edge: Tuple[int, int],
+                  at_round: Optional[int] = None,
+                  after_stage: Optional[str] = None) -> "FaultSchedule":
+        u, v = (int(edge[0]), int(edge[1]))
+        self.events.append(FaultEvent(
+            "link_down", round=at_round, edge=(u, v),
+            after_stage=after_stage,
+        ))
+        return self
+
+    def link_up(self, edge: Tuple[int, int],
+                at_round: Optional[int] = None,
+                after_stage: Optional[str] = None) -> "FaultSchedule":
+        u, v = (int(edge[0]), int(edge[1]))
+        self.events.append(FaultEvent(
+            "link_up", round=at_round, edge=(u, v), after_stage=after_stage,
+        ))
+        return self
+
+    def jam(self, nodes: Iterable[int], start: int, stop: int,
+            prob: float = 1.0) -> "FaultSchedule":
+        self.jam_windows.append(JamWindow(
+            start=int(start), stop=int(stop),
+            nodes=frozenset(int(v) for v in nodes), prob=float(prob),
+        ))
+        return self
+
+    # -- queries -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events) + len(self.jam_windows)
+
+    @property
+    def crashed_ever(self) -> FrozenSet[int]:
+        """All nodes that crash at some point (symbolic or concrete)."""
+        return frozenset(
+            e.node for e in self.events if e.kind == "crash"
+        )
+
+    def symbolic_events(self) -> List[FaultEvent]:
+        return [e for e in self.events if e.round is None]
+
+    def concrete_events(self) -> List[FaultEvent]:
+        return sorted(
+            (e for e in self.events if e.round is not None),
+            key=lambda e: e.round,
+        )
+
+    def materialized(self, stage: str, at_round: int) -> List[FaultEvent]:
+        """The symbolic events of ``stage``, pinned to ``at_round``."""
+        return [
+            replace(e, round=at_round, after_stage=None)
+            for e in self.events
+            if e.round is None and e.after_stage == stage
+        ]
+
+    def validate(self, n: int) -> None:
+        """Raise if any event references a node outside ``0..n-1``."""
+        for e in self.events:
+            ids = (e.node,) if e.edge is None else e.edge
+            for v in ids:
+                if not 0 <= v < n:
+                    raise ValueError(
+                        f"fault event {e} references node {v}, but n={n}"
+                    )
+        for w in self.jam_windows:
+            for v in w.nodes:
+                if not 0 <= v < n:
+                    raise ValueError(
+                        f"jam window references node {v}, but n={n}"
+                    )
+
+
+def random_crash_schedule(
+    n: int,
+    fraction: float,
+    seed: SeedLike = None,
+    at_round: Optional[int] = None,
+    after_stage: Optional[str] = None,
+    exclude: Iterable[int] = (),
+    recover_after: Optional[int] = None,
+) -> FaultSchedule:
+    """Crash a random ``fraction`` of the eligible nodes at one instant.
+
+    Parameters
+    ----------
+    n:
+        Node count of the target network.
+    fraction:
+        Fraction of *eligible* nodes (all nodes minus ``exclude``) to
+        crash; the count is ``floor(fraction * eligible)``.
+    at_round / after_stage:
+        Concrete or symbolic timing, exactly one required (defaults to
+        ``after_stage="bfs"`` when neither is given — the canonical
+        "crash after the tree is built" chaos scenario).
+    exclude:
+        Nodes never crashed (e.g. the expected leader).
+    recover_after:
+        When given (and timing is concrete), every crashed node recovers
+        ``recover_after`` rounds after the crash.
+
+    The node choice is a seeded draw: same seed, same crash set.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    if at_round is None and after_stage is None:
+        after_stage = "bfs"
+    rng = make_rng(seed)
+    excluded = set(int(v) for v in exclude)
+    eligible = [v for v in range(n) if v not in excluded]
+    count = int(math.floor(fraction * len(eligible)))
+    schedule = FaultSchedule()
+    if count == 0:
+        return schedule
+    chosen = rng.choice(len(eligible), size=count, replace=False)
+    for idx in sorted(int(i) for i in chosen):
+        node = eligible[idx]
+        schedule.crash(node, at_round=at_round, after_stage=after_stage)
+        if recover_after is not None and at_round is not None:
+            schedule.recover(node, at_round=at_round + recover_after)
+    return schedule

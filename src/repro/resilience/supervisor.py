@@ -1,0 +1,655 @@
+"""Self-healing supervision of the four-stage broadcast.
+
+:class:`SupervisedBroadcast` wraps the paper's pipeline (election → BFS →
+collection → dissemination) with the recovery machinery the paper's
+static fault-free model never needed:
+
+- **watchdog budgets** — every stage has a round budget derived from the
+  paper's own bounds (Fact 1, Theorem 1, Lemma 5, Lemma 7) times a
+  safety factor; the total budget is finite by construction, so a run
+  *terminates* within it instead of hanging, no matter what the fault
+  schedule does;
+- **bounded retry with exponential backoff** — a failed stage attempt is
+  retried with an escalated epoch budget after an exponentially growing
+  idle wait (during which scheduled recoveries can land);
+- **leader re-election** — if the elected root crashes mid-run, the
+  survivors re-elect among the alive packet holders and re-run the
+  pipeline for the packets still outstanding (origins keep their
+  packets, so re-collection is possible);
+- **BFS-tree repair** — when interior tree nodes die, orphaned subtrees
+  are re-parented by a short Decay announcement epoch
+  (:mod:`repro.resilience.repair`) before collection or dissemination is
+  retried.
+
+Metrics are honest: a packet whose origin dies before any surviving root
+collected it is *lost* (reported, not hidden), and ``informed_fraction``
+is measured over surviving nodes and non-lost packets.
+
+A fault-free supervised run consumes the RNG in exactly the same order
+as :class:`repro.core.multibroadcast.MultipleMessageBroadcast`, so with
+an empty schedule the two produce identical executions — supervision is
+free until something breaks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.coding.packets import Packet
+from repro.core.collection import grab_schedule, run_collection_stage
+from repro.core.config import AlgorithmParameters
+from repro.core.dissemination import run_dissemination_stage
+from repro.primitives.bfs import build_distributed_bfs
+from repro.primitives.decay import decay_slots
+from repro.primitives.leader_election import elect_leader
+from repro.radio.rng import SeedLike, make_rng
+from repro.radio.trace import RoundTrace
+from repro.resilience.network import DynamicFaultNetwork
+from repro.resilience.repair import (
+    TreeRepairResult,
+    attached_set,
+    default_repair_epochs,
+    find_orphans,
+    repair_tree,
+)
+from repro.resilience.schedule import FaultSchedule
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Watchdog, retry, and repair knobs.
+
+    Attributes
+    ----------
+    stage_timeout_factor:
+        Safety multiplier on the total watchdog budget.  The per-stage
+        formulas below are already worst-case, so 1.0 is a hard bound;
+        the default leaves modest slack for future engine changes.
+    max_stage_retries:
+        Extra attempts per stage after the first (0 = no retry).
+    max_reelections:
+        How many times a crashed leader may be replaced before the run
+        gives up (each replacement restarts the pipeline for the
+        outstanding packets).
+    backoff_rounds / backoff_base:
+        Retry ``i`` waits ``backoff_rounds * backoff_base**i`` idle
+        rounds before re-attempting (exponential backoff; recoveries
+        scheduled during the wait take effect).
+    budget_escalation:
+        Epoch-budget multiplier applied per retry (attempt ``i`` runs
+        with ``ceil(base * budget_escalation**i)`` epochs).
+    repair_epoch_factor:
+        Decay-epoch budget factor for one tree-repair pass,
+        ``factor * (D + log2 n)`` epochs.
+    collection_phase_cap:
+        Cap on Stage 3's estimate-doubling phases per attempt — under
+        faults the doubling loop is the one unbounded-looking piece, and
+        the cap turns it into a fixed-length attempt the watchdog can
+        account for.
+    """
+
+    stage_timeout_factor: float = 1.25
+    max_stage_retries: int = 2
+    max_reelections: int = 2
+    backoff_rounds: int = 32
+    backoff_base: float = 2.0
+    budget_escalation: float = 1.5
+    repair_epoch_factor: float = 2.0
+    collection_phase_cap: int = 8
+
+    # -- per-stage worst-case round formulas ---------------------------
+
+    def escalated(self, base: int, attempt: int) -> int:
+        """Epoch budget for the given retry attempt (0 = first try)."""
+        return max(1, math.ceil(base * self.budget_escalation ** attempt))
+
+    def backoff_wait(self, attempt: int) -> int:
+        """Idle rounds to wait before retry ``attempt`` (1-based)."""
+        return max(1, math.ceil(
+            self.backoff_rounds * self.backoff_base ** (attempt - 1)
+        ))
+
+    def election_rounds(self, network, params: AlgorithmParameters,
+                        id_bound: int, attempt: int = 0) -> int:
+        probes = max(1, math.ceil(math.log2(max(id_bound, 2))))
+        epochs = self.escalated(params.bgi_epochs(network), attempt)
+        return probes * epochs * decay_slots(network.max_degree)
+
+    def bfs_rounds(self, network, params: AlgorithmParameters,
+                   depth_bound: int, attempt: int = 0) -> int:
+        epochs = self.escalated(params.bfs_epochs(network), attempt)
+        return depth_bound * epochs * decay_slots(network.max_degree)
+
+    def collection_rounds(self, network, params: AlgorithmParameters,
+                          depth_bound: int) -> int:
+        """Worst-case Stage-3 rounds with the phase cap: exact arithmetic
+        over the engine's own fixed-length procedure schedule."""
+        wf = max(1, int(params.ospg_window_factor))
+        c_log_n = params.c_log_n(network.n)
+        alarm = params.bgi_epochs(network) * decay_slots(network.max_degree)
+
+        def procedure(window: int) -> int:
+            t1 = window + depth_bound
+            return t1 + 3 * t1 + depth_bound
+
+        total = 0
+        x = params.initial_collection_estimate(network, depth_bound)
+        phases = 0
+        cap = min(self.collection_phase_cap, params.max_collection_phases)
+        while phases < cap:
+            phases += 1
+            for y in grab_schedule(x, c_log_n):
+                total += procedure(wf * y)
+            if params.mspg_enabled:
+                total += procedure(wf * c_log_n * c_log_n)
+            total += alarm
+            x *= 2
+            if x > params.max_k_estimate(network.n):
+                break
+        return total
+
+    def dissemination_rounds(self, network, params: AlgorithmParameters,
+                             k: int, attempt: int = 0) -> int:
+        """Worst-case Stage-4 rounds: repaired trees can be deeper than
+        the true BFS tree, so the eccentricity is bounded by n-1."""
+        width = params.group_width(network.n)
+        g = max(1, math.ceil(k / width))
+        epochs = self.escalated(params.forward_epochs(width), attempt)
+        phase_len = max(width, epochs * decay_slots(network.max_degree))
+        ecc_bound = max(1, network.n - 1)
+        return (params.group_spacing * (g - 1) + ecc_bound) * phase_len
+
+    def repair_rounds(self, network) -> int:
+        epochs = default_repair_epochs(network, self.repair_epoch_factor)
+        return epochs * decay_slots(network.max_degree)
+
+    def total_round_budget(self, network, params: AlgorithmParameters,
+                           k: int, depth_bound: int,
+                           id_bound: Optional[int] = None) -> int:
+        """The global watchdog budget: the sum of every attempt the
+        supervisor could ever make.  Actual executions are a subset of
+        those attempts and every attempt's length is bounded by its
+        formula, so ``total_rounds <= budget`` holds by construction."""
+        if id_bound is None:
+            id_bound = network.n
+        attempts = self.max_stage_retries + 1
+        per_cycle = 0
+        for a in range(attempts):
+            per_cycle += self.election_rounds(network, params, id_bound, a)
+            per_cycle += self.bfs_rounds(network, params, depth_bound, a)
+            per_cycle += self.dissemination_rounds(network, params, k, a)
+        per_cycle += attempts * self.collection_rounds(
+            network, params, depth_bound
+        )
+        # one repair pass may precede every collection/dissemination attempt
+        per_cycle += 2 * attempts * self.repair_rounds(network)
+        # backoff waits between attempts of the four stages
+        per_cycle += 4 * sum(
+            self.backoff_wait(a) for a in range(1, attempts)
+        )
+        cycles = self.max_reelections + 1
+        return math.ceil(
+            max(1.0, self.stage_timeout_factor) * cycles * per_cycle
+        )
+
+
+@dataclass
+class StageAttempt:
+    """One attempt at one stage (retries get their own entries)."""
+
+    stage: str
+    cycle: int
+    attempt: int
+    rounds: int
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class SupervisedResult:
+    """End-to-end outcome of a supervised run.
+
+    ``success`` means every surviving node knows every non-lost packet
+    and no watchdog tripped.  ``informed_fraction`` is measured over
+    surviving nodes and non-lost packets (1.0 = full recovery);
+    ``coverage`` is the fraction of the original k that was not lost to
+    origin crashes.
+    """
+
+    n: int
+    k: int
+    success: bool
+    informed_fraction: float
+    coverage: float
+    leader: int
+    total_rounds: int
+    round_budget: int
+    watchdog_tripped: bool
+    timing: Dict[str, int]
+    attempts: List[StageAttempt] = field(repr=False, default_factory=list)
+    repairs: List[TreeRepairResult] = field(repr=False, default_factory=list)
+    reelections: int = 0
+    retries: int = 0
+    packets_lost: List[int] = field(default_factory=list)
+    packets_undelivered: List[int] = field(default_factory=list)
+    survivors: List[int] = field(repr=False, default_factory=list)
+    fault_stats: Dict[str, int] = field(default_factory=dict)
+    timeline: List[Tuple[int, str]] = field(repr=False, default_factory=list)
+    trace: Optional[RoundTrace] = field(repr=False, default=None)
+
+    @property
+    def repairs_run(self) -> int:
+        return len(self.repairs)
+
+
+class SupervisedBroadcast:
+    """Run the four-stage broadcast under a fault schedule, self-healing.
+
+    Parameters
+    ----------
+    network:
+        A plain network (wrapped together with ``schedule`` into a
+        :class:`DynamicFaultNetwork`) or an existing
+        :class:`DynamicFaultNetwork`.
+    schedule:
+        Fault timeline; only valid when ``network`` is not already
+        wrapped.
+    params / seed / depth_bound / node_ids:
+        As in :class:`repro.core.multibroadcast.MultipleMessageBroadcast`.
+    policy:
+        The :class:`SupervisionPolicy` (watchdog/retry/repair knobs).
+    """
+
+    def __init__(
+        self,
+        network,
+        schedule: Optional[FaultSchedule] = None,
+        params: Optional[AlgorithmParameters] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        seed: SeedLike = None,
+        depth_bound: Optional[int] = None,
+        keep_trace: bool = False,
+        node_ids: Optional[Sequence[int]] = None,
+    ):
+        if isinstance(network, DynamicFaultNetwork):
+            if schedule is not None:
+                raise ValueError(
+                    "pass the schedule either inside the "
+                    "DynamicFaultNetwork or separately, not both"
+                )
+            self.net = network
+        else:
+            self.net = DynamicFaultNetwork(
+                network, schedule or FaultSchedule(), seed=seed
+            )
+        self.params = params or AlgorithmParameters()
+        self.policy = policy or SupervisionPolicy()
+        self.rng = make_rng(seed)
+        self.depth_bound = depth_bound or self.net.diameter
+        self.node_ids = node_ids
+        self.trace = RoundTrace() if keep_trace else None
+        if self.trace is not None and self.net.trace is None:
+            self.net.trace = self.trace
+
+    # ------------------------------------------------------------------
+
+    def run(self, packets: Sequence[Packet]) -> SupervisedResult:
+        net, params, policy = self.net, self.params, self.policy
+        rng = self.rng
+        n = net.n
+        k = len(packets)
+        id_bound = (
+            max(self.node_ids) + 1 if self.node_ids is not None else n
+        )
+
+        for p in packets:
+            if not 0 <= p.origin < n:
+                raise ValueError(
+                    f"packet {p.pid} origin {p.origin} out of range"
+                )
+
+        budget = policy.total_round_budget(
+            net, params, max(k, 1), self.depth_bound, id_bound
+        )
+        timing = {key: 0 for key in (
+            "election", "bfs", "collection", "dissemination",
+            "repair", "backoff",
+        )}
+        attempts: List[StageAttempt] = []
+        repairs: List[TreeRepairResult] = []
+        timeline: List[Tuple[int, str]] = []
+        self._rounds = 0
+        watchdog = [False]
+
+        by_pid = {p.pid: p for p in packets}
+        pid_col = {p.pid: i for i, p in enumerate(packets)}
+        origin_of = {p.pid: p.origin for p in packets}
+        knows = np.zeros((n, max(k, 1)), dtype=bool)
+        for p in packets:
+            knows[p.origin, pid_col[p.pid]] = True
+
+        remaining: Set[int] = set(by_pid)
+        lost: Set[int] = set()
+        leader = -1
+        reelections = -1  # first election is not a re-election
+
+        def note(text: str) -> None:
+            timeline.append((self._rounds, text))
+
+        def charge(stage: str, rounds: int) -> None:
+            self._rounds += rounds
+            timing[stage] += rounds
+            net.advance_to(self._rounds)
+
+        def over_budget() -> bool:
+            if self._rounds >= budget:
+                if not watchdog[0]:
+                    watchdog[0] = True
+                    note("watchdog: round budget exhausted")
+                return True
+            return False
+
+        def backoff(stage: str, attempt: int) -> None:
+            wait = policy.backoff_wait(attempt)
+            note(f"{stage}: backing off {wait} rounds before retry")
+            charge("backoff", wait)
+
+        def run_repair(parent, distance) -> Tuple[List[int], List[int]]:
+            """Repair if any alive node is detached; returns the
+            (possibly updated) parent/distance lists."""
+            orphans = find_orphans(parent, distance, leader, net.is_alive)
+            if not orphans or over_budget():
+                return parent, distance
+            note(f"repair: {len(orphans)} orphaned nodes, re-parenting")
+            rep = repair_tree(
+                net, parent, distance, leader, rng,
+                epochs=default_repair_epochs(
+                    net, policy.repair_epoch_factor
+                ),
+                trace=self.trace,
+                round_offset=self._rounds,
+            )
+            charge("repair", rep.rounds)
+            repairs.append(rep)
+            if rep.unreachable:
+                note(
+                    f"repair: {len(rep.unreachable)} nodes unreachable "
+                    f"(entire neighborhood dead)"
+                )
+            return rep.parent, rep.distance
+
+        def prune_lost(collected_here: Set[int]) -> None:
+            """Packets whose origin died before any surviving root holds
+            them are lost; drop them honestly."""
+            for pid in sorted(remaining):
+                if pid in collected_here:
+                    continue
+                if not net.is_alive(origin_of[pid]):
+                    remaining.discard(pid)
+                    lost.add(pid)
+                    note(f"packet {pid} lost: origin crashed uncollected")
+
+        cycle = 0
+        root_holdings: Set[int] = set()
+        while remaining and cycle < policy.max_reelections + 1:
+            cycle += 1
+            reelections += 1
+            if over_budget():
+                break
+            prune_lost(set())
+            if not remaining:
+                break
+
+            candidates = sorted({
+                origin_of[pid] for pid in remaining
+                if net.is_alive(origin_of[pid])
+            })
+            if not candidates:
+                break
+
+            # ---- Stage 1: leader election (retry on split/dead claim) --
+            leader = -1
+            for attempt in range(policy.max_stage_retries + 1):
+                if over_budget():
+                    break
+                election = elect_leader(
+                    net, candidates, rng,
+                    epochs_per_probe=policy.escalated(
+                        params.bgi_epochs(net), attempt
+                    ),
+                    trace=self.trace,
+                    node_ids=self.node_ids,
+                )
+                charge("election", election.rounds)
+                claim_ok = (
+                    len(election.claimants) == 1
+                    and net.is_alive(election.claimants[0])
+                )
+                attempts.append(StageAttempt(
+                    "election", cycle, attempt, election.rounds, claim_ok,
+                    detail=f"claimants={election.claimants}",
+                ))
+                if claim_ok:
+                    leader = election.claimants[0]
+                    break
+                if attempt < policy.max_stage_retries:
+                    backoff("election", attempt + 1)
+                    candidates = [
+                        c for c in candidates if net.is_alive(c)
+                    ]
+                    if not candidates:
+                        break
+            net.materialize_stage("election")
+            if leader < 0 or not net.is_alive(leader):
+                note("election: no live leader emerged")
+                continue
+            note(f"leader elected: node {leader}")
+
+            # ---- Stage 2: distributed BFS (retry on uncovered nodes) ---
+            parent: Optional[List[int]] = None
+            distance: Optional[List[int]] = None
+            for attempt in range(policy.max_stage_retries + 1):
+                if over_budget() or not net.is_alive(leader):
+                    break
+                bfs = build_distributed_bfs(
+                    net, leader, rng,
+                    depth_bound=self.depth_bound,
+                    epochs_per_phase=policy.escalated(
+                        params.bfs_epochs(net), attempt
+                    ),
+                    trace=self.trace,
+                )
+                charge("bfs", bfs.rounds)
+                covered = all(
+                    bfs.distance[v] >= 0
+                    for v in range(n) if net.is_alive(v)
+                )
+                attempts.append(StageAttempt(
+                    "bfs", cycle, attempt, bfs.rounds, covered,
+                ))
+                if covered:
+                    parent, distance = bfs.parent, bfs.distance
+                    break
+                parent, distance = bfs.parent, bfs.distance
+                if attempt < policy.max_stage_retries:
+                    backoff("bfs", attempt + 1)
+            net.materialize_stage("bfs")
+            if parent is None or not net.is_alive(leader):
+                note("bfs: leader crashed during tree construction")
+                continue
+
+            # ---- Stage 3: collection (repair + retry on unacked) -------
+            collection_params = params.with_overrides(
+                max_collection_phases=min(
+                    params.max_collection_phases,
+                    policy.collection_phase_cap,
+                )
+            )
+            root_holdings = {
+                pid for pid in remaining if origin_of[pid] == leader
+            }
+            collected_order: List[int] = sorted(root_holdings)
+            for attempt in range(policy.max_stage_retries + 1):
+                if over_budget() or not net.is_alive(leader):
+                    break
+                prune_lost(root_holdings)
+                parent, distance = run_repair(parent, distance)
+                attached = attached_set(
+                    parent, distance, leader, net.is_alive
+                )
+                to_collect = [
+                    by_pid[pid] for pid in sorted(remaining)
+                    if pid not in root_holdings
+                    and origin_of[pid] in attached
+                ]
+                if not to_collect:
+                    attempts.append(StageAttempt(
+                        "collection", cycle, attempt, 0, True,
+                        detail="nothing to collect",
+                    ))
+                    break
+                collection = run_collection_stage(
+                    net, parent, distance, leader, to_collect,
+                    collection_params, rng,
+                    depth_bound=self.depth_bound,
+                    trace=self.trace,
+                )
+                charge("collection", collection.rounds)
+                for pid in collection.collected_order:
+                    if pid not in root_holdings:
+                        root_holdings.add(pid)
+                        collected_order.append(pid)
+                ok = collection.all_collected and net.is_alive(leader)
+                attempts.append(StageAttempt(
+                    "collection", cycle, attempt, collection.rounds, ok,
+                    detail=f"collected={len(collection.collected_order)}"
+                           f"/{len(to_collect)}",
+                ))
+                if ok:
+                    break
+                if attempt < policy.max_stage_retries:
+                    backoff("collection", attempt + 1)
+            net.materialize_stage("collection")
+            if not net.is_alive(leader):
+                note("collection: leader crashed; re-electing")
+                continue
+
+            # ---- Stage 4: dissemination (repair + retry) ---------------
+            for attempt in range(policy.max_stage_retries + 1):
+                if over_budget() or not net.is_alive(leader):
+                    break
+                parent, distance = run_repair(parent, distance)
+                to_send = [
+                    by_pid[pid] for pid in collected_order
+                    if pid in remaining
+                ]
+                if not to_send:
+                    break
+                diss_params = (
+                    params if attempt == 0 else params.with_overrides(
+                        forward_epochs_factor=(
+                            params.forward_epochs_factor
+                            * policy.budget_escalation ** attempt
+                        )
+                    )
+                )
+                safe_distance = [
+                    d if d >= 0 else 1 for d in distance
+                ]
+                safe_distance[leader] = 0
+                dissemination = run_dissemination_stage(
+                    net, safe_distance, leader, to_send, diss_params,
+                    rng, trace=self.trace,
+                )
+                charge("dissemination", dissemination.rounds)
+
+                width = dissemination.group_width
+                for i, pkt in enumerate(to_send):
+                    j = i // width
+                    holders = np.nonzero(
+                        dissemination.has_group[:, j]
+                    )[0]
+                    knows[holders, pid_col[pkt.pid]] = True
+                delivered_now = [
+                    pkt.pid for pkt in to_send
+                    if all(
+                        knows[v, pid_col[pkt.pid]]
+                        for v in range(n) if net.is_alive(v)
+                    )
+                ]
+                for pid in delivered_now:
+                    remaining.discard(pid)
+                ok = all(
+                    pkt.pid not in remaining for pkt in to_send
+                )
+                attempts.append(StageAttempt(
+                    "dissemination", cycle, attempt,
+                    dissemination.rounds, ok,
+                    detail=f"delivered={len(delivered_now)}"
+                           f"/{len(to_send)}",
+                ))
+                if ok:
+                    break
+                if attempt < policy.max_stage_retries:
+                    backoff("dissemination", attempt + 1)
+            net.materialize_stage("dissemination")
+            if not remaining:
+                break
+            if not net.is_alive(leader):
+                note("dissemination: leader crashed; re-electing")
+                continue
+            # Retries exhausted with a live leader: give up honestly.
+            break
+
+        # ---- final accounting ------------------------------------------
+        # Packets the (live) current root already collected are not lost
+        # even when their origin has since crashed — merely undelivered.
+        prune_lost(
+            root_holdings
+            if leader >= 0 and net.is_alive(leader)
+            else set()
+        )
+        survivors = net.alive_nodes()
+        non_lost = [pid for pid in by_pid if pid not in lost]
+        if survivors and non_lost:
+            cols = [pid_col[pid] for pid in non_lost]
+            informed = float(
+                knows[np.ix_(survivors, cols)].mean()
+            )
+        else:
+            informed = 1.0
+        undelivered = sorted(remaining)
+        success = (
+            not watchdog[0] and not undelivered and informed >= 1.0
+        )
+        retries = sum(1 for a in attempts if a.attempt > 0)
+        for clock, kind, target in net.events_applied:
+            timeline.append((clock, f"fault: {kind} {target}"))
+        timeline.sort(key=lambda entry: entry[0])
+
+        return SupervisedResult(
+            n=n,
+            k=k,
+            success=success,
+            informed_fraction=informed,
+            coverage=(len(non_lost) / k) if k else 1.0,
+            leader=leader,
+            total_rounds=self._rounds,
+            round_budget=budget,
+            watchdog_tripped=watchdog[0],
+            timing=timing,
+            attempts=attempts,
+            repairs=repairs,
+            reelections=max(0, reelections),
+            retries=retries,
+            packets_lost=sorted(lost),
+            packets_undelivered=undelivered,
+            survivors=survivors,
+            fault_stats=net.fault_stats(),
+            timeline=timeline,
+            trace=self.trace,
+        )

@@ -90,6 +90,43 @@ class TestDynamic:
         assert rc == 0
 
 
+class TestChaos:
+    def test_chaos_success_exit_code(self, capsys):
+        rc = main(["chaos", "--topology", "grid", "--rows", "4",
+                   "--cols", "4", "--k", "5", "--crash-frac", "0.1",
+                   "--seed", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "informed fraction" in out
+        assert "watchdog budget" in out
+        assert "tree repairs" in out
+        assert "success" in out and "yes" in out
+
+    def test_chaos_zero_crashes(self, capsys):
+        rc = main(["chaos", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--k", "4", "--crash-frac", "0.0",
+                   "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        line = next(l for l in out.splitlines() if "scheduled crashes" in l)
+        assert line.split("|")[1].strip() == "0"
+
+    def test_chaos_deterministic(self, capsys):
+        args = ["chaos", "--topology", "grid", "--rows", "4", "--cols", "4",
+                "--k", "5", "--crash-frac", "0.2", "--seed", "9"]
+        assert main(args) == main(args)
+        out = capsys.readouterr().out
+        half = len(out) // 2
+        assert out[:half] == out[half:]
+
+    def test_chaos_crash_round_option(self, capsys):
+        rc = main(["chaos", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--k", "4", "--crash-frac", "0.15",
+                   "--crash-round", "400", "--seed", "2"])
+        assert rc in (0, 1)  # terminates honestly either way
+        assert "crashes applied" in capsys.readouterr().out
+
+
 class TestTraceOption:
     def test_trace_report_written(self, capsys, tmp_path):
         path = tmp_path / "trace.txt"

@@ -1,0 +1,365 @@
+"""Unit tests for fault schedules, the dynamic fault layer, and repair."""
+
+import numpy as np
+import pytest
+
+from repro import AlgorithmParameters, MultipleMessageBroadcast
+from repro.experiments.workloads import uniform_random_placement
+from repro.radio.rng import make_rng
+from repro.radio.trace import RoundTrace
+from repro.resilience import (
+    DynamicFaultNetwork,
+    FaultEvent,
+    FaultSchedule,
+    JamWindow,
+    attached_set,
+    find_orphans,
+    random_crash_schedule,
+    repair_tree,
+)
+from repro.topology import grid, line, star
+
+
+class TestFaultEventValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultEvent("explode", round=1, node=0)
+
+    def test_exactly_one_timing(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", node=0)  # neither
+        with pytest.raises(ValueError):
+            FaultEvent("crash", round=1, after_stage="bfs", node=0)  # both
+
+    def test_bad_stage_name(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", after_stage="warmup", node=0)
+
+    def test_node_and_edge_requirements(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", round=1)  # no node
+        with pytest.raises(ValueError):
+            FaultEvent("link_down", round=1, node=3)  # no edge
+        with pytest.raises(ValueError):
+            FaultEvent("link_down", round=1, edge=(2, 2))  # self-loop
+
+    def test_jam_window_validation(self):
+        with pytest.raises(ValueError):
+            JamWindow(start=5, stop=5, nodes=frozenset({1}))
+        with pytest.raises(ValueError):
+            JamWindow(start=0, stop=10, nodes=frozenset({1}), prob=0.0)
+        with pytest.raises(ValueError):
+            JamWindow(start=0, stop=10, nodes=frozenset())
+
+
+class TestFaultSchedule:
+    def test_builders_chain(self):
+        schedule = (FaultSchedule()
+                    .crash(5, at_round=120)
+                    .crash(7, after_stage="bfs")
+                    .recover(5, at_round=200)
+                    .link_down((2, 3), at_round=40)
+                    .link_up((2, 3), at_round=90)
+                    .jam([0, 1], start=10, stop=30, prob=0.5))
+        assert len(schedule) == 6
+        assert schedule.crashed_ever == {5, 7}
+        assert len(schedule.symbolic_events()) == 1
+        concrete = schedule.concrete_events()
+        assert [e.round for e in concrete] == sorted(
+            e.round for e in concrete
+        )
+
+    def test_validate_node_range(self):
+        schedule = FaultSchedule().crash(9, at_round=1)
+        with pytest.raises(ValueError):
+            schedule.validate(5)
+        schedule.validate(10)  # fine
+
+    def test_validate_jam_range(self):
+        schedule = FaultSchedule().jam([11], start=0, stop=5)
+        with pytest.raises(ValueError):
+            schedule.validate(5)
+
+    def test_random_crash_schedule_fraction_and_exclude(self):
+        schedule = random_crash_schedule(
+            20, 0.25, seed=1, at_round=10, exclude={0, 1}
+        )
+        crashed = schedule.crashed_ever
+        assert len(crashed) == 4  # floor(0.25 * 18)
+        assert not crashed & {0, 1}
+
+    def test_random_crash_schedule_deterministic(self):
+        a = random_crash_schedule(30, 0.3, seed=9, at_round=5)
+        b = random_crash_schedule(30, 0.3, seed=9, at_round=5)
+        assert a.crashed_ever == b.crashed_ever
+        assert random_crash_schedule(
+            30, 0.3, seed=10, at_round=5
+        ).crashed_ever != a.crashed_ever
+
+    def test_random_crash_schedule_defaults_to_after_bfs(self):
+        schedule = random_crash_schedule(10, 0.5, seed=0)
+        assert all(
+            e.after_stage == "bfs" for e in schedule.events
+        )
+
+    def test_recover_after(self):
+        schedule = random_crash_schedule(
+            10, 0.2, seed=0, at_round=50, recover_after=30
+        )
+        recoveries = [e for e in schedule.events if e.kind == "recover"]
+        assert recoveries and all(e.round == 80 for e in recoveries)
+
+
+class TestDynamicFaultNetwork:
+    def test_transparent_without_schedule(self):
+        base = star(6)
+        net = DynamicFaultNetwork(base)
+        assert net.resolve_round({1: "m"}) == base.resolve_round({1: "m"})
+        assert net.n == base.n
+        assert net.diameter == base.diameter  # attribute delegation
+
+    def test_crashed_node_neither_transmits_nor_receives(self):
+        base = star(5)  # hub 0
+        schedule = FaultSchedule().crash(1, at_round=2)
+        net = DynamicFaultNetwork(base, schedule)
+        # rounds 0, 1: node 1 still alive
+        assert 1 in net.resolve_round({0: "m"})
+        assert 0 in net.resolve_round({1: "m"})
+        # round 2 on: crashed
+        assert 1 not in net.resolve_round({0: "m"})
+        assert net.resolve_round({1: "m"}) == {}
+        assert not net.is_alive(1)
+        assert net.tx_suppressed == 1
+        assert net.rx_suppressed_dead == 1
+
+    def test_recovery(self):
+        base = line(2)
+        schedule = (FaultSchedule()
+                    .crash(1, at_round=0)
+                    .recover(1, at_round=3))
+        net = DynamicFaultNetwork(base, schedule)
+        assert net.resolve_round({0: "m"}) == {}
+        assert net.resolve_round({0: "m"}) == {}
+        assert net.resolve_round({0: "m"}) == {}
+        assert net.resolve_round({0: "m"}) == {1: "m"}
+        assert net.fault_stats()["recoveries"] == 1
+
+    def test_link_down_blocks_only_that_link(self):
+        base = star(5)
+        schedule = FaultSchedule().link_down((0, 2), at_round=0)
+        net = DynamicFaultNetwork(base, schedule)
+        received = net.resolve_round({0: "m"})
+        assert 2 not in received
+        assert set(received) == {1, 3, 4}
+        assert net.rx_suppressed_link == 1
+
+    def test_link_up_restores(self):
+        base = line(2)
+        schedule = (FaultSchedule()
+                    .link_down((0, 1), at_round=0)
+                    .link_up((0, 1), at_round=2))
+        net = DynamicFaultNetwork(base, schedule)
+        assert net.resolve_round({0: "m"}) == {}
+        assert net.resolve_round({0: "m"}) == {}
+        assert net.resolve_round({0: "m"}) == {1: "m"}
+
+    def test_jam_window_full_probability(self):
+        base = star(5)
+        schedule = FaultSchedule().jam([1, 2], start=0, stop=3)
+        net = DynamicFaultNetwork(base, schedule, seed=1)
+        for _ in range(3):
+            received = net.resolve_round({0: "m"})
+            assert set(received) == {3, 4}
+        # window over
+        assert set(net.resolve_round({0: "m"})) == {1, 2, 3, 4}
+        assert net.rx_suppressed_jam == 6
+
+    def test_jam_partial_probability_seeded(self):
+        base = line(2)
+        schedule = FaultSchedule().jam([1], start=0, stop=2000, prob=0.5)
+
+        def pattern(seed):
+            net = DynamicFaultNetwork(base, schedule, seed=seed)
+            return [bool(net.resolve_round({0: "m"})) for _ in range(2000)]
+
+        a, b = pattern(7), pattern(7)
+        assert a == b  # same seed, same drop pattern
+        rate = sum(a) / len(a)
+        assert 0.4 < rate < 0.6
+
+    def test_advance_applies_events(self):
+        base = line(3)
+        schedule = FaultSchedule().crash(2, at_round=100)
+        net = DynamicFaultNetwork(base, schedule)
+        assert net.is_alive(2)
+        net.advance_to(250)
+        assert not net.is_alive(2)
+        assert net.clock == 250
+        with pytest.raises(ValueError):
+            net.advance(-1)
+
+    def test_materialize_stage_fires_once_and_immediately(self):
+        base = line(3)
+        schedule = FaultSchedule().crash(2, after_stage="bfs")
+        net = DynamicFaultNetwork(base, schedule)
+        assert net.is_alive(2)  # symbolic: nothing until materialized
+        net.advance(10)
+        fired = net.materialize_stage("bfs")
+        assert [e.node for e in fired] == [2]
+        assert not net.is_alive(2)  # applied immediately
+        assert net.materialize_stage("bfs") == []  # fires at most once
+
+    def test_schedule_validated_on_construction(self):
+        with pytest.raises(ValueError):
+            DynamicFaultNetwork(line(3), FaultSchedule().crash(7, at_round=1))
+
+    def test_collision_semantics_preserved(self):
+        """Delegation: the wrapped model's collision rule is intact."""
+        base = star(4)
+        net = DynamicFaultNetwork(base, FaultSchedule())
+        for _ in range(20):
+            assert 0 not in net.resolve_round({1: "a", 2: "b"})
+
+    def test_sinr_capture_preserved_through_wrapper(self):
+        """Wrapping an SINR network keeps SINR physics (capture effect),
+        not the graph collision rule."""
+        from repro.radio.sinr import SinrRadioNetwork
+
+        positions = np.array([[0.0, 0.0], [0.1, 0.0], [0.9, 0.0]])
+        sinr = SinrRadioNetwork(
+            positions, alpha=3.0, beta=1.5, noise=1.0, power=1.5
+        )
+        tx = {1: "near", 2: "far"}
+        physical = sinr.resolve_round(tx)
+        assert physical == {0: "near"}  # capture: both are graph-neighbors
+        wrapped = DynamicFaultNetwork(sinr)
+        assert wrapped.resolve_round(tx) == physical
+
+    def test_crash_determinism_full_run(self):
+        """Same seed, same schedule: byte-identical fault exposure."""
+        base = grid(3, 3)
+        packets = uniform_random_placement(base, k=4, seed=1)
+
+        def run(seed):
+            schedule = FaultSchedule().crash(4, at_round=300)
+            net = DynamicFaultNetwork(base, schedule, seed=seed)
+            result = MultipleMessageBroadcast(
+                net, params=AlgorithmParameters.fast(), seed=seed
+            ).run(packets)
+            return result.informed_fraction, net.fault_stats()
+
+        assert run(3) == run(3)
+
+    def test_trace_counters(self):
+        base = star(5)
+        schedule = FaultSchedule().crash(1, at_round=0)
+        trace = RoundTrace()
+        net = DynamicFaultNetwork(base, schedule, trace=trace)
+        net.resolve_round({1: "m"})   # suppressed transmission
+        net.resolve_round({0: "m"})   # reception dropped at dead node 1
+        assert trace.total_tx_suppressed == 1
+        assert trace.total_rx_suppressed == 1
+        summary = trace.summary()
+        assert summary["total_tx_suppressed"] == 1
+        assert summary["total_rx_suppressed"] == 1
+
+
+class TestRepair:
+    def _crashed_net(self, base, dead_nodes):
+        schedule = FaultSchedule()
+        for v in dead_nodes:
+            schedule.crash(v, at_round=0)
+        net = DynamicFaultNetwork(base, schedule)
+        net.advance(1)  # apply the crashes
+        return net
+
+    def test_attached_set_all_alive(self):
+        base = grid(3, 3)
+        parent = base.bfs_tree(0)
+        distance = [int(d) for d in base.bfs_distances(0)]
+        attached = attached_set(parent, distance, 0, lambda v: True)
+        assert attached == set(range(base.n))
+
+    def test_orphans_from_interior_crash(self):
+        base = line(5)  # 0-1-2-3-4, tree rooted at 0
+        parent = base.bfs_tree(0)
+        distance = [int(d) for d in base.bfs_distances(0)]
+        net = self._crashed_net(base, [2])
+        orphans = find_orphans(parent, distance, 0, net.is_alive)
+        assert orphans == [3, 4]  # beyond the dead node
+
+    def test_repair_reattaches_around_dead_region(self):
+        base = grid(3, 3)
+        root = 0
+        parent = base.bfs_tree(root)
+        distance = [int(d) for d in base.bfs_distances(root)]
+        # crash node 1; its children in the canonical tree are orphaned
+        # but grid connectivity offers alternate parents
+        net = self._crashed_net(base, [1])
+        orphans = find_orphans(parent, distance, root, net.is_alive)
+        assert orphans  # the crash must actually orphan someone
+        result = repair_tree(net, parent, distance, root, make_rng(5))
+        assert result.complete
+        assert set(result.reattached) == set(orphans)
+        # parent-consistency of the repaired labeling
+        for v in range(base.n):
+            if v == root or not net.is_alive(v):
+                continue
+            p = result.parent[v]
+            assert net.is_alive(p)
+            assert base.has_edge(p, v)
+            assert result.distance[v] == result.distance[p] + 1
+
+    def test_repair_reports_unreachable(self):
+        base = star(5)  # hub 0; killing the hub isolates everyone
+        parent = base.bfs_tree(1)  # root at leaf 1; hub is the only path
+        distance = [int(d) for d in base.bfs_distances(1)]
+        net = self._crashed_net(base, [0])
+        result = repair_tree(net, parent, distance, 1, make_rng(2))
+        assert not result.complete
+        assert set(result.unreachable) == {2, 3, 4}
+
+    def test_repair_noop_when_no_orphans(self):
+        base = grid(3, 3)
+        parent = base.bfs_tree(0)
+        distance = [int(d) for d in base.bfs_distances(0)]
+        net = DynamicFaultNetwork(base)
+        result = repair_tree(net, parent, distance, 0, make_rng(1))
+        assert result.rounds == 0 and result.epochs == 0
+        assert result.complete
+        assert result.parent == parent
+
+
+class TestUnsupervisedPartialSuccess:
+    """Satellite (c): the plain engine on a faulted network degrades
+    gracefully — partial informed_fraction, never an exception."""
+
+    def _run(self, dead_nodes, at_round, seed=2):
+        base = grid(3, 3)
+        packets = uniform_random_placement(base, k=4, seed=1)
+        schedule = FaultSchedule()
+        for v in dead_nodes:
+            schedule.crash(v, at_round=at_round)
+        net = DynamicFaultNetwork(base, schedule, seed=seed)
+        result = MultipleMessageBroadcast(
+            net, params=AlgorithmParameters.fast(), seed=seed
+        ).run(packets)
+        return result
+
+    def test_leaf_crash_mid_run(self):
+        result = self._run([8], at_round=500)
+        assert 0.0 <= result.informed_fraction <= 1.0
+
+    def test_interior_crash_mid_run(self):
+        result = self._run([4], at_round=500)  # grid center
+        assert 0.0 <= result.informed_fraction <= 1.0
+
+    def test_leader_crash_mid_run(self):
+        # the engine elects the max-ID packet holder; crash it mid-run
+        result = self._run([8], at_round=200, seed=3)
+        assert 0.0 <= result.informed_fraction <= 1.0
+
+    def test_early_mass_crash_fails_honestly(self):
+        result = self._run([1, 3, 4, 5, 7], at_round=0)
+        assert not result.success
+        assert result.informed_fraction < 1.0
