@@ -1,0 +1,154 @@
+"""R2 — degradation under active adversaries (beyond the paper).
+
+The paper's model is fault-free and the R1 experiment only *removes*
+capacity (crashes).  This experiment turns the channel hostile in two
+orthogonal ways:
+
+  - a **reactive jammer** senses busy rounds and erases each reception
+    with probability ``jam_prob`` — pure loss, the integrity layer never
+    sees the packet;
+  - a **corruption channel** delivers packets with a flipped bit at rate
+    ``corrupt_rate`` — the dangerous case, because an unchecked decoder
+    would fold the bad row into Gaussian elimination and emit wrong
+    plaintexts.
+
+With integrity checking on (the default), every corrupted packet must be
+caught at the checksum gate and discarded, so corruption degrades into
+extra rounds (retransmissions recover the erased information) and never
+into mis-decodes.  The sweep renders that degradation curve on both a
+grid and a random geometric graph.
+"""
+
+from _common import emit_table
+from repro.experiments.workloads import uniform_random_placement
+from repro.resilience import SupervisionPolicy, run_adversarial_trial
+from repro.topology import grid, random_geometric
+
+#: A persistent 20% reactive jammer needs more escalation headroom than
+#: the default two retries: each retry deepens the Decay schedule by
+#: ``budget_escalation``, and out-shouting the jammer takes a few
+#: doublings.
+POLICY = SupervisionPolicy(max_stage_retries=4)
+
+#: (jam_prob, corrupt_rate) sweep grid — loss-only, corruption-only,
+#: and combined columns.
+POINTS = [
+    (0.00, 0.00),
+    (0.10, 0.00),
+    (0.20, 0.00),
+    (0.00, 0.02),
+    (0.00, 0.05),
+    (0.10, 0.05),
+]
+
+KEYS = (
+    "success", "informed_fraction", "coverage", "total_rounds",
+    "retries", "rx_jammed_adversary", "rx_corrupted",
+    "corrupt_discarded", "mis_decodes", "watchdog_tripped",
+)
+
+
+def _sweep(make_network, k, trials):
+    rows = []
+    outcomes = {}
+    for jam_prob, corrupt_rate in POINTS:
+        acc = {key: 0.0 for key in KEYS}
+        for seed in range(trials):
+            net = make_network()
+            packets = uniform_random_placement(net, k=k, seed=1)
+            m = run_adversarial_trial(
+                net, packets, jam_prob, corrupt_rate, seed=seed,
+                policy=POLICY,
+            )
+            for key in acc:
+                acc[key] += m[key]
+        mean = {key: value / trials for key, value in acc.items()}
+        rows.append([
+            f"{jam_prob:.2f}", f"{corrupt_rate:.2f}",
+            f"{int(acc['success'])}/{trials}",
+            f"{mean['informed_fraction']:.3f}",
+            f"{mean['rx_jammed_adversary']:.0f}",
+            f"{mean['rx_corrupted']:.0f}",
+            f"{mean['corrupt_discarded']:.0f}",
+            f"{mean['mis_decodes']:.0f}",
+            f"{mean['retries']:.1f}",
+            f"{mean['total_rounds']:.0f}",
+        ])
+        outcomes[(jam_prob, corrupt_rate)] = mean
+    return rows, outcomes
+
+
+def run_sweep():
+    trials = 3
+    grid_rows, grid_out = _sweep(lambda: grid(4, 4), k=6, trials=trials)
+    rgg_rows, rgg_out = _sweep(
+        lambda: random_geometric(20, seed=3), k=6, trials=trials
+    )
+    return grid_rows, grid_out, rgg_rows, rgg_out, trials
+
+
+def _check(outcomes, trials, label):
+    # adversary off: byte-for-byte the supervised fault-free run —
+    # full success, nothing jammed, nothing corrupted, no retries
+    clean = outcomes[(0.00, 0.00)]
+    assert clean["success"] == 1.0, (label, clean)
+    assert clean["rx_jammed_adversary"] == 0.0, (label, clean)
+    assert clean["rx_corrupted"] == 0.0, (label, clean)
+    assert clean["retries"] == 0.0, (label, clean)
+    for point, mean in outcomes.items():
+        # the headline guarantee: the hardened decoder never emits a
+        # wrong plaintext, at any jamming or corruption level
+        assert mean["mis_decodes"] == 0.0, (label, point, mean)
+        # no crashes in this sweep, so no packet is ever *lost* —
+        # adversaries can delay delivery, never destroy origins
+        assert mean["coverage"] == 1.0, (label, point, mean)
+    for (jam_prob, corrupt_rate), mean in outcomes.items():
+        if jam_prob == 0.0:
+            # corruption alone is fully absorbed: every flipped packet
+            # caught and re-transmitted, full delivery every trial
+            assert mean["success"] == 1.0, (label, corrupt_rate, mean)
+            assert mean["informed_fraction"] == 1.0, (
+                label, corrupt_rate, mean)
+            assert mean["watchdog_tripped"] == 0.0, (
+                label, corrupt_rate, mean)
+        else:
+            # a persistent jammer can out-last the retry budget on an
+            # unlucky seed; degradation must stay graceful regardless
+            assert mean["informed_fraction"] >= 0.9, (
+                label, jam_prob, mean)
+    # corruption actually exercised the integrity gate at the 5% point
+    hot = outcomes[(0.00, 0.05)]
+    assert hot["rx_corrupted"] > 0.0, (label, hot)
+    assert hot["corrupt_discarded"] > 0.0, (label, hot)
+
+
+def test_r2_adversarial_interference(benchmark):
+    grid_rows, grid_out, rgg_rows, rgg_out, trials = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    header = ["jam p", "corrupt", "success", "informed", "jammed",
+              "corrupted", "discarded", "mis-dec", "retries", "rounds"]
+    emit_table(
+        "r2_adversarial_grid",
+        header, grid_rows,
+        title="R2: supervised broadcast vs reactive jamming and payload "
+              "corruption (grid 4x4, k=6)",
+        notes="Integrity-checked decoding turns corruption into clean "
+              "loss: every flipped packet is caught at the checksum "
+              "gate (discarded == detected share of corrupted), zero "
+              "mis-decodes at every point, and retransmission recovers "
+              "the erased information at the cost of extra rounds.",
+    )
+    emit_table(
+        "r2_adversarial_rgg",
+        header, rgg_rows,
+        title="R2: supervised broadcast vs reactive jamming and payload "
+              "corruption (RGG n=20, k=6)",
+        notes="Same guarantees on an irregular topology: zero "
+              "mis-decodes everywhere, corruption-only points fully "
+              "delivered, and jamming degrades gracefully (a "
+              "persistent jammer can exhaust the retry budget on an "
+              "unlucky seed, but informed fraction stays near 1).",
+    )
+    _check(grid_out, trials, "grid")
+    _check(rgg_out, trials, "rgg")

@@ -30,7 +30,15 @@ from repro.baselines import (
     tdma_flood_broadcast,
     uncoded_pipeline_broadcast,
 )
-from repro.coding import GroupDecoder, Packet, SubsetXorEncoder
+from repro.coding import (
+    GroupDecoder,
+    HardenedGroupDecoder,
+    Packet,
+    SubsetXorEncoder,
+    packet_checksum,
+    seal_message,
+    verify_message,
+)
 from repro.coding.packets import make_packets, required_packet_bits
 from repro.core import (
     AlgorithmParameters,
@@ -52,11 +60,17 @@ from repro.experiments import (
 )
 from repro.radio import RadioNetwork, SinrRadioNetwork, make_rng
 from repro.resilience import (
+    AdversaryStack,
+    BudgetedJammer,
+    CorruptionChannel,
     DynamicFaultNetwork,
     FaultSchedule,
+    ReactiveJammer,
     SupervisedBroadcast,
     SupervisionPolicy,
+    make_adversary,
     random_crash_schedule,
+    run_adversarial_trial,
 )
 from repro.topology import (
     balanced_tree,
@@ -77,15 +91,20 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbstractMacLayer",
+    "AdversaryStack",
     "AlgorithmParameters",
     "BatchedDynamicBroadcast",
+    "BudgetedJammer",
+    "CorruptionChannel",
     "DynamicFaultNetwork",
     "FaultSchedule",
     "GroupDecoder",
+    "HardenedGroupDecoder",
     "MultiBroadcastResult",
     "MultipleMessageBroadcast",
     "Packet",
     "RadioNetwork",
+    "ReactiveJammer",
     "SinrRadioNetwork",
     "SubsetXorEncoder",
     "SupervisedBroadcast",
@@ -103,8 +122,10 @@ __all__ = [
     "hypercube",
     "line",
     "mac_flood_broadcast",
+    "make_adversary",
     "make_packets",
     "make_rng",
+    "packet_checksum",
     "periodic_arrivals",
     "poisson_arrivals",
     "random_connected_gnp",
@@ -112,6 +133,8 @@ __all__ = [
     "random_geometric",
     "required_packet_bits",
     "ring",
+    "run_adversarial_trial",
+    "seal_message",
     "sequential_bgi_broadcast",
     "single_source_burst",
     "star",
@@ -119,4 +142,5 @@ __all__ = [
     "torus",
     "uncoded_pipeline_broadcast",
     "uniform_random_placement",
+    "verify_message",
 ]

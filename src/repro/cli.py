@@ -240,7 +240,12 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.resilience import SupervisedBroadcast, random_crash_schedule
+    from repro.resilience import (
+        SupervisedBroadcast,
+        make_adversary,
+        random_crash_schedule,
+        supervised_metrics,
+    )
 
     network = build_topology(args)
     packets = build_workload(network, args)
@@ -259,10 +264,29 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             network.n, args.crash_frac, seed=args.seed,
             after_stage=args.crash_stage, exclude=exclude,
         )
+    adversary = make_adversary(
+        jam_prob=args.jam_prob,
+        corruption_rate=args.corrupt_rate,
+        jam_budget=args.jam_budget,
+        seed=args.seed,
+    )
 
     result = SupervisedBroadcast(
-        network, schedule=schedule, params=params, seed=args.seed
+        network, schedule=schedule, params=params, seed=args.seed,
+        adversary=adversary,
     ).run(packets)
+
+    if args.json:
+        import json
+
+        report = supervised_metrics(result)
+        report["n"] = float(network.n)
+        report["k"] = float(result.k)
+        report["crash_frac"] = float(args.crash_frac)
+        report["jam_prob"] = float(args.jam_prob)
+        report["corrupt_rate"] = float(args.corrupt_rate)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if result.success else 1
 
     stats = result.fault_stats
     rows = [
@@ -285,10 +309,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         ["watchdog budget", result.round_budget],
         ["watchdog tripped", "YES" if result.watchdog_tripped else "no"],
         ["tx suppressed", stats.get("tx_suppressed", 0)],
-        ["rx suppressed (dead/link/jam)",
+        ["rx suppressed (dead/link/jam/adv)",
          f"{stats.get('rx_suppressed_dead', 0)}"
          f"/{stats.get('rx_suppressed_link', 0)}"
-         f"/{stats.get('rx_suppressed_jam', 0)}"],
+         f"/{stats.get('rx_suppressed_jam', 0)}"
+         f"/{stats.get('rx_jammed_adversary', 0)}"],
+        ["rx corrupted / discarded",
+         f"{stats.get('rx_corrupted', 0)}/{result.corrupt_discarded}"],
+        ["mis-decodes", result.mis_decodes],
         ["success", "yes" if result.success else "NO"],
     ]
     print(render_table(
@@ -367,6 +395,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--allow-leader-crash", action="store_true",
                        help="let the expected leader be crashed too "
                             "(exercises re-election)")
+    chaos.add_argument("--jam-prob", type=float, default=0.0,
+                       help="reactive jammer: drop each reception in a "
+                            "busy round with this probability")
+    chaos.add_argument("--corrupt-rate", type=float, default=0.0,
+                       help="corruption channel: flip a bit in each "
+                            "delivered packet with this probability")
+    chaos.add_argument("--jam-budget", type=int, default=None,
+                       help="budgeted jammer: total rounds it may "
+                            "fully jam, spent on the busiest rounds")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the degradation report as JSON "
+                            "instead of a table (exit codes unchanged)")
     chaos.set_defaults(func=cmd_chaos)
 
     dynamic = sub.add_parser(

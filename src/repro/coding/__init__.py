@@ -13,10 +13,22 @@ This package provides exactly that machinery, built from scratch:
   ``2^b`` the paper works in; its addition is XOR of ``b``-bit payloads);
 - :mod:`repro.coding.packets` — packet and coded-message types;
 - :mod:`repro.coding.rlnc` — the subset-XOR encoder and an incremental
-  decoder.
+  decoder;
+- :mod:`repro.coding.integrity` — keyed packet checksums and a hardened
+  decoder that quarantines corrupted rows instead of mis-decoding.
 """
 
 from repro.coding.field import GF2m, STANDARD_POLYNOMIALS
+from repro.coding.integrity import (
+    CHECKSUM_BITS,
+    DEFAULT_INTEGRITY_KEY,
+    HardenedGroupDecoder,
+    IntegrityReport,
+    QuarantinedRow,
+    packet_checksum,
+    seal_message,
+    verify_message,
+)
 from repro.coding.gf2 import (
     gf2_rank,
     gf2_rank_dense,
@@ -34,13 +46,18 @@ from repro.coding.rlnc_q import (
 )
 
 __all__ = [
+    "CHECKSUM_BITS",
     "CodedMessage",
+    "DEFAULT_INTEGRITY_KEY",
     "FieldCodedMessage",
     "FieldRlncDecoder",
     "FieldRlncEncoder",
     "GF2m",
     "GroupDecoder",
+    "HardenedGroupDecoder",
+    "IntegrityReport",
     "Packet",
+    "QuarantinedRow",
     "STANDARD_POLYNOMIALS",
     "expected_receptions_to_decode",
     "SubsetXorEncoder",
@@ -49,5 +66,8 @@ __all__ = [
     "gf2_rref",
     "gf2_solve",
     "make_packets",
+    "packet_checksum",
     "random_binary_matrix",
+    "seal_message",
+    "verify_message",
 ]

@@ -10,7 +10,7 @@ XOR of a subset of a group's payloads plus the subset bitmap header
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.radio.rng import SeedLike, make_rng
 
@@ -52,12 +52,18 @@ class CodedMessage:
     included in the XOR; ``payload`` is the XOR of the included payloads.
     The over-the-air size is ``b + ⌈log n⌉`` bits: payload plus header —
     at most twice any packet, as the paper notes.
+
+    ``checksum`` optionally carries the keyed integrity tag of
+    :mod:`repro.coding.integrity` (``CHECKSUM_BITS`` extra header bits);
+    ``None`` means the message is untagged (the paper's trusting wire
+    format).
     """
 
     group_id: int
     subset_mask: int
     payload: int
     group_size: int
+    checksum: Optional[int] = None
 
     def header_bits(self) -> int:
         """Size of the subset header in bits."""

@@ -85,6 +85,17 @@ class AlgorithmParameters:
         Smaller factors shrink the ``(4·factor)·y``-round procedure but
         raise the collision rate (unique-launch ≥ ``e^{-1/factor}``) —
         the collection-constant trade-off of ablation A7.
+    integrity_checks:
+        When true (default), Stage-4 wire messages carry the keyed
+        checksum of :mod:`repro.coding.integrity` and FORWARD verifies
+        every row *before* Gaussian elimination, quarantining corrupted
+        ones.  Checksums are deterministic — toggling this never changes
+        the RNG stream — so the fault-free execution is bit-identical
+        either way; disabling it is the trusting-channel ablation that
+        shows mis-decodes under a corruption adversary.
+    integrity_key:
+        The shared 64-bit key of the checksum scheme (a protocol
+        parameter known to every node, unknown to the adversary).
     """
 
     c_log: float = 1.5
@@ -102,6 +113,8 @@ class AlgorithmParameters:
     k_bound_exponent: float = 3.0
     root_plain_repetitions: int = 1
     ospg_window_factor: int = 6
+    integrity_checks: bool = True
+    integrity_key: int = 0x9E3779B97F4A7C15
 
     # ------------------------------------------------------------------
     # Presets

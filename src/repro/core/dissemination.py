@@ -34,8 +34,8 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.coding.integrity import HardenedGroupDecoder, packet_checksum
 from repro.coding.packets import CodedMessage, Packet
-from repro.coding.rlnc import GroupDecoder
 from repro.core.config import AlgorithmParameters
 from repro.primitives.decay import decay_slots
 from repro.radio.errors import ProtocolError
@@ -60,11 +60,21 @@ class DisseminationResult:
     has_group:
         Boolean matrix ``[node][group]``: who decoded what.
     complete:
-        Every node decoded every group.
+        Every node decoded every group *correctly* (no mis-decodes).
     failed_receivers:
         ``(node, group)`` pairs that ended without the group.
     coded_transmissions / innovative_receptions:
         Air-time accounting for the coding-efficiency experiments.
+    corrupted_discarded:
+        Receptions rejected by the integrity layer before Gaussian
+        elimination (checksum mismatch or malformed header).
+    quarantined_rows:
+        Rows the hardened decoders quarantined (subset of the above plus
+        keyless inconsistency detections).
+    mis_decodes / mis_decoded_receivers:
+        ``(node, group)`` pairs that completed with *wrong* payloads —
+        only possible with ``integrity_checks`` disabled under a
+        corruption adversary; always 0 with the hardened path.
     """
 
     rounds: int
@@ -78,6 +88,10 @@ class DisseminationResult:
     coded_transmissions: int = 0
     innovative_receptions: int = 0
     plain_transmissions: int = 0
+    corrupted_discarded: int = 0
+    quarantined_rows: int = 0
+    mis_decodes: int = 0
+    mis_decoded_receivers: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def success(self) -> bool:
@@ -145,19 +159,50 @@ def run_dissemination_stage(
     for v in range(n):
         layers[int(dist[v])].append(v)
 
-    decoders: Dict[Tuple[int, int], GroupDecoder] = {}
-    plain_seen: Dict[Tuple[int, int], Set[int]] = {}
+    integrity = params.integrity_checks
+    key = params.integrity_key
+    decoders: Dict[Tuple[int, int], HardenedGroupDecoder] = {}
+    # (receiver, group) -> {packet index -> payload as received}
+    plain_seen: Dict[Tuple[int, int], Dict[int, int]] = {}
+    mis_decoded: Set[Tuple[int, int]] = set()
     total_phases = spacing * (g - 1) + ecc
     coded_tx = 0
     plain_tx = 0
     innovative_rx = 0
+    corrupt_discarded = 0
     rounds = 0
+
+    def seal_plain(j: int, idx: int, payload: int, gs: int):
+        """Wire tuple for a plain packet: a unit coefficient vector, so
+        the same keyed checksum covers both wire formats."""
+        if not integrity:
+            return ("plain", j, idx, payload, gs)
+        chk = packet_checksum(j, 1 << idx, payload, gs, key)
+        return ("plain", j, idx, payload, gs, chk)
+
+    def seal_coded(j: int, mask: int, xor: int, gs: int):
+        if not integrity:
+            return ("coded", j, mask, xor, gs)
+        chk = packet_checksum(j, mask, xor, gs, key)
+        return ("coded", j, mask, xor, gs, chk)
 
     def group_layer(j: int, phase: int) -> int:
         """Layer group j is being delivered to during this 1-based phase,
         or 0 if the group is inactive."""
         d = phase - spacing * j
         return d if 1 <= d <= ecc else 0
+
+    def flag_mis_decode(receiver: int, j: int) -> None:
+        """Honest accounting of a completion with wrong payloads.
+
+        Only reachable with ``integrity_checks`` off under a corruption
+        adversary: the node *believes* it holds the group, but the data
+        is wrong.  It is recorded (and excluded from the forwarder sets,
+        so the simulation never launders truth through it) instead of
+        silently delivering wrong plaintexts.
+        """
+        mis_decoded.add((receiver, j))
+        has_group[receiver, j] = True
 
     def try_complete(receiver: int, j: int) -> None:
         """Promote a receiver to group holder if it can now decode."""
@@ -166,16 +211,24 @@ def run_dissemination_stage(
         gs = len(groups[j])
         seen = plain_seen.get((receiver, j))
         if seen is not None and len(seen) == gs:
-            has_group[receiver, j] = True
+            if [seen[i] for i in range(gs)] == group_payloads[j]:
+                has_group[receiver, j] = True
+            else:
+                flag_mis_decode(receiver, j)
             return
         dec = decoders.get((receiver, j))
         if dec is not None and dec.is_complete:
             decoded = dec.decode()
             if decoded != group_payloads[j]:
-                raise ProtocolError(
-                    f"decoder at node {receiver} for group {j} produced "
-                    f"wrong payloads"
-                )
+                if integrity:
+                    # every absorbed row was checksum-verified, so a
+                    # wrong decode can only be a library bug
+                    raise ProtocolError(
+                        f"decoder at node {receiver} for group {j} "
+                        f"produced wrong payloads despite verified rows"
+                    )
+                flag_mis_decode(receiver, j)
+                return
             has_group[receiver, j] = True
 
     for phase in range(1, total_phases + 1):
@@ -194,7 +247,8 @@ def run_dissemination_stage(
                 root_group = j
             else:
                 senders = [
-                    v for v in layers[d - 1] if has_group[v, j]
+                    v for v in layers[d - 1]
+                    if has_group[v, j] and (v, j) not in mis_decoded
                 ]
                 forward_sets.append((j, d, senders))
 
@@ -208,12 +262,8 @@ def run_dissemination_stage(
                 if slot < gs_root * reps:
                     idx = slot % gs_root
                     pkt = groups[root_group][idx]
-                    transmissions[root] = (
-                        "plain",
-                        root_group,
-                        idx,
-                        pkt.payload,
-                        gs_root,
+                    transmissions[root] = seal_plain(
+                        root_group, idx, pkt.payload, gs_root
                     )
                     plain_tx += 1
 
@@ -243,7 +293,9 @@ def run_dissemination_stage(
                                 b = (m & -m).bit_length() - 1
                                 xor ^= payloads[b]
                                 m &= m - 1
-                            transmissions[sender] = ("coded", j, mask, xor, gs)
+                            transmissions[sender] = seal_coded(
+                                j, mask, xor, gs
+                            )
                             coded_tx += 1
                     else:
                         # A1 ablation: uncoded store-and-forward — send one
@@ -254,8 +306,8 @@ def run_dissemination_stage(
                             if sender in transmissions:
                                 continue
                             pick = int(pick)
-                            transmissions[sender] = (
-                                "plain", j, pick, payloads[pick], gs,
+                            transmissions[sender] = seal_plain(
+                                j, pick, payloads[pick], gs
                             )
                             plain_tx += 1
 
@@ -267,10 +319,12 @@ def run_dissemination_stage(
                     round_offset + rounds + slot, transmissions, received
                 )
 
+            round_discarded = 0
             for receiver, msg in received.items():
                 kind = msg[0]
+                chk = msg[5] if len(msg) > 5 else None
                 if kind == "plain":
-                    _, j, idx, payload, gs = msg
+                    _, j, idx, payload, gs = msg[:5]
                     if has_group[receiver, j]:
                         continue
                     d = group_layer(j, phase)
@@ -280,10 +334,23 @@ def run_dissemination_stage(
                     )
                     if not accept:
                         continue
-                    plain_seen.setdefault((receiver, j), set()).add(idx)
+                    # verify before accepting: a malformed index is
+                    # detectable without the key; a flipped bit anywhere
+                    # breaks the keyed checksum
+                    if not 0 <= idx < gs:
+                        corrupt_discarded += 1
+                        round_discarded += 1
+                        continue
+                    if integrity and chk is not None and chk != (
+                        packet_checksum(j, 1 << idx, payload, gs, key)
+                    ):
+                        corrupt_discarded += 1
+                        round_discarded += 1
+                        continue
+                    plain_seen.setdefault((receiver, j), {})[idx] = payload
                     touched.add((receiver, j))
                 else:
-                    _, j, mask, payload, gs = msg
+                    _, j, mask, payload, gs = msg[:5]
                     if has_group[receiver, j]:
                         continue
                     d = group_layer(j, phase)
@@ -293,20 +360,34 @@ def run_dissemination_stage(
                     )
                     if not accept:
                         continue
-                    key = (receiver, j)
-                    dec = decoders.get(key)
+                    pair = (receiver, j)
+                    dec = decoders.get(pair)
                     if dec is None:
-                        dec = GroupDecoder(group_id=j, group_size=gs)
-                        decoders[key] = dec
+                        dec = HardenedGroupDecoder(
+                            group_id=j, group_size=gs, key=key
+                        )
+                        decoders[pair] = dec
                     coded = CodedMessage(
                         group_id=j,
                         subset_mask=mask,
                         payload=payload,
                         group_size=gs,
+                        checksum=chk,
                     )
+                    # FORWARD verifies before Gaussian elimination: the
+                    # hardened decoder checksums / width-checks the row
+                    # and quarantines instead of inserting
+                    rejected_before = len(dec.quarantined)
                     if dec.absorb(coded):
                         innovative_rx += 1
-                    touched.add(key)
+                    newly_rejected = len(dec.quarantined) - rejected_before
+                    corrupt_discarded += newly_rejected
+                    round_discarded += newly_rejected
+                    touched.add(pair)
+            if round_discarded and trace is not None:
+                trace.observe_integrity(
+                    rx_corrupt_discarded=round_discarded
+                )
 
         rounds += phase_length
         for receiver, j in touched:
@@ -318,6 +399,7 @@ def run_dissemination_stage(
         for j in range(g)
         if not has_group[v, j]
     ]
+    quarantined = sum(len(d.quarantined) for d in decoders.values())
     return DisseminationResult(
         rounds=rounds,
         num_groups=g,
@@ -325,9 +407,13 @@ def run_dissemination_stage(
         phases=total_phases,
         phase_length=phase_length,
         has_group=has_group,
-        complete=not failed,
+        complete=not failed and not mis_decoded,
         failed_receivers=failed,
         coded_transmissions=coded_tx,
         innovative_receptions=innovative_rx,
         plain_transmissions=plain_tx,
+        corrupted_discarded=corrupt_discarded,
+        quarantined_rows=quarantined,
+        mis_decodes=len(mis_decoded),
+        mis_decoded_receivers=sorted(mis_decoded),
     )

@@ -51,6 +51,8 @@ class RoundTrace:
         self.total_collision_victims = 0
         self.total_tx_suppressed = 0
         self.total_rx_suppressed = 0
+        self.total_rx_corrupted = 0
+        self.total_rx_corrupt_discarded = 0
 
     def observe(
         self,
@@ -88,12 +90,28 @@ class RoundTrace:
             )
 
     def observe_faults(
-        self, tx_suppressed: int = 0, rx_suppressed: int = 0
+        self,
+        tx_suppressed: int = 0,
+        rx_suppressed: int = 0,
+        rx_corrupted: int = 0,
     ) -> None:
         """Record fault-layer suppression (crashed transmitters silenced,
-        receptions dropped at dead/jammed nodes or over downed links)."""
+        receptions dropped at dead/jammed nodes or over downed links) and
+        adversarial corruption (receptions delivered with flipped bits —
+        *not* suppressed; they reach the receiver and are accounted again
+        only if the integrity layer discards them)."""
         self.total_tx_suppressed += tx_suppressed
         self.total_rx_suppressed += rx_suppressed
+        self.total_rx_corrupted += rx_corrupted
+
+    def observe_integrity(self, rx_corrupt_discarded: int = 0) -> None:
+        """Record receiver-side integrity rejections: receptions whose
+        checksum failed or whose row was quarantined before Gaussian
+        elimination.  Mirrors the fault-suppression counters so every
+        dropped packet is accounted for exactly once — a reception is
+        either suppressed by the fault layer (``total_rx_suppressed``) or
+        delivered-then-discarded here, never both."""
+        self.total_rx_corrupt_discarded += rx_corrupt_discarded
 
     def advance_to(self, round_index: int) -> None:
         """Note that time has advanced (possibly through silent rounds)."""
@@ -109,6 +127,8 @@ class RoundTrace:
             "total_collision_victims": self.total_collision_victims,
             "total_tx_suppressed": self.total_tx_suppressed,
             "total_rx_suppressed": self.total_rx_suppressed,
+            "total_rx_corrupted": self.total_rx_corrupted,
+            "total_rx_corrupt_discarded": self.total_rx_corrupt_discarded,
             "delivery_ratio": (
                 self.total_receptions / self.total_transmissions
                 if self.total_transmissions

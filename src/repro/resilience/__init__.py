@@ -6,6 +6,10 @@ This package layers robustness machinery over the four-stage broadcast:
   timelines (crashes, recoveries, link outages, jam windows);
 - :mod:`repro.resilience.network` — a transparent proxy applying a
   schedule through any network's own ``resolve_round``;
+- :mod:`repro.resilience.adversary` — active adversaries layered on the
+  proxy: reactive and budgeted jammers, and a corruption channel that
+  flips bits in coded payloads for the integrity layer
+  (:mod:`repro.coding.integrity`) to catch;
 - :mod:`repro.resilience.repair` — BFS-tree re-parenting via Decay;
 - :mod:`repro.resilience.supervisor` — watchdog timeouts, bounded
   retries with backoff, leader re-election, and tree repair wrapped
@@ -14,6 +18,13 @@ This package layers robustness machinery over the four-stage broadcast:
   harness and degradation curves.
 """
 
+from repro.resilience.adversary import (
+    Adversary,
+    AdversaryStack,
+    BudgetedJammer,
+    CorruptionChannel,
+    ReactiveJammer,
+)
 from repro.resilience.network import DynamicFaultNetwork
 from repro.resilience.repair import (
     TreeRepairResult,
@@ -23,7 +34,10 @@ from repro.resilience.repair import (
     repair_tree,
 )
 from repro.resilience.report import (
+    adversarial_degradation_curve,
     degradation_curve,
+    make_adversary,
+    run_adversarial_trial,
     run_chaos_trial,
     supervised_metrics,
 )
@@ -41,21 +55,29 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "Adversary",
+    "AdversaryStack",
+    "BudgetedJammer",
+    "CorruptionChannel",
     "DynamicFaultNetwork",
     "FaultEvent",
     "FaultSchedule",
     "JamWindow",
+    "ReactiveJammer",
     "StageAttempt",
     "SupervisedBroadcast",
     "SupervisedResult",
     "SupervisionPolicy",
     "TreeRepairResult",
+    "adversarial_degradation_curve",
     "attached_set",
     "default_repair_epochs",
     "degradation_curve",
     "find_orphans",
+    "make_adversary",
     "random_crash_schedule",
     "repair_tree",
+    "run_adversarial_trial",
     "run_chaos_trial",
     "supervised_metrics",
 ]

@@ -1,0 +1,305 @@
+"""Active adversary models: reactive jamming, budgeted jamming, corruption.
+
+PR 1's fault schedules jam *obliviously* — windows fixed before the run.
+The throughput-bound and dynamic-network lines of related work treat the
+adversary as *adaptive*: it senses the channel and reacts to what the
+protocol does.  This module provides such adversaries as small state
+machines applied by :class:`repro.resilience.network.DynamicFaultNetwork`
+on top of the wrapped network's own collision semantics:
+
+- :class:`ReactiveJammer` — senses transmissions each round; whenever at
+  least ``sense_threshold`` nodes are on the air it jams each reception
+  independently with probability ``prob``;
+- :class:`BudgetedJammer` — a ``t``-bounded adversary with a finite
+  budget of jammed rounds, spent adaptively on the *busiest* rounds (an
+  exponentially-weighted activity estimate decides what counts as busy,
+  so it naturally concentrates on the layers with the most traffic);
+- :class:`CorruptionChannel` — instead of erasing receptions, flips bits
+  in the coefficient vectors / payloads of Stage-4 wire messages (plain
+  or coded); control traffic of other stages passes through untouched.
+  Checksum tags are *not* rewritten — the adversary does not know the
+  integrity key, which is exactly the threat model of
+  :mod:`repro.coding.integrity`;
+- :class:`AdversaryStack` — composes several adversaries in order
+  (e.g. a reactive jammer plus a corruption channel).
+
+Every adversary draws from its own seeded RNG, so adversarial runs are
+exactly reproducible and — crucially — never perturb the protocol's RNG
+stream: with the adversary disabled, a supervised run is bit-identical
+to the fault-free one.
+
+The contract is one method::
+
+    surviving, jammed, corrupted = adversary.attack(round_index,
+                                                    transmissions,
+                                                    received)
+
+called once per resolved round (also when ``received`` is empty, so
+budget/activity state advances with the channel).  ``jammed`` receptions
+are removed from ``surviving``; ``corrupted`` ones are delivered with
+altered bits.  The two sets are disjoint: every touched reception is
+accounted for exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.radio.rng import SeedLike, make_rng
+
+#: Wire-format kinds of the dissemination stage (see
+#: :mod:`repro.core.dissemination`): ``(kind, group, mask_or_idx,
+#: payload, group_size[, checksum])``.
+_STAGE4_KINDS = ("plain", "coded")
+
+
+class Adversary:
+    """Base class: a pass-through adversary."""
+
+    name = "null"
+
+    def reset(self) -> None:
+        """Forget all per-run state (budgets, activity estimates)."""
+
+    def attack(
+        self,
+        round_index: int,
+        transmissions: Mapping[int, object],
+        received: Dict[int, object],
+    ) -> Tuple[Dict[int, object], int, int]:
+        """Return ``(surviving, jammed, corrupted)`` for this round."""
+        return received, 0, 0
+
+    def stats(self) -> Dict[str, int]:
+        return {}
+
+
+class ReactiveJammer(Adversary):
+    """Jam with probability ``prob`` whenever the channel is sensed busy.
+
+    Parameters
+    ----------
+    prob:
+        Per-reception jam probability while the jammer is triggered.
+    sense_threshold:
+        Minimum number of concurrent transmitters that triggers the
+        jammer (1 = reacts to any transmission; higher models a sensor
+        that only hears aggregate energy).
+    seed:
+        Seed for the jam coin flips (independent of the protocol RNG).
+    """
+
+    name = "reactive"
+
+    def __init__(self, prob: float, sense_threshold: int = 1,
+                 seed: SeedLike = None):
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("jam probability must be in [0, 1]")
+        if sense_threshold < 1:
+            raise ValueError("sense_threshold must be >= 1")
+        self.prob = float(prob)
+        self.sense_threshold = int(sense_threshold)
+        self._seed = seed
+        self._rng = make_rng(seed)
+        self.rounds_triggered = 0
+        self.receptions_jammed = 0
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+        self.rounds_triggered = 0
+        self.receptions_jammed = 0
+
+    def attack(self, round_index, transmissions, received):
+        if self.prob <= 0.0 or len(transmissions) < self.sense_threshold:
+            return received, 0, 0
+        self.rounds_triggered += 1
+        if not received:
+            return received, 0, 0
+        surviving: Dict[int, object] = {}
+        jammed = 0
+        for receiver in sorted(received):
+            if self._rng.random() < self.prob:
+                jammed += 1
+            else:
+                surviving[receiver] = received[receiver]
+        self.receptions_jammed += jammed
+        return surviving, jammed, 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "reactive_rounds_triggered": self.rounds_triggered,
+            "reactive_receptions_jammed": self.receptions_jammed,
+        }
+
+
+class BudgetedJammer(Adversary):
+    """A ``t``-bounded jammer: at most ``budget`` fully-jammed rounds.
+
+    Spends the budget adaptively: it tracks an exponentially-weighted
+    moving average of channel activity and jams a round (erasing *every*
+    reception) only when the current transmitter count is at least the
+    larger of ``min_transmitters`` and the moving average — i.e. the
+    busiest rounds it has seen, which under the pipeline are the layers
+    carrying the most concurrent groups.
+
+    Deterministic: the same execution always burns the budget on the
+    same rounds.
+    """
+
+    name = "budgeted"
+
+    def __init__(self, budget: int, min_transmitters: int = 2,
+                 ewma_alpha: float = 0.1, seed: SeedLike = None):
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        if min_transmitters < 1:
+            raise ValueError("min_transmitters must be >= 1")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.budget = int(budget)
+        self.min_transmitters = int(min_transmitters)
+        self.ewma_alpha = float(ewma_alpha)
+        self.remaining = int(budget)
+        self._activity = 0.0
+        self.rounds_jammed = 0
+        self.receptions_jammed = 0
+
+    def reset(self) -> None:
+        self.remaining = self.budget
+        self._activity = 0.0
+        self.rounds_jammed = 0
+        self.receptions_jammed = 0
+
+    def attack(self, round_index, transmissions, received):
+        count = len(transmissions)
+        threshold = max(float(self.min_transmitters), self._activity)
+        jam = (self.remaining > 0 and count >= threshold and count > 0)
+        self._activity += self.ewma_alpha * (count - self._activity)
+        if not jam:
+            return received, 0, 0
+        self.remaining -= 1
+        self.rounds_jammed += 1
+        jammed = len(received)
+        self.receptions_jammed += jammed
+        return {}, jammed, 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "budget_rounds_jammed": self.rounds_jammed,
+            "budget_receptions_jammed": self.receptions_jammed,
+            "budget_remaining": self.remaining,
+        }
+
+
+class CorruptionChannel(Adversary):
+    """Flip bits in Stage-4 payloads / coefficient vectors.
+
+    Each delivered reception carrying a recognized dissemination wire
+    message is corrupted independently with probability ``rate``: one
+    uniformly chosen bit of either the coefficient vector (the subset
+    mask / packet index header) or the payload is flipped.  The
+    checksum field, when present, is carried through unmodified — the
+    adversary cannot forge tags without the integrity key.
+
+    Messages of other stages (election probes, BFS tokens, collection
+    control traffic) pass through untouched; this adversary targets the
+    coding layer specifically.
+    """
+
+    name = "corruption"
+
+    def __init__(self, rate: float, seed: SeedLike = None,
+                 payload_bits: int = 16):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("corruption rate must be in [0, 1]")
+        if payload_bits < 1:
+            raise ValueError("payload_bits must be >= 1")
+        self.rate = float(rate)
+        self.payload_bits = int(payload_bits)
+        self._seed = seed
+        self._rng = make_rng(seed)
+        self.receptions_corrupted = 0
+
+    def reset(self) -> None:
+        self._rng = make_rng(self._seed)
+        self.receptions_corrupted = 0
+
+    # -- wire-format surgery -------------------------------------------
+
+    def _corrupt_message(self, msg: Tuple) -> Tuple:
+        kind = msg[0]
+        parts: List[object] = list(msg)
+        if kind == "coded":
+            _, _, mask, payload, gs = msg[:5]
+            # flip a coefficient bit or a payload bit, uniformly over
+            # the combined width
+            pbits = max(self.payload_bits, max(1, int(payload).bit_length()))
+            pos = int(self._rng.integers(0, gs + pbits))
+            if pos < gs:
+                parts[2] = int(mask) ^ (1 << pos)
+            else:
+                parts[3] = int(payload) ^ (1 << (pos - gs))
+        else:  # plain
+            _, _, idx, payload, gs = msg[:5]
+            pbits = max(self.payload_bits, max(1, int(payload).bit_length()))
+            pos = int(self._rng.integers(0, gs + pbits))
+            if pos < gs:
+                # corrupt the index header: the receiver files the
+                # payload under the wrong packet slot
+                idx_bits = max(1, (gs - 1).bit_length())
+                parts[2] = int(idx) ^ (1 << (pos % idx_bits))
+            else:
+                parts[3] = int(payload) ^ (1 << (pos - gs))
+        return tuple(parts)
+
+    def attack(self, round_index, transmissions, received):
+        if self.rate <= 0.0 or not received:
+            return received, 0, 0
+        surviving: Dict[int, object] = {}
+        corrupted = 0
+        for receiver in sorted(received):
+            msg = received[receiver]
+            eligible = (
+                isinstance(msg, tuple) and len(msg) >= 5
+                and msg[0] in _STAGE4_KINDS
+            )
+            if eligible and self._rng.random() < self.rate:
+                surviving[receiver] = self._corrupt_message(msg)
+                corrupted += 1
+            else:
+                surviving[receiver] = msg
+        self.receptions_corrupted += corrupted
+        return surviving, 0, corrupted
+
+    def stats(self) -> Dict[str, int]:
+        return {"receptions_corrupted": self.receptions_corrupted}
+
+
+class AdversaryStack(Adversary):
+    """Apply several adversaries in order (jam first, then corrupt)."""
+
+    name = "stack"
+
+    def __init__(self, adversaries: List[Adversary]):
+        self.adversaries = list(adversaries)
+
+    def reset(self) -> None:
+        for adversary in self.adversaries:
+            adversary.reset()
+
+    def attack(self, round_index, transmissions, received):
+        jammed_total = 0
+        corrupted_total = 0
+        for adversary in self.adversaries:
+            received, jammed, corrupted = adversary.attack(
+                round_index, transmissions, received
+            )
+            jammed_total += jammed
+            corrupted_total += corrupted
+        return received, jammed_total, corrupted_total
+
+    def stats(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for adversary in self.adversaries:
+            out.update(adversary.stats())
+        return out

@@ -11,7 +11,11 @@ SINR, and erasure semantics are all preserved — and applies the
   and contributes interference (the signal is in the air; the link is
   merely too degraded to decode);
 - receptions at nodes inside an active **jam window** are dropped with
-  the window's probability (seeded).
+  the window's probability (seeded);
+- an optional **active adversary** (:mod:`repro.resilience.adversary`)
+  then senses the surviving round and jams or corrupts receptions —
+  reactive/budgeted jamming removes them, the corruption channel
+  delivers them with flipped bits for the integrity layer to catch.
 
 Time is the clock: every ``resolve_round`` call advances it by one round,
 and engines/supervisors that charge rounds without simulating them
@@ -48,6 +52,10 @@ class DynamicFaultNetwork:
     trace:
         Optional :class:`RoundTrace`; suppressed transmissions and
         receptions are reported to it via ``observe_faults``.
+    adversary:
+        Optional :class:`repro.resilience.adversary.Adversary` applied
+        after the schedule's own drops.  It carries its own seeded RNG,
+        so attaching one never perturbs the protocol's random stream.
     """
 
     def __init__(
@@ -56,11 +64,13 @@ class DynamicFaultNetwork:
         schedule: Optional[FaultSchedule] = None,
         seed: SeedLike = None,
         trace: Optional[RoundTrace] = None,
+        adversary=None,
     ):
         self._base = base
         self.schedule = schedule or FaultSchedule()
         self.schedule.validate(base.n)
         self.trace = trace
+        self.adversary = adversary
         self._jam_rng = make_rng(seed)
 
         self.clock = 0
@@ -74,6 +84,8 @@ class DynamicFaultNetwork:
         self.rx_suppressed_dead = 0
         self.rx_suppressed_link = 0
         self.rx_suppressed_jam = 0
+        self.rx_jammed_adversary = 0
+        self.rx_corrupted = 0
         self.crash_count = 0
         self.recover_count = 0
         self.events_applied: List[Tuple[int, str, object]] = []
@@ -166,15 +178,20 @@ class DynamicFaultNetwork:
 
     def fault_stats(self) -> Dict[str, int]:
         """Exposure counters for degradation reports."""
-        return {
+        stats = {
             "tx_suppressed": self.tx_suppressed,
             "rx_suppressed_dead": self.rx_suppressed_dead,
             "rx_suppressed_link": self.rx_suppressed_link,
             "rx_suppressed_jam": self.rx_suppressed_jam,
+            "rx_jammed_adversary": self.rx_jammed_adversary,
+            "rx_corrupted": self.rx_corrupted,
             "crashes": self.crash_count,
             "recoveries": self.recover_count,
             "currently_dead": len(self.dead),
         }
+        if self.adversary is not None:
+            stats.update(self.adversary.stats())
+        return stats
 
     # ------------------------------------------------------------------
     # The faulted reception rule
@@ -196,12 +213,6 @@ class DynamicFaultNetwork:
             filtered = dict(transmissions)
 
         received = self._base.resolve_round(filtered)
-        if not received:
-            if self.trace is not None:
-                self.trace.observe_faults(
-                    tx_suppressed=len(transmissions) - len(filtered)
-                )
-            return received
 
         surviving: Dict[int, object] = {}
         jams = [
@@ -227,13 +238,26 @@ class DynamicFaultNetwork:
                 continue
             surviving[receiver] = message
 
+        # The active adversary sees the post-crash transmissions (that is
+        # what is on the air) and acts on the receptions that survived
+        # the scheduled faults.  It runs even on reception-free rounds so
+        # its budget/activity state tracks the real channel.
+        rx_adv_jam = rx_corrupt = 0
+        if self.adversary is not None:
+            surviving, rx_adv_jam, rx_corrupt = self.adversary.attack(
+                round_index, filtered, surviving
+            )
+
         self.rx_suppressed_dead += rx_dead
         self.rx_suppressed_link += rx_link
         self.rx_suppressed_jam += rx_jam
+        self.rx_jammed_adversary += rx_adv_jam
+        self.rx_corrupted += rx_corrupt
         if self.trace is not None:
             self.trace.observe_faults(
                 tx_suppressed=len(transmissions) - len(filtered),
-                rx_suppressed=rx_dead + rx_link + rx_jam,
+                rx_suppressed=rx_dead + rx_link + rx_jam + rx_adv_jam,
+                rx_corrupted=rx_corrupt,
             )
         return surviving
 

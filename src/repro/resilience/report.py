@@ -5,15 +5,36 @@ schedule into the flat metric dict the experiment harness understands
 (:func:`repro.experiments.harness.run_trials` / ``aggregate``), and
 :func:`degradation_curve` sweeps a crash-fraction grid into the rows the
 benchmark suite and the ``repro chaos`` CLI render as tables.
+:func:`run_adversarial_trial` / :func:`adversarial_degradation_curve`
+are the same machinery pointed at an *active* adversary (reactive
+jamming plus payload corruption) instead of a crash schedule.
+
+Accounting discipline: every dropped reception lands in exactly one
+bucket.  The fault layer's ``rx_suppressed`` counts erasures (dead /
+link / scheduled jam / adversarial jam); ``rx_corrupted`` counts
+receptions *delivered* with flipped bits, of which
+``corrupt_discarded`` were caught and quarantined by the integrity
+layer — those are receiver-side discards, never double-counted as
+suppressed.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.coding.packets import Packet
 from repro.core.config import AlgorithmParameters
 from repro.radio.network import RadioNetwork
+from repro.radio.rng import SeedLike
+from repro.resilience.adversary import (
+    Adversary,
+    AdversaryStack,
+    BudgetedJammer,
+    CorruptionChannel,
+    ReactiveJammer,
+)
 from repro.resilience.schedule import FaultSchedule, random_crash_schedule
 from repro.resilience.supervisor import (
     SupervisedBroadcast,
@@ -23,8 +44,20 @@ from repro.resilience.supervisor import (
 
 
 def supervised_metrics(result: SupervisedResult) -> Dict[str, float]:
-    """Flatten a :class:`SupervisedResult` for trial aggregation."""
+    """Flatten a :class:`SupervisedResult` for trial aggregation.
+
+    ``rx_suppressed`` + ``corrupt_discarded`` is the total number of
+    receptions the run lost to faults and adversaries; the two terms are
+    disjoint by construction (suppressed receptions never reach the
+    integrity layer).
+    """
     stats = result.fault_stats
+    rx_suppressed = float(
+        stats.get("rx_suppressed_dead", 0)
+        + stats.get("rx_suppressed_link", 0)
+        + stats.get("rx_suppressed_jam", 0)
+        + stats.get("rx_jammed_adversary", 0)
+    )
     return {
         "success": float(result.success),
         "informed_fraction": result.informed_fraction,
@@ -44,11 +77,13 @@ def supervised_metrics(result: SupervisedResult) -> Dict[str, float]:
         "survivors": float(len(result.survivors)),
         "crashes": float(stats.get("crashes", 0)),
         "tx_suppressed": float(stats.get("tx_suppressed", 0)),
-        "rx_suppressed": float(
-            stats.get("rx_suppressed_dead", 0)
-            + stats.get("rx_suppressed_link", 0)
-            + stats.get("rx_suppressed_jam", 0)
-        ),
+        "rx_suppressed": rx_suppressed,
+        "rx_jammed_scheduled": float(stats.get("rx_suppressed_jam", 0)),
+        "rx_jammed_adversary": float(stats.get("rx_jammed_adversary", 0)),
+        "rx_corrupted": float(stats.get("rx_corrupted", 0)),
+        "corrupt_discarded": float(result.corrupt_discarded),
+        "mis_decodes": float(result.mis_decodes),
+        "rx_dropped_total": rx_suppressed + float(result.corrupt_discarded),
     }
 
 
@@ -119,5 +154,103 @@ def degradation_curve(
         stats = aggregate(results)
         curve.append(
             (fraction, {key: s.mean for key, s in stats.items()})
+        )
+    return curve
+
+
+def make_adversary(
+    jam_prob: float = 0.0,
+    corruption_rate: float = 0.0,
+    jam_budget: Optional[int] = None,
+    seed: SeedLike = None,
+) -> Optional[Adversary]:
+    """Build the standard adversary stack from sweep knobs.
+
+    Jammers act before the corruption channel (a jammed reception cannot
+    also be corrupted, keeping the accounting disjoint).  Returns
+    ``None`` when every knob is off, so callers preserve the exact
+    adversary-free RNG stream.
+    """
+    parts: List[Adversary] = []
+    seed_seq = np.random.SeedSequence(
+        seed if isinstance(seed, int) else None
+    )
+    children = seed_seq.spawn(3)
+    if jam_prob > 0.0:
+        parts.append(ReactiveJammer(jam_prob, seed=children[0]))
+    if jam_budget is not None and jam_budget > 0:
+        parts.append(BudgetedJammer(jam_budget, seed=children[1]))
+    if corruption_rate > 0.0:
+        parts.append(CorruptionChannel(corruption_rate, seed=children[2]))
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return AdversaryStack(parts)
+
+
+def run_adversarial_trial(
+    network: RadioNetwork,
+    packets: Sequence[Packet],
+    jam_prob: float,
+    corruption_rate: float,
+    seed: int,
+    jam_budget: Optional[int] = None,
+    params: Optional[AlgorithmParameters] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    schedule: Optional[FaultSchedule] = None,
+) -> Dict[str, float]:
+    """One supervised run under an active adversary (no crashes unless a
+    schedule is given explicitly)."""
+    adversary = make_adversary(
+        jam_prob=jam_prob,
+        corruption_rate=corruption_rate,
+        jam_budget=jam_budget,
+        seed=seed,
+    )
+    result = SupervisedBroadcast(
+        network,
+        schedule=schedule or FaultSchedule(),
+        params=params,
+        policy=policy,
+        seed=seed,
+        adversary=adversary,
+    ).run(packets)
+    return supervised_metrics(result)
+
+
+def adversarial_degradation_curve(
+    make_network: Callable[[], RadioNetwork],
+    make_packets: Callable[[RadioNetwork], Sequence[Packet]],
+    points: Sequence[Tuple[float, float]],
+    trials: int = 3,
+    base_seed: int = 0,
+    params: Optional[AlgorithmParameters] = None,
+    policy: Optional[SupervisionPolicy] = None,
+) -> List[Tuple[Tuple[float, float], Dict[str, float]]]:
+    """Sweep ``(jam_prob, corruption_rate)`` points; mean metrics each.
+
+    Returns ``[((jam_prob, corruption_rate), mean_metric_dict), ...]`` —
+    the degradation curve the R2 benchmark renders.
+    """
+    from repro.experiments.harness import aggregate, run_trials
+
+    curve: List[Tuple[Tuple[float, float], Dict[str, float]]] = []
+    for jam_prob, corruption_rate in points:
+        network = make_network()
+        packets = make_packets(network)
+
+        def trial(seed: int, _jp=jam_prob, _cr=corruption_rate,
+                  _net=network, _pkts=packets):
+            return run_adversarial_trial(
+                _net, _pkts, _jp, _cr, seed,
+                params=params, policy=policy,
+            )
+
+        results = run_trials(trial, trials, base_seed=base_seed)
+        stats = aggregate(results)
+        curve.append(
+            ((jam_prob, corruption_rate),
+             {key: s.mean for key, s in stats.items()})
         )
     return curve

@@ -189,7 +189,24 @@ class FaultSchedule:
         ]
 
     def validate(self, n: int) -> None:
-        """Raise if any event references a node outside ``0..n-1``."""
+        """Raise on out-of-range nodes and on internally inconsistent
+        timelines.
+
+        Beyond node-range checks, two structural errors are rejected:
+
+        - **overlapping jam windows on the same node set** — two windows
+          with identical ``nodes`` whose ``[start, stop)`` ranges
+          intersect would double-draw the jam coin for those rounds,
+          silently changing the effective probability;
+        - **events targeting a node after its crash** with no
+          intervening recover (a second crash, or a link event touching
+          a dead endpoint) — such an event can never take effect and
+          always indicates a mis-built schedule.
+
+        Only concretely-timed events are ordered; symbolic
+        (``after_stage``) events have no decidable position and are
+        checked for node range only.
+        """
         for e in self.events:
             ids = (e.node,) if e.edge is None else e.edge
             for v in ids:
@@ -203,6 +220,41 @@ class FaultSchedule:
                     raise ValueError(
                         f"jam window references node {v}, but n={n}"
                     )
+
+        for i, w1 in enumerate(self.jam_windows):
+            for w2 in self.jam_windows[i + 1:]:
+                if (w1.nodes == w2.nodes
+                        and w1.start < w2.stop and w2.start < w1.stop):
+                    raise ValueError(
+                        f"overlapping jam windows on the same node set "
+                        f"{sorted(w1.nodes)}: [{w1.start}, {w1.stop}) and "
+                        f"[{w2.start}, {w2.stop})"
+                    )
+
+        # walk the concrete timeline in application order (sorted by
+        # round, insertion order within a round — exactly how
+        # DynamicFaultNetwork applies them)
+        dead_since: dict = {}
+        for e in self.concrete_events():
+            if e.kind == "crash":
+                if e.node in dead_since:
+                    raise ValueError(
+                        f"node {e.node} crashed at round {e.round} but "
+                        f"already crashed at round {dead_since[e.node]} "
+                        f"with no intervening recover"
+                    )
+                dead_since[e.node] = e.round
+            elif e.kind == "recover":
+                dead_since.pop(e.node, None)
+            else:
+                for v in e.edge:
+                    if v in dead_since:
+                        raise ValueError(
+                            f"{e.kind} event at round {e.round} targets "
+                            f"node {v}, crashed at round "
+                            f"{dead_since[v]} with no intervening "
+                            f"recover"
+                        )
 
 
 def random_crash_schedule(

@@ -19,7 +19,15 @@ static fault-free model never needed:
 - **BFS-tree repair** — when interior tree nodes die, orphaned subtrees
   are re-parented by a short Decay announcement epoch
   (:mod:`repro.resilience.repair`) before collection or dissemination is
-  retried.
+  retried;
+- **detection-driven escalation** — when a dissemination attempt falls
+  short and the evidence points at an active adversary (the hardened
+  decoders quarantined corrupted rows, or the fault layer logged
+  jamming-consistent reception losses during the attempt), the retry
+  re-runs the epoch with exponentially deepened Decay schedules and
+  re-requests the still-undelivered groups through the normal retry
+  path; mis-decoded deliveries (possible only with integrity checks
+  disabled) are never counted as delivered.
 
 Metrics are honest: a packet whose origin dies before any surviving root
 collected it is *lost* (reported, not hidden), and ``informed_fraction``
@@ -238,6 +246,8 @@ class SupervisedResult:
     packets_undelivered: List[int] = field(default_factory=list)
     survivors: List[int] = field(repr=False, default_factory=list)
     fault_stats: Dict[str, int] = field(default_factory=dict)
+    corrupt_discarded: int = 0
+    mis_decodes: int = 0
     timeline: List[Tuple[int, str]] = field(repr=False, default_factory=list)
     trace: Optional[RoundTrace] = field(repr=False, default=None)
 
@@ -262,6 +272,11 @@ class SupervisedBroadcast:
         As in :class:`repro.core.multibroadcast.MultipleMessageBroadcast`.
     policy:
         The :class:`SupervisionPolicy` (watchdog/retry/repair knobs).
+    adversary:
+        Optional :class:`repro.resilience.adversary.Adversary` applied
+        through the fault network (only when ``network`` is not already
+        wrapped).  ``None`` keeps the run bit-identical to the plain
+        engine's RNG stream.
     """
 
     def __init__(
@@ -274,17 +289,19 @@ class SupervisedBroadcast:
         depth_bound: Optional[int] = None,
         keep_trace: bool = False,
         node_ids: Optional[Sequence[int]] = None,
+        adversary=None,
     ):
         if isinstance(network, DynamicFaultNetwork):
-            if schedule is not None:
+            if schedule is not None or adversary is not None:
                 raise ValueError(
-                    "pass the schedule either inside the "
+                    "pass the schedule/adversary either inside the "
                     "DynamicFaultNetwork or separately, not both"
                 )
             self.net = network
         else:
             self.net = DynamicFaultNetwork(
-                network, schedule or FaultSchedule(), seed=seed
+                network, schedule or FaultSchedule(), seed=seed,
+                adversary=adversary,
             )
         self.params = params or AlgorithmParameters()
         self.policy = policy or SupervisionPolicy()
@@ -336,6 +353,8 @@ class SupervisedBroadcast:
         lost: Set[int] = set()
         leader = -1
         reelections = -1  # first election is not a re-election
+        corrupt_discarded_total = 0
+        mis_decodes_total = 0
 
         def note(text: str) -> None:
             timeline.append((self._rounds, text))
@@ -496,6 +515,9 @@ class SupervisedBroadcast:
             for attempt in range(policy.max_stage_retries + 1):
                 if over_budget() or not net.is_alive(leader):
                     break
+                jam_before_collection = (
+                    net.rx_suppressed_jam + net.rx_jammed_adversary
+                )
                 prune_lost(root_holdings)
                 parent, distance = run_repair(parent, distance)
                 attached = attached_set(
@@ -532,13 +554,24 @@ class SupervisedBroadcast:
                 if ok:
                     break
                 if attempt < policy.max_stage_retries:
+                    jam_delta = (
+                        net.rx_suppressed_jam + net.rx_jammed_adversary
+                        - jam_before_collection
+                    )
+                    if jam_delta:
+                        note(
+                            f"collection: jamming-consistent stall "
+                            f"({jam_delta} receptions suppressed); "
+                            f"retrying with escalated budget"
+                        )
                     backoff("collection", attempt + 1)
             net.materialize_stage("collection")
             if not net.is_alive(leader):
                 note("collection: leader crashed; re-electing")
                 continue
 
-            # ---- Stage 4: dissemination (repair + retry) ---------------
+            # ---- Stage 4: dissemination (repair + retry; detection-
+            # driven escalation under jamming/corruption) ---------------
             for attempt in range(policy.max_stage_retries + 1):
                 if over_budget() or not net.is_alive(leader):
                     break
@@ -549,6 +582,9 @@ class SupervisedBroadcast:
                 ]
                 if not to_send:
                     break
+                jam_before = (
+                    net.rx_suppressed_jam + net.rx_jammed_adversary
+                )
                 diss_params = (
                     params if attempt == 0 else params.with_overrides(
                         forward_epochs_factor=(
@@ -566,13 +602,23 @@ class SupervisedBroadcast:
                     rng, trace=self.trace,
                 )
                 charge("dissemination", dissemination.rounds)
+                corrupt_discarded_total += dissemination.corrupted_discarded
+                mis_decodes_total += dissemination.mis_decodes
 
+                # a mis-decoded (node, group) believes it holds the group
+                # but the data is wrong: never count it as delivered
+                bad_holders: Dict[int, Set[int]] = {}
+                for v, j in dissemination.mis_decoded_receivers:
+                    bad_holders.setdefault(j, set()).add(v)
                 width = dissemination.group_width
                 for i, pkt in enumerate(to_send):
                     j = i // width
-                    holders = np.nonzero(
-                        dissemination.has_group[:, j]
-                    )[0]
+                    holders = [
+                        int(v) for v in np.nonzero(
+                            dissemination.has_group[:, j]
+                        )[0]
+                        if int(v) not in bad_holders.get(j, ())
+                    ]
                     knows[holders, pid_col[pkt.pid]] = True
                 delivered_now = [
                     pkt.pid for pkt in to_send
@@ -590,11 +636,41 @@ class SupervisedBroadcast:
                     "dissemination", cycle, attempt,
                     dissemination.rounds, ok,
                     detail=f"delivered={len(delivered_now)}"
-                           f"/{len(to_send)}",
+                           f"/{len(to_send)}, corrupted="
+                           f"{dissemination.corrupted_discarded}, "
+                           f"mis_decodes={dissemination.mis_decodes}",
                 ))
                 if ok:
                     break
                 if attempt < policy.max_stage_retries:
+                    # detection-driven escalation: name the adversary the
+                    # evidence points at before deepening the schedules
+                    jam_delta = (
+                        net.rx_suppressed_jam + net.rx_jammed_adversary
+                        - jam_before
+                    )
+                    depth = policy.budget_escalation ** (attempt + 1)
+                    undelivered_groups = {
+                        i // width for i, pkt in enumerate(to_send)
+                        if pkt.pid in remaining
+                    }
+                    if (dissemination.corrupted_discarded
+                            or dissemination.mis_decodes):
+                        note(
+                            f"dissemination: corruption detected "
+                            f"({dissemination.corrupted_discarded} rows "
+                            f"quarantined, {dissemination.mis_decodes} "
+                            f"mis-decodes); re-requesting "
+                            f"{len(undelivered_groups)} groups with "
+                            f"Decay depth x{depth:.2f}"
+                        )
+                    elif jam_delta:
+                        note(
+                            f"dissemination: jamming-consistent stall "
+                            f"({jam_delta} receptions suppressed); "
+                            f"re-requesting {len(undelivered_groups)} "
+                            f"groups with Decay depth x{depth:.2f}"
+                        )
                     backoff("dissemination", attempt + 1)
             net.materialize_stage("dissemination")
             if not remaining:
@@ -650,6 +726,8 @@ class SupervisedBroadcast:
             packets_undelivered=undelivered,
             survivors=survivors,
             fault_stats=net.fault_stats(),
+            corrupt_discarded=corrupt_discarded_total,
+            mis_decodes=mis_decodes_total,
             timeline=timeline,
             trace=self.trace,
         )

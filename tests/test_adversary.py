@@ -1,0 +1,342 @@
+"""Tests for active adversaries: reactive/budgeted jamming, corruption."""
+
+import pytest
+
+from repro.coding import CodedMessage, packet_checksum, seal_message
+from repro.core import AlgorithmParameters
+from repro.experiments.workloads import uniform_random_placement
+from repro.resilience import (
+    AdversaryStack,
+    BudgetedJammer,
+    CorruptionChannel,
+    DynamicFaultNetwork,
+    ReactiveJammer,
+    SupervisedBroadcast,
+    make_adversary,
+    run_adversarial_trial,
+)
+from repro.topology import grid, line
+
+
+def _coded_msg(gs=4, mask=0b0101, payload=0xABCD, group=0, sealed=True):
+    wire = ("coded", group, mask, payload, gs)
+    if sealed:
+        wire += (packet_checksum(group, mask, payload, gs),)
+    return wire
+
+
+class TestReactiveJammer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactiveJammer(1.5)
+        with pytest.raises(ValueError):
+            ReactiveJammer(0.5, sense_threshold=0)
+
+    def test_idle_channel_never_triggers(self):
+        jammer = ReactiveJammer(1.0, seed=0)
+        surviving, jammed, corrupted = jammer.attack(0, {}, {1: "x"})
+        assert surviving == {1: "x"}
+        assert (jammed, corrupted) == (0, 0)
+        assert jammer.rounds_triggered == 0
+
+    def test_full_prob_jams_everything(self):
+        jammer = ReactiveJammer(1.0, seed=0)
+        received = {1: "a", 2: "b", 3: "c"}
+        surviving, jammed, corrupted = jammer.attack(
+            0, {0: "tx"}, received
+        )
+        assert surviving == {}
+        assert jammed == 3
+        assert corrupted == 0
+        assert jammer.receptions_jammed == 3
+
+    def test_sense_threshold(self):
+        jammer = ReactiveJammer(1.0, sense_threshold=3, seed=0)
+        surviving, jammed, _ = jammer.attack(
+            0, {0: "t", 1: "t"}, {2: "m"}
+        )
+        assert jammed == 0 and surviving == {2: "m"}
+        surviving, jammed, _ = jammer.attack(
+            1, {0: "t", 1: "t", 5: "t"}, {2: "m"}
+        )
+        assert jammed == 1 and surviving == {}
+
+    def test_deterministic_and_reset(self):
+        def run(jammer):
+            jammer.reset()
+            out = []
+            for r in range(50):
+                received = {v: r for v in range(4)}
+                surviving, jammed, _ = jammer.attack(r, {9: "t"}, received)
+                out.append((sorted(surviving), jammed))
+            return out
+
+        a = ReactiveJammer(0.4, seed=7)
+        b = ReactiveJammer(0.4, seed=7)
+        assert run(a) == run(b)
+        assert run(a) == run(a)  # reset restores the stream
+        assert run(ReactiveJammer(0.4, seed=8)) != run(a)
+
+    def test_drop_rate_roughly_proportional(self):
+        jammer = ReactiveJammer(0.3, seed=1)
+        total = jammed_total = 0
+        for r in range(500):
+            received = {v: r for v in range(4)}
+            _, jammed, _ = jammer.attack(r, {9: "t"}, received)
+            total += len(received)
+            jammed_total += jammed
+        rate = jammed_total / total
+        assert 0.2 < rate < 0.4
+
+
+class TestBudgetedJammer:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BudgetedJammer(-1)
+        with pytest.raises(ValueError):
+            BudgetedJammer(5, min_transmitters=0)
+        with pytest.raises(ValueError):
+            BudgetedJammer(5, ewma_alpha=0.0)
+
+    def test_budget_is_spent_and_bounded(self):
+        jammer = BudgetedJammer(3, min_transmitters=2)
+        spent = 0
+        for r in range(100):
+            transmissions = {v: "t" for v in range(5)}  # always busy
+            surviving, jammed, _ = jammer.attack(
+                r, transmissions, {8: "m", 9: "m"}
+            )
+            if jammed:
+                spent += 1
+                assert surviving == {}
+        assert spent == 3
+        assert jammer.remaining == 0
+        assert jammer.stats()["budget_rounds_jammed"] == 3
+
+    def test_quiet_rounds_not_jammed(self):
+        jammer = BudgetedJammer(5, min_transmitters=3)
+        surviving, jammed, _ = jammer.attack(0, {0: "t"}, {1: "m"})
+        assert jammed == 0 and surviving == {1: "m"}
+        assert jammer.remaining == 5
+
+    def test_targets_busiest_rounds(self):
+        # after a stretch of very busy rounds the activity estimate
+        # rises above a lone transmitter, so sparse rounds are spared
+        jammer = BudgetedJammer(100, min_transmitters=1, ewma_alpha=0.5)
+        for r in range(10):
+            jammer.attack(r, {v: "t" for v in range(10)}, {})
+        _, jammed, _ = jammer.attack(10, {0: "t"}, {1: "m"})
+        assert jammed == 0
+
+    def test_reset_restores_budget(self):
+        jammer = BudgetedJammer(1, min_transmitters=1)
+        jammer.attack(0, {0: "t"}, {1: "m"})
+        assert jammer.remaining == 0
+        jammer.reset()
+        assert jammer.remaining == 1
+        assert jammer.rounds_jammed == 0
+
+
+class TestCorruptionChannel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorruptionChannel(-0.1)
+        with pytest.raises(ValueError):
+            CorruptionChannel(0.5, payload_bits=0)
+
+    def test_only_stage4_tuples_touched(self):
+        channel = CorruptionChannel(1.0, seed=0)
+        control = {1: ("probe", 3), 2: "token", 3: ("bfs", 1, 2, 3, 4)}
+        surviving, jammed, corrupted = channel.attack(0, {}, dict(control))
+        assert surviving == control
+        assert (jammed, corrupted) == (0, 0)
+
+    def test_coded_message_gets_one_bit_flip(self):
+        channel = CorruptionChannel(1.0, seed=3)
+        msg = _coded_msg()
+        surviving, _, corrupted = channel.attack(0, {}, {1: msg})
+        assert corrupted == 1
+        out = surviving[1]
+        assert out != msg
+        # exactly one bit differs, in the mask or the payload
+        diff_mask = out[2] ^ msg[2]
+        diff_payload = out[3] ^ msg[3]
+        assert bin(diff_mask | diff_payload).count("1") == 1
+        assert (diff_mask == 0) != (diff_payload == 0)
+
+    def test_checksum_field_never_rewritten(self):
+        channel = CorruptionChannel(1.0, seed=5)
+        for r in range(30):
+            msg = _coded_msg(mask=0b0011 + r % 4, payload=100 + r)
+            surviving, _, _ = channel.attack(r, {}, {1: msg})
+            assert surviving[1][5] == msg[5]
+
+    def test_corrupted_coded_fails_verification(self):
+        channel = CorruptionChannel(1.0, seed=9)
+        for r in range(30):
+            msg = _coded_msg(payload=0x55AA + r)
+            surviving, _, _ = channel.attack(r, {}, {1: msg})
+            _, group, mask, payload, gs, chk = surviving[1]
+            assert packet_checksum(group, mask, payload, gs) != chk
+
+    def test_plain_message_corruption(self):
+        channel = CorruptionChannel(1.0, seed=11)
+        msg = ("plain", 0, 2, 0xF0F0, 4,
+               packet_checksum(0, 1 << 2, 0xF0F0, 4))
+        surviving, _, corrupted = channel.attack(0, {}, {1: msg})
+        assert corrupted == 1
+        out = surviving[1]
+        assert (out[2], out[3]) != (msg[2], msg[3])
+
+    def test_zero_rate_passthrough(self):
+        channel = CorruptionChannel(0.0, seed=0)
+        msg = _coded_msg()
+        surviving, _, corrupted = channel.attack(0, {}, {1: msg})
+        assert surviving == {1: msg}
+        assert corrupted == 0
+
+    def test_deterministic(self):
+        def run(channel):
+            channel.reset()
+            out = []
+            for r in range(40):
+                msg = _coded_msg(payload=r + 1)
+                surviving, _, _ = channel.attack(r, {}, {1: msg})
+                out.append(surviving[1])
+            return out
+
+        assert run(CorruptionChannel(0.5, seed=2)) == \
+            run(CorruptionChannel(0.5, seed=2))
+
+
+class TestAdversaryStack:
+    def test_composes_and_accounts_disjointly(self):
+        stack = AdversaryStack([
+            ReactiveJammer(1.0, seed=0),
+            CorruptionChannel(1.0, seed=1),
+        ])
+        # jammer erases everything first: nothing left to corrupt
+        surviving, jammed, corrupted = stack.attack(
+            0, {9: "t"}, {1: _coded_msg()}
+        )
+        assert surviving == {}
+        assert (jammed, corrupted) == (1, 0)
+        # idle channel: jammer passive, corruption still applies
+        surviving, jammed, corrupted = stack.attack(
+            1, {}, {1: _coded_msg()}
+        )
+        assert (jammed, corrupted) == (0, 1)
+        assert 1 in surviving
+
+    def test_stats_merged(self):
+        stack = AdversaryStack([
+            ReactiveJammer(1.0, seed=0),
+            BudgetedJammer(2),
+        ])
+        stats = stack.stats()
+        assert "reactive_receptions_jammed" in stats
+        assert "budget_remaining" in stats
+
+    def test_reset_cascades(self):
+        jammer = ReactiveJammer(1.0, seed=0)
+        stack = AdversaryStack([jammer])
+        stack.attack(0, {9: "t"}, {1: "m"})
+        stack.reset()
+        assert jammer.receptions_jammed == 0
+
+
+class TestMakeAdversary:
+    def test_all_knobs_off_returns_none(self):
+        assert make_adversary() is None
+        assert make_adversary(jam_prob=0.0, corruption_rate=0.0,
+                              jam_budget=0) is None
+
+    def test_single_knob_returns_bare_adversary(self):
+        adv = make_adversary(jam_prob=0.2, seed=1)
+        assert isinstance(adv, ReactiveJammer)
+        adv = make_adversary(corruption_rate=0.1, seed=1)
+        assert isinstance(adv, CorruptionChannel)
+        adv = make_adversary(jam_budget=5, seed=1)
+        assert isinstance(adv, BudgetedJammer)
+
+    def test_multiple_knobs_stack_in_order(self):
+        adv = make_adversary(jam_prob=0.2, corruption_rate=0.1, seed=1)
+        assert isinstance(adv, AdversaryStack)
+        assert isinstance(adv.adversaries[0], ReactiveJammer)
+        assert isinstance(adv.adversaries[-1], CorruptionChannel)
+
+
+class TestNetworkIntegration:
+    def test_counters_flow_into_fault_stats(self):
+        net = DynamicFaultNetwork(
+            line(4), adversary=ReactiveJammer(1.0, seed=0)
+        )
+        received = net.resolve_round({0: "hello"})
+        assert received == {}
+        stats = net.fault_stats()
+        assert stats["rx_jammed_adversary"] == 1
+        assert stats["reactive_receptions_jammed"] == 1
+
+    def test_corruption_counter(self):
+        msg = _coded_msg()
+        net = DynamicFaultNetwork(
+            line(4), adversary=CorruptionChannel(1.0, seed=0)
+        )
+        received = net.resolve_round({0: msg})
+        assert received[1] != msg
+        assert net.fault_stats()["rx_corrupted"] == 1
+
+    def test_adversary_sees_reception_free_rounds(self):
+        # collision round delivers nothing, but the budgeted jammer's
+        # activity estimate must still advance
+        jammer = BudgetedJammer(5, min_transmitters=1, ewma_alpha=1.0)
+        net = DynamicFaultNetwork(line(4), adversary=jammer)
+        net.resolve_round({0: "a", 2: "b"})  # node 1 hears a collision
+        assert jammer._activity == 2.0
+
+
+class TestSupervisedAdversarialRuns:
+    def test_trial_under_corruption_delivers_everything(self):
+        net = grid(4, 4)
+        packets = uniform_random_placement(net, k=5, seed=1)
+        metrics = run_adversarial_trial(
+            net, packets, jam_prob=0.0, corruption_rate=0.05, seed=0,
+        )
+        assert metrics["success"] == 1.0
+        assert metrics["informed_fraction"] == 1.0
+        assert metrics["mis_decodes"] == 0.0
+        assert metrics["rx_corrupted"] > 0
+        assert metrics["corrupt_discarded"] > 0
+
+    def test_disabled_adversary_reproduces_plain_run(self):
+        # with every knob off the supervised run must be bit-identical
+        # to one with no adversary argument at all
+        net = grid(3, 3)
+        packets = uniform_random_placement(net, k=4, seed=2)
+        base = SupervisedBroadcast(grid(3, 3), seed=5).run(packets)
+        off = SupervisedBroadcast(
+            grid(3, 3), seed=5, adversary=make_adversary()
+        ).run(packets)
+        assert base.total_rounds == off.total_rounds
+        assert base.leader == off.leader
+        assert base.timing == off.timing
+
+    def test_integrity_off_can_misdecode_under_corruption(self):
+        # the ablation that motivates the checksum: with integrity
+        # checks disabled (no tags on the wire), corruption may produce
+        # silent mis-decodes — counted, excluded from delivery, never a
+        # crash.  The keyless structural checks (index range,
+        # rank-consistency) still discard *some* bad rows, just not
+        # reliably enough to prevent mis-decodes.
+        params = AlgorithmParameters(integrity_checks=False)
+        seen_misdecode = False
+        for seed in range(6):
+            net = grid(4, 4)
+            packets = uniform_random_placement(net, k=5, seed=1)
+            metrics = run_adversarial_trial(
+                net, packets, jam_prob=0.0, corruption_rate=0.08,
+                seed=seed, params=params,
+            )
+            if metrics["mis_decodes"] > 0:
+                seen_misdecode = True
+        assert seen_misdecode

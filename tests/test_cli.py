@@ -126,6 +126,57 @@ class TestChaos:
         assert rc in (0, 1)  # terminates honestly either way
         assert "crashes applied" in capsys.readouterr().out
 
+    def test_chaos_json_report(self, capsys):
+        import json
+
+        rc = main(["chaos", "--topology", "grid", "--rows", "4",
+                   "--cols", "4", "--k", "5", "--crash-frac", "0.1",
+                   "--seed", "3", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        report = json.loads(out)
+        for key in ("success", "informed_fraction", "coverage",
+                    "total_rounds", "rx_suppressed", "rx_corrupted",
+                    "corrupt_discarded", "mis_decodes",
+                    "rx_dropped_total", "n", "k"):
+            assert key in report, key
+        assert report["success"] == 1.0
+        assert report["n"] == 16.0
+
+    def test_chaos_json_exit_code_matches_table_mode(self, capsys):
+        args = ["chaos", "--topology", "grid", "--rows", "4", "--cols", "4",
+                "--k", "5", "--crash-frac", "0.1", "--seed", "3"]
+        assert main(args) == main(args + ["--json"])
+        capsys.readouterr()
+
+    def test_chaos_adversary_flags(self, capsys):
+        import json
+
+        rc = main(["chaos", "--topology", "grid", "--rows", "4",
+                   "--cols", "4", "--k", "4", "--crash-frac", "0.0",
+                   "--jam-prob", "0.1", "--corrupt-rate", "0.05",
+                   "--seed", "3", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        # the adversary actually touched the channel, and every
+        # corrupted packet was caught (no mis-decodes)
+        assert report["rx_jammed_adversary"] > 0
+        assert report["rx_corrupted"] > 0
+        assert report["corrupt_discarded"] > 0
+        assert report["mis_decodes"] == 0.0
+        assert report["rx_dropped_total"] == (
+            report["rx_suppressed"] + report["corrupt_discarded"]
+        )
+
+    def test_chaos_adversary_table_mode(self, capsys):
+        rc = main(["chaos", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--k", "3", "--crash-frac", "0.0",
+                   "--corrupt-rate", "0.05", "--seed", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rx corrupted / discarded" in out
+        assert "mis-decodes" in out
+
 
 class TestTraceOption:
     def test_trace_report_written(self, capsys, tmp_path):

@@ -146,3 +146,88 @@ class TestRandomBinaryMatrix:
         a = random_binary_matrix(6, 6, seed=9)
         b = random_binary_matrix(6, 6, seed=9)
         assert (a == b).all()
+
+
+class TestSeededRoundTripInvariants:
+    """Seeded property sweeps tying rref, rank, and solve together.
+
+    Unlike the hypothesis-driven tests above, these iterate a fixed
+    range of seeds (120 each) so the exact same matrices are checked on
+    every run — the reproducibility contract of the coding layer.
+    """
+
+    def test_rref_rank_agreement_across_seeds(self):
+        for seed in range(120):
+            rng = np.random.default_rng(seed)
+            rows_n = int(rng.integers(1, 12))
+            width = int(rng.integers(1, 12))
+            m = random_binary_matrix(rows_n, width, seed=rng)
+            packed = pack_rows(m)
+            basis, pivots = gf2_rref(packed, width)
+            # rref size == rank, pivots strictly ascending and in range
+            assert len(basis) == gf2_rank(packed), seed
+            assert pivots == sorted(set(pivots)), seed
+            assert all(0 <= p < width for p in pivots), seed
+            # each reduced row has its pivot and no other pivot bits
+            for row, pivot in zip(basis, pivots):
+                assert row & (1 << pivot), seed
+                for other in pivots:
+                    if other != pivot:
+                        assert not row & (1 << other), seed
+            # rref preserves the row space: every original row reduces
+            # to zero against the basis
+            for row in packed:
+                for b in basis:
+                    if row & (b & -b):
+                        row ^= b
+                assert row == 0, seed
+
+    def test_solve_roundtrip_across_seeds(self):
+        for seed in range(120):
+            rng = np.random.default_rng(10_000 + seed)
+            width = int(rng.integers(1, 10))
+            payloads = [int(rng.integers(0, 1 << 16)) for _ in range(width)]
+            rows, data = [], []
+            while gf2_rank(rows) < width:
+                mask = int(rng.integers(1, 1 << width))
+                xor = 0
+                for j in range(width):
+                    if (mask >> j) & 1:
+                        xor ^= payloads[j]
+                rows.append(mask)
+                data.append(xor)
+            assert gf2_solve(rows, data, width) == payloads, seed
+
+    def test_corrupt_one_row_detected_or_underdetermined(self):
+        """Flip one payload bit in a redundant consistent system: solve
+        must either raise (inconsistency exposed by redundancy) — never
+        silently return wrong payloads for the *full-rank redundant*
+        system it was given."""
+        detected = 0
+        for seed in range(120):
+            rng = np.random.default_rng(20_000 + seed)
+            width = int(rng.integers(2, 8))
+            payloads = [int(rng.integers(0, 1 << 16)) for _ in range(width)]
+            rows, data = [], []
+            # full rank plus 3 redundant rows
+            while gf2_rank(rows) < width or len(rows) < width + 3:
+                mask = int(rng.integers(1, 1 << width))
+                xor = 0
+                for j in range(width):
+                    if (mask >> j) & 1:
+                        xor ^= payloads[j]
+                rows.append(mask)
+                data.append(xor)
+            victim = int(rng.integers(0, len(rows)))
+            data[victim] ^= 1 << int(rng.integers(0, 16))
+            try:
+                solution = gf2_solve(rows, data, width)
+            except ValueError:
+                detected += 1
+                continue
+            # not detected: the corrupt row happened to be absorbed
+            # into the basis first — the answer is wrong, which is
+            # exactly the hole the keyed checksum layer closes
+            assert solution != payloads, seed
+        # redundancy catches the flip most of the time
+        assert detected >= 60

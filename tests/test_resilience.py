@@ -80,6 +80,56 @@ class TestFaultSchedule:
         with pytest.raises(ValueError):
             schedule.validate(5)
 
+    def test_validate_rejects_overlapping_jam_windows_same_nodes(self):
+        schedule = (FaultSchedule()
+                    .jam([0, 1], start=10, stop=30)
+                    .jam([1, 0], start=25, stop=40))
+        with pytest.raises(ValueError, match="overlapping jam windows"):
+            schedule.validate(5)
+
+    def test_validate_allows_disjoint_or_different_node_jams(self):
+        # same nodes, back-to-back windows (stop is exclusive): fine
+        (FaultSchedule()
+         .jam([0, 1], start=10, stop=30)
+         .jam([0, 1], start=30, stop=40)).validate(5)
+        # overlapping rounds but different node sets: fine
+        (FaultSchedule()
+         .jam([0, 1], start=10, stop=30)
+         .jam([0, 2], start=20, stop=40)).validate(5)
+
+    def test_validate_rejects_double_crash(self):
+        schedule = (FaultSchedule()
+                    .crash(3, at_round=10)
+                    .crash(3, at_round=50))
+        with pytest.raises(ValueError, match="already crashed"):
+            schedule.validate(5)
+
+    def test_validate_allows_crash_recover_crash(self):
+        (FaultSchedule()
+         .crash(3, at_round=10)
+         .recover(3, at_round=20)
+         .crash(3, at_round=50)).validate(5)
+
+    def test_validate_rejects_link_event_on_dead_node(self):
+        schedule = (FaultSchedule()
+                    .crash(2, at_round=10)
+                    .link_down((2, 3), at_round=20))
+        with pytest.raises(ValueError, match="crashed at round 10"):
+            schedule.validate(5)
+        # after a recover the link event is fine again
+        (FaultSchedule()
+         .crash(2, at_round=10)
+         .recover(2, at_round=15)
+         .link_down((2, 3), at_round=20)).validate(5)
+
+    def test_validate_symbolic_events_not_ordered(self):
+        # symbolic timing has no decidable position: two after-stage
+        # crashes of the same node are not rejected (only node range is
+        # checked for them)
+        (FaultSchedule()
+         .crash(1, after_stage="bfs")
+         .crash(1, after_stage="collection")).validate(5)
+
     def test_random_crash_schedule_fraction_and_exclude(self):
         schedule = random_crash_schedule(
             20, 0.25, seed=1, at_round=10, exclude={0, 1}
