@@ -1,0 +1,160 @@
+"""R3 — recovery from Byzantine insiders (beyond the paper).
+
+R1 removed capacity (crashes) and R2 turned the channel hostile
+(jamming, bit flips); both kept every *node* honest.  This experiment
+hands 10% of the nodes to an insider adversary: they keep running the
+protocol while lying in one of five ways (forged election claims,
+forged ACKs, withheld ACKs, BFS layer misreports, checksum-valid
+poisoned coded rows — see :mod:`repro.resilience.byzantine`).
+
+The honest majority runs the *authenticated* protocol: per-node keyed
+tags on packets, ACKs, and coded-row provenance let an honest receiver
+attribute provably bad traffic to its signer (blacklisting), while the
+supervisor's quorum path audit routes around silent black holes that
+leave no cryptographic evidence.  The headline guarantees measured
+here, per mode and topology:
+
+  - every honest node receives every packet from an honest origin
+    (success, informed fraction 1.0, zero honest-origin losses);
+  - zero mis-decodes — poisoned rows never reach Gaussian elimination;
+  - zero forged ACKs counted as collected — a forged ACK is rejected
+    at the origin, so the packet stays unacked and is re-gathered;
+  - zero mis-attributions — no honest node is ever blacklisted.
+"""
+
+from _common import emit_table
+from repro.experiments.workloads import uniform_random_placement
+from repro.resilience import (
+    BYZANTINE_MODES,
+    SupervisionPolicy,
+    run_byzantine_trial,
+)
+from repro.topology import grid, random_geometric
+
+#: Insider black holes need the same escalation headroom the R2 jammer
+#: does: each retry re-repairs the tree around newly suspected relays.
+POLICY = SupervisionPolicy(max_stage_retries=4)
+
+#: The measured insider fraction (plus the honest baseline column).
+FRACTION = 0.10
+
+#: (fraction, mode) sweep — a fault-free baseline, then every behavior
+#: mode at the measured fraction.
+POINTS = [(0.0, "row_poison")] + [
+    (FRACTION, mode) for mode in BYZANTINE_MODES
+]
+
+KEYS = (
+    "success", "informed_fraction", "coverage", "total_rounds",
+    "retries", "byzantine_nodes", "rx_swallowed_byzantine",
+    "byzantine_rx_discarded", "forged_acks_rejected",
+    "poisoned_rows_attributed", "blacklisted", "suspected",
+    "mis_attributions", "mis_decodes", "lost_honest_origin",
+    "watchdog_tripped",
+)
+
+
+def _sweep(make_network, k, trials):
+    rows = []
+    outcomes = {}
+    for fraction, mode in POINTS:
+        acc = {key: 0.0 for key in KEYS}
+        for seed in range(trials):
+            net = make_network()
+            packets = uniform_random_placement(net, k=k, seed=1)
+            m = run_byzantine_trial(
+                net, packets, fraction, mode, seed=seed, policy=POLICY,
+            )
+            for key in acc:
+                acc[key] += m[key]
+        mean = {key: value / trials for key, value in acc.items()}
+        rows.append([
+            "honest" if fraction == 0.0 else mode,
+            f"{fraction:.2f}",
+            f"{int(acc['success'])}/{trials}",
+            f"{mean['informed_fraction']:.3f}",
+            f"{mean['byzantine_rx_discarded']:.0f}",
+            f"{mean['forged_acks_rejected']:.0f}",
+            f"{mean['poisoned_rows_attributed']:.0f}",
+            f"{mean['blacklisted']:.1f}",
+            f"{mean['suspected']:.1f}",
+            f"{mean['mis_attributions']:.0f}",
+            f"{mean['retries']:.1f}",
+            f"{mean['total_rounds']:.0f}",
+        ])
+        outcomes[(fraction, mode)] = mean
+    return rows, outcomes
+
+
+def run_sweep():
+    trials = 3
+    grid_rows, grid_out = _sweep(lambda: grid(4, 4), k=10, trials=trials)
+    rgg_rows, rgg_out = _sweep(
+        lambda: random_geometric(20, seed=3), k=10, trials=trials
+    )
+    return grid_rows, grid_out, rgg_rows, rgg_out, trials
+
+
+def _check(outcomes, trials, label):
+    # no insiders: the authenticated run is the fault-free run —
+    # nothing discarded, nobody blacklisted, no retries
+    clean = outcomes[(0.0, "row_poison")]
+    assert clean["success"] == 1.0, (label, clean)
+    assert clean["byzantine_rx_discarded"] == 0.0, (label, clean)
+    assert clean["blacklisted"] == 0.0, (label, clean)
+    assert clean["suspected"] == 0.0, (label, clean)
+    assert clean["retries"] == 0.0, (label, clean)
+    for point, mean in outcomes.items():
+        # the headline guarantees, at every point and in every mode
+        assert mean["success"] == 1.0, (label, point, mean)
+        assert mean["informed_fraction"] == 1.0, (label, point, mean)
+        assert mean["lost_honest_origin"] == 0.0, (label, point, mean)
+        assert mean["mis_decodes"] == 0.0, (label, point, mean)
+        assert mean["mis_attributions"] == 0.0, (label, point, mean)
+        assert mean["watchdog_tripped"] == 0.0, (label, point, mean)
+
+
+def _check_engagement(grid_out, rgg_out):
+    # the attacks actually fired and the defenses actually engaged
+    # somewhere in the experiment (whether a given insider draw lands on
+    # a relay path depends on the topology, so sum over both sweeps)
+    def total(mode, key):
+        return (grid_out[(FRACTION, mode)][key]
+                + rgg_out[(FRACTION, mode)][key])
+
+    assert total("ack_forge", "forged_acks_rejected") > 0.0
+    assert total("ack_withhold", "rx_swallowed_byzantine") > 0.0
+    assert total("row_poison", "poisoned_rows_attributed") > 0.0
+    assert total("id_inflation", "blacklisted") > 0.0
+
+
+def test_r3_byzantine(benchmark):
+    grid_rows, grid_out, rgg_rows, rgg_out, trials = benchmark.pedantic(
+        run_sweep, rounds=1, iterations=1
+    )
+    header = ["mode", "frac", "success", "informed", "discarded",
+              "forged-acks", "poisoned", "blacklisted", "suspected",
+              "mis-attr", "retries", "rounds"]
+    emit_table(
+        "r3_byzantine_grid",
+        header, grid_rows,
+        title="R3: authenticated broadcast vs 10% Byzantine insiders "
+              "(grid 4x4, k=10)",
+        notes="Per-node authentication converts every attributable "
+              "attack into a blacklist entry (mis-attributions stay 0) "
+              "and the quorum path audit routes around silent black "
+              "holes; every honest node receives every honest-origin "
+              "packet in every mode.",
+    )
+    emit_table(
+        "r3_byzantine_rgg",
+        header, rgg_rows,
+        title="R3: authenticated broadcast vs 10% Byzantine insiders "
+              "(RGG n=20, k=10)",
+        notes="Same guarantees on an irregular topology: full delivery "
+              "to honest nodes, zero mis-decodes, zero forged ACKs "
+              "counted as collected, zero honest nodes blacklisted.",
+    )
+    _check(grid_out, trials, "grid")
+    _check(rgg_out, trials, "rgg")
+    _check_engagement(grid_out, rgg_out)

@@ -24,6 +24,8 @@ Examples
     python -m repro info --topology tree --branching 3 --depth 4
     python -m repro chaos --topology grid --rows 5 --cols 5 --k 10 \\
         --crash-frac 0.1
+    python -m repro chaos --topology grid --rows 5 --cols 5 --k 10 \\
+        --crash-frac 0 --byzantine-frac 0.1 --byzantine-mode ack_forge
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from repro.experiments.workloads import (
 )
 from repro.radio.network import RadioNetwork
 from repro.radio.rng import make_rng
+from repro.resilience.byzantine import BYZANTINE_MODES
 from repro.topology import (
     balanced_tree,
     clique,
@@ -243,6 +246,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.resilience import (
         SupervisedBroadcast,
         make_adversary,
+        random_byzantine_set,
         random_crash_schedule,
         supervised_metrics,
     )
@@ -270,10 +274,24 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         jam_budget=args.jam_budget,
         seed=args.seed,
     )
+    byzantine = None
+    if args.byzantine_frac > 0.0:
+        # a node cannot both crash and equivocate (schedule.validate
+        # rejects the overlap), and the expected leader stays honest —
+        # leader capture is the no-auth id_inflation scenario, not the
+        # default sweep
+        byzantine = random_byzantine_set(
+            network.n, args.byzantine_frac, args.byzantine_mode,
+            seed=args.seed,
+            exclude=exclude | schedule.crashed_ever,
+        )
+        if byzantine is not None:
+            # insiders force the hardened configuration on
+            params = params.with_overrides(authentication=True)
 
     result = SupervisedBroadcast(
         network, schedule=schedule, params=params, seed=args.seed,
-        adversary=adversary,
+        adversary=adversary, byzantine=byzantine,
     ).run(packets)
 
     if args.json:
@@ -285,6 +303,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         report["crash_frac"] = float(args.crash_frac)
         report["jam_prob"] = float(args.jam_prob)
         report["corrupt_rate"] = float(args.corrupt_rate)
+        report["byzantine_frac"] = float(args.byzantine_frac)
+        report["byzantine_mode"] = args.byzantine_mode
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0 if result.success else 1
 
@@ -319,6 +339,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         ["mis-decodes", result.mis_decodes],
         ["success", "yes" if result.success else "NO"],
     ]
+    if byzantine is not None:
+        rows[-1:-1] = [
+            ["byzantine insiders",
+             f"{stats.get('byzantine_nodes', 0)} ({args.byzantine_mode})"],
+            ["blacklisted / suspected",
+             f"{len(result.blacklisted)}/{len(result.suspected)}"],
+            ["rx discarded (auth gate)", result.byzantine_rx_discarded],
+            ["forged acks rejected", result.forged_acks_rejected],
+            ["poisoned rows attributed", result.poisoned_rows_attributed],
+            ["mis-attributions", result.mis_attributions],
+        ]
     print(render_table(
         ["metric", "value"], rows,
         title=f"Supervised broadcast on {network.name} "
@@ -404,6 +435,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     chaos.add_argument("--jam-budget", type=int, default=None,
                        help="budgeted jammer: total rounds it may "
                             "fully jam, spent on the busiest rounds")
+    chaos.add_argument("--byzantine-frac", type=float, default=0.0,
+                       help="fraction of eligible nodes running a "
+                            "Byzantine behavior mode (authentication "
+                            "is forced on when > 0)")
+    chaos.add_argument("--byzantine-mode", default="row_poison",
+                       choices=list(BYZANTINE_MODES),
+                       help="which insider behavior the Byzantine "
+                            "nodes run")
     chaos.add_argument("--json", action="store_true",
                        help="emit the degradation report as JSON "
                             "instead of a table (exit codes unchanged)")

@@ -23,6 +23,17 @@ plaintexts.  This module closes that hole:
 A plain packet is checksummed as the unit coefficient vector
 ``e_idx`` — the degenerate coded message — so one tag scheme covers both
 wire formats of the dissemination stage.
+
+The shared checksum stops an *outside* adversary but not an insider who
+knows the key.  The authentication layer below closes that hole with
+per-node keys derived from a master key: every node signs what it
+transmits (hop tags) and content-originating nodes sign what only they
+could have produced (origin tags on packets, root tags on ACKs and
+dissemination rows).  A Byzantine node can still sign garbage with its
+*own* key — but then the hop tag verifies while the inner tag does not,
+which is exactly the evidence honest receivers need to attribute the
+bad traffic to the sender and blacklist it.  All tags are deterministic
+functions of their inputs: enabling authentication never consumes RNG.
 """
 
 from __future__ import annotations
@@ -37,6 +48,13 @@ DEFAULT_INTEGRITY_KEY = 0x9E3779B97F4A7C15
 
 #: Width of the checksum tag in bits.
 CHECKSUM_BITS = 32
+
+#: Default master key for per-node authentication.  Per-node keys are
+#: derived from it; an insider knows only its *own* derived key.
+DEFAULT_AUTH_MASTER_KEY = 0xD1B54A32D192ED03
+
+#: Width of an authentication tag in bits.
+AUTH_TAG_BITS = 48
 
 _MASK64 = (1 << 64) - 1
 
@@ -105,6 +123,98 @@ def verify_message(message: CodedMessage,
     )
 
 
+# -- per-node authentication ------------------------------------------
+
+
+def node_auth_key(node: int, master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Derive node ``node``'s signing key from the master key.
+
+    Models a pre-shared-key deployment: the dealer derives one key per
+    node before the protocol starts, so a Byzantine node learns its own
+    key and nothing else.
+    """
+    return _mix(_mix(master & _MASK64, 0x6E6F6465), node)
+
+
+def auth_tag(sender: int, fields, master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """MAC over ``fields`` under ``sender``'s derived key.
+
+    ``fields`` is a flat sequence of ints and short strings; strings are
+    folded little-endian so distinct domain labels ("pkt", "ack", ...)
+    cannot collide with numeric fields.
+    """
+    h = node_auth_key(sender, master)
+    for f in fields:
+        if isinstance(f, str):
+            h = _mix(h, int.from_bytes(f.encode(), "little"))
+        else:
+            h = _mix(h, f)
+    return h & ((1 << AUTH_TAG_BITS) - 1)
+
+
+def verify_auth_tag(tag, sender: int, fields,
+                    master: int = DEFAULT_AUTH_MASTER_KEY) -> bool:
+    """True iff ``tag`` is ``sender``'s MAC over ``fields``."""
+    return isinstance(tag, int) and tag == auth_tag(sender, fields, master)
+
+
+# Shared wire-tag constructors: both the honest protocol code and the
+# Byzantine behavior models build tags through these, so the wire format
+# is defined in exactly one place.
+
+def packet_origin_tag(origin: int, pid: int,
+                      master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Origin's signature on packet ``pid`` — carried by every relay."""
+    return auth_tag(origin, ("p3", pid), master)
+
+
+def ack_root_tag(root: int, pid: int,
+                 master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Root's signature on the ACK for ``pid`` — only the root can mint."""
+    return auth_tag(root, ("a3", pid), master)
+
+
+def collection_hop_tag(sender: int, kind: str, pid: int, dest: int,
+                       inner: int,
+                       master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Transmitting hop's signature on a collection unicast."""
+    return auth_tag(sender, (kind, pid, dest, inner), master)
+
+
+def plain_root_tag(root: int, group_id: int, index: int, payload: int,
+                   master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Root's signature on an uncoded dissemination payload."""
+    return auth_tag(root, ("g4", group_id, index, payload), master)
+
+
+def plain_hop_tag(sender: int, group_id: int, index: int, payload: int,
+                  group_size: int, checksum: int, root_tag: int,
+                  master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Transmitting hop's signature on an uncoded dissemination packet."""
+    return auth_tag(
+        sender,
+        ("p4", group_id, index, payload, group_size, checksum, root_tag),
+        master,
+    )
+
+
+def coded_hop_tag(sender: int, group_id: int, subset_mask: int,
+                  payload: int, group_size: int, checksum: int,
+                  master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
+    """Transmitting hop's signature on a coded dissemination row.
+
+    Coded rows are re-combined at every hop, so there is no end-to-end
+    tag to carry; provenance is per-hop and bad rows are attributed to
+    the hop that signed them (the homomorphic-MAC span check in the
+    dissemination stage supplies the validity evidence).
+    """
+    return auth_tag(
+        sender,
+        ("c4", group_id, subset_mask, payload, group_size, checksum),
+        master,
+    )
+
+
 @dataclass(frozen=True)
 class QuarantinedRow:
     """A rejected row, kept for diagnostics and re-request decisions."""
@@ -112,6 +222,7 @@ class QuarantinedRow:
     subset_mask: int
     payload: int
     reason: str  # "checksum" | "width" | "inconsistent"
+    sender: Optional[int] = None
 
 
 @dataclass
@@ -189,8 +300,15 @@ class HardenedGroupDecoder:
 
     # -- absorption ----------------------------------------------------
 
-    def _quarantine(self, mask: int, payload: int, reason: str) -> None:
-        self.quarantined.append(QuarantinedRow(mask, payload, reason))
+    @property
+    def attributed_senders(self):
+        """Senders of quarantined rows that carried hop provenance."""
+        return sorted({row.sender for row in self.quarantined
+                       if row.sender is not None})
+
+    def _quarantine(self, mask: int, payload: int, reason: str,
+                    sender: Optional[int] = None) -> None:
+        self.quarantined.append(QuarantinedRow(mask, payload, reason, sender))
         if reason == "checksum":
             self.checksum_rejections += 1
         elif reason == "width":
@@ -198,7 +316,8 @@ class HardenedGroupDecoder:
         else:
             self.inconsistent_rows += 1
 
-    def absorb(self, message: CodedMessage) -> bool:
+    def absorb(self, message: CodedMessage,
+               sender: Optional[int] = None) -> bool:
         """Verify and (if clean) add one coded message.
 
         Returns True iff the row was innovative.  Corrupted rows are
@@ -219,15 +338,15 @@ class HardenedGroupDecoder:
         payload = message.payload
         if message.checksum is not None:
             if not verify_message(message, self.key):
-                self._quarantine(row, payload, "checksum")
+                self._quarantine(row, payload, "checksum", sender)
                 return False
         elif self.require_checksum:
-            self._quarantine(row, payload, "checksum")
+            self._quarantine(row, payload, "checksum", sender)
             return False
         if not 0 <= row < (1 << self.group_size) or payload < 0:
             # a coefficient bit beyond the group width cannot come from
             # an honest encoder: rank-consistency violation
-            self._quarantine(row, payload, "width")
+            self._quarantine(row, payload, "width", sender)
             return False
 
         while row:
@@ -243,7 +362,7 @@ class HardenedGroupDecoder:
             # zero coefficients with a non-zero payload: some row in this
             # stream (this one or an earlier basis row) is corrupt
             self._quarantine(message.subset_mask, message.payload,
-                             "inconsistent")
+                             "inconsistent", sender)
         return False
 
     # -- decoding ------------------------------------------------------

@@ -41,6 +41,12 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.coding.integrity import (
+    ack_root_tag,
+    collection_hop_tag,
+    packet_origin_tag,
+    verify_auth_tag,
+)
 from repro.coding.packets import Packet
 from repro.core.config import AlgorithmParameters
 from repro.primitives.bgi_broadcast import bgi_broadcast
@@ -59,6 +65,9 @@ class GatherEpochResult:
     acked: Set[int]               # pids whose origin received the acknowledgment
     launches: int                 # packet copies actually launched
     lost_to_collisions: int       # copies that died before reaching the root
+    byzantine_rx_discarded: int = 0   # receptions dropped by the auth gate
+    forged_acks_rejected: int = 0     # acks whose root tag failed
+    flagged: Set[int] = field(default_factory=set)  # provably bad senders
 
 
 @dataclass
@@ -94,6 +103,9 @@ class CollectionResult:
     grab_rounds: int
     alarm_rounds: int
     epoch_results: List[GatherEpochResult] = field(default_factory=list, repr=False)
+    byzantine_rx_discarded: int = 0
+    forged_acks_rejected: int = 0
+    flagged: Set[int] = field(default_factory=set)
 
     @property
     def success(self) -> bool:
@@ -115,6 +127,8 @@ def run_gather_procedure(
     already_collected: Optional[Set[int]] = None,
     trace: Optional[RoundTrace] = None,
     round_offset: int = 0,
+    auth_key: Optional[int] = None,
+    blacklist: frozenset = frozenset(),
 ) -> GatherEpochResult:
     """Simulate one OSPG/MSPG procedure.
 
@@ -135,6 +149,18 @@ def run_gather_procedure(
     already_collected:
         Pids the root already holds; re-arrivals are acknowledged but not
         re-collected.
+    auth_key:
+        Master authentication key, or ``None`` for the paper's
+        trusting-nodes wire format.  With a key, packets carry the
+        origin's tag and ACKs the root's tag, every hop signs its
+        transmission, and receivers verify before relaying: traffic from
+        blacklisted senders or with a bad hop tag is discarded, and a
+        *verified* hop carrying an invalid inner tag provably convicts
+        the sender (honest nodes verify before relaying), which lands it
+        in ``flagged``.  Tags are deterministic — the gather procedure
+        draws no randomness either way.
+    blacklist:
+        Senders whose traffic honest nodes ignore outright.
 
     Returns
     -------
@@ -146,9 +172,14 @@ def run_gather_procedure(
     total = t1 + 3 * t1 + depth_bound               # full procedure length
     collected_before = set(already_collected or ())
 
-    # pending[t] = list of (pid, holder, is_launch) copies to transmit in
-    # round t; is_launch marks the origin's first hop (for loss accounting).
-    pending: Dict[int, List[Tuple[int, int, bool]]] = {}
+    origin_of: Dict[int, int] = {}
+    for pid, origin, _ in launches:
+        origin_of[pid] = origin
+
+    # pending[t] = list of (pid, holder, is_launch, otag) copies to
+    # transmit in round t; is_launch marks the origin's first hop (for
+    # loss accounting), otag the origin's signature carried by relays.
+    pending: Dict[int, List[Tuple[int, int, bool, Optional[int]]]] = {}
     for pid, origin, launch_round in launches:
         if origin == root:
             raise ProtocolError("root packets are collected, not launched")
@@ -156,7 +187,13 @@ def run_gather_procedure(
             raise ProtocolError(
                 f"launch round {launch_round} outside [1, {window}]"
             )
-        pending.setdefault(launch_round, []).append((pid, origin, True))
+        otag = (packet_origin_tag(origin, pid, auth_key)
+                if auth_key is not None else None)
+        pending.setdefault(launch_round, []).append((pid, origin, True, otag))
+
+    # ack_pending[t] = list of (pid, holder, rtag) ACK hops for round t;
+    # the root's acknowledgments are scheduled once part 1 closes.
+    ack_pending: Dict[int, List[Tuple[int, int, Optional[int]]]] = {}
 
     came_from: Dict[Tuple[int, int], int] = {}      # (node, pid) -> child
     collected: List[int] = []
@@ -164,80 +201,138 @@ def run_gather_procedure(
     acked_this_epoch: Set[int] = set()
     launched = 0
     delivered_copies = 0
+    byz_discarded = 0
+    forged_rejected = 0
+    flagged: Set[int] = set()
 
-    # --- part 1: random-delay unicasts toward the root -----------------
-    for t in range(1, t1 + 1):
+    # Single pass over the fixed-length procedure: forwarding traffic
+    # lives in rounds [1, t1] and acknowledgments in [t1+1, total], but
+    # one loop handles both kinds in any round so injected (Byzantine)
+    # traffic cannot fall between two specialised passes.  With honest
+    # traffic the resolved-round sequence is identical to the historical
+    # two-pass engine: empty rounds are still skipped, never resolved.
+    for t in range(1, total + 1):
+        if t == t1 + 1:
+            # Part 1 is over; the root acknowledges what it collected,
+            # spaced 3 rounds apart (BFS layering keeps that clean).
+            for i, pid in enumerate(collected):
+                rtag = (ack_root_tag(root, pid, auth_key)
+                        if auth_key is not None else None)
+                ack_pending.setdefault(t1 + 1 + 3 * i, []).append(
+                    (pid, root, rtag)
+                )
+
         copies = pending.pop(t, None)
-        if not copies:
+        hops = ack_pending.pop(t, None)
+        if not copies and not hops:
             continue
-        transmissions: Dict[int, Tuple[str, int, int, int]] = {}
+        transmissions: Dict[int, tuple] = {}
         # Relay duty wins over a scheduled launch at the same node: sort so
         # relays (is_launch=False) claim the transmission slot first.
-        for pid, holder, is_launch in sorted(copies, key=lambda c: c[2]):
+        for pid, holder, is_launch, otag in sorted(
+            copies or (), key=lambda c: c[2]
+        ):
             if holder in transmissions:
                 continue  # one message per node per round; extra copy dies
             dest = parent[holder]
-            transmissions[holder] = ("pkt", pid, dest, holder)
+            if auth_key is not None:
+                htag = collection_hop_tag(holder, "pkt", pid, dest, otag,
+                                          auth_key)
+                transmissions[holder] = ("pkt", pid, dest, holder, otag, htag)
+            else:
+                transmissions[holder] = ("pkt", pid, dest, holder)
             if is_launch:
                 launched += 1
-
-        received = network.resolve_round(transmissions)
-        if trace is not None:
-            trace.observe(round_offset + t - 1, transmissions, received)
-        for receiver, (_, pid, dest, sender) in received.items():
-            if receiver != dest:
-                continue  # overheard, not addressed to this node
-            key = (receiver, pid)
-            if key not in came_from:
-                came_from[key] = sender
-            if receiver == root:
-                delivered_copies += 1
-                if pid not in collected_set and pid not in collected_before:
-                    collected_set.add(pid)
-                    collected.append(pid)
-                elif pid in collected_before and pid not in collected_set:
-                    # Re-arrival of a packet collected in an earlier epoch:
-                    # acknowledge it again so the origin learns.
-                    collected_set.add(pid)
-                    collected.append(pid)
-            else:
-                if t + 1 <= t1:
-                    pending.setdefault(t + 1, []).append((pid, receiver, False))
-                # else: the forwarding window closed; the copy is dropped.
-
-    # --- part 2: acknowledgments back along the recorded paths ---------
-    # ack_pending[t] = list of (pid, holder) ACK hops to transmit in round t
-    ack_pending: Dict[int, List[Tuple[int, int]]] = {}
-    for i, pid in enumerate(collected):
-        ack_pending.setdefault(t1 + 1 + 3 * i, []).append((pid, root))
-
-    origin_of: Dict[int, int] = {}
-    for pid, origin, _ in launches:
-        origin_of[pid] = origin
-
-    for t in range(t1 + 1, total + 1):
-        hops = ack_pending.pop(t, None)
-        if not hops:
-            continue
-        transmissions = {}
-        for pid, holder in hops:
+        for pid, holder, rtag in hops or ():
             child = came_from.get((holder, pid))
             if child is None:
                 continue  # path record missing (should not happen)
             if holder in transmissions:
                 continue
-            transmissions[holder] = ("ack", pid, child, holder)
+            if auth_key is not None:
+                htag = collection_hop_tag(holder, "ack", pid, child, rtag,
+                                          auth_key)
+                transmissions[holder] = ("ack", pid, child, holder, rtag, htag)
+            else:
+                transmissions[holder] = ("ack", pid, child, holder)
 
         received = network.resolve_round(transmissions)
         if trace is not None:
             trace.observe(round_offset + t - 1, transmissions, received)
-        for receiver, (_, pid, dest, sender) in received.items():
-            if receiver != dest:
+        for receiver, msg in received.items():
+            if not (isinstance(msg, tuple) and len(msg) >= 4):
+                continue  # not collection traffic
+            kind, pid, dest, sender = msg[0], msg[1], msg[2], msg[3]
+            if kind not in ("pkt", "ack"):
                 continue
-            if origin_of.get(pid) == receiver:
-                acked_this_epoch.add(pid)
-            elif t + 1 <= total:
-                ack_pending.setdefault(t + 1, []).append((pid, receiver))
+            if receiver != dest:
+                continue  # overheard, not addressed to this node
+            if auth_key is not None:
+                if sender in blacklist:
+                    byz_discarded += 1
+                    continue
+                inner = msg[4] if len(msg) == 6 else None
+                htag = msg[5] if len(msg) == 6 else None
+                if not verify_auth_tag(
+                    htag, sender, (kind, pid, dest, inner), auth_key
+                ):
+                    # unsigned or mis-signed hop: drop, but no conviction
+                    # (anyone can transmit noise under someone's name)
+                    byz_discarded += 1
+                    continue
+                if kind == "pkt":
+                    origin = origin_of.get(pid)
+                    if origin is None or inner != packet_origin_tag(
+                        origin, pid, auth_key
+                    ):
+                        # the sender signed a packet whose origin tag is
+                        # forged — honest relays verify before relaying,
+                        # so the forgery is the sender's own
+                        byz_discarded += 1
+                        flagged.add(sender)
+                        continue
+                else:
+                    if inner != ack_root_tag(root, pid, auth_key):
+                        # forged acknowledgment, provably minted by the
+                        # sender: the packet stays un-collected
+                        byz_discarded += 1
+                        forged_rejected += 1
+                        flagged.add(sender)
+                        continue
+            if kind == "pkt":
+                key = (receiver, pid)
+                if key not in came_from:
+                    came_from[key] = sender
+                if receiver == root:
+                    delivered_copies += 1
+                    if (pid not in collected_set
+                            and pid not in collected_before):
+                        collected_set.add(pid)
+                        collected.append(pid)
+                    elif pid in collected_before and pid not in collected_set:
+                        # Re-arrival of a packet collected in an earlier
+                        # epoch: acknowledge it again so the origin learns.
+                        collected_set.add(pid)
+                        collected.append(pid)
+                elif t + 1 <= t1:
+                    otag = msg[4] if len(msg) == 6 else None
+                    pending.setdefault(t + 1, []).append(
+                        (pid, receiver, False, otag)
+                    )
+                # else: the forwarding window closed; the copy is dropped.
+            else:
+                if origin_of.get(pid) == receiver:
+                    acked_this_epoch.add(pid)
+                elif t + 1 <= total:
+                    rtag = msg[4] if len(msg) == 6 else None
+                    ack_pending.setdefault(t + 1, []).append(
+                        (pid, receiver, rtag)
+                    )
+
+    if trace is not None and (byz_discarded or forged_rejected):
+        trace.observe_byzantine(
+            rx_discarded=byz_discarded, forged_acks=forged_rejected
+        )
 
     return GatherEpochResult(
         rounds=total,
@@ -245,6 +340,9 @@ def run_gather_procedure(
         acked=acked_this_epoch,
         launches=launched,
         lost_to_collisions=launched - delivered_copies,
+        byzantine_rx_discarded=byz_discarded,
+        forged_acks_rejected=forged_rejected,
+        flagged=flagged,
     )
 
 
@@ -271,6 +369,9 @@ class GrabResult:
     collected: List[int]
     acked: Set[int]
     epoch_results: List[GatherEpochResult]
+    byzantine_rx_discarded: int = 0
+    forged_acks_rejected: int = 0
+    flagged: Set[int] = field(default_factory=set)
 
 
 def run_grab(
@@ -285,6 +386,8 @@ def run_grab(
     already_collected: Set[int],
     trace: Optional[RoundTrace] = None,
     round_offset: int = 0,
+    auth_key: Optional[int] = None,
+    blacklist: frozenset = frozenset(),
 ) -> GrabResult:
     """Run sub-routine GRAB(x).
 
@@ -321,6 +424,8 @@ def run_grab(
             already_collected=already_collected,
             trace=trace,
             round_offset=round_offset + rounds,
+            auth_key=auth_key,
+            blacklist=blacklist,
         )
         rounds += result.rounds
         for pid in result.collected:
@@ -344,6 +449,14 @@ def run_grab(
         collected=collected_all,
         acked=acked_all,
         epoch_results=epoch_results,
+        byzantine_rx_discarded=sum(
+            e.byzantine_rx_discarded for e in epoch_results
+        ),
+        forged_acks_rejected=sum(
+            e.forged_acks_rejected for e in epoch_results
+        ),
+        flagged=set().union(*(e.flagged for e in epoch_results))
+        if epoch_results else set(),
     )
 
 
@@ -363,11 +476,16 @@ def run_collection_stage(
     depth_bound: Optional[int] = None,
     trace: Optional[RoundTrace] = None,
     round_offset: int = 0,
+    blacklist: frozenset = frozenset(),
 ) -> CollectionResult:
     """Collect all packets at the root (Lemma 5).
 
     Requires a valid BFS ``parent``/``distance`` labeling from Stage 2
     (every non-root node must have a parent on a path to the root).
+
+    When ``params.authentication`` is on, every gather procedure runs
+    the verified wire format (see :func:`run_gather_procedure`);
+    ``blacklist`` names senders whose traffic honest nodes ignore.
     """
     if depth_bound is None:
         depth_bound = network.diameter
@@ -384,6 +502,8 @@ def run_collection_stage(
     unacked: Dict[int, int] = {
         p.pid: p.origin for p in packets if p.origin != root
     }
+
+    auth_key = params.auth_master_key if params.authentication else None
 
     x = params.initial_collection_estimate(network, depth_bound)
     rounds = 0
@@ -411,6 +531,8 @@ def run_collection_stage(
             already_collected,
             trace=trace,
             round_offset=round_offset + rounds,
+            auth_key=auth_key,
+            blacklist=blacklist,
         )
         rounds += grab.rounds
         grab_rounds += grab.rounds
@@ -469,4 +591,12 @@ def run_collection_stage(
         grab_rounds=grab_rounds,
         alarm_rounds=alarm_rounds,
         epoch_results=all_epochs,
+        byzantine_rx_discarded=sum(
+            e.byzantine_rx_discarded for e in all_epochs
+        ),
+        forged_acks_rejected=sum(
+            e.forged_acks_rejected for e in all_epochs
+        ),
+        flagged=set().union(*(e.flagged for e in all_epochs))
+        if all_epochs else set(),
     )

@@ -96,6 +96,18 @@ class AlgorithmParameters:
     integrity_key:
         The shared 64-bit key of the checksum scheme (a protocol
         parameter known to every node, unknown to the adversary).
+    authentication:
+        When true, protocol traffic additionally carries per-node MACs
+        (origin tags on packets, root tags on ACKs and plain rows, hop
+        tags on every transmission) so receivers can *attribute* bad
+        traffic to the node that signed it — the insider defense layered
+        above the shared checksum, which a Byzantine node knows.  Tags
+        are deterministic, so toggling this never changes the RNG stream
+        and the fault-free execution stays bit-identical.  Default off =
+        paper-faithful trusting-nodes model.
+    auth_master_key:
+        Master key the per-node signing keys are derived from (a dealer
+        secret; each node learns only its own derived key).
     """
 
     c_log: float = 1.5
@@ -115,6 +127,8 @@ class AlgorithmParameters:
     ospg_window_factor: int = 6
     integrity_checks: bool = True
     integrity_key: int = 0x9E3779B97F4A7C15
+    authentication: bool = False
+    auth_master_key: int = 0xD1B54A32D192ED03
 
     # ------------------------------------------------------------------
     # Presets

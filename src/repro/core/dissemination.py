@@ -34,7 +34,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.coding.integrity import HardenedGroupDecoder, packet_checksum
+from repro.coding.integrity import (
+    HardenedGroupDecoder,
+    coded_hop_tag,
+    packet_checksum,
+    plain_hop_tag,
+    plain_root_tag,
+)
 from repro.coding.packets import CodedMessage, Packet
 from repro.core.config import AlgorithmParameters
 from repro.primitives.decay import decay_slots
@@ -73,8 +79,16 @@ class DisseminationResult:
         keyless inconsistency detections).
     mis_decodes / mis_decoded_receivers:
         ``(node, group)`` pairs that completed with *wrong* payloads —
-        only possible with ``integrity_checks`` disabled under a
-        corruption adversary; always 0 with the hardened path.
+        possible with ``integrity_checks`` disabled under a corruption
+        adversary, or with an insider poisoning checksum-valid rows when
+        authentication is off; always 0 with the authenticated path.
+    byzantine_rx_discarded:
+        Receptions dropped at the authentication gate (blacklisted
+        sender or failed hop tag) or attributed as poison.
+    poisoned_rows_attributed:
+        Rows whose hop tag verified but whose content failed the root
+        tag (plain) or the group-span check (coded) — provable insider
+        poison, attributed to the signer in ``flagged_senders``.
     """
 
     rounds: int
@@ -92,6 +106,9 @@ class DisseminationResult:
     quarantined_rows: int = 0
     mis_decodes: int = 0
     mis_decoded_receivers: List[Tuple[int, int]] = field(default_factory=list)
+    byzantine_rx_discarded: int = 0
+    poisoned_rows_attributed: int = 0
+    flagged_senders: Set[int] = field(default_factory=set)
 
     @property
     def success(self) -> bool:
@@ -107,11 +124,19 @@ def run_dissemination_stage(
     rng: np.random.Generator,
     trace: Optional[RoundTrace] = None,
     round_offset: int = 0,
+    blacklist: frozenset = frozenset(),
 ) -> DisseminationResult:
     """Broadcast all ``packets`` (held by the root) to every node.
 
     ``distance`` is the per-node BFS layer from Stage 2 (``distance[root]``
     must be 0 and all nodes must be labeled).
+
+    When ``params.authentication`` is on, plain packets carry the root's
+    tag and every transmission its sender's hop tag; receivers verify
+    both — plus the group-span check on coded rows, standing in for a
+    homomorphic network-coding MAC — before anything reaches a decoder.
+    Tags are deterministic, so the RNG stream is untouched either way.
+    ``blacklist`` names senders whose traffic honest nodes ignore.
     """
     n = network.n
     if distance[root] != 0:
@@ -161,6 +186,8 @@ def run_dissemination_stage(
 
     integrity = params.integrity_checks
     key = params.integrity_key
+    auth = params.authentication
+    akey = params.auth_master_key
     decoders: Dict[Tuple[int, int], HardenedGroupDecoder] = {}
     # (receiver, group) -> {packet index -> payload as received}
     plain_seen: Dict[Tuple[int, int], Dict[int, int]] = {}
@@ -170,21 +197,53 @@ def run_dissemination_stage(
     plain_tx = 0
     innovative_rx = 0
     corrupt_discarded = 0
+    byz_discarded = 0
+    poisoned_attributed = 0
+    flagged: Set[int] = set()
     rounds = 0
 
-    def seal_plain(j: int, idx: int, payload: int, gs: int):
+    def seal_plain(sender: int, j: int, idx: int, payload: int, gs: int):
         """Wire tuple for a plain packet: a unit coefficient vector, so
-        the same keyed checksum covers both wire formats."""
-        if not integrity:
-            return ("plain", j, idx, payload, gs)
-        chk = packet_checksum(j, 1 << idx, payload, gs, key)
-        return ("plain", j, idx, payload, gs, chk)
+        the same keyed checksum covers both wire formats.  Honest
+        forwarders transmit the true payload, so the root tag they carry
+        is the one the root minted for it."""
+        chk = packet_checksum(j, 1 << idx, payload, gs, key) \
+            if integrity else None
+        if not auth:
+            if chk is None:
+                return ("plain", j, idx, payload, gs)
+            return ("plain", j, idx, payload, gs, chk)
+        rtag = plain_root_tag(root, j, idx, payload, akey)
+        htag = plain_hop_tag(sender, j, idx, payload, gs,
+                             -1 if chk is None else chk, rtag, akey)
+        return ("plain", j, idx, payload, gs, chk, rtag, sender, htag)
 
-    def seal_coded(j: int, mask: int, xor: int, gs: int):
-        if not integrity:
-            return ("coded", j, mask, xor, gs)
-        chk = packet_checksum(j, mask, xor, gs, key)
-        return ("coded", j, mask, xor, gs, chk)
+    def seal_coded(sender: int, j: int, mask: int, xor: int, gs: int):
+        chk = packet_checksum(j, mask, xor, gs, key) if integrity else None
+        if not auth:
+            if chk is None:
+                return ("coded", j, mask, xor, gs)
+            return ("coded", j, mask, xor, gs, chk)
+        htag = coded_hop_tag(sender, j, mask, xor, gs,
+                             -1 if chk is None else chk, akey)
+        return ("coded", j, mask, xor, gs, chk, sender, htag)
+
+    def in_group_span(j: int, mask: int, xor: int) -> bool:
+        """The homomorphic-MAC stand-in: is ``xor`` exactly the XOR of
+        the group-``j`` payloads selected by ``mask``?  An insider can
+        recompute the shared checksum over poisoned data but cannot
+        forge membership of the true span."""
+        gs = len(groups[j])
+        if not 0 <= mask < (1 << gs):
+            return False
+        expected = 0
+        m = mask
+        payloads = group_payloads[j]
+        while m:
+            b = (m & -m).bit_length() - 1
+            expected ^= payloads[b]
+            m &= m - 1
+        return xor == expected
 
     def group_layer(j: int, phase: int) -> int:
         """Layer group j is being delivered to during this 1-based phase,
@@ -220,13 +279,10 @@ def run_dissemination_stage(
         if dec is not None and dec.is_complete:
             decoded = dec.decode()
             if decoded != group_payloads[j]:
-                if integrity:
-                    # every absorbed row was checksum-verified, so a
-                    # wrong decode can only be a library bug
-                    raise ProtocolError(
-                        f"decoder at node {receiver} for group {j} "
-                        f"produced wrong payloads despite verified rows"
-                    )
+                # Reachable with integrity on: an insider knows the
+                # shared checksum key, so checksum-valid poison passes
+                # the gate when authentication (span checking) is off.
+                # Honest accounting, never a silent wrong delivery.
                 flag_mis_decode(receiver, j)
                 return
             has_group[receiver, j] = True
@@ -263,7 +319,7 @@ def run_dissemination_stage(
                     idx = slot % gs_root
                     pkt = groups[root_group][idx]
                     transmissions[root] = seal_plain(
-                        root_group, idx, pkt.payload, gs_root
+                        root, root_group, idx, pkt.payload, gs_root
                     )
                     plain_tx += 1
 
@@ -294,7 +350,7 @@ def run_dissemination_stage(
                                 xor ^= payloads[b]
                                 m &= m - 1
                             transmissions[sender] = seal_coded(
-                                j, mask, xor, gs
+                                sender, j, mask, xor, gs
                             )
                             coded_tx += 1
                     else:
@@ -307,7 +363,7 @@ def run_dissemination_stage(
                                 continue
                             pick = int(pick)
                             transmissions[sender] = seal_plain(
-                                j, pick, payloads[pick], gs
+                                sender, j, pick, payloads[pick], gs
                             )
                             plain_tx += 1
 
@@ -320,9 +376,16 @@ def run_dissemination_stage(
                 )
 
             round_discarded = 0
+            round_byz = 0
+            round_poisoned = 0
             for receiver, msg in received.items():
+                if not (isinstance(msg, tuple) and len(msg) >= 5):
+                    continue  # not dissemination traffic
                 kind = msg[0]
+                if kind not in ("plain", "coded"):
+                    continue  # stray control traffic (e.g. forged ACKs)
                 chk = msg[5] if len(msg) > 5 else None
+                sender: Optional[int] = None
                 if kind == "plain":
                     _, j, idx, payload, gs = msg[:5]
                     if has_group[receiver, j]:
@@ -334,6 +397,29 @@ def run_dissemination_stage(
                     )
                     if not accept:
                         continue
+                    if auth:
+                        if len(msg) != 9:
+                            round_byz += 1
+                            continue
+                        rtag, sender, htag = msg[6], msg[7], msg[8]
+                        if sender in blacklist:
+                            round_byz += 1
+                            continue
+                        if htag != plain_hop_tag(
+                            sender, j, idx, payload, gs,
+                            -1 if chk is None else chk, rtag, akey,
+                        ):
+                            # unsigned/mis-signed hop: drop, no conviction
+                            round_byz += 1
+                            continue
+                        if rtag != plain_root_tag(root, j, idx, payload,
+                                                  akey):
+                            # the signer vouched for a payload the root
+                            # never minted: provable poison
+                            round_byz += 1
+                            round_poisoned += 1
+                            flagged.add(sender)
+                            continue
                     # verify before accepting: a malformed index is
                     # detectable without the key; a flipped bit anywhere
                     # breaks the keyed checksum
@@ -360,6 +446,27 @@ def run_dissemination_stage(
                     )
                     if not accept:
                         continue
+                    if auth:
+                        if len(msg) != 8:
+                            round_byz += 1
+                            continue
+                        sender, htag = msg[6], msg[7]
+                        if sender in blacklist:
+                            round_byz += 1
+                            continue
+                        if htag != coded_hop_tag(
+                            sender, j, mask, payload, gs,
+                            -1 if chk is None else chk, akey,
+                        ):
+                            round_byz += 1
+                            continue
+                        if not in_group_span(j, mask, payload):
+                            # checksum-valid but outside the true span:
+                            # only the signer could have produced it
+                            round_byz += 1
+                            round_poisoned += 1
+                            flagged.add(sender)
+                            continue
                     pair = (receiver, j)
                     dec = decoders.get(pair)
                     if dec is None:
@@ -378,16 +485,24 @@ def run_dissemination_stage(
                     # hardened decoder checksums / width-checks the row
                     # and quarantines instead of inserting
                     rejected_before = len(dec.quarantined)
-                    if dec.absorb(coded):
+                    if dec.absorb(coded, sender=sender):
                         innovative_rx += 1
                     newly_rejected = len(dec.quarantined) - rejected_before
                     corrupt_discarded += newly_rejected
                     round_discarded += newly_rejected
                     touched.add(pair)
-            if round_discarded and trace is not None:
-                trace.observe_integrity(
-                    rx_corrupt_discarded=round_discarded
-                )
+            byz_discarded += round_byz
+            poisoned_attributed += round_poisoned
+            if trace is not None:
+                if round_discarded:
+                    trace.observe_integrity(
+                        rx_corrupt_discarded=round_discarded
+                    )
+                if round_byz or round_poisoned:
+                    trace.observe_byzantine(
+                        rx_discarded=round_byz,
+                        poisoned_rows=round_poisoned,
+                    )
 
         rounds += phase_length
         for receiver, j in touched:
@@ -416,4 +531,7 @@ def run_dissemination_stage(
         quarantined_rows=quarantined,
         mis_decodes=len(mis_decoded),
         mis_decoded_receivers=sorted(mis_decoded),
+        byzantine_rx_discarded=byz_discarded,
+        poisoned_rows_attributed=poisoned_attributed,
+        flagged_senders=flagged,
     )

@@ -108,7 +108,10 @@ def build_distributed_bfs(
             )
             rounds += num_slots
             for slot_received in receptions:
-                for receiver, (sender, sender_dist) in slot_received.items():
+                for receiver, payload in slot_received.items():
+                    if not (isinstance(payload, tuple) and len(payload) == 2):
+                        continue  # stray traffic (e.g. a forged ACK)
+                    sender, sender_dist = payload
                     if distance[receiver] < 0:
                         parent[receiver] = sender
                         distance[receiver] = sender_dist + 1

@@ -53,6 +53,9 @@ class RoundTrace:
         self.total_rx_suppressed = 0
         self.total_rx_corrupted = 0
         self.total_rx_corrupt_discarded = 0
+        self.total_byzantine_rx_discarded = 0
+        self.total_forged_acks_rejected = 0
+        self.total_poisoned_rows_attributed = 0
 
     def observe(
         self,
@@ -113,6 +116,24 @@ class RoundTrace:
         delivered-then-discarded here, never both."""
         self.total_rx_corrupt_discarded += rx_corrupt_discarded
 
+    def observe_byzantine(
+        self,
+        rx_discarded: int = 0,
+        forged_acks: int = 0,
+        poisoned_rows: int = 0,
+    ) -> None:
+        """Record receiver-side Byzantine rejections, disjoint from the
+        integrity counters: receptions dropped because the sender is
+        blacklisted or its hop tag failed (``rx_discarded``), ACKs whose
+        root tag was forged (``forged_acks``), and coded/plain rows whose
+        content check failed under a verified hop tag — i.e. provably
+        poisoned by the signer (``poisoned_rows``).  Forged ACKs and
+        poisoned rows are counted *in addition to* being discarded, so
+        the three buckets partition the evidence, not the drops."""
+        self.total_byzantine_rx_discarded += rx_discarded
+        self.total_forged_acks_rejected += forged_acks
+        self.total_poisoned_rows_attributed += poisoned_rows
+
     def advance_to(self, round_index: int) -> None:
         """Note that time has advanced (possibly through silent rounds)."""
         self.total_rounds = max(self.total_rounds, round_index)
@@ -129,6 +150,10 @@ class RoundTrace:
             "total_rx_suppressed": self.total_rx_suppressed,
             "total_rx_corrupted": self.total_rx_corrupted,
             "total_rx_corrupt_discarded": self.total_rx_corrupt_discarded,
+            "total_byzantine_rx_discarded": self.total_byzantine_rx_discarded,
+            "total_forged_acks_rejected": self.total_forged_acks_rejected,
+            "total_poisoned_rows_attributed":
+                self.total_poisoned_rows_attributed,
             "delivery_ratio": (
                 self.total_receptions / self.total_transmissions
                 if self.total_transmissions

@@ -10,10 +10,13 @@ This package layers robustness machinery over the four-stage broadcast:
   proxy: reactive and budgeted jammers, and a corruption channel that
   flips bits in coded payloads for the integrity layer
   (:mod:`repro.coding.integrity`) to catch;
+- :mod:`repro.resilience.byzantine` — insider faults: nodes that keep
+  running the protocol while lying (forged election claims, forged or
+  withheld ACKs, BFS layer misreports, checksum-valid poisoned rows);
 - :mod:`repro.resilience.repair` — BFS-tree re-parenting via Decay;
 - :mod:`repro.resilience.supervisor` — watchdog timeouts, bounded
-  retries with backoff, leader re-election, and tree repair wrapped
-  around the four stages;
+  retries with backoff, leader re-election, tree repair, and
+  quorum-audited insider recovery wrapped around the four stages;
 - :mod:`repro.resilience.report` — chaos trials for the experiment
   harness and degradation curves.
 """
@@ -25,6 +28,11 @@ from repro.resilience.adversary import (
     CorruptionChannel,
     ReactiveJammer,
 )
+from repro.resilience.byzantine import (
+    BYZANTINE_MODES,
+    ByzantineSet,
+    random_byzantine_set,
+)
 from repro.resilience.network import DynamicFaultNetwork
 from repro.resilience.repair import (
     TreeRepairResult,
@@ -35,9 +43,11 @@ from repro.resilience.repair import (
 )
 from repro.resilience.report import (
     adversarial_degradation_curve,
+    byzantine_degradation_curve,
     degradation_curve,
     make_adversary,
     run_adversarial_trial,
+    run_byzantine_trial,
     run_chaos_trial,
     supervised_metrics,
 )
@@ -57,7 +67,9 @@ from repro.resilience.supervisor import (
 __all__ = [
     "Adversary",
     "AdversaryStack",
+    "BYZANTINE_MODES",
     "BudgetedJammer",
+    "ByzantineSet",
     "CorruptionChannel",
     "DynamicFaultNetwork",
     "FaultEvent",
@@ -71,13 +83,16 @@ __all__ = [
     "TreeRepairResult",
     "adversarial_degradation_curve",
     "attached_set",
+    "byzantine_degradation_curve",
     "default_repair_epochs",
     "degradation_curve",
     "find_orphans",
     "make_adversary",
+    "random_byzantine_set",
     "random_crash_schedule",
     "repair_tree",
     "run_adversarial_trial",
+    "run_byzantine_trial",
     "run_chaos_trial",
     "supervised_metrics",
 ]

@@ -1,0 +1,357 @@
+"""Byzantine behavior models: insiders that lie instead of failing.
+
+PR 1 modeled nodes that *stop* (crashes) and PR 2 a channel that
+*mangles* (jamming, bit flips).  This module models nodes that keep
+running the protocol while deviating from it — the insider threat the
+paper's trusting-nodes model excludes entirely.  A :class:`ByzantineSet`
+assigns one behavior mode to a set of nodes and is applied by
+:class:`repro.resilience.network.DynamicFaultNetwork` at the
+transmission/reception boundary, so honest protocol code never needs to
+know who is lying:
+
+- ``id_inflation`` — claim an out-of-range ID during leader election;
+  once (wrongly) elected, black-hole every collection unicast;
+- ``ack_forge`` — swallow packets addressed to self and transmit forged
+  ACKs so origins believe the packet was collected;
+- ``ack_withhold`` — swallow packets *and* ACKs addressed to self: a
+  silent black hole on the collection tree;
+- ``bfs_misreport`` — announce a BFS layer two smaller than the true
+  one, corrupting the distances of every adopter;
+- ``row_poison`` — flip a payload bit in own coded/plain FORWARD
+  transmissions and recompute the *shared* checksum (the insider knows
+  the key), producing checksum-valid poison.
+
+Every behavior is a deterministic function of the observed traffic — no
+RNG is drawn — so attaching a ``ByzantineSet`` never perturbs the
+protocol's seeded random stream, and a run with an empty set is
+bit-identical to the fault-free execution.
+
+The countermeasures live elsewhere: per-node authentication in
+:mod:`repro.coding.integrity`, receiver-side verification in the
+collection and dissemination stages, and quorum auditing in
+:mod:`repro.resilience.supervisor`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.coding.integrity import (
+    DEFAULT_AUTH_MASTER_KEY,
+    DEFAULT_INTEGRITY_KEY,
+    ack_root_tag,
+    coded_hop_tag,
+    collection_hop_tag,
+    packet_checksum,
+    plain_hop_tag,
+)
+from repro.radio.rng import SeedLike, make_rng
+
+#: The supported behavior modes, in documentation order.
+BYZANTINE_MODES = (
+    "id_inflation",
+    "ack_forge",
+    "ack_withhold",
+    "bfs_misreport",
+    "row_poison",
+)
+
+#: A forged ACK scheduled for round ``due`` is transmitted at the first
+#: opportunity within ``due + _FORGE_EXPIRY`` rounds and dropped after —
+#: keeping the forgery inside the collection window instead of leaking
+#: stray ACK tuples into later stages.
+_FORGE_EXPIRY = 40
+
+#: Retransmission offsets for forged ACKs, mirroring the exponential
+#: spacing an honest root uses so at least one copy tends to find a
+#: collision-free slot.
+_FORGE_OFFSETS = (1, 3, 9, 27)
+
+
+class ByzantineSet:
+    """A set of insider nodes sharing one behavior mode.
+
+    Parameters
+    ----------
+    nodes:
+        The misbehaving nodes.
+    mode:
+        One of :data:`BYZANTINE_MODES`.
+    integrity_key / auth_master_key / authentication:
+        The protocol's integrity configuration — insiders are full
+        protocol participants, so they know the shared checksum key and
+        their *own* derived signing key (and nothing else).  Synced from
+        :class:`repro.core.config.AlgorithmParameters` via
+        :meth:`configure` when attached to a supervised run.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        mode: str,
+        integrity_key: int = DEFAULT_INTEGRITY_KEY,
+        auth_master_key: int = DEFAULT_AUTH_MASTER_KEY,
+        authentication: bool = False,
+    ):
+        if mode not in BYZANTINE_MODES:
+            raise ValueError(
+                f"unknown Byzantine mode {mode!r}; "
+                f"expected one of {BYZANTINE_MODES}"
+            )
+        self.nodes = frozenset(nodes)
+        self.mode = mode
+        self.integrity_key = integrity_key
+        self.auth_master_key = auth_master_key
+        self.authentication = authentication
+        self._leader: Optional[int] = None
+        # (due_round, forger, message) — forged ACKs awaiting a slot
+        self._forge_queue: List[Tuple[int, int, tuple]] = []
+
+        # exposure counters
+        self.rx_swallowed = 0
+        self.acks_forged = 0
+        self.forged_acks_injected = 0
+        self.rows_poisoned = 0
+        self.bfs_misreports = 0
+        self.claims_forged = 0
+
+    def configure(self, integrity_key: int, auth_master_key: int,
+                  authentication: bool) -> None:
+        """Sync the insiders' knowledge with the run's parameters."""
+        self.integrity_key = integrity_key
+        self.auth_master_key = auth_master_key
+        self.authentication = authentication
+
+    def notice_leader(self, leader: Optional[int]) -> None:
+        """Told by the supervisor who currently leads; the id-inflation
+        black-hole only activates when an insider holds the lead."""
+        self._leader = leader
+
+    # ------------------------------------------------------------------
+    # Election-time forgery
+    # ------------------------------------------------------------------
+
+    def election_claims(
+        self, id_bound: int, is_alive: Callable[[int], bool]
+    ) -> List[Tuple[int, int]]:
+        """Forged leadership claims: ``(claimant, claimed_id)`` pairs.
+
+        Under ``id_inflation`` every live insider claims an ID above the
+        legal bound (distinct per claimant so the forgeries do not
+        cancel each other).  Other modes never forge claims.
+        """
+        if self.mode != "id_inflation":
+            return []
+        claims = [
+            (v, id_bound + 1 + i)
+            for i, v in enumerate(sorted(self.nodes))
+            if is_alive(v)
+        ]
+        self.claims_forged += len(claims)
+        return claims
+
+    # ------------------------------------------------------------------
+    # Transmission-side deviation
+    # ------------------------------------------------------------------
+
+    def _poison(self, v: int, msg: tuple) -> Optional[tuple]:
+        """Rewrite one of ``v``'s FORWARD transmissions, if applicable."""
+        kind = msg[0] if msg else None
+        if kind == "coded" and len(msg) in (5, 6, 8):
+            j, mask, xor, gs = msg[1], msg[2], msg[3], msg[4]
+            xor ^= 1
+            chk = msg[5] if len(msg) > 5 else None
+            if chk is not None:
+                # the insider knows the shared key: checksum-valid poison
+                chk = packet_checksum(j, mask, xor, gs, self.integrity_key)
+            if len(msg) == 8:
+                htag = coded_hop_tag(v, j, mask, xor, gs,
+                                     -1 if chk is None else chk,
+                                     self.auth_master_key)
+                return ("coded", j, mask, xor, gs, chk, v, htag)
+            if len(msg) == 6:
+                return ("coded", j, mask, xor, gs, chk)
+            return ("coded", j, mask, xor, gs)
+        if kind == "plain" and len(msg) in (5, 6, 9):
+            j, idx, payload, gs = msg[1], msg[2], msg[3], msg[4]
+            payload ^= 1
+            chk = msg[5] if len(msg) > 5 else None
+            if chk is not None:
+                chk = packet_checksum(j, 1 << idx, payload, gs,
+                                      self.integrity_key)
+            if len(msg) == 9:
+                # cannot re-sign the root tag — carry the stale one and
+                # let the receiver's root-tag check attribute the poison
+                rtag = msg[6]
+                htag = plain_hop_tag(v, j, idx, payload, gs,
+                                     -1 if chk is None else chk, rtag,
+                                     self.auth_master_key)
+                return ("plain", j, idx, payload, gs, chk, rtag, v, htag)
+            if len(msg) == 6:
+                return ("plain", j, idx, payload, gs, chk)
+            return ("plain", j, idx, payload, gs)
+        return None
+
+    def transform_transmissions(
+        self,
+        round_index: int,
+        transmissions: Dict[int, object],
+        is_dead: Callable[[int], bool],
+    ) -> Dict[int, object]:
+        """Apply transmission-side deviations for round ``round_index``.
+
+        Called by ``DynamicFaultNetwork.resolve_round`` after crashed
+        transmitters are silenced and before the base collision rule
+        runs — forged/rewritten transmissions collide like any others.
+        """
+        out = transmissions
+        if self.mode == "row_poison":
+            for v in self.nodes:
+                msg = transmissions.get(v)
+                if msg is None or not isinstance(msg, tuple):
+                    continue
+                poisoned = self._poison(v, msg)
+                if poisoned is not None:
+                    if out is transmissions:
+                        out = dict(transmissions)
+                    out[v] = poisoned
+                    self.rows_poisoned += 1
+        elif self.mode == "bfs_misreport":
+            for v in self.nodes:
+                msg = transmissions.get(v)
+                if (isinstance(msg, tuple) and len(msg) == 2
+                        and msg[0] == v and isinstance(msg[1], int)
+                        and msg[1] > 0):
+                    if out is transmissions:
+                        out = dict(transmissions)
+                    out[v] = (v, max(0, msg[1] - 2))
+                    self.bfs_misreports += 1
+        elif self.mode == "ack_forge" and self._forge_queue:
+            remaining: List[Tuple[int, int, tuple]] = []
+            injected = set()
+            for due, v, msg in self._forge_queue:
+                if round_index > due + _FORGE_EXPIRY:
+                    continue  # expired unheard
+                if (round_index >= due and v not in injected
+                        and not is_dead(v)
+                        and v not in transmissions and v not in out):
+                    if out is transmissions:
+                        out = dict(transmissions)
+                    out[v] = msg
+                    injected.add(v)
+                    self.forged_acks_injected += 1
+                else:
+                    remaining.append((due, v, msg))
+            self._forge_queue = remaining
+        return out
+
+    # ------------------------------------------------------------------
+    # Reception-side deviation
+    # ------------------------------------------------------------------
+
+    def _forge_ack(self, v: int, pkt: tuple) -> tuple:
+        """Build the forged ACK for a swallowed packet reception.
+
+        The forger signs the *root* tag with its own key — the best an
+        insider can do without the root's key — so under authentication
+        the tag verifies as nobody's ACK and the forgery is attributed;
+        without authentication the ACK is indistinguishable on the wire.
+        """
+        pid, holder = pkt[1], pkt[3]
+        if self.authentication:
+            fake_rtag = ack_root_tag(v, pid, self.auth_master_key)
+            htag = collection_hop_tag(v, "ack", pid, holder, fake_rtag,
+                                      self.auth_master_key)
+            return ("ack", pid, holder, v, fake_rtag, htag)
+        return ("ack", pid, holder, v)
+
+    def consume_receptions(
+        self,
+        round_index: int,
+        received: Dict[int, object],
+        is_dead: Callable[[int], bool],
+    ) -> Tuple[Dict[int, object], int]:
+        """Swallow receptions an insider pretends not to have heard.
+
+        Returns the surviving reception map and the number swallowed.
+        Only collection unicasts addressed *to* the insider are eligible
+        (``msg[2] == receiver``); overheard traffic passes through so
+        the insider stays indistinguishable to its neighbors' counters.
+        """
+        if self.mode not in ("ack_forge", "ack_withhold", "id_inflation"):
+            return received, 0
+        swallowed = 0
+        out = received
+        for v in self.nodes:
+            msg = received.get(v)
+            if not (isinstance(msg, tuple) and len(msg) >= 4
+                    and msg[0] in ("pkt", "ack") and msg[2] == v):
+                continue
+            if self.mode == "id_inflation":
+                # black-hole only while the insider holds the lead
+                if self._leader != v or msg[0] != "pkt":
+                    continue
+            elif self.mode == "ack_forge":
+                if msg[0] != "pkt":
+                    continue
+                forged = self._forge_ack(v, msg)
+                for offset in _FORGE_OFFSETS:
+                    self._forge_queue.append(
+                        (round_index + offset, v, forged)
+                    )
+                self.acks_forged += 1
+            # ack_withhold swallows both kinds unconditionally
+            if out is received:
+                out = dict(received)
+            del out[v]
+            swallowed += 1
+        self.rx_swallowed += swallowed
+        return out, swallowed
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Exposure counters, merged into the network's fault stats."""
+        return {
+            "byzantine_nodes": len(self.nodes),
+            "rx_swallowed_byzantine": self.rx_swallowed,
+            "acks_forged": self.acks_forged,
+            "forged_acks_injected": self.forged_acks_injected,
+            "rows_poisoned": self.rows_poisoned,
+            "bfs_misreports": self.bfs_misreports,
+            "claims_forged": self.claims_forged,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ByzantineSet(nodes={sorted(self.nodes)}, mode={self.mode!r})"
+        )
+
+
+def random_byzantine_set(
+    n: int,
+    fraction: float,
+    mode: str,
+    seed: SeedLike = None,
+    exclude: Iterable[int] = (),
+) -> Optional[ByzantineSet]:
+    """Assign ``mode`` to a random ``fraction`` of the eligible nodes.
+
+    Mirrors :func:`repro.resilience.schedule.random_crash_schedule`:
+    ``count = floor(fraction · |eligible|)``, drawn with a dedicated
+    seeded RNG so the protocol's stream is untouched.  Returns ``None``
+    when the count rounds down to zero (no insiders — callers can skip
+    attaching the set entirely, keeping the run bit-identical to the
+    fault-free execution).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    excluded = frozenset(exclude)
+    eligible = [v for v in range(n) if v not in excluded]
+    count = int(fraction * len(eligible))
+    if count <= 0:
+        return None
+    rng = make_rng(seed)
+    chosen = rng.choice(len(eligible), size=count, replace=False)
+    nodes = [eligible[int(i)] for i in chosen]
+    return ByzantineSet(nodes, mode)

@@ -56,6 +56,15 @@ class DynamicFaultNetwork:
         Optional :class:`repro.resilience.adversary.Adversary` applied
         after the schedule's own drops.  It carries its own seeded RNG,
         so attaching one never perturbs the protocol's random stream.
+    byzantine:
+        Optional :class:`repro.resilience.byzantine.ByzantineSet` of
+        insider nodes.  Their transmission-side deviations are applied
+        *before* the base collision rule (lies are on the air and
+        collide like any transmission); their reception-side swallowing
+        is applied after the adversary (an insider that pretends not to
+        hear still heard — the swallow is a protocol deviation, not a
+        channel event).  Fully deterministic: attaching an (empty or
+        inert) set never perturbs the protocol's random stream.
     """
 
     def __init__(
@@ -65,12 +74,16 @@ class DynamicFaultNetwork:
         seed: SeedLike = None,
         trace: Optional[RoundTrace] = None,
         adversary=None,
+        byzantine=None,
     ):
         self._base = base
         self.schedule = schedule or FaultSchedule()
-        self.schedule.validate(base.n)
+        self.schedule.validate(
+            base.n, byzantine=byzantine.nodes if byzantine else ()
+        )
         self.trace = trace
         self.adversary = adversary
+        self.byzantine = byzantine
         self._jam_rng = make_rng(seed)
 
         self.clock = 0
@@ -86,6 +99,7 @@ class DynamicFaultNetwork:
         self.rx_suppressed_jam = 0
         self.rx_jammed_adversary = 0
         self.rx_corrupted = 0
+        self.rx_swallowed_byzantine = 0
         self.crash_count = 0
         self.recover_count = 0
         self.events_applied: List[Tuple[int, str, object]] = []
@@ -185,12 +199,15 @@ class DynamicFaultNetwork:
             "rx_suppressed_jam": self.rx_suppressed_jam,
             "rx_jammed_adversary": self.rx_jammed_adversary,
             "rx_corrupted": self.rx_corrupted,
+            "rx_swallowed_byzantine": self.rx_swallowed_byzantine,
             "crashes": self.crash_count,
             "recoveries": self.recover_count,
             "currently_dead": len(self.dead),
         }
         if self.adversary is not None:
             stats.update(self.adversary.stats())
+        if self.byzantine is not None:
+            stats.update(self.byzantine.stats())
         return stats
 
     # ------------------------------------------------------------------
@@ -211,6 +228,12 @@ class DynamicFaultNetwork:
             self.tx_suppressed += len(transmissions) - len(filtered)
         else:
             filtered = dict(transmissions)
+
+        # Insider lies go on the air before the collision rule runs.
+        if self.byzantine is not None:
+            filtered = self.byzantine.transform_transmissions(
+                round_index, filtered, self.dead.__contains__
+            )
 
         received = self._base.resolve_round(filtered)
 
@@ -247,6 +270,15 @@ class DynamicFaultNetwork:
             surviving, rx_adv_jam, rx_corrupt = self.adversary.attack(
                 round_index, filtered, surviving
             )
+
+        # Insiders pretending not to hear: a protocol deviation, counted
+        # apart from every channel-level suppression bucket.
+        rx_swallowed = 0
+        if self.byzantine is not None:
+            surviving, rx_swallowed = self.byzantine.consume_receptions(
+                round_index, surviving, self.dead.__contains__
+            )
+        self.rx_swallowed_byzantine += rx_swallowed
 
         self.rx_suppressed_dead += rx_dead
         self.rx_suppressed_link += rx_link

@@ -120,6 +120,8 @@ def repair_tree(
     epochs: Optional[int] = None,
     trace: Optional[RoundTrace] = None,
     round_offset: int = 0,
+    exclude: frozenset = frozenset(),
+    mute: frozenset = frozenset(),
 ) -> TreeRepairResult:
     """Re-parent orphaned subtrees via Decay announcement epochs.
 
@@ -128,16 +130,38 @@ def repair_tree(
     ``is_alive`` drives orphan detection; a plain network is treated as
     all-alive).  ``parent``/``distance`` are not mutated; repaired copies
     are returned in the result.
+
+    ``exclude`` lists *convicted* insiders, treated as dead for the
+    repair: they never announce, never adopt, and are not counted
+    orphaned or unreachable.  ``mute`` lists *suspected* nodes, routed
+    around but not convicted: a chain crossing one counts as broken (so
+    their children re-parent elsewhere) and they never announce, but —
+    being possibly honest — they may still adopt a new parent so their
+    own packets keep a route to the root.  A mute node that hears no
+    announcement keeps its old pointers.
     """
     n = network.n
-    is_alive = getattr(network, "is_alive", lambda v: True)
+    base_alive = getattr(network, "is_alive", lambda v: True)
+    exclude = frozenset(exclude)
+    mute = frozenset(mute)
+    if exclude or mute:
+        def is_alive(v, _base=base_alive, _bad=exclude | mute):
+            return _base(v) and v not in _bad
+
+        def adoptable(v, _base=base_alive, _ex=exclude):
+            return _base(v) and v not in _ex
+    else:
+        is_alive = base_alive
+        adoptable = base_alive
     if epochs is None:
         epochs = default_repair_epochs(network)
 
     new_parent = [int(p) for p in parent]
     new_distance = [int(d) for d in distance]
-    orphans_before = find_orphans(new_parent, new_distance, root, is_alive)
     attached = attached_set(new_parent, new_distance, root, is_alive)
+    orphans_before = sorted(
+        v for v in range(n) if adoptable(v) and v not in attached
+    )
     orphans: Set[int] = set(orphans_before)
 
     num_slots = decay_slots(network.max_degree)
@@ -167,13 +191,18 @@ def repair_tree(
             for receiver, payload in slot_received.items():
                 if receiver not in orphans:
                     continue
+                if not (isinstance(payload, tuple) and len(payload) == 2):
+                    continue  # stray traffic (e.g. a forged ACK)
                 sender, sender_dist = payload
                 if sender not in attached or not is_alive(sender):
                     continue  # stale announcement from a mid-epoch crash
                 new_parent[receiver] = sender
                 new_distance[receiver] = sender_dist + 1
                 orphans.discard(receiver)
-                attached.add(receiver)
+                if receiver not in mute:
+                    # suspects re-adopt silently: they never announce,
+                    # so nobody is routed *through* them
+                    attached.add(receiver)
                 reattached.append(receiver)
 
     unreachable = sorted(orphans)

@@ -8,6 +8,10 @@ benchmark suite and the ``repro chaos`` CLI render as tables.
 :func:`run_adversarial_trial` / :func:`adversarial_degradation_curve`
 are the same machinery pointed at an *active* adversary (reactive
 jamming plus payload corruption) instead of a crash schedule.
+:func:`run_byzantine_trial` / :func:`byzantine_degradation_curve` point
+it at *insider* faults: a random fraction of nodes runs one of the
+:data:`repro.resilience.byzantine.BYZANTINE_MODES` while the honest
+majority runs the authenticated protocol.
 
 Accounting discipline: every dropped reception lands in exactly one
 bucket.  The fault layer's ``rx_suppressed`` counts erasures (dead /
@@ -35,6 +39,7 @@ from repro.resilience.adversary import (
     CorruptionChannel,
     ReactiveJammer,
 )
+from repro.resilience.byzantine import random_byzantine_set
 from repro.resilience.schedule import FaultSchedule, random_crash_schedule
 from repro.resilience.supervisor import (
     SupervisedBroadcast,
@@ -84,6 +89,17 @@ def supervised_metrics(result: SupervisedResult) -> Dict[str, float]:
         "corrupt_discarded": float(result.corrupt_discarded),
         "mis_decodes": float(result.mis_decodes),
         "rx_dropped_total": rx_suppressed + float(result.corrupt_discarded),
+        "byzantine_nodes": float(stats.get("byzantine_nodes", 0)),
+        "rx_swallowed_byzantine": float(
+            stats.get("rx_swallowed_byzantine", 0)
+        ),
+        "byzantine_rx_discarded": float(result.byzantine_rx_discarded),
+        "forged_acks_rejected": float(result.forged_acks_rejected),
+        "poisoned_rows_attributed": float(result.poisoned_rows_attributed),
+        "blacklisted": float(len(result.blacklisted)),
+        "suspected": float(len(result.suspected)),
+        "mis_attributions": float(result.mis_attributions),
+        "all_lost": float(result.all_lost),
     }
 
 
@@ -217,6 +233,93 @@ def run_adversarial_trial(
         adversary=adversary,
     ).run(packets)
     return supervised_metrics(result)
+
+
+def run_byzantine_trial(
+    network: RadioNetwork,
+    packets: Sequence[Packet],
+    fraction: float,
+    mode: str,
+    seed: int,
+    params: Optional[AlgorithmParameters] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    schedule: Optional[FaultSchedule] = None,
+    authentication: bool = True,
+) -> Dict[str, float]:
+    """One supervised run with a random ``fraction`` of insiders.
+
+    Authentication defaults to *on* — the hardened configuration the R3
+    experiment measures; pass ``authentication=False`` to watch the
+    attacks land.  As in :func:`run_chaos_trial`, the expected leader
+    (the max-ID packet holder) is excluded from the insider draw so the
+    sweep measures degradation around an honest root; leader-capture is
+    the explicitly separate ``id_inflation``-without-authentication
+    scenario.  The returned metrics add ``lost_honest_origin``: lost
+    packets whose origin was honest — zero whenever the recovery
+    machinery holds.
+    """
+    leader_guess = max(p.origin for p in packets) if packets else 0
+    byzantine = random_byzantine_set(
+        network.n, fraction, mode, seed=seed, exclude={leader_guess},
+    )
+    trial_params = (params or AlgorithmParameters()).with_overrides(
+        authentication=authentication,
+    )
+    result = SupervisedBroadcast(
+        network,
+        schedule=schedule or FaultSchedule(),
+        params=trial_params,
+        policy=policy,
+        seed=seed,
+        byzantine=byzantine,
+    ).run(packets)
+    metrics = supervised_metrics(result)
+    byz_nodes = byzantine.nodes if byzantine is not None else frozenset()
+    origin_of = {p.pid: p.origin for p in packets}
+    metrics["lost_honest_origin"] = float(sum(
+        1 for pid in result.packets_lost
+        if origin_of[pid] not in byz_nodes
+    ))
+    return metrics
+
+
+def byzantine_degradation_curve(
+    make_network: Callable[[], RadioNetwork],
+    make_packets: Callable[[RadioNetwork], Sequence[Packet]],
+    points: Sequence[Tuple[float, str]],
+    trials: int = 3,
+    base_seed: int = 0,
+    params: Optional[AlgorithmParameters] = None,
+    policy: Optional[SupervisionPolicy] = None,
+    authentication: bool = True,
+) -> List[Tuple[Tuple[float, str], Dict[str, float]]]:
+    """Sweep ``(fraction, mode)`` points; mean metrics each.
+
+    Returns ``[((fraction, mode), mean_metric_dict), ...]`` — the
+    degradation curve the R3 benchmark renders.
+    """
+    from repro.experiments.harness import aggregate, run_trials
+
+    curve: List[Tuple[Tuple[float, str], Dict[str, float]]] = []
+    for fraction, mode in points:
+        network = make_network()
+        packets = make_packets(network)
+
+        def trial(seed: int, _f=fraction, _m=mode,
+                  _net=network, _pkts=packets):
+            return run_byzantine_trial(
+                _net, _pkts, _f, _m, seed,
+                params=params, policy=policy,
+                authentication=authentication,
+            )
+
+        results = run_trials(trial, trials, base_seed=base_seed)
+        stats = aggregate(results)
+        curve.append(
+            ((fraction, mode),
+             {key: s.mean for key, s in stats.items()})
+        )
+    return curve
 
 
 def adversarial_degradation_curve(

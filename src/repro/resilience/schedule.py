@@ -188,9 +188,14 @@ class FaultSchedule:
             if e.round is None and e.after_stage == stage
         ]
 
-    def validate(self, n: int) -> None:
+    def validate(self, n: int, byzantine: Iterable[int] = ()) -> None:
         """Raise on out-of-range nodes and on internally inconsistent
         timelines.
+
+        ``byzantine`` lists nodes assigned Byzantine behavior alongside
+        this schedule; a node that both equivocates and crashes is
+        rejected (a crashed node cannot transmit, let alone lie),
+        mirroring the jam/crash overlap checks below.
 
         Beyond node-range checks, two structural errors are rejected:
 
@@ -220,6 +225,19 @@ class FaultSchedule:
                     raise ValueError(
                         f"jam window references node {v}, but n={n}"
                     )
+
+        byz = frozenset(byzantine)
+        for v in sorted(byz):
+            if not 0 <= v < n:
+                raise ValueError(
+                    f"Byzantine assignment references node {v}, but n={n}"
+                )
+        for v in sorted(byz & self.crashed_ever):
+            raise ValueError(
+                f"node {v} is assigned Byzantine behavior but also "
+                f"crashes in this schedule; a crashed node cannot "
+                f"equivocate — drop it from one of the two fault sets"
+            )
 
         for i, w1 in enumerate(self.jam_windows):
             for w2 in self.jam_windows[i + 1:]:

@@ -27,7 +27,15 @@ static fault-free model never needed:
   re-runs the epoch with exponentially deepened Decay schedules and
   re-requests the still-undelivered groups through the normal retry
   path; mis-decoded deliveries (possible only with integrity checks
-  disabled) are never counted as delivered.
+  disabled) are never counted as delivered;
+- **quorum-audited insider recovery** — with per-node authentication
+  enabled, cryptographically attributed misbehavior (forged leadership
+  claims, BFS layer lies, forged ACKs, poisoned coded rows) *convicts*
+  the sender: it is blacklisted, its traffic ignored, its packets
+  declared lost, and elections re-run without it.  Silent black holes
+  leave no such evidence, so a statistical path audit promotes repeat
+  offenders to *suspects* that are routed around — but never convicted,
+  keeping ``mis_attributions`` at zero by construction.
 
 Metrics are honest: a packet whose origin dies before any surviving root
 collected it is *lost* (reported, not hidden), and ``informed_fraction``
@@ -61,7 +69,6 @@ from repro.resilience.repair import (
     TreeRepairResult,
     attached_set,
     default_repair_epochs,
-    find_orphans,
     repair_tree,
 )
 from repro.resilience.schedule import FaultSchedule
@@ -98,6 +105,14 @@ class SupervisionPolicy:
         faults the doubling loop is the one unbounded-looking piece, and
         the cap turns it into a fixed-length attempt the watchdog can
         account for.
+    audit_quorum:
+        Quorum for the collection path audit (authenticated runs only):
+        an interior tree node is promoted to *routing suspect* — routed
+        around, never blacklisted — once it sits on the failing
+        origin→root path of at least this many un-collected packets
+        while appearing on no succeeding path.  Silent black holes leave
+        no cryptographic evidence, so suspicion is statistical; the
+        quorum keeps one unlucky collision streak from triggering it.
     """
 
     stage_timeout_factor: float = 1.25
@@ -108,6 +123,7 @@ class SupervisionPolicy:
     budget_escalation: float = 1.5
     repair_epoch_factor: float = 2.0
     collection_phase_cap: int = 8
+    audit_quorum: int = 2
 
     # -- per-stage worst-case round formulas ---------------------------
 
@@ -221,11 +237,21 @@ class StageAttempt:
 class SupervisedResult:
     """End-to-end outcome of a supervised run.
 
-    ``success`` means every surviving node knows every non-lost packet
-    and no watchdog tripped.  ``informed_fraction`` is measured over
-    surviving nodes and non-lost packets (1.0 = full recovery);
-    ``coverage`` is the fraction of the original k that was not lost to
-    origin crashes.
+    ``success`` means every surviving node knows every non-lost packet,
+    no watchdog tripped, and not everything was lost.
+    ``informed_fraction`` is measured over surviving non-blacklisted
+    nodes and non-lost packets (1.0 = full recovery); ``coverage`` is
+    the fraction of the original k that was not lost to origin crashes
+    or origin blacklisting.
+
+    ``blacklisted`` nodes were *convicted* on cryptographic evidence (a
+    verified hop signature wrapping invalid inner content);
+    ``suspected`` nodes were only statistically implicated by the
+    collection path audit and are routed around, never convicted.
+    ``mis_attributions`` counts blacklisted nodes that were in fact
+    honest — the attribution rule is designed to keep this at zero.
+    ``all_lost`` reports the explicit dead end where every packet was
+    lost (origins crashed or blacklisted before collection).
     """
 
     n: int
@@ -250,6 +276,13 @@ class SupervisedResult:
     mis_decodes: int = 0
     timeline: List[Tuple[int, str]] = field(repr=False, default_factory=list)
     trace: Optional[RoundTrace] = field(repr=False, default=None)
+    blacklisted: List[int] = field(default_factory=list)
+    suspected: List[int] = field(default_factory=list)
+    byzantine_rx_discarded: int = 0
+    forged_acks_rejected: int = 0
+    poisoned_rows_attributed: int = 0
+    mis_attributions: int = 0
+    all_lost: bool = False
 
     @property
     def repairs_run(self) -> int:
@@ -277,6 +310,12 @@ class SupervisedBroadcast:
         through the fault network (only when ``network`` is not already
         wrapped).  ``None`` keeps the run bit-identical to the plain
         engine's RNG stream.
+    byzantine:
+        Optional :class:`repro.resilience.byzantine.ByzantineSet` of
+        insider nodes (only when ``network`` is not already wrapped).
+        The set is synced with the run's integrity configuration so the
+        insiders know exactly what a protocol participant would know.
+        ``None`` keeps the run bit-identical to the plain engine.
     """
 
     def __init__(
@@ -290,20 +329,29 @@ class SupervisedBroadcast:
         keep_trace: bool = False,
         node_ids: Optional[Sequence[int]] = None,
         adversary=None,
+        byzantine=None,
     ):
         if isinstance(network, DynamicFaultNetwork):
-            if schedule is not None or adversary is not None:
+            if (schedule is not None or adversary is not None
+                    or byzantine is not None):
                 raise ValueError(
-                    "pass the schedule/adversary either inside the "
-                    "DynamicFaultNetwork or separately, not both"
+                    "pass the schedule/adversary/byzantine set either "
+                    "inside the DynamicFaultNetwork or separately, not both"
                 )
             self.net = network
         else:
             self.net = DynamicFaultNetwork(
                 network, schedule or FaultSchedule(), seed=seed,
-                adversary=adversary,
+                adversary=adversary, byzantine=byzantine,
             )
         self.params = params or AlgorithmParameters()
+        self.byz = getattr(self.net, "byzantine", None)
+        if self.byz is not None:
+            self.byz.configure(
+                integrity_key=self.params.integrity_key,
+                auth_master_key=self.params.auth_master_key,
+                authentication=self.params.authentication,
+            )
         self.policy = policy or SupervisionPolicy()
         self.rng = make_rng(seed)
         self.depth_bound = depth_bound or self.net.diameter
@@ -356,8 +404,41 @@ class SupervisedBroadcast:
         corrupt_discarded_total = 0
         mis_decodes_total = 0
 
+        byz = self.byz
+        auth = params.authentication
+        blacklist: Set[int] = set()
+        suspects: Set[int] = set()
+        suspicion: Dict[int, int] = {}
+        byz_rx_discarded_total = 0
+        forged_acks_total = 0
+        poisoned_rows_total = 0
+
         def note(text: str) -> None:
             timeline.append((self._rounds, text))
+
+        def convict(nodes, reason: str) -> None:
+            """Blacklist nodes caught on cryptographic evidence."""
+            fresh = sorted(set(nodes) - blacklist)
+            if not fresh:
+                return
+            blacklist.update(fresh)
+            suspects.difference_update(fresh)
+            note(f"blacklist: nodes {fresh} ({reason})")
+
+        def certified_id(v: int) -> int:
+            return self.node_ids[v] if self.node_ids is not None else v
+
+        def interior_path(parent, origin: int) -> Optional[List[int]]:
+            """Interior relays on origin's parent chain to the current
+            leader, or None if the chain is broken or cyclic."""
+            path: List[int] = []
+            seen = {origin}
+            v = parent[origin] if 0 <= origin < n else -1
+            while v >= 0 and v != leader and v not in seen:
+                path.append(v)
+                seen.add(v)
+                v = parent[v]
+            return path if v == leader else None
 
         def charge(stage: str, rounds: int) -> None:
             self._rounds += rounds
@@ -379,8 +460,22 @@ class SupervisedBroadcast:
 
         def run_repair(parent, distance) -> Tuple[List[int], List[int]]:
             """Repair if any alive node is detached; returns the
-            (possibly updated) parent/distance lists."""
-            orphans = find_orphans(parent, distance, leader, net.is_alive)
+            (possibly updated) parent/distance lists.  Convicted nodes
+            are treated as dead; suspects are routed around (their
+            children re-parent elsewhere) but may themselves re-adopt
+            so their own packets keep a route to the root."""
+            exclude = frozenset(blacklist)
+            mute = frozenset(suspects)
+            if exclude or mute:
+                def routing_alive(v, _bad=exclude | mute):
+                    return net.is_alive(v) and v not in _bad
+            else:
+                routing_alive = net.is_alive
+            att = attached_set(parent, distance, leader, routing_alive)
+            orphans = [
+                v for v in range(n)
+                if net.is_alive(v) and v not in exclude and v not in att
+            ]
             if not orphans or over_budget():
                 return parent, distance
             note(f"repair: {len(orphans)} orphaned nodes, re-parenting")
@@ -391,6 +486,8 @@ class SupervisedBroadcast:
                 ),
                 trace=self.trace,
                 round_offset=self._rounds,
+                exclude=exclude,
+                mute=mute,
             )
             charge("repair", rep.rounds)
             repairs.append(rep)
@@ -402,15 +499,24 @@ class SupervisedBroadcast:
             return rep.parent, rep.distance
 
         def prune_lost(collected_here: Set[int]) -> None:
-            """Packets whose origin died before any surviving root holds
-            them are lost; drop them honestly."""
+            """Packets whose origin died — or was convicted as an
+            insider — before any surviving root holds them are lost;
+            drop them honestly."""
             for pid in sorted(remaining):
                 if pid in collected_here:
                     continue
-                if not net.is_alive(origin_of[pid]):
+                origin = origin_of[pid]
+                if not net.is_alive(origin):
                     remaining.discard(pid)
                     lost.add(pid)
                     note(f"packet {pid} lost: origin crashed uncollected")
+                elif origin in blacklist:
+                    remaining.discard(pid)
+                    lost.add(pid)
+                    note(
+                        f"packet {pid} lost: origin {origin} blacklisted "
+                        f"uncollected"
+                    )
 
         cycle = 0
         root_holdings: Set[int] = set()
@@ -426,8 +532,20 @@ class SupervisedBroadcast:
             candidates = sorted({
                 origin_of[pid] for pid in remaining
                 if net.is_alive(origin_of[pid])
+                and origin_of[pid] not in blacklist
             })
             if not candidates:
+                # Dead end: every remaining packet holder is crashed or
+                # blacklisted.  Report all-lost explicitly instead of
+                # burning re-election cycles and retry backoffs.
+                for pid in sorted(remaining):
+                    remaining.discard(pid)
+                    lost.add(pid)
+                    note(f"packet {pid} lost: no eligible holder remains")
+                note(
+                    "election: every remaining packet holder is crashed "
+                    "or blacklisted; reporting all packets lost"
+                )
                 break
 
             # ---- Stage 1: leader election (retry on split/dead claim) --
@@ -444,21 +562,62 @@ class SupervisedBroadcast:
                     node_ids=self.node_ids,
                 )
                 charge("election", election.rounds)
-                claim_ok = (
-                    len(election.claimants) == 1
-                    and net.is_alive(election.claimants[0])
+                forged = (
+                    byz.election_claims(id_bound, net.is_alive)
+                    if byz is not None else []
                 )
+                winner = -1
+                if forged and auth:
+                    # Authenticated IDs: cross-validate every claim
+                    # against the certified table.  A forged claim is an
+                    # ID the claimant's key cannot certify — convict.
+                    convict(
+                        (v for v, claimed in forged
+                         if claimed != certified_id(v)),
+                        "forged leadership claim",
+                    )
+                    verified = [
+                        c for c in election.claimants
+                        if c not in blacklist and net.is_alive(c)
+                    ]
+                    claim_ok = len(verified) == 1
+                    if claim_ok:
+                        winner = verified[0]
+                elif forged:
+                    # Unauthenticated IDs: the inflated claim wins the
+                    # comparison — the insider captures the election.
+                    all_claims = [
+                        (c, certified_id(c)) for c in election.claimants
+                    ] + list(forged)
+                    all_claims = [
+                        (v, cid) for v, cid in all_claims
+                        if net.is_alive(v)
+                    ]
+                    claim_ok = bool(all_claims)
+                    if claim_ok:
+                        winner = max(all_claims, key=lambda vc: vc[1])[0]
+                else:
+                    claim_ok = (
+                        len(election.claimants) == 1
+                        and net.is_alive(election.claimants[0])
+                    )
+                    if claim_ok:
+                        winner = election.claimants[0]
                 attempts.append(StageAttempt(
                     "election", cycle, attempt, election.rounds, claim_ok,
-                    detail=f"claimants={election.claimants}",
+                    detail=f"claimants={election.claimants}" + (
+                        f", forged_claims={sorted(v for v, _ in forged)}"
+                        if forged else ""
+                    ),
                 ))
                 if claim_ok:
-                    leader = election.claimants[0]
+                    leader = winner
                     break
                 if attempt < policy.max_stage_retries:
                     backoff("election", attempt + 1)
                     candidates = [
-                        c for c in candidates if net.is_alive(c)
+                        c for c in candidates
+                        if net.is_alive(c) and c not in blacklist
                     ]
                     if not candidates:
                         break
@@ -467,6 +626,8 @@ class SupervisedBroadcast:
                 note("election: no live leader emerged")
                 continue
             note(f"leader elected: node {leader}")
+            if byz is not None:
+                byz.notice_leader(leader)
 
             # ---- Stage 2: distributed BFS (retry on uncovered nodes) ---
             parent: Optional[List[int]] = None
@@ -501,6 +662,33 @@ class SupervisedBroadcast:
                 note("bfs: leader crashed during tree construction")
                 continue
 
+            if auth:
+                # Layer audit: every adoption sets child = announced + 1,
+                # and honest announcements equal the announcer's recorded
+                # layer, so an edge with distance[child] !=
+                # distance[parent] + 1 convicts the parent of layer
+                # misreporting.  Victims are detached and re-parented at
+                # the next repair pass.
+                liars = {
+                    parent[v] for v in range(n)
+                    if v != leader and distance[v] >= 0 and parent[v] >= 0
+                    and (distance[parent[v]] < 0
+                         or distance[v] != distance[parent[v]] + 1)
+                }
+                liars.discard(leader)
+                if liars:
+                    convict(sorted(liars), "BFS layer misreporting")
+                    detached = 0
+                    for v in range(n):
+                        if parent[v] in liars:
+                            parent[v] = -1
+                            distance[v] = -1
+                            detached += 1
+                    note(
+                        f"bfs: audit convicted {len(liars)} lying "
+                        f"parents; {detached} victims detached for repair"
+                    )
+
             # ---- Stage 3: collection (repair + retry on unacked) -------
             collection_params = params.with_overrides(
                 max_collection_phases=min(
@@ -520,9 +708,15 @@ class SupervisedBroadcast:
                 )
                 prune_lost(root_holdings)
                 parent, distance = run_repair(parent, distance)
-                attached = attached_set(
-                    parent, distance, leader, net.is_alive
-                )
+                if blacklist:
+                    attached = attached_set(
+                        parent, distance, leader,
+                        lambda v: net.is_alive(v) and v not in blacklist,
+                    )
+                else:
+                    attached = attached_set(
+                        parent, distance, leader, net.is_alive
+                    )
                 to_collect = [
                     by_pid[pid] for pid in sorted(remaining)
                     if pid not in root_holdings
@@ -539,8 +733,13 @@ class SupervisedBroadcast:
                     collection_params, rng,
                     depth_bound=self.depth_bound,
                     trace=self.trace,
+                    blacklist=frozenset(blacklist),
                 )
                 charge("collection", collection.rounds)
+                byz_rx_discarded_total += collection.byzantine_rx_discarded
+                forged_acks_total += collection.forged_acks_rejected
+                if collection.flagged:
+                    convict(collection.flagged, "forged collection traffic")
                 for pid in collection.collected_order:
                     if pid not in root_holdings:
                         root_holdings.add(pid)
@@ -553,6 +752,41 @@ class SupervisedBroadcast:
                 ))
                 if ok:
                     break
+                if auth:
+                    # Quorum path audit: a silent black hole leaves no
+                    # cryptographic evidence, so count how many failing
+                    # origin→root paths each interior relay sits on.
+                    # Relays on any succeeding path are exonerated;
+                    # repeat offenders are *suspected* (routed around at
+                    # the next repair), never convicted.
+                    collected_now = set(collection.collected_order)
+                    exonerated: Set[int] = set()
+                    accused: List[int] = []
+                    for pkt in to_collect:
+                        path = interior_path(parent, pkt.origin)
+                        if path is None:
+                            continue
+                        if pkt.pid in collected_now:
+                            exonerated.update(path)
+                        else:
+                            accused.extend(path)
+                    for v in exonerated:
+                        suspicion.pop(v, None)
+                    promoted: Set[int] = set()
+                    for v in accused:
+                        if (v in exonerated or v in blacklist
+                                or v in suspects or v == leader):
+                            continue
+                        suspicion[v] = suspicion.get(v, 0) + 1
+                        if suspicion[v] >= policy.audit_quorum:
+                            promoted.add(v)
+                    if promoted:
+                        suspects.update(promoted)
+                        note(
+                            f"audit: routing around suspected relays "
+                            f"{sorted(promoted)} "
+                            f"(quorum {policy.audit_quorum} failing paths)"
+                        )
                 if attempt < policy.max_stage_retries:
                     jam_delta = (
                         net.rx_suppressed_jam + net.rx_jammed_adversary
@@ -600,10 +834,17 @@ class SupervisedBroadcast:
                 dissemination = run_dissemination_stage(
                     net, safe_distance, leader, to_send, diss_params,
                     rng, trace=self.trace,
+                    blacklist=frozenset(blacklist),
                 )
                 charge("dissemination", dissemination.rounds)
                 corrupt_discarded_total += dissemination.corrupted_discarded
                 mis_decodes_total += dissemination.mis_decodes
+                byz_rx_discarded_total += dissemination.byzantine_rx_discarded
+                poisoned_rows_total += dissemination.poisoned_rows_attributed
+                if dissemination.flagged_senders:
+                    convict(
+                        dissemination.flagged_senders, "poisoned coded rows"
+                    )
 
                 # a mis-decoded (node, group) believes it holds the group
                 # but the data is wrong: never count it as delivered
@@ -624,7 +865,8 @@ class SupervisedBroadcast:
                     pkt.pid for pkt in to_send
                     if all(
                         knows[v, pid_col[pkt.pid]]
-                        for v in range(n) if net.is_alive(v)
+                        for v in range(n)
+                        if net.is_alive(v) and v not in blacklist
                     )
                 ]
                 for pid in delivered_now:
@@ -655,11 +897,15 @@ class SupervisedBroadcast:
                         if pkt.pid in remaining
                     }
                     if (dissemination.corrupted_discarded
-                            or dissemination.mis_decodes):
+                            or dissemination.mis_decodes
+                            or dissemination.poisoned_rows_attributed):
                         note(
                             f"dissemination: corruption detected "
                             f"({dissemination.corrupted_discarded} rows "
-                            f"quarantined, {dissemination.mis_decodes} "
+                            f"quarantined, "
+                            f"{dissemination.poisoned_rows_attributed} "
+                            f"poisoned rows attributed, "
+                            f"{dissemination.mis_decodes} "
                             f"mis-decodes); re-requesting "
                             f"{len(undelivered_groups)} groups with "
                             f"Decay depth x{depth:.2f}"
@@ -690,18 +936,23 @@ class SupervisedBroadcast:
             else set()
         )
         survivors = net.alive_nodes()
+        honest_survivors = [v for v in survivors if v not in blacklist]
         non_lost = [pid for pid in by_pid if pid not in lost]
-        if survivors and non_lost:
+        if honest_survivors and non_lost:
             cols = [pid_col[pid] for pid in non_lost]
             informed = float(
-                knows[np.ix_(survivors, cols)].mean()
+                knows[np.ix_(honest_survivors, cols)].mean()
             )
         else:
             informed = 1.0
         undelivered = sorted(remaining)
+        all_lost = bool(by_pid) and not non_lost
         success = (
             not watchdog[0] and not undelivered and informed >= 1.0
+            and not all_lost
         )
+        byz_nodes = byz.nodes if byz is not None else frozenset()
+        mis_attributions = sum(1 for v in blacklist if v not in byz_nodes)
         retries = sum(1 for a in attempts if a.attempt > 0)
         for clock, kind, target in net.events_applied:
             timeline.append((clock, f"fault: {kind} {target}"))
@@ -730,4 +981,11 @@ class SupervisedBroadcast:
             mis_decodes=mis_decodes_total,
             timeline=timeline,
             trace=self.trace,
+            blacklisted=sorted(blacklist),
+            suspected=sorted(suspects),
+            byzantine_rx_discarded=byz_rx_discarded_total,
+            forged_acks_rejected=forged_acks_total,
+            poisoned_rows_attributed=poisoned_rows_total,
+            mis_attributions=mis_attributions,
+            all_lost=all_lost,
         )
