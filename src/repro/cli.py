@@ -100,10 +100,12 @@ def build_workload(network: RadioNetwork, args: argparse.Namespace):
     raise ValueError(f"unknown workload {args.workload!r}")
 
 
-def _add_common(parser: argparse.ArgumentParser) -> None:
+def _add_common(
+    parser: argparse.ArgumentParser, topology_required: bool = True
+) -> None:
     parser.add_argument(
         "--topology",
-        required=True,
+        required=topology_required,
         choices=["line", "ring", "star", "clique", "grid", "tree", "rgg", "gnp"],
     )
     parser.add_argument("--n", type=int, default=36,
@@ -116,8 +118,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="seed for random topologies")
 
 
-def _add_run_args(parser: argparse.ArgumentParser) -> None:
-    _add_common(parser)
+def _add_run_args(
+    parser: argparse.ArgumentParser, topology_required: bool = True
+) -> None:
+    _add_common(parser, topology_required=topology_required)
     parser.add_argument("--k", type=int, default=10, help="number of packets")
     parser.add_argument(
         "--workload", default="uniform",
@@ -242,7 +246,144 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0 if ours.success else 1
 
 
+def _fuzz_topology_spec(args: argparse.Namespace) -> dict:
+    """Serializable topology spec from the ``chaos fuzz`` flags."""
+    kind = args.fz_topology
+    if kind == "grid":
+        return {"kind": "grid", "rows": args.fz_rows, "cols": args.fz_cols}
+    if kind == "tree":
+        return {
+            "kind": "tree",
+            "branching": args.fz_branching,
+            "depth": args.fz_depth,
+        }
+    if kind in ("rgg", "gnp"):
+        return {"kind": kind, "n": args.fz_n, "seed": args.fz_topology_seed}
+    return {"kind": kind, "n": args.fz_n}
+
+
+def cmd_chaos_fuzz(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.resilience.chaos import (
+        CampaignConfig,
+        ChaosCampaign,
+        build_artifact,
+        evaluate_campaign,
+        run_campaign,
+        shrink_campaign,
+        write_artifact,
+    )
+    from repro.resilience.chaos.runner import make_policy
+
+    config = CampaignConfig(
+        profile=args.profile,
+        topology=_fuzz_topology_spec(args),
+        workload={"kind": args.fz_workload, "k": args.fz_k},
+        preset=args.fz_preset,
+        ablation=args.ablation,
+        round_bound_factor=args.round_bound_factor,
+    )
+    report = run_campaign(
+        config,
+        trials=args.trials,
+        base_seed=args.fz_seed,
+        max_workers=args.workers,
+    )
+
+    artifact_paths = []
+    shrink_sizes = []
+    for trial in report.violating:
+        campaign = ChaosCampaign.from_json(trial["campaign"])
+        shrink = None
+        shrunk_verdicts = None
+        if not args.no_shrink:
+            shrink = shrink_campaign(
+                campaign,
+                [v["name"] for v in trial["violations"]],
+                preset=config.preset,
+                round_bound_factor=config.round_bound_factor,
+            )
+            _, shrunk_verdicts = evaluate_campaign(
+                shrink.shrunk,
+                policy=make_policy(shrink.shrunk),
+                preset=config.preset,
+                round_bound_factor=config.round_bound_factor,
+            )
+            shrink_sizes.append(shrink.atoms_after)
+        artifact = build_artifact(
+            config, trial, shrink=shrink, shrunk_verdicts=shrunk_verdicts
+        )
+        path = write_artifact(
+            artifact,
+            Path(args.artifact_dir)
+            / f"chaos-{config.profile}-{config.ablation}"
+              f"-seed{trial['seed']}.json",
+        )
+        artifact_paths.append(str(path))
+
+    summary = report.summary()
+    summary["artifacts"] = artifact_paths
+    if shrink_sizes:
+        summary["shrunk_atom_sizes"] = shrink_sizes
+    if args.fz_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [key, value if isinstance(value, (int, float)) else str(value)]
+            for key, value in summary.items()
+        ]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"Chaos fuzz: {args.trials} trials, "
+                  f"profile={config.profile}, ablation={config.ablation}",
+        ))
+        for trial in report.violating:
+            names = ", ".join(v["name"] for v in trial["violations"])
+            print(f"  seed {trial['seed']}: violated [{names}]")
+    return 1 if report.violating else 0
+
+
+def cmd_chaos_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.resilience.chaos import load_artifact, replay_artifact
+
+    artifact = load_artifact(args.artifact)
+    replay = replay_artifact(artifact, which=args.which)
+    summary = replay.summary()
+    summary["verdicts"] = [v.to_json() for v in replay.verdicts]
+    if args.rp_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [
+            ["campaign", args.which],
+            ["seed", replay.seed],
+            ["violations", ", ".join(
+                v.name for v in replay.violations) or "none"],
+            ["deterministic", "yes" if replay.deterministic else "NO"],
+        ]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"Chaos replay: {args.artifact}",
+        ))
+    return 0 if replay.deterministic else 1
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
+    if getattr(args, "chaos_command", None) == "fuzz":
+        return cmd_chaos_fuzz(args)
+    if getattr(args, "chaos_command", None) == "replay":
+        return cmd_chaos_replay(args)
+    if args.topology is None:
+        print(
+            "repro chaos: --topology is required "
+            "(or use 'repro chaos fuzz' / 'repro chaos replay')",
+            file=sys.stderr,
+        )
+        return 2
+
     from repro.resilience import (
         SupervisedBroadcast,
         make_adversary,
@@ -411,9 +552,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     chaos = sub.add_parser(
         "chaos",
-        help="self-healing broadcast under a random crash schedule",
+        help="self-healing broadcast under a random crash schedule, "
+             "plus fuzz/replay subcommands",
     )
-    _add_run_args(chaos)
+    _add_run_args(chaos, topology_required=False)
     chaos.add_argument("--crash-frac", type=float, default=0.1,
                        help="fraction of eligible nodes to crash")
     chaos.add_argument("--crash-stage", default="bfs",
@@ -447,6 +589,67 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="emit the degradation report as JSON "
                             "instead of a table (exit codes unchanged)")
     chaos.set_defaults(func=cmd_chaos)
+
+    # Nested subcommands.  Their flags use private dests (fz_*/rp_*)
+    # because the parent chaos parser has already planted defaults for
+    # the shared names in the namespace, and argparse skips a
+    # subparser default whenever the dest is present.
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=False)
+    fuzz = chaos_sub.add_parser(
+        "fuzz",
+        help="run a seeded fuzzing campaign with invariant oracles",
+    )
+    fuzz.add_argument("--trials", type=int, default=20,
+                      help="number of consecutive fuzz seeds")
+    fuzz.add_argument("--seed", dest="fz_seed", type=int, default=0,
+                      help="base seed (trial i uses seed base+i)")
+    fuzz.add_argument("--profile", default="medium",
+                      choices=["light", "medium", "heavy"],
+                      help="fault-intensity profile")
+    fuzz.add_argument("--topology", dest="fz_topology", default="grid",
+                      choices=["line", "ring", "star", "clique", "grid",
+                               "tree", "rgg", "gnp"])
+    fuzz.add_argument("--n", dest="fz_n", type=int, default=16)
+    fuzz.add_argument("--rows", dest="fz_rows", type=int, default=4)
+    fuzz.add_argument("--cols", dest="fz_cols", type=int, default=4)
+    fuzz.add_argument("--branching", dest="fz_branching", type=int,
+                      default=2)
+    fuzz.add_argument("--depth", dest="fz_depth", type=int, default=4)
+    fuzz.add_argument("--topology-seed", dest="fz_topology_seed",
+                      type=int, default=0)
+    fuzz.add_argument("--k", dest="fz_k", type=int, default=6,
+                      help="packets per trial")
+    fuzz.add_argument("--workload", dest="fz_workload", default="uniform",
+                      choices=["uniform", "single", "hotspot", "all"])
+    fuzz.add_argument("--preset", dest="fz_preset", default="default",
+                      choices=sorted(PRESETS))
+    fuzz.add_argument("--ablation", default="none",
+                      choices=["none", "no_repair"],
+                      help="run with a known-broken configuration "
+                           "(CI sanity check that the fuzzer catches it)")
+    fuzz.add_argument("--workers", type=int, default=None,
+                      help="parallel worker processes (default: serial "
+                           "executor decides)")
+    fuzz.add_argument("--round-bound-factor", type=float, default=200.0,
+                      help="liveness oracle: allowed multiple of the "
+                           "Theorem 2 round bound for clean runs")
+    fuzz.add_argument("--artifact-dir", default="chaos-artifacts",
+                      help="directory for failure bundles")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip delta-debugging of violating campaigns")
+    fuzz.add_argument("--json", dest="fz_json", action="store_true",
+                      help="emit the campaign summary as JSON")
+
+    replay = chaos_sub.add_parser(
+        "replay",
+        help="re-execute a failure artifact bit-for-bit",
+    )
+    replay.add_argument("artifact", help="path to a failure bundle")
+    replay.add_argument("--which", default="original",
+                        choices=["original", "shrunk"],
+                        help="replay the original or the shrunk campaign")
+    replay.add_argument("--json", dest="rp_json", action="store_true",
+                        help="emit the replay report as JSON")
 
     dynamic = sub.add_parser(
         "dynamic", help="batched dynamic broadcast under Poisson arrivals"

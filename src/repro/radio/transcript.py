@@ -19,18 +19,28 @@ recording is strictly opt-in.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.radio.network import RadioNetwork
 
 
 @dataclass
 class TranscriptEntry:
-    """One recorded round."""
+    """One recorded round.
+
+    ``clock`` is the wrapped network's own round clock at resolution
+    time, when it keeps one (:class:`repro.resilience.network.
+    DynamicFaultNetwork` does; plain networks do not).  Engines that
+    charge silent rounds between resolutions make ``clock`` run ahead of
+    ``index``; recording it lets a replayer advance a fresh fault
+    network to the exact same round before re-resolving, so
+    schedule-driven faults land identically.
+    """
 
     index: int
     transmissions: Dict[int, object]
     received: Dict[int, object]
+    clock: Optional[int] = None
 
 
 class RecordingNetwork:
@@ -47,12 +57,14 @@ class RecordingNetwork:
         self.transcript: List[TranscriptEntry] = []
 
     def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
+        clock = getattr(self._base, "clock", None)
         received = self._base.resolve_round(transmissions)
         self.transcript.append(
             TranscriptEntry(
                 index=len(self.transcript),
                 transmissions=dict(transmissions),
                 received=dict(received),
+                clock=clock,
             )
         )
         return received

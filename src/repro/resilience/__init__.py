@@ -18,8 +18,31 @@ This package layers robustness machinery over the four-stage broadcast:
   retries with backoff, leader re-election, tree repair, and
   quorum-audited insider recovery wrapped around the four stages;
 - :mod:`repro.resilience.report` — chaos trials for the experiment
-  harness and degradation curves.
+  harness and degradation curves;
+- :mod:`repro.resilience.chaos` — seeded chaos-fuzzing campaigns over
+  the whole vocabulary: sampled mixed-fault schedules, invariant
+  oracles, delta-debugging shrinking, and replayable failure
+  artifacts.
 """
+
+from repro.resilience.chaos import (
+    CampaignConfig,
+    CampaignReport,
+    ChaosCampaign,
+    IntensityProfile,
+    OracleVerdict,
+    PROFILES,
+    ReplayReport,
+    ShrinkResult,
+    build_artifact,
+    load_artifact,
+    replay_artifact,
+    run_campaign,
+    run_oracles,
+    sample_campaign,
+    shrink_campaign,
+    write_artifact,
+)
 
 from repro.resilience.adversary import (
     Adversary,
@@ -70,12 +93,20 @@ __all__ = [
     "BYZANTINE_MODES",
     "BudgetedJammer",
     "ByzantineSet",
+    "CampaignConfig",
+    "CampaignReport",
+    "ChaosCampaign",
     "CorruptionChannel",
     "DynamicFaultNetwork",
     "FaultEvent",
     "FaultSchedule",
+    "IntensityProfile",
     "JamWindow",
+    "OracleVerdict",
+    "PROFILES",
     "ReactiveJammer",
+    "ReplayReport",
+    "ShrinkResult",
     "StageAttempt",
     "SupervisedBroadcast",
     "SupervisedResult",
@@ -83,16 +114,24 @@ __all__ = [
     "TreeRepairResult",
     "adversarial_degradation_curve",
     "attached_set",
+    "build_artifact",
     "byzantine_degradation_curve",
     "default_repair_epochs",
     "degradation_curve",
     "find_orphans",
+    "load_artifact",
     "make_adversary",
     "random_byzantine_set",
     "random_crash_schedule",
     "repair_tree",
+    "replay_artifact",
     "run_adversarial_trial",
     "run_byzantine_trial",
+    "run_campaign",
     "run_chaos_trial",
+    "run_oracles",
+    "sample_campaign",
+    "shrink_campaign",
     "supervised_metrics",
+    "write_artifact",
 ]

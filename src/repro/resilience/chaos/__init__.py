@@ -1,0 +1,105 @@
+"""Seeded chaos-fuzzing: searched fault campaigns with invariant oracles.
+
+PRs 1–3 built a fault *vocabulary* — crash/recover schedules, link
+churn, jam windows, adaptive jammers, payload corruption, Byzantine
+insiders — but every scenario exercised so far was hand-written, so the
+test surface was limited to the failure modes someone already imagined.
+This package turns the vocabulary into a *search*:
+
+- :mod:`repro.resilience.chaos.fuzzer` — a seeded schedule fuzzer that
+  samples mixed campaigns (crashes, recoveries, link churn, jam windows,
+  adversary knobs, Byzantine mode assignments) from declarative
+  :class:`IntensityProfile`\\ s, always emitting schedules that pass
+  :meth:`FaultSchedule.validate`;
+- :mod:`repro.resilience.chaos.oracles` — invariant oracles run against
+  every trial: safety (no mis-decode, no mis-attribution, every dropped
+  reception accounted exactly once, the reception rule holds under
+  faults, the fault-layer event stream replays bit-for-bit) and
+  liveness (honest-reachable delivery, round count within a
+  configurable multiple of the paper's Theorem 2 bound);
+- :mod:`repro.resilience.chaos.runner` — a campaign runner executing N
+  seeded trials (optionally across the
+  :mod:`repro.experiments.parallel` worker pool) and collecting
+  violations;
+- :mod:`repro.resilience.chaos.shrink` — a delta-debugging shrinker
+  that minimizes a violating campaign to a locally minimal set of fault
+  atoms, re-checking the violated oracle at every step;
+- :mod:`repro.resilience.chaos.artifact` — replayable failure bundles
+  (seed, topology spec, shrunk schedule, oracle verdicts) that
+  ``repro chaos replay`` re-executes bit-for-bit.
+
+Everything is seeded: the same (profile, topology, seed) triple always
+produces the same campaign, the same execution, and the same verdicts,
+which is what makes shrinking and artifact replay exact rather than
+statistical.
+"""
+
+from repro.resilience.chaos.artifact import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    ReplayReport,
+    build_artifact,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.resilience.chaos.fuzzer import (
+    PROFILES,
+    ChaosCampaign,
+    IntensityProfile,
+    build_topology_spec,
+    build_workload_spec,
+    sample_campaign,
+)
+from repro.resilience.chaos.oracles import (
+    ORACLES,
+    OracleVerdict,
+    run_oracles,
+    violated,
+)
+from repro.resilience.chaos.runner import (
+    CampaignConfig,
+    CampaignReport,
+    TrialExecution,
+    evaluate_campaign,
+    execute_campaign,
+    run_campaign,
+    run_fuzz_trial,
+)
+from repro.resilience.chaos.shrink import (
+    ShrinkResult,
+    campaign_atoms,
+    rebuild_campaign,
+    shrink_campaign,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "CampaignConfig",
+    "CampaignReport",
+    "ChaosCampaign",
+    "IntensityProfile",
+    "ORACLES",
+    "OracleVerdict",
+    "PROFILES",
+    "ReplayReport",
+    "ShrinkResult",
+    "TrialExecution",
+    "build_artifact",
+    "build_topology_spec",
+    "build_workload_spec",
+    "campaign_atoms",
+    "evaluate_campaign",
+    "execute_campaign",
+    "load_artifact",
+    "rebuild_campaign",
+    "replay_artifact",
+    "run_campaign",
+    "run_fuzz_trial",
+    "run_oracles",
+    "sample_campaign",
+    "shrink_campaign",
+    "violated",
+    "write_artifact",
+]

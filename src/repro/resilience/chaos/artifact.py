@@ -1,0 +1,168 @@
+"""Replayable failure artifacts.
+
+When a fuzz trial violates an oracle, the campaign runner bundles
+everything needed to reproduce the failure into one JSON document:
+
+- the runner configuration (profile, topology, workload, preset,
+  policy knobs, round-bound factor, ablation),
+- the violating campaign (seed, schedule, jam windows, adversary
+  knobs, Byzantine assignment — the campaign *is* the reproduction,
+  every random stream derives from its fields),
+- the oracle verdicts the run produced,
+- optionally the shrunk campaign and its verdicts.
+
+``repro chaos replay bundle.json`` re-executes the bundle bit-for-bit:
+because the whole pipeline is seeded, the replay must reproduce the
+recorded verdict sequence exactly — :class:`ReplayReport.deterministic`
+says whether it did.  A non-deterministic replay is itself a bug (an
+unseeded random stream leaked into the pipeline).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.resilience.chaos.fuzzer import ChaosCampaign
+from repro.resilience.chaos.oracles import OracleVerdict, violated
+from repro.resilience.chaos.runner import (
+    CampaignConfig,
+    evaluate_campaign,
+    make_policy,
+)
+from repro.resilience.chaos.shrink import ShrinkResult
+
+ARTIFACT_FORMAT = "repro-chaos-failure"
+ARTIFACT_VERSION = 1
+
+
+def build_artifact(
+    config: CampaignConfig,
+    trial: dict,
+    shrink: Optional[ShrinkResult] = None,
+    shrunk_verdicts: Optional[Sequence[OracleVerdict]] = None,
+) -> dict:
+    """Assemble the failure bundle for one violating trial.
+
+    ``trial`` is a :func:`repro.resilience.chaos.runner.run_fuzz_trial`
+    summary dict; ``shrink``/``shrunk_verdicts`` attach the minimized
+    campaign when shrinking ran.
+    """
+    artifact = {
+        "format": ARTIFACT_FORMAT,
+        "version": ARTIFACT_VERSION,
+        "config": config.to_json(),
+        "seed": trial["seed"],
+        "campaign": trial["campaign"],
+        "verdicts": trial["verdicts"],
+        "violations": trial["violations"],
+        "total_rounds": trial.get("total_rounds"),
+        "fault_atoms": trial.get("fault_atoms"),
+    }
+    if shrink is not None:
+        shrunk = shrink.to_json()
+        if shrunk_verdicts is not None:
+            shrunk["verdicts"] = [v.to_json() for v in shrunk_verdicts]
+        artifact["shrink"] = shrunk
+    return artifact
+
+
+def write_artifact(artifact: dict, path: Union[str, Path]) -> Path:
+    """Write the bundle as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def load_artifact(path: Union[str, Path]) -> dict:
+    """Read and sanity-check a bundle."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a chaos failure artifact "
+            f"(format={data.get('format')!r})"
+        )
+    if int(data.get("version", -1)) > ARTIFACT_VERSION:
+        raise ValueError(
+            f"{path}: artifact version {data.get('version')} is newer "
+            f"than this library understands ({ARTIFACT_VERSION})"
+        )
+    return data
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-executing an artifact."""
+
+    which: str  #: "original" or "shrunk"
+    seed: int
+    verdicts: List[OracleVerdict]
+    recorded: List[dict]  #: the verdicts the artifact recorded
+    deterministic: bool  #: replay reproduced the recorded verdicts
+
+    @property
+    def violations(self) -> List[OracleVerdict]:
+        return violated(self.verdicts)
+
+    def summary(self) -> dict:
+        return {
+            "which": self.which,
+            "seed": self.seed,
+            "deterministic": self.deterministic,
+            "violations": [v.name for v in self.violations],
+        }
+
+
+def replay_artifact(
+    artifact: dict, which: str = "original"
+) -> ReplayReport:
+    """Re-execute a bundle's campaign and re-judge it.
+
+    ``which`` selects the original violating campaign or (when the
+    bundle carries one) the shrunk reproduction.  The replay runs under
+    the bundle's own recorded configuration, so the verdicts must come
+    out identical — any divergence is reported, not papered over.
+    """
+    if which not in ("original", "shrunk"):
+        raise ValueError(f"which must be 'original' or 'shrunk', not {which!r}")
+    config = CampaignConfig.from_json(artifact["config"])
+    if which == "shrunk":
+        shrunk = artifact.get("shrink")
+        if not shrunk:
+            raise ValueError("artifact carries no shrunk campaign")
+        campaign_json = shrunk["shrunk_campaign"]
+        recorded = shrunk.get("verdicts", [])
+    else:
+        campaign_json = artifact["campaign"]
+        recorded = artifact.get("verdicts", [])
+
+    campaign = ChaosCampaign.from_json(campaign_json)
+    _, verdicts = evaluate_campaign(
+        campaign,
+        policy=make_policy(
+            campaign,
+            max_stage_retries=config.max_stage_retries,
+            max_reelections=config.max_reelections,
+        ),
+        preset=config.preset,
+        round_bound_factor=config.round_bound_factor,
+    )
+    deterministic = not recorded or (
+        [(v.name, v.passed, v.skipped) for v in verdicts]
+        == [
+            (v["name"], v["passed"], v.get("skipped", False))
+            for v in recorded
+        ]
+    )
+    return ReplayReport(
+        which=which,
+        seed=int(campaign.seed),
+        verdicts=verdicts,
+        recorded=list(recorded),
+        deterministic=deterministic,
+    )

@@ -1,0 +1,433 @@
+"""The seeded schedule fuzzer: declarative intensity → valid campaigns.
+
+An :class:`IntensityProfile` describes *ranges* (how many crashes, how
+long a jam window, how hot the corruption channel);::
+
+    campaign = sample_campaign(PROFILES["medium"], spec, workload, seed=7)
+
+draws one concrete :class:`ChaosCampaign` from those ranges with a
+dedicated seeded RNG.  The sampler's contract:
+
+- **validity** — the emitted :class:`FaultSchedule` always passes
+  :meth:`FaultSchedule.validate` together with the Byzantine assignment
+  (no crash/Byzantine overlap, no events on dead nodes, no overlapping
+  same-node jam windows, all ids in range);
+- **determinism** — the same (profile, topology, workload, seed)
+  quadruple always yields the identical campaign, byte-for-byte in its
+  JSON form;
+- **self-containment** — a campaign carries everything needed to re-run
+  it from scratch (topology and workload *specs*, not objects), which
+  is what the failure artifacts serialize.
+
+Campaign event rounds are drawn inside a horizon proportional to the
+paper's Theorem 2 bound for the instance, so faults land where the run
+actually is rather than uniformly over an arbitrary range.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.complexity import theorem2_total_bound
+from repro.coding.packets import Packet
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import make_rng
+from repro.resilience.byzantine import BYZANTINE_MODES
+from repro.resilience.schedule import STAGES, FaultSchedule
+
+#: Campaign-level ablations: named known-broken configurations the
+#: fuzzer is expected to catch (used by tests, CI, and the R4 bench).
+ABLATIONS = ("none", "no_repair")
+
+
+def build_topology_spec(spec: Dict[str, object]) -> RadioNetwork:
+    """Instantiate a network from its serializable spec dict.
+
+    Mirrors the CLI's topology vocabulary: ``{"kind": "grid", "rows": 4,
+    "cols": 4}``, ``{"kind": "rgg", "n": 20, "seed": 3}``, etc.
+    """
+    from repro import topology
+
+    kind = spec["kind"]
+    if kind == "grid":
+        return topology.grid(int(spec["rows"]), int(spec["cols"]))
+    if kind == "tree":
+        return topology.balanced_tree(
+            int(spec["branching"]), int(spec["depth"])
+        )
+    if kind in ("line", "ring", "star", "clique"):
+        return getattr(topology, kind)(int(spec["n"]))
+    if kind == "rgg":
+        return topology.random_geometric(
+            int(spec["n"]), seed=int(spec.get("seed", 0))
+        )
+    if kind == "gnp":
+        return topology.random_connected_gnp(
+            int(spec["n"]), seed=int(spec.get("seed", 0))
+        )
+    raise ValueError(f"unknown topology kind {kind!r}")
+
+
+def build_workload_spec(
+    network: RadioNetwork, spec: Dict[str, object]
+) -> List[Packet]:
+    """Instantiate the packet placement from its serializable spec."""
+    from repro.experiments import workloads
+
+    kind = spec.get("kind", "uniform")
+    seed = int(spec.get("seed", 0))
+    k = int(spec.get("k", 1))
+    if kind == "uniform":
+        return workloads.uniform_random_placement(network, k, seed=seed)
+    if kind == "single":
+        return workloads.single_source_burst(
+            network, k, source=int(spec.get("source", 0)), seed=seed
+        )
+    if kind == "hotspot":
+        return workloads.hotspot_placement(network, k, seed=seed)
+    if kind == "all":
+        return workloads.all_nodes_one_packet(network, seed=seed)
+    raise ValueError(f"unknown workload kind {kind!r}")
+
+
+@dataclass(frozen=True)
+class IntensityProfile:
+    """Sampling ranges for one fuzzing intensity.
+
+    All ``(lo, hi)`` pairs are inclusive ranges; probabilities named
+    ``p_*`` gate whether a whole fault family is drawn at all, so a
+    profile mixes fault kinds across trials rather than stacking every
+    kind in every trial.
+
+    ``expect_delivery`` declares whether the liveness oracles apply:
+    profiles inside the supervisor's proven recovery envelope (R1–R3)
+    demand full delivery and a bounded round count; profiles beyond it
+    (``heavy``) check safety only — under a half-jammed channel a run
+    may honestly fail, and that is not a bug.
+    """
+
+    name: str
+    crash_frac: Tuple[float, float] = (0.0, 0.1)
+    p_symbolic: float = 0.25
+    recover_prob: float = 0.4
+    link_events: Tuple[int, int] = (0, 2)
+    link_restore_prob: float = 0.6
+    jam_window_count: Tuple[int, int] = (0, 1)
+    jam_len: Tuple[int, int] = (20, 200)
+    jam_prob: Tuple[float, float] = (0.3, 0.8)
+    jam_node_count: Tuple[int, int] = (1, 3)
+    p_adv_jam: float = 0.3
+    adv_jam_prob: Tuple[float, float] = (0.02, 0.1)
+    p_corrupt: float = 0.4
+    corrupt_rate: Tuple[float, float] = (0.01, 0.05)
+    p_jam_budget: float = 0.2
+    jam_budget: Tuple[int, int] = (5, 40)
+    p_byzantine: float = 0.3
+    byzantine_frac: Tuple[float, float] = (0.05, 0.1)
+    byzantine_modes: Tuple[str, ...] = BYZANTINE_MODES
+    allow_leader_crash: bool = False
+    expect_delivery: bool = True
+    horizon_factor: float = 30.0
+
+
+#: The named intensity tiers the CLI, CI, and R4 bench sweep.
+PROFILES: Dict[str, IntensityProfile] = {
+    "light": IntensityProfile(
+        name="light",
+        crash_frac=(0.0, 0.08),
+        link_events=(0, 1),
+        jam_window_count=(0, 1),
+        jam_len=(10, 80),
+        jam_prob=(0.2, 0.6),
+        p_adv_jam=0.15,
+        adv_jam_prob=(0.01, 0.05),
+        p_corrupt=0.3,
+        corrupt_rate=(0.005, 0.02),
+        p_jam_budget=0.0,
+        p_byzantine=0.15,
+        byzantine_frac=(0.05, 0.08),
+    ),
+    "medium": IntensityProfile(
+        name="medium",
+    ),
+    "heavy": IntensityProfile(
+        name="heavy",
+        crash_frac=(0.05, 0.3),
+        p_symbolic=0.35,
+        recover_prob=0.3,
+        link_events=(0, 4),
+        jam_window_count=(0, 3),
+        jam_len=(50, 600),
+        jam_prob=(0.5, 1.0),
+        jam_node_count=(1, 6),
+        p_adv_jam=0.6,
+        adv_jam_prob=(0.1, 0.4),
+        p_corrupt=0.6,
+        corrupt_rate=(0.02, 0.15),
+        p_jam_budget=0.5,
+        jam_budget=(20, 120),
+        p_byzantine=0.5,
+        byzantine_frac=(0.05, 0.15),
+        allow_leader_crash=True,
+        expect_delivery=False,
+    ),
+}
+
+
+@dataclass
+class ChaosCampaign:
+    """One fully specified, self-contained chaos trial.
+
+    Serializable end to end: rebuilding the network from ``topology``,
+    the packets from ``workload``, and the fault stack from the
+    remaining fields reproduces the execution bit-for-bit (every RNG in
+    the pipeline is seeded from fields of this object).
+    """
+
+    topology: Dict[str, object]
+    workload: Dict[str, object]
+    seed: int
+    schedule: FaultSchedule = field(default_factory=FaultSchedule)
+    jam_prob: float = 0.0
+    corrupt_rate: float = 0.0
+    jam_budget: Optional[int] = None
+    adversary_seed: int = 0
+    byzantine_nodes: Tuple[int, ...] = ()
+    byzantine_mode: Optional[str] = None
+    authentication: bool = False
+    profile: str = "custom"
+    expect_delivery: bool = True
+    ablation: str = "none"
+
+    def __post_init__(self):
+        if self.ablation not in ABLATIONS:
+            raise ValueError(
+                f"unknown ablation {self.ablation!r}; "
+                f"expected one of {ABLATIONS}"
+            )
+        if self.byzantine_nodes and self.byzantine_mode is None:
+            raise ValueError("byzantine nodes given without a mode")
+
+    def fault_atom_count(self) -> int:
+        """Schedule events + jam windows: the shrinker's primary size
+        metric (adversary knobs and insider nodes are counted as atoms
+        by the shrinker itself)."""
+        return len(self.schedule)
+
+    def to_json(self) -> dict:
+        return {
+            "topology": dict(self.topology),
+            "workload": dict(self.workload),
+            "seed": self.seed,
+            "schedule": self.schedule.to_json(),
+            "jam_prob": self.jam_prob,
+            "corrupt_rate": self.corrupt_rate,
+            "jam_budget": self.jam_budget,
+            "adversary_seed": self.adversary_seed,
+            "byzantine_nodes": list(self.byzantine_nodes),
+            "byzantine_mode": self.byzantine_mode,
+            "authentication": self.authentication,
+            "profile": self.profile,
+            "expect_delivery": self.expect_delivery,
+            "ablation": self.ablation,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ChaosCampaign":
+        return cls(
+            topology=dict(data["topology"]),
+            workload=dict(data["workload"]),
+            seed=int(data["seed"]),
+            schedule=FaultSchedule.from_json(data.get("schedule", {})),
+            jam_prob=float(data.get("jam_prob", 0.0)),
+            corrupt_rate=float(data.get("corrupt_rate", 0.0)),
+            jam_budget=(
+                None if data.get("jam_budget") is None
+                else int(data["jam_budget"])
+            ),
+            adversary_seed=int(data.get("adversary_seed", 0)),
+            byzantine_nodes=tuple(
+                int(v) for v in data.get("byzantine_nodes", ())
+            ),
+            byzantine_mode=data.get("byzantine_mode"),
+            authentication=bool(data.get("authentication", False)),
+            profile=data.get("profile", "custom"),
+            expect_delivery=bool(data.get("expect_delivery", True)),
+            ablation=data.get("ablation", "none"),
+        )
+
+
+def _uniform(rng, lo: float, hi: float) -> float:
+    return float(lo + (hi - lo) * rng.random())
+
+
+def _randint(rng, lo: int, hi: int) -> int:
+    """Inclusive integer draw."""
+    if hi <= lo:
+        return int(lo)
+    return int(rng.integers(lo, hi + 1))
+
+
+def _draw_nodes(rng, eligible: Sequence[int], count: int) -> List[int]:
+    if count <= 0 or not eligible:
+        return []
+    count = min(count, len(eligible))
+    chosen = rng.choice(len(eligible), size=count, replace=False)
+    return sorted(eligible[int(i)] for i in chosen)
+
+
+def sample_campaign(
+    profile: IntensityProfile,
+    topology: Dict[str, object],
+    workload: Dict[str, object],
+    seed: int,
+    ablation: str = "none",
+) -> ChaosCampaign:
+    """Draw one valid campaign from the profile's ranges.
+
+    The draw order is fixed (Byzantine assignment, crashes, link churn,
+    jam windows, adversary knobs) so a given seed always yields the
+    same campaign regardless of which fault families end up active.
+    """
+    # dedicated sampling stream, decoupled from the protocol/adversary
+    # streams that also derive from ``seed``
+    rng = make_rng(np.random.SeedSequence([0xC4A05, int(seed)]))
+    network = build_topology_spec(topology)
+    packets = build_workload_spec(network, workload)
+    n = network.n
+    k = max(1, len(packets))
+    leader_guess = max(p.origin for p in packets) if packets else n - 1
+
+    horizon = max(64, int(math.ceil(
+        profile.horizon_factor * theorem2_total_bound(
+            n, network.diameter, network.max_degree, k
+        )
+    )))
+
+    # -- Byzantine assignment (drawn first so crashes avoid insiders:
+    # schedule.validate rejects a node that both crashes and lies) -----
+    byz_nodes: List[int] = []
+    byz_mode: Optional[str] = None
+    if profile.p_byzantine > 0 and rng.random() < profile.p_byzantine:
+        frac = _uniform(rng, *profile.byzantine_frac)
+        eligible = [v for v in range(n) if v != leader_guess]
+        byz_nodes = _draw_nodes(
+            rng, eligible, int(math.floor(frac * len(eligible)))
+        )
+        if byz_nodes:
+            byz_mode = str(
+                profile.byzantine_modes[
+                    _randint(rng, 0, len(profile.byzantine_modes) - 1)
+                ]
+            )
+        else:
+            byz_nodes = []
+
+    # -- crashes (with optional recoveries) ----------------------------
+    schedule = FaultSchedule()
+    frac = _uniform(rng, *profile.crash_frac)
+    crash_eligible = [
+        v for v in range(n)
+        if v not in byz_nodes
+        and (profile.allow_leader_crash or v != leader_guess)
+    ]
+    crashed = _draw_nodes(
+        rng, crash_eligible, int(math.floor(frac * len(crash_eligible)))
+    )
+    for node in crashed:
+        if rng.random() < profile.p_symbolic:
+            stage = STAGES[_randint(rng, 0, len(STAGES) - 1)]
+            schedule.crash(node, after_stage=stage)
+        else:
+            at = _randint(rng, 0, horizon - 1)
+            schedule.crash(node, at_round=at)
+            if rng.random() < profile.recover_prob:
+                schedule.recover(
+                    node, at_round=at + _randint(rng, 1, max(2, horizon // 3))
+                )
+
+    # -- link churn (never touching a crashing node, so the schedule's
+    # dead-node ordering check holds by construction) ------------------
+    crashed_set = set(crashed)
+    edges = [
+        (u, int(v))
+        for u in range(n)
+        for v in network.neighbors(u)
+        if u < int(v) and u not in crashed_set and int(v) not in crashed_set
+    ]
+    for _ in range(_randint(rng, *profile.link_events)):
+        if not edges:
+            break
+        edge = edges[_randint(rng, 0, len(edges) - 1)]
+        down_at = _randint(rng, 0, horizon - 1)
+        schedule.link_down(edge, at_round=down_at)
+        if rng.random() < profile.link_restore_prob:
+            schedule.link_up(
+                edge,
+                at_round=down_at + _randint(rng, 1, max(2, horizon // 3)),
+            )
+
+    # -- jam windows (same-node-set overlap is rejected by validate, so
+    # conflicting draws are skipped rather than emitted) ---------------
+    taken: Dict[frozenset, List[Tuple[int, int]]] = {}
+    for _ in range(_randint(rng, *profile.jam_window_count)):
+        nodes = frozenset(_draw_nodes(
+            rng, range(n), _randint(rng, *profile.jam_node_count)
+        ))
+        if not nodes:
+            continue
+        start = _randint(rng, 0, horizon - 1)
+        stop = start + _randint(rng, *profile.jam_len)
+        prob = _uniform(rng, *profile.jam_prob)
+        if any(start < s2 and s1 < stop for s1, s2 in taken.get(nodes, ())):
+            continue
+        taken.setdefault(nodes, []).append((start, stop))
+        schedule.jam(nodes, start=start, stop=stop, prob=min(1.0, prob))
+
+    # -- adversary knobs -----------------------------------------------
+    jam_prob = (
+        _uniform(rng, *profile.adv_jam_prob)
+        if rng.random() < profile.p_adv_jam else 0.0
+    )
+    corrupt_rate = (
+        _uniform(rng, *profile.corrupt_rate)
+        if rng.random() < profile.p_corrupt else 0.0
+    )
+    jam_budget = (
+        _randint(rng, *profile.jam_budget)
+        if rng.random() < profile.p_jam_budget else None
+    )
+
+    campaign = ChaosCampaign(
+        topology=dict(topology),
+        workload=dict(workload),
+        seed=int(seed),
+        schedule=schedule,
+        jam_prob=round(jam_prob, 6),
+        corrupt_rate=round(corrupt_rate, 6),
+        jam_budget=jam_budget,
+        adversary_seed=int(seed),
+        byzantine_nodes=tuple(byz_nodes),
+        byzantine_mode=byz_mode,
+        authentication=bool(byz_nodes),
+        profile=profile.name,
+        expect_delivery=profile.expect_delivery,
+        ablation=ablation,
+    )
+    # the sampler's contract: what it emits is always valid
+    campaign.schedule.validate(n, byzantine=campaign.byzantine_nodes)
+    return campaign
+
+
+def profile_from_json(data: dict) -> IntensityProfile:
+    """Rebuild a profile from a plain dict (artifact round trip)."""
+    kwargs = {}
+    for f in fields(IntensityProfile):
+        if f.name in data:
+            value = data[f.name]
+            kwargs[f.name] = tuple(value) if isinstance(value, list) else value
+    return IntensityProfile(**kwargs)

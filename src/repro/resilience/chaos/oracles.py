@@ -1,0 +1,512 @@
+"""Invariant oracles: what every chaos trial must satisfy.
+
+Each oracle inspects one :class:`~repro.resilience.chaos.runner.
+TrialExecution` (the supervised result plus the dual transcripts the
+runner records) and returns an :class:`OracleVerdict`.  Two categories:
+
+**safety** — must hold under *any* fault load; a violation is a bug in
+the pipeline, the fault layer, or the accounting, never an acceptable
+degradation:
+
+- ``no_mis_decode`` / ``no_mis_attribution`` — integrity and
+  authentication held: nothing decoded to a wrong payload, no honest
+  node was blamed for an insider's row;
+- ``drop_accounting`` — every reception the channel produced but the
+  protocol never saw is accounted for by exactly one fault counter
+  (dead receiver, downed link, scheduled jam, adversary jam, Byzantine
+  swallow), and every delivered-but-altered message by the corruption
+  counter;
+- ``reception_rule`` — the pre-fault transcript replays exactly against
+  the underlying collision model (the paper's reception rule held in
+  every round, faults included on the transmit side);
+- ``replay_receptions`` — the fault layer itself is deterministic: a
+  fresh fault network fed the recorded transmissions at the recorded
+  clocks reproduces the post-fault receptions bit-for-bit;
+- ``lost_justified`` — a packet was written off only because its origin
+  died or was convicted, never silently;
+- ``budget_respected`` — the supervisor never exceeded its declared
+  round budget.
+
+**liveness** — hold only inside the supervisor's recovery envelope, so
+they are gated on the campaign's ``expect_delivery`` flag and on the
+final survivor graph actually being connected:
+
+- ``delivery`` — every honest-reachable survivor got every packet that
+  still had an alive origin;
+- ``round_bound`` — the run finished within ``round_bound_factor``
+  times the paper's Theorem 2 bound for the instance (the factor
+  absorbs the unit-constant bound's slack plus retry overhead; see
+  ``DEFAULT_ROUND_BOUND_FACTOR``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.complexity import theorem2_total_bound
+from repro.radio.transcript import verify_transcript
+
+#: Calibrated against the R1–R3 benchmark topologies: fault-free
+#: supervised runs land at 40–60× the unit-constant Theorem 2 bound
+#: (the constant absorbed by the O(·)), and retries/repairs under the
+#: light/medium profiles add up to ~2× on top.  200 leaves generous
+#: slack above both while still catching runaway loops (a watchdog trip
+#: burns the whole budget, which is far beyond this ceiling on every
+#: bundled topology).
+DEFAULT_ROUND_BOUND_FACTOR = 200.0
+
+#: Oracle catalog: name -> category, in evaluation order.
+ORACLES: Dict[str, str] = {
+    "no_mis_decode": "safety",
+    "no_mis_attribution": "safety",
+    "drop_accounting": "safety",
+    "reception_rule": "safety",
+    "replay_receptions": "safety",
+    "lost_justified": "safety",
+    "budget_respected": "safety",
+    "delivery": "liveness",
+    "round_bound": "liveness",
+}
+
+
+@dataclass
+class OracleVerdict:
+    """One oracle's judgment of one trial."""
+
+    name: str
+    category: str
+    passed: bool
+    detail: str = ""
+    skipped: bool = False
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "category": self.category,
+            "passed": self.passed,
+            "detail": self.detail,
+            "skipped": self.skipped,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "OracleVerdict":
+        return cls(
+            name=data["name"],
+            category=data.get("category", ORACLES.get(data["name"], "?")),
+            passed=bool(data["passed"]),
+            detail=data.get("detail", ""),
+            skipped=bool(data.get("skipped", False)),
+        )
+
+
+def violated(verdicts: List[OracleVerdict]) -> List[OracleVerdict]:
+    """The verdicts that actually failed (skipped ones never count)."""
+    return [v for v in verdicts if not v.passed and not v.skipped]
+
+
+def _ok(name: str, detail: str = "") -> OracleVerdict:
+    return OracleVerdict(name, ORACLES[name], True, detail)
+
+
+def _fail(name: str, detail: str) -> OracleVerdict:
+    return OracleVerdict(name, ORACLES[name], False, detail)
+
+
+def _skip(name: str, detail: str) -> OracleVerdict:
+    return OracleVerdict(name, ORACLES[name], True, detail, skipped=True)
+
+
+# ----------------------------------------------------------------------
+# Safety oracles
+# ----------------------------------------------------------------------
+
+def check_no_mis_decode(execution) -> OracleVerdict:
+    r = execution.result
+    if r.mis_decodes:
+        return _fail(
+            "no_mis_decode",
+            f"{r.mis_decodes} corrupted payload(s) passed the integrity "
+            f"check and decoded to a wrong message",
+        )
+    return _ok("no_mis_decode")
+
+
+def check_no_mis_attribution(execution) -> OracleVerdict:
+    r = execution.result
+    if r.mis_attributions:
+        return _fail(
+            "no_mis_attribution",
+            f"{r.mis_attributions} poisoned matrix row(s) were attributed "
+            f"to an honest node",
+        )
+    return _ok("no_mis_attribution")
+
+
+def check_drop_accounting(execution) -> OracleVerdict:
+    """Inner receptions − outer receptions == Σ drop counters, and
+    inner/outer message mismatches == the corruption counter.
+
+    The inner transcript records what the collision model resolved
+    (post crash-filter, post insider lies); the outer one records what
+    the protocol saw.  The difference is exactly the fault layer's
+    doing, so it must match the fault layer's own books.
+    """
+    inner, outer = execution.inner_transcript, execution.outer_transcript
+    net = execution.fault_net
+    if len(inner) != len(outer):
+        return _fail(
+            "drop_accounting",
+            f"transcript length mismatch: inner {len(inner)} rounds, "
+            f"outer {len(outer)}",
+        )
+    dropped = 0
+    mismatched = 0
+    for i, (pre, post) in enumerate(zip(inner, outer)):
+        extra = set(post.received) - set(pre.received)
+        if extra:
+            return _fail(
+                "drop_accounting",
+                f"round {i}: receivers {sorted(extra)} appear post-fault "
+                f"but not pre-fault (the fault layer invented receptions)",
+            )
+        dropped += len(pre.received) - len(post.received)
+        mismatched += sum(
+            1 for v, msg in post.received.items()
+            if msg is not pre.received[v] and msg != pre.received[v]
+        )
+    booked = (
+        net.rx_suppressed_dead + net.rx_suppressed_link
+        + net.rx_suppressed_jam + net.rx_jammed_adversary
+        + net.rx_swallowed_byzantine
+    )
+    if dropped != booked:
+        return _fail(
+            "drop_accounting",
+            f"{dropped} receptions vanished between the channel and the "
+            f"protocol but the counters book {booked} "
+            f"(dead={net.rx_suppressed_dead} link={net.rx_suppressed_link} "
+            f"jam={net.rx_suppressed_jam} adv={net.rx_jammed_adversary} "
+            f"byz={net.rx_swallowed_byzantine})",
+        )
+    if mismatched != net.rx_corrupted:
+        return _fail(
+            "drop_accounting",
+            f"{mismatched} delivered messages differ from what the channel "
+            f"resolved but rx_corrupted books {net.rx_corrupted}",
+        )
+    return _ok(
+        "drop_accounting",
+        f"{dropped} drops and {mismatched} corruptions, all booked",
+    )
+
+
+def check_reception_rule(execution) -> OracleVerdict:
+    """The pre-fault transcript must replay exactly against the
+    collision model — transmit-side faults (crashes, insider lies) are
+    already inside it, so this is the reception rule under faults."""
+    problems = verify_transcript(
+        execution.base_network, execution.inner_transcript
+    )
+    if problems:
+        sample = "; ".join(problems[:3])
+        return _fail(
+            "reception_rule",
+            f"{len(problems)} reception-rule violation(s): {sample}",
+        )
+    return _ok(
+        "reception_rule",
+        f"{len(execution.inner_transcript)} rounds re-resolved exactly",
+    )
+
+
+def check_replay_receptions(execution) -> OracleVerdict:
+    """Rebuild the fault stack from the campaign and re-feed the
+    recorded transmissions at the recorded clocks: the post-fault
+    receptions must match bit-for-bit.
+
+    Skipped for ``id_inflation`` insiders (their behavior keys off the
+    supervisor's ``notice_leader`` calls, which a transcript replay has
+    no way to reproduce) — campaign-level replay via
+    :func:`repro.resilience.chaos.artifact.replay_artifact` still
+    covers that mode end to end.
+    """
+    from repro.resilience.chaos.runner import build_fault_stack
+
+    campaign = execution.campaign
+    if campaign.byzantine_mode == "id_inflation":
+        return _skip(
+            "replay_receptions",
+            "id_inflation insiders react to notice_leader, which a "
+            "transcript replay cannot reproduce",
+        )
+    try:
+        replay_schedule = replay_schedule_from_events(
+            execution.fault_net.events_applied
+        )
+        # jam windows are round-indexed state, not events; carry them over
+        replay_schedule.jam_windows.extend(campaign.schedule.jam_windows)
+        fresh = build_fault_stack(
+            campaign,
+            execution.rebuild_base(),
+            schedule=replay_schedule,
+        )
+    except ValueError as exc:
+        return _skip(
+            "replay_receptions",
+            f"recorded event stream not re-playable as a schedule: {exc}",
+        )
+    for entry in execution.outer_transcript:
+        if entry.clock is not None:
+            fresh.advance_to(entry.clock)
+        got = fresh.resolve_round(entry.transmissions)
+        if got != entry.received:
+            return _fail(
+                "replay_receptions",
+                f"round clock={entry.clock}: replay produced receivers "
+                f"{sorted(got)} but the run recorded "
+                f"{sorted(entry.received)} — the fault layer is not "
+                f"deterministic under its seed",
+            )
+    return _ok(
+        "replay_receptions",
+        f"{len(execution.outer_transcript)} rounds replayed bit-for-bit",
+    )
+
+
+def check_lost_justified(execution) -> OracleVerdict:
+    """A packet may be written off only if its origin died or was
+    convicted — never silently."""
+    r = execution.result
+    if not r.packets_lost:
+        return _ok("lost_justified")
+    dead_ever = set(execution.campaign.schedule.crashed_ever)
+    dead_ever |= set(execution.fault_net.dead)
+    convicted = set(r.blacklisted)
+    origin_of = {p.pid: p.origin for p in execution.packets}
+    unjustified = [
+        pid for pid in r.packets_lost
+        if origin_of.get(pid) not in dead_ever | convicted
+    ]
+    if unjustified:
+        return _fail(
+            "lost_justified",
+            f"packets {unjustified} were declared lost but their origins "
+            f"never crashed and were never blacklisted",
+        )
+    return _ok(
+        "lost_justified",
+        f"{len(r.packets_lost)} lost packet(s), all with dead or "
+        f"convicted origins",
+    )
+
+
+def check_budget_respected(execution) -> OracleVerdict:
+    r = execution.result
+    if r.total_rounds > r.round_budget:
+        return _fail(
+            "budget_respected",
+            f"run consumed {r.total_rounds} rounds against a declared "
+            f"budget of {r.round_budget}",
+        )
+    return _ok("budget_respected")
+
+
+# ----------------------------------------------------------------------
+# Liveness oracles
+# ----------------------------------------------------------------------
+
+def _honest_component(execution) -> set:
+    """Nodes reachable from the leader over up-links, through alive,
+    honest, non-convicted nodes (the set the supervisor can actually
+    serve)."""
+    r = execution.result
+    net = execution.fault_net
+    base = execution.base_network
+    excluded = (
+        set(net.dead) | set(execution.campaign.byzantine_nodes)
+        | set(r.blacklisted) | set(r.suspected)
+    )
+    if r.leader in excluded or r.leader < 0:
+        return set()
+    down = net.down_links
+    seen = {r.leader}
+    queue = deque([r.leader])
+    while queue:
+        u = queue.popleft()
+        for v in base.neighbors(u):
+            v = int(v)
+            if v in seen or v in excluded:
+                continue
+            if down and frozenset((u, v)) in down:
+                continue
+            seen.add(v)
+            queue.append(v)
+    return seen
+
+
+def check_delivery(execution) -> OracleVerdict:
+    campaign = execution.campaign
+    r = execution.result
+    if not campaign.expect_delivery:
+        return _skip(
+            "delivery",
+            f"profile {campaign.profile!r} is outside the recovery "
+            f"envelope (safety-only)",
+        )
+    if execution.fault_net.down_links:
+        # Found by this fuzzer and kept as a documented envelope limit:
+        # the supervisor re-parents crash-orphans but never reroutes
+        # around a severed link, so a link that is still down when the
+        # run ends voids the delivery guarantee even if the survivor
+        # graph stays connected (see docs/chaos.md).
+        return _skip(
+            "delivery",
+            f"{len(execution.fault_net.down_links)} link(s) still down "
+            f"at end of run; link repair is outside the supervisor's "
+            f"envelope",
+        )
+    reachable = _honest_component(execution)
+    honest_alive = {
+        v for v in range(execution.base_network.n)
+        if v not in execution.fault_net.dead
+        and v not in campaign.byzantine_nodes
+        and v not in r.blacklisted
+        and v not in r.suspected
+    }
+    if not reachable or reachable != honest_alive:
+        return _skip(
+            "delivery",
+            "faults partitioned the honest survivor graph (or removed "
+            "the leader); no delivery guarantee applies",
+        )
+    if r.all_lost and not r.packets_undelivered:
+        return _ok(
+            "delivery", "every packet origin died before hand-off"
+        )
+    if not r.success:
+        reasons = []
+        if r.watchdog_tripped:
+            reasons.append("watchdog tripped")
+        if r.packets_undelivered:
+            reasons.append(f"{len(r.packets_undelivered)} undelivered")
+        if r.informed_fraction < 1.0:
+            reasons.append(
+                f"informed_fraction={r.informed_fraction:.3f}"
+            )
+        return _fail(
+            "delivery",
+            "honest survivors stayed connected yet the run failed: "
+            + (", ".join(reasons) or "unknown"),
+        )
+    return _ok(
+        "delivery",
+        f"{len(reachable)} honest survivors all informed",
+    )
+
+
+def check_round_bound(
+    execution, round_bound_factor: float = DEFAULT_ROUND_BOUND_FACTOR
+) -> OracleVerdict:
+    campaign = execution.campaign
+    r = execution.result
+    if not campaign.expect_delivery:
+        return _skip(
+            "round_bound",
+            f"profile {campaign.profile!r} is safety-only",
+        )
+    if not r.success:
+        return _skip(
+            "round_bound", "run did not complete; no bound applies"
+        )
+    if r.retries or r.reelections:
+        # A single stage retry re-buys that stage's (escalated) budget,
+        # which for collection dwarfs the paper bound by orders of
+        # magnitude — recovery cost is the policy's business and is
+        # audited by budget_respected.  The paper's multiple only
+        # constrains clean runs.
+        return _skip(
+            "round_bound",
+            f"run needed {r.retries} retries / {r.reelections} "
+            f"re-elections; the paper bound constrains clean runs only",
+        )
+    base = execution.base_network
+    bound = round_bound_factor * theorem2_total_bound(
+        base.n, base.diameter, base.max_degree, max(r.k, 1)
+    )
+    if r.total_rounds > bound:
+        return _fail(
+            "round_bound",
+            f"run took {r.total_rounds} rounds; "
+            f"{round_bound_factor:g} x theorem-2 bound is "
+            f"{bound:.0f}",
+        )
+    return _ok(
+        "round_bound",
+        f"{r.total_rounds} rounds <= {bound:.0f} "
+        f"({round_bound_factor:g} x theorem 2)",
+    )
+
+
+# ----------------------------------------------------------------------
+
+def replay_schedule_from_events(events_applied):
+    """Reconstruct a concrete, validated :class:`FaultSchedule` from a
+    fault network's applied-event log.
+
+    Symbolic (``after_stage``) events were pinned to concrete rounds
+    when the supervisor materialized them, so the log is fully
+    concrete.  No-op applications (a crash of an already-dead node, a
+    recovery of an alive one, re-downing a downed link) are dropped —
+    they changed nothing in the original run and
+    :meth:`FaultSchedule.validate` rightly rejects contradictory
+    timelines.
+    """
+    from repro.resilience.schedule import FaultSchedule
+
+    schedule = FaultSchedule()
+    dead = set()
+    down = set()
+    for clock, kind, target in events_applied:
+        if kind == "crash":
+            if target in dead:
+                continue
+            dead.add(target)
+            schedule.crash(target, at_round=clock)
+        elif kind == "recover":
+            if target not in dead:
+                continue
+            dead.discard(target)
+            schedule.recover(target, at_round=clock)
+        elif kind == "link_down":
+            key = frozenset(target)
+            if key in down:
+                continue
+            down.add(key)
+            schedule.link_down(tuple(target), at_round=clock)
+        elif kind == "link_up":
+            key = frozenset(target)
+            if key not in down:
+                continue
+            down.discard(key)
+            schedule.link_up(tuple(target), at_round=clock)
+    return schedule
+
+
+def run_oracles(
+    execution,
+    round_bound_factor: float = DEFAULT_ROUND_BOUND_FACTOR,
+) -> List[OracleVerdict]:
+    """Evaluate the full catalog against one trial, in catalog order."""
+    return [
+        check_no_mis_decode(execution),
+        check_no_mis_attribution(execution),
+        check_drop_accounting(execution),
+        check_reception_rule(execution),
+        check_replay_receptions(execution),
+        check_lost_justified(execution),
+        check_budget_respected(execution),
+        check_delivery(execution),
+        check_round_bound(execution, round_bound_factor),
+    ]

@@ -1,0 +1,243 @@
+"""Delta-debugging shrinker: minimize a violating campaign.
+
+A fuzzed campaign that trips an oracle usually carries far more chaos
+than the bug needs — dozens of crashes, jam windows, and adversary
+knobs, of which perhaps one crash matters.  :func:`shrink_campaign`
+reduces the campaign to a *locally minimal* set of **fault atoms**:
+
+- one atom per schedule event (crash / recover / link_down / link_up),
+- one per jam window,
+- one per Byzantine node,
+- one per active adversary knob (reactive jam probability, corruption
+  rate, jam budget).
+
+The algorithm is Zeller-style ddmin (partition the atom set, try each
+chunk and each complement, refine granularity on failure to progress)
+followed by a greedy single-atom elimination pass, so the result is
+1-minimal: removing any single remaining atom makes the violation
+disappear.  Every candidate is re-executed from scratch and judged by
+the *same oracles that originally failed* — a candidate that fails a
+different oracle does not count (that would be chasing a second bug),
+and a candidate whose schedule no longer validates (e.g. a recovery
+whose crash was removed) is simply skipped.
+
+Everything is deterministic: campaigns are seeded, so re-execution is
+exact and shrinking never flakes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.resilience.schedule import FaultSchedule
+from repro.resilience.chaos.fuzzer import ChaosCampaign, build_topology_spec
+from repro.resilience.chaos.oracles import violated
+from repro.resilience.chaos.runner import evaluate_campaign, make_policy
+
+#: An atom is ("event", index) | ("jam", index) | ("byz", node) |
+#: ("knob", name).
+Atom = Tuple[str, object]
+
+
+def campaign_atoms(campaign: ChaosCampaign) -> List[Atom]:
+    """Enumerate the removable fault atoms of a campaign."""
+    atoms: List[Atom] = [
+        ("event", i) for i in range(len(campaign.schedule.events))
+    ]
+    atoms += [
+        ("jam", i) for i in range(len(campaign.schedule.jam_windows))
+    ]
+    atoms += [("byz", v) for v in campaign.byzantine_nodes]
+    if campaign.jam_prob > 0.0:
+        atoms.append(("knob", "jam_prob"))
+    if campaign.corrupt_rate > 0.0:
+        atoms.append(("knob", "corrupt_rate"))
+    if campaign.jam_budget is not None and campaign.jam_budget > 0:
+        atoms.append(("knob", "jam_budget"))
+    return atoms
+
+
+def rebuild_campaign(
+    campaign: ChaosCampaign, kept: Sequence[Atom]
+) -> ChaosCampaign:
+    """The campaign with only ``kept`` atoms; raises ``ValueError`` if
+    the reduced schedule is no longer internally consistent."""
+    kept_set = set(kept)
+    schedule = FaultSchedule(
+        events=[
+            e for i, e in enumerate(campaign.schedule.events)
+            if ("event", i) in kept_set
+        ],
+        jam_windows=[
+            w for i, w in enumerate(campaign.schedule.jam_windows)
+            if ("jam", i) in kept_set
+        ],
+    )
+    byz_nodes = tuple(
+        v for v in campaign.byzantine_nodes if ("byz", v) in kept_set
+    )
+    reduced = dc_replace(
+        campaign,
+        schedule=schedule,
+        byzantine_nodes=byz_nodes,
+        byzantine_mode=campaign.byzantine_mode if byz_nodes else None,
+        authentication=campaign.authentication and bool(byz_nodes),
+        jam_prob=(
+            campaign.jam_prob if ("knob", "jam_prob") in kept_set else 0.0
+        ),
+        corrupt_rate=(
+            campaign.corrupt_rate
+            if ("knob", "corrupt_rate") in kept_set else 0.0
+        ),
+        jam_budget=(
+            campaign.jam_budget
+            if ("knob", "jam_budget") in kept_set else None
+        ),
+    )
+    n = build_topology_spec(reduced.topology).n
+    reduced.schedule.validate(n, byzantine=reduced.byzantine_nodes)
+    return reduced
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrinking run."""
+
+    original: ChaosCampaign
+    shrunk: ChaosCampaign
+    target_oracles: Tuple[str, ...]
+    atoms_before: int
+    atoms_after: int
+    evaluations: int
+    converged: bool  #: False when the evaluation cap cut ddmin short
+
+    def to_json(self) -> dict:
+        return {
+            "target_oracles": list(self.target_oracles),
+            "atoms_before": self.atoms_before,
+            "atoms_after": self.atoms_after,
+            "evaluations": self.evaluations,
+            "converged": self.converged,
+            "shrunk_campaign": self.shrunk.to_json(),
+        }
+
+
+def shrink_campaign(
+    campaign: ChaosCampaign,
+    target_oracles: Sequence[str],
+    preset: str = "default",
+    round_bound_factor: Optional[float] = None,
+    max_stage_retries: int = 4,
+    max_reelections: int = 3,
+    max_evaluations: int = 200,
+) -> ShrinkResult:
+    """ddmin the campaign down to a 1-minimal violating atom set.
+
+    ``target_oracles`` names the oracles that must *still* fail for a
+    candidate to count (normally the ones the original run violated).
+    """
+    targets: Set[str] = set(target_oracles)
+    if not targets:
+        raise ValueError("shrinking needs at least one target oracle")
+
+    evals = 0
+    capped = False
+
+    def still_fails(kept: Sequence[Atom]) -> bool:
+        nonlocal evals, capped
+        if evals >= max_evaluations:
+            capped = True
+            return False
+        try:
+            candidate = rebuild_campaign(campaign, kept)
+        except ValueError:
+            return False  # inconsistent reduction; not a candidate
+        evals += 1
+        kwargs = {}
+        if round_bound_factor is not None:
+            kwargs["round_bound_factor"] = round_bound_factor
+        _, verdicts = evaluate_campaign(
+            candidate,
+            policy=make_policy(
+                candidate,
+                max_stage_retries=max_stage_retries,
+                max_reelections=max_reelections,
+            ),
+            preset=preset,
+            **kwargs,
+        )
+        return bool(targets & {v.name for v in violated(verdicts)})
+
+    atoms = campaign_atoms(campaign)
+    if not still_fails(atoms):
+        # includes evaluation-cap exhaustion and genuinely flaky input
+        return ShrinkResult(
+            original=campaign,
+            shrunk=campaign,
+            target_oracles=tuple(sorted(targets)),
+            atoms_before=len(atoms),
+            atoms_after=len(atoms),
+            evaluations=evals,
+            converged=False,
+        )
+
+    # -- ddmin proper --------------------------------------------------
+    current = list(atoms)
+    granularity = 2
+    while len(current) >= 2 and not capped:
+        chunks = _partition(current, granularity)
+        reduced = False
+        for chunk in chunks:
+            if len(chunks) > 1 and still_fails(chunk):
+                current = list(chunk)
+                granularity = 2
+                reduced = True
+                break
+            complement = [a for a in current if a not in set(chunk)]
+            if complement and still_fails(complement):
+                current = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    # -- greedy 1-minimality pass --------------------------------------
+    changed = True
+    while changed and not capped:
+        changed = False
+        for atom in list(current):
+            trial = [a for a in current if a != atom]
+            if trial and still_fails(trial):
+                current = trial
+                changed = True
+    if len(current) == 1 and not capped:
+        # the empty campaign is a legal candidate too
+        if still_fails([]):
+            current = []
+
+    return ShrinkResult(
+        original=campaign,
+        shrunk=rebuild_campaign(campaign, current),
+        target_oracles=tuple(sorted(targets)),
+        atoms_before=len(atoms),
+        atoms_after=len(current),
+        evaluations=evals,
+        converged=not capped,
+    )
+
+
+def _partition(items: List[Atom], parts: int) -> List[List[Atom]]:
+    """Split ``items`` into ``parts`` near-equal contiguous chunks."""
+    parts = max(1, min(parts, len(items)))
+    size, extra = divmod(len(items), parts)
+    chunks: List[List[Atom]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + size + (1 if i < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return [c for c in chunks if c]

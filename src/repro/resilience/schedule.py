@@ -74,6 +74,8 @@ class FaultEvent:
             u, v = self.edge
             if u == v:
                 raise ValueError("link event edge must join distinct nodes")
+            if u < 0 or v < 0:
+                raise ValueError("link event edge needs non-negative node ids")
 
 
 @dataclass(frozen=True)
@@ -159,6 +161,73 @@ class FaultSchedule:
         ))
         return self
 
+    # -- serialization -------------------------------------------------
+
+    def to_json(self) -> dict:
+        """A plain-dict rendering (JSON-ready) of the full timeline.
+
+        Inverse of :meth:`from_json`; the pair round-trips exactly
+        (``FaultSchedule.from_json(s.to_json()) == s``), which is what
+        the chaos failure artifacts rely on for bit-for-bit replay.
+        """
+        events = []
+        for e in self.events:
+            entry: dict = {"kind": e.kind}
+            if e.round is not None:
+                entry["round"] = e.round
+            if e.after_stage is not None:
+                entry["after_stage"] = e.after_stage
+            if e.edge is not None:
+                entry["edge"] = [e.edge[0], e.edge[1]]
+            else:
+                entry["node"] = e.node
+            events.append(entry)
+        return {
+            "events": events,
+            "jam_windows": [
+                {
+                    "start": w.start,
+                    "stop": w.stop,
+                    "nodes": sorted(w.nodes),
+                    "prob": w.prob,
+                }
+                for w in self.jam_windows
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSchedule":
+        """Rebuild a schedule from :meth:`to_json` output.
+
+        Every entry passes through the :class:`FaultEvent` /
+        :class:`JamWindow` constructors, so malformed data (self-loops,
+        negative ids, inverted windows) is rejected here rather than
+        surfacing later inside an execution.
+        """
+        events = [
+            FaultEvent(
+                kind=entry["kind"],
+                round=entry.get("round"),
+                node=int(entry.get("node", -1)),
+                edge=(
+                    tuple(int(v) for v in entry["edge"])
+                    if entry.get("edge") is not None else None
+                ),
+                after_stage=entry.get("after_stage"),
+            )
+            for entry in data.get("events", ())
+        ]
+        jam_windows = [
+            JamWindow(
+                start=int(w["start"]),
+                stop=int(w["stop"]),
+                nodes=frozenset(int(v) for v in w["nodes"]),
+                prob=float(w.get("prob", 1.0)),
+            )
+            for w in data.get("jam_windows", ())
+        ]
+        return cls(events=events, jam_windows=jam_windows)
+
     # -- queries -------------------------------------------------------
 
     def __len__(self) -> int:
@@ -211,8 +280,20 @@ class FaultSchedule:
         Only concretely-timed events are ordered; symbolic
         (``after_stage``) events have no decidable position and are
         checked for node range only.
+
+        The structural event checks (self-loop link edges, negative node
+        ids) are re-run here even though :class:`FaultEvent` rejects
+        them at construction — schedules deserialized or assembled by
+        tools that bypass the constructor must not slip through the one
+        gate every execution path calls.
         """
         for e in self.events:
+            if e.edge is not None:
+                u, v = e.edge
+                if u == v:
+                    raise ValueError(
+                        f"{e.kind} event edge ({u}, {v}) is a self-loop"
+                    )
             ids = (e.node,) if e.edge is None else e.edge
             for v in ids:
                 if not 0 <= v < n:

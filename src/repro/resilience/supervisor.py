@@ -105,6 +105,12 @@ class SupervisionPolicy:
         faults the doubling loop is the one unbounded-looking piece, and
         the cap turns it into a fixed-length attempt the watchdog can
         account for.
+    enable_tree_repair:
+        Ablation switch for the Decay-based tree repair pass.  ``False``
+        leaves orphaned subtrees detached after interior crashes — the
+        known-broken configuration the chaos fuzzer
+        (:mod:`repro.resilience.chaos`) must catch and shrink to a
+        minimal crash; production code never turns it off.
     audit_quorum:
         Quorum for the collection path audit (authenticated runs only):
         an interior tree node is promoted to *routing suspect* — routed
@@ -123,6 +129,7 @@ class SupervisionPolicy:
     budget_escalation: float = 1.5
     repair_epoch_factor: float = 2.0
     collection_phase_cap: int = 8
+    enable_tree_repair: bool = True
     audit_quorum: int = 2
 
     # -- per-stage worst-case round formulas ---------------------------
@@ -477,6 +484,12 @@ class SupervisedBroadcast:
                 if net.is_alive(v) and v not in exclude and v not in att
             ]
             if not orphans or over_budget():
+                return parent, distance
+            if not policy.enable_tree_repair:
+                note(
+                    f"repair: DISABLED by ablation; "
+                    f"{len(orphans)} orphaned nodes left detached"
+                )
                 return parent, distance
             note(f"repair: {len(orphans)} orphaned nodes, re-parenting")
             rep = repair_tree(

@@ -178,6 +178,74 @@ class TestChaos:
         assert "mis-decodes" in out
 
 
+class TestChaosFuzz:
+    def test_clean_campaign_exits_zero(self, capsys, tmp_path):
+        import json
+
+        rc = main(["chaos", "fuzz", "--trials", "3", "--seed", "0",
+                   "--artifact-dir", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        summary = json.loads(out)
+        assert summary["trials"] == 3
+        assert summary["violating_trials"] == 0
+        assert summary["artifacts"] == []
+        assert not list(tmp_path.iterdir())  # no bundles for clean runs
+
+    def test_planted_bug_caught_shrunk_and_replayable(self, capsys,
+                                                      tmp_path):
+        import json
+
+        rc = main(["chaos", "fuzz", "--trials", "1", "--seed", "19",
+                   "--ablation", "no_repair",
+                   "--artifact-dir", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert rc == 1  # the fuzzer must catch the planted bug
+        summary = json.loads(out)
+        assert summary["violating_trials"] == 1
+        assert all(size <= 5 for size in summary["shrunk_atom_sizes"])
+        (artifact,) = summary["artifacts"]
+
+        for which in ("original", "shrunk"):
+            rc = main(["chaos", "replay", artifact, "--which", which,
+                       "--json"])
+            report = json.loads(capsys.readouterr().out)
+            assert rc == 0, which  # deterministic replay
+            assert report["deterministic"] is True
+            assert "delivery" in report["violations"]
+
+    def test_fuzz_table_mode(self, capsys, tmp_path):
+        rc = main(["chaos", "fuzz", "--trials", "2", "--seed", "0",
+                   "--artifact-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "violation_rate" in out
+
+    def test_replay_table_mode(self, capsys, tmp_path):
+        import json
+
+        main(["chaos", "fuzz", "--trials", "1", "--seed", "19",
+              "--ablation", "no_repair", "--no-shrink",
+              "--artifact-dir", str(tmp_path), "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        (artifact,) = summary["artifacts"]
+        assert "shrunk_atom_sizes" not in summary  # --no-shrink honored
+        rc = main(["chaos", "replay", artifact])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "deterministic" in out and "yes" in out
+
+    def test_legacy_chaos_requires_topology(self, capsys):
+        rc = main(["chaos"])
+        assert rc == 2
+        assert "--topology is required" in capsys.readouterr().err
+
+    def test_bad_profile_rejected(self, capsys, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["chaos", "fuzz", "--profile", "apocalyptic",
+                  "--artifact-dir", str(tmp_path)])
+
+
 class TestTraceOption:
     def test_trace_report_written(self, capsys, tmp_path):
         path = tmp_path / "trace.txt"

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import AlgorithmParameters, MultipleMessageBroadcast
 from repro.experiments.workloads import uniform_random_placement
@@ -413,3 +415,110 @@ class TestUnsupervisedPartialSuccess:
         result = self._run([1, 3, 4, 5, 7], at_round=0)
         assert not result.success
         assert result.informed_fraction < 1.0
+
+
+class TestFaultScheduleHardening:
+    """Structural validation added with the chaos fuzzer: reject bad
+    node ids both at construction and (for objects built around the
+    constructor, e.g. hand-edited artifacts) again in validate()."""
+
+    def test_event_rejects_negative_edge_endpoint(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent("link_down", round=1, edge=(-1, 2))
+        with pytest.raises(ValueError, match="non-negative"):
+            FaultEvent("link_up", round=1, edge=(0, -3))
+
+    def test_event_rejects_negative_node(self):
+        with pytest.raises(ValueError):
+            FaultEvent("crash", round=1, node=-2)
+
+    def test_event_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="distinct"):
+            FaultEvent("link_down", round=1, edge=(2, 2))
+
+    def test_validate_recheck_catches_smuggled_self_loop(self):
+        # Simulate a constructor-bypassing object (frozen dataclass
+        # mutated the way a buggy deserializer might).
+        schedule = FaultSchedule().link_down((0, 1), at_round=5)
+        object.__setattr__(schedule.events[0], "edge", (1, 1))
+        with pytest.raises(ValueError, match="self-loop"):
+            schedule.validate(4)
+
+    def test_validate_recheck_catches_smuggled_negative_id(self):
+        schedule = FaultSchedule().crash(2, at_round=5)
+        object.__setattr__(schedule.events[0], "node", -7)
+        with pytest.raises(ValueError):
+            schedule.validate(4)
+
+
+class TestFaultScheduleSerialization:
+    def _full_schedule(self):
+        return (FaultSchedule()
+                .crash(5, at_round=120)
+                .crash(7, after_stage="bfs")
+                .recover(5, at_round=200)
+                .link_down((2, 3), at_round=40)
+                .link_up((2, 3), after_stage="collection")
+                .jam([0, 1], start=10, stop=30, prob=0.5)
+                .jam([4], start=50, stop=60))
+
+    def test_round_trip_equality(self):
+        schedule = self._full_schedule()
+        clone = FaultSchedule.from_json(schedule.to_json())
+        assert clone.events == schedule.events
+        assert clone.jam_windows == schedule.jam_windows
+        clone.validate(8)
+
+    def test_json_is_plain_data(self):
+        import json
+
+        blob = json.dumps(self._full_schedule().to_json())
+        clone = FaultSchedule.from_json(json.loads(blob))
+        assert clone.events == self._full_schedule().events
+
+    def test_empty_schedule_round_trip(self):
+        clone = FaultSchedule.from_json(FaultSchedule().to_json())
+        assert len(clone) == 0
+
+
+@st.composite
+def fault_schedules(draw, max_n=8):
+    """Random structurally valid schedules (not necessarily timeline-
+    consistent — round-tripping must preserve them regardless)."""
+    schedule = FaultSchedule()
+    stages = ("election", "bfs", "collection", "dissemination")
+    for _ in range(draw(st.integers(0, 6))):
+        kind = draw(st.sampled_from(
+            ("crash", "recover", "link_down", "link_up")
+        ))
+        symbolic = draw(st.booleans())
+        timing = (
+            {"after_stage": draw(st.sampled_from(stages))}
+            if symbolic else {"at_round": draw(st.integers(0, 500))}
+        )
+        if kind in ("crash", "recover"):
+            getattr(schedule, kind)(draw(st.integers(0, max_n - 1)), **timing)
+        else:
+            u = draw(st.integers(0, max_n - 2))
+            v = draw(st.integers(u + 1, max_n - 1))
+            getattr(schedule, kind)((u, v), **timing)
+    for _ in range(draw(st.integers(0, 3))):
+        start = draw(st.integers(0, 400))
+        schedule.jam(
+            draw(st.sets(st.integers(0, max_n - 1), min_size=1, max_size=4)),
+            start=start,
+            stop=start + draw(st.integers(1, 100)),
+            prob=draw(st.floats(0.1, 1.0)),
+        )
+    return schedule
+
+
+class TestFaultScheduleRoundTripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(fault_schedules())
+    def test_to_json_from_json_is_identity(self, schedule):
+        clone = FaultSchedule.from_json(schedule.to_json())
+        assert clone.events == schedule.events
+        assert clone.jam_windows == schedule.jam_windows
+        # and re-serializing is stable byte-for-byte
+        assert clone.to_json() == schedule.to_json()

@@ -143,3 +143,64 @@ class TestTranscriptToText:
         text = transcript_to_text(net.transcript)
         assert "..." in text
         assert "A" * 50 not in text
+
+
+class TestVerificationAgainstFaultNetwork:
+    """verify_transcript on transcripts recorded through a
+    DynamicFaultNetwork: structural checks apply (and pass — fault
+    drops only remove receptions, never invent them), while the exact
+    re-resolution check is reserved for plain RadioNetworks."""
+
+    def _faulted_run(self):
+        from repro.resilience import DynamicFaultNetwork, FaultSchedule
+
+        base = grid(3, 3)
+        schedule = (FaultSchedule()
+                    .crash(8, at_round=300)
+                    .jam([4], start=100, stop=160, prob=1.0))
+        fault_net = DynamicFaultNetwork(base, schedule, seed=5)
+        recorder = RecordingNetwork(fault_net)
+        packets = uniform_random_placement(base, k=3, seed=1)
+        MultipleMessageBroadcast(recorder, seed=2).run(packets)
+        return base, fault_net, recorder.transcript
+
+    def test_faulted_transcript_passes_structural_checks(self):
+        base, fault_net, transcript = self._faulted_run()
+        assert len(transcript) > 50
+        # against the fault network itself: structural checks only
+        assert verify_transcript(fault_net, transcript) == []
+
+    def test_exact_check_not_applied_to_fault_network(self):
+        # Re-resolving through the fault layer would replay events from
+        # an advanced clock and diverge; verify_transcript must not
+        # attempt it (type(network) is RadioNetwork gates the exact
+        # path), so a second verification pass still reports clean.
+        base, fault_net, transcript = self._faulted_run()
+        assert verify_transcript(fault_net, transcript) == []
+
+    def test_clock_recorded_for_fault_networks(self):
+        base, fault_net, transcript = self._faulted_run()
+        clocks = [e.clock for e in transcript]
+        assert all(c is not None for c in clocks)
+        assert clocks == sorted(clocks)
+        # the fault net charges silent rounds, so its clock runs ahead
+        # of the dense transcript index
+        assert clocks[-1] >= transcript[-1].index
+
+    def test_plain_network_records_no_clock(self):
+        base = line(3)
+        recorder = RecordingNetwork(base)
+        recorder.resolve_round({0: "m"})
+        assert recorder.transcript[0].clock is None
+
+    def test_dropped_reception_is_not_a_structural_violation(self):
+        from repro.resilience import DynamicFaultNetwork, FaultSchedule
+
+        base = line(2)
+        fault_net = DynamicFaultNetwork(
+            base, FaultSchedule().jam([1], start=0, stop=10), seed=0
+        )
+        recorder = RecordingNetwork(fault_net)
+        received = recorder.resolve_round({0: "m"})
+        assert received == {}  # jammed
+        assert verify_transcript(fault_net, recorder.transcript) == []
