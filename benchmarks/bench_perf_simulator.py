@@ -4,6 +4,17 @@ Unlike the E/A experiments — which measure *rounds*, the model's cost
 unit — these time the simulator itself, so performance regressions in the
 hot paths (the collision resolver, Decay epochs, the RLNC decoder, a full
 small multi-broadcast) are caught by the benchmark history.
+
+The fast/reference engine comparisons at the bottom pin the P1 fast
+path's value where it is largest (heavy contention, wide GF(2) systems)
+and honestly where it is modest (full n=500, k=128 multibroadcast,
+which is floored by the protocol loop itself — see DESIGN.md).
+
+Run directly with ``--json PATH`` to capture the regression-guard
+baseline checked by ``bench_p2_perf_guard.py``::
+
+    PYTHONPATH=src python benchmarks/bench_perf_simulator.py \
+        --json benchmarks/results/perf_baseline.json
 """
 
 import numpy as np
@@ -15,6 +26,8 @@ from repro.experiments.workloads import uniform_random_placement
 from repro.primitives.bgi_broadcast import bgi_broadcast
 from repro.primitives.decay import run_decay_epoch
 from repro.topology import grid, random_geometric
+
+import _perf
 
 
 def test_perf_resolve_round_single_transmitter(benchmark):
@@ -91,3 +104,66 @@ def test_perf_full_multibroadcast_small(benchmark):
 
     result = benchmark(run)
     assert result.success
+
+
+# ----------------------------------------------------------------------
+# Engine comparison (P1 fast path)
+# ----------------------------------------------------------------------
+
+
+def test_perf_resolver_engines_heavy_contention(benchmark):
+    """n=500, most of the network transmitting: the bitset+popcount
+    fast path's best case.  Asserts the >=5x headline speedup
+    (engines interleaved per repetition — see _perf.measure_resolver)."""
+    stats = _perf.measure_resolver(500, 350, rounds=150, reps=5)
+    benchmark.extra_info.update(stats)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert stats["speedup"] >= 5.0, (
+        f"resolver speedup {stats['speedup']:.1f}x < 5x: {stats}"
+    )
+
+
+def test_perf_gf2_solve_wide(benchmark):
+    """k=512 payload recovery: packed uint64 solve, cross-checked and
+    compared against the pure-python bigint solver."""
+    stats = benchmark.pedantic(
+        lambda: _perf.measure_solve(512), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(stats)
+    assert stats["speedup"] >= 1.5, stats
+
+
+def test_perf_multibroadcast_n500_k128_fast(benchmark):
+    """The ISSUE's reference workload under the fast engine.  Runs
+    exactly once (benchmark.pedantic): the workload is seconds-scale."""
+    def run():
+        return _perf.measure_end_to_end(500, 128, "fast")
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(stats)
+    assert stats["rounds"] == 48978  # pinned RNG stream
+
+
+def test_perf_multibroadcast_n500_k128_reference(benchmark):
+    def run():
+        return _perf.measure_end_to_end(500, 128, "reference")
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(stats)
+    assert stats["rounds"] == 48978  # identical stream to the fast engine
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        description="Capture the perf-guard baseline JSON."
+    )
+    parser.add_argument("--json", metavar="PATH", required=True)
+    cli = parser.parse_args()
+    baseline = _perf.collect_baseline()
+    with open(cli.json, "w") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(baseline, indent=2, sort_keys=True))

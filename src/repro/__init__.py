@@ -41,9 +41,12 @@ from repro.coding import (
 )
 from repro.coding.packets import make_packets, required_packet_bits
 from repro.core import (
+    ENGINES,
     AlgorithmParameters,
     MultiBroadcastResult,
     MultipleMessageBroadcast,
+    get_default_engine,
+    set_default_engine,
 )
 from repro.dynamic import (
     BatchedDynamicBroadcast,
@@ -93,6 +96,9 @@ __all__ = [
     "AbstractMacLayer",
     "AdversaryStack",
     "AlgorithmParameters",
+    "ENGINES",
+    "get_default_engine",
+    "set_default_engine",
     "BatchedDynamicBroadcast",
     "BudgetedJammer",
     "CorruptionChannel",

@@ -56,6 +56,7 @@ def decay_gossip_broadcast(
     trace: Optional[RoundTrace] = None,
     raise_on_budget: bool = False,
     selection: str = "uniform",
+    engine: Optional[str] = None,
 ) -> GossipResult:
     """Run uncoded random-push gossip until everyone knows all packets.
 
@@ -65,6 +66,10 @@ def decay_gossip_broadcast(
         Epoch budget.  Defaults to a generous
         ``8·(k + D + log n)·log(n+k)`` so that completion-time measurement
         is rarely truncated.
+    engine:
+        Optional simulation-engine override (``"fast"``/``"reference"``)
+        pushed into ``network``; ``None`` keeps the network's current
+        engine.  Both engines are observationally identical.
     selection:
         Which known packet a transmitter pushes (ablation A6):
 
@@ -76,6 +81,8 @@ def decay_gossip_broadcast(
           (fast spreading of new information, at the risk of starving old
           packets).
     """
+    if engine is not None:
+        network.set_engine(engine)
     n = network.n
     k = len(packets)
     if k == 0:

@@ -39,8 +39,10 @@ functions of their inputs: enabling authentication never consumes RNG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from functools import lru_cache
+from typing import List, Optional
 
+from repro.coding.gf2 import PackedGF2Basis
 from repro.coding.packets import CodedMessage
 
 #: Default shared integrity key (any 64-bit value; protocol-wide).
@@ -78,6 +80,7 @@ def _mix(h: int, value: int) -> int:
     return h
 
 
+@lru_cache(maxsize=1 << 16)
 def packet_checksum(
     group_id: int,
     subset_mask: int,
@@ -88,7 +91,10 @@ def packet_checksum(
     """Keyed checksum over a coded message's coefficients and payload.
 
     Deterministic in its inputs (no RNG is consumed — attaching and
-    verifying checksums never perturbs a seeded protocol run).
+    verifying checksums never perturbs a seeded protocol run), which is
+    also what makes the memoization safe: the same row is sealed at the
+    transmitter and re-verified at every receiver, so the tag for a hot
+    row is computed once per process instead of once per reception.
     """
     h = _mix(key & _MASK64, group_id)
     h = _mix(h, group_size)
@@ -126,6 +132,7 @@ def verify_message(message: CodedMessage,
 # -- per-node authentication ------------------------------------------
 
 
+@lru_cache(maxsize=4096)
 def node_auth_key(node: int, master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
     """Derive node ``node``'s signing key from the master key.
 
@@ -142,7 +149,17 @@ def auth_tag(sender: int, fields, master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
     ``fields`` is a flat sequence of ints and short strings; strings are
     folded little-endian so distinct domain labels ("pkt", "ack", ...)
     cannot collide with numeric fields.
+
+    Deterministic, so the tag for a given (sender, fields) pair is
+    memoized — a relayed packet is re-verified at every hop with the
+    same inputs.
     """
+    return _auth_tag_cached(sender, tuple(fields), master)
+
+
+@lru_cache(maxsize=1 << 16)
+def _auth_tag_cached(sender: int, fields: tuple,
+                     master: int = DEFAULT_AUTH_MASTER_KEY) -> int:
     h = node_auth_key(sender, master)
     for f in fields:
         if isinstance(f, str):
@@ -274,8 +291,8 @@ class HardenedGroupDecoder:
         self.group_size = group_size
         self.key = key
         self.require_checksum = require_checksum
-        # pivot bit index -> [coefficient row, payload]
-        self._basis: Dict[int, List[int]] = {}
+        # Word-packed RREF basis (same kernel as GroupDecoder).
+        self._basis = PackedGF2Basis(group_size)
         self.messages_absorbed = 0
         self.innovative_messages = 0
         self.checksum_rejections = 0
@@ -287,11 +304,11 @@ class HardenedGroupDecoder:
 
     @property
     def rank(self) -> int:
-        return len(self._basis)
+        return self._basis.rank
 
     @property
     def is_complete(self) -> bool:
-        return self.rank == self.group_size
+        return self._basis.is_complete
 
     @property
     def corruption_detected(self) -> bool:
@@ -349,16 +366,11 @@ class HardenedGroupDecoder:
             self._quarantine(row, payload, "width", sender)
             return False
 
-        while row:
-            pivot = (row & -row).bit_length() - 1
-            entry = self._basis.get(pivot)
-            if entry is None:
-                self._basis[pivot] = [row, payload]
-                self.innovative_messages += 1
-                return True
-            row ^= entry[0]
-            payload ^= entry[1]
-        if payload != 0:
+        status = self._basis.absorb(row, payload)
+        if status == PackedGF2Basis.INNOVATIVE:
+            self.innovative_messages += 1
+            return True
+        if status == PackedGF2Basis.INCONSISTENT:
             # zero coefficients with a non-zero payload: some row in this
             # stream (this one or an earlier basis row) is corrupt
             self._quarantine(message.subset_mask, message.payload,
@@ -369,18 +381,7 @@ class HardenedGroupDecoder:
 
     def decode(self) -> Optional[List[int]]:
         """Payloads in group order once rank is full, else None."""
-        if not self.is_complete:
-            return None
-        solved: Dict[int, int] = {}
-        for pivot in sorted(self._basis, reverse=True):
-            row, payload = self._basis[pivot]
-            rest = row & ~(1 << pivot)
-            while rest:
-                j = (rest & -rest).bit_length() - 1
-                payload ^= solved[j]
-                rest &= rest - 1
-            solved[pivot] = payload
-        return [solved[j] for j in range(self.group_size)]
+        return self._basis.solve_ints()
 
     def report(self) -> IntegrityReport:
         return IntegrityReport(

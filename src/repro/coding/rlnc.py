@@ -10,10 +10,11 @@ reports completion as soon as the coefficient matrix reaches full rank
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.coding.gf2 import PackedGF2Basis
 from repro.coding.packets import CodedMessage, Packet
 
 
@@ -75,9 +76,11 @@ class SubsetXorEncoder:
 class GroupDecoder:
     """Incremental GF(2) decoder for one group of coded messages.
 
-    Maintains a row basis in reduced form keyed by pivot bit; each absorbed
-    message costs ``O(rank)`` XOR operations.  ``decode()`` returns the
-    group's payloads once rank equals ``group_size``.
+    Elimination is delegated to :class:`repro.coding.gf2.PackedGF2Basis`
+    — word-wise XOR Gauss–Jordan over bit-packed coefficient masks and
+    uint64-packed payload words, kept in reduced row-echelon form — so
+    each absorbed message costs one one-shot reduction and ``decode()``
+    is a read-off once rank equals ``group_size``.
     """
 
     def __init__(self, group_id: int, group_size: int):
@@ -85,18 +88,17 @@ class GroupDecoder:
             raise ValueError("group_size must be positive")
         self.group_id = group_id
         self.group_size = group_size
-        # pivot bit index -> (coefficient row, payload)
-        self._basis: Dict[int, List[int]] = {}
+        self._basis = PackedGF2Basis(group_size)
         self.messages_absorbed = 0
         self.innovative_messages = 0
 
     @property
     def rank(self) -> int:
-        return len(self._basis)
+        return self._basis.rank
 
     @property
     def is_complete(self) -> bool:
-        return self.rank == self.group_size
+        return self._basis.is_complete
 
     def absorb(self, message: CodedMessage) -> bool:
         """Add one coded message; returns True if it was innovative
@@ -110,34 +112,15 @@ class GroupDecoder:
             raise ValueError("group size mismatch")
         self.messages_absorbed += 1
 
-        row = message.subset_mask
-        payload = message.payload
-        while row:
-            pivot = (row & -row).bit_length() - 1
-            entry = self._basis.get(pivot)
-            if entry is None:
-                self._basis[pivot] = [row, payload]
-                self.innovative_messages += 1
-                return True
-            row ^= entry[0]
-            payload ^= entry[1]
-        if payload != 0:
+        status = self._basis.absorb(message.subset_mask, message.payload)
+        if status == PackedGF2Basis.INCONSISTENT:
             raise ValueError("inconsistent coded message (corrupted payload)")
+        if status == PackedGF2Basis.INNOVATIVE:
+            self.innovative_messages += 1
+            return True
         return False
 
     def decode(self) -> Optional[List[int]]:
         """Return the group's payloads in group order, or None if rank is
         not yet full."""
-        if not self.is_complete:
-            return None
-        # Back-substitute to a diagonal basis, highest pivot first.
-        solved: Dict[int, int] = {}
-        for pivot in sorted(self._basis, reverse=True):
-            row, payload = self._basis[pivot]
-            rest = row & ~(1 << pivot)
-            while rest:
-                j = (rest & -rest).bit_length() - 1
-                payload ^= solved[j]
-                rest &= rest - 1
-            solved[pivot] = payload
-        return [solved[j] for j in range(self.group_size)]
+        return self._basis.solve_ints()

@@ -14,7 +14,12 @@ import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from repro.radio.network import RadioNetwork
+from repro.radio.network import (  # noqa: F401  (re-exported engine control)
+    ENGINES,
+    RadioNetwork,
+    get_default_engine,
+    set_default_engine,
+)
 
 
 def log2n(n: int) -> float:
@@ -108,6 +113,19 @@ class AlgorithmParameters:
     auth_master_key:
         Master key the per-node signing keys are derived from (a dealer
         secret; each node learns only its own derived key).
+    fast_engine:
+        Simulation-engine switch (``fast=True|False``): selects the
+        vectorized bitset reception resolver when true and the
+        pure-python reference scan when false.  The default ``None``
+        inherits whatever engine the network already uses (the process
+        default, see :func:`set_default_engine`).  The two engines are
+        observationally identical — same receptions, same order, same
+        RNG stream, same transcripts — which
+        :mod:`repro.testing.differential` cross-checks; the switch only
+        trades wall-clock speed, never changes any result.  Threaded
+        into the network by every entry point that accepts parameters
+        (:class:`~repro.core.multibroadcast.MultipleMessageBroadcast`,
+        the supervised/chaos runners, the baselines).
     """
 
     c_log: float = 1.5
@@ -129,6 +147,26 @@ class AlgorithmParameters:
     integrity_key: int = 0x9E3779B97F4A7C15
     authentication: bool = False
     auth_master_key: int = 0xD1B54A32D192ED03
+    fast_engine: Optional[bool] = None
+
+    @property
+    def engine(self) -> Optional[str]:
+        """The :mod:`repro.radio.network` engine name this selects
+        (``None`` = keep the network's current engine)."""
+        if self.fast_engine is None:
+            return None
+        return "fast" if self.fast_engine else "reference"
+
+    def apply_engine(self, network) -> None:
+        """Push the engine choice into ``network`` (wrappers delegate
+        down to the base topology).  No-op when ``fast_engine`` is
+        ``None``."""
+        engine = self.engine
+        if engine is None:
+            return
+        set_eng = getattr(network, "set_engine", None)
+        if set_eng is not None:
+            set_eng(engine)
 
     # ------------------------------------------------------------------
     # Presets

@@ -48,6 +48,11 @@ from repro.radio.errors import ProtocolError
 from repro.radio.network import RadioNetwork
 from repro.radio.trace import RoundTrace
 
+#: Widest group for which the 2^width subset-XOR table is materialized.
+#: ``width = ⌈log n⌉`` in every real configuration, so the table is ~n
+#: entries; the cap only guards hand-built parameter sets.
+_XOR_TABLE_MAX_WIDTH = 20
+
 
 @dataclass
 class DisseminationResult:
@@ -184,6 +189,37 @@ def run_dissemination_stage(
     for v in range(n):
         layers[int(dist[v])].append(v)
 
+    # Precomputed subset-XOR tables: entry ``mask`` of table ``j`` is the
+    # XOR of the group-``j`` payloads selected by ``mask``.  Groups are
+    # ``⌈log n⌉`` wide, so each table has ~n entries, built in one DP
+    # sweep; encoding a coded row and checking the span of a received one
+    # become O(1) lookups instead of per-bit loops.  Guarded for
+    # pathological widths where 2^width would not be worth materializing.
+    if width <= _XOR_TABLE_MAX_WIDTH:
+        xor_tables: Optional[List[List[int]]] = []
+        for payloads_j in group_payloads:
+            table = [0] * (1 << len(payloads_j))
+            for b, pv in enumerate(payloads_j):
+                base = 1 << b
+                for lo in range(base):
+                    table[base + lo] = table[lo] ^ pv
+            xor_tables.append(table)
+    else:
+        xor_tables = None
+
+    def subset_xor(j: int, mask: int) -> int:
+        """XOR of the group-``j`` payloads selected by ``mask``."""
+        if xor_tables is not None:
+            return xor_tables[j][mask]
+        payloads = group_payloads[j]
+        xor = 0
+        m = mask
+        while m:
+            b = (m & -m).bit_length() - 1
+            xor ^= payloads[b]
+            m &= m - 1
+        return xor
+
     integrity = params.integrity_checks
     key = params.integrity_key
     auth = params.authentication
@@ -236,14 +272,7 @@ def run_dissemination_stage(
         gs = len(groups[j])
         if not 0 <= mask < (1 << gs):
             return False
-        expected = 0
-        m = mask
-        payloads = group_payloads[j]
-        while m:
-            b = (m & -m).bit_length() - 1
-            expected ^= payloads[b]
-            m &= m - 1
-        return xor == expected
+        return xor == subset_xor(j, mask)
 
     def group_layer(j: int, phase: int) -> int:
         """Layer group j is being delivered to during this 1-based phase,
@@ -343,12 +372,7 @@ def run_dissemination_stage(
                             if sender in transmissions:
                                 continue  # cannot happen (one layer per node)
                             mask = int(mask)
-                            xor = 0
-                            m = mask
-                            while m:
-                                b = (m & -m).bit_length() - 1
-                                xor ^= payloads[b]
-                                m &= m - 1
+                            xor = subset_xor(j, mask)
                             transmissions[sender] = seal_coded(
                                 sender, j, mask, xor, gs
                             )
@@ -474,6 +498,14 @@ def run_dissemination_stage(
                             group_id=j, group_size=gs, key=key
                         )
                         decoders[pair] = dec
+                    elif dec.is_complete:
+                        # A full-rank RREF basis cannot change: further
+                        # rows are redundant (or quarantine fodder) and
+                        # the decode result is already fixed, so skip
+                        # the elimination.  Promotion still happens at
+                        # phase end via ``touched``.
+                        touched.add(pair)
+                        continue
                     coded = CodedMessage(
                         group_id=j,
                         subset_mask=mask,

@@ -17,14 +17,24 @@ from repro.radio.errors import (
     TopologyError,
 )
 from repro.radio.faults import FaultyRadioNetwork
-from repro.radio.network import RadioNetwork
+from repro.radio.network import (
+    ENGINES,
+    RadioNetwork,
+    get_default_engine,
+    popcount_u64,
+    set_default_engine,
+)
 from repro.radio.protocol import Node, ProtocolOutcome, Simulator
 from repro.radio.rng import make_rng, spawn_rngs
 from repro.radio.sinr import SinrRadioNetwork
 from repro.radio.trace import RoundRecord, RoundTrace
 
 __all__ = [
+    "ENGINES",
     "FaultyRadioNetwork",
+    "get_default_engine",
+    "popcount_u64",
+    "set_default_engine",
     "Node",
     "ProtocolError",
     "ProtocolOutcome",

@@ -76,6 +76,12 @@ class FaultyRadioNetwork(RadioNetwork):
         self.receptions_erased = 0
         self.receptions_jammed = 0
 
+    def set_engine(self, name: str) -> None:
+        """Switch the *wrapped* network's resolver (collision semantics
+        come from the base; this wrapper only drops receptions)."""
+        super().set_engine(name)
+        self._base.set_engine(name)
+
     def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
         received = self._base.resolve_round(transmissions)
         if not received:

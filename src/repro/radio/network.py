@@ -20,6 +20,47 @@ import numpy as np
 
 from repro.radio.errors import TopologyError
 
+#: The two interchangeable implementations of the reception rule.
+#: ``"fast"`` resolves rounds with a precomputed adjacency bitset matrix
+#: (word-wise popcount over uint64 words); ``"reference"`` is the original
+#: per-transmitter neighbor scan.  Both produce bit-identical results —
+#: same receivers, same messages, same (ascending) dict order — which the
+#: differential harness (:mod:`repro.testing.differential`) verifies.
+ENGINES = ("fast", "reference")
+
+_default_engine = "fast"
+
+
+def set_default_engine(name: str) -> None:
+    """Set the engine newly constructed networks use (``fast``/``reference``)."""
+    global _default_engine
+    if name not in ENGINES:
+        raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+    _default_engine = name
+
+
+def get_default_engine() -> str:
+    """The engine newly constructed networks resolve rounds with."""
+    return _default_engine
+
+
+if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+
+    def popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint64 array."""
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on numpy < 2.0
+    _POP8 = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.uint8
+    )
+
+    def popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a uint64 array (uint8 LUT)."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        counts = _POP8[as_bytes].reshape(*words.shape, 8)
+        return counts.sum(axis=-1, dtype=np.uint64)
+
 
 class RadioNetwork:
     """An undirected multi-hop radio network on nodes ``0 .. n-1``.
@@ -37,6 +78,12 @@ class RadioNetwork:
         assumes connectivity (otherwise broadcast is impossible).
     name:
         Optional human-readable label used in reports.
+    engine:
+        Reception-resolution implementation: ``"fast"`` (adjacency bitset
+        matrix, word-wise popcount) or ``"reference"`` (per-transmitter
+        neighbor scan).  Defaults to the module default
+        (:func:`get_default_engine`).  The two are bit-for-bit equivalent;
+        see :meth:`resolve_round`.
     """
 
     def __init__(
@@ -45,6 +92,7 @@ class RadioNetwork:
         n: Optional[int] = None,
         require_connected: bool = True,
         name: str = "",
+        engine: Optional[str] = None,
     ):
         adjacency: Dict[int, set] = {}
         max_id = -1
@@ -73,6 +121,16 @@ class RadioNetwork:
         self._degrees = np.array([len(a) for a in self._neighbors], dtype=np.int64)
         self._num_edges = int(self._degrees.sum()) // 2
         self._diameter: Optional[int] = None
+        self._engine = engine if engine is not None else _default_engine
+        if self._engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self._engine!r}; expected one of {ENGINES}"
+            )
+        # Adjacency bitset matrix for the fast engine: row v holds the
+        # neighborhood of v as n bits packed into ceil(n/64) uint64 words
+        # (bit u of row v set iff edge (v, u)).  Built lazily on the first
+        # contended round so reference-engine runs pay nothing.
+        self._adj_words: Optional[np.ndarray] = None
 
         if require_connected and n > 1 and not self.is_connected():
             raise TopologyError(f"{self._name} is disconnected")
@@ -85,6 +143,23 @@ class RadioNetwork:
     def n(self) -> int:
         """Number of nodes."""
         return self._n
+
+    @property
+    def engine(self) -> str:
+        """Which reception-resolution implementation this network uses."""
+        return self._engine
+
+    def set_engine(self, name: str) -> None:
+        """Switch between the ``fast`` and ``reference`` resolvers.
+
+        Safe at any point — the two engines are bit-for-bit equivalent,
+        so switching mid-run never changes an execution.
+        """
+        if name not in ENGINES:
+            raise ValueError(
+                f"unknown engine {name!r}; expected one of {ENGINES}"
+            )
+        self._engine = name
 
     @property
     def name(self) -> str:
@@ -220,16 +295,36 @@ class RadioNetwork:
 
         Notes
         -----
-        This is the single authoritative implementation of the model's
+        This is the single authoritative statement of the model's
         interference semantics; all protocol engines route through it.
+        Two interchangeable implementations exist (see ``engine``); both
+        uphold the same contract, which downstream layers rely on:
+
+        **Receivers are returned in ascending node order.**  The fault
+        layers (:class:`repro.radio.faults.FaultyRadioNetwork`,
+        :class:`repro.resilience.network.DynamicFaultNetwork`) draw one
+        random number per delivered reception while iterating this dict,
+        so the iteration order is part of the seeded-reproducibility
+        contract — any resolver that returned the same *set* in a
+        different *order* would silently perturb every downstream RNG
+        stream.  ``tests/test_rng_stream_order.py`` pins this with a
+        digest regression test.
         """
+        if self._engine == "fast":
+            return self._resolve_round_fast(transmissions)
+        return self._resolve_round_reference(transmissions)
+
+    def _resolve_round_reference(
+        self, transmissions: Mapping[int, object]
+    ) -> Dict[int, object]:
+        """Per-transmitter neighbor scan (the original implementation)."""
         if not transmissions:
             return {}
 
         if len(transmissions) == 1:
             # Fast path for the overwhelmingly common case (Decay rounds
             # mostly have 0-2 transmitters): a lone transmitter reaches
-            # exactly its neighborhood.
+            # exactly its neighborhood (sorted, hence ascending order).
             ((tx, message),) = transmissions.items()
             return {int(v): message for v in self._neighbors[tx]}
 
@@ -242,13 +337,120 @@ class RadioNetwork:
             sender_of[nbrs] = tx
 
         received: Dict[int, object] = {}
-        hearers = np.nonzero(reach_count == 1)[0]
+        hearers = np.nonzero(reach_count == 1)[0]  # ascending
         for v in hearers:
             v = int(v)
             if v in transmissions:
                 continue  # half-duplex: a transmitter cannot receive
             received[v] = transmissions[int(sender_of[v])]
         return received
+
+    def adjacency_words(self) -> np.ndarray:
+        """The packed adjacency bitset matrix (built once, then cached).
+
+        Shape ``(n, ceil(n/64))`` uint64; bit ``u`` of row ``v`` (i.e.
+        word ``u // 64``, bit ``u % 64``) is set iff ``(v, u)`` is an
+        edge.  Do not mutate.
+        """
+        if self._adj_words is None:
+            n = self._n
+            n_words = max(1, (n + 63) >> 6)
+            words = np.zeros((n, n_words), dtype=np.uint64)
+            for v in range(n):
+                nbrs = self._neighbors[v]
+                if len(nbrs):
+                    np.bitwise_or.at(
+                        words[v],
+                        nbrs >> 6,
+                        np.uint64(1) << (nbrs & 63).astype(np.uint64),
+                    )
+            self._adj_words = words
+        return self._adj_words
+
+    def _resolve_round_fast(
+        self, transmissions: Mapping[int, object]
+    ) -> Dict[int, object]:
+        """Vectorized resolver, adaptively scatter- or bitset-based.
+
+        Sparse rounds (few transmitting neighbors in total) use a
+        gather/scatter pass over the transmitters' neighbor lists — the
+        reference algorithm with its per-transmitter Python loop replaced
+        by one ``np.add.at``.  Contended rounds use the adjacency bitset
+        matrix: ``reach[v] = popcount(adj[v] & tx_bitset)`` over uint64
+        words, whose cost is independent of the transmitter count.  The
+        strategy choice is a deterministic function of the inputs and
+        both strategies produce the exact dict the reference resolver
+        produces, in the same ascending receiver order.
+        """
+        if not transmissions:
+            return {}
+
+        if len(transmissions) == 1:
+            # Lone transmitter: its (sorted) neighborhood receives.
+            ((tx, message),) = transmissions.items()
+            return dict.fromkeys(self._neighbors[tx].tolist(), message)
+
+        n = self._n
+        tx_ids = np.fromiter(
+            transmissions.keys(), dtype=np.int64, count=len(transmissions)
+        )
+        work = int(self._degrees[tx_ids].sum())  # scatter-path edge scans
+
+        if work <= n:
+            # -- scatter strategy ------------------------------------
+            nbr_lists = [self._neighbors[int(t)] for t in tx_ids]
+            all_nbrs = np.concatenate(nbr_lists)
+            reach = np.zeros(n, dtype=np.int64)
+            np.add.at(reach, all_nbrs, 1)
+            # Last-writer-wins like the reference loop; only hearers
+            # with a *unique* transmitting neighbor are ever read, so
+            # overwrite order is immaterial.
+            sender_of = np.zeros(n, dtype=np.int64)
+            sender_of[all_nbrs] = np.repeat(
+                tx_ids, [len(a) for a in nbr_lists]
+            )
+            reach[tx_ids] = 0  # half-duplex: transmitters never receive
+            hearers = np.flatnonzero(reach == 1)  # ascending
+            if hearers.size == 0:
+                return {}
+            senders = sender_of[hearers]
+        else:
+            # -- bitset strategy -------------------------------------
+            adj = self.adjacency_words()
+            n_words = adj.shape[1]
+            tx_words = np.zeros(n_words, dtype=np.uint64)
+            np.bitwise_or.at(
+                tx_words,
+                tx_ids >> 6,
+                np.uint64(1) << (tx_ids & 63).astype(np.uint64),
+            )
+
+            hit = adj & tx_words  # (n, n_words): tx neighbors of v
+            reach = popcount_u64(hit).sum(axis=1) if n_words > 1 \
+                else popcount_u64(hit[:, 0])
+            is_tx = np.zeros(n, dtype=bool)
+            is_tx[tx_ids] = True
+            hearers = np.flatnonzero((reach == 1) & ~is_tx)  # ascending
+            if hearers.size == 0:
+                return {}
+
+            rows = hit[hearers]
+            if n_words > 1:
+                word_idx = np.argmax(rows != 0, axis=1)
+                words = rows[np.arange(hearers.size), word_idx]
+            else:
+                word_idx = np.zeros(hearers.size, dtype=np.int64)
+                words = rows[:, 0]
+            # Exactly one bit survives per hearer; powers of two up to
+            # 2^63 are exact in float64, so log2 recovers the bit index
+            # exactly.
+            bits = np.log2(words.astype(np.float64)).astype(np.int64)
+            senders = (word_idx << 6) + bits
+
+        get = transmissions.__getitem__
+        return dict(
+            zip(hearers.tolist(), map(get, senders.tolist()))
+        )
 
     # ------------------------------------------------------------------
     # Convenience constructors

@@ -61,6 +61,8 @@ def build_topology_spec(spec: Dict[str, object]) -> RadioNetwork:
         )
     if kind in ("line", "ring", "star", "clique"):
         return getattr(topology, kind)(int(spec["n"]))
+    if kind == "hypercube":
+        return topology.hypercube(int(spec["dimension"]))
     if kind == "rgg":
         return topology.random_geometric(
             int(spec["n"]), seed=int(spec.get("seed", 0))

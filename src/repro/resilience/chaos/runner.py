@@ -166,9 +166,17 @@ def execute_campaign(
     policy: Optional[SupervisionPolicy] = None,
     params: Optional[AlgorithmParameters] = None,
     preset: str = "default",
+    engine: Optional[str] = None,
 ) -> TrialExecution:
-    """Run one campaign end to end, recording both transcripts."""
+    """Run one campaign end to end, recording both transcripts.
+
+    ``engine`` optionally overrides the simulation engine
+    (``"fast"``/``"reference"``) for the whole fault stack; both engines
+    replay a campaign bit-identically.
+    """
     base = build_topology_spec(campaign.topology)
+    if engine is not None:
+        base.set_engine(engine)
     packets = build_workload_spec(base, campaign.workload)
     inner = RecordingNetwork(base)
     fault_net = build_fault_stack(campaign, inner, transcribe=True)
@@ -202,10 +210,12 @@ def evaluate_campaign(
     params: Optional[AlgorithmParameters] = None,
     preset: str = "default",
     round_bound_factor: float = DEFAULT_ROUND_BOUND_FACTOR,
+    engine: Optional[str] = None,
 ) -> Tuple[TrialExecution, List[OracleVerdict]]:
     """Execute one campaign and run the full oracle catalog on it."""
     execution = execute_campaign(
-        campaign, policy=policy, params=params, preset=preset
+        campaign, policy=policy, params=params, preset=preset,
+        engine=engine,
     )
     return execution, run_oracles(
         execution, round_bound_factor=round_bound_factor
@@ -228,6 +238,7 @@ class CampaignConfig:
     round_bound_factor: float = DEFAULT_ROUND_BOUND_FACTOR
     max_stage_retries: int = 4
     max_reelections: int = 3
+    engine: str = "fast"
 
     def to_json(self) -> dict:
         return {
@@ -239,6 +250,7 @@ class CampaignConfig:
             "round_bound_factor": self.round_bound_factor,
             "max_stage_retries": self.max_stage_retries,
             "max_reelections": self.max_reelections,
+            "engine": self.engine,
         }
 
     @classmethod
@@ -254,6 +266,7 @@ class CampaignConfig:
             ),
             max_stage_retries=int(data.get("max_stage_retries", 4)),
             max_reelections=int(data.get("max_reelections", 3)),
+            engine=str(data.get("engine", "fast")),
         )
 
 
@@ -280,6 +293,7 @@ def run_fuzz_trial(config: CampaignConfig, seed: int) -> dict:
         ),
         preset=config.preset,
         round_bound_factor=config.round_bound_factor,
+        engine=config.engine,
     )
     bad = violated(verdicts)
     return {

@@ -352,6 +352,7 @@ class SupervisedBroadcast:
                 adversary=adversary, byzantine=byzantine,
             )
         self.params = params or AlgorithmParameters()
+        self.params.apply_engine(self.net)
         self.byz = getattr(self.net, "byzantine", None)
         if self.byz is not None:
             self.byz.configure(

@@ -1,0 +1,31 @@
+"""Testing infrastructure shared by the test suite and CI jobs.
+
+:mod:`repro.testing.differential` is the differential-testing harness
+that replays pinned-seed scenarios through both simulation engines
+(``fast`` and ``reference``) and asserts they are observationally
+identical — same transcripts, same traces, same decoded sets.
+"""
+
+from repro.testing.differential import (
+    PINNED_SCENARIOS,
+    DifferentialReport,
+    DifferentialScenario,
+    EngineRun,
+    compare_engines,
+    run_scenario,
+    scenario_by_name,
+    serialize_entry,
+    transcript_digest,
+)
+
+__all__ = [
+    "PINNED_SCENARIOS",
+    "DifferentialReport",
+    "DifferentialScenario",
+    "EngineRun",
+    "compare_engines",
+    "run_scenario",
+    "scenario_by_name",
+    "serialize_entry",
+    "transcript_digest",
+]

@@ -1,0 +1,79 @@
+"""Differential tests: the fast engine must be observationally identical
+to the reference engine on every pinned scenario.
+
+The scenario matrix (:data:`repro.testing.PINNED_SCENARIOS`) crosses
+three topology families (grid, random geometric, hypercube) with four
+fault profiles (clean, crash, jam, byzantine).  Each comparison checks
+both transcripts byte-for-byte (physics-level and post-fault), the full
+result summary, and the delivery/loss/blacklist sets.
+"""
+
+import pytest
+
+from repro.testing import (
+    PINNED_SCENARIOS,
+    compare_engines,
+    run_scenario,
+    scenario_by_name,
+    transcript_digest,
+)
+
+
+@pytest.mark.parametrize("scenario", PINNED_SCENARIOS, ids=lambda s: s.name)
+def test_engines_identical(scenario):
+    report = compare_engines(scenario)
+    assert report.equal, report.explain()
+
+
+def test_matrix_covers_all_profiles_and_topologies():
+    topologies = {s.topology["kind"] for s in PINNED_SCENARIOS}
+    profiles = {s.faults for s in PINNED_SCENARIOS}
+    assert topologies == {"grid", "rgg", "hypercube"}
+    assert profiles == {"clean", "crash", "jam", "byzantine"}
+    assert len(PINNED_SCENARIOS) == 12
+    assert len({s.name for s in PINNED_SCENARIOS}) == 12
+
+
+def test_scenario_by_name_round_trip_and_unknown():
+    for scenario in PINNED_SCENARIOS:
+        assert scenario_by_name(scenario.name) is scenario
+    with pytest.raises(KeyError):
+        scenario_by_name("torus-meteor-strike")
+
+
+def test_run_scenario_rejects_unknown_engine():
+    with pytest.raises(ValueError, match="unknown engine"):
+        run_scenario(PINNED_SCENARIOS[0], "turbo")
+
+
+def test_fault_profiles_actually_fire():
+    """Guard against a scenario matrix that silently degenerates to
+    twelve clean runs: each profile must leave its fingerprint."""
+    crash, _, _ = run_scenario(scenario_by_name("grid-crash"), "fast")
+    assert crash.result_summary["fault_stats"]["crashes"] == 2
+
+    jam, _, _ = run_scenario(scenario_by_name("grid-jam"), "fast")
+    stats = jam.result_summary["fault_stats"]
+    assert stats["rx_suppressed_jam"] + stats["rx_jammed_adversary"] > 0
+
+    byz, _, _ = run_scenario(scenario_by_name("grid-byzantine"), "fast")
+    assert byz.result_summary["fault_stats"]["rows_poisoned"] > 0
+    assert byz.result_summary["byzantine_rx_discarded"] > 0
+
+
+def test_digest_is_order_sensitive():
+    """The canonical serialization must distinguish reception order —
+    that ordering is part of the engine contract."""
+    _, inner, _ = run_scenario(scenario_by_name("grid-clean"), "fast")
+    baseline = transcript_digest(inner)
+
+    swapped = None
+    for entry in inner:
+        if len(entry.received) >= 2:
+            items = list(entry.received.items())
+            entry.received.clear()
+            entry.received.update(reversed(items))
+            swapped = entry
+            break
+    assert swapped is not None, "no round with >= 2 receivers"
+    assert transcript_digest(inner) != baseline
