@@ -13,6 +13,13 @@ Three subcommands:
 ``chaos``
     Run the supervised (self-healing) broadcast under a seeded random
     crash schedule and print the degradation report.
+``campaign``
+    Checkpointed, resumable fuzz campaigns under worker supervision:
+    ``run`` journals every trial to ``--dir`` (fsync'd JSONL + atomic
+    manifest), ``resume`` continues after any interruption — including
+    ``kill -9`` — with a byte-identical final manifest, ``status``
+    inspects a checkpoint directory.  ``run --inject-worker-faults``
+    chaos-tests the orchestrator itself.
 
 Examples
 --------
@@ -26,6 +33,9 @@ Examples
         --crash-frac 0.1
     python -m repro chaos --topology grid --rows 5 --cols 5 --k 10 \\
         --crash-frac 0 --byzantine-frac 0.1 --byzantine-mode ack_forge
+    python -m repro campaign run --dir sweep --trials 200 --profile medium
+    python -m repro campaign resume sweep
+    python -m repro campaign status sweep --json
 """
 
 from __future__ import annotations
@@ -262,22 +272,10 @@ def _fuzz_topology_spec(args: argparse.Namespace) -> dict:
     return {"kind": kind, "n": args.fz_n}
 
 
-def cmd_chaos_fuzz(args: argparse.Namespace) -> int:
-    import json
-    from pathlib import Path
+def _campaign_config_from_args(args: argparse.Namespace):
+    from repro.resilience.chaos import CampaignConfig
 
-    from repro.resilience.chaos import (
-        CampaignConfig,
-        ChaosCampaign,
-        build_artifact,
-        evaluate_campaign,
-        run_campaign,
-        shrink_campaign,
-        write_artifact,
-    )
-    from repro.resilience.chaos.runner import make_policy
-
-    config = CampaignConfig(
+    return CampaignConfig(
         profile=args.profile,
         topology=_fuzz_topology_spec(args),
         workload={"kind": args.fz_workload, "k": args.fz_k},
@@ -285,20 +283,29 @@ def cmd_chaos_fuzz(args: argparse.Namespace) -> int:
         ablation=args.ablation,
         round_bound_factor=args.round_bound_factor,
     )
-    report = run_campaign(
-        config,
-        trials=args.trials,
-        base_seed=args.fz_seed,
-        max_workers=args.workers,
-    )
 
-    artifact_paths = []
+
+def _shrink_and_bundle(config, report, stream, no_shrink: bool):
+    """Post-campaign pass: shrink each violating trial and (re)write its
+    failure bundle with the minimized campaign attached.
+
+    The bundles themselves were already streamed to disk as the trials
+    completed; this pass only enriches them, so an interruption here
+    still leaves a replayable artifact per violation.
+    """
+    from repro.resilience.chaos import (
+        ChaosCampaign,
+        evaluate_campaign,
+        shrink_campaign,
+    )
+    from repro.resilience.chaos.runner import make_policy
+
     shrink_sizes = []
     for trial in report.violating:
         campaign = ChaosCampaign.from_json(trial["campaign"])
         shrink = None
         shrunk_verdicts = None
-        if not args.no_shrink:
+        if not no_shrink:
             shrink = shrink_campaign(
                 campaign,
                 [v["name"] for v in trial["violations"]],
@@ -312,37 +319,95 @@ def cmd_chaos_fuzz(args: argparse.Namespace) -> int:
                 round_bound_factor=config.round_bound_factor,
             )
             shrink_sizes.append(shrink.atoms_after)
-        artifact = build_artifact(
-            config, trial, shrink=shrink, shrunk_verdicts=shrunk_verdicts
+        stream.attach_shrink(
+            trial, shrink=shrink, shrunk_verdicts=shrunk_verdicts
         )
-        path = write_artifact(
-            artifact,
-            Path(args.artifact_dir)
-            / f"chaos-{config.profile}-{config.ablation}"
-              f"-seed{trial['seed']}.json",
-        )
-        artifact_paths.append(str(path))
+    return shrink_sizes
+
+
+def _interrupted_exit(exc) -> int:
+    """SIGINT path: report what was preserved, exit 130 (128 + SIGINT)."""
+    from repro.experiments.orchestrator import CampaignInterrupted
+
+    if isinstance(exc, CampaignInterrupted):
+        done = len(exc.outcome.results)
+        if exc.checkpoint_dir is not None:
+            print(
+                f"interrupted: {done} completed trial(s) checkpointed in "
+                f"{exc.checkpoint_dir}; continue with "
+                f"'repro campaign resume {exc.checkpoint_dir}'",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"interrupted: {done} completed trial(s) discarded "
+                f"(run under 'repro campaign run' or pass "
+                f"--checkpoint-dir to keep progress)",
+                file=sys.stderr,
+            )
+    else:
+        print("interrupted", file=sys.stderr)
+    return 130
+
+
+def _emit_fuzz_summary(
+    report, stream, shrink_sizes, as_json: bool, title: str, extra=None
+) -> None:
+    import json
 
     summary = report.summary()
-    summary["artifacts"] = artifact_paths
+    summary["artifacts"] = [str(p) for p in stream.paths]
     if shrink_sizes:
         summary["shrunk_atom_sizes"] = shrink_sizes
-    if args.fz_json:
+    if extra:
+        summary.update(extra)
+    if as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
-    else:
-        rows = [
-            [key, value if isinstance(value, (int, float)) else str(value)]
-            for key, value in summary.items()
-        ]
-        print(render_table(
-            ["metric", "value"], rows,
-            title=f"Chaos fuzz: {args.trials} trials, "
-                  f"profile={config.profile}, ablation={config.ablation}",
-        ))
-        for trial in report.violating:
-            names = ", ".join(v["name"] for v in trial["violations"])
-            print(f"  seed {trial['seed']}: violated [{names}]")
-    return 1 if report.violating else 0
+        return
+    rows = [
+        [key, value if isinstance(value, (int, float)) else str(value)]
+        for key, value in summary.items()
+    ]
+    print(render_table(["metric", "value"], rows, title=title))
+    for trial in report.violating:
+        names = ", ".join(v["name"] for v in trial["violations"])
+        print(f"  seed {trial['seed']}: violated [{names}]")
+    for entry in report.quarantined:
+        print(
+            f"  seed {entry['seed']}: QUARANTINED "
+            f"({entry['signature']})"
+        )
+
+
+def cmd_chaos_fuzz(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.orchestrator import CampaignInterrupted
+    from repro.resilience.chaos import ArtifactStream, run_campaign
+
+    config = _campaign_config_from_args(args)
+    stream = ArtifactStream(config, Path(args.artifact_dir))
+    try:
+        report = run_campaign(
+            config,
+            trials=args.trials,
+            base_seed=args.fz_seed,
+            max_workers=args.workers,
+            checkpoint_dir=args.checkpoint_dir,
+            on_result=stream,
+        )
+        shrink_sizes = _shrink_and_bundle(
+            config, report, stream, args.no_shrink
+        )
+    except (CampaignInterrupted, KeyboardInterrupt) as exc:
+        return _interrupted_exit(exc)
+
+    _emit_fuzz_summary(
+        report, stream, shrink_sizes, args.fz_json,
+        title=f"Chaos fuzz: {args.trials} trials, "
+              f"profile={config.profile}, ablation={config.ablation}",
+    )
+    return 1 if report.violating or report.quarantined else 0
 
 
 def cmd_chaos_replay(args: argparse.Namespace) -> int:
@@ -369,6 +434,149 @@ def cmd_chaos_replay(args: argparse.Namespace) -> int:
             title=f"Chaos replay: {args.artifact}",
         ))
     return 0 if replay.deterministic else 1
+
+
+def _orchestrator_from_args(args: argparse.Namespace):
+    from repro.experiments.orchestrator import (
+        FaultInjection,
+        OrchestratorConfig,
+    )
+
+    inject = None
+    if getattr(args, "inject_worker_faults", False):
+        inject = FaultInjection(
+            seed=args.inject_seed,
+            kill_prob=args.inject_kill_prob,
+            hang_prob=args.inject_hang_prob,
+            poison_frac=args.inject_poison_frac,
+            hang_seconds=args.inject_hang_seconds,
+        )
+    return OrchestratorConfig(
+        num_workers=args.workers,
+        max_attempts=args.max_attempts,
+        task_timeout=args.task_timeout,
+        backoff_base=args.backoff_base,
+        backoff_max=args.backoff_max,
+        inject=inject,
+    )
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.orchestrator import CampaignInterrupted
+    from repro.resilience.chaos import ArtifactStream, run_campaign
+
+    config = _campaign_config_from_args(args)
+    checkpoint_dir = Path(args.dir)
+    artifact_dir = (
+        Path(args.artifact_dir) if args.artifact_dir
+        else checkpoint_dir / "artifacts"
+    )
+    stream = ArtifactStream(config, artifact_dir)
+    try:
+        report = run_campaign(
+            config,
+            trials=args.trials,
+            base_seed=args.fz_seed,
+            checkpoint_dir=checkpoint_dir,
+            orchestrator=_orchestrator_from_args(args),
+            on_result=stream,
+        )
+        shrink_sizes = _shrink_and_bundle(
+            config, report, stream, args.no_shrink
+        )
+    except (CampaignInterrupted, KeyboardInterrupt) as exc:
+        return _interrupted_exit(exc)
+
+    _emit_fuzz_summary(
+        report, stream, shrink_sizes, args.fz_json,
+        title=f"Campaign: {args.trials} trials, "
+              f"profile={config.profile}, ablation={config.ablation}",
+        extra={
+            "checkpoint_dir": str(checkpoint_dir),
+            "manifest": str(checkpoint_dir / "manifest.json"),
+            "orchestration": report.orchestration,
+        },
+    )
+    return 1 if report.violating or report.quarantined else 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.orchestrator import (
+        CampaignInterrupted,
+        campaign_header,
+    )
+    from repro.resilience.chaos import (
+        ArtifactStream,
+        CampaignConfig,
+        resume_campaign,
+    )
+
+    checkpoint_dir = Path(args.dir)
+    config = CampaignConfig.from_json(
+        campaign_header(checkpoint_dir).spec["config"]
+    )
+    artifact_dir = (
+        Path(args.artifact_dir) if args.artifact_dir
+        else checkpoint_dir / "artifacts"
+    )
+    stream = ArtifactStream(config, artifact_dir)
+    try:
+        report = resume_campaign(
+            checkpoint_dir,
+            max_workers=args.workers,
+            orchestrator=_orchestrator_from_args(args),
+            on_result=stream,
+        )
+        shrink_sizes = _shrink_and_bundle(
+            config, report, stream, args.no_shrink
+        )
+    except (CampaignInterrupted, KeyboardInterrupt) as exc:
+        return _interrupted_exit(exc)
+
+    _emit_fuzz_summary(
+        report, stream, shrink_sizes, args.fz_json,
+        title=f"Campaign resumed: {report.num_trials} trials, "
+              f"profile={config.profile}, ablation={config.ablation}",
+        extra={
+            "checkpoint_dir": str(checkpoint_dir),
+            "manifest": str(checkpoint_dir / "manifest.json"),
+            "orchestration": report.orchestration,
+        },
+    )
+    return 1 if report.violating or report.quarantined else 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.orchestrator import campaign_status
+
+    status = campaign_status(args.dir)
+    if args.fz_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [key, value if isinstance(value, (int, float)) else str(value)]
+            for key, value in status.items()
+            if key != "spec"
+        ]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"Campaign status: {args.dir}",
+        ))
+    return 0 if status["complete"] else 3
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "run":
+        return cmd_campaign_run(args)
+    if args.campaign_command == "resume":
+        return cmd_campaign_resume(args)
+    return cmd_campaign_status(args)
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -530,6 +738,90 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
     return 0 if result.failed == 0 else 1
 
 
+def _add_fuzz_args(parser: argparse.ArgumentParser) -> None:
+    """Trial-defining flags shared by ``chaos fuzz`` and ``campaign run``.
+
+    Dests use the ``fz_`` prefix where the parent ``chaos`` parser has
+    already planted a default for the natural name (see the subparser
+    comment in :func:`main`); ``campaign run`` reuses them unchanged so
+    the two front ends build identical :class:`CampaignConfig`\\ s.
+    """
+    parser.add_argument("--trials", type=int, default=20,
+                        help="number of consecutive fuzz seeds")
+    parser.add_argument("--seed", dest="fz_seed", type=int, default=0,
+                        help="base seed (trial i uses seed base+i)")
+    parser.add_argument("--profile", default="medium",
+                        choices=["light", "medium", "heavy"],
+                        help="fault-intensity profile")
+    parser.add_argument("--topology", dest="fz_topology", default="grid",
+                        choices=["line", "ring", "star", "clique", "grid",
+                                 "tree", "rgg", "gnp"])
+    parser.add_argument("--n", dest="fz_n", type=int, default=16)
+    parser.add_argument("--rows", dest="fz_rows", type=int, default=4)
+    parser.add_argument("--cols", dest="fz_cols", type=int, default=4)
+    parser.add_argument("--branching", dest="fz_branching", type=int,
+                        default=2)
+    parser.add_argument("--depth", dest="fz_depth", type=int, default=4)
+    parser.add_argument("--topology-seed", dest="fz_topology_seed",
+                        type=int, default=0)
+    parser.add_argument("--k", dest="fz_k", type=int, default=6,
+                        help="packets per trial")
+    parser.add_argument("--workload", dest="fz_workload", default="uniform",
+                        choices=["uniform", "single", "hotspot", "all"])
+    parser.add_argument("--preset", dest="fz_preset", default="default",
+                        choices=sorted(PRESETS))
+    parser.add_argument("--ablation", default="none",
+                        choices=["none", "no_repair"],
+                        help="run with a known-broken configuration "
+                             "(CI sanity check that the fuzzer catches it)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel worker processes (default: one "
+                             "per CPU, capped at 16)")
+    parser.add_argument("--round-bound-factor", type=float, default=200.0,
+                        help="liveness oracle: allowed multiple of the "
+                             "Theorem 2 round bound for clean runs")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of violating campaigns")
+    parser.add_argument("--json", dest="fz_json", action="store_true",
+                        help="emit the campaign summary as JSON")
+
+
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-policy flags for the supervised campaign orchestrator.
+
+    None of these affect the result manifest — reference and recovery
+    runs with different supervision settings stay byte-identical.
+    """
+    parser.add_argument("--max-attempts", type=int, default=4,
+                        help="attempts per seed before quarantine")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        help="per-trial wall-clock limit in seconds "
+                             "(hung workers are killed and the seed "
+                             "retried)")
+    parser.add_argument("--backoff-base", type=float, default=0.05,
+                        help="first retry delay in seconds (doubles "
+                             "per attempt)")
+    parser.add_argument("--backoff-max", type=float, default=2.0,
+                        help="retry delay ceiling in seconds")
+    parser.add_argument("--inject-worker-faults", action="store_true",
+                        help="self-test: randomly SIGKILL/hang/poison "
+                             "this campaign's own workers to prove the "
+                             "supervision layer end to end")
+    parser.add_argument("--inject-kill-prob", type=float, default=0.3,
+                        help="P(worker kills itself on a seed's first "
+                             "attempt)")
+    parser.add_argument("--inject-hang-prob", type=float, default=0.0,
+                        help="P(worker hangs on a seed's first attempt; "
+                             "pair with --task-timeout)")
+    parser.add_argument("--inject-poison-frac", type=float, default=0.0,
+                        help="fraction of seeds that deterministically "
+                             "fail (must end up quarantined)")
+    parser.add_argument("--inject-seed", type=int, default=0,
+                        help="seed for the injected-fault draws")
+    parser.add_argument("--inject-hang-seconds", type=float, default=30.0,
+                        help="how long an injected hang sleeps")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -599,46 +891,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "fuzz",
         help="run a seeded fuzzing campaign with invariant oracles",
     )
-    fuzz.add_argument("--trials", type=int, default=20,
-                      help="number of consecutive fuzz seeds")
-    fuzz.add_argument("--seed", dest="fz_seed", type=int, default=0,
-                      help="base seed (trial i uses seed base+i)")
-    fuzz.add_argument("--profile", default="medium",
-                      choices=["light", "medium", "heavy"],
-                      help="fault-intensity profile")
-    fuzz.add_argument("--topology", dest="fz_topology", default="grid",
-                      choices=["line", "ring", "star", "clique", "grid",
-                               "tree", "rgg", "gnp"])
-    fuzz.add_argument("--n", dest="fz_n", type=int, default=16)
-    fuzz.add_argument("--rows", dest="fz_rows", type=int, default=4)
-    fuzz.add_argument("--cols", dest="fz_cols", type=int, default=4)
-    fuzz.add_argument("--branching", dest="fz_branching", type=int,
-                      default=2)
-    fuzz.add_argument("--depth", dest="fz_depth", type=int, default=4)
-    fuzz.add_argument("--topology-seed", dest="fz_topology_seed",
-                      type=int, default=0)
-    fuzz.add_argument("--k", dest="fz_k", type=int, default=6,
-                      help="packets per trial")
-    fuzz.add_argument("--workload", dest="fz_workload", default="uniform",
-                      choices=["uniform", "single", "hotspot", "all"])
-    fuzz.add_argument("--preset", dest="fz_preset", default="default",
-                      choices=sorted(PRESETS))
-    fuzz.add_argument("--ablation", default="none",
-                      choices=["none", "no_repair"],
-                      help="run with a known-broken configuration "
-                           "(CI sanity check that the fuzzer catches it)")
-    fuzz.add_argument("--workers", type=int, default=None,
-                      help="parallel worker processes (default: serial "
-                           "executor decides)")
-    fuzz.add_argument("--round-bound-factor", type=float, default=200.0,
-                      help="liveness oracle: allowed multiple of the "
-                           "Theorem 2 round bound for clean runs")
+    _add_fuzz_args(fuzz)
     fuzz.add_argument("--artifact-dir", default="chaos-artifacts",
                       help="directory for failure bundles")
-    fuzz.add_argument("--no-shrink", action="store_true",
-                      help="skip delta-debugging of violating campaigns")
-    fuzz.add_argument("--json", dest="fz_json", action="store_true",
-                      help="emit the campaign summary as JSON")
+    fuzz.add_argument("--checkpoint-dir", default=None,
+                      help="journal progress here; an interrupted "
+                           "campaign continues with "
+                           "'repro campaign resume DIR'")
 
     replay = chaos_sub.add_parser(
         "replay",
@@ -650,6 +909,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="replay the original or the shrunk campaign")
     replay.add_argument("--json", dest="rp_json", action="store_true",
                         help="emit the replay report as JSON")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="checkpointed, resumable fuzz campaigns under worker "
+             "supervision (survives kill -9; resume is byte-identical)",
+    )
+    campaign_sub = campaign.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    crun = campaign_sub.add_parser(
+        "run",
+        help="run a supervised campaign, journaling every trial",
+    )
+    crun.add_argument("--dir", required=True,
+                      help="checkpoint directory (journal.jsonl + "
+                           "manifest.json)")
+    _add_fuzz_args(crun)
+    _add_supervision_args(crun)
+    crun.add_argument("--artifact-dir", default=None,
+                      help="failure-bundle directory "
+                           "(default: DIR/artifacts)")
+    crun.set_defaults(func=cmd_campaign)
+
+    cresume = campaign_sub.add_parser(
+        "resume",
+        help="continue an interrupted campaign from its journal",
+    )
+    cresume.add_argument("dir", help="checkpoint directory")
+    cresume.add_argument("--workers", type=int, default=None)
+    _add_supervision_args(cresume)
+    cresume.add_argument("--artifact-dir", default=None,
+                         help="failure-bundle directory "
+                              "(default: DIR/artifacts)")
+    cresume.add_argument("--no-shrink", action="store_true",
+                         help="skip delta-debugging of violating "
+                              "campaigns")
+    cresume.add_argument("--json", dest="fz_json", action="store_true",
+                         help="emit the campaign summary as JSON")
+    cresume.set_defaults(func=cmd_campaign)
+
+    cstatus = campaign_sub.add_parser(
+        "status",
+        help="inspect a checkpoint directory without running anything",
+    )
+    cstatus.add_argument("dir", help="checkpoint directory")
+    cstatus.add_argument("--json", dest="fz_json", action="store_true",
+                         help="emit the status as JSON")
+    cstatus.set_defaults(func=cmd_campaign)
 
     dynamic = sub.add_parser(
         "dynamic", help="batched dynamic broadcast under Poisson arrivals"

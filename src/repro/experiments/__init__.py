@@ -4,6 +4,11 @@
   initially holds the ``k`` packets).
 - :mod:`repro.experiments.harness` — seeded multi-trial runners and
   aggregation.
+- :mod:`repro.experiments.orchestrator` — the fault-tolerant campaign
+  runner: supervised worker pool, retry/backoff, quarantine, and
+  checkpointed resume (journal + atomic manifest).
+- :mod:`repro.experiments.parallel` — compatibility shim mapping the
+  old ``run_trials_parallel`` API onto the orchestrator.
 - :mod:`repro.experiments.report` — plain-text table rendering for the
   per-experiment outputs recorded in EXPERIMENTS.md.
 """
@@ -14,6 +19,22 @@ from repro.experiments.harness import (
     run_trials,
 )
 from repro.experiments.export import read_csv, read_json, write_csv, write_json
+from repro.experiments.orchestrator import (
+    CampaignError,
+    CampaignInterrupted,
+    CampaignOutcome,
+    FaultInjection,
+    Journal,
+    OrchestratorConfig,
+    SeedFailure,
+    build_manifest,
+    campaign_header,
+    campaign_status,
+    load_manifest,
+    manifest_to_bytes,
+    run_supervised,
+    write_manifest,
+)
 from repro.experiments.parallel import run_trials_parallel
 from repro.experiments.plotting import ascii_chart, sparkline
 from repro.experiments.report import format_float, render_table
@@ -30,18 +51,31 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "CampaignError",
+    "CampaignInterrupted",
+    "CampaignOutcome",
+    "FaultInjection",
+    "Journal",
+    "OrchestratorConfig",
     "Scenario",
+    "SeedFailure",
     "TrialStats",
     "aggregate",
     "ascii_chart",
     "all_nodes_one_packet",
+    "build_manifest",
+    "campaign_header",
+    "campaign_status",
     "format_float",
     "get_scenario",
     "hotspot_placement",
+    "load_manifest",
+    "manifest_to_bytes",
     "min_trials_for_failure_detection",
     "read_csv",
     "read_json",
     "render_table",
+    "run_supervised",
     "run_trials",
     "scenario_names",
     "run_trials_parallel",
@@ -51,4 +85,5 @@ __all__ = [
     "wilson_interval",
     "write_csv",
     "write_json",
+    "write_manifest",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 import numpy as np
 
@@ -39,15 +39,26 @@ def run_trials(
     trial_fn: Callable[[int], Dict[str, float]],
     num_trials: int,
     base_seed: int = 0,
+    on_result: Optional[Callable[[int, Dict[str, float]], None]] = None,
 ) -> List[Dict[str, float]]:
     """Run ``trial_fn(seed)`` for seeds ``base_seed .. base_seed+trials-1``.
 
     Each trial returns a flat metric dict; the list of dicts feeds
-    :func:`aggregate`.
+    :func:`aggregate`.  ``on_result(seed, result)`` streams each trial
+    as it completes — the same callback contract the checkpointed
+    :func:`repro.experiments.orchestrator.run_supervised` runner uses,
+    so consumers (e.g. incremental artifact writers) work with either.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
-    return [trial_fn(base_seed + i) for i in range(num_trials)]
+    results = []
+    for i in range(num_trials):
+        seed = base_seed + i
+        result = trial_fn(seed)
+        if on_result is not None:
+            on_result(seed, result)
+        results.append(result)
+    return results
 
 
 def aggregate(results: Sequence[Dict[str, float]]) -> Dict[str, TrialStats]:

@@ -7,12 +7,29 @@ worker processes.  The trial function must be a module-level callable
 (picklable); each worker runs it with its own seed, so determinism is
 preserved — the result list is identical to the sequential runner's,
 in seed order.
+
+This module is now a thin compatibility shim over
+:mod:`repro.experiments.orchestrator`, which supplies the actual worker
+pool.  The upgrade it brings: a failing trial no longer sinks the whole
+pool.  Where the old ``ProcessPoolExecutor.map`` propagated the first
+exception and discarded every completed trial, this runner finishes the
+healthy seeds and raises a structured :class:`CampaignError` carrying
+the partial per-seed results and the failing seed(s).  Campaigns that
+need checkpointing, retry/backoff, or fault supervision should call
+:func:`repro.experiments.orchestrator.run_supervised` directly.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Dict, List, Optional
+
+from repro.experiments.orchestrator import (
+    CampaignError,
+    OrchestratorConfig,
+    run_supervised,
+)
+
+__all__ = ["CampaignError", "run_trials_parallel"]
 
 
 def run_trials_parallel(
@@ -30,7 +47,7 @@ def run_trials_parallel(
     num_trials:
         Number of seeds, ``base_seed .. base_seed + num_trials - 1``.
     max_workers:
-        Worker process count (default: the executor's own default).
+        Worker process count (default: one per CPU, capped at 16).
 
     Returns
     -------
@@ -38,11 +55,30 @@ def run_trials_parallel(
         Trial metric dicts in seed order — byte-for-byte the same as the
         sequential :func:`repro.experiments.harness.run_trials` would
         produce for the same function and seeds.
+
+    Raises
+    ------
+    CampaignError
+        When any seed fails (trial exception or worker death).  The
+        error carries ``results`` (every completed seed's dict) and
+        ``failures``/``failing_seeds`` so no finished work is lost.
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
-    seeds = [base_seed + i for i in range(num_trials)]
-    if num_trials == 1 or max_workers == 1:
-        return [trial_fn(seed) for seed in seeds]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(trial_fn, seeds))
+    config = OrchestratorConfig(
+        num_workers=1 if num_trials == 1 else max_workers,
+        # mirror the old one-shot semantics: no retries, no timeouts —
+        # just don't throw away the seeds that finished
+        max_attempts=1,
+        fail_fast_threshold=1,
+        quarantine=True,
+        backoff_base=0.0,
+        task_timeout=None,
+        heartbeat_grace=None,
+    )
+    outcome = run_supervised(
+        trial_fn, num_trials, base_seed=base_seed, config=config
+    )
+    if outcome.quarantined:
+        raise CampaignError(outcome.results, outcome.quarantined)
+    return [outcome.results[base_seed + i] for i in range(num_trials)]

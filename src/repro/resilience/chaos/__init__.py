@@ -18,9 +18,10 @@ This package turns the vocabulary into a *search*:
   liveness (honest-reachable delivery, round count within a
   configurable multiple of the paper's Theorem 2 bound);
 - :mod:`repro.resilience.chaos.runner` — a campaign runner executing N
-  seeded trials (optionally across the
-  :mod:`repro.experiments.parallel` worker pool) and collecting
-  violations;
+  seeded trials across the supervised
+  :mod:`repro.experiments.orchestrator` worker pool (checkpointed and
+  resumable when given a directory; poisoned seeds are quarantined
+  instead of sinking the campaign) and collecting violations;
 - :mod:`repro.resilience.chaos.shrink` — a delta-debugging shrinker
   that minimizes a violating campaign to a locally minimal set of fault
   atoms, re-checking the violated oracle at every step;
@@ -37,6 +38,7 @@ statistical.
 from repro.resilience.chaos.artifact import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
+    ArtifactStream,
     ReplayReport,
     build_artifact,
     load_artifact,
@@ -61,8 +63,10 @@ from repro.resilience.chaos.runner import (
     CampaignConfig,
     CampaignReport,
     TrialExecution,
+    campaign_spec,
     evaluate_campaign,
     execute_campaign,
+    resume_campaign,
     run_campaign,
     run_fuzz_trial,
 )
@@ -76,6 +80,7 @@ from repro.resilience.chaos.shrink import (
 __all__ = [
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
+    "ArtifactStream",
     "CampaignConfig",
     "CampaignReport",
     "ChaosCampaign",
@@ -90,11 +95,13 @@ __all__ = [
     "build_topology_spec",
     "build_workload_spec",
     "campaign_atoms",
+    "campaign_spec",
     "evaluate_campaign",
     "execute_campaign",
     "load_artifact",
     "rebuild_campaign",
     "replay_artifact",
+    "resume_campaign",
     "run_campaign",
     "run_fuzz_trial",
     "run_oracles",

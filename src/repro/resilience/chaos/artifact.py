@@ -79,6 +79,65 @@ def write_artifact(artifact: dict, path: Union[str, Path]) -> Path:
     return path
 
 
+class ArtifactStream:
+    """Streams failure bundles to disk as violating trials complete.
+
+    Passed as the ``on_result`` callback of
+    :func:`repro.resilience.chaos.runner.run_campaign`: each violating
+    trial's bundle is written the moment the trial finishes, so an
+    interrupted (or ``kill -9``'d) campaign keeps every failure
+    reproduction it had already found instead of holding them in RAM
+    until the end.  Shrinking is a post-campaign pass —
+    :meth:`attach_shrink` rewrites the bundle in place with the
+    minimized campaign attached.
+    """
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        directory: Union[str, Path],
+        prefix: str = "chaos",
+    ) -> None:
+        self.config = config
+        self.directory = Path(directory)
+        self.prefix = prefix
+        self.paths: List[Path] = []
+
+    def artifact_path(self, seed: int) -> Path:
+        return self.directory / (
+            f"{self.prefix}-{self.config.profile}"
+            f"-{self.config.ablation}-seed{seed}.json"
+        )
+
+    def __call__(self, seed: int, trial: dict) -> Optional[Path]:
+        if not trial.get("violations"):
+            return None
+        path = write_artifact(
+            build_artifact(self.config, trial), self.artifact_path(seed)
+        )
+        if path not in self.paths:
+            self.paths.append(path)
+        return path
+
+    def attach_shrink(
+        self,
+        trial: dict,
+        shrink: ShrinkResult,
+        shrunk_verdicts: Optional[Sequence[OracleVerdict]] = None,
+    ) -> Path:
+        """Rewrite a trial's bundle with the shrunk campaign included."""
+        path = write_artifact(
+            build_artifact(
+                self.config, trial,
+                shrink=shrink, shrunk_verdicts=shrunk_verdicts,
+            ),
+            self.artifact_path(int(trial["seed"])),
+        )
+        if path not in self.paths:
+            self.paths.append(path)
+        return path
+
+
 def load_artifact(path: Union[str, Path]) -> dict:
     """Read and sanity-check a bundle."""
     data = json.loads(Path(path).read_text())

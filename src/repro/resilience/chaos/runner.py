@@ -12,12 +12,13 @@ The execution path records *two* transcripts of the same run:
 The delta between the two is exactly the fault layer's doing, which is
 what the ``drop_accounting`` and ``replay_receptions`` oracles audit.
 
-:func:`run_campaign` fans trials across the
-:mod:`repro.experiments.parallel` worker pool; the per-trial entry
-point :func:`run_fuzz_trial` therefore returns a plain JSON-able
-summary dict (campaign, verdicts, headline metrics), not live network
-objects.  Shrinking and artifact replay re-execute locally from the
-campaign JSON.
+:func:`run_campaign` fans trials across the supervised
+:mod:`repro.experiments.orchestrator` worker pool (checkpointed and
+resumable via :func:`resume_campaign` when given a directory); the
+per-trial entry point :func:`run_fuzz_trial` therefore returns a plain
+JSON-able summary dict (campaign, verdicts, headline metrics), not
+live network objects.  Shrinking and artifact replay re-execute
+locally from the campaign JSON.
 """
 
 from __future__ import annotations
@@ -311,11 +312,22 @@ def run_fuzz_trial(config: CampaignConfig, seed: int) -> dict:
 
 @dataclass
 class CampaignReport:
-    """Aggregate outcome of a fuzzing campaign."""
+    """Aggregate outcome of a fuzzing campaign.
+
+    ``trials`` holds the completed trials in seed order;
+    ``quarantined`` lists seeds the orchestrator gave up on (as
+    :class:`repro.experiments.orchestrator.SeedFailure` JSON dicts) —
+    graceful degradation means a poisoned seed is reported here rather
+    than sinking the campaign.  ``orchestration`` carries the execution
+    counters (retries, worker deaths, recovered trials) when the
+    campaign ran under the supervised orchestrator.
+    """
 
     config: CampaignConfig
     base_seed: int
     trials: List[dict]
+    quarantined: List[dict] = field(default_factory=list)
+    orchestration: Dict[str, int] = field(default_factory=dict)
 
     @property
     def num_trials(self) -> int:
@@ -352,6 +364,10 @@ class CampaignReport:
             "safety_violating_trials": len(self.safety_violating),
             "violation_rate": self.violation_rate,
             "violations_by_oracle": oracle_counts,
+            "quarantined_trials": len(self.quarantined),
+            "quarantined_seeds": sorted(
+                int(q["seed"]) for q in self.quarantined
+            ),
             "mean_rounds": (
                 sum(t["total_rounds"] for t in self.trials)
                 / self.num_trials if self.trials else 0.0
@@ -363,25 +379,99 @@ class CampaignReport:
         }
 
 
+CAMPAIGN_SPEC_KIND = "chaos-fuzz"
+
+
+def campaign_spec(config: CampaignConfig) -> dict:
+    """The deterministic campaign identity stored in journal + manifest.
+
+    Only trial-defining fields go in — execution knobs (worker count,
+    timeouts, injected faults) are excluded so a recovery run and a
+    reference run produce byte-identical manifests.
+    """
+    return {"kind": CAMPAIGN_SPEC_KIND, "config": config.to_json()}
+
+
 def run_campaign(
     config: CampaignConfig,
     trials: int,
     base_seed: int = 0,
     max_workers: Optional[int] = None,
+    checkpoint_dir: Optional[object] = None,
+    orchestrator: Optional[object] = None,
+    on_result=None,
 ) -> CampaignReport:
-    """Fuzz ``trials`` consecutive seeds, in parallel when asked.
+    """Fuzz ``trials`` consecutive seeds under the supervised orchestrator.
 
     Results are in seed order and independent of ``max_workers`` —
     byte-for-byte the same report sequentially or across a pool.
-    """
-    from repro.experiments.parallel import run_trials_parallel
 
-    results = run_trials_parallel(
+    ``checkpoint_dir`` makes the campaign durable: every completed
+    trial is journaled (fsync'd JSONL) and an atomic result manifest is
+    written at the end, so a ``kill -9`` loses nothing and calling
+    :func:`resume_campaign` on the directory continues exactly where
+    the run stopped.  ``orchestrator`` overrides the execution policy
+    (:class:`repro.experiments.orchestrator.OrchestratorConfig` —
+    retries, backoff, timeouts, fault injection); ``on_result`` streams
+    each ``(seed, trial_dict)`` as it completes, which the CLI uses to
+    write failure artifacts incrementally instead of holding them all
+    in RAM until the campaign ends.
+    """
+    from repro.experiments.orchestrator import (
+        OrchestratorConfig,
+        run_supervised,
+    )
+
+    orch = orchestrator if orchestrator is not None else OrchestratorConfig()
+    if max_workers is not None:
+        orch = dataclasses.replace(orch, num_workers=max_workers)
+    outcome = run_supervised(
         partial(run_fuzz_trial, config),
         num_trials=trials,
         base_seed=base_seed,
-        max_workers=max_workers,
+        config=orch,
+        checkpoint_dir=checkpoint_dir,
+        spec=campaign_spec(config),
+        on_result=on_result,
     )
     return CampaignReport(
-        config=config, base_seed=base_seed, trials=list(results)
+        config=config,
+        base_seed=base_seed,
+        trials=[outcome.results[s] for s in sorted(outcome.results)],
+        quarantined=[f.to_json() for f in outcome.quarantined],
+        orchestration=outcome.stats(),
+    )
+
+
+def resume_campaign(
+    checkpoint_dir,
+    max_workers: Optional[int] = None,
+    orchestrator: Optional[object] = None,
+    on_result=None,
+) -> CampaignReport:
+    """Continue an interrupted checkpointed campaign.
+
+    Reads the campaign identity (config, seed range) from the journal
+    header, recovers every completed trial, runs only the remainder,
+    and rewrites the manifest — byte-identical to what an uninterrupted
+    :func:`run_campaign` would have produced, because trials are
+    seed-addressed and deterministic.
+    """
+    from repro.experiments.orchestrator import campaign_header
+
+    header = campaign_header(checkpoint_dir)
+    if header.spec.get("kind") != CAMPAIGN_SPEC_KIND:
+        raise ValueError(
+            f"{checkpoint_dir}: journal is a "
+            f"{header.spec.get('kind')!r} campaign, not chaos-fuzz"
+        )
+    config = CampaignConfig.from_json(header.spec["config"])
+    return run_campaign(
+        config,
+        trials=header.trials,
+        base_seed=header.base_seed,
+        max_workers=max_workers,
+        checkpoint_dir=checkpoint_dir,
+        orchestrator=orchestrator,
+        on_result=on_result,
     )

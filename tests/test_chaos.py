@@ -19,6 +19,8 @@ from repro.resilience.chaos import (
     load_artifact,
     rebuild_campaign,
     replay_artifact,
+    campaign_spec,
+    resume_campaign,
     run_campaign,
     run_fuzz_trial,
     run_oracles,
@@ -221,6 +223,68 @@ class TestRunner:
         assert len(execution.outer_transcript) == len(
             execution.inner_transcript
         )
+
+
+class TestCheckpointedCampaign:
+    def test_spec_excludes_execution_knobs(self):
+        spec = campaign_spec(CampaignConfig())
+        assert spec["kind"] == "chaos-fuzz"
+        assert "config" in spec
+        # nothing about workers, timeouts, or retries may enter the
+        # spec — it feeds the byte-identical manifest
+        flat = json.dumps(spec)
+        assert "workers" not in flat
+        assert "timeout" not in flat
+
+    def test_checkpointed_run_writes_manifest(self, tmp_path):
+        config = CampaignConfig()
+        report = run_campaign(
+            config, trials=3, base_seed=0, max_workers=1,
+            checkpoint_dir=tmp_path,
+        )
+        assert (tmp_path / "journal.jsonl").exists()
+        assert (tmp_path / "manifest.json").exists()
+        assert report.orchestration["completed"] == 3
+        assert report.summary()["quarantined_trials"] == 0
+
+    def test_resume_recovers_completed_trials(self, tmp_path):
+        config = CampaignConfig()
+        first = run_campaign(
+            config, trials=3, base_seed=0, max_workers=1,
+            checkpoint_dir=tmp_path,
+        )
+        before = (tmp_path / "manifest.json").read_bytes()
+        again = resume_campaign(tmp_path, max_workers=1)
+        assert again.orchestration["recovered"] == 3
+        assert again.summary()["mean_rounds"] == (
+            first.summary()["mean_rounds"]
+        )
+        assert (tmp_path / "manifest.json").read_bytes() == before
+
+    def test_resume_rejects_foreign_checkpoint(self, tmp_path):
+        from repro.experiments.orchestrator import run_supervised
+
+        run_supervised(
+            _plain_trial, 1, checkpoint_dir=tmp_path,
+            spec={"kind": "something-else"},
+        )
+        with pytest.raises(ValueError, match="chaos-fuzz"):
+            resume_campaign(tmp_path)
+
+    def test_checkpointed_matches_uncheckpointed(self, tmp_path):
+        config = CampaignConfig()
+        plain = run_campaign(config, trials=2, base_seed=5, max_workers=1)
+        ckpt = run_campaign(
+            config, trials=2, base_seed=5, max_workers=1,
+            checkpoint_dir=tmp_path,
+        )
+        assert plain.summary()["mean_rounds"] == (
+            ckpt.summary()["mean_rounds"]
+        )
+
+
+def _plain_trial(seed):
+    return {"seed": seed}
 
 
 class TestShrink:

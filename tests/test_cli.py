@@ -246,6 +246,62 @@ class TestChaosFuzz:
                   "--artifact-dir", str(tmp_path)])
 
 
+class TestCampaignCli:
+    def _run(self, capsys, tmp_path, name, extra=()):
+        import json
+
+        rc = main(["campaign", "run", "--dir", str(tmp_path / name),
+                   "--trials", "2", "--seed", "0", "--workers", "1",
+                   "--json", *extra])
+        return rc, json.loads(capsys.readouterr().out)
+
+    def test_run_checkpoints_and_reports(self, capsys, tmp_path):
+        rc, summary = self._run(capsys, tmp_path, "camp")
+        assert rc == 0
+        assert summary["orchestration"]["completed"] == 2
+        assert (tmp_path / "camp" / "journal.jsonl").exists()
+        assert (tmp_path / "camp" / "manifest.json").exists()
+
+    def test_status_and_resume(self, capsys, tmp_path):
+        import json
+
+        self._run(capsys, tmp_path, "camp")
+        rc = main(["campaign", "status", str(tmp_path / "camp"), "--json"])
+        status = json.loads(capsys.readouterr().out)
+        assert rc == 0  # complete
+        assert status["completed"] == 2 and status["pending"] == 0
+
+        before = (tmp_path / "camp" / "manifest.json").read_bytes()
+        rc = main(["campaign", "resume", str(tmp_path / "camp"),
+                   "--workers", "1", "--json"])
+        resumed = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert resumed["orchestration"]["recovered"] == 2
+        assert (tmp_path / "camp" / "manifest.json").read_bytes() == before
+
+    def test_status_of_missing_dir_fails(self, capsys, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["campaign", "status", str(tmp_path / "void")])
+
+    def test_injected_faults_leave_manifest_unchanged(self, capsys,
+                                                      tmp_path):
+        """--inject-worker-faults is a self-test: killed workers are
+        respawned, retried, and the manifest comes out byte-identical
+        to an uninjected run."""
+        rc, _ = self._run(capsys, tmp_path, "clean")
+        assert rc == 0
+        rc, summary = self._run(
+            capsys, tmp_path, "chaos",
+            extra=["--workers", "2", "--inject-worker-faults",
+                   "--inject-kill-prob", "1.0"],
+        )
+        assert rc == 0
+        assert summary["orchestration"]["worker_deaths"] >= 1
+        assert (tmp_path / "clean" / "manifest.json").read_bytes() == (
+            tmp_path / "chaos" / "manifest.json"
+        ).read_bytes()
+
+
 class TestTraceOption:
     def test_trace_report_written(self, capsys, tmp_path):
         path = tmp_path / "trace.txt"

@@ -5,7 +5,7 @@ import pytest
 
 from repro.experiments.export import read_csv, read_json, write_csv, write_json
 from repro.experiments.harness import run_trials
-from repro.experiments.parallel import run_trials_parallel
+from repro.experiments.parallel import CampaignError, run_trials_parallel
 
 
 class TestCsvRoundtrip:
@@ -63,6 +63,12 @@ def _square_trial(seed):
     return {"seed": seed, "value": seed * seed}
 
 
+def _fail_on_7(seed):
+    if seed == 7:
+        raise ValueError("seed seven always fails")
+    return {"seed": seed, "value": seed * seed}
+
+
 class TestParallelRunner:
     def test_matches_sequential(self):
         sequential = run_trials(_square_trial, 6, base_seed=3)
@@ -79,6 +85,22 @@ class TestParallelRunner:
     def test_validation(self):
         with pytest.raises(ValueError):
             run_trials_parallel(_square_trial, 0)
+
+    def test_failure_keeps_completed_results(self):
+        """One bad seed no longer sinks the pool: the error carries
+        every completed trial and names the failing seed."""
+        with pytest.raises(CampaignError) as info:
+            run_trials_parallel(_fail_on_7, 6, base_seed=4, max_workers=2)
+        err = info.value
+        assert err.failing_seeds == [7]
+        assert sorted(err.results) == [4, 5, 6, 8, 9]
+        assert err.results[9] == {"seed": 9, "value": 81}
+
+    def test_failure_serial_path_matches(self):
+        with pytest.raises(CampaignError) as info:
+            run_trials_parallel(_fail_on_7, 1, base_seed=7)
+        assert info.value.failing_seeds == [7]
+        assert info.value.results == {}
 
     def test_real_simulation_parallel(self):
         """A genuine simulation trial across processes stays deterministic."""
