@@ -50,9 +50,20 @@ from repro.core import (
 )
 from repro.dynamic import (
     BatchedDynamicBroadcast,
+    BurstProcess,
+    ChurnNetwork,
+    ChurnSchedule,
+    ContinuousBroadcast,
+    ContinuousPolicy,
+    ContinuousResult,
+    PeriodicProcess,
+    PoissonProcess,
+    build_arrival_process,
     burst_arrivals,
+    churn_from_mobility,
     periodic_arrivals,
     poisson_arrivals,
+    random_churn_schedule,
 )
 from repro.mac import AbstractMacLayer, mac_flood_broadcast
 from repro.experiments import (
@@ -83,6 +94,7 @@ from repro.topology import (
     grid,
     hypercube,
     line,
+    mobile_rgg,
     random_connected_gnp,
     random_geometric,
     ring,
@@ -101,6 +113,12 @@ __all__ = [
     "set_default_engine",
     "BatchedDynamicBroadcast",
     "BudgetedJammer",
+    "BurstProcess",
+    "ChurnNetwork",
+    "ChurnSchedule",
+    "ContinuousBroadcast",
+    "ContinuousPolicy",
+    "ContinuousResult",
     "CorruptionChannel",
     "DynamicFaultNetwork",
     "FaultSchedule",
@@ -109,6 +127,8 @@ __all__ = [
     "MultiBroadcastResult",
     "MultipleMessageBroadcast",
     "Packet",
+    "PeriodicProcess",
+    "PoissonProcess",
     "RadioNetwork",
     "ReactiveJammer",
     "SinrRadioNetwork",
@@ -119,8 +139,10 @@ __all__ = [
     "all_nodes_one_packet",
     "balanced_tree",
     "barbell",
+    "build_arrival_process",
     "burst_arrivals",
     "caterpillar",
+    "churn_from_mobility",
     "clique",
     "decay_gossip_broadcast",
     "grid",
@@ -129,11 +151,13 @@ __all__ = [
     "line",
     "mac_flood_broadcast",
     "make_adversary",
+    "mobile_rgg",
     "make_packets",
     "make_rng",
     "packet_checksum",
     "periodic_arrivals",
     "poisson_arrivals",
+    "random_churn_schedule",
     "random_connected_gnp",
     "random_crash_schedule",
     "random_geometric",

@@ -738,6 +738,83 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
     return 0 if result.failed == 0 else 1
 
 
+def cmd_continuous(args: argparse.Namespace) -> int:
+    from repro.coding.packets import required_packet_bits
+    from repro.dynamic import (
+        ChurnNetwork,
+        ContinuousBroadcast,
+        ContinuousPolicy,
+        PoissonProcess,
+        random_churn_schedule,
+    )
+
+    base = build_topology(args)
+    churn = None
+    if args.leave_frac > 0 or args.join_frac > 0 or args.edge_flips > 0:
+        churn = random_churn_schedule(
+            base, args.rounds, seed=args.churn_seed,
+            leave_frac=args.leave_frac, join_frac=args.join_frac,
+            edge_flips=args.edge_flips, rejoin_prob=args.rejoin_prob,
+        )
+    network = ChurnNetwork(base, churn) if churn is not None else base
+    process = PoissonProcess(
+        rate=args.rate, size_bits=required_packet_bits(base.n),
+        seed=args.seed,
+    )
+    policy = ContinuousPolicy(
+        queue_capacity=args.queue_capacity,
+        drop_policy=args.drop_policy,
+        slo_rounds=args.slo_rounds,
+    )
+    result = ContinuousBroadcast(
+        network, process, policy=policy,
+        params=PRESETS[args.preset]().with_overrides(
+            collection_estimate_factor=0.25, mspg_enabled=False,
+        ),
+        seed=args.seed + 1,
+    ).run(args.rounds)
+
+    summary = result.summary()
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        churn_note = (
+            f"{len(churn.events)} churn events" if churn is not None
+            else "static topology"
+        )
+        rows = [
+            ["rounds", summary["rounds"]],
+            ["arrivals", summary["arrivals"]],
+            ["delivered", summary["delivered"]],
+            ["throughput (pkt/round)", f"{summary['throughput']:.5f}"],
+            ["dropped (queue/handoff/retry)",
+             f"{summary['dropped_queue']}/{summary['dropped_handoff']}"
+             f"/{summary['dropped_retry']}"],
+            ["rejected (backpressure)", summary["rejected"]],
+            ["in flight", summary["in_flight"]],
+            ["max queue length", summary["max_queue_len"]],
+            ["dispatches / repairs / restructures",
+             f"{summary['dispatches']}/{summary['repairs']}"
+             f"/{summary['restructures']}"],
+            ["handoffs", summary["handoffs"]],
+            [f"SLO violations (> {policy.slo_rounds} rounds)",
+             summary["slo_violations"]],
+            ["latency p50 / p99 (rounds)",
+             f"{summary['latency_p50']:.0f} / "
+             f"{summary['latency_p99']:.0f}"],
+            ["accounting exact",
+             "yes" if summary["accounting_exact"] else "NO"],
+        ]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"Continuous broadcast on {base.name} "
+                  f"(rate={args.rate}, {churn_note})",
+        ))
+    return 0 if summary["accounting_exact"] else 1
+
+
 def _add_fuzz_args(parser: argparse.ArgumentParser) -> None:
     """Trial-defining flags shared by ``chaos fuzz`` and ``campaign run``.
 
@@ -771,7 +848,7 @@ def _add_fuzz_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--preset", dest="fz_preset", default="default",
                         choices=sorted(PRESETS))
     parser.add_argument("--ablation", default="none",
-                        choices=["none", "no_repair"],
+                        choices=["none", "no_repair", "leaky_churn"],
                         help="run with a known-broken configuration "
                              "(CI sanity check that the fuzzer catches it)")
     parser.add_argument("--workers", type=int, default=None,
@@ -970,6 +1047,39 @@ def main(argv: Optional[List[str]] = None) -> int:
     dynamic.add_argument("--preset", default="default",
                          choices=sorted(PRESETS))
     dynamic.set_defaults(func=cmd_dynamic)
+
+    cont = sub.add_parser(
+        "continuous",
+        help="open-ended continuous broadcast under churn with SLOs "
+             "and backpressure",
+    )
+    _add_common(cont)
+    cont.add_argument("--rate", type=float, default=0.003,
+                      help="Poisson arrival rate (packets/round)")
+    cont.add_argument("--rounds", type=int, default=5000,
+                      help="rounds to run the open-ended stream")
+    cont.add_argument("--seed", type=int, default=0)
+    cont.add_argument("--preset", default="default",
+                      choices=sorted(PRESETS))
+    cont.add_argument("--leave-frac", type=float, default=0.0,
+                      help="fraction of nodes that depart over the run")
+    cont.add_argument("--join-frac", type=float, default=0.0,
+                      help="fraction of extra nodes that join mid-run")
+    cont.add_argument("--edge-flips", type=int, default=0,
+                      help="number of random edge sever/restore events")
+    cont.add_argument("--rejoin-prob", type=float, default=0.8,
+                      help="probability a leaver rejoins later")
+    cont.add_argument("--churn-seed", type=int, default=0,
+                      help="seed for the random churn schedule")
+    cont.add_argument("--queue-capacity", type=int, default=16,
+                      help="per-node ingress queue bound")
+    cont.add_argument("--drop-policy", default="drop_newest",
+                      choices=["drop_newest", "drop_oldest", "reject"])
+    cont.add_argument("--slo-rounds", type=int, default=4096,
+                      help="delivery-latency SLO threshold in rounds")
+    cont.add_argument("--json", action="store_true",
+                      help="emit the summary as JSON")
+    cont.set_defaults(func=cmd_continuous)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -11,16 +11,39 @@ the batched system is stable whenever packets arrive slower than one per
 ``c·logΔ`` rounds — and the experiments measure exactly that threshold.
 
 - :mod:`repro.dynamic.arrivals` — arrival-process generators (Poisson,
-  periodic, bursty).
+  periodic, bursty), both fixed-horizon lists and streaming processes.
 - :mod:`repro.dynamic.batch` — the batched dynamic broadcaster and its
   latency/throughput accounting.
+- :mod:`repro.dynamic.churn` — topology churn: node join/leave, mobility
+  edge flips, partition/heal, applied through ``resolve_round``.
+- :mod:`repro.dynamic.continuous` — the open-ended continuous driver
+  with latency SLOs, bounded queues, backpressure, and churn-triggered
+  incremental tree repair.
 """
 
 from repro.dynamic.arrivals import (
+    ArrivalProcess,
+    BurstProcess,
     PacketArrival,
+    PeriodicProcess,
+    PoissonProcess,
+    build_arrival_process,
     burst_arrivals,
     periodic_arrivals,
     poisson_arrivals,
+)
+from repro.dynamic.churn import (
+    ChurnEvent,
+    ChurnNetwork,
+    ChurnSchedule,
+    MembershipTimeline,
+    churn_from_mobility,
+    random_churn_schedule,
+)
+from repro.dynamic.continuous import (
+    ContinuousBroadcast,
+    ContinuousPolicy,
+    ContinuousResult,
 )
 from repro.dynamic.batch import (
     BatchRecord,
@@ -35,15 +58,29 @@ from repro.dynamic.policies import (
 )
 
 __all__ = [
+    "ArrivalProcess",
     "BatchPolicy",
     "BatchRecord",
     "BatchedDynamicBroadcast",
+    "BurstProcess",
+    "ChurnEvent",
+    "ChurnNetwork",
+    "ChurnSchedule",
+    "ContinuousBroadcast",
+    "ContinuousPolicy",
+    "ContinuousResult",
     "DynamicBroadcastResult",
     "ImmediatePolicy",
+    "MembershipTimeline",
     "PacketArrival",
+    "PeriodicProcess",
+    "PoissonProcess",
     "SizeThresholdPolicy",
     "TimerPolicy",
+    "build_arrival_process",
     "burst_arrivals",
+    "churn_from_mobility",
     "periodic_arrivals",
     "poisson_arrivals",
+    "random_churn_schedule",
 ]

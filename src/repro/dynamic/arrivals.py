@@ -1,14 +1,28 @@
 """Arrival-process generators for the dynamic setting.
 
-Each generator returns a time-sorted list of :class:`PacketArrival`
-(arrival round + packet).  Packet payloads and pids are assigned exactly
-as in the static workloads.
+Two forms:
+
+- the original **list generators** (:func:`poisson_arrivals`,
+  :func:`periodic_arrivals`, :func:`burst_arrivals`) return a
+  time-sorted list of :class:`PacketArrival` for a fixed horizon —
+  fine for one-shot batched runs on a static graph;
+- the **streaming processes** (:class:`PoissonProcess`,
+  :class:`PeriodicProcess`, :class:`BurstProcess`) draw arrivals one
+  round at a time over whatever origin pool is *currently present*, so
+  open-ended continuous runs under topology churn never assign a
+  packet to a node that has left.  Each process serializes to a plain
+  spec dict (:meth:`ArrivalProcess.spec` / :func:`build_arrival_process`)
+  that chaos artifacts embed for bit-exact replay.
+
+Determinism contract (tested): the same seed yields byte-identical
+output — identical counts, origins, pids, and payload bytes — as long
+as the per-round origin pools match, which replay guarantees.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -100,3 +114,163 @@ def burst_arrivals(
         times.extend([b * spacing] * burst_size)
     origins = rng.integers(0, network.n, size=len(times))
     return _materialize(network, times, origins.tolist(), rng, size_bits)
+
+
+# ----------------------------------------------------------------------
+# Streaming processes for continuous operation
+# ----------------------------------------------------------------------
+
+class ArrivalProcess:
+    """Round-at-a-time arrival generator for open-ended streams.
+
+    Subclasses implement :meth:`count_at`; :meth:`draw` turns the count
+    into concrete :class:`~repro.coding.packets.Packet` objects whose
+    origins are drawn uniformly from the caller-supplied pool (the
+    currently *present* nodes).  Draw order within a round is fixed —
+    count, then origins, then payload bytes — so one seeded stream
+    determines everything.
+    """
+
+    kind = "base"
+
+    def __init__(self, size_bits: int, seed: SeedLike = None):
+        if size_bits < 1:
+            raise ValueError("size_bits must be >= 1")
+        self.size_bits = int(size_bits)
+        self.seed = seed
+        self._rng = make_rng(seed)
+        self._next_pid = 0
+        self.total_emitted = 0
+
+    def count_at(self, round_index: int) -> int:
+        raise NotImplementedError
+
+    def draw(self, round_index: int, origins_pool: Sequence[int]) -> List[Packet]:
+        """Arrivals for ``round_index`` with origins from ``origins_pool``
+        (empty pool ⇒ the round's arrivals are lost before injection)."""
+        count = self.count_at(round_index)
+        if count <= 0 or not origins_pool:
+            return []
+        idx = self._rng.integers(0, len(origins_pool), size=count)
+        origins = [int(origins_pool[int(i)]) for i in idx]
+        packets = make_packets(
+            origins, self.size_bits, seed=self._rng,
+            first_pid=self._next_pid,
+        )
+        self._next_pid += len(packets)
+        self.total_emitted += len(packets)
+        return packets
+
+    def _params(self) -> Dict[str, object]:
+        raise NotImplementedError
+
+    def spec(self) -> Dict[str, object]:
+        """JSON-ready description; inverse of :func:`build_arrival_process`.
+
+        Only available when the process was seeded with a
+        JSON-representable value (int/str/None) — chaos campaigns always
+        use plain int seeds.
+        """
+        if self.seed is not None and not isinstance(self.seed, (int, str)):
+            raise TypeError(
+                "spec() needs a JSON-representable seed (int/str/None), "
+                f"got {type(self.seed).__name__}"
+            )
+        base: Dict[str, object] = {
+            "kind": self.kind,
+            "size_bits": self.size_bits,
+            "seed": self.seed,
+        }
+        base.update(self._params())
+        return base
+
+
+class PoissonProcess(ArrivalProcess):
+    """Poisson(rate) fresh packets per round."""
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, size_bits: int, seed: SeedLike = None):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        super().__init__(size_bits, seed)
+        self.rate = float(rate)
+
+    def count_at(self, round_index: int) -> int:
+        return int(self._rng.poisson(self.rate))
+
+    def _params(self) -> Dict[str, object]:
+        return {"rate": self.rate}
+
+
+class PeriodicProcess(ArrivalProcess):
+    """One packet every ``period`` rounds, starting at round 0."""
+
+    kind = "periodic"
+
+    def __init__(self, period: int, size_bits: int, seed: SeedLike = None):
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        super().__init__(size_bits, seed)
+        self.period = int(period)
+
+    def count_at(self, round_index: int) -> int:
+        return 1 if round_index % self.period == 0 else 0
+
+    def _params(self) -> Dict[str, object]:
+        return {"period": self.period}
+
+
+class BurstProcess(ArrivalProcess):
+    """``burst_size`` simultaneous packets every ``spacing`` rounds."""
+
+    kind = "burst"
+
+    def __init__(
+        self,
+        burst_size: int,
+        spacing: int,
+        size_bits: int,
+        seed: SeedLike = None,
+    ):
+        if burst_size < 1 or spacing < 1:
+            raise ValueError("burst_size and spacing must be >= 1")
+        super().__init__(size_bits, seed)
+        self.burst_size = int(burst_size)
+        self.spacing = int(spacing)
+
+    def count_at(self, round_index: int) -> int:
+        return self.burst_size if round_index % self.spacing == 0 else 0
+
+    def _params(self) -> Dict[str, object]:
+        return {"burst_size": self.burst_size, "spacing": self.spacing}
+
+
+_PROCESS_KINDS = {
+    "poisson": PoissonProcess,
+    "periodic": PeriodicProcess,
+    "burst": BurstProcess,
+}
+
+
+def build_arrival_process(
+    spec: Dict[str, object],
+    network: Optional[RadioNetwork] = None,
+) -> ArrivalProcess:
+    """Instantiate a streaming process from its spec dict.
+
+    ``size_bits`` may be omitted from the spec when ``network`` is given
+    (defaults to :func:`required_packet_bits` for its size).
+    """
+    kind = spec.get("kind")
+    if kind not in _PROCESS_KINDS:
+        raise ValueError(f"unknown arrival process kind {kind!r}")
+    params = {
+        k: v for k, v in spec.items() if k not in ("kind", "size_bits")
+    }
+    size_bits = spec.get("size_bits")
+    if size_bits is None:
+        if network is None:
+            raise ValueError("spec omits size_bits and no network given")
+        size_bits = required_packet_bits(network.n)
+    return _PROCESS_KINDS[kind](size_bits=int(size_bits), **params)

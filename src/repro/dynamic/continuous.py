@@ -1,0 +1,762 @@
+"""Open-ended continuous broadcast with SLOs, backpressure, and churn.
+
+:class:`ContinuousBroadcast` is the production-shaped driver the ROADMAP
+asks for: instead of one-shot k-broadcast it serves an **open-ended
+arrival stream** (a streaming :class:`~repro.dynamic.arrivals
+.ArrivalProcess`) over a network whose topology may churn underneath it
+(a :class:`~repro.dynamic.churn.ChurnNetwork`, optionally wrapped in a
+:class:`~repro.resilience.network.DynamicFaultNetwork` so crashes and
+jamming compose).  The paper's four-stage machinery is reused as-is —
+the driver owns *when* to run which stage, the paper owns *how*:
+
+- **bounded queues with explicit backpressure** — every origin holds at
+  most ``queue_capacity`` packets; overflow is resolved by the
+  configured drop policy (``drop_newest``, ``drop_oldest``, or
+  ``reject``, i.e. backpressure pushed to the producer);
+- **structure reuse with graceful degradation** — leader election and
+  BFS run once, then every dispatch reuses the tree; topology churn is
+  detected through BFS-tree *invariant* violations (parent departed,
+  tree edge severed, joiner unlabeled) and handled by the PR-1
+  Decay-based :func:`~repro.resilience.repair.repair_tree` pass —
+  a full re-election happens only when the leader itself is gone or
+  repair cannot reach live nodes;
+- **per-packet latency SLOs** — every delivery is timestamped and
+  compared against ``slo_rounds``; the result carries an exact
+  power-of-two latency histogram plus the violation count;
+- **state handoff** — a departing node's queued packets are handed to
+  its smallest-id live neighbor with queue room (each handoff re-homes
+  the packet; overflow on handoff is an explicit drop bucket);
+- **exact accounting** — ``arrivals == delivered + dropped(*) +
+  rejected + in_flight`` holds at every exit, and an append-only audit
+  log of every queue transition lets the chaos oracles *recompute* the
+  books instead of trusting them.
+
+Determinism: one seeded RNG drives the protocol stages and nothing
+else; the arrival process carries its own stream.  Same seeds, same
+schedule ⇒ byte-identical run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.coding.packets import Packet
+from repro.core.collection import run_collection_stage
+from repro.core.config import AlgorithmParameters
+from repro.core.dissemination import run_dissemination_stage
+from repro.dynamic.arrivals import ArrivalProcess
+from repro.dynamic.policies import BatchPolicy, ImmediatePolicy
+from repro.primitives.bfs import build_distributed_bfs
+from repro.primitives.decay import decay_slots
+from repro.primitives.leader_election import elect_leader
+from repro.radio.rng import SeedLike, make_rng
+
+#: Queue-overflow resolutions.
+DROP_POLICIES = ("drop_newest", "drop_oldest", "reject")
+
+
+@dataclass(frozen=True)
+class ContinuousPolicy:
+    """Knobs for the continuous driver.
+
+    Attributes
+    ----------
+    queue_capacity:
+        Per-origin queue bound (the queue-bound oracle audits it).
+    drop_policy:
+        Overflow resolution: ``drop_newest`` discards the arriving
+        packet, ``drop_oldest`` evicts the head to admit it, ``reject``
+        refuses admission and charges the producer (backpressure).
+    slo_rounds:
+        Per-packet latency SLO (arrival → full delivery, in rounds).
+    max_batch:
+        Cap on packets handed to one dispatch (keeps a single stage
+        execution's round cost bounded under bursts).
+    max_attempts:
+        Delivery attempts per packet before it is dropped as
+        undeliverable (collection/dissemination failures re-queue).
+    check_interval:
+        Idle-time cadence (rounds) of the BFS-invariant check, so
+        joiners attach and severed trees heal even with no traffic.
+    repair_epoch_factor:
+        Decay-epoch budget factor for one repair pass (as in
+        :class:`~repro.resilience.supervisor.SupervisionPolicy`).
+    """
+
+    queue_capacity: int = 16
+    drop_policy: str = "drop_newest"
+    slo_rounds: int = 2048
+    max_batch: int = 32
+    max_attempts: int = 3
+    check_interval: int = 64
+    repair_epoch_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.drop_policy not in DROP_POLICIES:
+            raise ValueError(
+                f"drop_policy must be one of {DROP_POLICIES}"
+            )
+        if self.slo_rounds < 1:
+            raise ValueError("slo_rounds must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+
+    def to_json(self) -> dict:
+        return {
+            "queue_capacity": self.queue_capacity,
+            "drop_policy": self.drop_policy,
+            "slo_rounds": self.slo_rounds,
+            "max_batch": self.max_batch,
+            "max_attempts": self.max_attempts,
+            "check_interval": self.check_interval,
+            "repair_epoch_factor": self.repair_epoch_factor,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ContinuousPolicy":
+        return cls(**data)
+
+
+@dataclass
+class QueuedPacket:
+    """One packet waiting at (or handed to) an origin's queue."""
+
+    packet: Packet
+    arrival_round: int
+    owner: int
+    attempts: int = 0
+
+
+@dataclass(frozen=True)
+class AuditEvent:
+    """One queue/delivery transition for oracle recomputation."""
+
+    round: int
+    kind: str  # arrive/enqueue/reject/drop_queue/drop_handoff/
+    #           drop_retry/handoff/dispatch/deliver/requeue
+    node: int
+    pid: int
+    arrival_round: int = -1
+
+
+@dataclass
+class JoinerRecord:
+    """A joiner's attach progress, for the catch-up oracle."""
+
+    node: int
+    join_round: int
+    attach_round: Optional[int] = None
+    departed_again: bool = False
+
+
+@dataclass
+class ContinuousResult:
+    """Outcome of one open-ended run.
+
+    The accounting identity (checked by :meth:`accounting`) is::
+
+        arrivals == delivered + dropped_queue + dropped_handoff
+                    + dropped_retry + rejected + in_flight
+    """
+
+    rounds: int
+    arrivals: int
+    delivered: int
+    dropped_queue: int
+    dropped_handoff: int
+    dropped_retry: int
+    rejected: int
+    in_flight: int
+    dispatches: int
+    restructures: int
+    repairs: int
+    handoffs: int
+    max_queue_len: int
+    max_cycle_rounds: int
+    repair_round_budget: int
+    slo_rounds: int
+    slo_violations: int
+    latency_histogram: Dict[int, int] = field(default_factory=dict)
+    deliveries: List[Tuple[int, int, int]] = field(  # (pid, arrival, deliver)
+        repr=False, default_factory=list
+    )
+    joiners: List[JoinerRecord] = field(repr=False, default_factory=list)
+    audit_log: List[AuditEvent] = field(repr=False, default_factory=list)
+    queue_capacity: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Delivered packets per round — the 1302.0264 comparison."""
+        return self.delivered / self.rounds if self.rounds else 0.0
+
+    def accounting(self) -> Dict[str, int]:
+        return {
+            "arrivals": self.arrivals,
+            "delivered": self.delivered,
+            "dropped_queue": self.dropped_queue,
+            "dropped_handoff": self.dropped_handoff,
+            "dropped_retry": self.dropped_retry,
+            "rejected": self.rejected,
+            "in_flight": self.in_flight,
+        }
+
+    @property
+    def accounting_exact(self) -> bool:
+        a = self.accounting()
+        return a["arrivals"] == (
+            a["delivered"] + a["dropped_queue"] + a["dropped_handoff"]
+            + a["dropped_retry"] + a["rejected"] + a["in_flight"]
+        )
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile delivery latency in rounds (nan if none)."""
+        if not self.deliveries:
+            return float("nan")
+        lat = sorted(d - a for _, a, d in self.deliveries)
+        idx = min(len(lat) - 1, int(math.ceil(q / 100.0 * len(lat))) - 1)
+        return float(lat[max(idx, 0)])
+
+    def summary(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "throughput": self.throughput,
+            "dispatches": self.dispatches,
+            "restructures": self.restructures,
+            "repairs": self.repairs,
+            "handoffs": self.handoffs,
+            "max_queue_len": self.max_queue_len,
+            "slo_rounds": self.slo_rounds,
+            "slo_violations": self.slo_violations,
+            "latency_histogram": {
+                str(k): v for k, v in sorted(self.latency_histogram.items())
+            },
+            "latency_p50": self.latency_percentile(50),
+            "latency_p99": self.latency_percentile(99),
+            **self.accounting(),
+            "accounting_exact": self.accounting_exact,
+        }
+
+
+def latency_bucket(latency: int) -> int:
+    """Power-of-two histogram bucket: b such that 2^b <= latency < 2^(b+1)
+    (latency 0 lands in bucket -1)."""
+    return latency.bit_length() - 1
+
+
+class ContinuousBroadcast:
+    """Serve an open-ended arrival stream over a (possibly churning)
+    network.
+
+    Parameters
+    ----------
+    network:
+        Anything with the ``resolve_round`` interface.  Churn/fault
+        layers are discovered through duck typing: ``is_present`` /
+        ``edge_active`` (churn), ``is_alive`` (faults), ``advance_to``
+        (clocked layers).  A plain :class:`RadioNetwork` degrades to the
+        static case.
+    process:
+        The streaming arrival process; it carries its own RNG.
+    batch_policy:
+        When to dispatch the queued backlog
+        (:class:`~repro.dynamic.policies.BatchPolicy`).  The deadline
+        anchor passed as ``queue_first_time`` is the round the backlog
+        last became non-empty, **not** the oldest queued arrival — under
+        ``drop_oldest`` the oldest arrival advances every eviction,
+        which lets :class:`SizeThresholdPolicy`'s ``max_wait`` deadline
+        recede forever (the starvation regression pinned in the tests).
+    policy / params / seed / depth_bound:
+        See :class:`ContinuousPolicy` /
+        :class:`~repro.core.config.AlgorithmParameters`.
+    """
+
+    def __init__(
+        self,
+        network,
+        process: ArrivalProcess,
+        batch_policy: Optional[BatchPolicy] = None,
+        policy: Optional[ContinuousPolicy] = None,
+        params: Optional[AlgorithmParameters] = None,
+        seed: SeedLike = None,
+        depth_bound: Optional[int] = None,
+    ):
+        self.net = network
+        self.process = process
+        self.batch_policy = batch_policy or ImmediatePolicy()
+        self.policy = policy or ContinuousPolicy()
+        if params is None:
+            # Stage 3 is sized for *unknown* k; a continuous dispatch
+            # knows its batch is at most max_batch, so the default
+            # shrinks the initial estimate and skips the MSPG pass
+            # (~2.5x fewer rounds per dispatch; a too-small estimate
+            # merely costs one doubling phase, never correctness).
+            params = AlgorithmParameters().with_overrides(
+                collection_estimate_factor=0.25, mspg_enabled=False,
+            )
+        self.params = params
+        self.params.apply_engine(network)
+        self.rng = make_rng(seed)
+        self.depth_bound = depth_bound or network.diameter
+
+    # -- duck-typed layer queries --------------------------------------
+
+    def _present(self, v: int) -> bool:
+        f = getattr(self.net, "is_present", None)
+        return True if f is None else bool(f(v))
+
+    def _alive(self, v: int) -> bool:
+        f = getattr(self.net, "is_alive", None)
+        if f is not None:
+            return bool(f(v))
+        return self._present(v)
+
+    def _usable(self, v: int) -> bool:
+        return self._present(v) and self._alive(v)
+
+    def _edge_usable(self, u: int, v: int) -> bool:
+        f = getattr(self.net, "edge_active", None)
+        if f is not None:
+            return bool(f(u, v))
+        return bool(self.net.has_edge(u, v))
+
+    def _sync(self, now: int) -> None:
+        f = getattr(self.net, "advance_to", None)
+        if f is not None:
+            f(now)
+
+    # ------------------------------------------------------------------
+
+    def run(self, horizon: int) -> ContinuousResult:
+        """Run for ``horizon`` rounds; no final flush — whatever is
+        queued at the end is reported as in-flight."""
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        # deferred: repro.resilience pulls in the chaos package, which
+        # imports this module — a top-level import would be circular
+        from repro.resilience.repair import (
+            attached_set,
+            default_repair_epochs,
+            repair_tree,
+        )
+
+        net, policy = self.net, self.policy
+        n = net.n
+        cap = policy.queue_capacity
+
+        queues: Dict[int, List[QueuedPacket]] = {v: [] for v in range(n)}
+        backlog = 0
+        backlog_since = 0  # round the backlog last became non-empty
+        log: List[AuditEvent] = []
+        deliveries: List[Tuple[int, int, int]] = []
+        histogram: Dict[int, int] = {}
+        joiners: Dict[int, JoinerRecord] = {}
+
+        counters = {
+            "delivered": 0, "dropped_queue": 0, "dropped_handoff": 0,
+            "dropped_retry": 0, "rejected": 0, "handoffs": 0,
+            "dispatches": 0, "restructures": 0, "repairs": 0,
+        }
+        max_queue_len = 0
+        max_cycle = 0
+        slo_violations = 0
+
+        now = 0
+        absorbed_until = 0
+        leader = -1
+        parent: Optional[List[int]] = None
+        distance: Optional[List[int]] = None
+        prev_present = {v for v in range(n) if self._present(v)}
+        repair_budget = (
+            default_repair_epochs(net, policy.repair_epoch_factor)
+        )
+
+        def note(kind: str, node: int, pid: int, arrival: int = -1,
+                 at: Optional[int] = None) -> None:
+            log.append(AuditEvent(
+                round=now if at is None else at, kind=kind, node=node,
+                pid=pid, arrival_round=arrival,
+            ))
+
+        def enqueue(item: QueuedPacket, bucket: str) -> bool:
+            """Admit ``item`` to its owner's queue under the drop
+            policy; returns False when the *item itself* was not
+            admitted.  ``bucket`` names the drop counter charged on
+            overflow ("dropped_queue" for arrivals/requeues,
+            "dropped_handoff" for handoffs)."""
+            nonlocal backlog, backlog_since, max_queue_len
+            q = queues[item.owner]
+            # capture before any eviction: a drop_oldest pop transiently
+            # empties a capacity-1 backlog, and resetting the deadline
+            # anchor on that transient would let SizeThresholdPolicy's
+            # max_wait recede one arrival at a time (starvation)
+            was_empty = backlog == 0
+            if len(q) >= cap:
+                if policy.drop_policy == "reject":
+                    counters["rejected"] += 1
+                    note("reject", item.owner, item.packet.pid,
+                         item.arrival_round)
+                    return False
+                if policy.drop_policy == "drop_newest":
+                    counters[bucket] += 1
+                    note(bucket, item.owner, item.packet.pid,
+                         item.arrival_round)
+                    return False
+                # drop_oldest: evict the head to admit the newcomer
+                evicted = q.pop(0)
+                backlog -= 1
+                counters[bucket] += 1
+                note(bucket, evicted.owner, evicted.packet.pid,
+                     evicted.arrival_round)
+            if was_empty:
+                backlog_since = now
+            q.append(item)
+            backlog += 1
+            max_queue_len = max(max_queue_len, len(q))
+            note("enqueue", item.owner, item.packet.pid,
+                 item.arrival_round)
+            return True
+
+        def absorb(up_to: int) -> None:
+            """Draw arrivals for rounds [absorbed_until, up_to)."""
+            nonlocal absorbed_until
+            for r in range(absorbed_until, up_to):
+                pool = [v for v in range(n) if self._usable(v)]
+                for pkt in self.process.draw(r, pool):
+                    note("arrive", pkt.origin, pkt.pid, r, at=r)
+                    enqueue(
+                        QueuedPacket(pkt, arrival_round=r,
+                                     owner=pkt.origin),
+                        "dropped_queue",
+                    )
+            absorbed_until = max(absorbed_until, up_to)
+
+        def handle_departures() -> None:
+            """Hand a departed node's queue to its smallest-id usable
+            neighbor with room; overflow is an explicit drop."""
+            nonlocal backlog
+            present = {v for v in range(n) if self._present(v)}
+            for v in sorted(prev_present - present):
+                if not queues[v]:
+                    continue
+                heirs = sorted(
+                    int(u) for u in net.neighbors(v)
+                    if self._usable(int(u))
+                )
+                moved = queues[v]
+                queues[v] = []
+                backlog -= len(moved)
+                for item in moved:
+                    placed = False
+                    for heir in heirs:
+                        if len(queues[heir]) < cap:
+                            counters["handoffs"] += 1
+                            note("handoff", heir, item.packet.pid,
+                                 item.arrival_round)
+                            enqueue(
+                                QueuedPacket(
+                                    item.packet, item.arrival_round,
+                                    owner=heir,
+                                    attempts=item.attempts,
+                                ),
+                                "dropped_handoff",
+                            )
+                            placed = True
+                            break
+                    if not placed:
+                        counters["dropped_handoff"] += 1
+                        note("drop_handoff", v, item.packet.pid,
+                             item.arrival_round)
+            for v in sorted(present - prev_present):
+                rec = joiners.get(v)
+                if rec is None or rec.departed_again:
+                    joiners[v] = JoinerRecord(node=v, join_round=now)
+            for v in sorted(prev_present - present):
+                rec = joiners.get(v)
+                if rec is not None and rec.attach_round is None:
+                    rec.departed_again = True
+            prev_present.clear()
+            prev_present.update(present)
+
+        def charge(rounds: int) -> None:
+            nonlocal now
+            now += rounds
+            self._sync(now)
+
+        def structure_valid() -> bool:
+            if parent is None or distance is None:
+                return False
+            if leader < 0 or not self._usable(leader):
+                return False
+            for v in range(n):
+                if v == leader or not self._usable(v):
+                    continue
+                p = parent[v]
+                if distance[v] < 0 or p < 0:
+                    return False
+                if not self._usable(p):
+                    return False
+                if not self._edge_usable(v, p):
+                    return False
+            return True
+
+        def detach_invalid() -> None:
+            """Detach nodes whose parent pointer is no longer usable so
+            the repair pass re-adopts them."""
+            for v in range(n):
+                if v == leader:
+                    continue
+                p = parent[v]
+                if p < 0:
+                    continue
+                if (not self._usable(p)
+                        or not self._edge_usable(v, p)
+                        or distance[p] < 0):
+                    parent[v] = -1
+                    distance[v] = -1
+
+        def mark_attached() -> None:
+            """Record attach rounds for joiners now on the tree."""
+            att = attached_set(parent, distance, leader, self._usable)
+            for v, rec in joiners.items():
+                if rec.attach_round is None and not rec.departed_again \
+                        and v in att:
+                    rec.attach_round = now
+
+        def restructure() -> bool:
+            """Full rebuild: elect among usable nodes, then BFS."""
+            nonlocal leader, parent, distance
+            counters["restructures"] += 1
+            candidates = [v for v in range(n) if self._usable(v)]
+            if not candidates:
+                leader, parent, distance = -1, None, None
+                return False
+            election = elect_leader(
+                net, candidates, self.rng,
+                epochs_per_probe=self.params.bgi_epochs(net),
+            )
+            charge(election.rounds)
+            if len(election.claimants) != 1 \
+                    or not self._usable(election.claimants[0]):
+                leader, parent, distance = -1, None, None
+                return False
+            leader = election.claimants[0]
+            bfs = build_distributed_bfs(
+                net, leader, self.rng,
+                depth_bound=self.depth_bound,
+                epochs_per_phase=self.params.bfs_epochs(net),
+            )
+            charge(bfs.rounds)
+            parent, distance = list(bfs.parent), list(bfs.distance)
+            mark_attached()
+            return True
+
+        def heal() -> bool:
+            """Invariant check → incremental repair → restructure only
+            as a last resort.  True when a usable structure stands."""
+            nonlocal parent, distance
+            if structure_valid():
+                mark_attached()
+                return True
+            if (parent is not None and leader >= 0
+                    and self._usable(leader)):
+                detach_invalid()
+                att = attached_set(
+                    parent, distance, leader, self._usable
+                )
+                orphans = [
+                    v for v in range(n)
+                    if self._usable(v) and v not in att
+                ]
+                if orphans:
+                    counters["repairs"] += 1
+                    rep = repair_tree(
+                        net, parent, distance, leader, self.rng,
+                        epochs=repair_budget,
+                        round_offset=now,
+                    )
+                    charge(rep.rounds)
+                    parent, distance = rep.parent, rep.distance
+                if structure_valid():
+                    mark_attached()
+                    return True
+            return restructure()
+
+        def dispatch() -> None:
+            """Run one collection + dissemination cycle on the backlog."""
+            nonlocal backlog
+            counters["dispatches"] += 1
+
+            batch: List[QueuedPacket] = []
+            for v in sorted(queues):
+                if not self._usable(v):
+                    continue
+                if v != leader and (parent is None or parent[v] < 0):
+                    # usable but detached (e.g. partitioned beyond the
+                    # repair pass's reach): collection cannot route from
+                    # here — its packets wait for a heal to adopt it
+                    continue
+                batch.extend(queues[v])
+            batch.sort(key=lambda it: (it.arrival_round, it.packet.pid))
+            batch = batch[:policy.max_batch]
+            if not batch:
+                return
+            for item in batch:
+                queues[item.owner].remove(item)
+                backlog -= 1
+                note("dispatch", item.owner, item.packet.pid,
+                     item.arrival_round)
+
+            def requeue(item: QueuedPacket) -> None:
+                item.attempts += 1
+                if item.attempts >= policy.max_attempts:
+                    counters["dropped_retry"] += 1
+                    note("drop_retry", item.owner, item.packet.pid,
+                         item.arrival_round)
+                    return
+                note("requeue", item.owner, item.packet.pid,
+                     item.arrival_round)
+                enqueue(item, "dropped_queue")
+
+            # Re-home handed-off packets: the stages route from the
+            # packet's origin field, which must be its current owner.
+            to_send: List[Tuple[QueuedPacket, Packet]] = []
+            for item in batch:
+                pkt = item.packet
+                if pkt.origin != item.owner:
+                    pkt = replace(pkt, origin=item.owner)
+                to_send.append((item, pkt))
+
+            root_items = [
+                (it, pkt) for it, pkt in to_send if pkt.origin == leader
+            ]
+            field_items = [
+                (it, pkt) for it, pkt in to_send if pkt.origin != leader
+            ]
+            collected: List[Tuple[QueuedPacket, Packet]] = list(root_items)
+            if field_items:
+                collection = run_collection_stage(
+                    net, parent, distance, leader,
+                    [pkt for _, pkt in field_items],
+                    self.params, self.rng,
+                    depth_bound=self.depth_bound,
+                )
+                charge(collection.rounds)
+                got = set(collection.collected_order)
+                for it, pkt in field_items:
+                    if pkt.pid in got:
+                        collected.append((it, pkt))
+                    else:
+                        requeue(it)
+            if leader < 0 or not self._usable(leader):
+                # leader vanished mid-cycle: nothing can disseminate;
+                # everything gathered goes back to the queues
+                for it, _ in collected:
+                    requeue(it)
+                return
+            if not collected:
+                return
+
+            ordered = [pkt for _, pkt in collected]
+            safe_distance = [d if d >= 0 else 1 for d in distance]
+            safe_distance[leader] = 0
+            dissemination = run_dissemination_stage(
+                net, safe_distance, leader, ordered,
+                self.params, self.rng,
+            )
+            charge(dissemination.rounds)
+
+            width = dissemination.group_width
+            audience = [v for v in range(n) if self._usable(v)]
+            for i, (item, pkt) in enumerate(collected):
+                j = i // width
+                holders = {
+                    int(v) for v in np.nonzero(
+                        dissemination.has_group[:, j]
+                    )[0]
+                }
+                holders.add(pkt.origin)
+                holders.add(leader)
+                if all(v in holders for v in audience):
+                    counters["delivered"] += 1
+                    latency = now - item.arrival_round
+                    deliveries.append(
+                        (pkt.pid, item.arrival_round, now)
+                    )
+                    b = latency_bucket(latency)
+                    histogram[b] = histogram.get(b, 0) + 1
+                    note("deliver", pkt.origin, pkt.pid,
+                         item.arrival_round)
+                else:
+                    requeue(item)
+
+        # ---- main loop -------------------------------------------------
+        self._sync(0)
+        heal()
+        last_check = now
+        while now < horizon:
+            self._sync(now)
+            absorb(min(now + 1, horizon))
+            handle_departures()
+            if now - last_check >= policy.check_interval:
+                heal()
+                last_check = now
+            if backlog > 0:
+                due = self.batch_policy.dispatch_time(
+                    backlog_since, backlog, now
+                )
+                if due <= now:
+                    cycle_start = now
+                    if heal():
+                        dispatch()
+                        last_check = now
+                    max_cycle = max(max_cycle, now - cycle_start)
+                    if now == cycle_start:
+                        now += 1  # structure-less: don't spin in place
+                    continue
+            now += 1
+
+        self._sync(now)
+        # arrivals in rounds the final dispatch skipped past are still
+        # pre-horizon traffic: draw them so the books close exactly
+        absorb(horizon)
+        handle_departures()
+        in_flight = sum(len(q) for q in queues.values())
+        slo_violations = sum(
+            1 for _, a, d in deliveries if d - a > policy.slo_rounds
+        )
+        repair_rounds_cap = repair_budget * decay_slots(net.max_degree)
+
+        return ContinuousResult(
+            rounds=now,
+            arrivals=self.process.total_emitted,
+            delivered=counters["delivered"],
+            dropped_queue=counters["dropped_queue"],
+            dropped_handoff=counters["dropped_handoff"],
+            dropped_retry=counters["dropped_retry"],
+            rejected=counters["rejected"],
+            in_flight=in_flight,
+            dispatches=counters["dispatches"],
+            restructures=counters["restructures"],
+            repairs=counters["repairs"],
+            handoffs=counters["handoffs"],
+            max_queue_len=max_queue_len,
+            max_cycle_rounds=max_cycle,
+            repair_round_budget=repair_rounds_cap,
+            slo_rounds=policy.slo_rounds,
+            slo_violations=slo_violations,
+            latency_histogram=histogram,
+            deliveries=deliveries,
+            joiners=sorted(joiners.values(), key=lambda r: r.node),
+            audit_log=log,
+            queue_capacity=cap,
+        )

@@ -82,6 +82,36 @@ class FaultyRadioNetwork(RadioNetwork):
         super().set_engine(name)
         self._base.set_engine(name)
 
+    # -- churn passthroughs -------------------------------------------
+    # FaultyRadioNetwork is a RadioNetwork subclass, not a __getattr__
+    # proxy, so the dynamic-topology interface of a wrapped
+    # ChurnNetwork must be forwarded explicitly for erasures/jamming to
+    # compose with join/leave/mobility.
+
+    def advance(self, rounds: int) -> None:
+        base_advance = getattr(self._base, "advance", None)
+        if base_advance is not None:
+            base_advance(rounds)
+
+    def advance_to(self, round_index: int) -> None:
+        base_advance_to = getattr(self._base, "advance_to", None)
+        if base_advance_to is not None:
+            base_advance_to(round_index)
+
+    def is_present(self, node: int) -> bool:
+        base_present = getattr(self._base, "is_present", None)
+        return True if base_present is None else base_present(node)
+
+    def present_nodes(self):
+        base_present = getattr(self._base, "present_nodes", None)
+        if base_present is None:
+            return list(range(self.n))
+        return base_present()
+
+    def edge_active(self, u: int, v: int) -> bool:
+        base_active = getattr(self._base, "edge_active", None)
+        return self.has_edge(u, v) if base_active is None else base_active(u, v)
+
     def resolve_round(self, transmissions: Mapping[int, object]) -> Dict[int, object]:
         received = self._base.resolve_round(transmissions)
         if not received:

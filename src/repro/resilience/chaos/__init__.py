@@ -14,9 +14,12 @@ This package turns the vocabulary into a *search*:
 - :mod:`repro.resilience.chaos.oracles` — invariant oracles run against
   every trial: safety (no mis-decode, no mis-attribution, every dropped
   reception accounted exactly once, the reception rule holds under
-  faults, the fault-layer event stream replays bit-for-bit) and
-  liveness (honest-reachable delivery, round count within a
-  configurable multiple of the paper's Theorem 2 bound);
+  faults *and churn*, the fault-layer event stream replays bit-for-bit,
+  no phantom deliveries to departed nodes, queue bounds respected, the
+  continuous books recompute exactly from the audit log) and liveness
+  (honest-reachable delivery, round count within a configurable
+  multiple of the paper's Theorem 2 bound, joiner catch-up within the
+  repair envelope);
 - :mod:`repro.resilience.chaos.runner` — a campaign runner executing N
   seeded trials across the supervised
   :mod:`repro.experiments.orchestrator` worker pool (checkpointed and
@@ -46,6 +49,7 @@ from repro.resilience.chaos.artifact import (
     write_artifact,
 )
 from repro.resilience.chaos.fuzzer import (
+    ABLATIONS,
     PROFILES,
     ChaosCampaign,
     IntensityProfile,
@@ -69,6 +73,7 @@ from repro.resilience.chaos.runner import (
     resume_campaign,
     run_campaign,
     run_fuzz_trial,
+    wrap_churn,
 )
 from repro.resilience.chaos.shrink import (
     ShrinkResult,
@@ -78,6 +83,7 @@ from repro.resilience.chaos.shrink import (
 )
 
 __all__ = [
+    "ABLATIONS",
     "ARTIFACT_FORMAT",
     "ARTIFACT_VERSION",
     "ArtifactStream",
@@ -108,5 +114,6 @@ __all__ = [
     "sample_campaign",
     "shrink_campaign",
     "violated",
+    "wrap_churn",
     "write_artifact",
 ]

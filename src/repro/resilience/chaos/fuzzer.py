@@ -33,7 +33,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.analysis.complexity import theorem2_total_bound
-from repro.coding.packets import Packet
+from repro.coding.packets import Packet, required_packet_bits
+from repro.dynamic.churn import ChurnSchedule, random_churn_schedule
+from repro.dynamic.continuous import DROP_POLICIES, ContinuousPolicy
 from repro.radio.network import RadioNetwork
 from repro.radio.rng import make_rng
 from repro.resilience.byzantine import BYZANTINE_MODES
@@ -41,7 +43,10 @@ from repro.resilience.schedule import STAGES, FaultSchedule
 
 #: Campaign-level ablations: named known-broken configurations the
 #: fuzzer is expected to catch (used by tests, CI, and the R4 bench).
-ABLATIONS = ("none", "no_repair")
+#: ``leaky_churn`` plants a phantom-delivery bug in the churn layer
+#: (departed nodes keep receiving) for the no_phantom_delivery oracle's
+#: self-test.
+ABLATIONS = ("none", "no_repair", "leaky_churn")
 
 
 def build_topology_spec(spec: Dict[str, object]) -> RadioNetwork:
@@ -134,6 +139,20 @@ class IntensityProfile:
     allow_leader_crash: bool = False
     expect_delivery: bool = True
     horizon_factor: float = 30.0
+    # -- topology churn (drawn from a separate seeded stream, so these
+    # knobs never perturb the fault-family draws above) ----------------
+    p_churn: float = 0.4
+    churn_leave_frac: Tuple[float, float] = (0.0, 0.1)
+    churn_join_frac: Tuple[float, float] = (0.0, 0.08)
+    churn_edge_flips: Tuple[int, int] = (0, 4)
+    churn_rejoin_prob: float = 0.5
+    churn_partition_prob: float = 0.15
+    # -- continuous-traffic mode (same separate stream) ----------------
+    p_continuous: float = 0.3
+    traffic_rate: Tuple[float, float] = (0.002, 0.008)
+    continuous_rounds: Tuple[int, int] = (2500, 5000)
+    queue_capacity: Tuple[int, int] = (4, 16)
+    slo_rounds: Tuple[int, int] = (2048, 8192)
 
 
 #: The named intensity tiers the CLI, CI, and R4 bench sweep.
@@ -152,6 +171,12 @@ PROFILES: Dict[str, IntensityProfile] = {
         p_jam_budget=0.0,
         p_byzantine=0.15,
         byzantine_frac=(0.05, 0.08),
+        p_churn=0.25,
+        churn_leave_frac=(0.0, 0.06),
+        churn_join_frac=(0.0, 0.05),
+        churn_edge_flips=(0, 2),
+        churn_partition_prob=0.0,
+        p_continuous=0.25,
     ),
     "medium": IntensityProfile(
         name="medium",
@@ -176,6 +201,12 @@ PROFILES: Dict[str, IntensityProfile] = {
         byzantine_frac=(0.05, 0.15),
         allow_leader_crash=True,
         expect_delivery=False,
+        p_churn=0.6,
+        churn_leave_frac=(0.05, 0.2),
+        churn_join_frac=(0.0, 0.15),
+        churn_edge_flips=(0, 8),
+        churn_partition_prob=0.3,
+        p_continuous=0.35,
     ),
 }
 
@@ -204,6 +235,8 @@ class ChaosCampaign:
     profile: str = "custom"
     expect_delivery: bool = True
     ablation: str = "none"
+    churn: Optional[ChurnSchedule] = None
+    traffic: Optional[Dict[str, object]] = None
 
     def __post_init__(self):
         if self.ablation not in ABLATIONS:
@@ -213,12 +246,24 @@ class ChaosCampaign:
             )
         if self.byzantine_nodes and self.byzantine_mode is None:
             raise ValueError("byzantine nodes given without a mode")
+        if self.traffic is not None and self.byzantine_nodes:
+            raise ValueError(
+                "continuous-traffic campaigns cannot carry Byzantine "
+                "insiders (the continuous driver has no blacklist path)"
+            )
+
+    @property
+    def mode(self) -> str:
+        """``"continuous"`` when the campaign carries an open-ended
+        traffic spec, else the classic one-shot broadcast trial."""
+        return "continuous" if self.traffic is not None else "oneshot"
 
     def fault_atom_count(self) -> int:
-        """Schedule events + jam windows: the shrinker's primary size
-        metric (adversary knobs and insider nodes are counted as atoms
-        by the shrinker itself)."""
-        return len(self.schedule)
+        """Schedule events + jam windows + churn events: the shrinker's
+        primary size metric (adversary knobs and insider nodes are
+        counted as atoms by the shrinker itself)."""
+        churn_atoms = len(self.churn.events) if self.churn else 0
+        return len(self.schedule) + churn_atoms
 
     def to_json(self) -> dict:
         return {
@@ -236,10 +281,14 @@ class ChaosCampaign:
             "profile": self.profile,
             "expect_delivery": self.expect_delivery,
             "ablation": self.ablation,
+            "churn": None if self.churn is None else self.churn.to_json(),
+            "traffic": None if self.traffic is None else dict(self.traffic),
         }
 
     @classmethod
     def from_json(cls, data: dict) -> "ChaosCampaign":
+        churn_data = data.get("churn")
+        traffic_data = data.get("traffic")
         return cls(
             topology=dict(data["topology"]),
             workload=dict(data["workload"]),
@@ -260,6 +309,13 @@ class ChaosCampaign:
             profile=data.get("profile", "custom"),
             expect_delivery=bool(data.get("expect_delivery", True)),
             ablation=data.get("ablation", "none"),
+            churn=(
+                None if churn_data is None
+                else ChurnSchedule.from_json(churn_data)
+            ),
+            traffic=(
+                None if traffic_data is None else dict(traffic_data)
+            ),
         )
 
 
@@ -404,6 +460,70 @@ def sample_campaign(
         if rng.random() < profile.p_jam_budget else None
     )
 
+    # -- topology churn + continuous traffic (a SEPARATE seeded stream:
+    # campaigns sampled before churn existed keep their exact bytes) ---
+    churn_rng = make_rng(np.random.SeedSequence([0xC4A06, int(seed)]))
+    churn: Optional[ChurnSchedule] = None
+    traffic: Optional[Dict[str, object]] = None
+    continuous = (
+        profile.p_continuous > 0
+        and churn_rng.random() < profile.p_continuous
+    )
+    if profile.p_churn > 0 and churn_rng.random() < profile.p_churn:
+        # every node the fault schedule or adversary already commits to
+        # must stay a member for the whole run, so churn never invalidates
+        # the schedule (validate's churn cross-checks hold by construction)
+        pinned = {leader_guess, *byz_nodes}
+        for e in schedule.events:
+            if e.node >= 0:
+                pinned.add(e.node)
+            if e.edge is not None:
+                pinned.update(e.edge)
+        for w in schedule.jam_windows:
+            pinned.update(w.nodes)
+        churn_horizon = (
+            _randint(churn_rng, *profile.continuous_rounds)
+            if continuous else horizon
+        )
+        drawn = random_churn_schedule(
+            network,
+            churn_horizon,
+            seed=churn_rng,
+            leave_frac=_uniform(churn_rng, *profile.churn_leave_frac),
+            join_frac=_uniform(churn_rng, *profile.churn_join_frac),
+            edge_flips=_randint(churn_rng, *profile.churn_edge_flips),
+            rejoin_prob=profile.churn_rejoin_prob,
+            partition_prob=profile.churn_partition_prob,
+            exclude=pinned,
+        )
+        if drawn.events or drawn.initially_absent:
+            churn = drawn
+    if continuous:
+        traffic = {
+            "process": {
+                "kind": "poisson",
+                "rate": round(_uniform(churn_rng, *profile.traffic_rate), 6),
+                "size_bits": required_packet_bits(n),
+                "seed": int(seed),
+            },
+            "rounds": (
+                churn.max_round + _randint(churn_rng, 500, 1500)
+                if churn is not None
+                else _randint(churn_rng, *profile.continuous_rounds)
+            ),
+            "policy": ContinuousPolicy(
+                queue_capacity=_randint(churn_rng, *profile.queue_capacity),
+                drop_policy=DROP_POLICIES[
+                    _randint(churn_rng, 0, len(DROP_POLICIES) - 1)
+                ],
+                slo_rounds=_randint(churn_rng, *profile.slo_rounds),
+            ).to_json(),
+        }
+        # the continuous driver has no Byzantine blacklist machinery;
+        # crashes/jams/corruption still apply through the fault stack
+        byz_nodes = []
+        byz_mode = None
+
     campaign = ChaosCampaign(
         topology=dict(topology),
         workload=dict(workload),
@@ -419,9 +539,13 @@ def sample_campaign(
         profile=profile.name,
         expect_delivery=profile.expect_delivery,
         ablation=ablation,
+        churn=churn,
+        traffic=traffic,
     )
     # the sampler's contract: what it emits is always valid
-    campaign.schedule.validate(n, byzantine=campaign.byzantine_nodes)
+    campaign.schedule.validate(
+        n, byzantine=campaign.byzantine_nodes, churn=campaign.churn
+    )
     return campaign
 
 

@@ -23,9 +23,18 @@ degradation:
   fresh fault network fed the recorded transmissions at the recorded
   clocks reproduces the post-fault receptions bit-for-bit;
 - ``lost_justified`` — a packet was written off only because its origin
-  died or was convicted, never silently;
+  died, departed, or was convicted, never silently;
 - ``budget_respected`` — the supervisor never exceeded its declared
-  round budget.
+  round budget;
+- ``no_phantom_delivery`` — no reception landed at a node the churn
+  timeline says was absent that round (the ``leaky_churn`` ablation
+  plants exactly this bug for the oracle's self-test);
+- ``queue_bound`` — replaying the continuous driver's audit log shows
+  every per-node queue stayed within its declared capacity, and the
+  surviving in-flight set matches the books;
+- ``slo_accounting`` — the continuous accounting identity and the
+  SLO/latency histogram recompute exactly from the audit log (the
+  oracle rebuilds the books; it never trusts the counters).
 
 **liveness** — hold only inside the supervisor's recovery envelope, so
 they are gated on the campaign's ``expect_delivery`` flag and on the
@@ -36,7 +45,10 @@ final survivor graph actually being connected:
 - ``round_bound`` — the run finished within ``round_bound_factor``
   times the paper's Theorem 2 bound for the instance (the factor
   absorbs the unit-constant bound's slack plus retry overhead; see
-  ``DEFAULT_ROUND_BOUND_FACTOR``).
+  ``DEFAULT_ROUND_BOUND_FACTOR``);
+- ``joiner_catchup`` — a node that joins (and stays) attaches to the
+  structure within the repair envelope, asserted only on trials whose
+  other fault families cannot starve the repair pass.
 """
 
 from __future__ import annotations
@@ -66,8 +78,12 @@ ORACLES: Dict[str, str] = {
     "replay_receptions": "safety",
     "lost_justified": "safety",
     "budget_respected": "safety",
+    "no_phantom_delivery": "safety",
+    "queue_bound": "safety",
+    "slo_accounting": "safety",
     "delivery": "liveness",
     "round_bound": "liveness",
+    "joiner_catchup": "liveness",
 }
 
 
@@ -118,12 +134,22 @@ def _skip(name: str, detail: str) -> OracleVerdict:
     return OracleVerdict(name, ORACLES[name], True, detail, skipped=True)
 
 
+def _no_result(name: str) -> OracleVerdict:
+    """Skip verdict for supervised-result oracles on continuous trials
+    (no :class:`SupervisedResult` exists to inspect)."""
+    return _skip(
+        name, "continuous-mode trial; no supervised result to audit"
+    )
+
+
 # ----------------------------------------------------------------------
 # Safety oracles
 # ----------------------------------------------------------------------
 
 def check_no_mis_decode(execution) -> OracleVerdict:
     r = execution.result
+    if r is None:
+        return _no_result("no_mis_decode")
     if r.mis_decodes:
         return _fail(
             "no_mis_decode",
@@ -135,6 +161,8 @@ def check_no_mis_decode(execution) -> OracleVerdict:
 
 def check_no_mis_attribution(execution) -> OracleVerdict:
     r = execution.result
+    if r is None:
+        return _no_result("no_mis_attribution")
     if r.mis_attributions:
         return _fail(
             "no_mis_attribution",
@@ -205,7 +233,37 @@ def check_drop_accounting(execution) -> OracleVerdict:
 def check_reception_rule(execution) -> OracleVerdict:
     """The pre-fault transcript must replay exactly against the
     collision model — transmit-side faults (crashes, insider lies) are
-    already inside it, so this is the reception rule under faults."""
+    already inside it, so this is the reception rule under faults.
+
+    Under churn the transcript was recorded *above* the churn layer, so
+    exact re-resolution runs against a fresh :class:`~repro.dynamic.
+    churn.ChurnNetwork` advanced to each entry's recorded clock (plain
+    :func:`verify_transcript` would wrongly judge absent nodes and
+    severed edges against the static footprint)."""
+    if execution.campaign.churn is not None:
+        fresh = execution.rebuild_channel()
+        mismatches = []
+        for entry in execution.inner_transcript:
+            if entry.clock is not None:
+                fresh.advance_to(entry.clock)
+            expected = fresh.resolve_round(entry.transmissions)
+            if expected != entry.received:
+                mismatches.append(
+                    f"clock {entry.clock}: expected receivers "
+                    f"{sorted(expected)}, transcript has "
+                    f"{sorted(entry.received)}"
+                )
+        if mismatches:
+            sample = "; ".join(mismatches[:3])
+            return _fail(
+                "reception_rule",
+                f"{len(mismatches)} churn-model violation(s): {sample}",
+            )
+        return _ok(
+            "reception_rule",
+            f"{len(execution.inner_transcript)} rounds re-resolved "
+            f"exactly against the churn timeline",
+        )
     problems = verify_transcript(
         execution.base_network, execution.inner_transcript
     )
@@ -249,7 +307,7 @@ def check_replay_receptions(execution) -> OracleVerdict:
         replay_schedule.jam_windows.extend(campaign.schedule.jam_windows)
         fresh = build_fault_stack(
             campaign,
-            execution.rebuild_base(),
+            execution.rebuild_channel(),
             schedule=replay_schedule,
         )
     except ValueError as exc:
@@ -276,13 +334,25 @@ def check_replay_receptions(execution) -> OracleVerdict:
 
 
 def check_lost_justified(execution) -> OracleVerdict:
-    """A packet may be written off only if its origin died or was
-    convicted — never silently."""
+    """A packet may be written off only if its origin died, departed
+    (churn), or was convicted — never silently."""
     r = execution.result
+    if r is None:
+        return _no_result("lost_justified")
     if not r.packets_lost:
         return _ok("lost_justified")
     dead_ever = set(execution.campaign.schedule.crashed_ever)
     dead_ever |= set(execution.fault_net.dead)
+    if execution.campaign.churn is not None:
+        # an origin whose membership ever changed (late joiner, leaver)
+        # may have been legitimately unreachable when written off
+        churn = execution.campaign.churn
+        timeline = churn.membership()
+        dead_ever |= set(churn.initially_absent)
+        dead_ever |= {
+            v for v in range(execution.base_network.n)
+            if timeline.toggles(v)
+        }
     convicted = set(r.blacklisted)
     origin_of = {p.pid: p.origin for p in execution.packets}
     unjustified = [
@@ -304,6 +374,8 @@ def check_lost_justified(execution) -> OracleVerdict:
 
 def check_budget_respected(execution) -> OracleVerdict:
     r = execution.result
+    if r is None:
+        return _no_result("budget_respected")
     if r.total_rounds > r.round_budget:
         return _fail(
             "budget_respected",
@@ -349,11 +421,20 @@ def _honest_component(execution) -> set:
 def check_delivery(execution) -> OracleVerdict:
     campaign = execution.campaign
     r = execution.result
+    if r is None:
+        return _no_result("delivery")
     if not campaign.expect_delivery:
         return _skip(
             "delivery",
             f"profile {campaign.profile!r} is outside the recovery "
             f"envelope (safety-only)",
+        )
+    if campaign.churn is not None:
+        return _skip(
+            "delivery",
+            "topology churn voids the one-shot delivery guarantee "
+            "(departed nodes cannot be served; joiner catch-up is the "
+            "continuous driver's business, audited by joiner_catchup)",
         )
     if execution.fault_net.down_links:
         # Found by this fuzzer and kept as a documented envelope limit:
@@ -411,10 +492,18 @@ def check_round_bound(
 ) -> OracleVerdict:
     campaign = execution.campaign
     r = execution.result
+    if r is None:
+        return _no_result("round_bound")
     if not campaign.expect_delivery:
         return _skip(
             "round_bound",
             f"profile {campaign.profile!r} is safety-only",
+        )
+    if campaign.churn is not None:
+        return _skip(
+            "round_bound",
+            "topology churn adds repair rounds outside the paper's "
+            "static-instance bound",
         )
     if not r.success:
         return _skip(
@@ -446,6 +535,266 @@ def check_round_bound(
         "round_bound",
         f"{r.total_rounds} rounds <= {bound:.0f} "
         f"({round_bound_factor:g} x theorem 2)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Churn / continuous-traffic oracles
+# ----------------------------------------------------------------------
+
+def check_no_phantom_delivery(execution) -> OracleVerdict:
+    """No reception may land at a node the churn timeline says is
+    absent in that round.  Audited two ways: the recorded transcript is
+    replayed against the membership timeline, and the live churn
+    layer's own phantom counter must agree (zero)."""
+    campaign = execution.campaign
+    if campaign.churn is None:
+        return _skip("no_phantom_delivery", "campaign has no churn")
+    timeline = campaign.churn.membership()
+    phantoms = []
+    for entry in execution.inner_transcript:
+        if entry.clock is None:
+            continue
+        for v in entry.received:
+            if not timeline.is_present(v, entry.clock):
+                phantoms.append((entry.clock, int(v)))
+    stats = execution.fault_net.churn_stats()
+    booked = int(stats.get("rx_phantom_delivered", 0))
+    if phantoms:
+        sample = ", ".join(
+            f"round {c}: node {v}" for c, v in phantoms[:3]
+        )
+        return _fail(
+            "no_phantom_delivery",
+            f"{len(phantoms)} reception(s) by departed/absent nodes "
+            f"({sample}); churn layer books {booked}",
+        )
+    if booked:
+        return _fail(
+            "no_phantom_delivery",
+            f"churn layer booked {booked} phantom deliveries that the "
+            f"transcript never showed (counter/transcript divergence)",
+        )
+    return _ok(
+        "no_phantom_delivery",
+        f"{len(execution.inner_transcript)} rounds, no receptions by "
+        f"absent nodes",
+    )
+
+
+def check_queue_bound(execution) -> OracleVerdict:
+    """Replay the audit log as a queue simulation: every enqueue keeps
+    its node's queue within capacity, every dispatch/eviction/handoff
+    removes a packet that was actually queued there, and the surviving
+    multiset matches the reported in-flight count and peak length."""
+    c = execution.continuous
+    if c is None:
+        return _skip("queue_bound", "one-shot campaign; no queues")
+    cap = c.queue_capacity
+    sizes: Dict[int, int] = {}
+    loc: Dict[int, int] = {}  # pid -> node currently holding it
+    peak = 0
+    for ev in c.audit_log:
+        kind = ev.kind
+        if kind == "enqueue":
+            if ev.pid in loc:
+                return _fail(
+                    "queue_bound",
+                    f"round {ev.round}: pid {ev.pid} enqueued at node "
+                    f"{ev.node} while still queued at node {loc[ev.pid]}",
+                )
+            loc[ev.pid] = ev.node
+            sizes[ev.node] = sizes.get(ev.node, 0) + 1
+            peak = max(peak, sizes[ev.node])
+            if sizes[ev.node] > cap:
+                return _fail(
+                    "queue_bound",
+                    f"round {ev.round}: node {ev.node} queue grew to "
+                    f"{sizes[ev.node]} > capacity {cap}",
+                )
+        elif kind == "dispatch":
+            if loc.get(ev.pid) != ev.node:
+                return _fail(
+                    "queue_bound",
+                    f"round {ev.round}: pid {ev.pid} dispatched from "
+                    f"node {ev.node} but queued at {loc.get(ev.pid)}",
+                )
+            sizes[ev.node] -= 1
+            del loc[ev.pid]
+        elif kind in ("dropped_queue", "dropped_handoff"):
+            # an eviction (drop_oldest) removes a queued packet; a
+            # refused newcomer (drop_newest) was never admitted
+            if loc.get(ev.pid) == ev.node:
+                sizes[ev.node] -= 1
+                del loc[ev.pid]
+        elif kind in ("handoff", "drop_handoff"):
+            # either way the packet leaves the departed node's queue
+            src = loc.pop(ev.pid, None)
+            if src is not None:
+                sizes[src] -= 1
+    in_flight = sum(sizes.values())
+    if in_flight != c.in_flight:
+        return _fail(
+            "queue_bound",
+            f"audit replay leaves {in_flight} packet(s) queued but the "
+            f"books say in_flight={c.in_flight}",
+        )
+    if peak != c.max_queue_len:
+        return _fail(
+            "queue_bound",
+            f"audit replay peaks at queue length {peak} but the books "
+            f"say max_queue_len={c.max_queue_len}",
+        )
+    if c.max_queue_len > cap:
+        return _fail(
+            "queue_bound",
+            f"reported max_queue_len={c.max_queue_len} exceeds "
+            f"capacity {cap}",
+        )
+    return _ok(
+        "queue_bound",
+        f"{len(c.audit_log)} audit events replayed; peak {peak} <= "
+        f"capacity {cap}, {in_flight} in flight",
+    )
+
+
+def check_slo_accounting(execution) -> OracleVerdict:
+    """Recompute the continuous books from the audit log and the
+    delivery list: the accounting identity, every drop bucket, the SLO
+    violation count, and the latency histogram must all match what the
+    driver reported."""
+    from repro.dynamic.continuous import latency_bucket
+
+    c = execution.continuous
+    if c is None:
+        return _skip("slo_accounting", "one-shot campaign; no SLOs")
+    counts: Dict[str, int] = {}
+    for ev in c.audit_log:
+        counts[ev.kind] = counts.get(ev.kind, 0) + 1
+    recomputed = {
+        "arrivals": counts.get("arrive", 0),
+        "delivered": counts.get("deliver", 0),
+        "dropped_queue": counts.get("dropped_queue", 0),
+        "dropped_handoff": (
+            counts.get("dropped_handoff", 0)
+            + counts.get("drop_handoff", 0)
+        ),
+        "dropped_retry": counts.get("drop_retry", 0),
+        "rejected": counts.get("reject", 0),
+        "in_flight": c.in_flight,
+    }
+    books = c.accounting()
+    if recomputed != books:
+        diff = {
+            k: (recomputed[k], books[k])
+            for k in books if recomputed[k] != books[k]
+        }
+        return _fail(
+            "slo_accounting",
+            f"audit-log recomputation disagrees with the books "
+            f"(recomputed, reported): {diff}",
+        )
+    if not c.accounting_exact:
+        return _fail(
+            "slo_accounting",
+            f"accounting identity broken: {books}",
+        )
+    if len(c.deliveries) != c.delivered:
+        return _fail(
+            "slo_accounting",
+            f"{len(c.deliveries)} delivery records vs delivered="
+            f"{c.delivered}",
+        )
+    slo = sum(1 for _, a, d in c.deliveries if d - a > c.slo_rounds)
+    if slo != c.slo_violations:
+        return _fail(
+            "slo_accounting",
+            f"recomputed {slo} SLO violation(s) from the delivery "
+            f"records but the books say {c.slo_violations}",
+        )
+    hist: Dict[int, int] = {}
+    for _, a, d in c.deliveries:
+        b = latency_bucket(d - a)
+        hist[b] = hist.get(b, 0) + 1
+    if hist != c.latency_histogram:
+        return _fail(
+            "slo_accounting",
+            f"latency histogram mismatch: recomputed {hist}, reported "
+            f"{c.latency_histogram}",
+        )
+    return _ok(
+        "slo_accounting",
+        f"books recomputed exactly: {c.arrivals} arrivals, "
+        f"{c.delivered} delivered, {c.slo_violations} SLO violation(s)",
+    )
+
+
+def check_joiner_catchup(execution) -> OracleVerdict:
+    """A joiner that stays must attach to the structure within the
+    repair envelope (check cadence + one dispatch cycle + one repair
+    pass).  Asserted only when no *other* fault family can starve the
+    repair pass — jamming and corruption legitimately delay Decay-based
+    attach beyond any fixed envelope."""
+    from repro.dynamic.continuous import ContinuousPolicy
+
+    c = execution.continuous
+    campaign = execution.campaign
+    if c is None:
+        return _skip("joiner_catchup", "one-shot campaign")
+    if campaign.churn is None or not c.joiners:
+        return _skip("joiner_catchup", "no joiners in this campaign")
+    if not campaign.expect_delivery:
+        return _skip(
+            "joiner_catchup",
+            f"profile {campaign.profile!r} is safety-only",
+        )
+    if any(e.kind == "partition" for e in campaign.churn.events):
+        return _skip(
+            "joiner_catchup",
+            "partition events can isolate a joiner for their whole "
+            "duration; no attach envelope applies",
+        )
+    if (campaign.jam_prob > 0 or campaign.corrupt_rate > 0
+            or campaign.schedule.jam_windows):
+        return _skip(
+            "joiner_catchup",
+            "jamming/corruption can starve the repair pass; the attach "
+            "envelope only binds churn-plus-crash trials",
+        )
+    policy = ContinuousPolicy.from_json(dict(campaign.traffic["policy"]))
+    envelope = (
+        policy.check_interval + 2 * c.max_cycle_rounds
+        + c.repair_round_budget + 256
+    )
+    crashed = set(campaign.schedule.crashed_ever)
+    base = execution.base_network
+    late, stuck = [], []
+    for rec in c.joiners:
+        if rec.departed_again:
+            continue
+        if crashed.intersection(
+            int(u) for u in base.neighbors(rec.node)
+        ):
+            # a crashed neighborhood can legitimately strand a joiner
+            continue
+        if rec.attach_round is not None:
+            if rec.attach_round - rec.join_round > envelope:
+                late.append(
+                    f"node {rec.node} took "
+                    f"{rec.attach_round - rec.join_round} rounds"
+                )
+        elif c.rounds - rec.join_round > envelope:
+            stuck.append(f"node {rec.node} never attached")
+    if late or stuck:
+        return _fail(
+            "joiner_catchup",
+            f"attach envelope {envelope} rounds exceeded: "
+            + "; ".join(late + stuck),
+        )
+    return _ok(
+        "joiner_catchup",
+        f"{len(c.joiners)} joiner(s) within the {envelope}-round "
+        f"attach envelope",
     )
 
 
@@ -507,6 +856,10 @@ def run_oracles(
         check_replay_receptions(execution),
         check_lost_justified(execution),
         check_budget_respected(execution),
+        check_no_phantom_delivery(execution),
+        check_queue_bound(execution),
+        check_slo_accounting(execution),
         check_delivery(execution),
         check_round_bound(execution, round_bound_factor),
+        check_joiner_catchup(execution),
     ]

@@ -30,6 +30,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AlgorithmParameters
 from repro.coding.packets import Packet
+from repro.dynamic.arrivals import build_arrival_process
+from repro.dynamic.churn import ChurnNetwork
+from repro.dynamic.continuous import (
+    ContinuousBroadcast,
+    ContinuousPolicy,
+    ContinuousResult,
+)
 from repro.radio.network import RadioNetwork
 from repro.radio.transcript import RecordingNetwork, TranscriptEntry
 from repro.resilience.byzantine import ByzantineSet
@@ -125,22 +132,47 @@ def build_fault_stack(
     )
 
 
+def wrap_churn(campaign: ChaosCampaign, base: RadioNetwork):
+    """Apply the campaign's churn layer over ``base`` (identity when
+    the campaign has none).  The ``leaky_churn`` ablation arms the
+    planted phantom-delivery bug the no_phantom_delivery oracle exists
+    to catch."""
+    if campaign.churn is None:
+        return base
+    return ChurnNetwork(
+        base,
+        campaign.churn,
+        deliver_to_absent=(campaign.ablation == "leaky_churn"),
+    )
+
+
 @dataclass
 class TrialExecution:
-    """One executed trial with everything the oracles inspect."""
+    """One executed trial with everything the oracles inspect.
+
+    Exactly one of ``result`` (one-shot supervised broadcast) and
+    ``continuous`` (open-ended traffic run) is set, matching
+    ``campaign.mode``.
+    """
 
     campaign: ChaosCampaign
-    result: SupervisedResult
+    result: Optional[SupervisedResult]
     fault_net: TranscribingFaultNetwork
     inner_transcript: List[TranscriptEntry]
     outer_transcript: List[TranscriptEntry]
     base_network: RadioNetwork
     packets: Sequence[Packet]
+    continuous: Optional[ContinuousResult] = None
 
     def rebuild_base(self) -> RadioNetwork:
         """A fresh, identical copy of the underlying topology (specs
         are deterministic), for replay against untouched state."""
         return build_topology_spec(self.campaign.topology)
+
+    def rebuild_channel(self):
+        """A fresh copy of the churn-wrapped channel (what the inner
+        transcript actually recorded), for exact re-resolution."""
+        return wrap_churn(self.campaign, self.rebuild_base())
 
 
 def make_policy(
@@ -179,7 +211,10 @@ def execute_campaign(
     if engine is not None:
         base.set_engine(engine)
     packets = build_workload_spec(base, campaign.workload)
-    inner = RecordingNetwork(base)
+    # stack order: faults over transcript over churn over the channel —
+    # the inner transcript records the churn-resolved receptions, which
+    # is what the reception_rule and no_phantom_delivery oracles replay
+    inner = RecordingNetwork(wrap_churn(campaign, base))
     fault_net = build_fault_stack(campaign, inner, transcribe=True)
     params = params if params is not None else _PRESETS[preset]()
     if params.authentication != campaign.authentication:
@@ -188,12 +223,32 @@ def execute_campaign(
         params = dataclasses.replace(
             params, authentication=campaign.authentication
         )
-    result = SupervisedBroadcast(
-        fault_net,
-        params=params,
-        policy=policy if policy is not None else make_policy(campaign),
-        seed=campaign.seed,
-    ).run(packets)
+    result: Optional[SupervisedResult] = None
+    continuous: Optional[ContinuousResult] = None
+    if campaign.mode == "continuous":
+        traffic = campaign.traffic
+        process = build_arrival_process(
+            dict(traffic["process"]), network=base
+        )
+        driver = ContinuousBroadcast(
+            fault_net,
+            process,
+            policy=ContinuousPolicy.from_json(dict(traffic["policy"])),
+            # batches are capped at max_batch, so the driver's cheap
+            # known-k collection sizing applies (see ContinuousBroadcast)
+            params=params.with_overrides(
+                collection_estimate_factor=0.25, mspg_enabled=False,
+            ),
+            seed=campaign.seed,
+        )
+        continuous = driver.run(int(traffic["rounds"]))
+    else:
+        result = SupervisedBroadcast(
+            fault_net,
+            params=params,
+            policy=policy if policy is not None else make_policy(campaign),
+            seed=campaign.seed,
+        ).run(packets)
     return TrialExecution(
         campaign=campaign,
         result=result,
@@ -202,6 +257,7 @@ def execute_campaign(
         outer_transcript=fault_net.outer_transcript,
         base_network=base,
         packets=packets,
+        continuous=continuous,
     )
 
 
@@ -297,17 +353,32 @@ def run_fuzz_trial(config: CampaignConfig, seed: int) -> dict:
         engine=config.engine,
     )
     bad = violated(verdicts)
-    return {
+    summary = {
         "seed": int(seed),
         "profile": config.profile,
+        "mode": campaign.mode,
         "campaign": campaign.to_json(),
         "verdicts": [v.to_json() for v in verdicts],
         "violations": [v.to_json() for v in bad],
-        "fault_atoms": len(campaign.schedule),
-        "success": bool(execution.result.success),
-        "total_rounds": int(execution.result.total_rounds),
-        "informed_fraction": float(execution.result.informed_fraction),
+        "fault_atoms": campaign.fault_atom_count(),
     }
+    if execution.continuous is not None:
+        c = execution.continuous
+        summary.update({
+            "success": bool(c.accounting_exact),
+            "total_rounds": int(c.rounds),
+            "informed_fraction": 1.0,
+            "continuous": c.summary(),
+        })
+    else:
+        summary.update({
+            "success": bool(execution.result.success),
+            "total_rounds": int(execution.result.total_rounds),
+            "informed_fraction": float(
+                execution.result.informed_fraction
+            ),
+        })
+    return summary
 
 
 @dataclass

@@ -9,7 +9,10 @@ reduces the campaign to a *locally minimal* set of **fault atoms**:
 - one per jam window,
 - one per Byzantine node,
 - one per active adversary knob (reactive jam probability, corruption
-  rate, jam budget).
+  rate, jam budget),
+- one per churn event and per initially-absent node, plus one for the
+  whole continuous-traffic spec (dropping it turns the campaign back
+  into a one-shot trial).
 
 The algorithm is Zeller-style ddmin (partition the atom set, try each
 chunk and each complement, refine granularity on failure to progress)
@@ -30,13 +33,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace as dc_replace
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.dynamic.churn import ChurnSchedule
 from repro.resilience.schedule import FaultSchedule
 from repro.resilience.chaos.fuzzer import ChaosCampaign, build_topology_spec
 from repro.resilience.chaos.oracles import violated
 from repro.resilience.chaos.runner import evaluate_campaign, make_policy
 
 #: An atom is ("event", index) | ("jam", index) | ("byz", node) |
-#: ("knob", name).
+#: ("knob", name) | ("churn", index) | ("absent", node).
 Atom = Tuple[str, object]
 
 
@@ -55,6 +59,16 @@ def campaign_atoms(campaign: ChaosCampaign) -> List[Atom]:
         atoms.append(("knob", "corrupt_rate"))
     if campaign.jam_budget is not None and campaign.jam_budget > 0:
         atoms.append(("knob", "jam_budget"))
+    if campaign.churn is not None:
+        atoms += [
+            ("churn", i) for i in range(len(campaign.churn.events))
+        ]
+        atoms += [
+            ("absent", v)
+            for v in sorted(campaign.churn.initially_absent)
+        ]
+    if campaign.traffic is not None:
+        atoms.append(("knob", "traffic"))
     return atoms
 
 
@@ -77,6 +91,25 @@ def rebuild_campaign(
     byz_nodes = tuple(
         v for v in campaign.byzantine_nodes if ("byz", v) in kept_set
     )
+    churn = None
+    if campaign.churn is not None:
+        churn = ChurnSchedule(
+            events=[
+                e for i, e in enumerate(campaign.churn.events)
+                if ("churn", i) in kept_set
+            ],
+            initially_absent=frozenset(
+                v for v in campaign.churn.initially_absent
+                if ("absent", v) in kept_set
+            ),
+        )
+        if not churn.events and not churn.initially_absent:
+            churn = None
+    traffic = (
+        dict(campaign.traffic)
+        if campaign.traffic is not None
+        and ("knob", "traffic") in kept_set else None
+    )
     reduced = dc_replace(
         campaign,
         schedule=schedule,
@@ -94,9 +127,15 @@ def rebuild_campaign(
             campaign.jam_budget
             if ("knob", "jam_budget") in kept_set else None
         ),
+        churn=churn,
+        traffic=traffic,
     )
     n = build_topology_spec(reduced.topology).n
-    reduced.schedule.validate(n, byzantine=reduced.byzantine_nodes)
+    if reduced.churn is not None:
+        reduced.churn.validate(n)
+    reduced.schedule.validate(
+        n, byzantine=reduced.byzantine_nodes, churn=reduced.churn
+    )
     return reduced
 
 

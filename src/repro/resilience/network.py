@@ -145,11 +145,20 @@ class DynamicFaultNetwork:
         self.advance_to(self.clock + rounds)
 
     def advance_to(self, round_index: int) -> None:
-        """Jump the clock forward to ``round_index`` (no-op if behind)."""
+        """Jump the clock forward to ``round_index`` (no-op if behind).
+
+        Propagated to the wrapped network when it keeps a clock of its
+        own (a :class:`~repro.dynamic.churn.ChurnNetwork` underneath
+        must see silent rounds elapse, or its topology timeline would
+        lag the fault timeline by every skipped round).
+        """
         if round_index <= self.clock:
             return
         self.clock = round_index
         self._catch_up(round_index - 1)
+        base_advance_to = getattr(self._base, "advance_to", None)
+        if base_advance_to is not None:
+            base_advance_to(round_index)
 
     def materialize_stage(self, stage: str) -> List[FaultEvent]:
         """Pin this stage's symbolic events to the current round.
@@ -181,10 +190,20 @@ class DynamicFaultNetwork:
     # ------------------------------------------------------------------
 
     def is_alive(self, node: int) -> bool:
-        return node not in self.dead
+        """Alive = not crashed *and* present (when the wrapped network
+        tracks membership, a departed node is as unusable as a dead
+        one — the supervisor repairs around both the same way)."""
+        if node in self.dead:
+            return False
+        base_present = getattr(self._base, "is_present", None)
+        if base_present is not None and not base_present(node):
+            return False
+        return True
 
     def alive_nodes(self) -> List[int]:
-        return [v for v in range(self._base.n) if v not in self.dead]
+        return [
+            v for v in range(self._base.n) if self.is_alive(v)
+        ]
 
     @property
     def crashed_nodes(self) -> FrozenSet[int]:

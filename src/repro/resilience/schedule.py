@@ -257,7 +257,8 @@ class FaultSchedule:
             if e.round is None and e.after_stage == stage
         ]
 
-    def validate(self, n: int, byzantine: Iterable[int] = ()) -> None:
+    def validate(self, n: int, byzantine: Iterable[int] = (),
+                 churn=None) -> None:
         """Raise on out-of-range nodes and on internally inconsistent
         timelines.
 
@@ -265,6 +266,23 @@ class FaultSchedule:
         this schedule; a node that both equivocates and crashes is
         rejected (a crashed node cannot transmit, let alone lie),
         mirroring the jam/crash overlap checks below.
+
+        ``churn`` is an optional
+        :class:`repro.dynamic.churn.ChurnSchedule` applied beneath this
+        fault timeline.  With one given, three cross-layer overlaps are
+        rejected — each is an event that can never take effect and so
+        always indicates a mis-built scenario:
+
+        - a concrete fault event (crash, recover, or either endpoint of
+          a link event) targeting a node that is **absent** at that
+          round (it has left, or has not yet joined);
+        - a jam window whose node set includes a node absent for the
+          window's *entire* span;
+        - a Byzantine assignment on a node that never exists in the run
+          (initially absent and never joining).
+
+        Symbolic (``after_stage``) events have no decidable position, so
+        they are only checked against never-present nodes.
 
         Beyond node-range checks, two structural errors are rejected:
 
@@ -354,6 +372,49 @@ class FaultSchedule:
                             f"{dead_since[v]} with no intervening "
                             f"recover"
                         )
+
+        if churn is not None:
+            self._validate_against_churn(churn, byz)
+
+    def _validate_against_churn(self, churn, byz: FrozenSet[int]) -> None:
+        """Cross-layer checks against a churn timeline (see
+        :meth:`validate`)."""
+        timeline = churn.membership()
+        never_present = churn.initially_absent - churn.joiners
+
+        for e in self.events:
+            ids = (e.node,) if e.edge is None else e.edge
+            for v in ids:
+                if v in never_present:
+                    raise ValueError(
+                        f"{e.kind} event targets node {v}, which is "
+                        f"initially absent and never joins — it does "
+                        f"not exist in this run"
+                    )
+                if e.round is not None and not timeline.is_present(
+                        v, e.round):
+                    raise ValueError(
+                        f"{e.kind} event at round {e.round} targets "
+                        f"node {v}, which is absent at that round "
+                        f"(departed or not yet joined)"
+                    )
+
+        for w in self.jam_windows:
+            for v in sorted(w.nodes):
+                if timeline.is_present(v, w.start):
+                    continue
+                if any(w.start < t < w.stop for t in timeline.toggles(v)):
+                    continue  # rejoins mid-window: partially effective
+                raise ValueError(
+                    f"jam window [{w.start}, {w.stop}) targets node "
+                    f"{v}, absent for the window's entire span"
+                )
+
+        for v in sorted(byz & never_present):
+            raise ValueError(
+                f"node {v} is assigned Byzantine behavior but never "
+                f"exists in this run (initially absent, never joins)"
+            )
 
 
 def random_crash_schedule(

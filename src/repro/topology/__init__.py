@@ -14,6 +14,7 @@ from repro.topology.generators import (
     grid,
     hypercube,
     line,
+    mobile_rgg,
     random_connected_gnp,
     random_geometric,
     ring,
@@ -38,6 +39,7 @@ __all__ = [
     "hypercube",
     "layers_are_bfs_consistent",
     "line",
+    "mobile_rgg",
     "random_connected_gnp",
     "random_geometric",
     "ring",

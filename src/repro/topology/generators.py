@@ -171,6 +171,80 @@ def random_geometric(
     )
 
 
+def _disk_edges(points: np.ndarray, radius: float) -> List[Tuple[int, int]]:
+    """Unit-disk edge list for a point cloud (sorted, u < v)."""
+    n = points.shape[0]
+    deltas = points[:, None, :] - points[None, :, :]
+    dist2 = np.einsum("ijk,ijk->ij", deltas, deltas)
+    close = dist2 <= radius * radius
+    iu = np.triu_indices(n, k=1)
+    mask = close[iu]
+    return list(zip(iu[0][mask].tolist(), iu[1][mask].tolist()))
+
+
+def mobile_rgg(
+    n: int,
+    epochs: int,
+    radius: Optional[float] = None,
+    step: float = 0.05,
+    seed: SeedLike = None,
+    max_attempts: int = 50,
+) -> Tuple[RadioNetwork, List[List[Tuple[int, int]]]]:
+    """A mobility trace: per-epoch unit-disk edge sets under random walk.
+
+    Epoch 0 is a connected RGG exactly as :func:`random_geometric` draws
+    it; in each later epoch every node takes a Gaussian step of scale
+    ``step`` (clipped to the unit square) and the disk graph is
+    recomputed.  Returns the **footprint** network (the union of every
+    epoch's edges — connected because epoch 0 is) plus the per-epoch
+    edge sets; lower the pair to a churn schedule with
+    :func:`repro.dynamic.churn.churn_from_mobility`.
+
+    Later epochs may individually be disconnected — that is the point:
+    mobility partitions are real scenarios the repair and oracle layers
+    must survive.
+    """
+    if n < 1:
+        raise TopologyError("mobile_rgg requires n >= 1")
+    if epochs < 1:
+        raise TopologyError("mobile_rgg requires epochs >= 1")
+    if step < 0:
+        raise TopologyError("mobile_rgg requires step >= 0")
+    rng = make_rng(seed)
+    if radius is None:
+        radius = 1.3 * math.sqrt(math.log(max(n, 2)) / (math.pi * n))
+
+    points: Optional[np.ndarray] = None
+    edges0: List[Tuple[int, int]] = []
+    for _ in range(max_attempts):
+        candidate = rng.random((n, 2))
+        candidate_edges = _disk_edges(candidate, radius)
+        try:
+            RadioNetwork(candidate_edges, n=n, name="probe")
+        except TopologyError:
+            continue
+        points = candidate
+        edges0 = candidate_edges
+        break
+    if points is None:
+        raise TopologyError(
+            f"could not draw a connected RGG(n={n}, r={radius:.3f}) "
+            f"in {max_attempts} attempts; increase the radius"
+        )
+
+    edge_sets: List[List[Tuple[int, int]]] = [edges0]
+    for _ in range(1, epochs):
+        points = np.clip(points + rng.normal(0.0, step, size=(n, 2)), 0.0, 1.0)
+        edge_sets.append(_disk_edges(points, radius))
+
+    footprint = sorted(set().union(*[set(es) for es in edge_sets]))
+    network = RadioNetwork(
+        footprint, n=n,
+        name=f"mobile_rgg(n={n},r={radius:.3f},epochs={epochs})",
+    )
+    return network, edge_sets
+
+
 def random_connected_gnp(
     n: int,
     p: Optional[float] = None,

@@ -1,0 +1,158 @@
+"""Hypothesis round-trip + determinism properties for arrival processes.
+
+The chaos artifacts embed an arrival-process spec dict and replay it
+bit-for-bit; these properties pin the two contracts that replay relies
+on: ``spec() -> build_arrival_process`` is an exact inverse, and the
+same seed yields byte-identical draws (counts, origins, pids, payloads)
+whenever the per-round origin pools match.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.dynamic import (
+    build_arrival_process,
+    burst_arrivals,
+    periodic_arrivals,
+    poisson_arrivals,
+)
+from repro.dynamic.arrivals import (
+    BurstProcess,
+    PeriodicProcess,
+    PoissonProcess,
+)
+from repro.topology import grid
+
+
+def process_strategy():
+    seeds = st.integers(0, 2**32 - 1)
+    bits = st.integers(8, 128)
+    return st.one_of(
+        st.builds(
+            PoissonProcess,
+            rate=st.floats(0.001, 2.0, allow_nan=False),
+            size_bits=bits, seed=seeds,
+        ),
+        st.builds(
+            PeriodicProcess,
+            period=st.integers(1, 200), size_bits=bits, seed=seeds,
+        ),
+        st.builds(
+            BurstProcess,
+            burst_size=st.integers(1, 8),
+            spacing=st.integers(1, 100),
+            size_bits=bits, seed=seeds,
+        ),
+    )
+
+
+def drain(process, rounds=64, pool=tuple(range(9))):
+    """Materialize a prefix of the stream as comparable tuples."""
+    out = []
+    for r in range(rounds):
+        for pkt in process.draw(r, pool):
+            out.append(
+                (r, pkt.pid, pkt.origin, pkt.payload)
+            )
+    return out
+
+
+class TestSpecRoundTrip:
+    @given(process_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_spec_rebuild_is_exact_inverse(self, process):
+        clone = build_arrival_process(process.spec())
+        assert clone.spec() == process.spec()
+        assert drain(process) == drain(clone)
+
+    @given(process_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_same_seed_byte_identical(self, process):
+        twin = build_arrival_process(process.spec())
+        other = build_arrival_process(process.spec())
+        assert drain(twin, rounds=48) == drain(other, rounds=48)
+
+    def test_spec_rejects_unserializable_seed(self):
+        import numpy as np
+
+        p = PoissonProcess(
+            rate=0.1, size_bits=16, seed=np.random.default_rng(0)
+        )
+        with pytest.raises(TypeError):
+            p.spec()
+
+    def test_build_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            build_arrival_process({"kind": "fractal", "size_bits": 8})
+
+    def test_build_needs_size_bits_or_network(self):
+        with pytest.raises(ValueError):
+            build_arrival_process({"kind": "periodic", "period": 5})
+        p = build_arrival_process(
+            {"kind": "periodic", "period": 5, "seed": 0},
+            network=grid(3, 3),
+        )
+        assert p.size_bits >= 1
+
+
+class TestStreamingSemantics:
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_pids_unique_and_sequential(self, seed):
+        p = PoissonProcess(rate=1.5, size_bits=16, seed=seed)
+        pids = [pid for _, pid, _, _ in drain(p, rounds=32)]
+        assert pids == list(range(len(pids)))
+        assert p.total_emitted == len(pids)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_origins_come_from_pool(self, seed):
+        p = PoissonProcess(rate=1.0, size_bits=16, seed=seed)
+        pool = (3, 5, 8)
+        for r in range(32):
+            for pkt in p.draw(r, pool):
+                assert pkt.origin in pool
+
+    def test_empty_pool_yields_nothing(self):
+        p = BurstProcess(burst_size=4, spacing=1, size_bits=16, seed=0)
+        assert p.draw(0, []) == []
+        assert p.total_emitted == 0
+
+
+class TestListGeneratorDeterminism:
+    """The original fixed-horizon generators share the contract: same
+    seed, same arrival list, byte-for-byte."""
+
+    def _key(self, arrivals):
+        return [
+            (a.time, a.packet.pid, a.packet.origin,
+             a.packet.payload)
+            for a in arrivals
+        ]
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_poisson_deterministic(self, seed):
+        net = grid(3, 3)
+        a = poisson_arrivals(net, rate=0.01, horizon=5000, seed=seed)
+        b = poisson_arrivals(net, rate=0.01, horizon=5000, seed=seed)
+        assert self._key(a) == self._key(b)
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_periodic_and_burst_deterministic(self, seed):
+        net = grid(3, 3)
+        assert self._key(
+            periodic_arrivals(net, period=10, count=20, seed=seed)
+        ) == self._key(
+            periodic_arrivals(net, period=10, count=20, seed=seed)
+        )
+        assert self._key(
+            burst_arrivals(net, burst_size=3, num_bursts=4,
+                           spacing=50, seed=seed)
+        ) == self._key(
+            burst_arrivals(net, burst_size=3, num_bursts=4,
+                           spacing=50, seed=seed)
+        )

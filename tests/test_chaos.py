@@ -320,7 +320,7 @@ class TestShrink:
     def test_planted_bug_shrinks_small(self):
         # The acceptance scenario: disabling tree repair must be caught
         # and minimized to a handful of fault atoms.
-        campaign = _campaign(19, ablation="no_repair")
+        campaign = _campaign(59, ablation="no_repair")
         _, verdicts = evaluate_campaign(
             campaign, policy=make_policy(campaign)
         )
@@ -349,7 +349,7 @@ class TestShrink:
 class TestArtifact:
     def _violating_bundle(self, tmp_path):
         config = CampaignConfig(ablation="no_repair")
-        trial = run_fuzz_trial(config, 19)
+        trial = run_fuzz_trial(config, 59)
         assert trial["violations"]
         campaign = ChaosCampaign.from_json(trial["campaign"])
         shrink = shrink_campaign(

@@ -1,0 +1,275 @@
+"""Chaos-fuzzing under topology churn and continuous traffic: sampler
+wiring, the four churn oracles, the leaky_churn planted bug, shrink
+atoms, and artifact replay."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.dynamic import ChurnSchedule
+from repro.resilience.chaos import (
+    PROFILES,
+    CampaignConfig,
+    ChaosCampaign,
+    build_artifact,
+    build_topology_spec,
+    campaign_atoms,
+    evaluate_campaign,
+    execute_campaign,
+    load_artifact,
+    rebuild_campaign,
+    replay_artifact,
+    run_fuzz_trial,
+    run_oracles,
+    sample_campaign,
+    shrink_campaign,
+    violated,
+    write_artifact,
+)
+from repro.resilience.chaos.runner import make_policy
+
+GRID = {"kind": "grid", "rows": 4, "cols": 4}
+UNIFORM = {"kind": "uniform", "k": 6}
+
+
+def _campaign(seed, profile="medium", ablation="none"):
+    return sample_campaign(
+        PROFILES[profile], GRID, {**UNIFORM, "seed": seed},
+        seed=seed, ablation=ablation,
+    )
+
+
+def _find(predicate, profile="medium", limit=40):
+    for seed in range(limit):
+        c = _campaign(seed, profile=profile)
+        if predicate(c):
+            return c
+    raise AssertionError("no sampled campaign matched the predicate")
+
+
+class TestSamplerChurnWiring:
+    def test_profiles_carry_churn_knobs(self):
+        for name in ("light", "medium", "heavy"):
+            p = PROFILES[name]
+            assert 0.0 <= p.p_churn <= 1.0
+            assert 0.0 <= p.p_continuous <= 1.0
+        assert PROFILES["heavy"].p_churn > PROFILES["light"].p_churn
+
+    def test_sampler_eventually_draws_churn_and_traffic(self):
+        churned = _find(lambda c: c.churn is not None)
+        assert churned.churn.validate(16) is None
+        continuous = _find(lambda c: c.traffic is not None)
+        assert continuous.mode == "continuous"
+        assert continuous.byzantine_nodes == ()
+
+    def test_sampled_campaigns_always_validate(self):
+        n = build_topology_spec(GRID).n
+        for seed in range(25):
+            c = _campaign(seed)
+            if c.churn is not None:
+                c.churn.validate(n)
+            c.schedule.validate(
+                n, byzantine=c.byzantine_nodes, churn=c.churn
+            )
+
+    def test_churn_never_touches_schedule_nodes(self):
+        c = _find(lambda cc: cc.churn is not None
+                  and cc.churn.changes_membership
+                  and len(cc.schedule) > 0)
+        pinned = set(c.byzantine_nodes)
+        for e in c.schedule.events:
+            if e.node >= 0:
+                pinned.add(e.node)
+            if e.edge is not None:
+                pinned.update(e.edge)
+        for w in c.schedule.jam_windows:
+            pinned.update(w.nodes)
+        churned_members = {
+            e.node for e in c.churn.events
+            if e.kind in ("join", "leave")
+        } | set(c.churn.initially_absent)
+        assert not churned_members & pinned
+
+    def test_same_seed_same_campaign(self):
+        assert _campaign(4).to_json() == _campaign(4).to_json()
+
+    def test_json_round_trip_with_churn_and_traffic(self):
+        for c in (_find(lambda cc: cc.churn is not None),
+                  _find(lambda cc: cc.traffic is not None)):
+            clone = ChaosCampaign.from_json(
+                json.loads(json.dumps(c.to_json()))
+            )
+            assert clone.to_json() == c.to_json()
+
+    def test_continuous_rejects_byzantine(self):
+        with pytest.raises(ValueError, match="continuous"):
+            ChaosCampaign(
+                topology=GRID, workload={**UNIFORM, "seed": 0}, seed=0,
+                byzantine_nodes=(3,), byzantine_mode="equivocate",
+                traffic={"process": {"kind": "poisson", "rate": 0.01},
+                         "rounds": 100, "policy": {}},
+            )
+
+
+class TestChurnOracles:
+    def test_oneshot_churn_campaign_clean(self):
+        c = _find(lambda cc: cc.churn is not None
+                  and cc.traffic is None)
+        execution, verdicts = evaluate_campaign(
+            c, policy=make_policy(c)
+        )
+        names = {v.name for v in verdicts}
+        assert "no_phantom_delivery" in names
+        assert "reception_rule" in names
+        safety_bad = [
+            v.name for v in violated(verdicts)
+            if v.name not in ("delivery", "round_bound",
+                              "joiner_catchup")
+        ]
+        assert safety_bad == []
+
+    def test_continuous_campaign_clean_and_audited(self):
+        c = _find(lambda cc: cc.traffic is not None)
+        execution, verdicts = evaluate_campaign(
+            c, policy=make_policy(c)
+        )
+        names = {v.name for v in verdicts}
+        assert {"queue_bound", "slo_accounting"} <= names
+        safety_bad = [
+            v.name for v in violated(verdicts)
+            if v.name not in ("delivery", "round_bound",
+                              "joiner_catchup")
+        ]
+        assert safety_bad == []
+        assert execution.continuous is not None
+        assert execution.continuous.accounting_exact
+
+    def test_leaky_churn_planted_bug_caught(self):
+        """The self-test the CI churn-smoke job runs: the leaky_churn
+        ablation forgets to gate receivers on presence, and only the
+        no_phantom_delivery oracle may notice."""
+        churn = (ChurnSchedule()
+                 .leave(5, at_round=20)
+                 .leave(10, at_round=40))
+        buggy = ChaosCampaign(
+            topology=GRID, workload={**UNIFORM, "seed": 3}, seed=3,
+            churn=churn, ablation="leaky_churn",
+        )
+        _, verdicts = evaluate_campaign(buggy, policy=make_policy(buggy))
+        assert "no_phantom_delivery" in {
+            v.name for v in violated(verdicts)
+        }
+
+        clean = dataclasses.replace(buggy, ablation="none")
+        _, verdicts = evaluate_campaign(clean, policy=make_policy(clean))
+        assert violated(verdicts) == []
+
+
+class TestChurnShrink:
+    def _buggy_campaign(self):
+        churn = (ChurnSchedule()
+                 .leave(5, at_round=20)
+                 .leave(10, at_round=40)
+                 .edge_down((0, 1), at_round=60))
+        c = ChaosCampaign(
+            topology=GRID, workload={**UNIFORM, "seed": 3}, seed=3,
+            churn=churn, ablation="leaky_churn",
+        )
+        c.schedule.crash(14, at_round=30)
+        return c
+
+    def test_churn_atoms_enumerated(self):
+        atoms = campaign_atoms(self._buggy_campaign())
+        assert ("churn", 0) in atoms and ("churn", 2) in atoms
+        assert ("event", 0) in atoms
+
+    def test_rebuild_drops_churn_subset(self):
+        c = self._buggy_campaign()
+        reduced = rebuild_campaign(c, [("churn", 0)])
+        assert len(reduced.churn.events) == 1
+        assert reduced.churn.events[0].kind == "leave"
+        assert len(reduced.schedule) == 0
+        # dropping every churn atom removes the layer entirely
+        bare = rebuild_campaign(c, [("event", 0)])
+        assert bare.churn is None
+
+    def test_rebuild_rejects_inconsistent_churn_subset(self):
+        c = ChaosCampaign(
+            topology=GRID, workload={**UNIFORM, "seed": 0}, seed=0,
+            churn=(ChurnSchedule()
+                   .leave(5, at_round=10)
+                   .join(5, at_round=30)),
+        )
+        atoms = campaign_atoms(c)
+        # keeping the join without its leave is not a valid timeline
+        with pytest.raises(ValueError):
+            rebuild_campaign(c, [atoms[1]])
+
+    def test_phantom_bug_shrinks_to_single_leave(self):
+        c = self._buggy_campaign()
+        result = shrink_campaign(c, ["no_phantom_delivery"])
+        assert result.converged
+        assert result.atoms_after == 1
+        kept = campaign_atoms(result.shrunk)
+        assert len(result.shrunk.churn.events) == 1
+        assert result.shrunk.churn.events[0].kind == "leave"
+        assert kept == [("churn", 0)]
+
+    def test_traffic_knob_is_an_atom(self):
+        c = _find(lambda cc: cc.traffic is not None)
+        atoms = campaign_atoms(c)
+        assert ("knob", "traffic") in atoms
+        reduced = rebuild_campaign(
+            c, [a for a in atoms if a != ("knob", "traffic")]
+        )
+        assert reduced.traffic is None
+        assert reduced.mode == "oneshot"
+
+
+class TestChurnArtifacts:
+    def test_churn_artifact_replays_bit_for_bit(self, tmp_path):
+        churn = (ChurnSchedule()
+                 .leave(5, at_round=20)
+                 .leave(10, at_round=40))
+        buggy = ChaosCampaign(
+            topology=GRID, workload={**UNIFORM, "seed": 3}, seed=3,
+            churn=churn, ablation="leaky_churn",
+        )
+        _, verdicts = evaluate_campaign(buggy, policy=make_policy(buggy))
+        bad = [v.name for v in violated(verdicts)]
+        config = CampaignConfig(ablation="leaky_churn")
+        trial = {
+            "seed": buggy.seed,
+            "campaign": buggy.to_json(),
+            "violations": [
+                v.to_json() for v in violated(verdicts)
+            ],
+            "verdicts": [v.to_json() for v in verdicts],
+        }
+        shrink = shrink_campaign(buggy, bad)
+        _, shrunk_verdicts = evaluate_campaign(
+            shrink.shrunk, policy=make_policy(shrink.shrunk)
+        )
+        artifact = build_artifact(
+            config, trial, shrink=shrink,
+            shrunk_verdicts=shrunk_verdicts,
+        )
+        path = write_artifact(artifact, tmp_path / "churn.json")
+        loaded = load_artifact(path)
+        for which in ("original", "shrunk"):
+            replay = replay_artifact(loaded, which=which)
+            assert replay.deterministic, which
+            assert "no_phantom_delivery" in {
+                v.name for v in replay.violations
+            }
+
+    def test_continuous_trial_round_trips_through_runner(self):
+        c = _find(lambda cc: cc.traffic is not None)
+        seed = c.seed
+        trial = run_fuzz_trial(CampaignConfig(), seed)
+        assert trial["mode"] == "continuous"
+        clone = ChaosCampaign.from_json(trial["campaign"])
+        assert clone.to_json() == c.to_json()
+        again = run_fuzz_trial(CampaignConfig(), seed)
+        assert again == trial

@@ -90,6 +90,43 @@ class TestDynamic:
         assert rc == 0
 
 
+class TestContinuous:
+    def test_static_run(self, capsys):
+        rc = main(["continuous", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--rate", "0.003",
+                   "--rounds", "1500", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "accounting exact" in out
+        assert "static topology" in out
+
+    def test_churn_run_json(self, capsys):
+        import json
+
+        rc = main(["continuous", "--topology", "grid", "--rows", "4",
+                   "--cols", "4", "--rate", "0.003", "--rounds", "1500",
+                   "--leave-frac", "0.1", "--edge-flips", "2",
+                   "--churn-seed", "5", "--seed", "7", "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert summary["accounting_exact"] is True
+        assert summary["arrivals"] == (
+            summary["delivered"] + summary["dropped_queue"]
+            + summary["dropped_handoff"] + summary["dropped_retry"]
+            + summary["rejected"] + summary["in_flight"]
+        )
+
+    def test_deterministic(self, capsys):
+        argv = ["continuous", "--topology", "rgg", "--n", "16",
+                "--topology-seed", "3", "--rounds", "1200",
+                "--leave-frac", "0.1", "--churn-seed", "2",
+                "--seed", "4", "--json"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
+
 class TestChaos:
     def test_chaos_success_exit_code(self, capsys):
         rc = main(["chaos", "--topology", "grid", "--rows", "4",
@@ -196,7 +233,7 @@ class TestChaosFuzz:
                                                       tmp_path):
         import json
 
-        rc = main(["chaos", "fuzz", "--trials", "1", "--seed", "19",
+        rc = main(["chaos", "fuzz", "--trials", "1", "--seed", "59",
                    "--ablation", "no_repair",
                    "--artifact-dir", str(tmp_path), "--json"])
         out = capsys.readouterr().out
@@ -224,7 +261,7 @@ class TestChaosFuzz:
     def test_replay_table_mode(self, capsys, tmp_path):
         import json
 
-        main(["chaos", "fuzz", "--trials", "1", "--seed", "19",
+        main(["chaos", "fuzz", "--trials", "1", "--seed", "59",
               "--ablation", "no_repair", "--no-shrink",
               "--artifact-dir", str(tmp_path), "--json"])
         summary = json.loads(capsys.readouterr().out)

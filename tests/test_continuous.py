@@ -1,0 +1,280 @@
+"""Unit tests for the open-ended continuous broadcast driver: SLOs,
+bounded queues, backpressure/drop policies, churn handoff, and the
+BatchPolicy edge cases the starvation regression pins."""
+
+import pytest
+
+from repro.dynamic import (
+    ChurnNetwork,
+    ChurnSchedule,
+    ContinuousBroadcast,
+    ContinuousPolicy,
+    ImmediatePolicy,
+    PeriodicProcess,
+    PoissonProcess,
+    SizeThresholdPolicy,
+)
+from repro.dynamic.continuous import latency_bucket
+from repro.coding.packets import required_packet_bits
+from repro.topology import grid, line
+
+
+def _grid_driver(policy=None, batch_policy=None, process=None,
+                 churn=None, horizon_net=None, seed=5):
+    base = horizon_net or grid(4, 4)
+    net = ChurnNetwork(base, churn) if churn is not None else base
+    if process is None:
+        process = PeriodicProcess(
+            period=400, size_bits=required_packet_bits(base.n), seed=1
+        )
+    return ContinuousBroadcast(
+        net, process, policy=policy, batch_policy=batch_policy, seed=seed
+    )
+
+
+class TestContinuousPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContinuousPolicy(queue_capacity=0)
+        with pytest.raises(ValueError):
+            ContinuousPolicy(drop_policy="drop_random")
+        with pytest.raises(ValueError):
+            ContinuousPolicy(slo_rounds=0)
+        with pytest.raises(ValueError):
+            ContinuousPolicy(max_attempts=0)
+
+    def test_json_round_trip(self):
+        p = ContinuousPolicy(queue_capacity=7, drop_policy="reject",
+                             slo_rounds=999)
+        assert ContinuousPolicy.from_json(p.to_json()) == p
+
+    def test_latency_bucket(self):
+        assert latency_bucket(0) == -1
+        assert latency_bucket(1) == 0
+        assert latency_bucket(2) == 1
+        assert latency_bucket(3) == 1
+        assert latency_bucket(1024) == 10
+
+
+class TestStaticContinuousRun:
+    def test_delivers_and_accounts_exactly(self):
+        driver = _grid_driver()
+        result = driver.run(2000)
+        assert result.arrivals > 0
+        assert result.delivered > 0
+        assert result.accounting_exact
+        assert result.rounds >= 2000
+        assert len(result.deliveries) == result.delivered
+
+    def test_histogram_matches_deliveries(self):
+        result = _grid_driver().run(2000)
+        assert sum(result.latency_histogram.values()) == result.delivered
+        for pid, arrival, deliver in result.deliveries:
+            assert deliver >= arrival
+
+    def test_slo_violations_counted(self):
+        tight = ContinuousPolicy(slo_rounds=1)
+        result = _grid_driver(policy=tight).run(1500)
+        # every delivery takes at least one full cycle >> 1 round
+        assert result.slo_violations == result.delivered
+        loose = ContinuousPolicy(slo_rounds=10**9)
+        result = _grid_driver(policy=loose).run(1500)
+        assert result.slo_violations == 0
+
+    def test_deterministic_given_seeds(self):
+        def go():
+            return _grid_driver(
+                process=PoissonProcess(rate=0.004, size_bits=64, seed=9),
+                seed=13,
+            ).run(1500)
+        a, b = go(), go()
+        assert a.summary() == b.summary()
+        assert a.deliveries == b.deliveries
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            _grid_driver().run(0)
+
+
+class TestQueueBoundsAndDropPolicies:
+    def _burst_process(self, n, count=30):
+        # one huge burst at round 0 overwhelms a small queue
+        return PeriodicProcess(period=10**9, size_bits=64, seed=2) \
+            if count == 0 else _Burst(count, 64, seed=2)
+
+    def test_drop_newest_bounds_queue(self):
+        policy = ContinuousPolicy(queue_capacity=2,
+                                  drop_policy="drop_newest")
+        result = _grid_driver(policy=policy,
+                              process=_Burst(25, 64, seed=2)).run(1200)
+        assert result.max_queue_len <= 2
+        assert result.dropped_queue > 0
+        assert result.rejected == 0
+        assert result.accounting_exact
+
+    def test_drop_oldest_bounds_queue(self):
+        policy = ContinuousPolicy(queue_capacity=2,
+                                  drop_policy="drop_oldest")
+        result = _grid_driver(policy=policy,
+                              process=_Burst(25, 64, seed=2)).run(1200)
+        assert result.max_queue_len <= 2
+        assert result.dropped_queue > 0
+        assert result.accounting_exact
+
+    def test_reject_charges_backpressure_bucket(self):
+        policy = ContinuousPolicy(queue_capacity=2, drop_policy="reject")
+        result = _grid_driver(policy=policy,
+                              process=_Burst(25, 64, seed=2)).run(1200)
+        assert result.max_queue_len <= 2
+        assert result.rejected > 0
+        assert result.dropped_queue == 0
+        assert result.accounting_exact
+
+
+class TestChurnContinuousRun:
+    def test_departure_hands_off_queue(self):
+        # all traffic originates at node 0, which departs mid-run
+        churn = ChurnSchedule().leave(0, at_round=600)
+        process = _Pinned(origin=0, every=150, size_bits=64, seed=3)
+        result = _grid_driver(churn=churn, process=process).run(3000)
+        assert result.accounting_exact
+        assert result.handoffs + result.dropped_handoff >= 0
+        # packets queued at 0 when it left were re-homed or dropped,
+        # never silently lost
+        assert result.arrivals == (
+            result.delivered + result.dropped_queue
+            + result.dropped_handoff + result.dropped_retry
+            + result.rejected + result.in_flight
+        )
+
+    def test_joiner_gets_attached(self):
+        churn = (ChurnSchedule(initially_absent=[15])
+                 .join(15, at_round=500))
+        policy = ContinuousPolicy(check_interval=32)
+        result = _grid_driver(churn=churn, policy=policy).run(3000)
+        recs = {r.node: r for r in result.joiners}
+        assert 15 in recs
+        assert recs[15].attach_round is not None
+        assert recs[15].attach_round >= 500
+
+    def test_leader_departure_restructures(self):
+        # node 0 wins the first election often; leaving *someone* who is
+        # the leader forces either a repair or a restructure — run with
+        # several leavers so the tree is certainly hit
+        churn = (ChurnSchedule()
+                 .leave(0, at_round=700)
+                 .leave(5, at_round=700))
+        result = _grid_driver(churn=churn).run(4000)
+        assert result.accounting_exact
+        assert result.repairs + result.restructures >= 1
+
+
+class _Burst:
+    """count packets at round 0, nothing after (minimal test process)."""
+
+    def __init__(self, count, size_bits, seed=None):
+        from repro.dynamic.arrivals import BurstProcess
+
+        self._inner = BurstProcess(
+            burst_size=count, spacing=10**9, size_bits=size_bits,
+            seed=seed,
+        )
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class _Pinned:
+    """One packet at a fixed origin every ``every`` rounds."""
+
+    def __init__(self, origin, every, size_bits, seed=None):
+        from repro.dynamic.arrivals import PeriodicProcess
+
+        self._inner = PeriodicProcess(
+            period=every, size_bits=size_bits, seed=seed
+        )
+        self._origin = origin
+
+    def draw(self, round_index, origins_pool):
+        pool = (
+            [self._origin] if self._origin in origins_pool
+            else list(origins_pool)
+        )
+        return self._inner.draw(round_index, pool)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestBatchPolicyChurnEdgeCases:
+    """Satellite: dispatch decisions when the queue drains via drops,
+    max_wait × backpressure, and the SizeThresholdPolicy starvation
+    regression."""
+
+    def test_deadline_anchor_survives_drop_oldest(self):
+        """The starvation regression: under drop_oldest the oldest
+        *arrival* advances on every eviction, so anchoring max_wait to
+        it would let the deadline recede forever.  The driver anchors to
+        the round the backlog last became non-empty instead, so a
+        SizeThresholdPolicy with an unreachable min_batch still
+        dispatches within max_wait."""
+        policy = ContinuousPolicy(queue_capacity=2,
+                                  drop_policy="drop_oldest")
+        batch = SizeThresholdPolicy(min_batch=10**6, max_wait=300)
+        process = _Pinned(origin=3, every=40, size_bits=64, seed=4)
+        result = _grid_driver(policy=policy, batch_policy=batch,
+                              process=process).run(4000)
+        assert result.dispatches >= 1
+        assert result.delivered > 0
+        assert result.accounting_exact
+
+    def test_max_wait_with_reject_backpressure(self):
+        """With reject, the queue stops growing at capacity but the
+        queued packets still age: max_wait must fire off the *backlog
+        age*, not the (static) queue length."""
+        policy = ContinuousPolicy(queue_capacity=1, drop_policy="reject")
+        batch = SizeThresholdPolicy(min_batch=5, max_wait=200)
+        process = _Pinned(origin=3, every=30, size_bits=64, seed=6)
+        result = _grid_driver(policy=policy, batch_policy=batch,
+                              process=process).run(3000)
+        assert result.dispatches >= 1
+        assert result.rejected > 0
+        assert result.accounting_exact
+
+    def test_threshold_reached_dispatches_immediately(self):
+        policy = ContinuousPolicy(queue_capacity=8)
+        batch = SizeThresholdPolicy(min_batch=3, max_wait=10**8)
+        result = _grid_driver(policy=policy, batch_policy=batch,
+                              process=_Burst(6, 64, seed=7)).run(2500)
+        assert result.dispatches >= 1
+        assert result.delivered > 0
+
+    def test_immediate_policy_minimizes_backlog_age(self):
+        r_imm = _grid_driver(batch_policy=ImmediatePolicy()).run(2000)
+        assert r_imm.dispatches >= 1
+        assert r_imm.accounting_exact
+
+    def test_capacity_one_drop_oldest_still_dispatches(self):
+        """The tightest starvation case: capacity 1 + drop_oldest means
+        every arrival evicts the previous packet, transiently emptying
+        the backlog inside the eviction.  The deadline anchor must not
+        reset on that transient (it would recede one arrival at a time
+        and max_wait would never fire)."""
+        policy = ContinuousPolicy(queue_capacity=1,
+                                  drop_policy="drop_oldest")
+        batch = SizeThresholdPolicy(min_batch=10**6, max_wait=500)
+        process = _Pinned(origin=2, every=60, size_bits=64, seed=8)
+        result = _grid_driver(policy=policy, batch_policy=batch,
+                              process=process, horizon_net=line(5)
+                              ).run(4000)
+        assert result.accounting_exact
+        assert result.dispatches >= 1
+        # the audit log replays cleanly: every dispatch had a
+        # matching enqueue
+        enq = {
+            (e.pid, e.node) for e in result.audit_log
+            if e.kind == "enqueue"
+        }
+        for e in result.audit_log:
+            if e.kind == "dispatch":
+                assert (e.pid, e.node) in enq
