@@ -741,22 +741,64 @@ def cmd_dynamic(args: argparse.Namespace) -> int:
 def cmd_continuous(args: argparse.Namespace) -> int:
     from repro.coding.packets import required_packet_bits
     from repro.dynamic import (
+        ChurnBudget,
         ChurnNetwork,
         ContinuousBroadcast,
         ContinuousPolicy,
         PoissonProcess,
+        adversarial_churn_schedule,
         random_churn_schedule,
     )
 
     base = build_topology(args)
+    n = base.n
+
+    byz_nodes: list = []
+    if args.byzantine_frac > 0:
+        count = max(1, int(args.byzantine_frac * n))
+        rng = make_rng(args.seed + 17)
+        byz_nodes = sorted(
+            int(v) for v in rng.choice(n, size=min(count, n - 1),
+                                       replace=False)
+        )
+
     churn = None
-    if args.leave_frac > 0 or args.join_frac > 0 or args.edge_flips > 0:
+    adv_spec = None
+    if args.adversarial_churn is not None:
+        adv_spec, churn = adversarial_churn_schedule(
+            base, args.rounds,
+            strategy=args.adversarial_churn,
+            budget=ChurnBudget(max_events=args.churn_budget),
+            seed=args.churn_seed,
+            repair_window=args.repair_window,
+            exclude=byz_nodes,
+        )
+    elif args.leave_frac > 0 or args.join_frac > 0 or args.edge_flips > 0:
         churn = random_churn_schedule(
             base, args.rounds, seed=args.churn_seed,
             leave_frac=args.leave_frac, join_frac=args.join_frac,
             edge_flips=args.edge_flips, rejoin_prob=args.rejoin_prob,
         )
     network = ChurnNetwork(base, churn) if churn is not None else base
+    params = PRESETS[args.preset]().with_overrides(
+        collection_estimate_factor=0.25, mspg_enabled=False,
+    )
+    if byz_nodes:
+        # insiders need the authenticated fault stack: the continuous
+        # driver reads network.byzantine to arm conviction/quarantine
+        from repro.resilience.byzantine import ByzantineSet
+        from repro.resilience.network import DynamicFaultNetwork
+        from repro.resilience.schedule import FaultSchedule
+
+        network = DynamicFaultNetwork(
+            network,
+            schedule=FaultSchedule(),
+            seed=args.seed,
+            byzantine=ByzantineSet(
+                byz_nodes, args.byzantine_mode, authentication=True,
+            ),
+        )
+        params = params.with_overrides(authentication=True)
     process = PoissonProcess(
         rate=args.rate, size_bits=required_packet_bits(base.n),
         seed=args.seed,
@@ -768,20 +810,25 @@ def cmd_continuous(args: argparse.Namespace) -> int:
     )
     result = ContinuousBroadcast(
         network, process, policy=policy,
-        params=PRESETS[args.preset]().with_overrides(
-            collection_estimate_factor=0.25, mspg_enabled=False,
-        ),
+        params=params,
         seed=args.seed + 1,
     ).run(args.rounds)
 
     summary = result.summary()
+    if adv_spec is not None:
+        summary["adversarial_churn"] = adv_spec.to_json()
+    if byz_nodes:
+        summary["byzantine_nodes"] = byz_nodes
     if args.json:
         import json as _json
 
         print(_json.dumps(summary, indent=2, sort_keys=True))
     else:
         churn_note = (
-            f"{len(churn.events)} churn events" if churn is not None
+            f"{len(churn.events)} churn events"
+            + (f" ({args.adversarial_churn} adversary)"
+               if adv_spec is not None else "")
+            if churn is not None
             else "static topology"
         )
         rows = [
@@ -807,12 +854,39 @@ def cmd_continuous(args: argparse.Namespace) -> int:
             ["accounting exact",
              "yes" if summary["accounting_exact"] else "NO"],
         ]
+        if byz_nodes:
+            rows += [
+                ["insiders (byzantine)",
+                 f"{len(byz_nodes)} ({args.byzantine_mode})"],
+                ["convictions", len(summary["convictions"])],
+                ["mis-decodes / mis-attributions",
+                 f"{summary['mis_decodes']}"
+                 f"/{summary['mis_attributions']}"],
+                ["dropped (quarantine)", summary["dropped_quarantine"]],
+            ]
         print(render_table(
             ["metric", "value"], rows,
             title=f"Continuous broadcast on {base.name} "
                   f"(rate={args.rate}, {churn_note})",
         ))
-    return 0 if summary["accounting_exact"] else 1
+    failures = []
+    if not summary["accounting_exact"]:
+        failures.append("accounting identity broken")
+    if summary["slo_violations"] > args.max_slo_violations:
+        failures.append(
+            f"{summary['slo_violations']} SLO violation(s) > "
+            f"allowed {args.max_slo_violations}"
+        )
+    if summary.get("mis_decodes", 0):
+        failures.append(f"{summary['mis_decodes']} mis-decode(s)")
+    if summary.get("mis_attributions", 0):
+        failures.append(
+            f"{summary['mis_attributions']} mis-attribution(s)"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
 
 
 def _add_fuzz_args(parser: argparse.ArgumentParser) -> None:
@@ -848,7 +922,8 @@ def _add_fuzz_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--preset", dest="fz_preset", default="default",
                         choices=sorted(PRESETS))
     parser.add_argument("--ablation", default="none",
-                        choices=["none", "no_repair", "leaky_churn"],
+                        choices=["none", "no_repair", "leaky_churn",
+                                 "amnesiac_blacklist"],
                         help="run with a known-broken configuration "
                              "(CI sanity check that the fuzzer catches it)")
     parser.add_argument("--workers", type=int, default=None,
@@ -1077,6 +1152,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                       choices=["drop_newest", "drop_oldest", "reject"])
     cont.add_argument("--slo-rounds", type=int, default=4096,
                       help="delivery-latency SLO threshold in rounds")
+    cont.add_argument("--byzantine-frac", type=float, default=0.0,
+                      help="fraction of nodes acting as authenticated "
+                           "insiders (0 disables)")
+    cont.add_argument("--byzantine-mode", default="row_poison",
+                      help="insider behavior (see repro.resilience."
+                           "byzantine.BYZANTINE_MODES)")
+    cont.add_argument("--adversarial-churn", default=None,
+                      choices=["leader_target", "cut_edges",
+                               "partition_sync", "combined"],
+                      help="replace random churn with a budgeted "
+                           "worst-case schedule of this strategy")
+    cont.add_argument("--churn-budget", type=int, default=16,
+                      help="adversarial churn: max total events")
+    cont.add_argument("--repair-window", type=int, default=64,
+                      help="adversarial churn: repair window the "
+                           "adversary times itself against")
+    cont.add_argument("--max-slo-violations", type=int, default=0,
+                      help="exit nonzero when SLO violations exceed "
+                           "this count")
     cont.add_argument("--json", action="store_true",
                       help="emit the summary as JSON")
     cont.set_defaults(func=cmd_continuous)

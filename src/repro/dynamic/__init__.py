@@ -33,10 +33,14 @@ from repro.dynamic.arrivals import (
     poisson_arrivals,
 )
 from repro.dynamic.churn import (
+    ADVERSARIAL_STRATEGIES,
+    AdversarialChurnSpec,
+    ChurnBudget,
     ChurnEvent,
     ChurnNetwork,
     ChurnSchedule,
     MembershipTimeline,
+    adversarial_churn_schedule,
     churn_from_mobility,
     random_churn_schedule,
 )
@@ -58,8 +62,11 @@ from repro.dynamic.policies import (
 )
 
 __all__ = [
+    "ADVERSARIAL_STRATEGIES",
+    "AdversarialChurnSpec",
     "ArrivalProcess",
     "BatchPolicy",
+    "ChurnBudget",
     "BatchRecord",
     "BatchedDynamicBroadcast",
     "BurstProcess",
@@ -77,6 +84,7 @@ __all__ = [
     "PoissonProcess",
     "SizeThresholdPolicy",
     "TimerPolicy",
+    "adversarial_churn_schedule",
     "build_arrival_process",
     "burst_arrivals",
     "churn_from_mobility",

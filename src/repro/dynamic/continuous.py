@@ -143,7 +143,9 @@ class AuditEvent:
 
     round: int
     kind: str  # arrive/enqueue/reject/drop_queue/drop_handoff/
-    #           drop_retry/handoff/dispatch/deliver/requeue
+    #           drop_retry/handoff/dispatch/deliver/requeue/
+    #           dropped_quarantine (purged from a queue on conviction)/
+    #           drop_quarantine (discarded mid-dispatch, not queued)
     node: int
     pid: int
     arrival_round: int = -1
@@ -151,12 +153,18 @@ class AuditEvent:
 
 @dataclass
 class JoinerRecord:
-    """A joiner's attach progress, for the catch-up oracle."""
+    """A joiner's attach progress, for the catch-up oracle.
+
+    ``rejected`` marks joiners the admission gate turned away (forged
+    credentials or a quarantined identity) — they never attach, and the
+    catch-up oracle must not expect them to.
+    """
 
     node: int
     join_round: int
     attach_round: Optional[int] = None
     departed_again: bool = False
+    rejected: bool = False
 
 
 @dataclass
@@ -166,7 +174,11 @@ class ContinuousResult:
     The accounting identity (checked by :meth:`accounting`) is::
 
         arrivals == delivered + dropped_queue + dropped_handoff
-                    + dropped_retry + rejected + in_flight
+                    + dropped_retry + dropped_quarantine + rejected
+                    + in_flight
+
+    (``dropped_quarantine`` counts packets purged when their holder was
+    convicted; it is zero whenever no insider machinery is armed.)
     """
 
     rounds: int
@@ -193,11 +205,36 @@ class ContinuousResult:
     joiners: List[JoinerRecord] = field(repr=False, default_factory=list)
     audit_log: List[AuditEvent] = field(repr=False, default_factory=list)
     queue_capacity: int = 0
+    # -- insider tolerance (all zero/empty without Byzantine machinery) --
+    dropped_quarantine: int = 0
+    mis_decodes: int = 0
+    mis_attributions: int = 0
+    byzantine_rx_discarded: int = 0
+    forged_acks_rejected: int = 0
+    poisoned_rows_attributed: int = 0
+    convictions: List[Tuple[int, int, str]] = field(  # (node, round, why)
+        repr=False, default_factory=list
+    )
+    quarantined_carried: List[int] = field(default_factory=list)
+    quarantine_final: List[int] = field(default_factory=list)
+    quarantine_history: List[dict] = field(repr=False, default_factory=list)
+    admission_log: List[dict] = field(repr=False, default_factory=list)
+    admission_counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
         """Delivered packets per round — the 1302.0264 comparison."""
         return self.delivered / self.rounds if self.rounds else 0.0
+
+    @property
+    def blacklisted(self) -> List[int]:
+        """Every identity barred by run end (carried + convicted),
+        mirroring ``BroadcastReport.blacklisted`` for the oracles."""
+        return sorted(
+            set(self.quarantine_final)
+            | set(self.quarantined_carried)
+            | {v for v, _, _ in self.convictions}
+        )
 
     def accounting(self) -> Dict[str, int]:
         return {
@@ -206,6 +243,7 @@ class ContinuousResult:
             "dropped_queue": self.dropped_queue,
             "dropped_handoff": self.dropped_handoff,
             "dropped_retry": self.dropped_retry,
+            "dropped_quarantine": self.dropped_quarantine,
             "rejected": self.rejected,
             "in_flight": self.in_flight,
         }
@@ -215,7 +253,8 @@ class ContinuousResult:
         a = self.accounting()
         return a["arrivals"] == (
             a["delivered"] + a["dropped_queue"] + a["dropped_handoff"]
-            + a["dropped_retry"] + a["rejected"] + a["in_flight"]
+            + a["dropped_retry"] + a["dropped_quarantine"]
+            + a["rejected"] + a["in_flight"]
         )
 
     def latency_percentile(self, q: float) -> float:
@@ -244,6 +283,17 @@ class ContinuousResult:
             "latency_p99": self.latency_percentile(99),
             **self.accounting(),
             "accounting_exact": self.accounting_exact,
+            "mis_decodes": self.mis_decodes,
+            "mis_attributions": self.mis_attributions,
+            "byzantine_rx_discarded": self.byzantine_rx_discarded,
+            "forged_acks_rejected": self.forged_acks_rejected,
+            "poisoned_rows_attributed": self.poisoned_rows_attributed,
+            "convictions": [
+                [v, r, why] for v, r, why in self.convictions
+            ],
+            "quarantined_carried": list(self.quarantined_carried),
+            "quarantine_final": list(self.quarantine_final),
+            "admission": dict(self.admission_counters),
         }
 
 
@@ -278,6 +328,26 @@ class ContinuousBroadcast:
     policy / params / seed / depth_bound:
         See :class:`ContinuousPolicy` /
         :class:`~repro.core.config.AlgorithmParameters`.
+    quarantined:
+        Identities convicted before this run (carried convictions).
+        They are barred from arrivals, trees, elections, handoffs, and
+        the delivery audience from round 0 — the cross-run persistence
+        the ``no_blacklist_escape`` oracle audits.
+    forgetful_quarantine:
+        Planted-bug switch (the ``amnesiac_blacklist`` ablation): the
+        quarantine registry erases a conviction when the convict
+        departs, so the identity launders itself by re-joining.  Never
+        set it outside tests.
+
+    When ``network`` carries a
+    :class:`~repro.resilience.byzantine.ByzantineSet` (discovered via
+    duck typing, as the supervisor does), the driver threads the PR-3
+    machinery through every dispatch: authenticated collection and
+    dissemination with per-batch blacklists, election cross-validation
+    of forged claims, and authenticated join admission for churn-time
+    insiders (Sybil/replayed joins, forged catch-up claims, re-join
+    laundering).  With no insiders and no carried quarantine the run is
+    bit-identical to the pre-insider driver.
     """
 
     def __init__(
@@ -289,6 +359,8 @@ class ContinuousBroadcast:
         params: Optional[AlgorithmParameters] = None,
         seed: SeedLike = None,
         depth_bound: Optional[int] = None,
+        quarantined: Sequence[int] = (),
+        forgetful_quarantine: bool = False,
     ):
         self.net = network
         self.process = process
@@ -307,6 +379,21 @@ class ContinuousBroadcast:
         self.params.apply_engine(network)
         self.rng = make_rng(seed)
         self.depth_bound = depth_bound or network.diameter
+        self.quarantined = frozenset(
+            int(v) for v in quarantined if 0 <= int(v) < network.n
+        )
+        self.forgetful_quarantine = bool(forgetful_quarantine)
+        self.byz = getattr(network, "byzantine", None)
+        if self.byz is not None:
+            self.byz.configure(
+                integrity_key=self.params.integrity_key,
+                auth_master_key=self.params.auth_master_key,
+                authentication=self.params.authentication,
+            )
+        #: identities excluded from every delivery path: the active
+        #: quarantine plus present-but-unadmitted joiners (maintained
+        #: by run(); empty on the default path)
+        self._barred: Set[int] = set(self.quarantined)
 
     # -- duck-typed layer queries --------------------------------------
 
@@ -321,7 +408,11 @@ class ContinuousBroadcast:
         return self._present(v)
 
     def _usable(self, v: int) -> bool:
-        return self._present(v) and self._alive(v)
+        return (
+            v not in self._barred
+            and self._present(v)
+            and self._alive(v)
+        )
 
     def _edge_usable(self, u: int, v: int) -> bool:
         f = getattr(self.net, "edge_active", None)
@@ -348,10 +439,31 @@ class ContinuousBroadcast:
             default_repair_epochs,
             repair_tree,
         )
+        from repro.resilience.admission import (
+            NEVER_PRESENT,
+            AdmissionController,
+            JoinRequest,
+            QuarantineRegistry,
+            insider_join_attack,
+        )
 
         net, policy = self.net, self.policy
         n = net.n
         cap = policy.queue_capacity
+        byz = self.byz
+        byz_nodes = frozenset(byz.nodes) if byz is not None else frozenset()
+        auth = bool(self.params.authentication)
+
+        registry = QuarantineRegistry(
+            carried=self.quarantined,
+            forgetful=self.forgetful_quarantine,
+        )
+        admission = AdmissionController(
+            registry, master=self.params.auth_master_key
+        )
+        rejected_admission: Set[int] = set()
+        last_departed: Dict[int, int] = {}
+        self._barred = set(registry.active)
 
         queues: Dict[int, List[QueuedPacket]] = {v: [] for v in range(n)}
         backlog = 0
@@ -360,11 +472,20 @@ class ContinuousBroadcast:
         deliveries: List[Tuple[int, int, int]] = []
         histogram: Dict[int, int] = {}
         joiners: Dict[int, JoinerRecord] = {}
+        # pid -> nodes known to have decoded it: receivers keep decoded
+        # packets, so a retried batch only owes the nodes still missing
+        # it — without this, churn that never leaves a full-membership
+        # window between outages (the adversarial schedules are built to
+        # do exactly that) starves every delivery forever
+        known_holders: Dict[int, Set[int]] = {}
 
         counters = {
             "delivered": 0, "dropped_queue": 0, "dropped_handoff": 0,
             "dropped_retry": 0, "rejected": 0, "handoffs": 0,
             "dispatches": 0, "restructures": 0, "repairs": 0,
+            "dropped_quarantine": 0, "mis_decodes": 0,
+            "byzantine_rx_discarded": 0, "forged_acks_rejected": 0,
+            "poisoned_rows_attributed": 0,
         }
         max_queue_len = 0
         max_cycle = 0
@@ -379,6 +500,31 @@ class ContinuousBroadcast:
         repair_budget = (
             default_repair_epochs(net, policy.repair_epoch_factor)
         )
+
+        def refresh_barred() -> None:
+            """Re-derive the exclusion set from its two sources."""
+            self._barred = set(registry.active) | rejected_admission
+
+        def convict(nodes, reason: str) -> None:
+            """Quarantine ``nodes``, purging their queued packets.
+
+            Purged packets are charged to ``dropped_quarantine`` with a
+            queue-removing ``dropped_quarantine`` audit event (the
+            mid-dispatch analogue, ``drop_quarantine``, never touches a
+            queue — mirroring dropped_handoff vs drop_handoff).
+            """
+            nonlocal backlog
+            for v in sorted(set(int(u) for u in nodes)):
+                if not registry.convict(v, now, reason):
+                    continue
+                purged = queues[v]
+                queues[v] = []
+                backlog -= len(purged)
+                for item in purged:
+                    counters["dropped_quarantine"] += 1
+                    note("dropped_quarantine", v, item.packet.pid,
+                         item.arrival_round)
+            refresh_barred()
 
         def note(kind: str, node: int, pid: int, arrival: int = -1,
                  at: Optional[int] = None) -> None:
@@ -476,16 +622,66 @@ class ContinuousBroadcast:
                         counters["dropped_handoff"] += 1
                         note("drop_handoff", v, item.packet.pid,
                              item.arrival_round)
+            for v in sorted(prev_present - present):
+                last_departed[v] = now
+                rejected_admission.discard(v)
+                registry.on_leave(v, now)  # forgetful registries forget
+            if prev_present - present:
+                refresh_barred()
             for v in sorted(present - prev_present):
+                admitted = review_join(v)
                 rec = joiners.get(v)
-                if rec is None or rec.departed_again:
-                    joiners[v] = JoinerRecord(node=v, join_round=now)
+                if rec is None or rec.departed_again or not admitted:
+                    joiners[v] = JoinerRecord(
+                        node=v, join_round=now, rejected=not admitted,
+                    )
             for v in sorted(prev_present - present):
                 rec = joiners.get(v)
                 if rec is not None and rec.attach_round is None:
                     rec.departed_again = True
             prev_present.clear()
             prev_present.update(present)
+
+        def review_join(v: int) -> bool:
+            """Admit or reject one (re-)joining identity.
+
+            Insiders present forged requests per their deterministic
+            attack; honest joiners present valid ones.  Provable
+            forgeries (bad signature, stale credential, lying catch-up
+            claim) convict the physical joiner; a quarantined identity
+            is turned away without a fresh conviction (laundering
+            blocked).  Without authentication only the quarantine
+            check applies — crypto rejections need keys.
+            """
+            expected = last_departed.get(v, NEVER_PRESENT)
+            if auth and byz is not None and v in byz_nodes:
+                request = JoinRequest.forged(
+                    v, now, insider_join_attack(v),
+                    last_departed=expected,
+                    master=self.params.auth_master_key,
+                )
+            else:
+                request = JoinRequest.honest(
+                    v, now, expected,
+                    master=self.params.auth_master_key,
+                )
+            if not auth:
+                # no keys: the gate can only enforce the quarantine
+                if registry.is_quarantined(v):
+                    rejected_admission.add(v)
+                    refresh_barred()
+                    return False
+                return True
+            record = admission.review(request, now, expected)
+            if record.admitted:
+                rejected_admission.discard(v)
+                refresh_barred()
+                return True
+            rejected_admission.add(v)
+            if record.reason in ("sybil", "replay", "catchup_forged"):
+                convict([v], f"join admission: {record.reason}")
+            refresh_barred()
+            return False
 
         def charge(rounds: int) -> None:
             nonlocal now
@@ -533,7 +729,15 @@ class ContinuousBroadcast:
                     rec.attach_round = now
 
         def restructure() -> bool:
-            """Full rebuild: elect among usable nodes, then BFS."""
+            """Full rebuild: elect among usable nodes, then BFS.
+
+            Election claims are cross-validated against the certified
+            id table exactly as in the supervisor: under authentication
+            a forged (out-of-range) claim convicts its signer; without
+            it the inflated claim captures the election (the id-
+            inflation black hole — the degradation the threat model
+            documents).
+            """
             nonlocal leader, parent, distance
             counters["restructures"] += 1
             candidates = [v for v in range(n) if self._usable(v)]
@@ -545,11 +749,39 @@ class ContinuousBroadcast:
                 epochs_per_probe=self.params.bgi_epochs(net),
             )
             charge(election.rounds)
-            if len(election.claimants) != 1 \
-                    or not self._usable(election.claimants[0]):
+            forged = (
+                byz.election_claims(n, self._usable)
+                if byz is not None else []
+            )
+            winner = -1
+            if forged and auth:
+                convict(
+                    (v for v, claimed in forged if claimed != v),
+                    "forged leadership claim",
+                )
+                verified = [
+                    c for c in election.claimants if self._usable(c)
+                ]
+                if len(verified) == 1:
+                    winner = verified[0]
+            elif forged:
+                all_claims = [
+                    (c, c) for c in election.claimants if self._usable(c)
+                ] + [
+                    (v, cid) for v, cid in forged
+                    if self._present(v) and self._alive(v)
+                ]
+                if all_claims:
+                    winner = max(all_claims, key=lambda vc: vc[1])[0]
+            elif len(election.claimants) == 1 \
+                    and self._usable(election.claimants[0]):
+                winner = election.claimants[0]
+            if winner < 0:
                 leader, parent, distance = -1, None, None
                 return False
-            leader = election.claimants[0]
+            leader = winner
+            if byz is not None:
+                byz.notice_leader(leader)
             bfs = build_distributed_bfs(
                 net, leader, self.rng,
                 depth_bound=self.depth_bound,
@@ -557,6 +789,27 @@ class ContinuousBroadcast:
             )
             charge(bfs.rounds)
             parent, distance = list(bfs.parent), list(bfs.distance)
+            if self._barred:
+                # BFS may have adopted a barred node as an interior
+                # parent; detach its honest children and route around
+                # it before the structure is used
+                detach_invalid()
+                att = attached_set(parent, distance, leader, self._usable)
+                orphans = [
+                    v for v in range(n)
+                    if self._usable(v) and v not in att
+                ]
+                if orphans and self._usable(leader):
+                    counters["repairs"] += 1
+                    rep = repair_tree(
+                        net, parent, distance, leader, self.rng,
+                        epochs=repair_budget,
+                        round_offset=now,
+                        exclude=frozenset(self._barred),
+                        mute=frozenset(self._barred),
+                    )
+                    charge(rep.rounds)
+                    parent, distance = rep.parent, rep.distance
             mark_attached()
             return True
 
@@ -583,6 +836,8 @@ class ContinuousBroadcast:
                         net, parent, distance, leader, self.rng,
                         epochs=repair_budget,
                         round_offset=now,
+                        exclude=frozenset(self._barred),
+                        mute=frozenset(self._barred),
                     )
                     charge(rep.rounds)
                     parent, distance = rep.parent, rep.distance
@@ -617,11 +872,21 @@ class ContinuousBroadcast:
                      item.arrival_round)
 
             def requeue(item: QueuedPacket) -> None:
+                if item.owner in self._barred:
+                    # owner convicted mid-cycle: its traffic does not
+                    # re-enter the queues (drop_quarantine never touches
+                    # a queue — the item is in flight here)
+                    counters["dropped_quarantine"] += 1
+                    note("drop_quarantine", item.owner, item.packet.pid,
+                         item.arrival_round)
+                    known_holders.pop(item.packet.pid, None)
+                    return
                 item.attempts += 1
                 if item.attempts >= policy.max_attempts:
                     counters["dropped_retry"] += 1
                     note("drop_retry", item.owner, item.packet.pid,
                          item.arrival_round)
+                    known_holders.pop(item.packet.pid, None)
                     return
                 note("requeue", item.owner, item.packet.pid,
                      item.arrival_round)
@@ -649,11 +914,20 @@ class ContinuousBroadcast:
                     [pkt for _, pkt in field_items],
                     self.params, self.rng,
                     depth_bound=self.depth_bound,
+                    blacklist=frozenset(self._barred),
                 )
                 charge(collection.rounds)
+                counters["forged_acks_rejected"] += (
+                    collection.forged_acks_rejected
+                )
+                counters["byzantine_rx_discarded"] += (
+                    collection.byzantine_rx_discarded
+                )
+                if collection.flagged:
+                    convict(collection.flagged, "collection audit")
                 got = set(collection.collected_order)
                 for it, pkt in field_items:
-                    if pkt.pid in got:
+                    if pkt.pid in got and it.owner not in self._barred:
                         collected.append((it, pkt))
                     else:
                         requeue(it)
@@ -672,12 +946,32 @@ class ContinuousBroadcast:
             dissemination = run_dissemination_stage(
                 net, safe_distance, leader, ordered,
                 self.params, self.rng,
+                blacklist=frozenset(self._barred),
             )
             charge(dissemination.rounds)
+            counters["mis_decodes"] += dissemination.mis_decodes
+            counters["byzantine_rx_discarded"] += (
+                dissemination.byzantine_rx_discarded
+            )
+            counters["poisoned_rows_attributed"] += (
+                dissemination.poisoned_rows_attributed
+            )
+            if dissemination.flagged_senders:
+                convict(
+                    dissemination.flagged_senders,
+                    "poisoned row attributed",
+                )
 
             width = dissemination.group_width
             audience = [v for v in range(n) if self._usable(v)]
             for i, (item, pkt) in enumerate(collected):
+                if item.owner in self._barred:
+                    # convicted during this very cycle (e.g. its row
+                    # poison was attributed): its traffic dies with it
+                    counters["dropped_quarantine"] += 1
+                    note("drop_quarantine", item.owner, item.packet.pid,
+                         item.arrival_round)
+                    continue
                 j = i // width
                 holders = {
                     int(v) for v in np.nonzero(
@@ -686,7 +980,13 @@ class ContinuousBroadcast:
                 }
                 holders.add(pkt.origin)
                 holders.add(leader)
+                # receivers keep what they decode: union this cycle's
+                # holders with every earlier attempt's, so a retry only
+                # owes the nodes still missing the packet
+                holders |= known_holders.get(pkt.pid, set())
+                known_holders[pkt.pid] = holders
                 if all(v in holders for v in audience):
+                    known_holders.pop(pkt.pid, None)
                     counters["delivered"] += 1
                     latency = now - item.arrival_round
                     deliveries.append(
@@ -735,6 +1035,10 @@ class ContinuousBroadcast:
             1 for _, a, d in deliveries if d - a > policy.slo_rounds
         )
         repair_rounds_cap = repair_budget * decay_slots(net.max_degree)
+        runtime_convicted = {v for v, _, _ in registry.convictions}
+        mis_attributions = len(
+            runtime_convicted - byz_nodes - registry.carried
+        )
 
         return ContinuousResult(
             rounds=now,
@@ -759,4 +1063,16 @@ class ContinuousBroadcast:
             joiners=sorted(joiners.values(), key=lambda r: r.node),
             audit_log=log,
             queue_capacity=cap,
+            dropped_quarantine=counters["dropped_quarantine"],
+            mis_decodes=counters["mis_decodes"],
+            mis_attributions=mis_attributions,
+            byzantine_rx_discarded=counters["byzantine_rx_discarded"],
+            forged_acks_rejected=counters["forged_acks_rejected"],
+            poisoned_rows_attributed=counters["poisoned_rows_attributed"],
+            convictions=list(registry.convictions),
+            quarantined_carried=sorted(registry.carried),
+            quarantine_final=sorted(registry.active),
+            quarantine_history=registry.history_json(),
+            admission_log=admission.log_json(),
+            admission_counters=dict(admission.counters),
         )

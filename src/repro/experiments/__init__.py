@@ -11,6 +11,8 @@
   old ``run_trials_parallel`` API onto the orchestrator.
 - :mod:`repro.experiments.report` — plain-text table rendering for the
   per-experiment outputs recorded in EXPERIMENTS.md.
+- :mod:`repro.experiments.stability` — offered-load vs. service-capacity
+  sweeps of the continuous driver and the bounded-queue knee locator.
 """
 
 from repro.experiments.harness import (
@@ -39,6 +41,15 @@ from repro.experiments.parallel import run_trials_parallel
 from repro.experiments.plotting import ascii_chart, sparkline
 from repro.experiments.report import format_float, render_table
 from repro.experiments.scenarios import Scenario, get_scenario, scenario_names
+from repro.experiments.stability import (
+    CHURN_REGIMES,
+    StabilityPoint,
+    find_knee,
+    measure_point,
+    pick_insiders,
+    service_capacity_bound,
+    stability_sweep,
+)
 from repro.experiments.stats import (
     min_trials_for_failure_detection,
     wilson_interval,
@@ -51,6 +62,7 @@ from repro.experiments.workloads import (
 )
 
 __all__ = [
+    "CHURN_REGIMES",
     "CampaignError",
     "CampaignInterrupted",
     "CampaignOutcome",
@@ -59,6 +71,7 @@ __all__ = [
     "OrchestratorConfig",
     "Scenario",
     "SeedFailure",
+    "StabilityPoint",
     "TrialStats",
     "aggregate",
     "ascii_chart",
@@ -66,15 +79,20 @@ __all__ = [
     "build_manifest",
     "campaign_header",
     "campaign_status",
+    "find_knee",
     "format_float",
     "get_scenario",
     "hotspot_placement",
     "load_manifest",
     "manifest_to_bytes",
+    "measure_point",
     "min_trials_for_failure_detection",
+    "pick_insiders",
     "read_csv",
     "read_json",
     "render_table",
+    "service_capacity_bound",
+    "stability_sweep",
     "run_supervised",
     "run_trials",
     "scenario_names",

@@ -1,0 +1,293 @@
+"""Stability-threshold experiment: offered load vs. service capacity.
+
+The continuous driver is a queueing system: packets arrive at rate
+``λ`` (packets/round, summed over all origins) and are served in
+batches whose amortized cost per packet shrinks as batches grow.  For
+multiple-message broadcast the natural capacity reference is the
+``1/log n`` scaling of Ghaffari–Haeupler-style throughput bounds
+(arXiv:1302.0264): no broadcast scheme delivers more than ``Θ(1/log n)``
+packets per round to every node on a single shared channel, so
+:func:`service_capacity_bound` returns ``1/log2(n)`` as the normalizing
+constant.
+
+A **stability sweep** runs the identical open-ended system at a ladder
+of offered loads and reports, per point, whether the bounded queues
+stayed bounded: a *stable* point drains what it admits (drops stay
+within tolerance and the final in-flight backlog is a bounded residue,
+not a growing queue).  The **knee** is the highest contiguously-stable
+load — past it, queues saturate and the drop counters take off.  The
+R7 benchmark locates this knee under three regimes (no churn, seeded
+random churn, adversarial churn with insiders) and compares the three
+knees against the ``1/log n`` reference.
+
+Every point builds its network stack from scratch — churn layers and
+fault stacks are stateful, and a reused layer would leak membership
+state from the previous measurement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.coding.packets import required_packet_bits
+from repro.core.config import AlgorithmParameters
+from repro.dynamic.arrivals import PoissonProcess
+from repro.dynamic.churn import (
+    ChurnBudget,
+    ChurnNetwork,
+    adversarial_churn_schedule,
+    random_churn_schedule,
+)
+from repro.dynamic.continuous import ContinuousBroadcast, ContinuousPolicy
+from repro.radio.network import RadioNetwork
+from repro.radio.rng import make_rng
+
+#: The churn regimes a sweep can run under.
+CHURN_REGIMES = ("none", "seeded", "adversarial")
+
+
+def service_capacity_bound(n: int) -> float:
+    """``1/log2(n)`` — the reference throughput ceiling (packets/round)
+    for broadcasting to all ``n`` nodes on one shared channel."""
+    if n < 2:
+        return 1.0
+    return 1.0 / math.log2(n)
+
+
+@dataclass
+class StabilityPoint:
+    """One (offered load, regime) measurement of the continuous system."""
+
+    rate: float
+    horizon: int
+    n: int
+    churn: str
+    insider_frac: float
+    arrivals: int
+    delivered: int
+    dropped: int  #: queue + handoff + retry drops (quarantine excluded)
+    dropped_quarantine: int
+    rejected: int
+    in_flight: int
+    max_queue_len: int
+    queue_capacity: int
+    slo_violations: int
+    mis_decodes: int
+    mis_attributions: int
+    convictions: int
+    stable: bool
+    load_vs_bound: float  #: rate / service_capacity_bound(n)
+
+    @property
+    def throughput(self) -> float:
+        return self.delivered / self.horizon if self.horizon else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "rate": self.rate,
+            "horizon": self.horizon,
+            "n": self.n,
+            "churn": self.churn,
+            "insider_frac": self.insider_frac,
+            "arrivals": self.arrivals,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "dropped_quarantine": self.dropped_quarantine,
+            "rejected": self.rejected,
+            "in_flight": self.in_flight,
+            "max_queue_len": self.max_queue_len,
+            "queue_capacity": self.queue_capacity,
+            "slo_violations": self.slo_violations,
+            "mis_decodes": self.mis_decodes,
+            "mis_attributions": self.mis_attributions,
+            "convictions": self.convictions,
+            "stable": self.stable,
+            "load_vs_bound": self.load_vs_bound,
+            "throughput": self.throughput,
+        }
+
+
+def pick_insiders(n: int, insider_frac: float, seed: int) -> List[int]:
+    """The deterministic insider draw shared by the CLI, the sweep,
+    and the R7 benchmark."""
+    if insider_frac <= 0 or n <= 1:
+        return []
+    count = max(1, int(insider_frac * n))
+    rng = make_rng(seed + 17)
+    return sorted(
+        int(v) for v in rng.choice(n, size=min(count, n - 1),
+                                   replace=False)
+    )
+
+
+def _build_stack(
+    base: RadioNetwork,
+    horizon: int,
+    churn: str,
+    insiders: Sequence[int],
+    byzantine_mode: str,
+    strategy: str,
+    seed: int,
+):
+    """Fresh churn + fault stack over ``base`` for one measurement."""
+    schedule = None
+    if churn == "seeded":
+        schedule = random_churn_schedule(
+            base, horizon, seed=seed,
+            leave_frac=0.1, join_frac=0.0, edge_flips=2,
+            rejoin_prob=1.0, exclude=insiders,
+        )
+    elif churn == "adversarial":
+        _, schedule = adversarial_churn_schedule(
+            base, horizon, strategy=strategy,
+            budget=ChurnBudget(), seed=seed,
+            repair_window=64, exclude=insiders,
+        )
+    elif churn != "none":
+        raise ValueError(
+            f"unknown churn regime {churn!r}; expected one of "
+            f"{CHURN_REGIMES}"
+        )
+    network = base if schedule is None else ChurnNetwork(base, schedule)
+    if insiders:
+        from repro.resilience.byzantine import ByzantineSet
+        from repro.resilience.network import DynamicFaultNetwork
+        from repro.resilience.schedule import FaultSchedule
+
+        network = DynamicFaultNetwork(
+            network,
+            schedule=FaultSchedule(),
+            seed=seed,
+            byzantine=ByzantineSet(
+                list(insiders), byzantine_mode, authentication=True,
+            ),
+        )
+    return network
+
+
+def measure_point(
+    topology_factory: Callable[[], RadioNetwork],
+    rate: float,
+    horizon: int,
+    churn: str = "none",
+    insider_frac: float = 0.0,
+    byzantine_mode: str = "row_poison",
+    strategy: str = "leader_target",
+    seed: int = 0,
+    policy: Optional[ContinuousPolicy] = None,
+    params: Optional[AlgorithmParameters] = None,
+    drop_tol: float = 0.01,
+    backlog_tol: float = 0.5,
+) -> StabilityPoint:
+    """Run the continuous system once at offered load ``rate``.
+
+    A point is **stable** when the run admits its offered load without
+    shedding it: non-quarantine drops stay within ``drop_tol`` of the
+    arrivals, backpressure rejections do too, the queues never saturate
+    (``max_queue_len < capacity`` — a pinned queue is the knee
+    signature even before drops start), and the final in-flight backlog
+    is a bounded residue (at most ``backlog_tol`` of the arrivals — a
+    backlog that tracks the arrival count is a queue growing linearly
+    in time, i.e. instability the drop counters just haven't caught up
+    with yet).  Quarantine drops are excluded: convicting an insider
+    and discarding its traffic is the defense working, not the system
+    overloading.
+    """
+    base = topology_factory()
+    insiders = pick_insiders(base.n, insider_frac, seed)
+    network = _build_stack(
+        base, horizon, churn, insiders, byzantine_mode, strategy, seed,
+    )
+    policy = policy if policy is not None else ContinuousPolicy()
+    params = params if params is not None else AlgorithmParameters()
+    params = params.with_overrides(
+        collection_estimate_factor=0.25, mspg_enabled=False,
+        authentication=bool(insiders) or params.authentication,
+    )
+    process = PoissonProcess(
+        rate=rate, size_bits=required_packet_bits(base.n), seed=seed,
+    )
+    result = ContinuousBroadcast(
+        network, process, policy=policy, params=params, seed=seed + 1,
+    ).run(horizon)
+    dropped = (
+        result.dropped_queue + result.dropped_handoff
+        + result.dropped_retry
+    )
+    arrivals = max(1, result.arrivals)
+    stable = (
+        dropped <= drop_tol * arrivals
+        and result.rejected <= drop_tol * arrivals
+        and result.max_queue_len < policy.queue_capacity
+        and result.in_flight <= backlog_tol * arrivals
+    )
+    return StabilityPoint(
+        rate=rate,
+        horizon=horizon,
+        n=base.n,
+        churn=churn,
+        insider_frac=insider_frac,
+        arrivals=result.arrivals,
+        delivered=result.delivered,
+        dropped=dropped,
+        dropped_quarantine=result.dropped_quarantine,
+        rejected=result.rejected,
+        in_flight=result.in_flight,
+        max_queue_len=result.max_queue_len,
+        queue_capacity=policy.queue_capacity,
+        slo_violations=result.slo_violations,
+        mis_decodes=result.mis_decodes,
+        mis_attributions=result.mis_attributions,
+        convictions=len(result.convictions),
+        stable=stable,
+        load_vs_bound=rate / service_capacity_bound(base.n),
+    )
+
+
+def stability_sweep(
+    topology_factory: Callable[[], RadioNetwork],
+    rates: Sequence[float],
+    horizon: int,
+    churn: str = "none",
+    insider_frac: float = 0.0,
+    byzantine_mode: str = "row_poison",
+    strategy: str = "leader_target",
+    seed: int = 0,
+    policy: Optional[ContinuousPolicy] = None,
+    params: Optional[AlgorithmParameters] = None,
+    drop_tol: float = 0.01,
+    backlog_tol: float = 0.5,
+) -> List[StabilityPoint]:
+    """Measure every rate in ``rates`` (ascending) under one regime."""
+    return [
+        measure_point(
+            topology_factory, rate, horizon,
+            churn=churn, insider_frac=insider_frac,
+            byzantine_mode=byzantine_mode, strategy=strategy,
+            seed=seed, policy=policy, params=params, drop_tol=drop_tol,
+            backlog_tol=backlog_tol,
+        )
+        for rate in sorted(rates)
+    ]
+
+
+def find_knee(
+    points: Sequence[StabilityPoint],
+) -> Tuple[Optional[float], Optional[float]]:
+    """``(knee_rate, first_unstable_rate)`` of one ascending sweep.
+
+    The knee is the highest offered load that is stable *with every
+    lower load also stable* (an isolated stable point past an unstable
+    one is noise, not capacity).  Either element is ``None`` when the
+    sweep never reached that side of the boundary.
+    """
+    knee: Optional[float] = None
+    first_unstable: Optional[float] = None
+    for p in sorted(points, key=lambda p: p.rate):
+        if p.stable and first_unstable is None:
+            knee = p.rate
+        elif not p.stable and first_unstable is None:
+            first_unstable = p.rate
+    return knee, first_unstable

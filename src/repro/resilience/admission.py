@@ -1,0 +1,326 @@
+"""Authenticated join admission and persistent identity quarantine.
+
+Topology churn opens an insider surface the one-shot threat model never
+had: membership itself becomes a protocol message.  A Byzantine node
+can present a **Sybil** identity when it joins (claim to be someone
+whose signing key it does not hold), **replay** a stale join credential
+recorded from an earlier round, forge its **catch-up claim** (pretend
+it has been a member since round 0 so the leader re-serves the full
+history), or attempt **identity laundering** — leave after being
+blacklisted and re-join hoping the conviction was tied to the session
+rather than the identity.
+
+This module supplies the countermeasures, built on the PR-3
+authentication layer (:mod:`repro.coding.integrity`):
+
+- :func:`join_admission_tag` — a keyed credential binding *(identity,
+  join round)* under the identity's derived signing key.  A Sybil
+  forger cannot mint it for an identity whose key it lacks, and the
+  round binding makes every credential single-use (a replay presents a
+  tag whose bound round is not the current one).
+- :class:`AdmissionController` — verifies join requests in a fixed
+  order (signature → freshness → quarantine → catch-up claim) and
+  keeps a JSON-able admission log plus per-reason counters.
+- :class:`QuarantineRegistry` — the persistent per-*identity*
+  conviction store.  Convictions survive leave/re-join by design; the
+  ``forgetful`` flag is the planted-bug switch for the chaos
+  self-test (the ``amnesiac_blacklist`` ablation): a forgetful registry
+  erases a conviction when the convict departs, exactly the laundering
+  hole the ``no_blacklist_escape`` oracle exists to catch.  Never set
+  it outside tests.
+
+Everything here is a deterministic function of its inputs — no RNG is
+ever drawn, so wiring admission into a seeded run never perturbs the
+protocol's random stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.coding.integrity import (
+    DEFAULT_AUTH_MASTER_KEY,
+    auth_tag,
+    verify_auth_tag,
+)
+
+#: ``catch_up_since`` value meaning "never present before this join".
+NEVER_PRESENT = -1
+
+#: Insider join-attack repertoire, in documentation order.  The attack
+#: a given insider mounts is a deterministic function of its id
+#: (:func:`insider_join_attack`), so runs stay seed-reproducible.
+JOIN_ATTACKS = ("sybil", "replay", "catchup_forge")
+
+#: Admission verdict reasons.
+ADMISSION_REASONS = (
+    "ok", "sybil", "replay", "quarantined", "catchup_forged",
+)
+
+
+def join_admission_tag(
+    node: int, join_round: int, master: int = DEFAULT_AUTH_MASTER_KEY
+) -> int:
+    """Keyed join credential for ``node`` joining at ``join_round``.
+
+    Signed under the node's *derived* key, so only the identity's
+    legitimate holder can mint it; the round binding makes it
+    single-use.
+    """
+    return auth_tag(node, ("j5", join_round), master)
+
+
+def insider_join_attack(node: int) -> str:
+    """The join attack insider ``node`` mounts (deterministic)."""
+    return JOIN_ATTACKS[node % len(JOIN_ATTACKS)]
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """One join attempt as seen by the admission gate.
+
+    ``claimed_id`` is the identity the joiner asserts; ``tag`` is the
+    credential it presents; ``tag_round`` is the round the credential
+    claims to be minted for; ``catch_up_since`` is the round the joiner
+    claims it last departed (:data:`NEVER_PRESENT` for a first join) —
+    the basis of its catch-up entitlement.
+    """
+
+    claimed_id: int
+    join_round: int
+    tag: int
+    tag_round: int
+    catch_up_since: int = NEVER_PRESENT
+
+    @classmethod
+    def honest(
+        cls,
+        node: int,
+        join_round: int,
+        last_departed: int = NEVER_PRESENT,
+        master: int = DEFAULT_AUTH_MASTER_KEY,
+    ) -> "JoinRequest":
+        """A well-formed request from the identity's rightful holder."""
+        return cls(
+            claimed_id=int(node),
+            join_round=int(join_round),
+            tag=join_admission_tag(node, join_round, master),
+            tag_round=int(join_round),
+            catch_up_since=int(last_departed),
+        )
+
+    @classmethod
+    def forged(
+        cls,
+        node: int,
+        join_round: int,
+        attack: str,
+        last_departed: int = NEVER_PRESENT,
+        master: int = DEFAULT_AUTH_MASTER_KEY,
+    ) -> "JoinRequest":
+        """The request insider ``node`` presents under ``attack``.
+
+        - ``sybil``: claim a *different* identity, signing with the
+          insider's own key (the best it can do without the victim's
+          key) — the tag never verifies for the claimed identity;
+        - ``replay``: present the insider's own credential minted for
+          an earlier round (stale ``tag_round``);
+        - ``catchup_forge``: a perfectly valid credential, but claim
+          membership since round 0 to extort a full-history catch-up.
+        """
+        if attack == "sybil":
+            victim = int(node) + 1  # an identity whose key it lacks
+            return cls(
+                claimed_id=victim,
+                join_round=int(join_round),
+                # signed with the forger's key, not the victim's
+                tag=auth_tag(node, ("j5", int(join_round)), master),
+                tag_round=int(join_round),
+                catch_up_since=int(last_departed),
+            )
+        if attack == "replay":
+            stale = max(0, int(join_round) - 7)
+            return cls(
+                claimed_id=int(node),
+                join_round=int(join_round),
+                tag=join_admission_tag(node, stale, master),
+                tag_round=stale,
+                catch_up_since=int(last_departed),
+            )
+        if attack == "catchup_forge":
+            return cls(
+                claimed_id=int(node),
+                join_round=int(join_round),
+                tag=join_admission_tag(node, join_round, master),
+                tag_round=int(join_round),
+                catch_up_since=0,  # "member since the beginning"
+            )
+        raise ValueError(
+            f"unknown join attack {attack!r}; expected one of {JOIN_ATTACKS}"
+        )
+
+
+@dataclass(frozen=True)
+class AdmissionRecord:
+    """One admission decision, JSON-able for results and oracles."""
+
+    round: int
+    claimed_id: int
+    admitted: bool
+    reason: str
+
+    def to_json(self) -> dict:
+        return {
+            "round": self.round,
+            "claimed_id": self.claimed_id,
+            "admitted": self.admitted,
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "AdmissionRecord":
+        return cls(
+            round=int(data["round"]),
+            claimed_id=int(data["claimed_id"]),
+            admitted=bool(data["admitted"]),
+            reason=str(data["reason"]),
+        )
+
+
+class QuarantineRegistry:
+    """Persistent per-identity conviction store.
+
+    A conviction binds to the *identity*, not the session: leaving and
+    re-joining does not clear it (the admission gate consults the
+    registry on every join).  ``carried`` seeds convictions from
+    earlier runs — the cross-run persistence a campaign's
+    ``quarantined`` field models.
+
+    ``forgetful`` is the planted-bug switch (``amnesiac_blacklist``):
+    a forgetful registry erases the conviction when the convict
+    departs, so a convicted insider launders its identity by simply
+    re-joining.  Test-only.
+    """
+
+    def __init__(
+        self, carried: Iterable[int] = (), forgetful: bool = False
+    ):
+        self.carried: FrozenSet[int] = frozenset(int(v) for v in carried)
+        self.forgetful = bool(forgetful)
+        self._active = set(self.carried)
+        #: (kind, node, round, reason) — kind is carry/convict/forget
+        self.history: List[Tuple[str, int, int, str]] = [
+            ("carry", v, 0, "carried conviction") for v in sorted(self.carried)
+        ]
+        #: run-time convictions as (node, round, reason)
+        self.convictions: List[Tuple[int, int, str]] = []
+
+    def convict(self, node: int, round_index: int, reason: str) -> bool:
+        """Record a conviction; True when it is fresh."""
+        node = int(node)
+        if node in self._active:
+            return False
+        self._active.add(node)
+        self.convictions.append((node, int(round_index), reason))
+        self.history.append(("convict", node, int(round_index), reason))
+        return True
+
+    def on_leave(self, node: int, round_index: int) -> None:
+        """Told that ``node`` departed.  A correct registry ignores
+        this; the forgetful one erases the conviction (the bug)."""
+        if self.forgetful and node in self._active:
+            self._active.discard(node)
+            self.history.append(
+                ("forget", int(node), int(round_index),
+                 "forgetful registry dropped conviction on leave")
+            )
+
+    def is_quarantined(self, node: int) -> bool:
+        return node in self._active
+
+    @property
+    def active(self) -> FrozenSet[int]:
+        """Identities currently barred from the protocol."""
+        return frozenset(self._active)
+
+    @property
+    def convicted_ever(self) -> FrozenSet[int]:
+        """Every identity ever convicted (carried or run-time) —
+        what the persistence invariant quantifies over."""
+        return self.carried | frozenset(v for v, _, _ in self.convictions)
+
+    def history_json(self) -> List[dict]:
+        return [
+            {"kind": k, "node": v, "round": r, "reason": why}
+            for k, v, r, why in self.history
+        ]
+
+
+class AdmissionController:
+    """The authenticated join gate.
+
+    Checks run in a fixed order so every rejection carries its most
+    specific cause: signature (Sybil), freshness (replay), quarantine
+    (laundering), then the catch-up claim against the controller's own
+    observed membership timeline (forged entitlement).
+    """
+
+    def __init__(
+        self,
+        registry: QuarantineRegistry,
+        master: int = DEFAULT_AUTH_MASTER_KEY,
+    ):
+        self.registry = registry
+        self.master = master
+        self.log: List[AdmissionRecord] = []
+        self.counters: Dict[str, int] = {
+            "admitted": 0,
+            "rejected_sybil": 0,
+            "rejected_replay": 0,
+            "rejected_quarantined": 0,
+            "rejected_catchup_forged": 0,
+        }
+
+    def review(
+        self,
+        request: JoinRequest,
+        now: int,
+        expected_since: int,
+    ) -> AdmissionRecord:
+        """Judge one join request at round ``now``.
+
+        ``expected_since`` is the departure round the controller itself
+        observed for the claimed identity (:data:`NEVER_PRESENT` for a
+        first join) — the ground truth the catch-up claim is checked
+        against.
+        """
+        reason = "ok"
+        if not verify_auth_tag(
+            request.tag,
+            request.claimed_id,
+            ("j5", request.tag_round),
+            self.master,
+        ):
+            reason = "sybil"
+        elif request.tag_round != now:
+            reason = "replay"
+        elif self.registry.is_quarantined(request.claimed_id):
+            reason = "quarantined"
+        elif request.catch_up_since != expected_since:
+            reason = "catchup_forged"
+        record = AdmissionRecord(
+            round=int(now),
+            claimed_id=int(request.claimed_id),
+            admitted=(reason == "ok"),
+            reason=reason,
+        )
+        self.log.append(record)
+        if record.admitted:
+            self.counters["admitted"] += 1
+        else:
+            self.counters[f"rejected_{reason}"] += 1
+        return record
+
+    def log_json(self) -> List[dict]:
+        return [rec.to_json() for rec in self.log]

@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.analysis.complexity import theorem2_total_bound
 from repro.coding.packets import Packet, required_packet_bits
-from repro.dynamic.churn import ChurnSchedule, random_churn_schedule
+from repro.dynamic.churn import (
+    ADVERSARIAL_STRATEGIES,
+    AdversarialChurnSpec,
+    ChurnSchedule,
+    random_churn_schedule,
+)
 from repro.dynamic.continuous import DROP_POLICIES, ContinuousPolicy
 from repro.radio.network import RadioNetwork
 from repro.radio.rng import make_rng
@@ -45,8 +50,12 @@ from repro.resilience.schedule import STAGES, FaultSchedule
 #: fuzzer is expected to catch (used by tests, CI, and the R4 bench).
 #: ``leaky_churn`` plants a phantom-delivery bug in the churn layer
 #: (departed nodes keep receiving) for the no_phantom_delivery oracle's
-#: self-test.
-ABLATIONS = ("none", "no_repair", "leaky_churn")
+#: self-test.  ``amnesiac_blacklist`` makes the quarantine registry
+#: forget convictions when the convict leaves (and drops carried
+#: convictions in one-shot runs), so a convicted insider can launder
+#: its identity through a leave/re-join cycle — the no_blacklist_escape
+#: oracle's self-test.
+ABLATIONS = ("none", "no_repair", "leaky_churn", "amnesiac_blacklist")
 
 
 def build_topology_spec(spec: Dict[str, object]) -> RadioNetwork:
@@ -147,6 +156,12 @@ class IntensityProfile:
     churn_edge_flips: Tuple[int, int] = (0, 4)
     churn_rejoin_prob: float = 0.5
     churn_partition_prob: float = 0.15
+    # -- adversarial extensions (a THIRD seeded stream, so these knobs
+    # never perturb the fault-family or churn/traffic draws above) -----
+    p_adversarial_churn: float = 0.25
+    adv_churn_strategies: Tuple[str, ...] = ADVERSARIAL_STRATEGIES
+    p_carried_quarantine: float = 0.15
+    p_insider_rejoin: float = 0.35
     # -- continuous-traffic mode (same separate stream) ----------------
     p_continuous: float = 0.3
     traffic_rate: Tuple[float, float] = (0.002, 0.008)
@@ -176,6 +191,9 @@ PROFILES: Dict[str, IntensityProfile] = {
         churn_join_frac=(0.0, 0.05),
         churn_edge_flips=(0, 2),
         churn_partition_prob=0.0,
+        p_adversarial_churn=0.15,
+        p_carried_quarantine=0.1,
+        p_insider_rejoin=0.25,
         p_continuous=0.25,
     ),
     "medium": IntensityProfile(
@@ -206,6 +224,9 @@ PROFILES: Dict[str, IntensityProfile] = {
         churn_join_frac=(0.0, 0.15),
         churn_edge_flips=(0, 8),
         churn_partition_prob=0.3,
+        p_adversarial_churn=0.4,
+        p_carried_quarantine=0.2,
+        p_insider_rejoin=0.5,
         p_continuous=0.35,
     ),
 }
@@ -237,6 +258,8 @@ class ChaosCampaign:
     ablation: str = "none"
     churn: Optional[ChurnSchedule] = None
     traffic: Optional[Dict[str, object]] = None
+    quarantined: Tuple[int, ...] = ()
+    churn_adversarial: Optional[Dict[str, object]] = None
 
     def __post_init__(self):
         if self.ablation not in ABLATIONS:
@@ -246,10 +269,17 @@ class ChaosCampaign:
             )
         if self.byzantine_nodes and self.byzantine_mode is None:
             raise ValueError("byzantine nodes given without a mode")
-        if self.traffic is not None and self.byzantine_nodes:
+        if (self.traffic is not None and self.byzantine_nodes
+                and not self.authentication):
             raise ValueError(
-                "continuous-traffic campaigns cannot carry Byzantine "
-                "insiders (the continuous driver has no blacklist path)"
+                "continuous-traffic campaigns with Byzantine insiders "
+                "require authentication (the quarantine/admission path "
+                "needs verifiable identities to convict)"
+            )
+        if self.churn_adversarial is not None and self.churn is None:
+            raise ValueError(
+                "churn_adversarial spec given without the lowered "
+                "churn schedule it describes"
             )
 
     @property
@@ -283,6 +313,11 @@ class ChaosCampaign:
             "ablation": self.ablation,
             "churn": None if self.churn is None else self.churn.to_json(),
             "traffic": None if self.traffic is None else dict(self.traffic),
+            "quarantined": list(self.quarantined),
+            "churn_adversarial": (
+                None if self.churn_adversarial is None
+                else dict(self.churn_adversarial)
+            ),
         }
 
     @classmethod
@@ -316,6 +351,13 @@ class ChaosCampaign:
             traffic=(
                 None if traffic_data is None else dict(traffic_data)
             ),
+            quarantined=tuple(
+                int(v) for v in data.get("quarantined", ())
+            ),
+            churn_adversarial=(
+                None if data.get("churn_adversarial") is None
+                else dict(data["churn_adversarial"])
+            ),
         )
 
 
@@ -328,6 +370,25 @@ def _randint(rng, lo: int, hi: int) -> int:
     if hi <= lo:
         return int(lo)
     return int(rng.integers(lo, hi + 1))
+
+
+def _connected_without(network: RadioNetwork, victim: int) -> bool:
+    """True when the footprint minus ``victim`` is still one component
+    (so quarantining ``victim`` cannot honestly partition the run)."""
+    n = network.n
+    if n <= 2:
+        return False
+    start = 0 if victim != 0 else 1
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        u = frontier.pop()
+        for v in network.neighbors(u):
+            v = int(v)
+            if v != victim and v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return len(seen) == n - 1
 
 
 def _draw_nodes(rng, eligible: Sequence[int], count: int) -> List[int]:
@@ -469,18 +530,19 @@ def sample_campaign(
         profile.p_continuous > 0
         and churn_rng.random() < profile.p_continuous
     )
+    # every node the fault schedule or adversary already commits to
+    # must stay a member for the whole run, so churn never invalidates
+    # the schedule (validate's churn cross-checks hold by construction)
+    pinned = {leader_guess, *byz_nodes}
+    for e in schedule.events:
+        if e.node >= 0:
+            pinned.add(e.node)
+        if e.edge is not None:
+            pinned.update(e.edge)
+    for w in schedule.jam_windows:
+        pinned.update(w.nodes)
+    churn_horizon = horizon
     if profile.p_churn > 0 and churn_rng.random() < profile.p_churn:
-        # every node the fault schedule or adversary already commits to
-        # must stay a member for the whole run, so churn never invalidates
-        # the schedule (validate's churn cross-checks hold by construction)
-        pinned = {leader_guess, *byz_nodes}
-        for e in schedule.events:
-            if e.node >= 0:
-                pinned.add(e.node)
-            if e.edge is not None:
-                pinned.update(e.edge)
-        for w in schedule.jam_windows:
-            pinned.update(w.nodes)
         churn_horizon = (
             _randint(churn_rng, *profile.continuous_rounds)
             if continuous else horizon
@@ -498,6 +560,88 @@ def sample_campaign(
         )
         if drawn.events or drawn.initially_absent:
             churn = drawn
+
+    # -- adversarial extensions (a THIRD seeded stream: campaigns
+    # sampled before the adversarial layer existed keep their exact
+    # fault and churn/traffic bytes) -----------------------------------
+    adv_rng = make_rng(np.random.SeedSequence([0xC4A07, int(seed)]))
+    churn_adversarial: Optional[Dict[str, object]] = None
+    quarantined: Tuple[int, ...] = ()
+
+    # (a) worst-case churn: replace the random schedule with one lowered
+    # from a serializable budget-constrained spec (the spec rides on the
+    # campaign so the adversarial_budget_respected oracle can re-lower
+    # it and demand a byte-identical schedule)
+    if (churn is not None
+            and profile.p_adversarial_churn > 0
+            and adv_rng.random() < profile.p_adversarial_churn):
+        strategy = str(profile.adv_churn_strategies[
+            _randint(adv_rng, 0, len(profile.adv_churn_strategies) - 1)
+        ])
+        spec = AdversarialChurnSpec(
+            strategy=strategy,
+            horizon=max(4, churn_horizon),
+            seed=int(seed),
+            exclude=tuple(sorted(pinned)),
+        )
+        lowered = spec.build(network)
+        if lowered.events or lowered.initially_absent:
+            churn = lowered
+            churn_adversarial = spec.to_json()
+
+    # (b) insider re-join laundering probe: one insider leaves and
+    # re-joins mid-run, exercising the persistent-quarantine admission
+    # path.  Skipped when (a) fired, so the replayed spec stays
+    # byte-identical to the lowered schedule.
+    if (continuous and byz_nodes and churn_adversarial is None
+            and profile.p_insider_rejoin > 0
+            and adv_rng.random() < profile.p_insider_rejoin):
+        touched = set()
+        for e in schedule.events:
+            if e.node >= 0:
+                touched.add(e.node)
+            if e.edge is not None:
+                touched.update(e.edge)
+        for w in schedule.jam_windows:
+            touched.update(w.nodes)
+        candidates = [v for v in byz_nodes if v not in touched]
+        if candidates:
+            insider = candidates[
+                _randint(adv_rng, 0, len(candidates) - 1)
+            ]
+            if churn is None:
+                churn = ChurnSchedule()
+            leave_at = _randint(
+                adv_rng, 1, max(2, profile.continuous_rounds[0] // 2)
+            )
+            churn.leave(insider, at_round=leave_at)
+            churn.join(
+                insider, at_round=leave_at + _randint(adv_rng, 50, 400)
+            )
+
+    # (c) carried quarantine: one identity convicted in an earlier run
+    # enters already blacklisted.  Candidates must leave the footprint
+    # connected (quarantine is not allowed to honestly partition an
+    # expect_delivery run) and must not be the sole target of a jam
+    # window (validate rejects windows that can never take effect).
+    if (profile.p_carried_quarantine > 0
+            and adv_rng.random() < profile.p_carried_quarantine):
+        solo_jammed = {
+            next(iter(w.nodes)) for w in schedule.jam_windows
+            if len(w.nodes) == 1
+        }
+        candidates = [
+            v for v in range(n)
+            if v != leader_guess
+            and v not in byz_nodes
+            and v not in solo_jammed
+            and _connected_without(network, v)
+        ]
+        if candidates:
+            quarantined = (candidates[
+                _randint(adv_rng, 0, len(candidates) - 1)
+            ],)
+
     if continuous:
         traffic = {
             "process": {
@@ -519,10 +663,6 @@ def sample_campaign(
                 slo_rounds=_randint(churn_rng, *profile.slo_rounds),
             ).to_json(),
         }
-        # the continuous driver has no Byzantine blacklist machinery;
-        # crashes/jams/corruption still apply through the fault stack
-        byz_nodes = []
-        byz_mode = None
 
     campaign = ChaosCampaign(
         topology=dict(topology),
@@ -541,10 +681,13 @@ def sample_campaign(
         ablation=ablation,
         churn=churn,
         traffic=traffic,
+        quarantined=quarantined,
+        churn_adversarial=churn_adversarial,
     )
     # the sampler's contract: what it emits is always valid
     campaign.schedule.validate(
-        n, byzantine=campaign.byzantine_nodes, churn=campaign.churn
+        n, byzantine=campaign.byzantine_nodes, churn=campaign.churn,
+        quarantined=campaign.quarantined,
     )
     return campaign
 

@@ -34,7 +34,16 @@ degradation:
   surviving in-flight set matches the books;
 - ``slo_accounting`` — the continuous accounting identity and the
   SLO/latency histogram recompute exactly from the audit log (the
-  oracle rebuilds the books; it never trusts the counters).
+  oracle rebuilds the books; it never trusts the counters);
+- ``no_blacklist_escape`` — a conviction is forever: carried and
+  run-time convictions survive to the end of the run, the quarantine
+  registry never forgets one (the ``amnesiac_blacklist`` ablation
+  plants exactly this bug for the oracle's self-test), no convicted
+  identity re-enters a delivery path, and no convicted identity is
+  re-admitted at the join gate;
+- ``adversarial_budget_respected`` — an adversarial churn schedule
+  re-lowers byte-identically from the spec riding on the campaign and
+  stays within its declared event/absence/edge budget.
 
 **liveness** — hold only inside the supervisor's recovery envelope, so
 they are gated on the campaign's ``expect_delivery`` flag and on the
@@ -81,6 +90,8 @@ ORACLES: Dict[str, str] = {
     "no_phantom_delivery": "safety",
     "queue_bound": "safety",
     "slo_accounting": "safety",
+    "no_blacklist_escape": "safety",
+    "adversarial_budget_respected": "safety",
     "delivery": "liveness",
     "round_bound": "liveness",
     "joiner_catchup": "liveness",
@@ -147,7 +158,8 @@ def _no_result(name: str) -> OracleVerdict:
 # ----------------------------------------------------------------------
 
 def check_no_mis_decode(execution) -> OracleVerdict:
-    r = execution.result
+    r = execution.result if execution.result is not None \
+        else execution.continuous
     if r is None:
         return _no_result("no_mis_decode")
     if r.mis_decodes:
@@ -160,7 +172,8 @@ def check_no_mis_decode(execution) -> OracleVerdict:
 
 
 def check_no_mis_attribution(execution) -> OracleVerdict:
-    r = execution.result
+    r = execution.result if execution.result is not None \
+        else execution.continuous
     if r is None:
         return _no_result("no_mis_attribution")
     if r.mis_attributions:
@@ -621,9 +634,12 @@ def check_queue_bound(execution) -> OracleVerdict:
                 )
             sizes[ev.node] -= 1
             del loc[ev.pid]
-        elif kind in ("dropped_queue", "dropped_handoff"):
-            # an eviction (drop_oldest) removes a queued packet; a
-            # refused newcomer (drop_newest) was never admitted
+        elif kind in ("dropped_queue", "dropped_handoff",
+                      "dropped_quarantine"):
+            # an eviction (drop_oldest), a conviction purge, or a
+            # refused newcomer — only the first two remove a packet
+            # that was actually queued ("drop_quarantine" discards an
+            # item already removed by its dispatch, so it is ignored)
             if loc.get(ev.pid) == ev.node:
                 sizes[ev.node] -= 1
                 del loc[ev.pid]
@@ -680,6 +696,10 @@ def check_slo_accounting(execution) -> OracleVerdict:
             + counts.get("drop_handoff", 0)
         ),
         "dropped_retry": counts.get("drop_retry", 0),
+        "dropped_quarantine": (
+            counts.get("dropped_quarantine", 0)
+            + counts.get("drop_quarantine", 0)
+        ),
         "rejected": counts.get("reject", 0),
         "in_flight": c.in_flight,
     }
@@ -729,6 +749,143 @@ def check_slo_accounting(execution) -> OracleVerdict:
     )
 
 
+def check_no_blacklist_escape(execution) -> OracleVerdict:
+    """A conviction is forever.  One-shot: every carried conviction is
+    still on the final blacklist.  Continuous: the registry never
+    forgot a conviction, every convicted identity (carried or run-time)
+    survives to the final quarantine set, no convicted identity touches
+    a delivery path after its conviction round, and the join gate never
+    re-admits one.  The ``amnesiac_blacklist`` ablation plants exactly
+    the forget-on-leave bug this oracle exists to catch."""
+    campaign = execution.campaign
+    carried = set(campaign.quarantined)
+    c = execution.continuous
+    if c is None:
+        r = execution.result
+        if r is None or not carried:
+            return _skip(
+                "no_blacklist_escape",
+                "no carried convictions in this one-shot campaign",
+            )
+        escaped = sorted(carried - set(r.blacklisted))
+        if escaped:
+            return _fail(
+                "no_blacklist_escape",
+                f"carried conviction(s) {escaped} missing from the "
+                f"final blacklist {sorted(r.blacklisted)}",
+            )
+        return _ok(
+            "no_blacklist_escape",
+            f"{len(carried)} carried conviction(s) persisted",
+        )
+
+    convicted_at: Dict[int, int] = {}
+    for v in carried:
+        convicted_at[int(v)] = -1  # barred before round 0
+    for v, rnd, _why in c.convictions:
+        convicted_at.setdefault(int(v), int(rnd))
+    if not convicted_at:
+        return _skip(
+            "no_blacklist_escape",
+            "nothing carried or convicted in this run",
+        )
+    forgets = [
+        h for h in c.quarantine_history if h.get("kind") == "forget"
+    ]
+    if forgets:
+        sample = forgets[0]
+        return _fail(
+            "no_blacklist_escape",
+            f"quarantine registry forgot {len(forgets)} conviction(s) "
+            f"(first: node {sample.get('node')} at round "
+            f"{sample.get('round')}) — convictions must survive "
+            f"leave/re-join",
+        )
+    final = set(c.quarantine_final) | set(c.quarantined_carried)
+    escaped = sorted(set(convicted_at) - final)
+    if escaped:
+        return _fail(
+            "no_blacklist_escape",
+            f"convicted identit(ies) {escaped} absent from the final "
+            f"quarantine set {sorted(final)}",
+        )
+    relapses = [
+        (ev.round, ev.node, ev.kind)
+        for ev in c.audit_log
+        if ev.kind in ("enqueue", "dispatch", "deliver", "handoff")
+        and ev.node in convicted_at
+        and ev.round > convicted_at[ev.node]
+    ]
+    if relapses:
+        rnd, node, kind = relapses[0]
+        return _fail(
+            "no_blacklist_escape",
+            f"{len(relapses)} delivery-path event(s) for convicted "
+            f"identities after conviction (first: {kind} at node "
+            f"{node}, round {rnd})",
+        )
+    readmitted = [
+        rec for rec in c.admission_log
+        if rec.get("admitted")
+        and rec.get("claimed_id") in convicted_at
+        and rec.get("round", 0) > convicted_at[rec["claimed_id"]]
+    ]
+    if readmitted:
+        rec = readmitted[0]
+        return _fail(
+            "no_blacklist_escape",
+            f"join gate re-admitted convicted identity "
+            f"{rec['claimed_id']} at round {rec['round']}",
+        )
+    return _ok(
+        "no_blacklist_escape",
+        f"{len(convicted_at)} conviction(s) persisted; no forgets, "
+        f"no post-conviction delivery-path activity, no re-admission",
+    )
+
+
+def check_adversarial_budget_respected(execution) -> OracleVerdict:
+    """An adversarial churn schedule must re-lower byte-identically
+    from the spec riding on the campaign, and must respect the spec's
+    declared budget (event count, concurrent absences, concurrent
+    severed edges) — an adversary that overspends its budget voids the
+    experiment, not the protocol."""
+    from repro.dynamic.churn import AdversarialChurnSpec
+
+    campaign = execution.campaign
+    if campaign.churn_adversarial is None:
+        return _skip(
+            "adversarial_budget_respected",
+            "campaign has no adversarial churn spec",
+        )
+    spec = AdversarialChurnSpec.from_json(dict(campaign.churn_adversarial))
+    if campaign.churn is None:
+        return _fail(
+            "adversarial_budget_respected",
+            "adversarial spec present but no lowered churn schedule",
+        )
+    relowered = spec.build(execution.base_network)
+    if relowered.to_json() != campaign.churn.to_json():
+        return _fail(
+            "adversarial_budget_respected",
+            f"re-lowering the spec ({spec.strategy!r}, seed "
+            f"{spec.seed}) does not reproduce the campaign's churn "
+            f"schedule byte-for-byte",
+        )
+    n = execution.base_network.n
+    violations = spec.budget.violations(campaign.churn, n)
+    if violations:
+        return _fail(
+            "adversarial_budget_respected",
+            "; ".join(violations),
+        )
+    return _ok(
+        "adversarial_budget_respected",
+        f"{spec.strategy!r} schedule re-lowered identically; "
+        f"{len(campaign.churn.events)} event(s) within budget",
+    )
+
+
 def check_joiner_catchup(execution) -> OracleVerdict:
     """A joiner that stays must attach to the structure within the
     repair envelope (check cadence + one dispatch cycle + one repair
@@ -770,7 +927,9 @@ def check_joiner_catchup(execution) -> OracleVerdict:
     base = execution.base_network
     late, stuck = [], []
     for rec in c.joiners:
-        if rec.departed_again:
+        if rec.departed_again or rec.rejected:
+            # a joiner the admission gate turned away is barred by
+            # design; it owes no attach deadline
             continue
         if crashed.intersection(
             int(u) for u in base.neighbors(rec.node)
@@ -859,6 +1018,8 @@ def run_oracles(
         check_no_phantom_delivery(execution),
         check_queue_bound(execution),
         check_slo_accounting(execution),
+        check_no_blacklist_escape(execution),
+        check_adversarial_budget_respected(execution),
         check_delivery(execution),
         check_round_bound(execution, round_bound_factor),
         check_joiner_catchup(execution),

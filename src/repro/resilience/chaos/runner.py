@@ -225,6 +225,10 @@ def execute_campaign(
         )
     result: Optional[SupervisedResult] = None
     continuous: Optional[ContinuousResult] = None
+    # the amnesiac_blacklist ablation plants the forget-on-leave bug:
+    # one-shot runs drop their carried convictions entirely, continuous
+    # runs arm the forgetful registry (no_blacklist_escape's self-test)
+    amnesiac = campaign.ablation == "amnesiac_blacklist"
     if campaign.mode == "continuous":
         traffic = campaign.traffic
         process = build_arrival_process(
@@ -240,6 +244,8 @@ def execute_campaign(
                 collection_estimate_factor=0.25, mspg_enabled=False,
             ),
             seed=campaign.seed,
+            quarantined=campaign.quarantined,
+            forgetful_quarantine=amnesiac,
         )
         continuous = driver.run(int(traffic["rounds"]))
     else:
@@ -248,6 +254,7 @@ def execute_campaign(
             params=params,
             policy=policy if policy is not None else make_policy(campaign),
             seed=campaign.seed,
+            initial_blacklist=() if amnesiac else campaign.quarantined,
         ).run(packets)
     return TrialExecution(
         campaign=campaign,

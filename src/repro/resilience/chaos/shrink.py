@@ -12,7 +12,8 @@ reduces the campaign to a *locally minimal* set of **fault atoms**:
   rate, jam budget),
 - one per churn event and per initially-absent node, plus one for the
   whole continuous-traffic spec (dropping it turns the campaign back
-  into a one-shot trial).
+  into a one-shot trial),
+- one per carried quarantine conviction.
 
 The algorithm is Zeller-style ddmin (partition the atom set, try each
 chunk and each complement, refine granularity on failure to progress)
@@ -40,7 +41,8 @@ from repro.resilience.chaos.oracles import violated
 from repro.resilience.chaos.runner import evaluate_campaign, make_policy
 
 #: An atom is ("event", index) | ("jam", index) | ("byz", node) |
-#: ("knob", name) | ("churn", index) | ("absent", node).
+#: ("knob", name) | ("churn", index) | ("absent", node) |
+#: ("quar", node).
 Atom = Tuple[str, object]
 
 
@@ -67,6 +69,7 @@ def campaign_atoms(campaign: ChaosCampaign) -> List[Atom]:
             ("absent", v)
             for v in sorted(campaign.churn.initially_absent)
         ]
+    atoms += [("quar", v) for v in campaign.quarantined]
     if campaign.traffic is not None:
         atoms.append(("knob", "traffic"))
     return atoms
@@ -105,6 +108,16 @@ def rebuild_campaign(
         )
         if not churn.events and not churn.initially_absent:
             churn = None
+    # the adversarial spec only describes the *full* lowered schedule;
+    # once any churn atom is dropped the spec no longer matches, so it
+    # is dropped with it (the budget oracle would otherwise rightly
+    # flag the divergence)
+    churn_adversarial = None
+    if (campaign.churn_adversarial is not None
+            and churn is not None
+            and len(churn.events) == len(campaign.churn.events)
+            and churn.initially_absent == campaign.churn.initially_absent):
+        churn_adversarial = dict(campaign.churn_adversarial)
     traffic = (
         dict(campaign.traffic)
         if campaign.traffic is not None
@@ -129,12 +142,17 @@ def rebuild_campaign(
         ),
         churn=churn,
         traffic=traffic,
+        quarantined=tuple(
+            v for v in campaign.quarantined if ("quar", v) in kept_set
+        ),
+        churn_adversarial=churn_adversarial,
     )
     n = build_topology_spec(reduced.topology).n
     if reduced.churn is not None:
         reduced.churn.validate(n)
     reduced.schedule.validate(
-        n, byzantine=reduced.byzantine_nodes, churn=reduced.churn
+        n, byzantine=reduced.byzantine_nodes, churn=reduced.churn,
+        quarantined=reduced.quarantined,
     )
     return reduced
 

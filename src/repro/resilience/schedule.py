@@ -258,7 +258,7 @@ class FaultSchedule:
         ]
 
     def validate(self, n: int, byzantine: Iterable[int] = (),
-                 churn=None) -> None:
+                 churn=None, quarantined: Iterable[int] = ()) -> None:
         """Raise on out-of-range nodes and on internally inconsistent
         timelines.
 
@@ -266,6 +266,16 @@ class FaultSchedule:
         this schedule; a node that both equivocates and crashes is
         rejected (a crashed node cannot transmit, let alone lie),
         mirroring the jam/crash overlap checks below.
+
+        ``quarantined`` lists identities carrying convictions from an
+        earlier run (the campaign's persistent blacklist).  They must
+        be in range and must leave at least one unquarantined node, and
+        a jam window aimed *only* at quarantined nodes is rejected —
+        quarantined nodes never transmit protocol traffic, so the
+        window could never take effect.  A quarantined node that is
+        also Byzantine is legal (an insider convicted last run is still
+        an insider); the runtime bars it from every delivery path
+        regardless.
 
         ``churn`` is an optional
         :class:`repro.dynamic.churn.ChurnSchedule` applied beneath this
@@ -337,6 +347,27 @@ class FaultSchedule:
                 f"crashes in this schedule; a crashed node cannot "
                 f"equivocate — drop it from one of the two fault sets"
             )
+
+        quar = frozenset(int(v) for v in quarantined)
+        for v in sorted(quar):
+            if not 0 <= v < n:
+                raise ValueError(
+                    f"carried quarantine references node {v}, but n={n}"
+                )
+        if quar and len(quar) >= n:
+            raise ValueError(
+                "carried quarantine covers every node; nothing is left "
+                "to run the protocol"
+            )
+        if quar:
+            for w in self.jam_windows:
+                if w.nodes and frozenset(w.nodes) <= quar:
+                    raise ValueError(
+                        f"jam window [{w.start}, {w.stop}) targets only "
+                        f"quarantined nodes {sorted(w.nodes)}; they "
+                        f"never carry protocol traffic, so the window "
+                        f"can never take effect"
+                    )
 
         for i, w1 in enumerate(self.jam_windows):
             for w2 in self.jam_windows[i + 1:]:

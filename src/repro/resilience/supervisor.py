@@ -323,6 +323,12 @@ class SupervisedBroadcast:
         The set is synced with the run's integrity configuration so the
         insiders know exactly what a protocol participant would know.
         ``None`` keeps the run bit-identical to the plain engine.
+    initial_blacklist:
+        Identities convicted before this run (carried quarantine).
+        They are excluded from elections, repair routing, and the
+        honest audience from the first round, their packets are
+        reported lost with cause, and — being prior convictions — they
+        never count toward ``mis_attributions``.
     """
 
     def __init__(
@@ -337,6 +343,7 @@ class SupervisedBroadcast:
         node_ids: Optional[Sequence[int]] = None,
         adversary=None,
         byzantine=None,
+        initial_blacklist: Sequence[int] = (),
     ):
         if isinstance(network, DynamicFaultNetwork):
             if (schedule is not None or adversary is not None
@@ -364,6 +371,13 @@ class SupervisedBroadcast:
         self.rng = make_rng(seed)
         self.depth_bound = depth_bound or self.net.diameter
         self.node_ids = node_ids
+        self.initial_blacklist = frozenset(
+            int(v) for v in initial_blacklist
+        )
+        if any(not 0 <= v < self.net.n for v in self.initial_blacklist):
+            raise ValueError(
+                "initial_blacklist references nodes outside the network"
+            )
         self.trace = RoundTrace() if keep_trace else None
         if self.trace is not None and self.net.trace is None:
             self.net.trace = self.trace
@@ -414,7 +428,7 @@ class SupervisedBroadcast:
 
         byz = self.byz
         auth = params.authentication
-        blacklist: Set[int] = set()
+        blacklist: Set[int] = set(self.initial_blacklist)
         suspects: Set[int] = set()
         suspicion: Dict[int, int] = {}
         byz_rx_discarded_total = 0
@@ -435,6 +449,12 @@ class SupervisedBroadcast:
 
         def certified_id(v: int) -> int:
             return self.node_ids[v] if self.node_ids is not None else v
+
+        if self.initial_blacklist:
+            note(
+                f"blacklist: carried convictions "
+                f"{sorted(self.initial_blacklist)} (persistent quarantine)"
+            )
 
         def interior_path(parent, origin: int) -> Optional[List[int]]:
             """Interior relays on origin's parent chain to the current
@@ -966,7 +986,10 @@ class SupervisedBroadcast:
             and not all_lost
         )
         byz_nodes = byz.nodes if byz is not None else frozenset()
-        mis_attributions = sum(1 for v in blacklist if v not in byz_nodes)
+        mis_attributions = sum(
+            1 for v in blacklist
+            if v not in byz_nodes and v not in self.initial_blacklist
+        )
         retries = sum(1 for a in attempts if a.attempt > 0)
         for clock, kind, target in net.events_applied:
             timeline.append((clock, f"fault: {kind} {target}"))

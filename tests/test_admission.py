@@ -1,0 +1,141 @@
+"""Authenticated join admission and the persistent quarantine registry:
+credential verification order, the three insider join attacks, and the
+identity-persistence invariant (convictions survive leave/re-join)."""
+
+import pytest
+
+from repro.resilience.admission import (
+    ADMISSION_REASONS,
+    JOIN_ATTACKS,
+    NEVER_PRESENT,
+    AdmissionController,
+    AdmissionRecord,
+    JoinRequest,
+    QuarantineRegistry,
+    insider_join_attack,
+    join_admission_tag,
+)
+
+
+class TestJoinCredential:
+    def test_tag_is_deterministic(self):
+        assert join_admission_tag(3, 120) == join_admission_tag(3, 120)
+
+    def test_tag_binds_identity_and_round(self):
+        assert join_admission_tag(3, 120) != join_admission_tag(4, 120)
+        assert join_admission_tag(3, 120) != join_admission_tag(3, 121)
+
+    def test_attack_assignment_is_deterministic(self):
+        for node in range(12):
+            assert insider_join_attack(node) == JOIN_ATTACKS[node % 3]
+
+
+class TestAdmissionController:
+    def _gate(self, carried=(), forgetful=False):
+        return AdmissionController(
+            QuarantineRegistry(carried, forgetful=forgetful)
+        )
+
+    def test_honest_join_admitted(self):
+        gate = self._gate()
+        rec = gate.review(JoinRequest.honest(5, 100), now=100,
+                          expected_since=NEVER_PRESENT)
+        assert rec.admitted and rec.reason == "ok"
+        assert gate.counters["admitted"] == 1
+
+    def test_sybil_rejected_on_signature(self):
+        gate = self._gate()
+        req = JoinRequest.forged(5, 100, "sybil")
+        assert req.claimed_id != 5  # claims an identity it does not hold
+        rec = gate.review(req, now=100, expected_since=NEVER_PRESENT)
+        assert not rec.admitted and rec.reason == "sybil"
+
+    def test_replay_rejected_on_freshness(self):
+        gate = self._gate()
+        req = JoinRequest.forged(5, 100, "replay")
+        rec = gate.review(req, now=100, expected_since=NEVER_PRESENT)
+        assert not rec.admitted and rec.reason == "replay"
+        assert gate.counters["rejected_replay"] == 1
+
+    def test_catchup_forgery_rejected_against_observed_timeline(self):
+        gate = self._gate()
+        req = JoinRequest.forged(5, 100, "catchup_forge")
+        # the controller knows node 5 was never present before
+        rec = gate.review(req, now=100, expected_since=NEVER_PRESENT)
+        assert not rec.admitted and rec.reason == "catchup_forged"
+
+    def test_quarantined_identity_rejected_even_with_valid_credential(self):
+        gate = self._gate(carried=(5,))
+        rec = gate.review(JoinRequest.honest(5, 100), now=100,
+                          expected_since=40)
+        assert not rec.admitted and rec.reason == "quarantined"
+
+    def test_check_order_signature_before_quarantine(self):
+        # a quarantined identity presenting a stale tag is reported as
+        # the most specific failure first (replay, not quarantined)
+        gate = self._gate(carried=(5,))
+        rec = gate.review(JoinRequest.forged(5, 100, "replay"),
+                          now=100, expected_since=40)
+        assert rec.reason == "replay"
+
+    def test_every_reason_is_catalogued(self):
+        gate = self._gate(carried=(8,))
+        gate.review(JoinRequest.honest(1, 10), 10, NEVER_PRESENT)
+        gate.review(JoinRequest.forged(2, 10, "sybil"), 10, NEVER_PRESENT)
+        gate.review(JoinRequest.forged(2, 10, "replay"), 10, NEVER_PRESENT)
+        gate.review(JoinRequest.forged(2, 10, "catchup_forge"), 10,
+                    NEVER_PRESENT)
+        gate.review(JoinRequest.honest(8, 10), 10, NEVER_PRESENT)
+        seen = {rec.reason for rec in gate.log}
+        assert seen == set(ADMISSION_REASONS)
+
+    def test_log_json_round_trips(self):
+        gate = self._gate()
+        gate.review(JoinRequest.honest(5, 100), 100, NEVER_PRESENT)
+        (entry,) = gate.log_json()
+        assert AdmissionRecord.from_json(entry) == gate.log[0]
+
+    def test_unknown_attack_rejected(self):
+        with pytest.raises(ValueError, match="unknown join attack"):
+            JoinRequest.forged(5, 100, "bribery")
+
+
+class TestQuarantineRegistry:
+    def test_conviction_is_fresh_only_once(self):
+        reg = QuarantineRegistry()
+        assert reg.convict(3, 50, "poisoned row")
+        assert not reg.convict(3, 60, "again")
+        assert reg.is_quarantined(3)
+        assert reg.convictions == [(3, 50, "poisoned row")]
+
+    def test_carried_convictions_seed_the_registry(self):
+        reg = QuarantineRegistry(carried=(2, 7))
+        assert reg.is_quarantined(2) and reg.is_quarantined(7)
+        assert not reg.convict(7, 10, "already carried")
+        assert reg.convicted_ever == frozenset({2, 7})
+        kinds = [h["kind"] for h in reg.history_json()]
+        assert kinds == ["carry", "carry"]
+
+    def test_conviction_survives_leave_and_rejoin(self):
+        """The identity-persistence invariant: leaving does not launder
+        a convicted identity."""
+        reg = QuarantineRegistry()
+        reg.convict(3, 50, "forged leadership claim")
+        reg.on_leave(3, 80)
+        assert reg.is_quarantined(3)  # still barred after departing
+        assert "forget" not in {k for k, _, _, _ in reg.history}
+
+    def test_forgetful_registry_is_the_planted_bug(self):
+        reg = QuarantineRegistry(forgetful=True)
+        reg.convict(3, 50, "poisoned row")
+        reg.on_leave(3, 80)
+        assert not reg.is_quarantined(3)  # the laundering hole
+        assert reg.convicted_ever == frozenset({3})  # history remembers
+        forgets = [h for h in reg.history_json() if h["kind"] == "forget"]
+        assert len(forgets) == 1
+        assert forgets[0]["node"] == 3 and forgets[0]["round"] == 80
+
+    def test_forgetful_leave_of_unconvicted_node_is_silent(self):
+        reg = QuarantineRegistry(forgetful=True)
+        reg.on_leave(9, 10)
+        assert reg.history == []

@@ -1,0 +1,160 @@
+"""Property tests for the adversarial churn scheduler: exact JSON
+round-trips, deterministic lowering, budget compliance of every built
+schedule, and the membership guarantees each strategy makes."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dynamic import ChurnSchedule
+from repro.dynamic.churn import (
+    ADVERSARIAL_STRATEGIES,
+    AdversarialChurnSpec,
+    ChurnBudget,
+    adversarial_churn_schedule,
+)
+from repro.topology.generators import grid, line, random_geometric
+
+
+def specs():
+    return st.builds(
+        AdversarialChurnSpec,
+        strategy=st.sampled_from(ADVERSARIAL_STRATEGIES),
+        horizon=st.integers(4, 6000),
+        budget=st.builds(
+            ChurnBudget,
+            max_events=st.integers(0, 32),
+            max_absent_frac=st.floats(0.0, 1.0, allow_nan=False),
+            max_severed_edges=st.integers(0, 12),
+        ),
+        seed=st.integers(0, 2**31 - 1),
+        repair_window=st.integers(1, 256),
+        start_round=st.integers(1, 64),
+        exclude=st.lists(st.integers(0, 15), max_size=6).map(tuple),
+    )
+
+
+def networks():
+    return st.one_of(
+        st.just(grid(4, 4)),
+        st.just(line(9)),
+        st.builds(random_geometric, st.just(20),
+                  seed=st.integers(0, 7)),
+    )
+
+
+class TestSpecSerialization:
+    @given(specs())
+    @settings(max_examples=80, deadline=None)
+    def test_json_round_trip_is_exact(self, spec):
+        wire = json.loads(json.dumps(spec.to_json()))
+        clone = AdversarialChurnSpec.from_json(wire)
+        assert clone == spec
+        assert clone.to_json() == spec.to_json()
+
+    @given(specs())
+    @settings(max_examples=40, deadline=None)
+    def test_exclude_is_normalized(self, spec):
+        assert list(spec.exclude) == sorted(set(spec.exclude))
+
+
+class TestDeterministicLowering:
+    @given(specs(), networks())
+    @settings(max_examples=60, deadline=None)
+    def test_same_spec_same_schedule(self, spec, network):
+        assert (spec.build(network).to_json()
+                == spec.build(network).to_json())
+
+    @given(specs(), networks())
+    @settings(max_examples=60, deadline=None)
+    def test_built_schedule_validates_and_respects_budget(
+        self, spec, network
+    ):
+        schedule = spec.build(network)
+        schedule.validate(network.n)
+        assert spec.budget.violations(schedule, network.n) == []
+
+    @given(specs(), networks())
+    @settings(max_examples=60, deadline=None)
+    def test_membership_strategies_respect_exclude(self, spec, network):
+        schedule = spec.build(network)
+        touched = {
+            e.node for e in schedule.events
+            if e.kind in ("join", "leave")
+        } | set(schedule.initially_absent)
+        assert not touched & set(spec.exclude)
+
+    @given(st.integers(4, 4000), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_strategies_never_change_membership(self, horizon, seed):
+        network = grid(4, 4)
+        for strategy in ("cut_edges", "partition_sync"):
+            spec = AdversarialChurnSpec(
+                strategy=strategy, horizon=horizon, seed=seed,
+            )
+            schedule = spec.build(network)
+            assert not schedule.changes_membership
+
+
+class TestBudgetEnforcement:
+    def test_event_overrun_flagged(self):
+        budget = ChurnBudget(max_events=1)
+        schedule = (ChurnSchedule()
+                    .leave(3, at_round=10)
+                    .join(3, at_round=20))
+        (problem,) = budget.violations(schedule, 16)
+        assert "max_events=1" in problem
+
+    def test_absent_cap_flagged(self):
+        budget = ChurnBudget(max_absent_frac=0.1)  # cap = 1 node of 16
+        schedule = (ChurnSchedule()
+                    .leave(3, at_round=10)
+                    .leave(4, at_round=11))
+        assert any("absent cap" in p
+                   for p in budget.violations(schedule, 16))
+
+    def test_severed_edge_cap_flagged(self):
+        budget = ChurnBudget(max_severed_edges=1)
+        schedule = (ChurnSchedule()
+                    .edge_down((0, 1), at_round=5)
+                    .edge_down((1, 2), at_round=6))
+        assert any("severed" in p
+                   for p in budget.violations(schedule, 16))
+
+    def test_healed_edges_free_the_budget(self):
+        budget = ChurnBudget(max_severed_edges=1, max_events=8)
+        schedule = (ChurnSchedule()
+                    .edge_down((0, 1), at_round=5)
+                    .edge_up((0, 1), at_round=6)
+                    .edge_down((1, 2), at_round=7))
+        assert budget.violations(schedule, 16) == []
+
+
+class TestConstruction:
+    def test_convenience_builder_is_consistent(self):
+        network = grid(4, 4)
+        spec, schedule = adversarial_churn_schedule(
+            network, 2000, strategy="leader_target", seed=3,
+            exclude=(0, 5),
+        )
+        assert schedule.to_json() == spec.build(network).to_json()
+        assert spec.exclude == (0, 5)
+
+    def test_leader_target_produces_paired_leaves(self):
+        network = grid(4, 4)
+        _, schedule = adversarial_churn_schedule(
+            network, 4000, strategy="leader_target",
+        )
+        kinds = [e.kind for e in schedule.sorted_events()]
+        assert kinds.count("leave") == kinds.count("join") > 0
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown adversarial"):
+            AdversarialChurnSpec(strategy="bribe_the_referee",
+                                 horizon=100)
+
+    def test_degenerate_horizon_rejected(self):
+        with pytest.raises(ValueError, match="horizon"):
+            AdversarialChurnSpec(strategy="leader_target", horizon=3)

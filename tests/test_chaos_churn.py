@@ -103,12 +103,34 @@ class TestSamplerChurnWiring:
             assert clone.to_json() == c.to_json()
 
     def test_continuous_rejects_byzantine(self):
+        # byzantine + continuous is only defined with authentication on
+        # (PR-8); without keys the combination is still rejected
         with pytest.raises(ValueError, match="continuous"):
             ChaosCampaign(
                 topology=GRID, workload={**UNIFORM, "seed": 0}, seed=0,
                 byzantine_nodes=(3,), byzantine_mode="equivocate",
                 traffic={"process": {"kind": "poisson", "rate": 0.01},
                          "rounds": 100, "policy": {}},
+            )
+
+    def test_sampler_eventually_draws_byzantine_continuous(self):
+        c = _find(lambda cc: cc.traffic is not None
+                  and cc.byzantine_nodes != (), limit=80)
+        assert c.mode == "continuous"
+
+    def test_sampler_eventually_draws_adversarial_churn(self):
+        c = _find(lambda cc: cc.churn_adversarial is not None, limit=80)
+        assert c.churn is not None
+        clone = ChaosCampaign.from_json(
+            json.loads(json.dumps(c.to_json()))
+        )
+        assert clone.churn_adversarial == c.churn_adversarial
+
+    def test_adversarial_spec_without_churn_rejected(self):
+        with pytest.raises(ValueError, match="churn_adversarial"):
+            ChaosCampaign(
+                topology=GRID, workload={**UNIFORM, "seed": 0}, seed=0,
+                churn_adversarial={"strategy": "leader_target"},
             )
 
 
@@ -273,3 +295,73 @@ class TestChurnArtifacts:
         assert clone.to_json() == c.to_json()
         again = run_fuzz_trial(CampaignConfig(), seed)
         assert again == trial
+
+
+class TestAmnesiacBlacklist:
+    """The PR-8 planted bug: a quarantine registry that forgets
+    convictions when the convict departs.  Only the
+    no_blacklist_escape oracle may notice."""
+
+    def _buggy_campaign(self):
+        churn = (ChurnSchedule()
+                 .leave(1, at_round=200)
+                 .join(1, at_round=900))
+        return ChaosCampaign(
+            topology=GRID, workload={**UNIFORM, "seed": 3}, seed=3,
+            churn=churn, quarantined=(1,),
+            ablation="amnesiac_blacklist",
+        )
+
+    def test_quarantine_atom_enumerated(self):
+        atoms = campaign_atoms(self._buggy_campaign())
+        assert ("quar", 1) in atoms
+        reduced = rebuild_campaign(
+            self._buggy_campaign(),
+            [a for a in atoms if a[0] != "quar"],
+        )
+        assert reduced.quarantined == ()
+
+    def test_planted_bug_caught_and_clean_twin_passes(self):
+        buggy = self._buggy_campaign()
+        _, verdicts = evaluate_campaign(buggy, policy=make_policy(buggy))
+        assert "no_blacklist_escape" in {
+            v.name for v in violated(verdicts)
+        }
+        clean = dataclasses.replace(buggy, ablation="none")
+        _, verdicts = evaluate_campaign(clean, policy=make_policy(clean))
+        assert "no_blacklist_escape" not in {
+            v.name for v in violated(verdicts)
+        }
+
+    def test_shrinks_to_the_single_quarantine_atom(self):
+        result = shrink_campaign(
+            self._buggy_campaign(), ["no_blacklist_escape"]
+        )
+        assert result.converged
+        assert result.atoms_after == 1
+        assert result.shrunk.quarantined == (1,)
+        assert result.shrunk.churn is None
+
+    def test_continuous_forgetting_is_caught_too(self):
+        """Under traffic the same ablation leaks through the live
+        registry (a 'forget' history entry), not just the final
+        blacklist."""
+        churn = (ChurnSchedule()
+                 .leave(1, at_round=400)
+                 .join(1, at_round=1200))
+        buggy = ChaosCampaign(
+            topology=GRID, workload={**UNIFORM, "seed": 3}, seed=3,
+            churn=churn, quarantined=(1,),
+            traffic={"process": {"kind": "poisson", "rate": 0.003},
+                     "rounds": 2000, "policy": {}},
+            ablation="amnesiac_blacklist",
+        )
+        execution, verdicts = evaluate_campaign(
+            buggy, policy=make_policy(buggy)
+        )
+        assert execution.continuous is not None
+        assert any(h["kind"] == "forget"
+                   for h in execution.continuous.quarantine_history)
+        assert "no_blacklist_escape" in {
+            v.name for v in violated(verdicts)
+        }

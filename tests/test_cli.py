@@ -126,6 +126,51 @@ class TestContinuous:
         main(argv)
         assert capsys.readouterr().out == first
 
+    def test_slo_breach_exits_nonzero(self, capsys):
+        rc = main(["continuous", "--topology", "grid", "--rows", "3",
+                   "--cols", "3", "--rate", "0.003", "--rounds", "1500",
+                   "--seed", "1", "--slo-rounds", "1"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAIL" in captured.err and "SLO" in captured.err
+
+    def test_slo_tolerance_restores_success(self, capsys):
+        args = ["continuous", "--topology", "grid", "--rows", "3",
+                "--cols", "3", "--rate", "0.003", "--rounds", "1500",
+                "--seed", "1", "--slo-rounds", "1"]
+        assert main(args) == 1
+        assert main(args + ["--max-slo-violations", "1000"]) == 0
+        capsys.readouterr()
+
+    def test_byzantine_adversarial_churn_run(self, capsys):
+        import json
+
+        rc = main(["continuous", "--topology", "grid", "--rows", "4",
+                   "--cols", "4", "--rate", "0.003", "--rounds", "3000",
+                   "--seed", "7", "--byzantine-frac", "0.1",
+                   "--adversarial-churn", "leader_target",
+                   "--churn-seed", "2", "--json"])
+        summary = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert summary["byzantine_nodes"] == [6]
+        assert summary["mis_decodes"] == 0
+        assert summary["mis_attributions"] == 0
+        assert summary["accounting_exact"] is True
+        assert summary["convictions"]  # the insider was caught
+        adv = summary["adversarial_churn"]
+        assert adv["strategy"] == "leader_target"
+        assert adv["exclude"] == [6]  # insiders pinned out of churn
+
+    def test_byzantine_adversarial_deterministic(self, capsys):
+        argv = ["continuous", "--topology", "grid", "--rows", "4",
+                "--cols", "4", "--rate", "0.003", "--rounds", "2000",
+                "--seed", "7", "--byzantine-frac", "0.1",
+                "--adversarial-churn", "partition_sync", "--json"]
+        main(argv)
+        first = capsys.readouterr().out
+        main(argv)
+        assert capsys.readouterr().out == first
+
 
 class TestChaos:
     def test_chaos_success_exit_code(self, capsys):
@@ -250,6 +295,32 @@ class TestChaosFuzz:
             assert rc == 0, which  # deterministic replay
             assert report["deterministic"] is True
             assert "delivery" in report["violations"]
+
+    def test_amnesiac_blacklist_caught_shrunk_and_replayable(
+        self, capsys, tmp_path
+    ):
+        """PR-8 planted bug: the forgetful quarantine registry must be
+        caught by no_blacklist_escape, shrink to one atom, and replay
+        bit-for-bit."""
+        import json
+
+        rc = main(["chaos", "fuzz", "--trials", "1", "--seed", "0",
+                   "--ablation", "amnesiac_blacklist",
+                   "--artifact-dir", str(tmp_path), "--json"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        summary = json.loads(out)
+        assert summary["violating_trials"] == 1
+        assert summary["shrunk_atom_sizes"] == [1]
+        (artifact,) = summary["artifacts"]
+
+        for which in ("original", "shrunk"):
+            rc = main(["chaos", "replay", artifact, "--which", which,
+                       "--json"])
+            report = json.loads(capsys.readouterr().out)
+            assert rc == 0, which
+            assert report["deterministic"] is True
+            assert "no_blacklist_escape" in report["violations"]
 
     def test_fuzz_table_mode(self, capsys, tmp_path):
         rc = main(["chaos", "fuzz", "--trials", "2", "--seed", "0",

@@ -1,0 +1,144 @@
+"""Byzantine insiders under continuous traffic and churn: run-time
+conviction, the join/leave/re-join identity-persistence invariant,
+laundering via the forgetful (planted-bug) registry, and insider join
+attacks at the admission gate."""
+
+from repro.coding.packets import required_packet_bits
+from repro.core.config import AlgorithmParameters
+from repro.dynamic import (
+    ChurnNetwork,
+    ChurnSchedule,
+    ContinuousBroadcast,
+    PoissonProcess,
+)
+from repro.resilience.byzantine import ByzantineSet
+from repro.resilience.network import DynamicFaultNetwork
+from repro.resilience.schedule import FaultSchedule
+from repro.topology import grid
+
+N = 16
+PARAMS = AlgorithmParameters().with_overrides(
+    collection_estimate_factor=0.25, mspg_enabled=False,
+    authentication=True,
+)
+
+
+def _process(seed=2, rate=0.003):
+    # arrival processes are stateful iterators: always hand each run
+    # its own instance
+    return PoissonProcess(
+        rate=rate, size_bits=required_packet_bits(N), seed=seed
+    )
+
+
+def _insider_net(byz_nodes, mode="row_poison", churn=None, seed=2):
+    net = grid(4, 4)
+    if churn is not None:
+        net = ChurnNetwork(net, churn)
+    return DynamicFaultNetwork(
+        net, schedule=FaultSchedule(), seed=seed,
+        byzantine=ByzantineSet(byz_nodes, mode, authentication=True),
+    )
+
+
+class TestInsiderConviction:
+    def test_row_poisoner_convicted_without_misattribution(self):
+        result = ContinuousBroadcast(
+            _insider_net([3]), _process(), params=PARAMS, seed=1,
+        ).run(2500)
+        assert result.convictions  # the insider was caught...
+        assert {v for v, _, _ in result.convictions} == {3}  # ...and only it
+        assert result.mis_attributions == 0
+        assert result.mis_decodes == 0
+        assert 3 in result.quarantine_final
+        assert result.accounting_exact
+
+    def test_insider_traffic_is_purged_not_leaked(self):
+        result = ContinuousBroadcast(
+            _insider_net([3]), _process(seed=5), params=PARAMS, seed=1,
+        ).run(2500)
+        # the accounting identity absorbs the purge: nothing vanishes
+        a = result.accounting()
+        assert a["arrivals"] == (
+            a["delivered"] + a["dropped_queue"] + a["dropped_handoff"]
+            + a["dropped_retry"] + a["dropped_quarantine"]
+            + a["rejected"] + a["in_flight"]
+        )
+
+
+class TestIdentityPersistence:
+    CHURN = ChurnSchedule().leave(5, at_round=500).join(5, at_round=1500)
+
+    def test_carried_conviction_survives_leave_and_rejoin(self):
+        """Satellite invariant: quarantine binds to the identity, so a
+        convicted node that departs and re-joins stays barred."""
+        result = ContinuousBroadcast(
+            ChurnNetwork(grid(4, 4), self.CHURN), _process(),
+            params=PARAMS, seed=3, quarantined=(5,),
+        ).run(2500)
+        assert result.quarantined_carried == [5]
+        assert result.quarantine_final == [5]  # still barred at the end
+        assert result.admission_counters["rejected_quarantined"] == 1
+        assert result.admission_counters["admitted"] == 0
+        (rec,) = result.admission_log
+        assert rec["claimed_id"] == 5 and rec["reason"] == "quarantined"
+        # a correct registry never forgets
+        assert all(h["kind"] != "forget"
+                   for h in result.quarantine_history)
+        assert result.accounting_exact
+
+    def test_forgetful_registry_launders_the_identity(self):
+        """The amnesiac_blacklist planted bug, observed directly: the
+        forgetful registry erases the conviction on leave and the gate
+        waves the convict back in."""
+        result = ContinuousBroadcast(
+            ChurnNetwork(grid(4, 4), self.CHURN), _process(),
+            params=PARAMS, seed=3, quarantined=(5,),
+            forgetful_quarantine=True,
+        ).run(2500)
+        assert result.quarantine_final == []  # conviction gone
+        assert result.admission_counters["admitted"] == 1
+        forgets = [h for h in result.quarantine_history
+                   if h["kind"] == "forget"]
+        assert len(forgets) == 1 and forgets[0]["node"] == 5
+
+    def test_honest_rejoiner_is_admitted(self):
+        result = ContinuousBroadcast(
+            ChurnNetwork(grid(4, 4), self.CHURN), _process(),
+            params=PARAMS, seed=3,
+        ).run(2500)
+        assert result.admission_counters["admitted"] == 1
+        assert result.quarantine_final == []
+
+
+class TestInsiderJoinAttacks:
+    def test_sybil_rejoin_rejected_and_convicted(self):
+        # node 6 % 3 == 0 -> its deterministic join attack is sybil
+        churn = (ChurnSchedule()
+                 .leave(6, at_round=500)
+                 .join(6, at_round=1500))
+        result = ContinuousBroadcast(
+            _insider_net([6], churn=churn), _process(),
+            params=PARAMS, seed=3,
+        ).run(2500)
+        assert result.admission_counters["rejected_sybil"] == 1
+        (rec,) = result.admission_log
+        assert rec["claimed_id"] == 7  # the identity it tried to steal
+        assert ((6, "join admission: sybil")
+                in [(v, why) for v, _, why in result.convictions])
+        assert 6 in result.quarantine_final
+        assert result.mis_attributions == 0
+        assert result.accounting_exact
+
+    def test_replay_rejoin_rejected_and_convicted(self):
+        # node 7 % 3 == 1 -> replay attack
+        churn = (ChurnSchedule()
+                 .leave(7, at_round=500)
+                 .join(7, at_round=1500))
+        result = ContinuousBroadcast(
+            _insider_net([7], churn=churn), _process(),
+            params=PARAMS, seed=3,
+        ).run(2500)
+        assert result.admission_counters["rejected_replay"] == 1
+        assert 7 in result.quarantine_final
+        assert result.accounting_exact
