@@ -1,0 +1,135 @@
+"""R8 — service under overload: admission control and load shedding.
+
+R5 made one campaign survive crashes; R8 measures the long-running
+service (``repro serve``, :mod:`repro.service`) that runs *everyone's*
+jobs, driven past its saturation point.  An in-process daemon with a
+fixed worker pool serves deterministic noop jobs of known duration
+(nominal capacity = workers / service time) while a paced client offers
+load at 0.5x, 1x, 2x, and 4x that capacity.
+
+Measured per load point, all on the same daemon configuration:
+
+  - **zero lost jobs** — the accounting identity
+    ``submitted == completed + failed + quarantined + shed + in_queue +
+    in_flight`` must hold exactly at every sample;
+  - **bounded queue** — the backlog must never exceed ``max_queue``,
+    because overload is converted into journaled ``shed`` decisions
+    (reason ``queue_full``) instead of unbounded memory growth;
+  - **no latency cliff** — completed jobs' p99 queueing+service latency
+    must stay below the worst honest backlog drain time
+    (``max_queue`` x service time / workers, plus slack): past the
+    knee, latency saturates at the queue bound while shedding absorbs
+    the excess, rather than growing with offered load.
+"""
+
+import time
+
+from _common import emit_table
+from repro.service import JobSpec, ServiceConfig, ServiceDaemon
+
+WORKERS = 2
+SERVICE_TIME = 0.1          # seconds per noop job
+MAX_QUEUE = 32
+DURATION = 2.0              # seconds of paced offered load per point
+MULTIPLES = (0.5, 1.0, 2.0, 4.0)
+CAPACITY = WORKERS / SERVICE_TIME   # nominal jobs/sec
+
+
+def _drive_point(root, multiple):
+    """Offer ``multiple`` x nominal capacity for DURATION, then drain."""
+    rate = multiple * CAPACITY
+    config = ServiceConfig(
+        workers=WORKERS, max_queue=MAX_QUEUE, queue_policy="reject",
+        heartbeat_grace=30.0,
+    )
+    daemon = ServiceDaemon(root, config)
+    daemon.start()
+    offered = int(rate * DURATION)
+    identity_held = True
+    try:
+        start = time.monotonic()
+        for i in range(offered):
+            due = start + i / rate
+            while time.monotonic() < due:
+                daemon.tick(timeout=min(0.002, SERVICE_TIME / 10))
+            daemon.submit(JobSpec(
+                id=f"load-{i:04d}", kind="noop", seed=i,
+                params={"sleep_s": SERVICE_TIME},
+            ))
+            identity_held &= daemon.snapshot()["accounting_exact"]
+        deadline = time.monotonic() + 60.0
+        while not daemon.quiescent and time.monotonic() < deadline:
+            daemon.tick(timeout=0.01)
+        snapshot = daemon.snapshot()
+        snapshot["offered"] = offered
+        snapshot["identity_held"] = (
+            identity_held and snapshot["accounting_exact"]
+        )
+        return snapshot
+    finally:
+        daemon.close()
+
+
+def run_experiment(tmp_dir):
+    return [
+        _drive_point(tmp_dir / f"load-{multiple}", multiple)
+        for multiple in MULTIPLES
+    ]
+
+
+def test_r8_service_load(benchmark, tmp_path):
+    points = benchmark.pedantic(
+        run_experiment, args=(tmp_path,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for multiple, p in zip(MULTIPLES, points):
+        rows.append([
+            f"{multiple:.1f}x", p["offered"], p["completed"], p["shed"],
+            p["max_queue_seen"], f"{p['latency_p50']:.2f}",
+            f"{p['latency_p99']:.2f}",
+            "yes" if p["identity_held"] else "NO",
+        ])
+    emit_table(
+        "r8_service_load",
+        ["offered load", "jobs", "completed", "shed", "max queue",
+         "p50 s", "p99 s", "identity exact"],
+        rows,
+        title="R8: service under overload "
+              f"(workers={WORKERS}, service time={SERVICE_TIME}s, "
+              f"nominal capacity={CAPACITY:.0f}/s, "
+              f"max_queue={MAX_QUEUE}, policy=reject)",
+        notes="Offered load is paced live against the wall clock for "
+              f"{DURATION:.0f}s per point; each point then drains to "
+              "quiescence.  Past the knee (>1x) the bounded queue + "
+              "shedding convert overload into journaled shed events: "
+              "the p99 latency saturates at the backlog drain bound "
+              "instead of growing with offered load, and the "
+              "accounting identity stays exact at every sample.",
+    )
+
+    # -- acceptance: zero lost jobs at every sample of every point -----
+    for multiple, p in zip(MULTIPLES, points):
+        assert p["identity_held"], f"identity broken at {multiple}x"
+        assert p["failed"] == 0 and p["quarantined"] == 0
+        assert p["completed"] + p["shed"] == p["offered"], (
+            f"{multiple}x: jobs unaccounted after drain"
+        )
+
+    # -- acceptance: the queue stays bounded even at 4x ----------------
+    for p in points:
+        assert p["max_queue_seen"] <= MAX_QUEUE
+
+    # -- acceptance: shedding engages past the knee, not before --------
+    assert points[0]["shed"] == 0, "shed at 0.5x offered load"
+    assert points[-1]["shed"] > 0, "no shedding at 4x offered load"
+    assert points[-1]["completed"] > 0, "service collapsed at 4x"
+
+    # -- acceptance: no latency cliff — p99 saturates at the backlog
+    #    drain bound instead of tracking offered load ------------------
+    drain_bound = MAX_QUEUE * SERVICE_TIME / WORKERS + SERVICE_TIME
+    for multiple, p in zip(MULTIPLES, points):
+        assert p["latency_p99"] <= 2.0 * drain_bound, (
+            f"{multiple}x: p99 {p['latency_p99']:.2f}s breaches the "
+            f"drain bound {drain_bound:.2f}s"
+        )

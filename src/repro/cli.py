@@ -20,6 +20,13 @@ Three subcommands:
     ``kill -9`` — with a byte-identical final manifest, ``status``
     inspects a checkpoint directory.  ``run --inject-worker-faults``
     chaos-tests the orchestrator itself.
+``serve`` / ``submit`` / ``jobs``
+    The long-running service mode: ``serve`` runs a daemon that drains
+    a durable spool of submitted jobs onto a persistent supervised
+    worker pool with admission control and load shedding (SIGTERM
+    drains and exits 143; ``kill -9`` loses nothing), ``submit``
+    spools jobs (idempotent by id), ``jobs`` inspects the service
+    directory.  ``serve --self-test`` chaos-tests the service itself.
 
 Examples
 --------
@@ -36,6 +43,9 @@ Examples
     python -m repro campaign run --dir sweep --trials 200 --profile medium
     python -m repro campaign resume sweep
     python -m repro campaign status sweep --json
+    python -m repro serve --dir jobs-dir --workers 4
+    python -m repro submit --dir jobs-dir --kind simulation --seed 7
+    python -m repro jobs jobs-dir --json
 """
 
 from __future__ import annotations
@@ -325,10 +335,41 @@ def _shrink_and_bundle(config, report, stream, no_shrink: bool):
     return shrink_sizes
 
 
+class _SignalInterrupt(KeyboardInterrupt):
+    """KeyboardInterrupt that remembers which signal raised it.
+
+    Subclassing KeyboardInterrupt routes SIGTERM through the exact
+    flush-and-checkpoint path SIGINT already takes (the orchestrator
+    catches KeyboardInterrupt); ``signum`` survives into
+    ``CampaignInterrupted`` so the exit code is ``128 + signum`` for
+    both — 130 for SIGINT, 143 for SIGTERM.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__()
+        self.signum = signum
+
+
+def _install_sigterm_handler() -> None:
+    """Make SIGTERM drain like SIGINT instead of killing mid-write."""
+    import signal as _signal
+
+    def _raise(signum, frame):
+        raise _SignalInterrupt(signum)
+
+    try:
+        _signal.signal(_signal.SIGTERM, _raise)
+    except ValueError:  # pragma: no cover - non-main thread (embedding)
+        pass
+
+
 def _interrupted_exit(exc) -> int:
-    """SIGINT path: report what was preserved, exit 130 (128 + SIGINT)."""
+    """Signal path: report what was preserved, exit ``128 + signum``."""
+    import signal as _signal
+
     from repro.experiments.orchestrator import CampaignInterrupted
 
+    signum = int(getattr(exc, "signum", _signal.SIGINT))
     if isinstance(exc, CampaignInterrupted):
         done = len(exc.outcome.results)
         if exc.checkpoint_dir is not None:
@@ -347,7 +388,7 @@ def _interrupted_exit(exc) -> int:
             )
     else:
         print("interrupted", file=sys.stderr)
-    return 130
+    return 128 + signum
 
 
 def _emit_fuzz_summary(
@@ -385,6 +426,7 @@ def cmd_chaos_fuzz(args: argparse.Namespace) -> int:
     from repro.experiments.orchestrator import CampaignInterrupted
     from repro.resilience.chaos import ArtifactStream, run_campaign
 
+    _install_sigterm_handler()
     config = _campaign_config_from_args(args)
     stream = ArtifactStream(config, Path(args.artifact_dir))
     try:
@@ -467,6 +509,7 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     from repro.experiments.orchestrator import CampaignInterrupted
     from repro.resilience.chaos import ArtifactStream, run_campaign
 
+    _install_sigterm_handler()
     config = _campaign_config_from_args(args)
     checkpoint_dir = Path(args.dir)
     artifact_dir = (
@@ -515,6 +558,7 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         resume_campaign,
     )
 
+    _install_sigterm_handler()
     checkpoint_dir = Path(args.dir)
     config = CampaignConfig.from_json(
         campaign_header(checkpoint_dir).spec["config"]
@@ -554,6 +598,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     import json
 
     from repro.experiments.orchestrator import campaign_status
+    from repro.experiments.report import render_status_summary
 
     status = campaign_status(args.dir)
     if args.fz_json:
@@ -562,11 +607,14 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
         rows = [
             [key, value if isinstance(value, (int, float)) else str(value)]
             for key, value in status.items()
-            if key != "spec"
+            if key not in ("spec", "quarantine_details", "retries",
+                           "quarantined_seeds")
         ]
-        print(render_table(
-            ["metric", "value"], rows,
-            title=f"Campaign status: {args.dir}",
+        print(render_status_summary(
+            f"Campaign status: {args.dir}",
+            rows,
+            quarantine=status["quarantine_details"],
+            retries=status["retries"],
         ))
     return 0 if status["complete"] else 3
 
@@ -577,6 +625,156 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "resume":
         return cmd_campaign_resume(args)
     return cmd_campaign_status(args)
+
+
+def _parse_job_params(pairs: List[str]) -> dict:
+    """``key=value`` pairs; values parse as JSON when they can."""
+    import json
+
+    params = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            raise SystemExit(
+                f"repro submit: --param expects key=value, got {pair!r}"
+            )
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import signal as _signal
+    import tempfile
+
+    from repro.service import ServiceConfig, ServiceDaemon, run_selftest
+
+    if args.self_test:
+        base = args.dir or tempfile.mkdtemp(prefix="repro-serve-selftest-")
+        result = run_selftest(
+            base,
+            log=lambda line: print(line, file=sys.stderr),
+        )
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["ok"] else 1
+    if not args.dir:
+        print("repro serve: --dir is required", file=sys.stderr)
+        return 2
+
+    inject = None
+    if args.inject_worker_faults:
+        from repro.experiments.orchestrator import FaultInjection
+
+        inject = FaultInjection(
+            seed=args.inject_seed,
+            kill_prob=args.inject_kill_prob,
+            hang_prob=args.inject_hang_prob,
+            poison_frac=args.inject_poison_frac,
+            hang_seconds=args.inject_hang_seconds,
+        )
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        queue_policy=args.queue_policy,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        max_attempts=args.max_attempts,
+        task_timeout=args.task_timeout,
+        drain_grace=args.drain_grace,
+        idle_exit=args.idle_exit,
+        inject=inject,
+    )
+    daemon = ServiceDaemon(args.dir, config)
+
+    def _drain(signum, frame):
+        daemon.request_drain(signum)
+
+    try:
+        _signal.signal(_signal.SIGTERM, _drain)
+        _signal.signal(_signal.SIGINT, _drain)
+    except ValueError:  # pragma: no cover - non-main thread (embedding)
+        pass
+
+    signum = daemon.run()
+    snapshot = daemon.snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [key, value if isinstance(value, (int, float)) else str(value)]
+            for key, value in sorted(snapshot.items())
+        ]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"Service drained: {args.dir}"
+                  if signum else f"Service idle-exit: {args.dir}",
+        ))
+    return 128 + signum if signum else 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.service import JobSpec, derive_job_id, submit_to_spool
+
+    specs: List[JobSpec] = []
+    if args.file:
+        data = json.loads(Path(args.file).read_text())
+        for entry in data if isinstance(data, list) else [data]:
+            specs.append(JobSpec.from_json(entry))
+    else:
+        params = _parse_job_params(args.param)
+        for i in range(args.count):
+            seed = args.seed + i
+            job_id = (
+                args.id if args.id and args.count == 1
+                else (f"{args.id}-{i:04d}" if args.id
+                      else derive_job_id(args.kind, args.tenant, seed,
+                                         params))
+            )
+            specs.append(JobSpec(
+                id=job_id, kind=args.kind, tenant=args.tenant,
+                priority=args.priority, seed=seed, params=params,
+            ))
+    paths = [submit_to_spool(args.dir, spec) for spec in specs]
+    if args.json:
+        print(json.dumps(
+            {"submitted": [s.id for s in specs],
+             "spool": [str(p) for p in paths]},
+            indent=2, sort_keys=True,
+        ))
+    else:
+        for spec in specs:
+            print(f"spooled {spec.id} ({spec.kind}, tenant={spec.tenant})")
+    return 0
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.experiments.report import render_status_summary
+    from repro.service import service_status
+
+    status = service_status(args.dir)
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [key, value if isinstance(value, (int, float)) else str(value)]
+            for key, value in status.items()
+            if key not in ("quarantine_details", "retries")
+        ]
+        print(render_status_summary(
+            f"Service jobs: {args.dir}",
+            rows,
+            quarantine=status["quarantine_details"],
+            retries=status["retries"],
+        ))
+    return 0 if status["complete"] else 3
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -1174,6 +1372,97 @@ def main(argv: Optional[List[str]] = None) -> int:
     cont.add_argument("--json", action="store_true",
                       help="emit the summary as JSON")
     cont.set_defaults(func=cmd_continuous)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running job service: durable queue, supervised "
+             "workers, admission control, load shedding, drain on "
+             "SIGTERM (survives kill -9)",
+    )
+    serve.add_argument("--dir", default=None,
+                       help="service directory (journal.jsonl, "
+                            "manifest.json, spool/, results/)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="persistent worker processes")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="bounded dispatch queue depth")
+    serve.add_argument("--queue-policy", default="reject",
+                       choices=["reject", "drop_oldest"],
+                       help="what to do when the queue is full: shed "
+                            "the new job, or evict the lowest-priority "
+                            "oldest one")
+    serve.add_argument("--tenant-rate", type=float, default=None,
+                       help="per-tenant admission rate in jobs/sec "
+                            "(token bucket; default: unlimited)")
+    serve.add_argument("--tenant-burst", type=float, default=8.0,
+                       help="per-tenant token-bucket burst size")
+    serve.add_argument("--max-attempts", type=int, default=4,
+                       help="attempts per job before it is failed")
+    serve.add_argument("--task-timeout", type=float, default=None,
+                       help="per-job wall-clock limit in seconds")
+    serve.add_argument("--drain-grace", type=float, default=30.0,
+                       help="max seconds to wait for in-flight jobs "
+                            "on drain (overdue jobs re-queue on the "
+                            "next start)")
+    serve.add_argument("--idle-exit", action="store_true",
+                       help="exit 0 once spool, queue, and workers are "
+                            "all empty (batch mode; default: run "
+                            "forever)")
+    serve.add_argument("--self-test", action="store_true",
+                       help="run the service chaos self-test (worker "
+                            "kills, daemon kill -9, torn journal tail, "
+                            "duplicate replay) and exit")
+    serve.add_argument("--inject-worker-faults", action="store_true",
+                       help="self-test: randomly SIGKILL/hang/poison "
+                            "this service's own workers")
+    serve.add_argument("--inject-kill-prob", type=float, default=0.3)
+    serve.add_argument("--inject-hang-prob", type=float, default=0.0)
+    serve.add_argument("--inject-poison-frac", type=float, default=0.0)
+    serve.add_argument("--inject-seed", type=int, default=0)
+    serve.add_argument("--inject-hang-seconds", type=float, default=30.0)
+    serve.add_argument("--json", action="store_true",
+                       help="emit the final snapshot as JSON")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="spool a job for a running (or future) 'repro serve' "
+             "daemon; idempotent by job id",
+    )
+    submit.add_argument("--dir", required=True,
+                        help="service directory (the daemon's --dir)")
+    submit.add_argument("--file", default=None,
+                        help="JSON file holding one job spec or a list "
+                             "of them (overrides the flag-built spec)")
+    submit.add_argument("--id", default=None,
+                        help="job id / idempotency key (default: "
+                             "derived from kind+tenant+seed+params)")
+    submit.add_argument("--kind", default="noop",
+                        choices=["noop", "simulation", "chaos",
+                                 "continuous"])
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=1,
+                        help="dispatch priority; in degraded mode the "
+                             "lowest priorities are shed first")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--count", type=int, default=1,
+                        help="submit N jobs with seeds seed..seed+N-1")
+    submit.add_argument("--param", action="append", default=[],
+                        help="kind-specific parameter as key=value "
+                             "(value parsed as JSON when possible); "
+                             "repeatable")
+    submit.add_argument("--json", action="store_true")
+    submit.set_defaults(func=cmd_submit)
+
+    jobs = sub.add_parser(
+        "jobs",
+        help="inspect a service directory: counters, accounting "
+             "identity, quarantines, retries",
+    )
+    jobs.add_argument("dir", help="service directory")
+    jobs.add_argument("--json", action="store_true",
+                      help="emit the status as JSON")
+    jobs.set_defaults(func=cmd_jobs)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -189,17 +189,22 @@ class CampaignError(RuntimeError):
 
 
 class CampaignInterrupted(RuntimeError):
-    """SIGINT (or similar) stopped the campaign after a clean flush.
+    """SIGINT/SIGTERM stopped the campaign after a clean flush.
 
     ``outcome`` holds everything completed so far; when the campaign
     was checkpointed, the journal on disk already contains the same
     trials and ``resume`` continues exactly where this left off.
+    ``signum`` records which signal caused the stop (SIGINT unless the
+    interrupting ``KeyboardInterrupt`` carried a ``signum`` attribute),
+    so front ends can exit ``128 + signum`` for both signals.
     """
 
     def __init__(self, outcome: "CampaignOutcome",
-                 checkpoint_dir: Optional[Path]) -> None:
+                 checkpoint_dir: Optional[Path],
+                 signum: int = signal.SIGINT) -> None:
         self.outcome = outcome
         self.checkpoint_dir = checkpoint_dir
+        self.signum = signum
         where = f" (checkpointed to {checkpoint_dir})" if checkpoint_dir else ""
         super().__init__(
             f"campaign interrupted after "
@@ -329,7 +334,29 @@ class Journal:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._truncate_torn_tail()
         self._fh = open(self.path, "a", encoding="utf-8")
+
+    def _truncate_torn_tail(self) -> None:
+        """Remove a torn (kill -9 mid-write) final line before appending.
+
+        ``read_events`` merely ignores a torn tail; without this, the
+        next ``append`` would glue onto the partial line and turn the
+        recoverable tear into permanent mid-file corruption.
+        """
+        try:
+            if os.path.getsize(self.path) == 0:
+                return
+        except OSError:
+            return
+        with open(self.path, "rb+") as fh:
+            data = fh.read()
+            if data.endswith(b"\n"):
+                return
+            fh.seek(data.rfind(b"\n") + 1)
+            fh.truncate()
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def append(self, event: dict) -> None:
         self._fh.write(json.dumps(event, sort_keys=True) + "\n")
@@ -500,6 +527,9 @@ def campaign_status(checkpoint_dir: Union[str, Path]) -> dict:
     header, results, quarantined, failures, complete = _read_journal_state(
         journal_path
     )
+    retries: Dict[int, int] = {}
+    for failure in failures:
+        retries[failure.seed] = retries.get(failure.seed, 0) + 1
     return {
         "checkpoint_dir": str(checkpoint_dir),
         "spec": header.spec,
@@ -508,7 +538,17 @@ def campaign_status(checkpoint_dir: Union[str, Path]) -> dict:
         "completed": len(results),
         "quarantined": len(quarantined),
         "quarantined_seeds": sorted(f.seed for f in quarantined),
+        "quarantine_details": [
+            {
+                "id": str(f.seed),
+                "signature": f.signature,
+                "kind": f.kind,
+                "attempts": f.attempt + 1,
+            }
+            for f in sorted(quarantined, key=lambda f: f.seed)
+        ],
         "failures": len(failures),
+        "retries": {str(seed): n for seed, n in sorted(retries.items())},
         "pending": header.trials - len(results) - len(quarantined),
         "complete": complete,
         "manifest": (checkpoint_dir / MANIFEST_NAME).exists(),
@@ -522,13 +562,18 @@ def campaign_status(checkpoint_dir: Union[str, Path]) -> dict:
 
 def _worker_main(
     worker_id: int,
-    trial_fn: Callable[[int], dict],
+    task_fn: Callable[[object], dict],
     task_r,
     result_w,
     heartbeat_interval: float,
     inject_json: Optional[dict],
 ) -> None:
     """Worker loop: one task at a time, results + heartbeats on a pipe.
+
+    Tasks arrive as ``("run", key, attempt, payload)``; the worker runs
+    ``task_fn(payload)`` and answers with the key, so the supervisor's
+    bookkeeping never depends on what the payload is (a trial seed for
+    campaigns, a job spec for the service daemon).
 
     SIGINT is ignored so Ctrl-C only stops the supervisor, which then
     shuts workers down in order.  A dead supervisor closes the task
@@ -559,32 +604,32 @@ def _worker_main(
             break
         if message[0] == "stop":
             break
-        _, seed, attempt = message
-        _send(("start", worker_id, seed, attempt))
+        _, key, attempt, payload = message
+        _send(("start", worker_id, key, attempt))
         if inject is not None:
-            if inject.should_kill(seed, attempt):
+            if inject.should_kill(key, attempt):
                 os.kill(os.getpid(), signal.SIGKILL)
-            if inject.should_hang(seed, attempt):
+            if inject.should_hang(key, attempt):
                 time.sleep(inject.hang_seconds)
-            if inject.is_poisoned(seed):
+            if inject.is_poisoned(key):
                 _send((
-                    "err", worker_id, seed,
-                    f"InjectedPoisonError: seed {seed} is poisoned",
-                    f"injected deterministic failure for seed {seed}",
+                    "err", worker_id, key,
+                    f"InjectedPoisonError: seed {key} is poisoned",
+                    f"injected deterministic failure for seed {key}",
                 ))
                 continue
         try:
-            result = trial_fn(seed)
+            result = task_fn(payload)
         except KeyboardInterrupt:
             break
         except BaseException as exc:
             _send((
-                "err", worker_id, seed,
+                "err", worker_id, key,
                 f"{type(exc).__name__}: {exc}",
                 traceback.format_exc(limit=20),
             ))
         else:
-            _send(("ok", worker_id, seed, result))
+            _send(("ok", worker_id, key, result))
 
 
 class _Worker:
@@ -595,7 +640,10 @@ class _Worker:
         self.proc = proc
         self.task_w = task_w
         self.result_r = result_r
-        self.current: Optional[Tuple[int, int, float]] = None
+        #: (key, attempt, started, timeout) while a task is in flight
+        self.current: Optional[Tuple[object, int, float, Optional[float]]] = (
+            None
+        )
         self.last_beat = time.monotonic()
 
 
@@ -761,25 +809,79 @@ def _run_serial(
             tracker.record_ok(seed, result)
 
 
-class _Supervisor:
-    """Worker-pool execution with heartbeat and timeout supervision."""
+@dataclass
+class PoolEvent:
+    """One supervision outcome surfaced by :meth:`WorkerPool.poll`.
+
+    ``kind`` is ``"ok"`` (task finished, ``result`` set), ``"failure"``
+    (task failed; ``failure_kind`` holds the ``KIND_*`` constant and
+    ``signature``/``error`` the identity and detail), or
+    ``"idle-death"`` (a worker died between tasks — no task was lost,
+    but callers may want to count it).
+    """
+
+    kind: str
+    key: object = None
+    attempt: int = 0
+    failure_kind: str = ""
+    signature: str = ""
+    error: str = ""
+    result: Optional[dict] = None
+
+
+class WorkerPool:
+    """Persistent supervised worker pool.
+
+    The reusable core of the campaign supervisor, also driven directly
+    by the long-running service daemon (:mod:`repro.service`): a fixed
+    number of worker processes that stay up across arbitrarily many
+    tasks, with heartbeat supervision, silent-death detection +
+    respawn, and per-task wall-clock timeouts.
+
+    The pool is policy-free: it never retries, quarantines, or journals
+    anything.  It only turns raw worker behavior (results, exceptions,
+    deaths, hangs, timeouts) into a stream of :class:`PoolEvent`\\ s;
+    the caller owns what happens next.
+
+    ``task_fn`` must be a picklable module-level callable of one
+    payload argument returning a JSON-able dict.
+    """
 
     def __init__(
         self,
-        trial_fn: Callable[[int], dict],
-        tracker: _Tracker,
+        task_fn: Callable[[object], dict],
         config: OrchestratorConfig,
         n_workers: int,
     ) -> None:
-        self.trial_fn = trial_fn
-        self.tracker = tracker
+        self.task_fn = task_fn
         self.config = config
+        self.n_workers = max(1, n_workers)
         self.ctx = multiprocessing.get_context()
         self.workers: Dict[int, _Worker] = {}
         self.next_wid = 0
-        self.n_workers = n_workers
+        self._pending: List[PoolEvent] = []
+        self._started = False
 
     # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for _ in range(self.n_workers):
+            self._spawn()
+
+    def shutdown(self) -> None:
+        for worker in list(self.workers.values()):
+            try:
+                worker.task_w.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for worker in list(self.workers.values()):
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            self._retire(worker, kill=True)
+        self._started = False
 
     def _spawn(self) -> None:
         wid = self.next_wid
@@ -790,7 +892,7 @@ class _Supervisor:
         proc = self.ctx.Process(
             target=_worker_main,
             args=(
-                wid, self.trial_fn, task_r, result_w,
+                wid, self.task_fn, task_r, result_w,
                 self.config.heartbeat_interval,
                 inject.to_json() if inject is not None else None,
             ),
@@ -816,59 +918,75 @@ class _Supervisor:
             pass
         worker.proc.join(timeout=5)
 
-    def _fail_inflight(self, worker: _Worker, kind: str,
-                       signature: str, error: str) -> None:
-        seed, attempt, _ = worker.current
-        worker.current = None
-        self.tracker.record_failure(seed, attempt, kind, signature, error)
+    # -- dispatch ----------------------------------------------------------
 
-    # -- main loop ---------------------------------------------------------
+    @property
+    def idle(self) -> int:
+        """Workers currently without a task."""
+        return sum(
+            1 for w in self.workers.values() if w.current is None
+        )
 
-    def run(self) -> None:
-        tracker = self.tracker
-        for _ in range(self.n_workers):
-            self._spawn()
-        try:
-            while not tracker.done():
-                now = time.monotonic()
-                tracker.promote_due_retries(now)
-                self._dispatch(now)
-                self._collect(now)
-                self._supervise()
-        finally:
-            self._shutdown()
+    @property
+    def busy(self) -> int:
+        """Workers currently running a task."""
+        return sum(
+            1 for w in self.workers.values() if w.current is not None
+        )
 
-    def _dispatch(self, now: float) -> None:
+    def dispatch(
+        self,
+        key: object,
+        payload: object,
+        attempt: int = 0,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        """Hand one task to an idle worker.
+
+        Returns False when no idle worker could take it (all busy, or
+        the only idle workers died between tasks — those deaths surface
+        as ``idle-death`` events on the next :meth:`poll` and fresh
+        workers are respawned).  ``timeout`` overrides the pool-wide
+        ``task_timeout`` for this task only.
+        """
         for worker in list(self.workers.values()):
-            if not self.tracker.ready:
-                break
             if worker.current is not None:
                 continue
-            seed = self.tracker.ready.popleft()
-            attempt = self.tracker.checkout(seed)
             try:
-                worker.task_w.send(("run", seed, attempt))
+                worker.task_w.send(("run", key, attempt, payload))
             except (BrokenPipeError, OSError):
-                # worker died between tasks: not the seed's fault
-                self.tracker.requeue(seed)
-                self._note_idle_death(worker)
+                # worker died between tasks: not the task's fault
+                self._pending.append(PoolEvent(kind="idle-death"))
+                self._retire(worker, kill=True)
+                self._spawn()
                 continue
-            worker.current = (seed, attempt, now)
+            now = time.monotonic()
+            worker.current = (key, attempt, now, timeout)
             worker.last_beat = now
+            return True
+        return False
 
-    def _note_idle_death(self, worker: _Worker) -> None:
-        self.tracker.outcome.worker_deaths += 1
-        self._retire(worker, kill=True)
-        self._spawn()
+    # -- event collection --------------------------------------------------
 
-    def _collect(self, now: float) -> None:
+    def poll(self, timeout: float = 0.0) -> List[PoolEvent]:
+        """Wait up to ``timeout`` for worker traffic and return events.
+
+        Also runs supervision: dead workers are detected and replaced,
+        hung or overtime tasks are failed (``KIND_HANG``/
+        ``KIND_TIMEOUT``) and their workers SIGKILLed and respawned.
+        """
+        self._collect(timeout)
+        self._supervise()
+        events, self._pending = self._pending, []
+        return events
+
+    def _collect(self, timeout: float) -> None:
         conns = {w.result_r: w for w in self.workers.values()}
         if not conns:
-            time.sleep(self.tracker.next_wait(now))
+            if timeout > 0:
+                time.sleep(timeout)
             return
-        ready = mp_connection.wait(
-            list(conns), timeout=self.tracker.next_wait(now)
-        )
+        ready = mp_connection.wait(list(conns), timeout=timeout)
         for conn in ready:
             worker = conns[conn]
             if worker.wid not in self.workers:
@@ -890,25 +1008,43 @@ class _Supervisor:
         if kind == "hb":
             return
         if kind == "start":
-            _, _, seed, attempt = message
-            if worker.current is not None and worker.current[0] == seed:
-                # restart the per-trial clock at actual pickup time
-                worker.current = (seed, worker.current[1], now)
+            _, _, key, attempt = message
+            if worker.current is not None and worker.current[0] == key:
+                # restart the per-task clock at actual pickup time
+                worker.current = (
+                    key, worker.current[1], now, worker.current[3],
+                )
             return
         if kind == "ok":
-            _, _, seed, result = message
-            worker.current = None
-            self.tracker.record_ok(seed, result)
-            return
-        if kind == "err":
-            _, _, seed, signature, error = message
+            _, _, key, result = message
             attempt = 0
-            if worker.current is not None and worker.current[0] == seed:
+            if worker.current is not None and worker.current[0] == key:
                 attempt = worker.current[1]
             worker.current = None
-            self.tracker.record_failure(
-                seed, attempt, KIND_EXCEPTION, signature, error
-            )
+            self._pending.append(PoolEvent(
+                kind="ok", key=key, attempt=attempt, result=result,
+            ))
+            return
+        if kind == "err":
+            _, _, key, signature, error = message
+            attempt = 0
+            if worker.current is not None and worker.current[0] == key:
+                attempt = worker.current[1]
+            worker.current = None
+            self._pending.append(PoolEvent(
+                kind="failure", key=key, attempt=attempt,
+                failure_kind=KIND_EXCEPTION,
+                signature=signature, error=error,
+            ))
+
+    def _fail_inflight(self, worker: _Worker, kind: str,
+                       signature: str, error: str) -> None:
+        key, attempt, _, _ = worker.current
+        worker.current = None
+        self._pending.append(PoolEvent(
+            kind="failure", key=key, attempt=attempt,
+            failure_kind=kind, signature=signature, error=error,
+        ))
 
     def _on_worker_death(self, worker: _Worker) -> None:
         if worker.current is not None:
@@ -919,10 +1055,9 @@ class _Supervisor:
                 f"(exitcode {exitcode})",
             )
         else:
-            self.tracker.outcome.worker_deaths += 1
+            self._pending.append(PoolEvent(kind="idle-death"))
         self._retire(worker, kill=True)
-        if not self.tracker.done():
-            self._spawn()
+        self._spawn()
 
     def _supervise(self) -> None:
         now = time.monotonic()
@@ -932,37 +1067,70 @@ class _Supervisor:
                 continue
             if worker.current is None:
                 continue
-            seed, attempt, started = worker.current
-            timeout = self.config.task_timeout
+            key, attempt, started, task_timeout = worker.current
+            timeout = (
+                task_timeout if task_timeout is not None
+                else self.config.task_timeout
+            )
             grace = self.config.heartbeat_grace
             if timeout is not None and now - started > timeout:
                 self._fail_inflight(
                     worker, KIND_TIMEOUT, "task-timeout",
-                    f"seed {seed} exceeded task_timeout={timeout}s",
+                    f"seed {key} exceeded task_timeout={timeout}s",
                 )
                 self._retire(worker, kill=True)
-                if not self.tracker.done():
-                    self._spawn()
+                self._spawn()
             elif grace is not None and now - worker.last_beat > grace:
                 self._fail_inflight(
                     worker, KIND_HANG, "heartbeat-lost",
                     f"worker {worker.wid} stopped heartbeating on "
-                    f"seed {seed}",
+                    f"seed {key}",
                 )
                 self._retire(worker, kill=True)
-                if not self.tracker.done():
-                    self._spawn()
+                self._spawn()
 
-    def _shutdown(self) -> None:
-        for worker in list(self.workers.values()):
-            try:
-                worker.task_w.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-        deadline = time.monotonic() + 2.0
-        for worker in list(self.workers.values()):
-            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
-            self._retire(worker, kill=True)
+
+class _Supervisor:
+    """Campaign retry/quarantine policy driving a :class:`WorkerPool`."""
+
+    def __init__(
+        self,
+        trial_fn: Callable[[int], dict],
+        tracker: _Tracker,
+        config: OrchestratorConfig,
+        n_workers: int,
+    ) -> None:
+        self.tracker = tracker
+        self.pool = WorkerPool(trial_fn, config, n_workers)
+
+    def run(self) -> None:
+        tracker = self.tracker
+        self.pool.start()
+        try:
+            while not tracker.done():
+                now = time.monotonic()
+                tracker.promote_due_retries(now)
+                while tracker.ready and self.pool.idle:
+                    seed = tracker.ready.popleft()
+                    attempt = tracker.checkout(seed)
+                    if not self.pool.dispatch(seed, seed, attempt):
+                        tracker.requeue(seed)
+                        break
+                events = self.pool.poll(
+                    tracker.next_wait(time.monotonic())
+                )
+                for event in events:
+                    if event.kind == "ok":
+                        tracker.record_ok(event.key, event.result)
+                    elif event.kind == "failure":
+                        tracker.record_failure(
+                            event.key, event.attempt, event.failure_kind,
+                            event.signature, event.error,
+                        )
+                    else:  # idle-death: no task lost, still count it
+                        tracker.outcome.worker_deaths += 1
+        finally:
+            self.pool.shutdown()
 
 
 # ---------------------------------------------------------------------------
@@ -1073,12 +1241,13 @@ def run_supervised(
                 _Supervisor(trial_fn, tracker, config, n_workers).run()
         if journal is not None:
             journal.append({"event": "complete"})
-    except KeyboardInterrupt:
+    except KeyboardInterrupt as exc:
         if journal is not None:
             journal.append({"event": "interrupt"})
         raise CampaignInterrupted(
             outcome,
             Path(checkpoint_dir) if checkpoint_dir is not None else None,
+            signum=getattr(exc, "signum", signal.SIGINT),
         ) from None
     finally:
         if journal is not None:

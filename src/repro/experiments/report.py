@@ -8,7 +8,7 @@ success rates.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def format_float(value: float, digits: int = 2) -> str:
@@ -54,4 +54,38 @@ def render_table(
     lines.append(fmt_row(list(headers)))
     lines.append("-+-".join("-" * w for w in widths))
     lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_status_summary(
+    title: str,
+    counters: Sequence[Sequence[object]],
+    quarantine: Optional[Sequence[Dict[str, object]]] = None,
+    retries: Optional[Dict[str, int]] = None,
+) -> str:
+    """Human-readable progress summary shared by ``repro campaign
+    status`` and ``repro jobs``.
+
+    ``counters`` are (label, value) rows; ``quarantine`` entries carry
+    ``id``/``signature``/``attempts`` (and optionally ``kind``) for the
+    per-item detail lines; ``retries`` maps item id to its count of
+    failed attempts.  Both front ends render the same shape, so an
+    operator reads one vocabulary whether the work unit is a campaign
+    seed or a service job.
+    """
+    lines = [render_table(["metric", "value"], counters, title=title)]
+    if retries:
+        total = sum(retries.values())
+        detail = ", ".join(
+            f"{item} x{count}" for item, count in sorted(retries.items())
+        )
+        lines.append(f"retried: {total} failed attempt(s) [{detail}]")
+    for entry in quarantine or ():
+        kind = entry.get("kind")
+        kind_note = f" {kind}" if kind else ""
+        lines.append(
+            f"  {entry['id']}: QUARANTINED{kind_note} after "
+            f"{entry.get('attempts', '?')} attempt(s) "
+            f"({entry.get('signature', '')})"
+        )
     return "\n".join(lines)

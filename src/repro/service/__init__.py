@@ -1,0 +1,78 @@
+"""Long-running simulation service (``repro serve``).
+
+The production-scale front door for the simulator: a fault-tolerant
+daemon that accepts simulation/chaos/continuous jobs into a durable
+on-disk queue and dispatches them onto a persistent supervised worker
+pool, protecting itself under overload instead of falling over.
+
+- :mod:`repro.service.jobs` — job specs/records, states, codecs.
+- :mod:`repro.service.store` — fsync'd journal, atomic manifest,
+  spool-directory submissions, streamed result artifacts (the PR-6
+  durability contract, one layer up).
+- :mod:`repro.service.admission` — per-tenant token buckets, measured
+  capacity, and the hysteretic degradation ladder.
+- :mod:`repro.service.daemon` — the supervision loop: admission, retry/
+  backoff, deterministic-failure quarantine, load shedding, the exact
+  accounting identity, and drain-then-exit shutdown.
+- :mod:`repro.service.tasks` — the picklable per-kind job executors.
+- :mod:`repro.service.selftest` — chaos self-test of the service
+  itself (worker kills, daemon ``kill -9``, torn journal tail,
+  duplicate replay).
+"""
+
+from repro.service.admission import (
+    CapacityEstimator,
+    DegradationController,
+    TokenBucket,
+)
+from repro.service.daemon import (
+    QUEUE_POLICIES,
+    ServiceConfig,
+    ServiceDaemon,
+)
+from repro.service.jobs import (
+    COMPLETED,
+    FAILED,
+    JOB_KINDS,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    TERMINAL_STATES,
+    JobRecord,
+    JobSpec,
+    derive_job_id,
+)
+from repro.service.selftest import run_selftest, selftest_jobs
+from repro.service.store import (
+    JobStore,
+    service_status,
+    submit_to_spool,
+)
+from repro.service.tasks import execute_job
+
+__all__ = [
+    "CapacityEstimator",
+    "DegradationController",
+    "TokenBucket",
+    "QUEUE_POLICIES",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "COMPLETED",
+    "FAILED",
+    "JOB_KINDS",
+    "QUARANTINED",
+    "QUEUED",
+    "RUNNING",
+    "SHED",
+    "TERMINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "derive_job_id",
+    "run_selftest",
+    "selftest_jobs",
+    "JobStore",
+    "service_status",
+    "submit_to_spool",
+    "execute_job",
+]

@@ -1,0 +1,145 @@
+"""Admission control for the service daemon.
+
+Three cooperating pieces, all fed an explicit ``now`` so tests can run
+them on a fake clock:
+
+- :class:`TokenBucket` — per-tenant rate limiting.  Refills
+  continuously at ``rate`` tokens/sec up to ``burst``; a submission
+  that finds the bucket empty is shed with reason ``rate_limit``.
+- :class:`CapacityEstimator` — sliding-window jobs/sec, both *offered*
+  (admission attempts) and *served* (completions).  The served rate is
+  the daemon's measured capacity; no configuration constant pretends to
+  know how fast the hardware is.
+- :class:`DegradationController` — the degradation ladder.  While the
+  measured state says "overloaded" (queue above the high watermark, or
+  offered load above ``headroom`` x measured capacity) for
+  ``escalate_after`` seconds, the level steps up; each level ``L > 0``
+  sheds incoming jobs with ``priority < L`` (lowest-priority tenants
+  first).  Recovery requires the calm state to persist for
+  ``recover_after`` seconds — hysteresis, so the ladder doesn't
+  oscillate at the knee.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+
+class TokenBucket:
+    """Continuous-refill token bucket (``rate`` tokens/sec, cap ``burst``)."""
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last: Optional[float] = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is not None and now > self._last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+
+    def allow(self, now: float) -> bool:
+        """Take one token if available."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class CapacityEstimator:
+    """Sliding-window offered/served rates in jobs per second."""
+
+    def __init__(self, window: float = 5.0) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = float(window)
+        self._offered: Deque[float] = deque()
+        self._served: Deque[float] = deque()
+
+    def _trim(self, events: Deque[float], now: float) -> None:
+        horizon = now - self.window
+        while events and events[0] < horizon:
+            events.popleft()
+
+    def record_offered(self, now: float) -> None:
+        self._offered.append(now)
+        self._trim(self._offered, now)
+
+    def record_served(self, now: float) -> None:
+        self._served.append(now)
+        self._trim(self._served, now)
+
+    def offered_rate(self, now: float) -> float:
+        self._trim(self._offered, now)
+        return len(self._offered) / self.window
+
+    def served_rate(self, now: float) -> float:
+        """The measured capacity: completions/sec over the window."""
+        self._trim(self._served, now)
+        return len(self._served) / self.window
+
+
+@dataclass
+class DegradationController:
+    """Hysteretic degradation ladder (levels ``0..max_level``).
+
+    ``min_priority`` equals the current level: at level ``L`` the
+    daemon sheds incoming jobs whose priority is below ``L`` (reason
+    ``degraded``).  Level 0 sheds nothing.
+    """
+
+    high_water: float = 0.75   #: queue fraction that signals overload
+    low_water: float = 0.25    #: queue fraction considered calm again
+    headroom: float = 1.5      #: offered > headroom*capacity = overload
+    escalate_after: float = 0.5   #: seconds of overload per step up
+    recover_after: float = 1.0    #: seconds of calm per step down
+    max_level: int = 3
+    level: int = 0
+    _overload_since: Optional[float] = field(default=None, repr=False)
+    _calm_since: Optional[float] = field(default=None, repr=False)
+
+    @property
+    def min_priority(self) -> int:
+        return self.level
+
+    def update(self, now: float, queue_frac: float,
+               offered: float, capacity: float) -> int:
+        """Advance the ladder from one measurement; returns the level."""
+        overloaded = queue_frac >= self.high_water or (
+            capacity > 0 and offered > self.headroom * capacity
+        )
+        calm = queue_frac <= self.low_water and (
+            capacity <= 0 or offered <= capacity * self.headroom
+        )
+        if overloaded:
+            self._calm_since = None
+            if self._overload_since is None:
+                self._overload_since = now
+            elif (now - self._overload_since >= self.escalate_after
+                  and self.level < self.max_level):
+                self.level += 1
+                self._overload_since = now
+        elif calm:
+            self._overload_since = None
+            if self.level == 0:
+                self._calm_since = None
+            elif self._calm_since is None:
+                self._calm_since = now
+            elif now - self._calm_since >= self.recover_after:
+                self.level -= 1
+                self._calm_since = now
+        else:
+            # between the watermarks: hold the level, reset both timers
+            self._overload_since = None
+            self._calm_since = None
+        return self.level

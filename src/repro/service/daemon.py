@@ -1,0 +1,547 @@
+"""The long-running service daemon.
+
+One single-threaded supervision loop (:meth:`ServiceDaemon.tick`) over
+a persistent :class:`repro.experiments.orchestrator.WorkerPool`:
+
+1. scan the spool for new submissions and run admission control
+   (duplicate check -> journal -> degradation shed -> tenant token
+   bucket -> bounded queue);
+2. promote retry-backoff jobs whose not-before time has passed;
+3. dispatch queued jobs (highest priority first, then submission
+   order) onto idle workers;
+4. poll the pool and apply the retry/quarantine policy to its events,
+   streaming each completed job's result artifact to disk before the
+   ``complete`` event is journaled;
+5. advance the degradation ladder from the measured queue depth and
+   sliding-window offered/served rates;
+6. at quiescence, rewrite the atomic manifest.
+
+Everything observable obeys the accounting identity::
+
+    submitted == completed + failed + quarantined + shed
+                 + in_queue + in_flight
+
+where the left side is a plain counter of accepted submissions and
+every right-hand term is the size of a live structure (or a count of
+terminal states), so a job leaked anywhere in the pipeline breaks the
+identity instead of vanishing silently.
+
+Shutdown: :meth:`request_drain` (wired to SIGTERM/SIGINT by the CLI)
+stops admission and dispatch, lets in-flight jobs finish (bounded by
+``drain_grace`` — overdue jobs stay journaled as dispatched and are
+re-queued by recovery on the next start), journals ``drain``, writes
+the manifest, and returns.  ``kill -9`` skips all of that and loses
+nothing: the journal is fsync'd per event.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.experiments.orchestrator import (
+    KIND_HANG,
+    KIND_TIMEOUT,
+    KIND_WORKER_DEATH,
+    FaultInjection,
+    OrchestratorConfig,
+    WorkerPool,
+)
+from repro.service.admission import (
+    CapacityEstimator,
+    DegradationController,
+    TokenBucket,
+)
+from repro.service.jobs import (
+    COMPLETED,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    SHED_DEGRADED,
+    SHED_DROP_OLDEST,
+    SHED_QUEUE_FULL,
+    SHED_RATE_LIMIT,
+    JobRecord,
+    JobSpec,
+)
+from repro.service.store import JobStore
+from repro.service.tasks import execute_job
+
+QUEUE_POLICIES = ("reject", "drop_oldest")
+
+
+@dataclass
+class ServiceConfig:
+    """Execution policy for the daemon.
+
+    Like :class:`OrchestratorConfig`, everything here is an execution
+    knob: none of it reaches the manifest, so runs under different
+    worker counts, rate limits, or injected faults converge to the
+    same manifest bytes for the same submissions and outcomes.
+    """
+
+    workers: int = 2
+    max_queue: int = 64
+    queue_policy: str = "reject"   #: "reject" or "drop_oldest"
+    tenant_rate: Optional[float] = None  #: jobs/sec/tenant (None = off)
+    tenant_burst: float = 8.0
+    max_attempts: int = 4
+    fail_fast_threshold: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    task_timeout: Optional[float] = None
+    heartbeat_interval: float = 0.25
+    heartbeat_grace: Optional[float] = 10.0
+    poll_interval: float = 0.05
+    capacity_window: float = 5.0
+    degrade_high_water: float = 0.75
+    degrade_low_water: float = 0.25
+    degrade_headroom: float = 1.5
+    escalate_after: float = 0.5
+    recover_after: float = 1.0
+    max_degrade_level: int = 3
+    drain_grace: float = 30.0
+    idle_exit: bool = False  #: exit once spool+queue+flight are empty
+    inject: Optional[FaultInjection] = None
+
+    def __post_init__(self) -> None:
+        if self.queue_policy not in QUEUE_POLICIES:
+            raise ValueError(
+                f"queue_policy must be one of {QUEUE_POLICIES}, "
+                f"got {self.queue_policy!r}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** attempt,
+        )
+
+    def orchestrator_config(self) -> OrchestratorConfig:
+        """The slice of policy the worker pool needs."""
+        return OrchestratorConfig(
+            num_workers=self.workers,
+            max_attempts=self.max_attempts,
+            fail_fast_threshold=self.fail_fast_threshold,
+            task_timeout=self.task_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_grace=self.heartbeat_grace,
+            inject=self.inject,
+        )
+
+    def to_json(self) -> dict:
+        data = {
+            "workers": self.workers,
+            "max_queue": self.max_queue,
+            "queue_policy": self.queue_policy,
+            "tenant_rate": self.tenant_rate,
+            "tenant_burst": self.tenant_burst,
+            "max_attempts": self.max_attempts,
+            "fail_fast_threshold": self.fail_fast_threshold,
+            "task_timeout": self.task_timeout,
+            "idle_exit": self.idle_exit,
+        }
+        if self.inject is not None:
+            data["inject"] = self.inject.to_json()
+        return data
+
+
+@dataclass
+class _RetryEntry:
+    not_before: float
+    seq: int
+    job_id: str
+
+    def __lt__(self, other: "_RetryEntry") -> bool:
+        return (self.not_before, self.seq) < (other.not_before, other.seq)
+
+
+class ServiceDaemon:
+    """Single-threaded supervisor over a persistent worker pool."""
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        config: Optional[ServiceConfig] = None,
+        task_fn: Callable[[dict], dict] = execute_job,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = JobStore(root)
+        self.clock = clock
+        self.jobs: Dict[str, JobRecord] = {}
+        self.queue: List[str] = []          #: admitted, awaiting dispatch
+        self.in_flight: Dict[str, int] = {}  #: job id -> attempt
+        self.retry_heap: List[_RetryEntry] = []
+        self._sig_history: Dict[str, List[str]] = {}
+        self.buckets: Dict[str, TokenBucket] = {}
+        self.capacity = CapacityEstimator(self.config.capacity_window)
+        self.degradation = DegradationController(
+            high_water=self.config.degrade_high_water,
+            low_water=self.config.degrade_low_water,
+            headroom=self.config.degrade_headroom,
+            escalate_after=self.config.escalate_after,
+            recover_after=self.config.recover_after,
+            max_level=self.config.max_degrade_level,
+        )
+        self.pool = WorkerPool(
+            task_fn, self.config.orchestrator_config(),
+            max(1, self.config.workers),
+        )
+        self.submitted = 0
+        self.duplicates = 0
+        self.retries = 0
+        self.worker_deaths = 0
+        self.timeouts = 0
+        self.hangs = 0
+        self.max_queue_seen = 0
+        self.latencies: List[float] = []  #: submit->complete, seconds
+        self._seq = 0
+        self._drain_signum: Optional[int] = None
+        self._drain_started: Optional[float] = None
+        self._dirty = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Open (or recover) the store and spin up the worker pool."""
+        if self._started:
+            return
+        self.jobs, self._seq = self.store.open()
+        self.submitted = len(self.jobs)
+        now = self.clock()
+        for job_id in sorted(
+            (j for j in self.jobs if self.jobs[j].state == QUEUED),
+            key=lambda j: self.jobs[j].seq,
+        ):
+            self.jobs[job_id].enqueued_at = now
+            self.queue.append(job_id)
+        for job_id, record in self.jobs.items():
+            if record.fail_signatures:
+                self._sig_history[job_id] = list(record.fail_signatures)
+        self.pool.start()
+        self._dirty = bool(self.jobs)
+        self._started = True
+
+    def close(self) -> None:
+        self.pool.shutdown()
+        self.store.close()
+        self._started = False
+
+    def crash(self) -> None:
+        """Test hook: abandon everything, as ``kill -9`` would.
+
+        No drain event, no manifest write, no graceful anything — the
+        journal is left exactly as the last fsync'd event put it.
+        """
+        self.pool.shutdown()
+        self.store.close()
+        self._started = False
+
+    # -- admission ---------------------------------------------------------
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.config.tenant_rate is None:
+            return None
+        bucket = self.buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.config.tenant_rate, self.config.tenant_burst
+            )
+            self.buckets[tenant] = bucket
+        return bucket
+
+    def _shed(self, record: JobRecord, reason: str) -> None:
+        self.store.record_shed(record.spec.id, record.spec.tenant, reason)
+        record.state = SHED
+        record.reason = reason
+        self._dirty = True
+
+    def submit(self, spec: JobSpec) -> str:
+        """Admit one submission; returns the decision.
+
+        One of ``"queued"``, ``"duplicate"``, or a ``SHED_*`` reason.
+        The submission is journaled *before* the admission decision, so
+        a crash between the two replays into a queued job — over-
+        delivery on recovery, never a lost submission.
+        """
+        if spec.id in self.jobs:
+            self.duplicates += 1
+            self.store.record_duplicate(spec.id)
+            return "duplicate"
+        now = self.clock()
+        self._seq += 1
+        self.store.record_submit(spec, self._seq)
+        record = JobRecord(spec=spec, seq=self._seq, enqueued_at=now)
+        self.jobs[spec.id] = record
+        self.submitted += 1
+        self.capacity.record_offered(now)
+        self._dirty = True
+
+        level = self.degradation.level
+        if level > 0 and spec.priority < level:
+            self._shed(record, SHED_DEGRADED)
+            return SHED_DEGRADED
+        bucket = self._bucket(spec.tenant)
+        if bucket is not None and not bucket.allow(now):
+            self._shed(record, SHED_RATE_LIMIT)
+            return SHED_RATE_LIMIT
+        if len(self.queue) >= self.config.max_queue:
+            if self.config.queue_policy == "reject":
+                self._shed(record, SHED_QUEUE_FULL)
+                return SHED_QUEUE_FULL
+            victim_id = min(
+                self.queue,
+                key=lambda j: (self.jobs[j].spec.priority,
+                               self.jobs[j].seq),
+            )
+            victim = self.jobs[victim_id]
+            if (victim.spec.priority, victim.seq) <= (spec.priority,
+                                                      record.seq):
+                self.queue.remove(victim_id)
+                self._shed(victim, SHED_DROP_OLDEST)
+            else:
+                self._shed(record, SHED_QUEUE_FULL)
+                return SHED_QUEUE_FULL
+        self.queue.append(spec.id)
+        self.max_queue_seen = max(self.max_queue_seen, len(self.queue))
+        return "queued"
+
+    def _scan_spool(self) -> int:
+        admitted = 0
+        for path, spec in self.store.scan_spool():
+            if spec is None:
+                path.rename(path.with_suffix(path.suffix + ".bad"))
+                continue
+            self.submit(spec)
+            path.unlink()
+            admitted += 1
+        return admitted
+
+    # -- dispatch + events -------------------------------------------------
+
+    def _promote_retries(self, now: float) -> None:
+        while self.retry_heap and self.retry_heap[0].not_before <= now:
+            entry = heapq.heappop(self.retry_heap)
+            self.queue.append(entry.job_id)
+
+    def _pick(self) -> str:
+        """Highest priority first, then submission order."""
+        best = max(
+            range(len(self.queue)),
+            key=lambda i: (self.jobs[self.queue[i]].spec.priority,
+                           -self.jobs[self.queue[i]].seq),
+        )
+        return self.queue.pop(best)
+
+    def _dispatch(self) -> None:
+        while self.queue and self.pool.idle:
+            job_id = self._pick()
+            record = self.jobs[job_id]
+            attempt = record.attempts
+            if not self.pool.dispatch(job_id, record.spec.payload(),
+                                      attempt=attempt):
+                self.queue.insert(0, job_id)
+                break
+            self.store.record_dispatch(job_id, attempt)
+            record.state = RUNNING
+            self.in_flight[job_id] = attempt
+
+    def _on_ok(self, job_id: str, result: dict, now: float) -> None:
+        record = self.jobs[job_id]
+        digest, artifact = self.store.write_result(job_id, result)
+        self.store.record_complete(job_id, digest, artifact)
+        record.state = COMPLETED
+        record.result_digest = digest
+        record.artifact = artifact
+        self.in_flight.pop(job_id, None)
+        self.capacity.record_served(now)
+        if record.enqueued_at is not None:
+            self.latencies.append(now - record.enqueued_at)
+        self._dirty = True
+
+    def _on_failure(self, job_id: str, attempt: int, kind: str,
+                    signature: str, error: str, now: float) -> None:
+        record = self.jobs[job_id]
+        self.in_flight.pop(job_id, None)
+        record.attempts = attempt + 1
+        self.retries += 1
+        if kind == KIND_WORKER_DEATH:
+            self.worker_deaths += 1
+        elif kind == KIND_TIMEOUT:
+            self.timeouts += 1
+        elif kind == KIND_HANG:
+            self.hangs += 1
+        history = self._sig_history.setdefault(job_id, [])
+        history.append(signature)
+        threshold = self.config.fail_fast_threshold
+        deterministic = (
+            len(history) >= threshold
+            and len(set(history[-threshold:])) == 1
+        )
+        if deterministic:
+            self.store.record_quarantine(
+                job_id, signature, error, record.attempts
+            )
+            record.state = QUARANTINED
+            record.signature = signature
+            record.error = error
+        elif record.attempts >= self.config.max_attempts:
+            self.store.record_failed(job_id, signature, error)
+            record.state = FAILED
+            record.signature = signature
+            record.error = error
+        else:
+            self.store.record_fail(
+                job_id, attempt, kind, signature, error
+            )
+            record.state = QUEUED
+            heapq.heappush(self.retry_heap, _RetryEntry(
+                not_before=now + self.config.backoff(record.attempts - 1),
+                seq=record.seq,
+                job_id=job_id,
+            ))
+        self._dirty = True
+
+    # -- the loop ----------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._drain_signum is not None
+
+    def request_drain(self, signum: int = 15) -> None:
+        """Stop admitting and dispatching; finish in-flight, then exit."""
+        self._drain_signum = signum
+
+    def tick(self, timeout: Optional[float] = None) -> None:
+        """One supervision pass; blocks at most ``timeout`` seconds."""
+        now = self.clock()
+        if not self.draining:
+            self._scan_spool()
+            self._promote_retries(now)
+            self._dispatch()
+        events = self.pool.poll(
+            self.config.poll_interval if timeout is None else timeout
+        )
+        now = self.clock()
+        for event in events:
+            if event.kind == "ok":
+                self._on_ok(event.key, event.result, now)
+            elif event.kind == "failure":
+                self._on_failure(
+                    event.key, event.attempt, event.failure_kind,
+                    event.signature, event.error, now,
+                )
+            else:
+                self.worker_deaths += 1
+        self.degradation.update(
+            now,
+            queue_frac=len(self.queue) / max(1, self.config.max_queue),
+            offered=self.capacity.offered_rate(now),
+            capacity=self.capacity.served_rate(now),
+        )
+        if self._dirty and self.quiescent:
+            self.store.write_manifest_file(self.jobs)
+            self._dirty = False
+
+    @property
+    def quiescent(self) -> bool:
+        """Nothing queued, retrying, or running."""
+        return not (self.queue or self.retry_heap or self.in_flight)
+
+    def run(self) -> int:
+        """Loop until drained (returns the signal number) or idle-exit.
+
+        Callers own signal handling: wire SIGTERM/SIGINT to
+        :meth:`request_drain` and exit ``128 + run()`` — 143 for
+        SIGTERM, 130 for SIGINT — matching the campaign front end.
+        """
+        self.start()
+        idle_ticks = 0
+        try:
+            while True:
+                self.tick()
+                if self.draining:
+                    if self._drain_started is None:
+                        self._drain_started = self.clock()
+                    grace_over = (
+                        self.clock() - self._drain_started
+                        > self.config.drain_grace
+                    )
+                    if not self.in_flight or grace_over:
+                        # overdue in-flight jobs stay journaled as
+                        # dispatched; recovery re-queues them intact
+                        self.store.record_drain(self._drain_signum)
+                        self.store.write_manifest_file(self.jobs)
+                        self._dirty = False
+                        return int(self._drain_signum)
+                elif self.config.idle_exit:
+                    if self.quiescent and not self.store.scan_spool():
+                        idle_ticks += 1
+                        if idle_ticks >= 3:
+                            if self._dirty:
+                                self.store.write_manifest_file(self.jobs)
+                                self._dirty = False
+                            return 0
+                    else:
+                        idle_ticks = 0
+        finally:
+            self.close()
+
+    # -- observability -----------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        states = {COMPLETED: 0, FAILED: 0, QUARANTINED: 0, SHED: 0}
+        for record in self.jobs.values():
+            if record.state in states:
+                states[record.state] += 1
+        return {
+            "submitted": self.submitted,
+            "completed": states[COMPLETED],
+            "failed": states[FAILED],
+            "quarantined": states[QUARANTINED],
+            "shed": states[SHED],
+            "in_queue": len(self.queue) + len(self.retry_heap),
+            "in_flight": len(self.in_flight),
+        }
+
+    def snapshot(self) -> dict:
+        """Counters + identity check + load/degradation state."""
+        now = self.clock()
+        counters = self.counters()
+        accounted = (
+            counters["completed"] + counters["failed"]
+            + counters["quarantined"] + counters["shed"]
+            + counters["in_queue"] + counters["in_flight"]
+        )
+        latencies = sorted(self.latencies)
+
+        def pct(p: float) -> float:
+            if not latencies:
+                return 0.0
+            return latencies[min(len(latencies) - 1,
+                                 int(p * len(latencies)))]
+
+        return {
+            **counters,
+            "accounting_exact": counters["submitted"] == accounted,
+            "duplicates": self.duplicates,
+            "retries": self.retries,
+            "worker_deaths": self.worker_deaths,
+            "timeouts": self.timeouts,
+            "hangs": self.hangs,
+            "degradation_level": self.degradation.level,
+            "offered_rate": self.capacity.offered_rate(now),
+            "served_rate": self.capacity.served_rate(now),
+            "max_queue_seen": self.max_queue_seen,
+            "latency_p50": pct(0.50),
+            "latency_p99": pct(0.99),
+            "draining": self.draining,
+        }

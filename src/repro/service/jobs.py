@@ -1,0 +1,187 @@
+"""Job specs and records for the long-running simulation service.
+
+A :class:`JobSpec` is the unit of submission: a client-chosen id (the
+idempotency key), a tenant, a priority, a job kind, a seed, and the
+kind-specific parameters.  Everything is JSON-able and canonically
+digestible, so the journal, the spool files, and the manifest all speak
+the same codec.
+
+A :class:`JobRecord` is the daemon's view of one accepted submission as
+it moves through the state machine::
+
+    queued -> running -> completed
+                      -> (fail, retry) -> queued
+                      -> failed        (transient budget exhausted)
+                      -> quarantined   (deterministic failure, fail-fast)
+    queued -> shed     (admission control / load shedding)
+
+``failed`` means the job's transient-failure budget (``max_attempts``)
+ran out; ``quarantined`` means the failure signature repeated —
+deterministic, so retrying is pointless.  ``shed`` jobs were accepted
+(journaled) but deliberately not run: rate limit, full queue, or
+degraded mode.  All four are terminal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: job kinds the worker entry point (:mod:`repro.service.tasks`) executes
+JOB_KINDS = ("noop", "simulation", "chaos", "continuous")
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+SHED = "shed"
+
+TERMINAL_STATES = (COMPLETED, FAILED, QUARANTINED, SHED)
+
+#: shed reasons recorded in the journal and manifest
+SHED_RATE_LIMIT = "rate_limit"    #: tenant token bucket empty
+SHED_QUEUE_FULL = "queue_full"    #: bounded queue full, policy=reject
+SHED_DROP_OLDEST = "drop_oldest"  #: evicted for a newer submission
+SHED_DEGRADED = "degraded"        #: priority below the degradation level
+
+
+def canonical_json(data: dict) -> str:
+    """Stable encoding used for digests and round-trip identity."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One submission: the idempotency key plus everything a worker needs.
+
+    ``id`` is client-chosen; resubmitting the same id is a no-op
+    (journaled as ``duplicate``, never re-run).  ``priority`` orders
+    dispatch (higher first) and decides who is shed first in degraded
+    mode (lower first).  ``seed`` plus ``params`` fully determine the
+    result — no wall clock reaches the task — so re-running a recovered
+    job after ``kill -9`` reproduces the same result bytes.
+    """
+
+    id: str
+    kind: str = "noop"
+    tenant: str = "default"
+    priority: int = 1
+    seed: int = 0
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.id or "/" in self.id or self.id != self.id.strip():
+            raise ValueError(f"invalid job id {self.id!r}")
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r} (expected one of "
+                f"{', '.join(JOB_KINDS)})"
+            )
+        if self.priority < 0:
+            raise ValueError(f"priority must be >= 0, got {self.priority}")
+
+    def to_json(self) -> dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "JobSpec":
+        return cls(
+            id=str(data["id"]),
+            kind=str(data.get("kind", "noop")),
+            tenant=str(data.get("tenant", "default")),
+            priority=int(data.get("priority", 1)),
+            seed=int(data.get("seed", 0)),
+            params=dict(data.get("params", {})),
+        )
+
+    def digest(self) -> str:
+        """sha256 of the canonical spec encoding."""
+        return hashlib.sha256(
+            canonical_json(self.to_json()).encode("utf-8")
+        ).hexdigest()
+
+    def payload(self) -> dict:
+        """What the worker process receives (no queueing metadata)."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+
+def derive_job_id(kind: str, tenant: str, seed: int,
+                  params: Optional[dict] = None) -> str:
+    """Deterministic id for clients that don't pick their own."""
+    tag = canonical_json({
+        "kind": kind, "tenant": tenant, "seed": seed,
+        "params": params or {},
+    })
+    return f"{kind}-{hashlib.sha256(tag.encode('utf-8')).hexdigest()[:12]}"
+
+
+@dataclass
+class JobRecord:
+    """Daemon-side state of one accepted submission.
+
+    ``seq`` is the submission order (execution bookkeeping only — it
+    never reaches the manifest, so recovery order can't perturb the
+    byte-identity contract).  ``attempts`` counts *failed* attempts:
+    a dispatch does not consume an attempt, only a journaled ``fail``
+    does, which is what lets a crash-interrupted dispatch retry without
+    burning budget.
+    """
+
+    spec: JobSpec
+    seq: int
+    state: str = QUEUED
+    attempts: int = 0
+    signature: str = ""   #: stable failure identity (failed/quarantined)
+    error: str = ""       #: human-readable failure detail
+    reason: str = ""      #: shed reason (one of the ``SHED_*`` constants)
+    result_digest: str = ""  #: sha256 of the result artifact bytes
+    artifact: str = ""       #: artifact path relative to the service dir
+    enqueued_at: Optional[float] = None  #: monotonic, execution-only
+    #: signatures of journaled non-terminal failures, oldest first —
+    #: recovered on restart so the fail-fast (quarantine vs. failed)
+    #: decision is crash-invariant
+    fail_signatures: list = field(default_factory=list)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def manifest_entry(self) -> dict:
+        """Deterministic manifest row: no seq, no timing, no attempts.
+
+        Attempt counts depend on injected faults and worker timing, so
+        they stay in the journal; everything here is a pure function of
+        the spec and its deterministic outcome, preserving manifest
+        byte-identity across crash/restart and fault injection.
+        """
+        entry = {
+            "id": self.spec.id,
+            "kind": self.spec.kind,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "seed": self.spec.seed,
+            "spec_digest": self.spec.digest(),
+            "state": self.state,
+        }
+        if self.state == COMPLETED:
+            entry["result_digest"] = self.result_digest
+            entry["artifact"] = self.artifact
+        elif self.state in (FAILED, QUARANTINED):
+            entry["signature"] = self.signature
+        elif self.state == SHED:
+            entry["reason"] = self.reason
+        return entry

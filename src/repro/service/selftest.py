@@ -1,0 +1,298 @@
+"""Service-layer chaos self-test.
+
+The daemon guards everyone else's jobs; this module chaos-tests the
+daemon itself, extending the PR-6 orchestrator self-test one layer up.
+Six checks, all against one shared batch of deterministic jobs so every
+surviving manifest must be byte-identical to the uninterrupted
+reference run's:
+
+``reference``
+    Clean run to idle; baseline manifest bytes.
+``worker_faults``
+    Workers SIGKILLed at random (``FaultInjection``); zero lost jobs
+    and the reference manifest bytes anyway.
+``daemon_restart``
+    The daemon abandoned mid-dispatch (in-process ``crash()`` — the
+    journal state ``kill -9`` leaves behind); a fresh daemon on the
+    same directory finishes the batch to the reference bytes.
+``daemon_kill9``
+    The real thing: a ``repro serve`` subprocess SIGKILLed mid-run,
+    restarted, and required to converge to the reference bytes.
+``torn_tail``
+    Garbage appended to the journal (a torn tail write); recovery must
+    drop it, keep every durable event, and still reach the reference
+    bytes.
+``duplicates``
+    Every job submitted twice, plus re-submissions after completion;
+    idempotent by job id — submitted counts each id once, nothing runs
+    twice, reference bytes again.
+
+Every check also asserts the accounting identity exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.experiments.orchestrator import FaultInjection
+from repro.service.daemon import ServiceConfig, ServiceDaemon
+from repro.service.jobs import JobSpec
+from repro.service.store import JobStore, submit_to_spool
+
+
+def selftest_jobs(count: int = 12, sleep_s: float = 0.05) -> List[JobSpec]:
+    """The shared deterministic batch (noop jobs that take a while)."""
+    return [
+        JobSpec(
+            id=f"selftest-{i:03d}",
+            kind="noop",
+            tenant=f"tenant-{i % 3}",
+            priority=1 + i % 3,
+            seed=i,
+            params={"sleep_s": sleep_s},
+        )
+        for i in range(count)
+    ]
+
+
+def _run_to_idle(
+    root: Union[str, Path],
+    specs: List[JobSpec],
+    inject: Optional[FaultInjection] = None,
+    crash_after: Optional[int] = None,
+) -> ServiceDaemon:
+    """Drive an in-process daemon; optionally crash() mid-dispatch."""
+    config = ServiceConfig(
+        workers=2, idle_exit=True, inject=inject,
+        heartbeat_grace=30.0,
+    )
+    daemon = ServiceDaemon(root, config)
+    daemon.start()
+    for spec in specs:
+        daemon.submit(spec)
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        daemon.tick(timeout=0.02)
+        completed = daemon.counters()["completed"]
+        if crash_after is not None and completed >= crash_after:
+            daemon.crash()
+            return daemon
+        if daemon.quiescent:
+            break
+    else:
+        daemon.close()
+        raise TimeoutError("selftest daemon did not go idle")
+    daemon.store.write_manifest_file(daemon.jobs)
+    daemon.close()
+    return daemon
+
+
+def _manifest_bytes(root: Union[str, Path]) -> bytes:
+    return (Path(root) / "manifest.json").read_bytes()
+
+
+def _identity(daemon: ServiceDaemon) -> bool:
+    return bool(daemon.snapshot()["accounting_exact"])
+
+
+def _check_reference(base: Path, specs: List[JobSpec]) -> dict:
+    daemon = _run_to_idle(base / "reference", specs)
+    counters = daemon.counters()
+    return {
+        "ok": counters["completed"] == len(specs) and _identity(daemon),
+        "completed": counters["completed"],
+    }
+
+
+def _check_worker_faults(base: Path, specs: List[JobSpec],
+                         reference: bytes) -> dict:
+    daemon = _run_to_idle(
+        base / "worker-faults", specs,
+        inject=FaultInjection(seed=3, kill_prob=0.5),
+    )
+    counters = daemon.counters()
+    return {
+        "ok": (
+            counters["completed"] == len(specs)
+            and daemon.worker_deaths > 0
+            and _identity(daemon)
+            and _manifest_bytes(base / "worker-faults") == reference
+        ),
+        "completed": counters["completed"],
+        "worker_deaths": daemon.worker_deaths,
+    }
+
+
+def _check_daemon_restart(base: Path, specs: List[JobSpec],
+                          reference: bytes) -> dict:
+    root = base / "daemon-restart"
+    first = _run_to_idle(root, specs, crash_after=3)
+    crashed_at = first.counters()["completed"]
+    second = _run_to_idle(root, specs)  # resubmissions are duplicates
+    counters = second.counters()
+    return {
+        "ok": (
+            0 < crashed_at < len(specs)
+            and counters["completed"] == len(specs)
+            and second.duplicates == len(specs)
+            and _identity(second)
+            and _manifest_bytes(root) == reference
+        ),
+        "crashed_after": crashed_at,
+        "completed": counters["completed"],
+    }
+
+
+def _check_daemon_kill9(base: Path, specs: List[JobSpec],
+                        reference: bytes) -> dict:
+    """SIGKILL a real ``repro serve`` subprocess mid-run, restart it."""
+    root = base / "daemon-kill9"
+    root.mkdir(parents=True, exist_ok=True)
+    for spec in specs:
+        submit_to_spool(root, spec)
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    argv = [
+        sys.executable, "-m", "repro", "serve", "--dir", str(root),
+        "--workers", "2", "--idle-exit", "--json",
+    ]
+    proc = subprocess.Popen(
+        argv, env=env,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    journal = root / "journal.jsonl"
+    killed_after = 0
+    try:
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if journal.exists():
+                killed_after = journal.read_text().count(
+                    '"event": "complete"'
+                )
+                if killed_after >= 2:
+                    break
+            if proc.poll() is not None:
+                return {"ok": False,
+                        "error": "daemon exited before it could be killed"}
+            time.sleep(0.02)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+    rerun = subprocess.run(argv, env=env, capture_output=True, text=True)
+    return {
+        "ok": (
+            killed_after >= 2
+            and rerun.returncode == 0
+            and _manifest_bytes(root) == reference
+        ),
+        "killed_after": killed_after,
+        "restart_rc": rerun.returncode,
+    }
+
+
+def _check_torn_tail(base: Path, specs: List[JobSpec],
+                     reference: bytes) -> dict:
+    root = base / "torn-tail"
+    first = _run_to_idle(root, specs, crash_after=2)
+    with open(root / "journal.jsonl", "a", encoding="utf-8") as fh:
+        fh.write('{"event": "complete", "id": "torn')  # no newline
+    second = _run_to_idle(root, specs)
+    counters = second.counters()
+    return {
+        "ok": (
+            counters["completed"] == len(specs)
+            and _identity(second)
+            and _manifest_bytes(root) == reference
+        ),
+        "completed": counters["completed"],
+        "crashed_after": first.counters()["completed"],
+    }
+
+
+def _check_duplicates(base: Path, specs: List[JobSpec],
+                      reference: bytes) -> dict:
+    root = base / "duplicates"
+    config = ServiceConfig(workers=2, idle_exit=True)
+    daemon = ServiceDaemon(root, config)
+    daemon.start()
+    for spec in specs:
+        assert daemon.submit(spec) == "queued"
+        assert daemon.submit(spec) == "duplicate"
+    deadline = time.monotonic() + 120.0
+    while not daemon.quiescent and time.monotonic() < deadline:
+        daemon.tick(timeout=0.02)
+    resubmits = [daemon.submit(spec) for spec in specs]
+    daemon.store.write_manifest_file(daemon.jobs)
+    counters = daemon.counters()
+    ok = (
+        counters["submitted"] == len(specs)
+        and counters["completed"] == len(specs)
+        and daemon.duplicates == 2 * len(specs)
+        and all(r == "duplicate" for r in resubmits)
+        and _identity(daemon)
+        and _manifest_bytes(root) == reference
+    )
+    daemon.close()
+    return {
+        "ok": ok,
+        "submitted": counters["submitted"],
+        "duplicates": daemon.duplicates,
+    }
+
+
+def run_selftest(
+    base_dir: Union[str, Path],
+    jobs: int = 12,
+    include_kill9: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the full battery under ``base_dir``; returns the verdicts.
+
+    ``ok`` is the conjunction of every check.  ``include_kill9=False``
+    skips the subprocess check (for environments where spawning the
+    CLI is not possible); everything else is in-process.
+    """
+    base = Path(base_dir)
+    base.mkdir(parents=True, exist_ok=True)
+    specs = selftest_jobs(jobs)
+    checks: Dict[str, dict] = {}
+
+    def _log(name: str, result: dict) -> None:
+        if log is not None:
+            log(f"{name}: {'ok' if result['ok'] else 'FAIL'} {result}")
+
+    checks["reference"] = _check_reference(base, specs)
+    _log("reference", checks["reference"])
+    if not checks["reference"]["ok"]:
+        return {"ok": False, "checks": checks}
+    reference = _manifest_bytes(base / "reference")
+
+    for name, check in (
+        ("worker_faults", _check_worker_faults),
+        ("daemon_restart", _check_daemon_restart),
+        ("torn_tail", _check_torn_tail),
+        ("duplicates", _check_duplicates),
+    ):
+        checks[name] = check(base, specs, reference)
+        _log(name, checks[name])
+    if include_kill9:
+        checks["daemon_kill9"] = _check_daemon_kill9(
+            base, specs, reference
+        )
+        _log("daemon_kill9", checks["daemon_kill9"])
+    return {
+        "ok": all(c["ok"] for c in checks.values()),
+        "checks": checks,
+    }

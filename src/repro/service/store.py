@@ -1,0 +1,382 @@
+"""Durable state for the service daemon: journal, manifest, spool, results.
+
+Same crash-safety contract as the PR-6 campaign orchestrator, reusing
+its codecs directly:
+
+- the journal is an append-only fsync'd JSONL file
+  (:class:`repro.experiments.orchestrator.Journal`), so ``kill -9``
+  can at worst tear the final line, which recovery detects and drops;
+- the manifest is written atomically (tmp + fsync + rename + directory
+  fsync via :func:`repro.experiments.orchestrator.write_manifest`) and
+  contains no sequence numbers, timings, or attempt counts — a crashed
+  and restarted service converges to a manifest byte-identical to an
+  uninterrupted run's;
+- per-job results are streamed to ``results/<id>.json`` the moment a
+  job completes (the PR-6 ``ArtifactStream`` pattern) instead of
+  accumulating in daemon RAM; the journal's ``complete`` event records
+  the artifact's sha256 so restarts can trust what's on disk.
+
+Submissions travel through a spool directory: ``repro submit`` drops
+``spool/<id>.json`` with an atomic tmp+rename, the daemon scans, admits,
+journals, and unlinks.  The file name is the job id, so a re-dropped
+duplicate is detected before it is ever re-run.
+
+Directory layout::
+
+    <dir>/journal.jsonl   append-only event log (source of truth)
+    <dir>/manifest.json   atomic summary, rewritten at quiescence
+    <dir>/spool/          incoming submissions (one JSON file per job)
+    <dir>/results/        streamed per-job result artifacts
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.experiments.orchestrator import (
+    Journal,
+    manifest_to_bytes,
+    write_manifest,
+)
+from repro.service.jobs import (
+    COMPLETED,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    SHED,
+    JobRecord,
+    JobSpec,
+    canonical_json,
+)
+
+SERVICE_JOURNAL_FORMAT = "repro-service-journal"
+SERVICE_MANIFEST_FORMAT = "repro-service-manifest"
+SERVICE_FORMAT_VERSION = 1
+
+JOURNAL_NAME = "journal.jsonl"
+MANIFEST_NAME = "manifest.json"
+SPOOL_DIR = "spool"
+RESULTS_DIR = "results"
+
+
+def submit_to_spool(root: Union[str, Path], spec: JobSpec) -> Path:
+    """Atomically drop one submission into the spool (client side).
+
+    Safe against a concurrent daemon scan: the spec is written to a
+    dotfile first (dotfiles are never scanned) and renamed into place,
+    so the daemon only ever sees complete JSON.
+    """
+    spool = Path(root) / SPOOL_DIR
+    spool.mkdir(parents=True, exist_ok=True)
+    path = spool / f"{spec.id}.json"
+    tmp = spool / f".{spec.id}.json.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(canonical_json(spec.to_json()) + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _result_digest(result: dict) -> str:
+    return hashlib.sha256(manifest_to_bytes(result)).hexdigest()
+
+
+class JobStore:
+    """All on-disk state of one service directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.journal_path = self.root / JOURNAL_NAME
+        self.manifest_path = self.root / MANIFEST_NAME
+        self.spool_path = self.root / SPOOL_DIR
+        self.results_path = self.root / RESULTS_DIR
+        self.journal: Optional[Journal] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> Tuple[Dict[str, JobRecord], int]:
+        """Create or recover the directory; returns (jobs, last seq).
+
+        New directories get the journal header; existing ones are
+        replayed (tolerating a torn tail) and any job caught mid-flight
+        by the crash — dispatched, no terminal event — comes back
+        ``queued`` with its attempt budget intact.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.spool_path.mkdir(exist_ok=True)
+        self.results_path.mkdir(exist_ok=True)
+        jobs: Dict[str, JobRecord] = {}
+        seq = 0
+        # Journal construction truncates any torn tail first, so a
+        # journal holding only a torn header line comes back empty and
+        # is re-initialized as fresh.
+        self.journal = Journal(self.journal_path)
+        if self.journal_path.stat().st_size == 0:
+            self.journal.append({
+                "event": "service",
+                "format": SERVICE_JOURNAL_FORMAT,
+                "version": SERVICE_FORMAT_VERSION,
+            })
+        else:
+            jobs, seq = self.recover(self.journal_path)
+        return jobs, seq
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+            self.journal = None
+
+    # -- journal events ----------------------------------------------------
+
+    def _append(self, event: dict) -> None:
+        assert self.journal is not None, "store not open"
+        self.journal.append(event)
+
+    def record_submit(self, spec: JobSpec, seq: int) -> None:
+        self._append({"event": "submit", "seq": seq, "job": spec.to_json()})
+
+    def record_duplicate(self, job_id: str) -> None:
+        self._append({"event": "duplicate", "id": job_id})
+
+    def record_shed(self, job_id: str, tenant: str, reason: str) -> None:
+        self._append({
+            "event": "shed", "id": job_id, "tenant": tenant,
+            "reason": reason,
+        })
+
+    def record_dispatch(self, job_id: str, attempt: int) -> None:
+        self._append({"event": "dispatch", "id": job_id,
+                      "attempt": attempt})
+
+    def record_fail(self, job_id: str, attempt: int, kind: str,
+                    signature: str, error: str) -> None:
+        self._append({
+            "event": "fail", "id": job_id, "attempt": attempt,
+            "kind": kind, "signature": signature, "error": error,
+        })
+
+    def record_failed(self, job_id: str, signature: str,
+                      error: str) -> None:
+        self._append({
+            "event": "failed", "id": job_id,
+            "signature": signature, "error": error,
+        })
+
+    def record_quarantine(self, job_id: str, signature: str,
+                          error: str, attempts: int) -> None:
+        self._append({
+            "event": "quarantine", "id": job_id,
+            "signature": signature, "error": error,
+            "attempts": attempts,
+        })
+
+    def record_complete(self, job_id: str, digest: str,
+                        artifact: str) -> None:
+        self._append({
+            "event": "complete", "id": job_id,
+            "digest": digest, "artifact": artifact,
+        })
+
+    def record_drain(self, signum: int) -> None:
+        self._append({"event": "drain", "signum": signum})
+
+    # -- result artifacts --------------------------------------------------
+
+    def write_result(self, job_id: str, result: dict) -> Tuple[str, str]:
+        """Stream one job's result to disk; returns (digest, rel path).
+
+        Written atomically *before* the ``complete`` event is journaled,
+        so a journaled completion always has its artifact — the same
+        write-ahead ordering the campaign manifest uses.
+        """
+        rel = f"{RESULTS_DIR}/{job_id}.json"
+        write_manifest(self.root / rel, result)
+        return _result_digest(result), rel
+
+    def read_result(self, job_id: str) -> dict:
+        return json.loads(
+            (self.results_path / f"{job_id}.json").read_text()
+        )
+
+    # -- recovery ----------------------------------------------------------
+
+    @staticmethod
+    def recover(
+        journal_path: Union[str, Path],
+    ) -> Tuple[Dict[str, JobRecord], int]:
+        """Replay a journal into job records (torn tail tolerated)."""
+        events = Journal.read_events(journal_path)
+        if not events or events[0].get("event") != "service":
+            raise ValueError(f"{journal_path}: not a service journal")
+        if events[0].get("format") != SERVICE_JOURNAL_FORMAT:
+            raise ValueError(
+                f"{journal_path}: unknown journal format "
+                f"{events[0].get('format')!r}"
+            )
+        jobs: Dict[str, JobRecord] = {}
+        seq = 0
+        for event in events[1:]:
+            kind = event.get("event")
+            if kind == "submit":
+                spec = JobSpec.from_json(event["job"])
+                seq = max(seq, int(event["seq"]))
+                jobs[spec.id] = JobRecord(spec=spec,
+                                          seq=int(event["seq"]))
+                continue
+            if kind in ("duplicate", "drain"):
+                continue
+            record = jobs.get(str(event.get("id")))
+            if record is None:
+                continue  # shed victim of a torn submit — impossible,
+                # but a journal reader must not crash on it
+            if kind == "shed":
+                record.state = SHED
+                record.reason = str(event.get("reason", ""))
+            elif kind == "dispatch":
+                record.state = RUNNING
+            elif kind == "fail":
+                record.state = QUEUED
+                record.attempts = int(event.get("attempt", 0)) + 1
+                record.fail_signatures.append(
+                    str(event.get("signature", ""))
+                )
+            elif kind == "failed":
+                record.state = FAILED
+                record.signature = str(event.get("signature", ""))
+                record.error = str(event.get("error", ""))
+            elif kind == "quarantine":
+                record.state = QUARANTINED
+                record.signature = str(event.get("signature", ""))
+                record.error = str(event.get("error", ""))
+                record.attempts = int(
+                    event.get("attempts", record.attempts)
+                )
+            elif kind == "complete":
+                record.state = COMPLETED
+                record.result_digest = str(event.get("digest", ""))
+                record.artifact = str(event.get("artifact", ""))
+        # jobs caught mid-dispatch by the crash go back to the queue;
+        # the dispatch consumed no attempt, so the budget is intact
+        for record in jobs.values():
+            if record.state == RUNNING:
+                record.state = QUEUED
+        return jobs, seq
+
+    # -- manifest ----------------------------------------------------------
+
+    def build_manifest(self, jobs: Dict[str, JobRecord]) -> dict:
+        """Deterministic summary: jobs sorted by id, no execution noise."""
+        entries = [
+            jobs[job_id].manifest_entry() for job_id in sorted(jobs)
+        ]
+        counts = {
+            state: sum(1 for e in entries if e["state"] == state)
+            for state in (COMPLETED, FAILED, QUARANTINED, SHED, QUEUED)
+        }
+        counts["submitted"] = len(entries)
+        return {
+            "format": SERVICE_MANIFEST_FORMAT,
+            "version": SERVICE_FORMAT_VERSION,
+            "counts": counts,
+            "jobs": entries,
+        }
+
+    def write_manifest_file(self, jobs: Dict[str, JobRecord]) -> Path:
+        return write_manifest(self.manifest_path,
+                              self.build_manifest(jobs))
+
+    def load_manifest(self) -> dict:
+        data = json.loads(self.manifest_path.read_text())
+        if data.get("format") != SERVICE_MANIFEST_FORMAT:
+            raise ValueError(
+                f"{self.manifest_path}: not a service manifest "
+                f"(format={data.get('format')!r})"
+            )
+        return data
+
+    # -- spool -------------------------------------------------------------
+
+
+
+    def scan_spool(self) -> List[Tuple[Path, Optional[JobSpec]]]:
+        """List spooled submissions in name order.
+
+        Unparseable files come back with spec ``None``; the daemon
+        renames them aside (``.bad``) rather than crashing on them.
+        """
+        out: List[Tuple[Path, Optional[JobSpec]]] = []
+        if not self.spool_path.is_dir():
+            return out
+        for path in sorted(self.spool_path.glob("*.json")):
+            try:
+                spec = JobSpec.from_json(
+                    json.loads(path.read_text())
+                )
+            except (ValueError, KeyError, TypeError):
+                spec = None
+            out.append((path, spec))
+        return out
+
+
+def service_status(root: Union[str, Path]) -> dict:
+    """Inspect a service directory without running anything.
+
+    The offline analogue of the daemon's ``snapshot()``: counters come
+    from journal replay (torn tail tolerated), jobs that were in flight
+    when the process died count as queued (that is what recovery will
+    make them), and the accounting identity is checked over the
+    recovered state.  Quarantine details and retry counts ride along
+    for the shared summary renderer.
+    """
+    store = JobStore(root)
+    if not store.journal_path.exists():
+        raise FileNotFoundError(f"{store.root}: no {JOURNAL_NAME}")
+    jobs, _ = JobStore.recover(store.journal_path)
+    events = Journal.read_events(store.journal_path)
+    drained = any(e.get("event") == "drain" for e in events)
+    duplicates = sum(1 for e in events if e.get("event") == "duplicate")
+    counts = {
+        state: sum(1 for r in jobs.values() if r.state == state)
+        for state in (COMPLETED, FAILED, QUARANTINED, SHED, QUEUED)
+    }
+    accounted = sum(counts.values())
+    retries = {
+        r.spec.id: r.attempts for r in jobs.values()
+        if r.attempts > 0
+    }
+    return {
+        "dir": str(store.root),
+        "submitted": len(jobs),
+        "completed": counts[COMPLETED],
+        "failed": counts[FAILED],
+        "quarantined": counts[QUARANTINED],
+        "shed": counts[SHED],
+        "in_queue": counts[QUEUED],
+        "in_flight": 0,
+        "accounting_exact": len(jobs) == accounted,
+        "duplicates": duplicates,
+        "drained": drained,
+        "complete": all(r.terminal for r in jobs.values()),
+        "manifest": store.manifest_path.exists(),
+        "retries": {
+            job_id: retries[job_id] for job_id in sorted(retries)
+        },
+        "quarantine_details": [
+            {
+                "id": r.spec.id,
+                "signature": r.signature,
+                "kind": r.spec.kind,
+                "attempts": r.attempts,
+            }
+            for r in sorted(
+                (r for r in jobs.values() if r.state == QUARANTINED),
+                key=lambda r: r.spec.id,
+            )
+        ],
+    }
