@@ -38,10 +38,12 @@ from repro.coding.gf2 import (
     words_for,
 )
 from repro.experiments.workloads import uniform_random_placement
-from repro.topology import random_geometric
+from repro.topology import grid, random_geometric
 
 #: Bumped whenever the measured quantities change shape.
-BASELINE_SCHEMA = 1
+#: Schema 2 adds the columnar engine's grid end-to-end sample and the
+#: ``topology`` field on end-to-end measurements.
+BASELINE_SCHEMA = 2
 
 
 def best_of(fn: Callable[[], object], reps: int = 3) -> float:
@@ -185,12 +187,41 @@ def measure_solve(
     }
 
 
+def build_network(topology: str, n: int, seed: int = 21):
+    """Build a benchmark topology with its analytics pre-warmed.
+
+    ``grid`` picks the most-square ``rows x cols`` factorization of n
+    (10^4 -> 100x100, 10^5 -> 250x400).  The exact diameter is computed
+    here — outside any timed region — so end-to-end timings measure the
+    protocol, not graph analytics (the generators hint grid diameters
+    in closed form; RGGs need n BFS runs).
+    """
+    if topology == "grid":
+        rows = int(np.sqrt(n))
+        while n % rows:
+            rows -= 1
+        net = grid(rows, n // rows)
+    elif topology == "rgg":
+        net = random_geometric(n, seed=seed)
+    else:
+        raise ValueError(f"unknown benchmark topology {topology!r}")
+    net.diameter
+    return net
+
+
 def measure_end_to_end(
     n: int, k: int, engine: str,
     topo_seed: int = 21, workload_seed: int = 7, algo_seed: int = 123,
+    topology: str = "rgg", net=None,
 ) -> Dict[str, float]:
-    """One full four-stage multibroadcast, cold integrity caches."""
-    net = random_geometric(n, seed=topo_seed)
+    """One full four-stage multibroadcast, cold integrity caches.
+
+    Pass a prebuilt ``net`` (from :func:`build_network`) to compare
+    engines on the identical network object without paying the build
+    cost per measurement.
+    """
+    if net is None:
+        net = build_network(topology, n, seed=topo_seed)
     net.set_engine(engine)
     packets = uniform_random_placement(net, k=k, seed=workload_seed)
     clear_integrity_caches()
@@ -202,6 +233,7 @@ def measure_end_to_end(
         "n": n,
         "k": k,
         "engine": engine,
+        "topology": topology,
         "seconds": elapsed,
         "rounds": result.total_rounds,
     }
@@ -223,8 +255,18 @@ def collect_baseline() -> dict:
     resolver = samples[1]
     rank = measure_rank(1024)
     solve = measure_solve(512)
+    measure_end_to_end(100, 32, "fast")  # discarded warmup: the first
+    # multibroadcast in a process pays one-time import/cache costs that
+    # would otherwise be booked against whichever engine runs first
     e2e_fast = measure_end_to_end(100, 32, "fast")
     e2e_ref = measure_end_to_end(100, 32, "reference")
+    grid_net = build_network("grid", 900)
+    e2e_grid_col = measure_end_to_end(
+        900, 24, "columnar", topology="grid", net=grid_net
+    )
+    e2e_grid_fast = measure_end_to_end(
+        900, 24, "fast", topology="grid", net=grid_net
+    )
     return {
         "schema": BASELINE_SCHEMA,
         "resolver_n500_t350": resolver,
@@ -234,5 +276,10 @@ def collect_baseline() -> dict:
             "fast": e2e_fast,
             "reference": e2e_ref,
             "speedup": e2e_ref["seconds"] / e2e_fast["seconds"],
+        },
+        "end_to_end_grid_n900_k24": {
+            "fast": e2e_grid_fast,
+            "columnar": e2e_grid_col,
+            "speedup": e2e_grid_fast["seconds"] / e2e_grid_col["seconds"],
         },
     }

@@ -36,6 +36,12 @@ REGRESSION_TOLERANCE = 1.20
 #: The resolver's best case must stay at least this much ahead.
 MIN_RESOLVER_SPEEDUP = 3.0
 
+#: Columnar vs fast on the n=900 grid sample: the measured ratio is
+#: ~2x and grows with n (the P3 flagship shows >10x at n=10^4); a drop
+#: below this floor means the columnar stage drivers fell off their
+#: array path (e.g. a dispatch regression back to the dict loop).
+MIN_COLUMNAR_SPEEDUP = 1.4
+
 
 @pytest.fixture(scope="module")
 def baseline():
@@ -115,3 +121,32 @@ def test_guard_end_to_end(baseline, benchmark):
     benchmark.extra_info.update({"fast": fast, "reference": ref})
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     assert fast["rounds"] == ref["rounds"] == pinned["fast"]["rounds"]
+
+
+def test_guard_columnar_end_to_end(baseline, benchmark):
+    """Columnar vs fast on the pinned n=900 grid workload.  Unlike the
+    dict-engine pair above this one IS timing-gated: the columnar win
+    is a full engine-architecture gap (array stage drivers vs per-round
+    dict loop), so the ratio is far enough from 1 to gate on even with
+    host noise.  Round counts are replay-deterministic and pinned
+    per engine."""
+    pinned = baseline["end_to_end_grid_n900_k24"]
+    net = _perf.build_network("grid", 900)
+    col = _perf.measure_end_to_end(
+        900, 24, "columnar", topology="grid", net=net
+    )
+    fast = _perf.measure_end_to_end(
+        900, 24, "fast", topology="grid", net=net
+    )
+    benchmark.extra_info.update({"columnar": col, "fast": fast})
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert col["rounds"] == pinned["columnar"]["rounds"], col
+    assert fast["rounds"] == pinned["fast"]["rounds"], fast
+    assert fast["seconds"] / col["seconds"] >= MIN_COLUMNAR_SPEEDUP, (
+        col, fast,
+    )
+    _check_normalized(
+        "grid n=900 columnar vs fast",
+        col["seconds"] / fast["seconds"],
+        pinned["columnar"]["seconds"] / pinned["fast"]["seconds"],
+    )

@@ -114,16 +114,28 @@ class AlgorithmParameters:
         Master key the per-node signing keys are derived from (a dealer
         secret; each node learns only its own derived key).
     fast_engine:
-        Simulation-engine switch (``fast=True|False``): selects the
-        vectorized bitset reception resolver when true and the
-        pure-python reference scan when false.  The default ``None``
-        inherits whatever engine the network already uses (the process
-        default, see :func:`set_default_engine`).  The two engines are
-        observationally identical — same receptions, same order, same
-        RNG stream, same transcripts — which
-        :mod:`repro.testing.differential` cross-checks; the switch only
-        trades wall-clock speed, never changes any result.  Threaded
-        into the network by every entry point that accepts parameters
+        **Deprecated** boolean tri-state, kept as a shim: ``True`` means
+        ``engine="fast"``, ``False`` means ``engine="reference"``,
+        ``None`` (default) defers to ``engine``.  Use ``engine``
+        instead; setting this emits a :class:`DeprecationWarning`, and
+        setting both to conflicting values raises :class:`ValueError`.
+    engine:
+        Simulation-engine name: one of
+        :data:`repro.radio.network.ENGINES` (``"fast"``,
+        ``"reference"``, ``"columnar"``) or ``None`` (default) to
+        inherit whatever engine the network already uses (the process
+        default, see :func:`set_default_engine`).  ``fast`` and
+        ``reference`` are observationally identical — same receptions,
+        same order, same RNG stream, same transcripts — which
+        :mod:`repro.testing.differential` cross-checks digest-exactly.
+        ``columnar`` runs the same protocol through whole-network
+        vectorized stage drivers whose batched RNG draws legitimately
+        reorder the random stream; it is gated by the
+        semantic-equivalence oracles of :mod:`repro.testing.semantic`
+        (same delivered sets, same collision counts, same drop
+        accounting, same round budgets) rather than by transcript
+        digests.  Threaded into the network by every entry point that
+        accepts parameters
         (:class:`~repro.core.multibroadcast.MultipleMessageBroadcast`,
         the supervised/chaos runners, the baselines).
     """
@@ -148,18 +160,37 @@ class AlgorithmParameters:
     authentication: bool = False
     auth_master_key: int = 0xD1B54A32D192ED03
     fast_engine: Optional[bool] = None
+    engine: Optional[str] = None
 
-    @property
-    def engine(self) -> Optional[str]:
-        """The :mod:`repro.radio.network` engine name this selects
-        (``None`` = keep the network's current engine)."""
-        if self.fast_engine is None:
-            return None
-        return "fast" if self.fast_engine else "reference"
+    def __post_init__(self) -> None:
+        if self.fast_engine is not None:
+            legacy = "fast" if self.fast_engine else "reference"
+            if self.engine is None:
+                import warnings
+
+                warnings.warn(
+                    "AlgorithmParameters(fast_engine=...) is deprecated; "
+                    f"use engine={legacy!r} instead",
+                    DeprecationWarning,
+                    stacklevel=3,
+                )
+                # frozen dataclass: bypass the immutability guard once,
+                # during construction, to resolve the shim.
+                object.__setattr__(self, "engine", legacy)
+            elif self.engine != legacy:
+                raise ValueError(
+                    f"conflicting engine selection: fast_engine="
+                    f"{self.fast_engine!r} implies {legacy!r} but engine="
+                    f"{self.engine!r}"
+                )
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
 
     def apply_engine(self, network) -> None:
         """Push the engine choice into ``network`` (wrappers delegate
-        down to the base topology).  No-op when ``fast_engine`` is
+        down to the base topology).  No-op when ``engine`` is
         ``None``."""
         engine = self.engine
         if engine is None:

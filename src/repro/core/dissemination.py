@@ -41,9 +41,10 @@ from repro.coding.integrity import (
     plain_hop_tag,
     plain_root_tag,
 )
+from repro.coding.gf2 import PackedGF2Basis
 from repro.coding.packets import CodedMessage, Packet
 from repro.core.config import AlgorithmParameters
-from repro.primitives.decay import decay_slots
+from repro.primitives.decay import decay_slots, decay_transmit_matrix
 from repro.radio.errors import ProtocolError
 from repro.radio.network import RadioNetwork
 from repro.radio.trace import RoundTrace
@@ -315,6 +316,418 @@ def run_dissemination_stage(
                 flag_mis_decode(receiver, j)
                 return
             has_group[receiver, j] = True
+
+    def process_received(
+        received: Dict[int, object], phase: int, touched: Set[Tuple[int, int]]
+    ) -> None:
+        """Verify and absorb one resolved round's receptions.
+
+        This is the single implementation of the Stage-4 receiver
+        pipeline (layer acceptance → authentication → integrity →
+        decoder), shared verbatim by the reference slot loop and the
+        columnar fallback path, so the two can never drift apart.
+        """
+        nonlocal corrupt_discarded, byz_discarded, poisoned_attributed
+        nonlocal innovative_rx
+        round_discarded = 0
+        round_byz = 0
+        round_poisoned = 0
+        for receiver, msg in received.items():
+            if not (isinstance(msg, tuple) and len(msg) >= 5):
+                continue  # not dissemination traffic
+            kind = msg[0]
+            if kind not in ("plain", "coded"):
+                continue  # stray control traffic (e.g. forged ACKs)
+            chk = msg[5] if len(msg) > 5 else None
+            sender: Optional[int] = None
+            if kind == "plain":
+                _, j, idx, payload, gs = msg[:5]
+                if has_group[receiver, j]:
+                    continue
+                d = group_layer(j, phase)
+                accept = (
+                    params.opportunistic_decoding
+                    or (d and int(dist[receiver]) == d)
+                )
+                if not accept:
+                    continue
+                if auth:
+                    if len(msg) != 9:
+                        round_byz += 1
+                        continue
+                    rtag, sender, htag = msg[6], msg[7], msg[8]
+                    if sender in blacklist:
+                        round_byz += 1
+                        continue
+                    if htag != plain_hop_tag(
+                        sender, j, idx, payload, gs,
+                        -1 if chk is None else chk, rtag, akey,
+                    ):
+                        # unsigned/mis-signed hop: drop, no conviction
+                        round_byz += 1
+                        continue
+                    if rtag != plain_root_tag(root, j, idx, payload,
+                                              akey):
+                        # the signer vouched for a payload the root
+                        # never minted: provable poison
+                        round_byz += 1
+                        round_poisoned += 1
+                        flagged.add(sender)
+                        continue
+                # verify before accepting: a malformed index is
+                # detectable without the key; a flipped bit anywhere
+                # breaks the keyed checksum
+                if not 0 <= idx < gs:
+                    corrupt_discarded += 1
+                    round_discarded += 1
+                    continue
+                if integrity and chk is not None and chk != (
+                    packet_checksum(j, 1 << idx, payload, gs, key)
+                ):
+                    corrupt_discarded += 1
+                    round_discarded += 1
+                    continue
+                plain_seen.setdefault((receiver, j), {})[idx] = payload
+                touched.add((receiver, j))
+            else:
+                _, j, mask, payload, gs = msg[:5]
+                if has_group[receiver, j]:
+                    continue
+                d = group_layer(j, phase)
+                accept = (
+                    params.opportunistic_decoding
+                    or (d and int(dist[receiver]) == d)
+                )
+                if not accept:
+                    continue
+                if auth:
+                    if len(msg) != 8:
+                        round_byz += 1
+                        continue
+                    sender, htag = msg[6], msg[7]
+                    if sender in blacklist:
+                        round_byz += 1
+                        continue
+                    if htag != coded_hop_tag(
+                        sender, j, mask, payload, gs,
+                        -1 if chk is None else chk, akey,
+                    ):
+                        round_byz += 1
+                        continue
+                    if not in_group_span(j, mask, payload):
+                        # checksum-valid but outside the true span:
+                        # only the signer could have produced it
+                        round_byz += 1
+                        round_poisoned += 1
+                        flagged.add(sender)
+                        continue
+                pair = (receiver, j)
+                dec = decoders.get(pair)
+                if dec is None:
+                    dec = HardenedGroupDecoder(
+                        group_id=j, group_size=gs, key=key
+                    )
+                    decoders[pair] = dec
+                elif dec.is_complete:
+                    # A full-rank RREF basis cannot change: further
+                    # rows are redundant (or quarantine fodder) and
+                    # the decode result is already fixed, so skip
+                    # the elimination.  Promotion still happens at
+                    # phase end via ``touched``.
+                    touched.add(pair)
+                    continue
+                coded = CodedMessage(
+                    group_id=j,
+                    subset_mask=mask,
+                    payload=payload,
+                    group_size=gs,
+                    checksum=chk,
+                )
+                # FORWARD verifies before Gaussian elimination: the
+                # hardened decoder checksums / width-checks the row
+                # and quarantines instead of inserting
+                rejected_before = len(dec.quarantined)
+                if dec.absorb(coded, sender=sender):
+                    innovative_rx += 1
+                newly_rejected = len(dec.quarantined) - rejected_before
+                corrupt_discarded += newly_rejected
+                round_discarded += newly_rejected
+                touched.add(pair)
+        byz_discarded += round_byz
+        poisoned_attributed += round_poisoned
+        if trace is not None:
+            if round_discarded:
+                trace.observe_integrity(
+                    rx_corrupt_discarded=round_discarded
+                )
+            if round_byz or round_poisoned:
+                trace.observe_byzantine(
+                    rx_discarded=round_byz,
+                    poisoned_rows=round_poisoned,
+                )
+
+    def run_phases_columnar() -> int:
+        """Columnar phase loop: whole-layer Decay schedules per epoch.
+
+        Per active group the epoch's transmit decisions come from one
+        :func:`decay_transmit_matrix` draw over the whole sender layer,
+        and the coded subset masks from one batched ``rng.integers`` per
+        slot — instead of per-sender Python work.  On a bare honest
+        :class:`RadioNetwork` (no trace, no blacklist) the rounds go
+        through :meth:`RadioNetwork.resolve_round_vector` with no wire
+        tuples at all: senders are attributed to groups by their BFS
+        layer (concurrent groups occupy distinct layers), per-receiver
+        decoding state is a payload-free :class:`PackedGF2Basis` fed by
+        ``absorb_block`` at phase end (honest rows are always
+        span-consistent, so rank alone decides completion, and the
+        innovative count equals the rank gain in any absorption order),
+        and all integrity/authentication counters are provably zero.
+        Fault wrappers, traces, and blacklists fall back to sealed wire
+        tuples resolved through ``network.resolve_round`` and verified
+        by the shared :func:`process_received` pipeline.
+
+        Returns the rounds consumed (``total_phases * phase_length``).
+        """
+        nonlocal coded_tx, plain_tx, innovative_rx
+        direct = (
+            isinstance(network, RadioNetwork)
+            and type(network).resolve_round is RadioNetwork.resolve_round
+            and trace is None
+            and not blacklist
+        )
+        reps = max(1, params.root_plain_repetitions)
+        n_decay = epochs * slots
+        layer_arrays = [np.array(lay, dtype=np.int64) for lay in layers]
+        # Direct-mode decoding state: plain packets as received-bitmask
+        # ints, coded rows as coefficient-only bases.
+        plain_bits: Dict[Tuple[int, int], int] = {}
+        bases: Dict[Tuple[int, int], PackedGF2Basis] = {}
+        # Per-slot scatter buffer mapping a transmitting node to the
+        # mask / packet index it sent (only slots written this round are
+        # ever read back).
+        val_of_tx = np.zeros(n, dtype=np.int64)
+        root_arr = np.array([root], dtype=np.int64)
+        rounds = 0
+
+        for phase in range(1, total_phases + 1):
+            root_group = -1
+            fsets: List[Tuple[int, int, np.ndarray, int]] = []
+            for j in range(g):
+                d = group_layer(j, phase)
+                if not d:
+                    continue
+                if d == 1:
+                    root_group = j
+                    continue
+                lay = layer_arrays[d - 1]
+                sel = has_group[lay, j]
+                if mis_decoded:
+                    sel = sel & np.array(
+                        [(int(v), j) not in mis_decoded for v in lay]
+                    )
+                senders = lay[sel]
+                if senders.size:
+                    fsets.append((j, d, senders, len(groups[j])))
+
+            gs_root = len(groups[root_group]) if root_group >= 0 else 0
+            touched: Set[Tuple[int, int]] = set()
+            # Direct-mode coded receptions accumulate per phase and are
+            # absorbed in one block per (receiver, group) at phase end —
+            # legal because promotion only happens at phase end anyway.
+            rx_recv: List[np.ndarray] = []
+            rx_group: List[int] = []
+            rx_rows: List[np.ndarray] = []
+            epoch_coins: Dict[int, np.ndarray] = {}
+
+            for slot in range(phase_length):
+                in_decay = slot < n_decay
+                epoch_slot = slot % slots
+                if in_decay and epoch_slot == 0:
+                    for j, d, senders, gs in fsets:
+                        epoch_coins[j] = decay_transmit_matrix(
+                            senders.size, rng, slots
+                        )
+
+                root_tx = root_group >= 0 and slot < gs_root * reps
+                tx_entries: List[Tuple[int, int, np.ndarray, np.ndarray, int]] = []
+                if in_decay:
+                    for j, d, senders, gs in fsets:
+                        hot = senders[epoch_coins[j][epoch_slot]]
+                        if hot.size == 0:
+                            continue
+                        if params.coding_enabled:
+                            vals = rng.integers(0, 1 << gs, size=hot.size)
+                            coded_tx += hot.size
+                        else:
+                            vals = rng.integers(0, gs, size=hot.size)
+                            plain_tx += hot.size
+                        tx_entries.append((j, d, hot, vals, gs))
+                if root_tx:
+                    plain_tx += 1
+
+                if not root_tx and not tx_entries:
+                    continue
+
+                if direct:
+                    parts = [hot for _, _, hot, _, _ in tx_entries]
+                    if root_tx:
+                        parts.append(root_arr)
+                    tx_all = (
+                        np.concatenate(parts) if len(parts) > 1 else parts[0]
+                    )
+                    for _, _, hot, vals, _ in tx_entries:
+                        val_of_tx[hot] = vals
+                    receivers, senders_of = network.resolve_round_vector(
+                        tx_all
+                    )
+                    if receivers.size == 0:
+                        continue
+                    s_layer = dist[senders_of]
+                    if root_tx:
+                        from_root = s_layer == 0
+                        rcv = receivers[from_root]
+                        if rcv.size:
+                            keep = ~has_group[rcv, root_group]
+                            if not params.opportunistic_decoding:
+                                keep &= dist[rcv] == 1
+                            idx_bit = 1 << (slot % gs_root)
+                            for v in rcv[keep].tolist():
+                                pair = (v, root_group)
+                                plain_bits[pair] = (
+                                    plain_bits.get(pair, 0) | idx_bit
+                                )
+                                touched.add(pair)
+                    for j, d, hot, vals, gs in tx_entries:
+                        from_j = s_layer == d - 1
+                        rcv = receivers[from_j]
+                        if rcv.size == 0:
+                            continue
+                        snd = senders_of[from_j]
+                        keep = ~has_group[rcv, j]
+                        if not params.opportunistic_decoding:
+                            keep &= dist[rcv] == d
+                        rcv = rcv[keep]
+                        if rcv.size == 0:
+                            continue
+                        rows = val_of_tx[snd[keep]]
+                        if params.coding_enabled:
+                            rx_recv.append(rcv)
+                            rx_group.append(j)
+                            rx_rows.append(rows)
+                        else:
+                            for v, pick in zip(rcv.tolist(), rows.tolist()):
+                                pair = (v, j)
+                                plain_bits[pair] = (
+                                    plain_bits.get(pair, 0) | (1 << pick)
+                                )
+                                touched.add(pair)
+                else:
+                    transmissions: Dict[int, object] = {}
+                    if root_tx:
+                        idx = slot % gs_root
+                        pkt = groups[root_group][idx]
+                        transmissions[root] = seal_plain(
+                            root, root_group, idx, pkt.payload, gs_root
+                        )
+                    for j, d, hot, vals, gs in tx_entries:
+                        payloads = group_payloads[j]
+                        if params.coding_enabled:
+                            for s_, m_ in zip(hot.tolist(), vals.tolist()):
+                                transmissions[s_] = seal_coded(
+                                    s_, j, m_, subset_xor(j, m_), gs
+                                )
+                        else:
+                            for s_, pick in zip(hot.tolist(), vals.tolist()):
+                                transmissions[s_] = seal_plain(
+                                    s_, j, pick, payloads[pick], gs
+                                )
+                    received = network.resolve_round(transmissions)
+                    if trace is not None:
+                        trace.observe(
+                            round_offset + rounds + slot,
+                            transmissions,
+                            received,
+                        )
+                    process_received(received, phase, touched)
+
+            # Phase end: batch-absorb the direct-mode coded rows, then
+            # promote exactly as the reference loop does.
+            if rx_recv:
+                all_recv = np.concatenate(rx_recv)
+                all_group = np.concatenate(
+                    [np.full(r.size, j, dtype=np.int64)
+                     for r, j in zip(rx_recv, rx_group)]
+                )
+                all_rows = np.concatenate(rx_rows)
+                order = np.lexsort((all_recv, all_group))
+                all_recv = all_recv[order]
+                all_group = all_group[order]
+                all_rows = all_rows[order]
+                boundaries = np.flatnonzero(
+                    (np.diff(all_recv) != 0) | (np.diff(all_group) != 0)
+                ) + 1
+                starts = np.concatenate(([0], boundaries))
+                ends = np.concatenate((boundaries, [all_recv.size]))
+                for a, b in zip(starts.tolist(), ends.tolist()):
+                    pair = (int(all_recv[a]), int(all_group[a]))
+                    touched.add(pair)
+                    basis = bases.get(pair)
+                    if basis is None:
+                        basis = PackedGF2Basis(len(groups[pair[1]]))
+                        bases[pair] = basis
+                    elif basis.is_complete:
+                        continue
+                    before = basis.rank
+                    rows_block = all_rows[a:b].tolist()
+                    basis.absorb_block(rows_block, [0] * (b - a))
+                    innovative_rx += basis.rank - before
+
+            rounds += phase_length
+            if direct:
+                for v, j in touched:
+                    if has_group[v, j]:
+                        continue
+                    gs = len(groups[j])
+                    if plain_bits.get((v, j), 0) == (1 << gs) - 1:
+                        has_group[v, j] = True
+                        continue
+                    basis = bases.get((v, j))
+                    if basis is not None and basis.is_complete:
+                        has_group[v, j] = True
+            else:
+                for v, j in touched:
+                    try_complete(v, j)
+        return rounds
+
+    if getattr(network, "engine", None) == "columnar":
+        rounds = run_phases_columnar()
+        failed = [
+            (v, j)
+            for v in range(n)
+            for j in range(g)
+            if not has_group[v, j]
+        ]
+        quarantined = sum(len(d.quarantined) for d in decoders.values())
+        return DisseminationResult(
+            rounds=rounds,
+            num_groups=g,
+            group_width=width,
+            phases=total_phases,
+            phase_length=phase_length,
+            has_group=has_group,
+            complete=not failed and not mis_decoded,
+            failed_receivers=failed,
+            coded_transmissions=coded_tx,
+            innovative_receptions=innovative_rx,
+            plain_transmissions=plain_tx,
+            corrupted_discarded=corrupt_discarded,
+            quarantined_rows=quarantined,
+            mis_decodes=len(mis_decoded),
+            mis_decoded_receivers=sorted(mis_decoded),
+            byzantine_rx_discarded=byz_discarded,
+            poisoned_rows_attributed=poisoned_attributed,
+            flagged_senders=flagged,
+        )
 
     for phase in range(1, total_phases + 1):
         # Which groups are active, and at which layer?

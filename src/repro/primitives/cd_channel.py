@@ -166,12 +166,10 @@ def max_id_binary_search(
             if mid <= c < hi[c]:
                 transmitters.append(c)
         result = channel.virtual_round(transmitters)
-        for v in range(n):
-            mid = (lo[v] + hi[v] + 1) // 2
-            if mid >= hi[v]:
-                continue
-            if result.observation[v] == BUSY:
-                lo[v] = mid
-            else:
-                hi[v] = mid
+        mid = (lo + hi + 1) // 2
+        active = mid < hi
+        busy = active & (result.observation == BUSY)
+        silent = active & ~busy
+        lo[busy] = mid[busy]
+        hi[silent] = mid[silent]
     return [int(x) for x in lo]

@@ -44,6 +44,39 @@ def transmission_probabilities(num_slots: int) -> List[float]:
     return [2.0 ** -(s + 1) for s in range(num_slots)]
 
 
+def decay_transmit_matrix(
+    num_participants: int,
+    rng: np.random.Generator,
+    num_slots: int,
+    variant: str = "independent",
+) -> np.ndarray:
+    """Whole-epoch transmit decisions as a ``(num_slots, m)`` bool matrix.
+
+    ``matrix[s, i]`` says whether participant ``i`` transmits in slot
+    ``s``.  The draws consume the *identical* RNG stream that
+    :func:`run_decay_epoch` consumes for the same participant count:
+    ``rng.random((num_slots, m))`` fills rows sequentially (C order), so
+    row ``s`` holds exactly the ``m`` doubles the per-slot
+    ``rng.random(m)`` call would have drawn, and the classic variant's
+    geometric stops are drawn once up front in both.  The columnar stage
+    drivers build their batched schedules from this matrix.
+    """
+    m = int(num_participants)
+    if variant == "independent":
+        if m == 0:
+            return np.zeros((num_slots, 0), dtype=bool)
+        probs = np.array(
+            transmission_probabilities(num_slots), dtype=np.float64
+        )
+        return rng.random((num_slots, m)) < probs[:, None]
+    if variant == "classic":
+        if m == 0:
+            return np.zeros((num_slots, 0), dtype=bool)
+        stops = rng.geometric(0.5, size=m)
+        return np.arange(num_slots)[:, None] < stops[None, :]
+    raise ValueError(f"unknown Decay variant {variant!r}")
+
+
 def run_decay_epoch(
     network: RadioNetwork,
     participants: Sequence[int],

@@ -148,15 +148,16 @@ def elect_leader(
                 sources.append(c)
 
         result = channel.virtual_round(sources)
-        for v in range(n):
-            mid = (lo[v] + hi[v] + 1) // 2
-            if mid >= hi[v]:
-                continue  # interval already a single ID; nothing to probe
-            if result.observation[v] == BUSY:
-                lo[v] = mid
-                heard_any[v] = True
-            else:
-                hi[v] = mid
+        # Whole-network interval update (deterministic, no RNG): nodes
+        # whose interval still spans more than one ID narrow it by the
+        # half their observation selects.
+        mid = (lo + hi + 1) // 2
+        active = mid < hi
+        busy = active & (result.observation == BUSY)
+        silent = active & ~busy
+        lo[busy] = mid[busy]
+        hi[silent] = mid[silent]
+        heard_any |= busy
 
     # A candidate claims leadership iff its interval singled out its own ID.
     claimants = sorted(

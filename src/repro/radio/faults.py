@@ -65,6 +65,7 @@ class FaultyRadioNetwork(RadioNetwork):
             n=base.n,
             require_connected=False,
             name=f"faulty({base.name},e={erasure_prob})",
+            engine=getattr(base, "engine", None),
         )
         self._base = base
         self.erasure_prob = float(erasure_prob)

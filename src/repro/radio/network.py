@@ -20,19 +20,32 @@ import numpy as np
 
 from repro.radio.errors import TopologyError
 
-#: The two interchangeable implementations of the reception rule.
-#: ``"fast"`` resolves rounds with a precomputed adjacency bitset matrix
-#: (word-wise popcount over uint64 words); ``"reference"`` is the original
-#: per-transmitter neighbor scan.  Both produce bit-identical results —
-#: same receivers, same messages, same (ascending) dict order — which the
-#: differential harness (:mod:`repro.testing.differential`) verifies.
-ENGINES = ("fast", "reference")
+#: The interchangeable implementations of the reception rule / protocol
+#: execution.  ``"reference"`` is the original per-transmitter neighbor
+#: scan; ``"fast"`` resolves rounds with adaptive scatter/bitset numpy
+#: kernels.  Those two produce bit-identical results — same receivers,
+#: same messages, same (ascending) dict order — which the differential
+#: harness (:mod:`repro.testing.differential`) verifies digest-exactly.
+#: ``"columnar"`` additionally switches the protocol *stages* (election,
+#: BFS, collection, dissemination floods) to whole-network vectorized
+#: drivers that batch RNG draws; its dict-based :meth:`resolve_round` is
+#: identical to ``"fast"``, but the stage drivers legitimately reorder
+#: RNG streams, so it is gated by semantic-equivalence oracles
+#: (:mod:`repro.testing.semantic`) instead of transcript digests.
+ENGINES = ("fast", "reference", "columnar")
+
+#: Dict-path rounds fall back from the bitset strategy to the scatter
+#: strategy above this node count: the packed adjacency matrix is
+#: ``n * ceil(n/64) * 8`` bytes (≈1.25 GB at n=10^5), which columnar-scale
+#: networks must never materialize.  The strategy switch is result- and
+#: order-identical, so transcript digests are unaffected.
+BITSET_MAX_N = 16384
 
 _default_engine = "fast"
 
 
 def set_default_engine(name: str) -> None:
-    """Set the engine newly constructed networks use (``fast``/``reference``)."""
+    """Set the engine newly constructed networks use (see :data:`ENGINES`)."""
     global _default_engine
     if name not in ENGINES:
         raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
@@ -79,11 +92,18 @@ class RadioNetwork:
     name:
         Optional human-readable label used in reports.
     engine:
-        Reception-resolution implementation: ``"fast"`` (adjacency bitset
-        matrix, word-wise popcount) or ``"reference"`` (per-transmitter
-        neighbor scan).  Defaults to the module default
-        (:func:`get_default_engine`).  The two are bit-for-bit equivalent;
-        see :meth:`resolve_round`.
+        Protocol/reception engine: one of :data:`ENGINES`
+        (``"fast"``, ``"reference"``, ``"columnar"``).  Defaults to the
+        module default (:func:`get_default_engine`).  ``fast`` and
+        ``reference`` are bit-for-bit equivalent; ``columnar`` resolves
+        dict rounds identically to ``fast`` but additionally enables the
+        vectorized stage drivers (see :meth:`resolve_round`).
+    diameter_hint:
+        Optional exact diameter, when the caller knows it in closed form
+        (topology generators do for lines, rings, grids, tori,
+        hypercubes, …).  Seeds the :attr:`diameter` cache so that
+        columnar-scale networks skip the O(n·m) all-pairs eccentricity
+        sweep.  Must be exact — round budgets derive from it.
     """
 
     def __init__(
@@ -93,6 +113,7 @@ class RadioNetwork:
         require_connected: bool = True,
         name: str = "",
         engine: Optional[str] = None,
+        diameter_hint: Optional[int] = None,
     ):
         adjacency: Dict[int, set] = {}
         max_id = -1
@@ -121,6 +142,12 @@ class RadioNetwork:
         self._degrees = np.array([len(a) for a in self._neighbors], dtype=np.int64)
         self._num_edges = int(self._degrees.sum()) // 2
         self._diameter: Optional[int] = None
+        if diameter_hint is not None:
+            if diameter_hint < 1:
+                raise TopologyError(
+                    f"diameter_hint must be >= 1, got {diameter_hint}"
+                )
+            self._diameter = int(diameter_hint)
         self._engine = engine if engine is not None else _default_engine
         if self._engine not in ENGINES:
             raise ValueError(
@@ -131,6 +158,10 @@ class RadioNetwork:
         # (bit u of row v set iff edge (v, u)).  Built lazily on the first
         # contended round so reference-engine runs pay nothing.
         self._adj_words: Optional[np.ndarray] = None
+        # CSR adjacency (indptr, indices) for the columnar vector
+        # resolver; memory is O(n + m) so it scales to n=10^5-10^6.
+        # Built lazily on first use.
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
         if require_connected and n > 1 and not self.is_connected():
             raise TopologyError(f"{self._name} is disconnected")
@@ -150,16 +181,25 @@ class RadioNetwork:
         return self._engine
 
     def set_engine(self, name: str) -> None:
-        """Switch between the ``fast`` and ``reference`` resolvers.
+        """Switch to another engine from :data:`ENGINES`.
 
-        Safe at any point — the two engines are bit-for-bit equivalent,
-        so switching mid-run never changes an execution.
+        Switching between ``fast`` and ``reference`` is safe at any point
+        — the two are bit-for-bit equivalent, so switching mid-run never
+        changes an execution.  Switching ``columnar`` on/off mid-run is
+        well-defined but changes which stage drivers (and hence which RNG
+        draw order) subsequent stages use.
         """
         if name not in ENGINES:
             raise ValueError(
                 f"unknown engine {name!r}; expected one of {ENGINES}"
             )
         self._engine = name
+
+    def set_diameter_hint(self, diameter: int) -> None:
+        """Seed the :attr:`diameter` cache with a known-exact value."""
+        if diameter < 1:
+            raise TopologyError(f"diameter_hint must be >= 1, got {diameter}")
+        self._diameter = int(diameter)
 
     @property
     def name(self) -> str:
@@ -209,17 +249,36 @@ class RadioNetwork:
     # ------------------------------------------------------------------
 
     def bfs_distances(self, source: int) -> np.ndarray:
-        """Hop distances from ``source``; unreachable nodes get -1."""
+        """Hop distances from ``source``; unreachable nodes get -1.
+
+        Runs a CSR frontier expansion (one vectorized gather per BFS
+        level) rather than a per-node queue; hop distances are unique,
+        so the result is identical to a scalar BFS.  This is what keeps
+        exact-diameter computation affordable on generated topologies
+        with no closed-form hint (e.g. random geometric graphs), where
+        ``diameter`` runs n of these.
+        """
         dist = np.full(self._n, -1, dtype=np.int64)
         dist[source] = 0
-        queue = deque([source])
-        while queue:
-            u = queue.popleft()
-            du = dist[u]
-            for v in self._neighbors[u]:
-                if dist[v] < 0:
-                    dist[v] = du + 1
-                    queue.append(int(v))
+        indptr, indices = self.csr_adjacency()
+        frontier = np.array([source], dtype=np.int64)
+        level = 0
+        while frontier.size:
+            counts = indptr[frontier + 1] - indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            cum = np.cumsum(counts)
+            pos = np.arange(total, dtype=np.int64) + np.repeat(
+                indptr[frontier] - (cum - counts), counts
+            )
+            nbrs = indices[pos]
+            fresh = nbrs[dist[nbrs] < 0]
+            if fresh.size == 0:
+                break
+            frontier = np.unique(fresh)
+            level += 1
+            dist[frontier] = level
         return dist
 
     def bfs_layers(self, source: int) -> List[List[int]]:
@@ -310,9 +369,12 @@ class RadioNetwork:
         stream.  ``tests/test_rng_stream_order.py`` pins this with a
         digest regression test.
         """
-        if self._engine == "fast":
-            return self._resolve_round_fast(transmissions)
-        return self._resolve_round_reference(transmissions)
+        if self._engine == "reference":
+            return self._resolve_round_reference(transmissions)
+        # "fast" and "columnar" share the dict-path resolver: columnar's
+        # difference lives in the stage drivers and the array-based
+        # resolve_round_vector, not in the dict contract.
+        return self._resolve_round_fast(transmissions)
 
     def _resolve_round_reference(
         self, transmissions: Mapping[int, object]
@@ -377,10 +439,13 @@ class RadioNetwork:
         reference algorithm with its per-transmitter Python loop replaced
         by one ``np.add.at``.  Contended rounds use the adjacency bitset
         matrix: ``reach[v] = popcount(adj[v] & tx_bitset)`` over uint64
-        words, whose cost is independent of the transmitter count.  The
-        strategy choice is a deterministic function of the inputs and
-        both strategies produce the exact dict the reference resolver
-        produces, in the same ascending receiver order.
+        words, whose cost is independent of the transmitter count — but
+        only up to :data:`BITSET_MAX_N` nodes, beyond which the O(n²/64)
+        matrix would dominate memory and the scatter pass is used
+        unconditionally.  The strategy choice is a deterministic function
+        of the inputs and both strategies produce the exact dict the
+        reference resolver produces, in the same ascending receiver
+        order.
         """
         if not transmissions:
             return {}
@@ -396,7 +461,7 @@ class RadioNetwork:
         )
         work = int(self._degrees[tx_ids].sum())  # scatter-path edge scans
 
-        if work <= n:
+        if work <= n or n > BITSET_MAX_N:
             # -- scatter strategy ------------------------------------
             nbr_lists = [self._neighbors[int(t)] for t in tx_ids]
             all_nbrs = np.concatenate(nbr_lists)
@@ -451,6 +516,79 @@ class RadioNetwork:
         return dict(
             zip(hearers.tolist(), map(get, senders.tolist()))
         )
+
+    # ------------------------------------------------------------------
+    # Columnar (array-in / array-out) reception
+    # ------------------------------------------------------------------
+
+    def csr_adjacency(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency ``(indptr, indices)`` (built once, then cached).
+
+        ``indices[indptr[v]:indptr[v+1]]`` is the sorted neighbor list of
+        ``v``.  Memory is O(n + m), so unlike :meth:`adjacency_words`
+        this representation is safe at columnar scale (n=10^5-10^6).
+        Do not mutate.
+        """
+        if self._csr is None:
+            indptr = np.zeros(self._n + 1, dtype=np.int64)
+            np.cumsum(self._degrees, out=indptr[1:])
+            if self._num_edges:
+                indices = np.concatenate(self._neighbors)
+            else:
+                indices = np.zeros(0, dtype=np.int64)
+            self._csr = (indptr, indices)
+        return self._csr
+
+    def resolve_round_vector(
+        self, tx_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Array-native reception: who hears whom, with no dict round-trip.
+
+        Parameters
+        ----------
+        tx_ids:
+            int64 array of transmitting node ids (any order, no
+            duplicates).
+
+        Returns
+        -------
+        (receivers, senders):
+            ``receivers`` is the ascending int64 array of nodes that
+            successfully receive this round (exactly one transmitting
+            neighbor, not themselves transmitting); ``senders[i]`` is the
+            unique transmitting neighbor heard by ``receivers[i]``.
+
+        The receiver *set* and per-receiver sender are identical to
+        :meth:`resolve_round` on the same transmitter set; this entry
+        point exists so the columnar stage drivers can batch whole
+        rounds without materializing per-node message dicts.  It always
+        uses the O(n + work) CSR scatter pass — never the bitset matrix
+        — so it is memory-safe at any n.
+        """
+        tx_ids = np.asarray(tx_ids, dtype=np.int64)
+        n = self._n
+        if tx_ids.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        indptr, indices = self.csr_adjacency()
+        counts = self._degrees[tx_ids]
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        # Gather all transmitters' neighbor lists in one vector pass:
+        # positions indptr[t] .. indptr[t]+deg(t) for each t, flattened.
+        starts = indptr[tx_ids]
+        cum = np.cumsum(counts)
+        pos = np.arange(total, dtype=np.int64)
+        pos += np.repeat(starts - (cum - counts), counts)
+        all_nbrs = indices[pos]
+        reach = np.bincount(all_nbrs, minlength=n)
+        reach[tx_ids] = 0  # half-duplex: transmitters never receive
+        sender_of = np.zeros(n, dtype=np.int64)
+        sender_of[all_nbrs] = np.repeat(tx_ids, counts)
+        receivers = np.flatnonzero(reach == 1)
+        return receivers, sender_of[receivers]
 
     # ------------------------------------------------------------------
     # Convenience constructors

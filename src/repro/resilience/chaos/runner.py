@@ -203,9 +203,11 @@ def execute_campaign(
 ) -> TrialExecution:
     """Run one campaign end to end, recording both transcripts.
 
-    ``engine`` optionally overrides the simulation engine
-    (``"fast"``/``"reference"``) for the whole fault stack; both engines
-    replay a campaign bit-identically.
+    ``engine`` optionally overrides the simulation engine for the whole
+    fault stack.  ``"fast"`` and ``"reference"`` replay a campaign
+    bit-identically; ``"columnar"`` batches its RNG draws and is judged
+    by the semantic-equivalence gate (:mod:`repro.testing.semantic`)
+    instead.
     """
     base = build_topology_spec(campaign.topology)
     if engine is not None:

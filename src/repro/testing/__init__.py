@@ -1,9 +1,16 @@
 """Testing infrastructure shared by the test suite and CI jobs.
 
 :mod:`repro.testing.differential` is the differential-testing harness
-that replays pinned-seed scenarios through both simulation engines
+that replays pinned-seed scenarios through the digest-exact engine pair
 (``fast`` and ``reference``) and asserts they are observationally
 identical — same transcripts, same traces, same decoded sets.
+
+:mod:`repro.testing.semantic` is the semantic-equivalence gate for the
+``columnar`` engine, whose batched RNG draws legitimately reorder the
+random stream: instead of digests it checks delivered sets, outcome
+equality, reception-rule and vector-resolver replays, drop accounting,
+and the Theorem-2 round envelope.  :func:`run_three_way` combines both
+into the full engine matrix.
 """
 
 from repro.testing.differential import (
@@ -17,15 +24,31 @@ from repro.testing.differential import (
     serialize_entry,
     transcript_digest,
 )
+from repro.testing.semantic import (
+    SEMANTIC_ORACLES,
+    SemanticReport,
+    SemanticVerdict,
+    ThreeWayReport,
+    round_collision_count,
+    run_three_way,
+    semantic_compare,
+)
 
 __all__ = [
     "PINNED_SCENARIOS",
     "DifferentialReport",
     "DifferentialScenario",
     "EngineRun",
+    "SEMANTIC_ORACLES",
+    "SemanticReport",
+    "SemanticVerdict",
+    "ThreeWayReport",
     "compare_engines",
+    "round_collision_count",
     "run_scenario",
+    "run_three_way",
     "scenario_by_name",
+    "semantic_compare",
     "serialize_entry",
     "transcript_digest",
 ]

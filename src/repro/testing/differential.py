@@ -185,19 +185,26 @@ class EngineRun:
 
 
 def run_scenario(
-    scenario: DifferentialScenario, engine: str
+    scenario: DifferentialScenario, engine: str, execution=None
 ) -> Tuple[EngineRun, List[TranscriptEntry], List[TranscriptEntry]]:
     """Execute ``scenario`` under ``engine``.
 
     Returns the reduced :class:`EngineRun` plus the raw inner and outer
     transcripts (kept so a failed comparison can point at the exact
     diverging round instead of just two hashes).
+
+    ``execution`` optionally supplies an already-executed
+    :class:`~repro.resilience.chaos.runner.TrialExecution` for this
+    scenario/engine pair, so callers that also need the execution object
+    itself (the semantic-equivalence gate audits its fault network) can
+    reduce it without running the campaign twice.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected {ENGINES}")
-    execution = execute_campaign(
-        scenario.campaign(), preset=scenario.preset, engine=engine
-    )
+    if execution is None:
+        execution = execute_campaign(
+            scenario.campaign(), preset=scenario.preset, engine=engine
+        )
     result = execution.result
     inner = execution.inner_transcript
     outer = execution.outer_transcript

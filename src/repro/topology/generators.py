@@ -21,7 +21,9 @@ def line(n: int) -> RadioNetwork:
     if n < 1:
         raise TopologyError("line requires n >= 1")
     edges = [(i, i + 1) for i in range(n - 1)]
-    return RadioNetwork(edges, n=n, name=f"line(n={n})")
+    return RadioNetwork(
+        edges, n=n, name=f"line(n={n})", diameter_hint=max(1, n - 1)
+    )
 
 
 def ring(n: int) -> RadioNetwork:
@@ -29,7 +31,9 @@ def ring(n: int) -> RadioNetwork:
     if n < 3:
         raise TopologyError("ring requires n >= 3")
     edges = [(i, (i + 1) % n) for i in range(n)]
-    return RadioNetwork(edges, n=n, name=f"ring(n={n})")
+    return RadioNetwork(
+        edges, n=n, name=f"ring(n={n})", diameter_hint=n // 2
+    )
 
 
 def star(n: int) -> RadioNetwork:
@@ -37,7 +41,10 @@ def star(n: int) -> RadioNetwork:
     if n < 2:
         raise TopologyError("star requires n >= 2")
     edges = [(0, i) for i in range(1, n)]
-    return RadioNetwork(edges, n=n, name=f"star(n={n})")
+    return RadioNetwork(
+        edges, n=n, name=f"star(n={n})",
+        diameter_hint=1 if n == 2 else 2,
+    )
 
 
 def clique(n: int) -> RadioNetwork:
@@ -45,7 +52,9 @@ def clique(n: int) -> RadioNetwork:
     if n < 2:
         raise TopologyError("clique requires n >= 2")
     edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
-    return RadioNetwork(edges, n=n, name=f"clique(n={n})")
+    return RadioNetwork(
+        edges, n=n, name=f"clique(n={n})", diameter_hint=1
+    )
 
 
 def grid(rows: int, cols: int) -> RadioNetwork:
@@ -60,7 +69,10 @@ def grid(rows: int, cols: int) -> RadioNetwork:
                 edges.append((v, v + 1))
             if r + 1 < rows:
                 edges.append((v, v + cols))
-    return RadioNetwork(edges, n=rows * cols, name=f"grid({rows}x{cols})")
+    return RadioNetwork(
+        edges, n=rows * cols, name=f"grid({rows}x{cols})",
+        diameter_hint=max(1, rows + cols - 2),
+    )
 
 
 def balanced_tree(branching: int, depth: int) -> RadioNetwork:
@@ -290,7 +302,10 @@ def hypercube(dimension: int) -> RadioNetwork:
         for b in range(dimension)
         if v < v ^ (1 << b)
     ]
-    return RadioNetwork(edges, n=n, name=f"hypercube(d={dimension})")
+    return RadioNetwork(
+        edges, n=n, name=f"hypercube(d={dimension})",
+        diameter_hint=dimension,
+    )
 
 
 def torus(rows: int, cols: int) -> RadioNetwork:
@@ -307,4 +322,7 @@ def torus(rows: int, cols: int) -> RadioNetwork:
             v = r * cols + c
             edges.append((v, r * cols + (c + 1) % cols))
             edges.append((v, ((r + 1) % rows) * cols + c))
-    return RadioNetwork(edges, n=rows * cols, name=f"torus({rows}x{cols})")
+    return RadioNetwork(
+        edges, n=rows * cols, name=f"torus({rows}x{cols})",
+        diameter_hint=rows // 2 + cols // 2,
+    )

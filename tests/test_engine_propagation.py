@@ -1,0 +1,105 @@
+"""Engine-name plumbing: every layer must honor every engine.
+
+The engine selection travels a long way — ``AlgorithmParameters`` →
+``apply_engine`` → proxy wrappers (``DynamicFaultNetwork``,
+``ChurnNetwork``, ``RecordingNetwork``) → the base ``RadioNetwork`` —
+and the columnar stage drivers dispatch on ``network.engine`` seen
+*through* those proxies, so a wrapper that swallowed the attribute would
+silently fall back to the reference path.  These tests pin the
+propagation for all three engine names, plus the deprecation shim that
+maps the legacy ``fast_engine`` tri-state onto ``engine``.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.core.config import AlgorithmParameters
+from repro.dynamic.churn import ChurnNetwork
+from repro.radio.faults import FaultyRadioNetwork
+from repro.radio.network import ENGINES
+from repro.radio.transcript import RecordingNetwork
+from repro.resilience.chaos.runner import CampaignConfig
+from repro.resilience.network import DynamicFaultNetwork
+from repro.topology import grid
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_visible_through_every_wrapper(engine):
+    base = grid(3, 4)
+    base.set_engine(engine)
+    wrappers = [
+        RecordingNetwork(base),
+        DynamicFaultNetwork(base),
+        ChurnNetwork(base),
+        FaultyRadioNetwork(base),
+    ]
+    for net in wrappers:
+        assert net.engine == engine, type(net).__name__
+    # stacked, as the chaos runner builds them
+    stacked = DynamicFaultNetwork(RecordingNetwork(ChurnNetwork(base)))
+    assert stacked.engine == engine
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_apply_engine_reaches_base_through_proxies(engine):
+    base = grid(3, 4)
+    base.set_engine("fast" if engine != "fast" else "reference")
+    proxied = DynamicFaultNetwork(RecordingNetwork(base))
+    AlgorithmParameters(engine=engine).apply_engine(proxied)
+    assert base.engine == engine
+    assert proxied.engine == engine
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_campaign_config_engine_round_trips(engine):
+    config = CampaignConfig(engine=engine)
+    restored = CampaignConfig.from_json(
+        json.loads(json.dumps(config.to_json()))
+    )
+    assert restored.engine == engine
+    assert restored == config
+
+
+def test_params_engine_accepts_all_names_and_rejects_unknown():
+    for engine in ENGINES:
+        assert AlgorithmParameters(engine=engine).engine == engine
+    assert AlgorithmParameters().engine is None
+    with pytest.raises(ValueError, match="unknown engine"):
+        AlgorithmParameters(engine="warp")
+
+
+def test_fast_engine_shim_maps_and_warns():
+    with pytest.warns(DeprecationWarning, match="fast_engine"):
+        params = AlgorithmParameters(fast_engine=True)
+    assert params.engine == "fast"
+    with pytest.warns(DeprecationWarning, match="fast_engine"):
+        params = AlgorithmParameters(fast_engine=False)
+    assert params.engine == "reference"
+
+
+def test_fast_engine_shim_consistent_pair_is_silent():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        params = AlgorithmParameters(fast_engine=True, engine="fast")
+    assert params.engine == "fast"
+
+
+def test_fast_engine_shim_conflict_raises():
+    with pytest.raises(ValueError, match="conflicting engine"):
+        AlgorithmParameters(fast_engine=True, engine="reference")
+    with pytest.raises(ValueError, match="conflicting engine"):
+        AlgorithmParameters(fast_engine=False, engine="columnar")
+
+
+def test_replace_preserves_engine_without_rewarning():
+    import dataclasses
+
+    with pytest.warns(DeprecationWarning):
+        params = AlgorithmParameters(fast_engine=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        bumped = dataclasses.replace(params, group_spacing=4)
+    assert bumped.engine == "fast"
+    assert bumped.group_spacing == 4

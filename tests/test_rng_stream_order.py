@@ -101,13 +101,16 @@ def test_fault_layer_rng_consumption_is_engine_invariant(engine):
     )
 
 
-@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("engine", ["fast", "reference"])
 def test_pinned_end_to_end_digest(engine):
     """Full four-stage run, transcript digested round by round.
 
-    The constant was computed at pin time; both engines must reproduce
-    it exactly.  A digest change means the RNG stream moved: bump the
-    constant only for a deliberate, documented semantics change.
+    The constant was computed at pin time; the digest-exact pair
+    (``fast``/``reference``) must reproduce it exactly.  A digest change
+    means the RNG stream moved: bump the constant only for a deliberate,
+    documented semantics change.  The ``columnar`` engine batches RNG
+    draws and is exempt by design — it is gated by the
+    semantic-equivalence oracles instead (``repro.testing.semantic``).
     """
     net = grid(4, 5)
     net.set_engine(engine)
@@ -117,6 +120,19 @@ def test_pinned_end_to_end_digest(engine):
     assert result.success
     assert result.total_rounds == PINNED_ROUNDS
     assert transcript_digest(rec.transcript) == PINNED_DIGEST
+
+
+def test_columnar_end_to_end_same_outcome():
+    """Same pinned run under the columnar engine: the RNG stream (and
+    hence the digest) legitimately differs, but the protocol outcome —
+    success, full delivery — must match the reference run."""
+    net = grid(4, 5)
+    net.set_engine("columnar")
+    rec = RecordingNetwork(net)
+    packets = uniform_random_placement(rec, k=6, seed=3)
+    result = MultipleMessageBroadcast(rec, seed=11).run(packets)
+    assert result.success
+    assert result.informed_fraction == 1.0
 
 
 def test_resolver_contract_documented_in_reference():
